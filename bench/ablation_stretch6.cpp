@@ -1,0 +1,57 @@
+// Ablation (Section 2.2 remark): direct continuation from the dictionary
+// node vs detouring back through the source, and random-sampled vs greedy
+// hitting-set centers in the substrate.
+//
+// The paper predicts: the detour has the same worst-case stretch (6) but
+// longer realized paths; center selection only shifts constants.
+#include <iostream>
+
+#include "common.h"
+#include "core/stretch6.h"
+
+namespace rtr::bench {
+namespace {
+
+void run() {
+  print_banner("E13 (ablation)", "Sec. 2.2 remark",
+               "Stretch-6 design alternatives on identical instances.");
+
+  TextTable table({"family", "n", "variant", "mean stretch", "p99", "max",
+                   "max tbl entries"});
+  for (Family family : {Family::kRandom, Family::kRing}) {
+    const NodeId n = 256;
+    ExperimentInstance inst =
+        build_instance(family, n, 4, 1300 + static_cast<int>(family));
+    struct Variant {
+      std::string label;
+      bool detour;
+      bool greedy;
+    };
+    for (const auto& v :
+         {Variant{"direct + sampled centers", false, false},
+          Variant{"detour-via-source", true, false},
+          Variant{"direct + greedy centers", false, true}}) {
+      Rng rng(4242);  // identical randomness across variants
+      Stretch6Scheme::Options opts;
+      opts.detour_via_source = v.detour;
+      opts.substrate.greedy_centers = v.greedy;
+      Stretch6Scheme scheme(inst.graph, *inst.metric, inst.names, rng, opts);
+      StretchReport rep = measure_stretch(inst, scheme, 4000, 7);
+      table.add_row({family_name(family), fmt_int(inst.n()), v.label,
+                     fmt_double(rep.mean_stretch), fmt_double(rep.p99_stretch),
+                     fmt_double(rep.max_stretch),
+                     fmt_int(scheme.table_stats().max_entries())});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nExpectation (paper Sec. 2.2): identical <= 6 worst case; "
+               "detour realizes longer paths.\n";
+}
+
+}  // namespace
+}  // namespace rtr::bench
+
+int main() {
+  rtr::bench::run();
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "common.h"
+
+#include <iostream>
+
+namespace rtr::bench {
+
+ExperimentInstance build_instance(Family family, NodeId n, Weight max_weight,
+                                  std::uint64_t seed) {
+  ExperimentInstance inst;
+  Rng rng(seed);
+  inst.graph = make_family(family, n, max_weight, rng);
+  inst.graph.assign_adversarial_ports(rng);
+  inst.names = NameAssignment::random(inst.graph.node_count(), rng);
+  inst.metric = std::make_shared<RoundtripMetric>(inst.graph);
+  return inst;
+}
+
+void print_banner(const std::string& experiment, const std::string& artifact,
+                  const std::string& what) {
+  std::cout << "\n=== " << experiment << " | paper artifact: " << artifact
+            << " ===\n"
+            << what << "\n\n";
+}
+
+}  // namespace rtr::bench

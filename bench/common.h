@@ -1,0 +1,97 @@
+// Shared harness for the experiment binaries (DESIGN.md experiment index).
+//
+// Each bench builds graph instances, runs roundtrip simulations over sampled
+// (or exhaustive) pairs, and prints the rows the corresponding paper artifact
+// reports.  Binaries take no arguments and bound their own runtime.
+#ifndef RTR_BENCH_COMMON_H
+#define RTR_BENCH_COMMON_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/names.h"
+#include "graph/generators.h"
+#include "net/simulator.h"
+#include "rt/metric.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/text_table.h"
+
+namespace rtr::bench {
+
+struct ExperimentInstance {
+  Digraph graph{0};
+  NameAssignment names = NameAssignment::identity(0);
+  std::shared_ptr<RoundtripMetric> metric;
+
+  [[nodiscard]] NodeId n() const { return graph.node_count(); }
+};
+
+/// Builds a family instance with adversarial ports and names.
+[[nodiscard]] ExperimentInstance build_instance(Family family, NodeId n,
+                                                Weight max_weight,
+                                                std::uint64_t seed);
+
+/// Aggregated stretch measurements for one (scheme, instance) cell.
+struct StretchReport {
+  std::int64_t pairs = 0;
+  std::int64_t failures = 0;
+  double mean_stretch = 0;
+  double p99_stretch = 0;
+  double max_stretch = 0;
+  std::int64_t max_header_bits = 0;
+};
+
+/// Runs `pair_budget` sampled ordered pairs (all pairs if the budget covers
+/// them) through the scheme and aggregates stretch.
+template <typename Scheme>
+StretchReport measure_stretch(const ExperimentInstance& inst,
+                              const Scheme& scheme, std::int64_t pair_budget,
+                              std::uint64_t seed) {
+  StretchReport report;
+  Summary stretch;
+  const NodeId n = inst.n();
+  const std::int64_t all = static_cast<std::int64_t>(n) * (n - 1);
+  Rng rng(seed);
+  auto run_pair = [&](NodeId s, NodeId t) {
+    auto res = simulate_roundtrip(inst.graph, scheme, s, t,
+                                  inst.names.name_of(t));
+    ++report.pairs;
+    if (!res.ok()) {
+      ++report.failures;
+      return;
+    }
+    stretch.add(static_cast<double>(res.roundtrip_length()) /
+                static_cast<double>(inst.metric->r(s, t)));
+    report.max_header_bits = std::max(report.max_header_bits, res.max_header_bits);
+  };
+  if (all <= pair_budget) {
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s != t) run_pair(s, t);
+      }
+    }
+  } else {
+    for (std::int64_t i = 0; i < pair_budget; ++i) {
+      auto s = static_cast<NodeId>(rng.index(n));
+      auto t = static_cast<NodeId>(rng.index(n));
+      if (s == t) t = static_cast<NodeId>((t + 1) % n);
+      run_pair(s, t);
+    }
+  }
+  if (stretch.count() > 0) {
+    report.mean_stretch = stretch.mean();
+    report.p99_stretch = stretch.percentile(0.99);
+    report.max_stretch = stretch.max();
+  }
+  return report;
+}
+
+/// Pretty banner for a bench section.
+void print_banner(const std::string& experiment, const std::string& artifact,
+                  const std::string& what);
+
+}  // namespace rtr::bench
+
+#endif  // RTR_BENCH_COMMON_H

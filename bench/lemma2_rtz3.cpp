@@ -1,0 +1,67 @@
+// E4 -- Lemma 2: the name-dependent stretch-3 substrate.
+//
+// Verifies, over full pair sets, the inequality the stretch-6 analysis
+// consumes -- p(u,v) <= d(u,v) + r(u,v) -- and reports the roundtrip stretch
+// distribution and table scaling of the substrate alone.
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "rtz/rtz3_scheme.h"
+
+namespace rtr::bench {
+namespace {
+
+void run() {
+  print_banner("E4", "Lemma 2",
+               "Substrate guarantee p(u,v) <= d(u,v)+r(u,v) (checked on all "
+               "pairs) and O~(sqrt n) tables.");
+
+  TextTable table({"n", "family", "pairs", "ineq violations", "mean stretch",
+                   "max stretch", "max tbl entries", "sqrt(n)*log2(n)^2"});
+  for (Family family : {Family::kRandom, Family::kRing}) {
+    for (NodeId n : {64, 128, 256}) {
+      ExperimentInstance inst =
+          build_instance(family, n, 4, 200 + n + static_cast<int>(family));
+      Rng rng(n);
+      Rtz3Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
+      std::int64_t violations = 0, pairs = 0;
+      Summary stretch;
+      for (NodeId s = 0; s < inst.n(); ++s) {
+        for (NodeId t = 0; t < inst.n(); ++t) {
+          if (s == t) continue;
+          auto res = simulate_roundtrip(inst.graph, scheme, s, t,
+                                        inst.names.name_of(t));
+          ++pairs;
+          if (!res.ok()) {
+            ++violations;
+            continue;
+          }
+          const Dist r = inst.metric->r(s, t);
+          if (res.out_length > inst.metric->d(s, t) + r ||
+              res.back_length > inst.metric->d(t, s) + r) {
+            ++violations;
+          }
+          stretch.add(static_cast<double>(res.roundtrip_length()) /
+                      static_cast<double>(r));
+        }
+      }
+      const double log_n = std::log2(static_cast<double>(inst.n()));
+      table.add_row({fmt_int(inst.n()), family_name(family), fmt_int(pairs),
+                     fmt_int(violations), fmt_double(stretch.mean()),
+                     fmt_double(stretch.max()),
+                     fmt_int(scheme.table_stats().max_entries()),
+                     fmt_double(std::sqrt(static_cast<double>(inst.n())) *
+                                log_n * log_n)});
+    }
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+}  // namespace rtr::bench
+
+int main() {
+  rtr::bench::run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E11 -- Theorem 15: the stretch-2 lower bound regime.
+//
+// On bidirected gadgets (d(u,v) = d(v,u), the Gavoille-Gengler reduction's
+// habitat) we chart the stretch-vs-table-size frontier: the full-table
+// baseline achieves stretch 1 with Theta(n) entries; every compact scheme
+// sits at sublinear entries and (necessarily, by Theorem 15) cannot push
+// worst-case stretch below 2 across the family.
+#include <iostream>
+
+#include "baseline/full_table.h"
+#include "common.h"
+#include "core/lower_bound.h"
+#include "core/stretch6.h"
+#include "rtz/rtz3_scheme.h"
+
+namespace rtr::bench {
+namespace {
+
+void run() {
+  print_banner("E11", "Thm. 15",
+               "Bidirected gadget family: table size vs worst-pair stretch "
+               "(stretch < 2 requires Omega(n)-bit tables).");
+
+  TextTable table({"n", "scheme", "max tbl entries", "worst stretch",
+                   "mean stretch", "symmetric"});
+  for (NodeId n : {64, 128}) {
+    Rng rng(1000 + n);
+    Digraph g = lower_bound_gadget(n, 0.25, rng);
+    g.assign_adversarial_ports(rng);
+    auto names = NameAssignment::random(g.node_count(), rng);
+    ExperimentInstance inst;
+    inst.graph = std::move(g);
+    inst.names = names;
+    inst.metric = std::make_shared<RoundtripMetric>(inst.graph);
+    const bool symmetric = is_distance_symmetric(*inst.metric);
+
+    FullTableScheme baseline(inst.graph, inst.names);
+    StretchReport base_rep = measure_stretch(inst, baseline, 4000, n);
+    table.add_row({fmt_int(inst.n()), baseline.name(),
+                   fmt_int(baseline.table_stats().max_entries()),
+                   fmt_double(base_rep.max_stretch),
+                   fmt_double(base_rep.mean_stretch), symmetric ? "yes" : "NO"});
+
+    Rng scheme_rng(n);
+    Rtz3Scheme rtz3(inst.graph, *inst.metric, inst.names, scheme_rng);
+    StretchReport rtz_rep = measure_stretch(inst, rtz3, 4000, n + 1);
+    table.add_row({fmt_int(inst.n()), rtz3.name(),
+                   fmt_int(rtz3.table_stats().max_entries()),
+                   fmt_double(rtz_rep.max_stretch),
+                   fmt_double(rtz_rep.mean_stretch), symmetric ? "yes" : "NO"});
+
+    Stretch6Scheme s6(inst.graph, *inst.metric, inst.names, scheme_rng);
+    StretchReport s6_rep = measure_stretch(inst, s6, 4000, n + 2);
+    table.add_row({fmt_int(inst.n()), s6.name(),
+                   fmt_int(s6.table_stats().max_entries()),
+                   fmt_double(s6_rep.max_stretch),
+                   fmt_double(s6_rep.mean_stretch), symmetric ? "yes" : "NO"});
+  }
+  std::cout << table.render();
+  std::cout << "\nTheorem 15 threshold: stretch >= "
+            << kRoundtripStretchLowerBound
+            << " for any o(n)-bit TINN scheme on some bidirected network.\n";
+}
+
+}  // namespace
+}  // namespace rtr::bench
+
+int main() {
+  rtr::bench::run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// E9 -- Section 4.3 / Figs. 9, 10, 11: the polynomial tradeoff scheme.
+//
+// Sweeps k; reports realized stretch against 8k^2 + 4k - 4 and the table
+// scaling against O~(k^2 n^{2/k} log RTDiam).
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "core/polystretch.h"
+
+namespace rtr::bench {
+namespace {
+
+void run() {
+  print_banner("E9", "Sec. 4.3, Figs. 9/10/11",
+               "PolynomialStretch: measured stretch vs 8k^2+4k-4; tables vs "
+               "O~(k^2 n^{2/k} log RTDiam).");
+
+  TextTable table({"n", "k", "mean", "p99", "max", "bound", "tbl entries",
+                   "k^2 n^{2/k} logD", "hdr bits", "fail"});
+  for (NodeId n : {96, 192}) {
+    for (int k : {2, 3, 4}) {
+      ExperimentInstance inst = build_instance(Family::kRandom, n, 4, 800 + n + k);
+      PolyStretchScheme::Options opts;
+      opts.k = k;
+      PolyStretchScheme scheme(inst.graph, *inst.metric, inst.names, opts);
+      StretchReport rep = measure_stretch(inst, scheme, 4000, n + k);
+      const double logd =
+          std::log2(static_cast<double>(inst.metric->rt_diameter()) + 2);
+      table.add_row(
+          {fmt_int(inst.n()), fmt_int(k), fmt_double(rep.mean_stretch),
+           fmt_double(rep.p99_stretch), fmt_double(rep.max_stretch),
+           fmt_double(scheme.stretch_bound(), 0),
+           fmt_int(scheme.table_stats().max_entries()),
+           fmt_double(k * k *
+                      std::pow(static_cast<double>(inst.n()), 2.0 / k) * logd, 0),
+           fmt_int(rep.max_header_bits), fmt_int(rep.failures)});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\n(See examples/cover_trace for the Fig. 10 "
+               "through-the-center route walkthrough.)\n";
+}
+
+}  // namespace
+}  // namespace rtr::bench
+
+int main() {
+  rtr::bench::run();
+  return 0;
+}

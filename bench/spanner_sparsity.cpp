@@ -1,0 +1,50 @@
+// E14 -- the roundtrip spanner behind Lemma 5 (after [11,13,35]).
+//
+// Extracts the double-tree union spanner and reports edges vs the
+// O~(k n^{1+1/k} log RTDiam) budget and measured roundtrip stretch vs the
+// construction's bound -- the digraph-spanner existence story the paper's
+// introduction builds on.
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "spanner/roundtrip_spanner.h"
+
+namespace rtr::bench {
+namespace {
+
+void run() {
+  print_banner("E14", "Lemma 5 substrate ([11,13,35])",
+               "Roundtrip spanners extracted from the double-tree hierarchy: "
+               "sparsity and measured stretch.");
+
+  TextTable table({"family", "n", "k", "graph edges", "spanner edges",
+                   "budget kn^{1+1/k}logD", "measured stretch", "bound"});
+  for (Family family : {Family::kRandom, Family::kScaleFree}) {
+    for (NodeId n : {96, 160}) {
+      for (int k : {2, 3}) {
+        ExperimentInstance inst =
+            build_instance(family, n, 4, 1400 + n + k + static_cast<int>(family));
+        SpannerResult res =
+            build_roundtrip_spanner(inst.graph, *inst.metric, k);
+        const double logd =
+            std::log2(static_cast<double>(inst.metric->rt_diameter()) + 2);
+        table.add_row(
+            {family_name(family), fmt_int(inst.n()), fmt_int(k),
+             fmt_int(inst.graph.edge_count()), fmt_int(res.edges),
+             fmt_double(k * std::pow(static_cast<double>(inst.n()), 1.0 + 1.0 / k) *
+                        logd, 0),
+             fmt_double(res.measured_stretch), fmt_double(res.stretch_bound, 0)});
+      }
+    }
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+}  // namespace rtr::bench
+
+int main() {
+  rtr::bench::run();
+  return 0;
+}

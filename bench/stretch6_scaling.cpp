@@ -1,0 +1,49 @@
+// E3 -- Section 2 / Lemma 3 / Fig. 3: the stretch-6 scheme.
+//
+// Sweeps n and families; reports the realized stretch distribution (bound:
+// 6), the max table size against the O~(sqrt n) budget, and header bits
+// against O(log^2 n).
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "core/stretch6.h"
+
+namespace rtr::bench {
+namespace {
+
+void run() {
+  print_banner("E3", "Sec. 2, Lemma 3, Fig. 3",
+               "Stretch-6 TINN scheme: stretch <= 6, tables O~(sqrt n), "
+               "headers O(log^2 n).");
+
+  TextTable table({"family", "n", "mean", "p99", "max(<=6)", "tbl entries",
+                   "sqrt(n)log^2", "hdr bits", "log^2 n", "fail"});
+  for (Family family :
+       {Family::kRandom, Family::kGrid, Family::kRing, Family::kScaleFree}) {
+    for (NodeId n : {64, 144, 256, 400}) {
+      ExperimentInstance inst =
+          build_instance(family, n, 4, 400 + n + static_cast<int>(family));
+      Rng rng(n);
+      Stretch6Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
+      StretchReport rep = measure_stretch(inst, scheme, 6000, n);
+      const double log_n = std::log2(static_cast<double>(inst.n()));
+      table.add_row(
+          {family_name(family), fmt_int(inst.n()), fmt_double(rep.mean_stretch),
+           fmt_double(rep.p99_stretch), fmt_double(rep.max_stretch),
+           fmt_int(scheme.table_stats().max_entries()),
+           fmt_double(std::sqrt(static_cast<double>(inst.n())) * log_n * log_n),
+           fmt_int(rep.max_header_bits), fmt_double(log_n * log_n),
+           fmt_int(rep.failures)});
+    }
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+}  // namespace rtr::bench
+
+int main() {
+  rtr::bench::run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E6 -- Theorem 9 / Figs. 4 and 6: the exponential tradeoff.
+//
+// Sweeps k at fixed n and n at fixed k; reports realized stretch against the
+// substituted bound beta(k)(2^k - 1) (see DESIGN.md: the paper's own bound
+// with the RTZ spanner is (2k+eps)(2^k - 1)) and table sizes against
+// O~(n^{1/k})-per-dictionary-level scaling.
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "core/exstretch.h"
+
+namespace rtr::bench {
+namespace {
+
+void run() {
+  print_banner("E6", "Thm. 9, Figs. 4/6",
+               "ExStretch: measured stretch vs the exponential bound; table "
+               "size vs k.\nbound(ours) = 4(2k-1)(2^k-1); bound(paper, with "
+               "RTZ spanner) = (2k+eps)(2^k-1).");
+
+  TextTable table({"n", "k", "mean", "p99", "max", "bound(ours)",
+                   "bound(paper)", "tbl entries", "hdr bits", "fail"});
+  for (NodeId n : {128, 256}) {
+    for (int k : {2, 3, 4}) {
+      ExperimentInstance inst = build_instance(Family::kRandom, n, 4, 500 + n + k);
+      Rng rng(n + k);
+      ExStretchScheme::Options opts;
+      opts.k = k;
+      ExStretchScheme scheme(inst.graph, *inst.metric, inst.names, rng, opts);
+      StretchReport rep = measure_stretch(inst, scheme, 4000, n + k);
+      table.add_row({fmt_int(inst.n()), fmt_int(k), fmt_double(rep.mean_stretch),
+                     fmt_double(rep.p99_stretch), fmt_double(rep.max_stretch),
+                     fmt_double(scheme.stretch_bound(), 0),
+                     fmt_double((2.0 * k) * (std::pow(2.0, k) - 1), 0),
+                     fmt_int(scheme.table_stats().max_entries()),
+                     fmt_int(rep.max_header_bits), fmt_int(rep.failures)});
+    }
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+}  // namespace rtr::bench
+
+int main() {
+  rtr::bench::run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's core motivation (Section 1 and Section 6): "the strength of
+// the TINN model is that node names are decoupled from network topology".
+//
+// We simulate topology churn: the same 120 nodes with the same self-kept
+// names, while the link structure is re-drawn three times (an ISP re-homing
+// circuits, an overlay re-peering).  After each change the routing tables
+// are rebuilt -- but NO packet source ever learns a new address for its
+// peers: destinations are still named by the same topology-independent
+// names.  A topology-DEPENDENT scheme would have invalidated every address
+// at every step (we show this with the substrate's R3 labels, which do
+// change).
+#include <iostream>
+
+#include "core/names.h"
+#include "core/stretch6.h"
+#include "graph/generators.h"
+#include "net/simulator.h"
+#include "rt/metric.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace rtr;
+
+  const NodeId n = 120;
+  Rng name_rng(7);
+  // Names chosen once, kept across every topology epoch.
+  NameAssignment names = NameAssignment::random(n, name_rng);
+
+  // Traffic matrix fixed up-front, expressed in NAMES (what applications
+  // hold): pairs (requester, responder).
+  Rng traffic_rng(8);
+  std::vector<std::pair<NodeName, NodeName>> sessions;
+  for (int i = 0; i < 200; ++i) {
+    sessions.emplace_back(static_cast<NodeName>(traffic_rng.index(n)),
+                          static_cast<NodeName>(traffic_rng.index(n)));
+  }
+
+  RtzAddress previous_epoch_r3{};
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    Rng topo_rng(100 + static_cast<std::uint64_t>(epoch));
+    Digraph g = random_strongly_connected(n, 4.0, 6, topo_rng);
+    g.assign_adversarial_ports(topo_rng);
+    RoundtripMetric metric(g);
+    Rng scheme_rng(200 + static_cast<std::uint64_t>(epoch));
+    Stretch6Scheme scheme(g, metric, names, scheme_rng);
+
+    Summary stretch;
+    int delivered = 0;
+    int eligible = 0;
+    for (auto [src_name, dst_name] : sessions) {
+      if (src_name == dst_name) continue;
+      ++eligible;
+      NodeId src = names.id_of(src_name), dst = names.id_of(dst_name);
+      auto res = simulate_roundtrip(g, scheme, src, dst, dst_name);
+      if (!res.ok()) continue;
+      ++delivered;
+      stretch.add(static_cast<double>(res.roundtrip_length()) /
+                  static_cast<double>(metric.r(src, dst)));
+    }
+
+    const RtzAddress& r3_now = scheme.substrate().address_of_name(names.name_of(0));
+    const bool label_changed =
+        epoch > 0 && (r3_now.center_index != previous_epoch_r3.center_index ||
+                      r3_now.center_label.dfs_in != previous_epoch_r3.center_label.dfs_in);
+    previous_epoch_r3 = r3_now;
+
+    std::cout << "epoch " << epoch << ": topology re-drawn, tables rebuilt\n"
+              << "  sessions delivered by NAME: " << delivered << "/"
+              << eligible << "\n"
+              << "  stretch: " << stretch.brief() << "\n"
+              << "  node 0's topology-dependent R3 label "
+              << (epoch == 0 ? "recorded"
+                             : (label_changed ? "CHANGED (as expected)"
+                                              : "unchanged by luck"))
+              << " -- applications never saw it\n";
+  }
+  std::cout << "\nApplications addressed peers by stable TINN names across "
+               "every epoch;\nall topology-dependent state stayed inside the "
+               "routing tables.\n";
+  return 0;
+}

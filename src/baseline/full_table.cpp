@@ -1,0 +1,72 @@
+#include "baseline/full_table.h"
+
+#include <stdexcept>
+
+#include "graph/dijkstra.h"
+#include "util/bit_cost.h"
+
+namespace rtr {
+
+FullTableScheme::FullTableScheme(const Digraph& g, const NameAssignment& names)
+    : names_(names),
+      node_space_(g.node_count()),
+      port_space_(g.port_space()) {
+  const NodeId n = g.node_count();
+  const Digraph reversed = g.reversed();
+  next_port_.assign(static_cast<std::size_t>(n),
+                    std::vector<Port>(static_cast<std::size_t>(n), kNoPort));
+  // One in-tree per destination: every node's next hop toward it.
+  for (NodeId dest = 0; dest < n; ++dest) {
+    InTree in = dijkstra_in_tree(g, reversed, dest);
+    const NodeName dest_name = names_.name_of(dest);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == dest) continue;
+      if (in.next_port[static_cast<std::size_t>(v)] == kNoPort) {
+        throw std::invalid_argument("FullTableScheme: graph not strongly connected");
+      }
+      next_port_[static_cast<std::size_t>(v)][static_cast<std::size_t>(dest_name)] =
+          in.next_port[static_cast<std::size_t>(v)];
+    }
+  }
+}
+
+Decision FullTableScheme::forward(NodeId at, Header& h) const {
+  const NodeName at_name = names_.name_of(at);
+  switch (h.mode) {
+    case Mode::kNew:
+      h.src = at_name;
+      h.mode = Mode::kOutbound;
+      [[fallthrough]];
+    case Mode::kOutbound: {
+      if (at_name == h.dest) return Decision::deliver_here();
+      return Decision::forward_on(
+          next_port_[static_cast<std::size_t>(at)][static_cast<std::size_t>(h.dest)]);
+    }
+    case Mode::kReturn:
+      h.mode = Mode::kInbound;
+      [[fallthrough]];
+    case Mode::kInbound: {
+      if (at_name == h.src) return Decision::deliver_here();
+      return Decision::forward_on(
+          next_port_[static_cast<std::size_t>(at)][static_cast<std::size_t>(h.src)]);
+    }
+  }
+  throw std::logic_error("full-table: bad mode");
+}
+
+std::int64_t FullTableScheme::header_bits(const Header& h) const {
+  (void)h;
+  return 2 + 2 * bits_for(node_space_);
+}
+
+TableStats FullTableScheme::table_stats() const {
+  const auto n = static_cast<NodeId>(next_port_.size());
+  TableStats stats(n);
+  const std::int64_t per_entry = bits_for(node_space_) + bits_for(port_space_);
+  for (NodeId v = 0; v < n; ++v) {
+    stats.add(v, n - 1, (n - 1) * per_entry);
+  }
+  return stats;
+}
+
+}  // namespace rtr

@@ -1,0 +1,57 @@
+// The non-compact comparator: classical shortest-path routing with a full
+// next-hop table (one entry per destination name) at every node.
+//
+// Roundtrip stretch is exactly 1 -- the packet follows a shortest path out
+// and a shortest path back -- at the cost of Theta(n log n) bits per node.
+// This is the baseline row of the Fig. 1 experiment, the oracle the tests
+// compare simulated path lengths against, and the Theorem 15 foil (stretch
+// below 2 is information-theoretically impossible with o(n) tables, and here
+// is what the tables cost when you refuse to compress).
+#ifndef RTR_BASELINE_FULL_TABLE_H
+#define RTR_BASELINE_FULL_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/names.h"
+#include "net/simulator.h"
+#include "rt/metric.h"
+
+namespace rtr {
+
+class FullTableScheme {
+ public:
+  FullTableScheme(const Digraph& g, const NameAssignment& names);
+
+  enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
+
+  struct Header {
+    Mode mode = Mode::kNew;
+    NodeName dest = kNoNode;
+    NodeName src = kNoNode;
+  };
+
+  [[nodiscard]] Header make_packet(NodeName dest) const {
+    Header h;
+    h.dest = dest;
+    return h;
+  }
+  void prepare_return(Header& h) const { h.mode = Mode::kReturn; }
+  [[nodiscard]] Decision forward(NodeId at, Header& h) const;
+  [[nodiscard]] std::int64_t header_bits(const Header& h) const;
+
+  [[nodiscard]] TableStats table_stats() const;
+  [[nodiscard]] std::string name() const { return "full-table(stretch1)"; }
+
+ private:
+  NameAssignment names_;
+  // next_port_[u][dest_name]: port of the first edge on a shortest u->dest path.
+  std::vector<std::vector<Port>> next_port_;
+  std::int64_t node_space_ = 0;
+  std::int64_t port_space_ = 0;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_BASELINE_FULL_TABLE_H

@@ -1,0 +1,274 @@
+#include "core/exstretch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit_cost.h"
+
+namespace rtr {
+
+ExStretchScheme::ExStretchScheme(const Digraph& g, const RoundtripMetric& metric,
+                                 const NameAssignment& names, Rng& rng,
+                                 Options options)
+    : names_(names),
+      alphabet_(g.node_count(), options.k),
+      node_space_(g.node_count()),
+      port_space_(g.port_space()) {
+  const NodeId n = g.node_count();
+  const int k = alphabet_.k();
+  const std::int64_t q = alphabet_.q();
+  const Digraph reversed = g.reversed();
+  hierarchy_ = std::make_shared<CoverHierarchy>(g, reversed, metric, k);
+
+  Neighborhoods hoods = compute_neighborhoods(metric, names_);
+  assignment_ =
+      assign_blocks(alphabet_, metric, names_, hoods, rng, options.blocks);
+
+  // S'_u = S_u + u's own block (Section 3.3).
+  std::vector<std::vector<BlockId>> held(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    held[static_cast<std::size_t>(u)] =
+        assignment_.blocks_of[static_cast<std::size_t>(u)];
+    auto& s = held[static_cast<std::size_t>(u)];
+    const BlockId own = alphabet_.block_of(names_.name_of(u));
+    if (!std::binary_search(s.begin(), s.end(), own)) {
+      s.insert(std::upper_bound(s.begin(), s.end(), own), own);
+    }
+  }
+
+  // holders_by_prefix[level l] : prefix value -> sorted list of node ids
+  // holding a block whose l-digit prefix equals the value (levels 1..k-1).
+  std::vector<std::vector<std::vector<NodeId>>> holders(
+      static_cast<std::size_t>(k));
+  for (int level = 1; level <= k - 1; ++level) {
+    holders[static_cast<std::size_t>(level)].assign(
+        static_cast<std::size_t>(alphabet_.realizable_prefix_count(level)), {});
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (int level = 1; level <= k - 1; ++level) {
+      auto& lists = holders[static_cast<std::size_t>(level)];
+      // Dedup prefixes this node covers at this level.
+      std::vector<PrefixValue> seen;
+      for (BlockId b : held[static_cast<std::size_t>(u)]) {
+        PrefixValue p = alphabet_.block_prefix_value(b, level);
+        if (p >= static_cast<PrefixValue>(lists.size())) continue;
+        if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+          seen.push_back(p);
+          lists[static_cast<std::size_t>(p)].push_back(u);
+        }
+      }
+    }
+  }
+
+  tables_.resize(static_cast<std::size_t>(n));
+  // (2): R2 for the immediate neighborhood N_1(u) (first q of Init_u).
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : hoods.prefix(u, static_cast<NodeId>(q))) {
+      if (v == u) continue;
+      tables_[static_cast<std::size_t>(u)].nbr_r2.emplace(
+          names_.name_of(v), compute_r2(*hierarchy_, u, v));
+    }
+  }
+
+  // (3a): per held block, per level i < k-1, per next digit tau: nearest
+  // holder of the extended prefix + R2 to it.
+  // (3b): i = k-1: the exact name "block + tau" + R2 to it.
+  for (NodeId u = 0; u < n; ++u) {
+    auto& tab = tables_[static_cast<std::size_t>(u)];
+    for (BlockId b : held[static_cast<std::size_t>(u)]) {
+      for (int i = 0; i <= k - 1; ++i) {
+        for (int tau = 0; tau < q; ++tau) {
+          if (i < k - 1) {
+            const PrefixValue p = alphabet_.block_prefix_value(b, i) * q + tau;
+            if (p >= alphabet_.realizable_prefix_count(i + 1)) continue;
+            const std::int64_t key = pack(i, p);
+            if (tab.dict.contains(key)) continue;
+            // Nearest holder of a block with (i+1)-prefix p, by (r, name).
+            const auto& list =
+                holders[static_cast<std::size_t>(i + 1)][static_cast<std::size_t>(p)];
+            if (list.empty()) {
+              throw std::logic_error("exstretch: realizable prefix without holder");
+            }
+            NodeId best = kNoNode;
+            Dist best_r = kInfDist;
+            for (NodeId h : list) {
+              const Dist rr = metric.r(u, h);
+              if (rr < best_r || (rr == best_r && best != kNoNode &&
+                                  names_.name_of(h) < names_.name_of(best))) {
+                best_r = rr;
+                best = h;
+              }
+            }
+            DictEntry entry;
+            entry.node = names_.name_of(best);
+            if (best != u) entry.r2 = compute_r2(*hierarchy_, u, best);
+            tab.dict.emplace(key, std::move(entry));
+          } else {
+            const NodeName target = alphabet_.compose(b, tau);
+            if (target == kNoNode) continue;
+            const std::int64_t key = pack(i, target);
+            if (tab.dict.contains(key)) continue;
+            DictEntry entry;
+            entry.node = target;
+            const NodeId tid = names_.id_of(target);
+            if (tid != u) entry.r2 = compute_r2(*hierarchy_, u, tid);
+            tab.dict.emplace(key, std::move(entry));
+          }
+        }
+      }
+    }
+  }
+}
+
+Decision ExStretchScheme::advance(NodeId at, Header& h) const {
+  const auto& tab = tables_[static_cast<std::size_t>(at)];
+  const NodeName at_name = names_.name_of(at);
+  const int k = alphabet_.k();
+  while (h.hop < k) {
+    const int i = h.hop;
+    const PrefixValue p = alphabet_.prefix_value(h.dest, i + 1);
+    auto it = tab.dict.find(pack(i, p));
+    if (it == tab.dict.end()) {
+      throw std::logic_error(
+          "exstretch: waypoint lacks the dictionary entry its invariant promises");
+    }
+    const DictEntry& entry = it->second;
+    if (entry.node == at_name) {
+      ++h.hop;  // v_{i+1} == v_i: advance locally at zero cost
+      continue;
+    }
+    // Push the retrace information and launch the leg (Fig. 4's push).
+    h.stack.push_back(StackEntry{entry.r2.tree, entry.r2.label_u});
+    h.leg = DtLeg{entry.r2.tree, entry.r2.label_v, true};
+    h.waypoint = entry.node;
+    ++h.hop;
+    DtStep step = dt_step(*hierarchy_, at, h.leg);
+    if (step.arrived) {
+      throw std::logic_error("exstretch: fresh leg arrived instantly");
+    }
+    return Decision::forward_on(step.port);
+  }
+  if (at_name != h.dest) {
+    throw std::logic_error("exstretch: hop count exhausted away from dest");
+  }
+  return Decision::deliver_here();
+}
+
+Decision ExStretchScheme::forward(NodeId at, Header& h) const {
+  const NodeName at_name = names_.name_of(at);
+  switch (h.mode) {
+    case Mode::kNew: {
+      h.src = at_name;
+      h.mode = Mode::kOutbound;
+      if (at_name == h.dest) return Decision::deliver_here();
+      // Storage item (2) shortcut: destination inside N_1(s).
+      const auto& tab = tables_[static_cast<std::size_t>(at)];
+      if (auto it = tab.nbr_r2.find(h.dest); it != tab.nbr_r2.end()) {
+        h.stack.push_back(StackEntry{it->second.tree, it->second.label_u});
+        h.leg = DtLeg{it->second.tree, it->second.label_v, true};
+        h.waypoint = h.dest;
+        h.hop = alphabet_.k();
+        DtStep step = dt_step(*hierarchy_, at, h.leg);
+        if (step.arrived) {
+          throw std::logic_error("exstretch: neighbor leg arrived instantly");
+        }
+        return Decision::forward_on(step.port);
+      }
+      return advance(at, h);
+    }
+    case Mode::kOutbound: {
+      DtStep step = dt_step(*hierarchy_, at, h.leg);
+      if (!step.arrived) return Decision::forward_on(step.port);
+      if (at_name != h.waypoint) {
+        throw std::logic_error("exstretch: leg arrived at a non-waypoint");
+      }
+      if (h.hop >= alphabet_.k()) {
+        if (at_name != h.dest) {
+          throw std::logic_error("exstretch: final hop is not the destination");
+        }
+        return Decision::deliver_here();
+      }
+      return advance(at, h);
+    }
+    case Mode::kReturn: {
+      h.mode = Mode::kInbound;
+      if (h.stack.empty()) {
+        if (at_name != h.src) {
+          throw std::logic_error("exstretch: empty stack away from source");
+        }
+        return Decision::deliver_here();
+      }
+      StackEntry e = h.stack.back();
+      h.stack.pop_back();
+      h.leg = DtLeg{e.tree, e.back_label, true};
+      DtStep step = dt_step(*hierarchy_, at, h.leg);
+      if (step.arrived) {
+        throw std::logic_error("exstretch: return leg arrived instantly");
+      }
+      return Decision::forward_on(step.port);
+    }
+    case Mode::kInbound: {
+      DtStep step = dt_step(*hierarchy_, at, h.leg);
+      if (!step.arrived) return Decision::forward_on(step.port);
+      if (h.stack.empty()) {
+        if (at_name != h.src) {
+          throw std::logic_error("exstretch: return ended away from source");
+        }
+        return Decision::deliver_here();
+      }
+      StackEntry e = h.stack.back();
+      h.stack.pop_back();
+      h.leg = DtLeg{e.tree, e.back_label, true};
+      DtStep next = dt_step(*hierarchy_, at, h.leg);
+      if (next.arrived) {
+        throw std::logic_error("exstretch: chained return leg arrived instantly");
+      }
+      return Decision::forward_on(next.port);
+    }
+  }
+  throw std::logic_error("exstretch: bad mode");
+}
+
+std::int64_t ExStretchScheme::header_bits(const Header& h) const {
+  std::int64_t bits = 2 /* mode */ + 3 * bits_for(node_space_) +
+                      bits_for(alphabet_.k() + 1) /* hop */;
+  for (const auto& e : h.stack) {
+    bits += bits_for(node_space_) + 8 /* tree ref */ +
+            tree_label_bits(e.back_label, node_space_, port_space_);
+  }
+  bits += bits_for(node_space_) + 8 +
+          tree_label_bits(h.leg.target, node_space_, port_space_) + 1;
+  return bits;
+}
+
+double ExStretchScheme::stretch_bound() const {
+  const int k = alphabet_.k();
+  return r2_beta(k) * (std::pow(2.0, k) - 1.0);
+}
+
+TableStats ExStretchScheme::table_stats() const {
+  const auto n = static_cast<NodeId>(tables_.size());
+  TableStats stats =
+      hierarchy_node_stats(*hierarchy_, n, node_space_, port_space_);
+  const std::int64_t id_bits = bits_for(node_space_);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& tab = tables_[static_cast<std::size_t>(v)];
+    std::int64_t entries = 0, bits = 0;
+    for (const auto& [name, r2] : tab.nbr_r2) {
+      (void)name;
+      ++entries;
+      bits += id_bits + r2_label_bits(r2, node_space_, port_space_);
+    }
+    for (const auto& [key, entry] : tab.dict) {
+      (void)key;
+      ++entries;
+      bits += 2 * id_bits /* key */ + id_bits +
+              r2_label_bits(entry.r2, node_space_, port_space_);
+    }
+    stats.add(v, entries, bits);
+  }
+  return stats;
+}
+
+}  // namespace rtr

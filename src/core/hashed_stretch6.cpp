@@ -1,0 +1,213 @@
+#include "core/hashed_stretch6.h"
+
+#include <stdexcept>
+
+#include "util/bit_cost.h"
+
+namespace rtr {
+
+ChosenNames ChosenNames::random(NodeId n, Rng& rng) {
+  ChosenNames names;
+  names.of_id_.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    ChosenName x = 0;
+    do {
+      x = (static_cast<std::uint64_t>(rng.uniform(0, (1ll << 62) - 1)) << 1) |
+          static_cast<std::uint64_t>(rng.uniform(0, 1));
+    } while (x == 0 || names.id_of_.contains(x));
+    names.of_id_.push_back(x);
+    names.id_of_.emplace(x, v);
+  }
+  return names;
+}
+
+NodeId ChosenNames::id_of(ChosenName x) const {
+  auto it = id_of_.find(x);
+  if (it == id_of_.end()) {
+    throw std::invalid_argument("ChosenNames: unknown chosen name");
+  }
+  return it->second;
+}
+
+namespace {
+// A Mersenne prime comfortably above 2^63 inputs after the initial fold.
+constexpr std::uint64_t kPrime = (std::uint64_t{1} << 61) - 1;
+
+std::uint64_t mulmod_p(std::uint64_t x, std::uint64_t y) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * y) % kPrime);
+}
+}  // namespace
+
+BucketHash::BucketHash(NodeId n, Rng& rng)
+    : n_(n),
+      a_(static_cast<std::uint64_t>(rng.uniform(1, kPrime - 1))),
+      b_(static_cast<std::uint64_t>(rng.uniform(0, kPrime - 1))) {
+  if (n < 1) throw std::invalid_argument("BucketHash: n >= 1");
+}
+
+NodeId BucketHash::bucket(ChosenName x) const {
+  const std::uint64_t folded = x % kPrime;
+  const std::uint64_t h = (mulmod_p(a_, folded) + b_) % kPrime;
+  return static_cast<NodeId>(h % static_cast<std::uint64_t>(n_));
+}
+
+HashedStretch6Scheme::HashedStretch6Scheme(const Digraph& g,
+                                           const RoundtripMetric& metric,
+                                           const ChosenNames& chosen, Rng& rng,
+                                           Options options)
+    : chosen_(chosen),
+      hash_(g.node_count(), rng),
+      alphabet_(g.node_count(), 2),
+      hood_size_(static_cast<NodeId>(alphabet_.q())),
+      node_space_(g.node_count()) {
+  const NodeId n = g.node_count();
+  // Internal TINN naming for the machinery (Init tie-breaks, substrate):
+  // decoupled from the chosen names, as the reduction allows.
+  NameAssignment internal = NameAssignment::random(n, rng);
+  substrate_ = std::make_shared<Rtz3Scheme>(g, metric, internal, rng,
+                                            options.substrate);
+  Neighborhoods hoods = compute_neighborhoods(metric, internal);
+  BlockAssignment assignment =
+      assign_blocks(alphabet_, metric, internal, hoods, rng, options.blocks);
+
+  // Invert the hash: bucket -> nodes whose chosen name lands there.
+  std::vector<std::vector<NodeId>> bucket_members(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    bucket_members[static_cast<std::size_t>(hash_.bucket(chosen_.of_id(v)))]
+        .push_back(v);
+  }
+
+  const std::int64_t blocks = alphabet_.relevant_block_count();
+  tables_.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    auto& tab = tables_[static_cast<std::size_t>(u)];
+    const auto hood = hoods.prefix(u, hood_size_);
+    // (1) chosen-name -> R3 for the neighborhood.
+    for (NodeId v : hood) {
+      tab.r3_of.emplace(chosen_.of_id(v), substrate_->own_address(v));
+    }
+    // (2) a holder in N(u) per bucket-block.
+    tab.holder_of_block.assign(static_cast<std::size_t>(blocks), 0);
+    for (BlockId b = 0; b < blocks; ++b) {
+      ChosenName holder = 0;
+      for (NodeId v : hood) {
+        if (assignment.holds(v, b)) {
+          holder = chosen_.of_id(v);
+          break;
+        }
+      }
+      if (holder == 0) {
+        throw std::logic_error("hashed-stretch6: Lemma 1 coverage violated");
+      }
+      tab.holder_of_block[static_cast<std::size_t>(b)] = holder;
+    }
+    // (3) dictionary: every chosen name hashing into a held block.
+    for (BlockId b : assignment.blocks_of[static_cast<std::size_t>(u)]) {
+      for (NodeName bucket : alphabet_.block_members(b)) {
+        for (NodeId v : bucket_members[static_cast<std::size_t>(bucket)]) {
+          tab.r3_of.emplace(chosen_.of_id(v), substrate_->own_address(v));
+        }
+      }
+    }
+  }
+}
+
+const RtzAddress* HashedStretch6Scheme::lookup_r3(NodeId at,
+                                                  ChosenName t) const {
+  const auto& tab = tables_[static_cast<std::size_t>(at)];
+  auto it = tab.r3_of.find(t);
+  return it == tab.r3_of.end() ? nullptr : &it->second;
+}
+
+Decision HashedStretch6Scheme::forward(NodeId at, Header& h) const {
+  const ChosenName at_name = chosen_.of_id(at);
+  switch (h.mode) {
+    case Mode::kNew: {
+      h.src = at_name;
+      h.src_addr = substrate_->own_address(at);
+      h.mode = Mode::kOutbound;
+      if (at_name == h.dest) return Decision::deliver_here();
+      const RtzAddress* direct = lookup_r3(at, h.dest);
+      LegStep step;
+      if (direct != nullptr) {
+        step = substrate_->start_leg(at, *direct, h.leg);
+      } else {
+        const BlockId block = alphabet_.block_of(hash_.bucket(h.dest));
+        const ChosenName w = tables_[static_cast<std::size_t>(at)]
+                                 .holder_of_block[static_cast<std::size_t>(block)];
+        h.dict_node = w;
+        h.dict_pending = true;
+        const RtzAddress* w_addr = lookup_r3(at, w);
+        if (w_addr == nullptr) {
+          throw std::logic_error("hashed-stretch6: holder missing from (1)");
+        }
+        step = substrate_->start_leg(at, *w_addr, h.leg);
+      }
+      if (step.arrived) return forward(at, h);
+      return Decision::forward_on(step.port);
+    }
+    case Mode::kOutbound: {
+      if (at_name == h.dest) return Decision::deliver_here();
+      if (h.dict_pending && at_name == h.dict_node) {
+        h.dict_pending = false;
+        const RtzAddress* t_addr = lookup_r3(at, h.dest);
+        if (t_addr == nullptr) {
+          throw std::logic_error(
+              "hashed-stretch6: dictionary node lacks R3(dest)");
+        }
+        LegStep step = substrate_->start_leg(at, *t_addr, h.leg);
+        if (step.arrived) return Decision::deliver_here();
+        return Decision::forward_on(step.port);
+      }
+      LegStep step = substrate_->step_leg(at, h.leg);
+      if (step.arrived) return forward(at, h);
+      return Decision::forward_on(step.port);
+    }
+    case Mode::kReturn: {
+      h.mode = Mode::kInbound;
+      if (at_name == h.src) return Decision::deliver_here();
+      LegStep step = substrate_->start_leg(at, h.src_addr, h.leg);
+      if (step.arrived) return Decision::deliver_here();
+      return Decision::forward_on(step.port);
+    }
+    case Mode::kInbound: {
+      LegStep step = substrate_->step_leg(at, h.leg);
+      if (step.arrived) {
+        if (at_name != h.src) {
+          throw std::logic_error("hashed-stretch6: inbound arrived off-source");
+        }
+        return Decision::deliver_here();
+      }
+      return Decision::forward_on(step.port);
+    }
+  }
+  throw std::logic_error("hashed-stretch6: bad mode");
+}
+
+std::int64_t HashedStretch6Scheme::header_bits(const Header& h) const {
+  return 2 /* mode */ + 1 + 3 * 64 /* three chosen names */ +
+         substrate_->address_bits(h.src_addr) +
+         substrate_->leg_header_bits(h.leg);
+}
+
+TableStats HashedStretch6Scheme::table_stats() const {
+  const auto n = static_cast<NodeId>(tables_.size());
+  TableStats stats = substrate_->table_stats();
+  const std::int64_t id_bits = bits_for(node_space_);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& tab = tables_[static_cast<std::size_t>(v)];
+    std::int64_t entries = 0, bits = 0;
+    for (const auto& [name, addr] : tab.r3_of) {
+      (void)name;
+      ++entries;
+      bits += 64 + substrate_->address_bits(addr);
+    }
+    entries += static_cast<std::int64_t>(tab.holder_of_block.size());
+    bits += static_cast<std::int64_t>(tab.holder_of_block.size()) * (id_bits + 64);
+    stats.add(v, entries, bits);
+  }
+  return stats;
+}
+
+}  // namespace rtr

@@ -1,0 +1,125 @@
+// The Section 1.1.2 reduction: topology-independent names chosen by the
+// nodes themselves from a large space.
+//
+// "A reduction in [4] shows that, if nodes choose their own names from a
+// range space sufficiently large, they will be unique with high probability,
+// and that these names can be hashed to the values {0,...,n-1} with small
+// numbers of collisions.  It is straightforward to adapt our protocols to
+// this setting with only a constant blowup in the size of the routing
+// tables."
+//
+// We realize that adaptation for the stretch-6 scheme: each node announces a
+// 64-bit chosen name; a universal hash h(x) = ((a x + b) mod p) mod n maps
+// chosen names to buckets in {0..n-1}; the dictionary blocks partition the
+// *bucket* space, and each dictionary entry stores the full chosen name next
+// to its R3 address (collision lists live inside the blocks, whose sizes
+// concentrate around q by universality -- the "constant blowup").  Packets
+// arrive carrying only the 64-bit chosen destination name; the forwarding
+// state machine is Fig. 3's, with h applied wherever Section 2 read a block
+// index off a name.
+#ifndef RTR_CORE_HASHED_STRETCH6_H
+#define RTR_CORE_HASHED_STRETCH6_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/names.h"
+#include "dict/alphabet.h"
+#include "dict/block_assignment.h"
+#include "net/simulator.h"
+#include "rtz/rtz3_scheme.h"
+
+namespace rtr {
+
+using ChosenName = std::uint64_t;
+
+/// The per-node self-chosen 64-bit names (unique; in the model they are
+/// unique w.h.p., and the protocol may reject duplicates at join time).
+class ChosenNames {
+ public:
+  static ChosenNames random(NodeId n, Rng& rng);
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(of_id_.size());
+  }
+  [[nodiscard]] ChosenName of_id(NodeId v) const {
+    return of_id_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId id_of(ChosenName x) const;
+
+ private:
+  std::vector<ChosenName> of_id_;
+  std::unordered_map<ChosenName, NodeId> id_of_;
+};
+
+/// Universal hash from chosen names onto buckets {0..n-1}.
+class BucketHash {
+ public:
+  BucketHash(NodeId n, Rng& rng);
+  [[nodiscard]] NodeId bucket(ChosenName x) const;
+
+ private:
+  NodeId n_;
+  std::uint64_t a_, b_;
+};
+
+class HashedStretch6Scheme {
+ public:
+  struct Options {
+    Rtz3Scheme::Options substrate;
+    BlockAssignmentOptions blocks;
+  };
+
+  HashedStretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
+                       const ChosenNames& chosen, Rng& rng, Options options);
+  HashedStretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
+                       const ChosenNames& chosen, Rng& rng)
+      : HashedStretch6Scheme(g, metric, chosen, rng, Options{}) {}
+
+  enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
+
+  struct Header {
+    Mode mode = Mode::kNew;
+    ChosenName dest = 0;  // the only field present at injection
+    ChosenName src = 0;
+    RtzAddress src_addr;
+    ChosenName dict_node = 0;
+    bool dict_pending = false;
+    LegHeader leg;
+  };
+
+  [[nodiscard]] Header make_packet(ChosenName dest) const {
+    Header h;
+    h.dest = dest;
+    return h;
+  }
+  void prepare_return(Header& h) const { h.mode = Mode::kReturn; }
+  [[nodiscard]] Decision forward(NodeId at, Header& h) const;
+  [[nodiscard]] std::int64_t header_bits(const Header& h) const;
+
+  [[nodiscard]] TableStats table_stats() const;
+  [[nodiscard]] std::string name() const { return "stretch6(64-bit names)"; }
+
+ private:
+  struct NodeTables {
+    std::unordered_map<ChosenName, RtzAddress> r3_of;  // items (1) + (3)
+    std::vector<ChosenName> holder_of_block;           // item (2)
+  };
+
+  [[nodiscard]] const RtzAddress* lookup_r3(NodeId at, ChosenName t) const;
+
+  ChosenNames chosen_;
+  BucketHash hash_;
+  Alphabet alphabet_;  // over the bucket space
+  NodeId hood_size_;
+  std::shared_ptr<const Rtz3Scheme> substrate_;
+  std::vector<NodeTables> tables_;
+  std::int64_t node_space_ = 0;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_CORE_HASHED_STRETCH6_H

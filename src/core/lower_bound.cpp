@@ -1,0 +1,15 @@
+#include "core/lower_bound.h"
+
+namespace rtr {
+
+bool is_distance_symmetric(const RoundtripMetric& metric) {
+  const NodeId n = metric.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (metric.d(u, v) != metric.d(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rtr

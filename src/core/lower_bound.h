@@ -1,0 +1,29 @@
+// Section 5: the stretch lower bound for TINN roundtrip routing.
+//
+// Theorem 15 reduces to the Gavoille-Gengler one-way bound: take an
+// undirected network hard for stretch < 3, replace every edge by two opposite
+// arcs (so d(u,v) = d(v,u) and r(u,v) = 2 d(u,v)); a roundtrip scheme of
+// stretch < 2 with o(n) tables would induce a one-way scheme of stretch < 3,
+// a contradiction.  The reduction's only structural requirement is the
+// bidirected property, which our gadget generators guarantee; this module
+// provides the verification predicate and the measurement used by the
+// lower-bound experiment (the stretch-vs-table-size frontier a scheme
+// achieves on the gadget family).
+#ifndef RTR_CORE_LOWER_BOUND_H
+#define RTR_CORE_LOWER_BOUND_H
+
+#include "rt/metric.h"
+
+namespace rtr {
+
+/// True iff d(u,v) == d(v,u) for all pairs (the bidirected regime in which
+/// Theorem 15's reduction operates).
+[[nodiscard]] bool is_distance_symmetric(const RoundtripMetric& metric);
+
+/// The Theorem 15 threshold: any TINN roundtrip scheme whose every table is
+/// o(n) bits must have stretch >= 2 on some bidirected network.
+inline constexpr double kRoundtripStretchLowerBound = 2.0;
+
+}  // namespace rtr
+
+#endif  // RTR_CORE_LOWER_BOUND_H

@@ -1,0 +1,33 @@
+#include "core/names.h"
+
+#include <stdexcept>
+
+namespace rtr {
+
+NameAssignment NameAssignment::identity(NodeId n) {
+  std::vector<NodeName> names(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) names[static_cast<std::size_t>(i)] = i;
+  return NameAssignment(std::move(names));
+}
+
+NameAssignment NameAssignment::random(NodeId n, Rng& rng) {
+  return NameAssignment(rng.permutation(n));
+}
+
+NameAssignment::NameAssignment(std::vector<NodeName> name_of_id)
+    : name_of_(std::move(name_of_id)) {
+  const auto n = static_cast<NodeId>(name_of_.size());
+  id_of_.assign(static_cast<std::size_t>(n), kNoNode);
+  for (NodeId id = 0; id < n; ++id) {
+    NodeName name = name_of_[static_cast<std::size_t>(id)];
+    if (name < 0 || name >= n) {
+      throw std::invalid_argument("NameAssignment: name out of range");
+    }
+    if (id_of_[static_cast<std::size_t>(name)] != kNoNode) {
+      throw std::invalid_argument("NameAssignment: duplicate name");
+    }
+    id_of_[static_cast<std::size_t>(name)] = id;
+  }
+}
+
+}  // namespace rtr

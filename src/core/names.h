@@ -1,0 +1,51 @@
+// The TINN name layer (Section 1.1.2).
+//
+// Node names are an adversarial permutation of {0..n-1}, decoupled from
+// topology.  Schemes key *all* dictionary structures by name; the permutation
+// is only consulted at preprocessing time (a real deployment's node knows its
+// own name).  Tests verify routing behaviour is invariant under renaming.
+#ifndef RTR_CORE_NAMES_H
+#define RTR_CORE_NAMES_H
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace rtr {
+
+/// Bijection internal NodeId <-> TINN NodeName.
+class NameAssignment {
+ public:
+  /// Identity naming (name == id).
+  static NameAssignment identity(NodeId n);
+
+  /// Adversarial (uniformly random) naming.
+  static NameAssignment random(NodeId n, Rng& rng);
+
+  /// From an explicit permutation; throws if not a permutation of [0, n).
+  explicit NameAssignment(std::vector<NodeName> name_of_id);
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(name_of_.size());
+  }
+  [[nodiscard]] NodeName name_of(NodeId id) const {
+    return name_of_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] NodeId id_of(NodeName name) const {
+    if (name < 0 || name >= node_count()) {
+      throw std::out_of_range("NameAssignment::id_of: unknown name");
+    }
+    return id_of_[static_cast<std::size_t>(name)];
+  }
+  [[nodiscard]] const std::vector<NodeName>& names() const { return name_of_; }
+
+ private:
+  std::vector<NodeName> name_of_;
+  std::vector<NodeId> id_of_;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_CORE_NAMES_H

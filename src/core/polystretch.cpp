@@ -1,0 +1,224 @@
+#include "core/polystretch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bit_cost.h"
+
+namespace rtr {
+
+PolyStretchScheme::PolyStretchScheme(const Digraph& g,
+                                     const RoundtripMetric& metric,
+                                     const NameAssignment& names,
+                                     Options options)
+    : names_(names),
+      alphabet_(g.node_count(), options.k),
+      node_space_(g.node_count()),
+      port_space_(g.port_space()) {
+  const NodeId n = g.node_count();
+  const int k = alphabet_.k();
+  const std::int64_t q = alphabet_.q();
+  const Digraph reversed = g.reversed();
+  hierarchy_ = std::make_shared<CoverHierarchy>(g, reversed, metric, k);
+
+  tables_.resize(static_cast<std::size_t>(n));
+  for (std::int32_t level = 0; level < hierarchy_->level_count(); ++level) {
+    const HierarchyLevel& lvl = hierarchy_->level(level);
+    for (std::int32_t t = 0; t < static_cast<std::int32_t>(lvl.trees.size()); ++t) {
+      const DoubleTree& tree = lvl.trees[static_cast<std::size_t>(t)];
+      const TreeRef ref{level, t};
+      // Group members by (j+1)-digit name prefix for nearest-extension
+      // queries: prefix value -> member ids.
+      std::vector<std::unordered_map<std::int64_t, std::vector<NodeId>>>
+          by_prefix(static_cast<std::size_t>(k));
+      for (NodeId v : tree.members()) {
+        const NodeName vn = names_.name_of(v);
+        for (int j = 0; j < k; ++j) {
+          by_prefix[static_cast<std::size_t>(j)][alphabet_.prefix_value(vn, j + 1)]
+              .push_back(v);
+        }
+      }
+      for (NodeId u : tree.members()) {
+        auto& per = tables_[static_cast<std::size_t>(u)].per_tree[tree_key(ref)];
+        per.own_label = tree.out_router().label(u);
+        const NodeName un = names_.name_of(u);
+        // (2c): for every j and tau, the nearest member extending u's own
+        // j-digit prefix with digit tau, if one exists.
+        for (int j = 0; j < k; ++j) {
+          for (int tau = 0; tau < q; ++tau) {
+            const PrefixValue p = alphabet_.prefix_value(un, j) * q + tau;
+            auto it = by_prefix[static_cast<std::size_t>(j)].find(p);
+            if (it == by_prefix[static_cast<std::size_t>(j)].end()) continue;
+            NodeId best = kNoNode;
+            Dist best_r = kInfDist;
+            for (NodeId v : it->second) {
+              if (v == u) {  // a zero-cost extension: always the nearest
+                best = u;
+                best_r = 0;
+                break;
+              }
+              const Dist rr = metric.r(u, v);
+              if (rr < best_r || (rr == best_r && best != kNoNode &&
+                                  names_.name_of(v) < names_.name_of(best))) {
+                best_r = rr;
+                best = v;
+              }
+            }
+            DictEntry entry;
+            entry.node = names_.name_of(best);
+            entry.label = tree.out_router().label(best);
+            per.dict.emplace(static_cast<std::int64_t>(j) * q + tau,
+                             std::move(entry));
+          }
+        }
+      }
+    }
+  }
+}
+
+Decision PolyStretchScheme::start_level(NodeId at, Header& h) const {
+  // `at` is the source.  Pick its home tree for the current level and run
+  // NextNode locally; escalate locally while the level yields no progress.
+  while (true) {
+    if (h.level >= hierarchy_->level_count()) {
+      throw std::logic_error("polystretch: levels exhausted without delivery");
+    }
+    h.tree = hierarchy_->home(at, h.level);
+    const auto& per = tables_[static_cast<std::size_t>(at)].per_tree.at(
+        tree_key(h.tree));
+    h.src_label = per.own_label;
+    Decision d = next_hop(at, h);
+    // next_hop either launched a leg (forward), delivered (s == t), or asked
+    // to fall back to the source -- which we are already at: escalate.
+    if (!d.deliver || names_.name_of(at) == h.dest) return d;
+    ++h.level;
+  }
+}
+
+Decision PolyStretchScheme::next_hop(NodeId at, Header& h) const {
+  const NodeName at_name = names_.name_of(at);
+  if (at_name == h.dest) {
+    h.found = true;
+    return Decision::deliver_here();
+  }
+  const auto& per_tree = tables_[static_cast<std::size_t>(at)].per_tree;
+  auto per_it = per_tree.find(tree_key(h.tree));
+  if (per_it == per_tree.end()) {
+    throw std::logic_error("polystretch: waypoint outside the current tree");
+  }
+  const PerTree& per = per_it->second;
+
+  const int h_match = alphabet_.lcp(at_name, h.dest);  // digits already matched
+  const int tau = alphabet_.digit(h.dest, h_match);
+  auto it = per.dict.find(static_cast<std::int64_t>(h_match) * alphabet_.q() + tau);
+  if (it != per.dict.end() && it->second.node != at_name) {
+    // Extend the match: trip to the entry through the tree's center.
+    h.waypoint = it->second.node;
+    h.leg = DtLeg{h.tree, it->second.label, true};
+    DtStep step = dt_step(*hierarchy_, at, h.leg);
+    if (step.arrived) {
+      throw std::logic_error("polystretch: fresh trip arrived instantly");
+    }
+    return Decision::forward_on(step.port);
+  }
+  if (it != per.dict.end() && it->second.node == at_name) {
+    // The nearest extension is this node itself, yet it is not t: the next
+    // digit cannot be extended further here; treat as failure.  (Cannot
+    // happen when t is in the tree: t extends every prefix of itself and
+    // at != t, and at already matches h_match digits, so the stored nearest
+    // extension matching h_match+1 > lcp(at, t) digits cannot be at.)
+    throw std::logic_error("polystretch: self-extension at a non-destination");
+  }
+  // No extension in this tree: fall back to the source (failure detected).
+  if (at_name == h.src) return Decision::deliver_here();  // caller escalates
+  h.waypoint = h.src;
+  h.leg = DtLeg{h.tree, h.src_label, true};
+  DtStep step = dt_step(*hierarchy_, at, h.leg);
+  if (step.arrived) {
+    throw std::logic_error("polystretch: fallback trip arrived instantly");
+  }
+  return Decision::forward_on(step.port);
+}
+
+Decision PolyStretchScheme::forward(NodeId at, Header& h) const {
+  const NodeName at_name = names_.name_of(at);
+  switch (h.mode) {
+    case Mode::kNew: {
+      h.src = at_name;
+      h.level = 0;
+      h.mode = Mode::kEnroute;
+      if (at_name == h.dest) {
+        h.found = true;
+        return Decision::deliver_here();
+      }
+      return start_level(at, h);
+    }
+    case Mode::kEnroute: {
+      DtStep step = dt_step(*hierarchy_, at, h.leg);
+      if (!step.arrived) return Decision::forward_on(step.port);
+      if (at_name != h.waypoint) {
+        throw std::logic_error("polystretch: trip ended at a non-waypoint");
+      }
+      if (h.found) {
+        // Acknowledgment arriving back at the source.
+        if (at_name != h.src) {
+          throw std::logic_error("polystretch: ack ended away from source");
+        }
+        return Decision::deliver_here();
+      }
+      if (at_name == h.src) {
+        // Failure return: escalate one level and retry (Fig. 11).
+        ++h.level;
+        return start_level(at, h);
+      }
+      return next_hop(at, h);
+    }
+    case Mode::kReturn: {
+      // Host at t re-injects the packet; route to SourceLabel in the same
+      // tree (Fig. 11's ReturnPacket branch).
+      h.mode = Mode::kEnroute;
+      if (at_name == h.src) return Decision::deliver_here();
+      h.waypoint = h.src;
+      h.leg = DtLeg{h.tree, h.src_label, true};
+      DtStep step = dt_step(*hierarchy_, at, h.leg);
+      if (step.arrived) {
+        throw std::logic_error("polystretch: return trip arrived instantly");
+      }
+      return Decision::forward_on(step.port);
+    }
+  }
+  throw std::logic_error("polystretch: bad mode");
+}
+
+std::int64_t PolyStretchScheme::header_bits(const Header& h) const {
+  return 2 /* mode */ + 3 * bits_for(node_space_) /* dest, src, waypoint */ +
+         1 /* found */ + bits_for(hierarchy_->level_count() + 1) +
+         bits_for(node_space_) + 8 /* tree ref */ +
+         tree_label_bits(h.src_label, node_space_, port_space_) +
+         tree_label_bits(h.leg.target, node_space_, port_space_) + 1;
+}
+
+TableStats PolyStretchScheme::table_stats() const {
+  const auto n = static_cast<NodeId>(tables_.size());
+  TableStats stats =
+      hierarchy_node_stats(*hierarchy_, n, node_space_, port_space_);
+  const std::int64_t id_bits = bits_for(node_space_);
+  for (NodeId v = 0; v < n; ++v) {
+    std::int64_t entries = 0, bits = 0;
+    for (const auto& [key, per] : tables_[static_cast<std::size_t>(v)].per_tree) {
+      (void)key;
+      ++entries;  // own label
+      bits += tree_label_bits(per.own_label, node_space_, port_space_);
+      for (const auto& [dk, entry] : per.dict) {
+        (void)dk;
+        ++entries;
+        bits += id_bits /* key */ + id_bits +
+                tree_label_bits(entry.label, node_space_, port_space_);
+      }
+    }
+    stats.add(v, entries, bits);
+  }
+  return stats;
+}
+
+}  // namespace rtr

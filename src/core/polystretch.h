@@ -1,0 +1,121 @@
+// Algorithm PolynomialStretch: the TINN scheme with a polynomial
+// stretch/space tradeoff (paper Section 4, pseudocode Figs. 9 and 11).
+//
+// For every level i = 1..ceil(log2 RTDiam) a Theorem 13 double-tree cover at
+// radius 2^i assigns each node a *home* double-tree spanning its whole ball
+// N-hat^{2^i}(v).  Within a double tree, every member u stores for each
+// (prefix length j, next digit tau) the tree-routing label of the nearest
+// member v with sigma^j(v) = sigma^j(u) and digit j of v equal to tau -- a
+// per-tree prefix-matching dictionary keyed by u's own name.
+//
+// Routing from s to t tries s's home tree level by level: inside tree C the
+// packet hops between members whose names match ever longer prefixes of t,
+// each hop routed through the tree's center (up the in-tree, down the
+// out-tree).  If some waypoint lacks an extending entry, the packet returns
+// to s (detectable failure: prefixes only grow) and s escalates one level.
+// Once 2^i >= r(s,t), t itself lies in s's home tree so every extension
+// exists and the chain reaches t in <= k hops; the trip at that level costs
+// at most (k+1) roundtrips to the center, each <= RTHeight <= (2k-1) 2^i,
+// and summing the geometric levels gives stretch <= 8k^2 + 4k - 4 (§4.3).
+#ifndef RTR_CORE_POLYSTRETCH_H
+#define RTR_CORE_POLYSTRETCH_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/names.h"
+#include "dict/alphabet.h"
+#include "net/simulator.h"
+#include "rtz/handshake.h"
+
+namespace rtr {
+
+class PolyStretchScheme {
+ public:
+  struct Options {
+    int k = 3;  // tradeoff parameter (>= 2)
+  };
+
+  PolyStretchScheme(const Digraph& g, const RoundtripMetric& metric,
+                    const NameAssignment& names, Options options);
+  PolyStretchScheme(const Digraph& g, const RoundtripMetric& metric,
+                    const NameAssignment& names)
+      : PolyStretchScheme(g, metric, names, Options{}) {}
+
+  enum class Mode : std::uint8_t { kNew, kEnroute, kReturn };
+
+  struct Header {
+    Mode mode = Mode::kNew;
+    NodeName dest = kNoNode;
+    NodeName src = kNoNode;
+    bool found = false;          // set at the destination (Fig. 11)
+    std::int32_t level = 0;      // current level index (0-based)
+    TreeRef tree;                // s's home double-tree at this level
+    TreeLabel src_label;         // s's label in that tree (SourceLabel)
+    NodeName waypoint = kNoNode; // head of the in-flight within-tree trip
+    DtLeg leg;
+  };
+
+  [[nodiscard]] Header make_packet(NodeName dest) const {
+    Header h;
+    h.dest = dest;
+    return h;
+  }
+  void prepare_return(Header& h) const { h.mode = Mode::kReturn; }
+  [[nodiscard]] Decision forward(NodeId at, Header& h) const;
+  [[nodiscard]] std::int64_t header_bits(const Header& h) const;
+
+  [[nodiscard]] TableStats table_stats() const;
+  [[nodiscard]] std::string name() const {
+    return "polystretch(k=" + std::to_string(alphabet_.k()) + ")";
+  }
+
+  /// 8k^2 + 4k - 4 (Section 4.3).
+  [[nodiscard]] double stretch_bound() const {
+    const double k = alphabet_.k();
+    return 8 * k * k + 4 * k - 4;
+  }
+
+  [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
+  [[nodiscard]] const CoverHierarchy& hierarchy() const { return *hierarchy_; }
+
+ private:
+  struct DictEntry {
+    NodeName node = kNoNode;
+    TreeLabel label;  // TreeR(C_i, node)
+  };
+  struct PerTree {
+    TreeLabel own_label;  // TreeR(C_i, u)
+    // key = j * q + tau -> nearest extending member (keys use u's own
+    // prefixes, so j is implicit in the match; see build).
+    std::unordered_map<std::int64_t, DictEntry> dict;
+  };
+  struct NodeTables {
+    // (level, tree index within level) -> per-tree storage.
+    std::unordered_map<std::int64_t, PerTree> per_tree;
+  };
+
+  [[nodiscard]] std::int64_t tree_key(TreeRef ref) const {
+    return static_cast<std::int64_t>(ref.level) * (1 << 24) + ref.tree;
+  }
+
+  /// NextNode at the current node within h.tree (Fig. 9 / Section 4.2):
+  /// extend the matched prefix or fall back to the source.
+  [[nodiscard]] Decision next_hop(NodeId at, Header& h) const;
+
+  /// Start the next attempt at the source: pick home tree for h.level.
+  [[nodiscard]] Decision start_level(NodeId at, Header& h) const;
+
+  NameAssignment names_;
+  Alphabet alphabet_;
+  std::shared_ptr<const CoverHierarchy> hierarchy_;
+  std::vector<NodeTables> tables_;
+  std::int64_t node_space_ = 0;
+  std::int64_t port_space_ = 0;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_CORE_POLYSTRETCH_H

@@ -1,0 +1,185 @@
+#include "core/stretch6.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit_cost.h"
+
+namespace rtr {
+
+Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
+                               const NameAssignment& names, Rng& rng,
+                               Options options)
+    : names_(names),
+      alphabet_(g.node_count(), 2),
+      hood_size_(static_cast<NodeId>(alphabet_.q())),
+      substrate_(std::make_shared<Rtz3Scheme>(g, metric, names, rng,
+                                              options.substrate)),
+      detour_via_source_(options.detour_via_source),
+      node_space_(g.node_count()) {
+  const NodeId n = g.node_count();
+  Neighborhoods hoods = compute_neighborhoods(metric, names_);
+  assignment_ =
+      assign_blocks(alphabet_, metric, names_, hoods, rng, options.blocks);
+
+  const std::int64_t blocks = alphabet_.relevant_block_count();
+  tables_.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    auto& tab = tables_[static_cast<std::size_t>(u)];
+    const auto hood = hoods.prefix(u, hood_size_);
+
+    // (1) R3 for every neighborhood member (includes u itself: hood[0] == u).
+    for (NodeId v : hood) {
+      tab.r3_of.emplace(names_.name_of(v), substrate_->own_address(v));
+    }
+
+    // (2) nearest holder in N(u) per block (Lemma 1 guarantees existence).
+    tab.holder_of_block.assign(static_cast<std::size_t>(blocks), kNoNode);
+    for (BlockId b = 0; b < blocks; ++b) {
+      for (NodeId v : hood) {
+        if (assignment_.holds(v, b)) {
+          tab.holder_of_block[static_cast<std::size_t>(b)] = names_.name_of(v);
+          break;
+        }
+      }
+      if (tab.holder_of_block[static_cast<std::size_t>(b)] == kNoNode) {
+        throw std::logic_error(
+            "Stretch6Scheme: Lemma 1 coverage violated (no holder in N(u))");
+      }
+    }
+
+    // (3) dictionary entries of every held block.
+    for (BlockId b : assignment_.blocks_of[static_cast<std::size_t>(u)]) {
+      for (NodeName member : alphabet_.block_members(b)) {
+        tab.r3_of.emplace(member, substrate_->address_of_name(member));
+      }
+    }
+  }
+}
+
+const RtzAddress* Stretch6Scheme::lookup_r3(NodeId at, NodeName t) const {
+  const auto& tab = tables_[static_cast<std::size_t>(at)];
+  auto it = tab.r3_of.find(t);
+  return it == tab.r3_of.end() ? nullptr : &it->second;
+}
+
+Decision Stretch6Scheme::forward(NodeId at, Header& h) const {
+  const NodeName at_name = names_.name_of(at);
+  switch (h.mode) {
+    case Mode::kNew: {
+      // Fig. 3, NewPacket branch.  Source fields must be written even for a
+      // self-addressed packet: the acknowledgment path reads them.
+      h.src = at_name;
+      h.src_addr = substrate_->own_address(at);
+      h.mode = Mode::kOutbound;
+      if (at_name == h.dest) return Decision::deliver_here();
+      const RtzAddress* direct = lookup_r3(at, h.dest);
+      LegStep step;
+      if (direct != nullptr) {
+        h.phase = Phase::kToDest;
+        step = substrate_->start_leg(at, *direct, h.leg);
+      } else {
+        // Remote dictionary lookup: route to the neighborhood's holder of
+        // t's block (its own R3 is in table item (1)).
+        const BlockId block = alphabet_.block_of(h.dest);
+        const NodeName w = tables_[static_cast<std::size_t>(at)]
+                               .holder_of_block[static_cast<std::size_t>(block)];
+        h.dict_node = w;
+        h.phase = Phase::kToDict;
+        const RtzAddress* w_addr = lookup_r3(at, w);
+        if (w_addr == nullptr) {
+          throw std::logic_error("stretch6: holder missing from table (1)");
+        }
+        step = substrate_->start_leg(at, *w_addr, h.leg);
+      }
+      if (step.arrived) return forward(at, h);  // leg degenerate: re-dispatch
+      return Decision::forward_on(step.port);
+    }
+    case Mode::kOutbound: {
+      if (at_name == h.dest) return Decision::deliver_here();
+      if (h.phase == Phase::kToDict && at_name == h.dict_node) {
+        // Fig. 3: at the dictionary node, learn R3(t).  Either head straight
+        // to t, or (Section 2.2's remarked variant) carry R3(t) back to the
+        // source first.
+        h.dict_node = kNoNode;
+        const RtzAddress* t_addr = lookup_r3(at, h.dest);
+        if (t_addr == nullptr) {
+          throw std::logic_error("stretch6: dictionary node lacks R3(dest)");
+        }
+        LegStep step;
+        if (detour_via_source_) {
+          h.learned_dest = *t_addr;
+          h.phase = Phase::kBackToSource;
+          step = substrate_->start_leg(at, h.src_addr, h.leg);
+        } else {
+          h.phase = Phase::kToDest;
+          step = substrate_->start_leg(at, *t_addr, h.leg);
+        }
+        if (step.arrived) return forward(at, h);  // w == t or w == s
+        return Decision::forward_on(step.port);
+      }
+      LegStep step = substrate_->step_leg(at, h.leg);
+      if (!step.arrived) return Decision::forward_on(step.port);
+      if (h.phase == Phase::kBackToSource) {
+        // Detour landed back at the source carrying R3(t): final leg.
+        h.phase = Phase::kToDest;
+        LegStep next = substrate_->start_leg(at, h.learned_dest, h.leg);
+        if (next.arrived) return Decision::deliver_here();
+        return Decision::forward_on(next.port);
+      }
+      return forward(at, h);  // arrived at w: re-dispatch
+    }
+    case Mode::kReturn: {
+      // Fig. 3, ReturnPacket branch: ack routes to SrcLabel.
+      h.mode = Mode::kInbound;
+      if (at_name == h.src) return Decision::deliver_here();
+      LegStep step = substrate_->start_leg(at, h.src_addr, h.leg);
+      if (step.arrived) return Decision::deliver_here();
+      return Decision::forward_on(step.port);
+    }
+    case Mode::kInbound: {
+      // The packet may pass *through* the source mid-leg (e.g. while
+      // climbing toward a center); only a leg arrival is delivery.
+      LegStep step = substrate_->step_leg(at, h.leg);
+      if (step.arrived) {
+        if (at_name != h.src) {
+          throw std::logic_error("stretch6: inbound leg arrived off-source");
+        }
+        return Decision::deliver_here();
+      }
+      return Decision::forward_on(step.port);
+    }
+  }
+  throw std::logic_error("stretch6: bad mode");
+}
+
+std::int64_t Stretch6Scheme::header_bits(const Header& h) const {
+  std::int64_t bits = 2 /* mode */ + 2 /* phase */ +
+                      3 * bits_for(node_space_) /* dest, src, dict_node */ +
+                      substrate_->address_bits(h.src_addr) +
+                      substrate_->leg_header_bits(h.leg);
+  if (detour_via_source_) bits += substrate_->address_bits(h.learned_dest);
+  return bits;
+}
+
+TableStats Stretch6Scheme::table_stats() const {
+  const auto n = static_cast<NodeId>(tables_.size());
+  TableStats stats = substrate_->table_stats();  // item (4): Tab3(u)
+  const std::int64_t id_bits = bits_for(node_space_);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& tab = tables_[static_cast<std::size_t>(v)];
+    std::int64_t entries = 0, bits = 0;
+    for (const auto& [name, addr] : tab.r3_of) {
+      (void)name;
+      ++entries;
+      bits += id_bits + substrate_->address_bits(addr);
+    }
+    entries += static_cast<std::int64_t>(tab.holder_of_block.size());
+    bits += static_cast<std::int64_t>(tab.holder_of_block.size()) *
+            (id_bits + id_bits);
+    stats.add(v, entries, bits);
+  }
+  return stats;
+}
+
+}  // namespace rtr

@@ -1,0 +1,116 @@
+// The stretch-6 TINN compact roundtrip routing scheme (paper Section 2,
+// pseudocode Fig. 3).
+//
+// Ingredients, exactly as the paper assembles them:
+//   * N(u): the first ceil(sqrt n) nodes of Init_u (roundtrip order).
+//   * Address space split into ceil(sqrt n)-sized *name* blocks B_i.
+//   * Lemma 1 block distribution: every node stores O(log n) blocks; every
+//     neighborhood contains a holder of every block.
+//   * Lemma 2 substrate (Rtz3Scheme) providing addresses R3(x) and legs with
+//     p(u,v) <= r(u,v) + d(u,v).
+//
+// Per-node storage (Section 2.1): (1) (v, R3(v)) for v in N(u); (2) a holder
+// t in N(u) for every block; (3) the full dictionary of every held block;
+// (4) the substrate's Tab3(u).  All O~(sqrt n).
+//
+// Routing from s to t: deliver locally if s = t; use R3(t) directly when
+// stored (t in N(s) or t's block held at s); otherwise hop to the
+// neighborhood's holder w of t's block, learn R3(t) there, continue to t.
+// The acknowledgment returns via R3(s), written into the header at s.
+// Lemma 3: total roundtrip <= 6 r(s,t).
+#ifndef RTR_CORE_STRETCH6_H
+#define RTR_CORE_STRETCH6_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/names.h"
+#include "dict/alphabet.h"
+#include "dict/block_assignment.h"
+#include "net/simulator.h"
+#include "rtz/rtz3_scheme.h"
+
+namespace rtr {
+
+class Stretch6Scheme {
+ public:
+  struct Options {
+    Rtz3Scheme::Options substrate;
+    BlockAssignmentOptions blocks;
+    /// Section 2.2's remarked variant: return to the source after the
+    /// dictionary lookup before heading to the destination ("slightly
+    /// simpler to analyze ... same worst-case stretch. However it can
+    /// result in longer paths").  Off by default, measured by the
+    /// ablation bench.
+    bool detour_via_source = false;
+  };
+
+  /// Builds tables for the given graph/naming.  The substrate is built
+  /// internally; `metric` must be the graph's roundtrip metric.
+  Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
+                 const NameAssignment& names, Rng& rng, Options options);
+  Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
+                 const NameAssignment& names, Rng& rng)
+      : Stretch6Scheme(g, metric, names, rng, Options{}) {}
+
+  enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
+
+  /// Outbound sub-phase (only kViaSource is specific to the detour variant).
+  enum class Phase : std::uint8_t { kToDest, kToDict, kBackToSource };
+
+  struct Header {
+    Mode mode = Mode::kNew;
+    NodeName dest = kNoNode;  // the ONLY field present at injection (TINN)
+    NodeName src = kNoNode;
+    RtzAddress src_addr;       // written at the source, used by the ack
+    NodeName dict_node = kNoNode;  // w, when a remote dictionary lookup runs
+    Phase phase = Phase::kToDest;
+    RtzAddress learned_dest;   // detour variant: R3(t) learned at w
+    LegHeader leg;             // current substrate leg
+  };
+
+  [[nodiscard]] Header make_packet(NodeName dest) const {
+    Header h;
+    h.dest = dest;
+    return h;
+  }
+  void prepare_return(Header& h) const { h.mode = Mode::kReturn; }
+  [[nodiscard]] Decision forward(NodeId at, Header& h) const;
+  [[nodiscard]] std::int64_t header_bits(const Header& h) const;
+
+  [[nodiscard]] TableStats table_stats() const;
+  [[nodiscard]] std::string name() const { return "stretch6(TINN)"; }
+
+  [[nodiscard]] const Rtz3Scheme& substrate() const { return *substrate_; }
+  [[nodiscard]] const BlockAssignment& block_assignment() const {
+    return assignment_;
+  }
+  /// Neighborhood size ceil(sqrt n) actually used.
+  [[nodiscard]] NodeId neighborhood_size() const { return hood_size_; }
+
+ private:
+  struct NodeTables {
+    // (1) + (3): name -> R3 for neighborhood members and held-block entries.
+    std::unordered_map<NodeName, RtzAddress> r3_of;
+    // (2): block id -> holder name within N(u).
+    std::vector<NodeName> holder_of_block;
+  };
+
+  /// Local lookup of R3(t) in (1)/(3); nullptr if absent.
+  [[nodiscard]] const RtzAddress* lookup_r3(NodeId at, NodeName t) const;
+
+  NameAssignment names_;
+  Alphabet alphabet_;
+  NodeId hood_size_;
+  std::shared_ptr<const Rtz3Scheme> substrate_;
+  bool detour_via_source_ = false;
+  BlockAssignment assignment_;
+  std::vector<NodeTables> tables_;
+  std::int64_t node_space_ = 0;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_CORE_STRETCH6_H

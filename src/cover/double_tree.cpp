@@ -1,0 +1,39 @@
+#include "cover/double_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtr {
+
+namespace {
+
+std::vector<char> make_mask(NodeId n, const std::vector<NodeId>& members) {
+  std::vector<char> mask(static_cast<std::size_t>(n), 0);
+  for (NodeId v : members) mask[static_cast<std::size_t>(v)] = 1;
+  return mask;
+}
+
+}  // namespace
+
+DoubleTree::DoubleTree(const Digraph& g, const Digraph& reversed, NodeId center,
+                       std::vector<NodeId> members)
+    : center_(center),
+      members_(std::move(members)),
+      member_mask_(make_mask(g.node_count(), members_)),
+      out_tree_(dijkstra_out_tree_within(g, center, member_mask_)),
+      in_tree_(dijkstra_in_tree_within(g, reversed, center, member_mask_)),
+      out_router_(out_tree_) {
+  if (!contains(center_)) {
+    throw std::invalid_argument("DoubleTree: center not among members");
+  }
+  for (NodeId v : members_) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (out_tree_.dist[idx] >= kInfDist || in_tree_.dist[idx] >= kInfDist) {
+      throw std::invalid_argument(
+          "DoubleTree: induced subgraph is not strongly connected");
+    }
+    rt_height_ = std::max(rt_height_, out_tree_.dist[idx] + in_tree_.dist[idx]);
+  }
+}
+
+}  // namespace rtr

@@ -1,0 +1,43 @@
+#include "cover/hierarchy.h"
+
+#include <stdexcept>
+
+namespace rtr {
+
+CoverHierarchy::CoverHierarchy(const Digraph& g, const Digraph& reversed,
+                               const RoundtripMetric& metric, int k)
+    : k_(k) {
+  if (k <= 1) throw std::invalid_argument("CoverHierarchy: k > 1");
+  const Dist diameter = metric.rt_diameter();
+  for (Dist radius = 2; ; radius *= 2) {
+    SparseCoverResult cover = build_sparse_cover(metric, k, radius);
+    HierarchyLevel level;
+    level.radius = radius;
+    level.home_of = cover.home_of;
+    level.trees.reserve(cover.clusters.size());
+    for (auto& cluster : cover.clusters) {
+      level.trees.emplace_back(g, reversed, cluster.center,
+                               std::move(cluster.members));
+    }
+    level.trees_of.assign(static_cast<std::size_t>(g.node_count()), {});
+    for (std::size_t t = 0; t < level.trees.size(); ++t) {
+      for (NodeId v : level.trees[t].members()) {
+        level.trees_of[static_cast<std::size_t>(v)].push_back(
+            static_cast<std::int32_t>(t));
+      }
+    }
+    levels_.push_back(std::move(level));
+    if (radius >= diameter) break;
+  }
+}
+
+std::optional<TreeRef> CoverHierarchy::lowest_home_containing(NodeId v,
+                                                              NodeId u) const {
+  for (std::int32_t i = 0; i < level_count(); ++i) {
+    TreeRef ref = home(v, i);
+    if (tree(ref).contains(u)) return ref;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtr

@@ -1,0 +1,61 @@
+#include "cover/sparse_cover.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtr {
+
+std::vector<std::int32_t> SparseCoverResult::membership_counts(NodeId n) const {
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(n), 0);
+  for (const auto& c : clusters) {
+    for (NodeId v : c.members) ++counts[static_cast<std::size_t>(v)];
+  }
+  return counts;
+}
+
+SparseCoverResult build_sparse_cover(const RoundtripMetric& metric, int k,
+                                     Dist d) {
+  if (k <= 1) throw std::invalid_argument("build_sparse_cover: k > 1");
+  if (d < 0) throw std::invalid_argument("build_sparse_cover: d >= 0");
+  const NodeId n = metric.node_count();
+
+  SparseCoverResult result;
+  result.d = d;
+  result.k = k;
+  result.home_of.assign(static_cast<std::size_t>(n), -1);
+
+  // R <- { N-hat^d(v) | v in V }, seed of ball v is v; ball index == v.
+  std::vector<SeedCluster> seeds(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    seeds[static_cast<std::size_t>(v)].seed = v;
+    seeds[static_cast<std::size_t>(v)].members = metric.ball(v, d);
+  }
+
+  std::vector<char> active(static_cast<std::size_t>(n), 1);
+  std::int64_t remaining = n;
+  while (remaining > 0) {
+    ++result.rounds;
+    PartialCoverResult pass = partial_cover(seeds, active, n, k);
+    if (pass.covered.empty()) {
+      throw std::logic_error("build_sparse_cover: round made no progress");
+    }
+    const auto base = static_cast<std::int32_t>(result.clusters.size());
+    for (std::size_t i = 0; i < pass.merged.size(); ++i) {
+      for (std::int32_t seed_idx : pass.merged[i].absorbed) {
+        // The seed ball of node `seed_idx` is fully inside this cluster.
+        result.home_of[static_cast<std::size_t>(seed_idx)] =
+            base + static_cast<std::int32_t>(i);
+      }
+      result.clusters.push_back(std::move(pass.merged[i]));
+    }
+    // R <- R \ DR: only covered seeds leave the collection; seeds merely
+    // consumed (Z \ Y) stay for later rounds, exactly as Fig. 8 prescribes.
+    for (std::int32_t c : pass.covered) {
+      active[static_cast<std::size_t>(c)] = 0;
+      --remaining;
+    }
+  }
+  return result;
+}
+
+}  // namespace rtr

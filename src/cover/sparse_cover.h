@@ -1,0 +1,44 @@
+// Algorithm Cover (paper Fig. 8) and the Theorem 10 guarantees.
+//
+// Seeds R = { N-hat^d(v) : v in V } (closed roundtrip balls of radius d);
+// repeatedly runs PartialCover, removing covered seeds, until R is empty.
+// Lemma 12 bounds the number of rounds by 2k n^{1/k}, which also bounds how
+// many clusters any vertex appears in (Theorem 10(3)) because each round's
+// output clusters are pairwise disjoint (Lemma 11(2)).
+//
+// Output guarantees (all verified by tests/bench):
+//   (1) every node v has a home cluster fully containing N-hat^d(v),
+//   (2) the cluster radius from its center, measured *inside the induced
+//       subgraph*, is at most (2k-1) d,
+//   (3) every node appears in at most 2k n^{1/k} clusters.
+#ifndef RTR_COVER_SPARSE_COVER_H
+#define RTR_COVER_SPARSE_COVER_H
+
+#include <vector>
+
+#include "cover/partial_cover.h"
+#include "rt/metric.h"
+
+namespace rtr {
+
+struct SparseCoverResult {
+  Dist d = 0;
+  int k = 0;
+  std::vector<MergedCluster> clusters;
+  /// Per node: index into `clusters` of a cluster containing N-hat^d(v)
+  /// (the merged cluster that absorbed v's seed ball).
+  std::vector<std::int32_t> home_of;
+  /// Number of PartialCover rounds Cover() ran (Lemma 12's quantity).
+  int rounds = 0;
+
+  /// How many clusters contain node v (Theorem 10(3)'s quantity).
+  [[nodiscard]] std::vector<std::int32_t> membership_counts(NodeId n) const;
+};
+
+/// Builds the Theorem 10 cover for the roundtrip metric at radius d.
+[[nodiscard]] SparseCoverResult build_sparse_cover(const RoundtripMetric& metric,
+                                                   int k, Dist d);
+
+}  // namespace rtr
+
+#endif  // RTR_COVER_SPARSE_COVER_H

@@ -1,0 +1,48 @@
+#include "graph/apsp.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+
+namespace rtr {
+
+DistMatrix::DistMatrix(NodeId n, Dist fill)
+    : n_(n),
+      data_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), fill) {}
+
+DistMatrix all_pairs_shortest_paths(const Digraph& g) {
+  const NodeId n = g.node_count();
+  DistMatrix m(n, kInfDist);
+  for (NodeId src = 0; src < n; ++src) {
+    auto dist = dijkstra_distances(g, src);
+    for (NodeId v = 0; v < n; ++v) {
+      m.set(src, v, dist[static_cast<std::size_t>(v)]);
+    }
+  }
+  return m;
+}
+
+DistMatrix floyd_warshall(const Digraph& g) {
+  const NodeId n = g.node_count();
+  DistMatrix m(n, kInfDist);
+  for (NodeId v = 0; v < n; ++v) m.set(v, v, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Edge& e : g.out_edges(u)) {
+      m.set(u, e.to, std::min(m.at(u, e.to), e.weight));
+    }
+  }
+  for (NodeId k = 0; k < n; ++k) {
+    for (NodeId i = 0; i < n; ++i) {
+      const Dist dik = m.at(i, k);
+      if (dik >= kInfDist) continue;
+      for (NodeId j = 0; j < n; ++j) {
+        const Dist dkj = m.at(k, j);
+        if (dkj >= kInfDist) continue;
+        if (dik + dkj < m.at(i, j)) m.set(i, j, dik + dkj);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace rtr

@@ -1,0 +1,48 @@
+// All-pairs shortest path distances.
+//
+// The roundtrip metric r(u,v) = d(u,v) + d(v,u) (Section 1.1) is derived from
+// this matrix.  Preprocessing in the paper is centralized (Section 6 leaves
+// distributed construction open), so a full APSP pass is the intended
+// substrate: n Dijkstra runs, O(n m log n) total.
+#ifndef RTR_GRAPH_APSP_H
+#define RTR_GRAPH_APSP_H
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace rtr {
+
+/// Dense n x n distance matrix.
+class DistMatrix {
+ public:
+  DistMatrix() = default;
+  DistMatrix(NodeId n, Dist fill);
+
+  [[nodiscard]] NodeId size() const { return n_; }
+
+  [[nodiscard]] Dist at(NodeId u, NodeId v) const {
+    return data_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(v)];
+  }
+  void set(NodeId u, NodeId v, Dist d) {
+    data_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(v)] = d;
+  }
+
+ private:
+  NodeId n_ = 0;
+  std::vector<Dist> data_;
+};
+
+/// APSP via n Dijkstra runs.  Requires strong connectivity is NOT assumed
+/// here; unreachable pairs get kInfDist (callers that need strong
+/// connectivity validate separately).
+[[nodiscard]] DistMatrix all_pairs_shortest_paths(const Digraph& g);
+
+/// APSP via Floyd-Warshall; O(n^3).  Test oracle for the Dijkstra-based path.
+[[nodiscard]] DistMatrix floyd_warshall(const Digraph& g);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_APSP_H

@@ -1,0 +1,82 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtr {
+
+Digraph::Digraph(NodeId n) : out_(static_cast<std::size_t>(n)) {
+  if (n < 0) throw std::invalid_argument("Digraph: negative node count");
+}
+
+void Digraph::add_edge(NodeId u, NodeId v, Weight w) {
+  if (u < 0 || u >= node_count() || v < 0 || v >= node_count()) {
+    throw std::out_of_range("Digraph::add_edge: node id out of range");
+  }
+  if (w < 1) throw std::invalid_argument("Digraph::add_edge: weight must be >= 1");
+  if (u == v) throw std::invalid_argument("Digraph::add_edge: self loop");
+  auto& edges = out_[static_cast<std::size_t>(u)];
+  edges.push_back(Edge{v, w, static_cast<Port>(edges.size())});
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  for (const Edge& e : out_edges(u)) {
+    if (e.to == v) return true;
+  }
+  return false;
+}
+
+const Edge* Digraph::edge_by_port(NodeId u, Port p) const {
+  for (const Edge& e : out_edges(u)) {
+    if (e.port == p) return &e;
+  }
+  return nullptr;
+}
+
+Port Digraph::port_of_edge(NodeId u, NodeId v) const {
+  for (const Edge& e : out_edges(u)) {
+    if (e.to == v) return e.port;
+  }
+  return kNoPort;
+}
+
+std::int64_t Digraph::port_space() const {
+  // 4n gives the adversary slack to choose sparse, misleading numbers while
+  // staying within the O(n) namespace of Section 1.1.3.
+  return 4 * std::max<std::int64_t>(1, node_count());
+}
+
+void Digraph::assign_adversarial_ports(Rng& rng) {
+  const std::int64_t space = port_space();
+  for (auto& edges : out_) {
+    // Draw distinct random port numbers for this node's out-edges.
+    auto degree = static_cast<std::int32_t>(edges.size());
+    if (degree == 0) continue;
+    auto labels = rng.sample_without_replacement(
+        static_cast<std::int32_t>(space), degree);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      edges[i].port = static_cast<Port>(labels[i]);
+    }
+  }
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(node_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const Edge& e : out_edges(u)) {
+      rev.add_edge(e.to, u, e.weight);
+    }
+  }
+  return rev;
+}
+
+Weight Digraph::max_weight() const {
+  Weight mx = 1;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const Edge& e : out_edges(u)) mx = std::max(mx, e.weight);
+  }
+  return mx;
+}
+
+}  // namespace rtr

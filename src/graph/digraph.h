@@ -1,0 +1,84 @@
+// Directed weighted graph with the paper's fixed-port model (Section 1.1.3).
+//
+// Every outgoing edge of a node carries a *port* number.  In the fixed-port
+// model these numbers are assigned by an adversary from an O(n)-sized
+// namespace with no global consistency: the port of (u,v) at u bears no
+// relation to the port of (v,u) at v, and the same port number at two
+// different nodes can lead to unrelated neighbours.  Routing schemes output
+// ports, never neighbour ids, and must therefore store ports in their tables.
+#ifndef RTR_GRAPH_DIGRAPH_H
+#define RTR_GRAPH_DIGRAPH_H
+
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace rtr {
+
+/// One directed edge as seen from its tail node.
+struct Edge {
+  NodeId to = kNoNode;
+  Weight weight = 0;
+  Port port = kNoPort;
+};
+
+/// A directed graph with positive integer edge weights and per-node ports.
+///
+/// Invariants: weights are >= 1; port numbers are unique per tail node; node
+/// ids are dense in [0, node_count()).
+class Digraph {
+ public:
+  explicit Digraph(NodeId n);
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(out_.size());
+  }
+  [[nodiscard]] std::int64_t edge_count() const { return edge_count_; }
+
+  /// Adds edge u -> v with the given weight (>= 1).  Ports are assigned
+  /// sequentially per tail node (0, 1, 2, ...); call
+  /// assign_adversarial_ports() afterwards to scramble them.
+  void add_edge(NodeId u, NodeId v, Weight w);
+
+  [[nodiscard]] std::span<const Edge> out_edges(NodeId u) const {
+    return out_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] NodeId out_degree(NodeId u) const {
+    return static_cast<NodeId>(out_[static_cast<std::size_t>(u)].size());
+  }
+
+  /// True if u has an edge to v.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Resolves a port at node u to the edge it names, or nullptr if u has no
+  /// such port.  This is the "hardware" operation a router performs when the
+  /// forwarding function returns a port.
+  [[nodiscard]] const Edge* edge_by_port(NodeId u, Port p) const;
+
+  /// The port of edge u -> v, or kNoPort.  Preprocessing-only helper (a
+  /// distributed node knows its own ports); never used during forwarding.
+  [[nodiscard]] Port port_of_edge(NodeId u, NodeId v) const;
+
+  /// Re-labels all ports with adversarial (random, sparse, per-node unique)
+  /// numbers drawn from [0, port_space()).  Models Section 1.1.3.
+  void assign_adversarial_ports(Rng& rng);
+
+  /// Upper bound (exclusive) on port numbers; O(n) as the model requires.
+  [[nodiscard]] std::int64_t port_space() const;
+
+  /// The graph with every edge reversed (weights preserved, fresh ports).
+  [[nodiscard]] Digraph reversed() const;
+
+  /// Largest edge weight (1 if there are no edges).
+  [[nodiscard]] Weight max_weight() const;
+
+ private:
+  std::vector<std::vector<Edge>> out_;
+  std::int64_t edge_count_ = 0;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_DIGRAPH_H

@@ -1,0 +1,125 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace rtr {
+
+namespace {
+
+using QueueItem = std::pair<Dist, NodeId>;  // (distance, node), min-heap
+
+// Core Dijkstra over the subgraph induced by `mask` (nullptr = whole graph).
+// Fills dist/parent/parent_port relative to `g` (so for in-trees the caller
+// passes the reversed graph and reinterprets parents as next hops).
+void run(const Digraph& g, NodeId src, const std::vector<char>* mask,
+         std::vector<Dist>& dist, std::vector<NodeId>& parent,
+         std::vector<Port>& parent_port) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  dist.assign(n, kInfDist);
+  parent.assign(n, kNoNode);
+  parent_port.assign(n, kNoPort);
+  if (mask != nullptr && !(*mask)[static_cast<std::size_t>(src)]) {
+    throw std::invalid_argument("dijkstra: source not in member mask");
+  }
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0;
+  pq.emplace(0, src);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const Edge& e : g.out_edges(u)) {
+      if (mask != nullptr && !(*mask)[static_cast<std::size_t>(e.to)]) continue;
+      Dist nd = d + e.weight;
+      auto to = static_cast<std::size_t>(e.to);
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        parent[to] = u;
+        parent_port[to] = e.port;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Dist> dijkstra_distances(const Digraph& g, NodeId src) {
+  std::vector<Dist> dist;
+  std::vector<NodeId> parent;
+  std::vector<Port> port;
+  run(g, src, nullptr, dist, parent, port);
+  return dist;
+}
+
+OutTree dijkstra_out_tree(const Digraph& g, NodeId root) {
+  OutTree t;
+  t.root = root;
+  run(g, root, nullptr, t.dist, t.parent, t.parent_port);
+  return t;
+}
+
+OutTree dijkstra_out_tree_within(const Digraph& g, NodeId root,
+                                 const std::vector<char>& member_mask) {
+  OutTree t;
+  t.root = root;
+  run(g, root, &member_mask, t.dist, t.parent, t.parent_port);
+  return t;
+}
+
+namespace {
+
+// Builds an InTree from a Dijkstra run on the reversed graph.  The reversed
+// run's parent[v] is the next hop of v toward the root in the original graph;
+// the port must be looked up in the *original* graph because ports are
+// per-tail-node and the reversal has fresh ports.
+InTree in_tree_from_reversed_run(const Digraph& g, NodeId root,
+                                 std::vector<Dist> dist,
+                                 std::vector<NodeId> parent) {
+  InTree t;
+  t.root = root;
+  t.dist = std::move(dist);
+  t.next = std::move(parent);
+  t.next_port.assign(t.next.size(), kNoPort);
+  for (std::size_t v = 0; v < t.next.size(); ++v) {
+    if (t.next[v] != kNoNode) {
+      // Any minimum-weight parallel edge v -> next[v] is fine; Digraph
+      // forbids parallel edges so the lookup is unambiguous.
+      t.next_port[v] = g.port_of_edge(static_cast<NodeId>(v), t.next[v]);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+InTree dijkstra_in_tree(const Digraph& g, const Digraph& reversed, NodeId root) {
+  std::vector<Dist> dist;
+  std::vector<NodeId> parent;
+  std::vector<Port> port_unused;
+  run(reversed, root, nullptr, dist, parent, port_unused);
+  return in_tree_from_reversed_run(g, root, std::move(dist), std::move(parent));
+}
+
+InTree dijkstra_in_tree_within(const Digraph& g, const Digraph& reversed,
+                               NodeId root, const std::vector<char>& member_mask) {
+  std::vector<Dist> dist;
+  std::vector<NodeId> parent;
+  std::vector<Port> port_unused;
+  run(reversed, root, &member_mask, dist, parent, port_unused);
+  return in_tree_from_reversed_run(g, root, std::move(dist), std::move(parent));
+}
+
+std::optional<std::vector<NodeId>> out_tree_path(const OutTree& t, NodeId v) {
+  if (t.dist[static_cast<std::size_t>(v)] >= kInfDist) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId x = v; x != kNoNode; x = t.parent[static_cast<std::size_t>(x)]) {
+    path.push_back(x);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace rtr

@@ -1,0 +1,68 @@
+// Single-source shortest paths (Dijkstra) with the tree shapes the routing
+// schemes consume:
+//
+//  * OutTree  -- shortest paths *from* the root: parent pointers and, for
+//    each tree edge parent->child, the child and the port at the parent.
+//    This is the paper's OutTree(C) (Section 3.2).
+//  * InTree   -- shortest paths *to* the root: for each node, the next hop
+//    (and its port) on a shortest path toward the root.  This is InTree(C).
+//
+// Restricted variants compute the same trees inside the subgraph induced by a
+// member mask, which Section 4's cluster double-trees require.
+#ifndef RTR_GRAPH_DIJKSTRA_H
+#define RTR_GRAPH_DIJKSTRA_H
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace rtr {
+
+/// Shortest-path out-tree from a root.  parent[root] == kNoNode.
+/// Unreachable nodes have dist == kInfDist and parent == kNoNode.
+struct OutTree {
+  NodeId root = kNoNode;
+  std::vector<Dist> dist;          // d(root, v)
+  std::vector<NodeId> parent;      // predecessor of v on the root->v path
+  std::vector<Port> parent_port;   // port at parent[v] leading to v
+};
+
+/// Shortest-path in-tree toward a root.  next[root] == kNoNode.
+/// Unreachable nodes have dist == kInfDist and next == kNoNode.
+struct InTree {
+  NodeId root = kNoNode;
+  std::vector<Dist> dist;       // d(v, root)
+  std::vector<NodeId> next;     // successor of v on the v->root path
+  std::vector<Port> next_port;  // port at v leading to next[v]
+};
+
+/// Distances from src to every node.
+[[nodiscard]] std::vector<Dist> dijkstra_distances(const Digraph& g, NodeId src);
+
+/// Out-tree of shortest paths from root over the whole graph.
+[[nodiscard]] OutTree dijkstra_out_tree(const Digraph& g, NodeId root);
+
+/// In-tree of shortest paths to root over the whole graph.  `reversed` must
+/// be g.reversed(); passing it explicitly lets callers amortize the reversal.
+[[nodiscard]] InTree dijkstra_in_tree(const Digraph& g, const Digraph& reversed,
+                                      NodeId root);
+
+/// Out-tree restricted to the subgraph induced by member_mask (root must be a
+/// member; non-members keep dist == kInfDist).
+[[nodiscard]] OutTree dijkstra_out_tree_within(const Digraph& g, NodeId root,
+                                               const std::vector<char>& member_mask);
+
+/// In-tree restricted to the induced subgraph.
+[[nodiscard]] InTree dijkstra_in_tree_within(const Digraph& g,
+                                             const Digraph& reversed, NodeId root,
+                                             const std::vector<char>& member_mask);
+
+/// Reconstructs the root->v path of an out-tree (node sequence including both
+/// endpoints).  Returns std::nullopt if v is unreachable.
+[[nodiscard]] std::optional<std::vector<NodeId>> out_tree_path(const OutTree& t,
+                                                               NodeId v);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_DIJKSTRA_H

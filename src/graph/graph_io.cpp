@@ -1,0 +1,63 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rtr {
+
+void write_edge_list(std::ostream& os, const Digraph& g) {
+  os << "n " << g.node_count() << "\n";
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const Edge& e : g.out_edges(u)) {
+      os << u << " " << e.to << " " << e.weight << "\n";
+    }
+  }
+}
+
+std::string to_edge_list(const Digraph& g) {
+  std::ostringstream os;
+  write_edge_list(os, g);
+  return os.str();
+}
+
+Digraph read_edge_list(std::istream& is) {
+  std::string line;
+  NodeId n = -1;
+  Digraph g(0);
+  bool have_header = false;
+  std::int64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    if (!have_header) {
+      std::string tag;
+      if (!(ls >> tag)) continue;  // blank line
+      if (tag != "n" || !(ls >> n) || n < 0) {
+        throw std::runtime_error("edge list: expected 'n <count>' header at line " +
+                                 std::to_string(line_no));
+      }
+      g = Digraph(n);
+      have_header = true;
+      continue;
+    }
+    NodeId u = 0, v = 0;
+    Weight w = 0;
+    if (!(ls >> u)) continue;  // blank line
+    if (!(ls >> v >> w)) {
+      throw std::runtime_error("edge list: malformed edge at line " +
+                               std::to_string(line_no));
+    }
+    g.add_edge(u, v, w);
+  }
+  if (!have_header) throw std::runtime_error("edge list: missing header");
+  return g;
+}
+
+Digraph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+}  // namespace rtr

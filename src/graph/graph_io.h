@@ -1,0 +1,28 @@
+// Plain-text edge-list serialization, so experiments can be dumped and
+// replayed, and example programs can ship small literal graphs.
+//
+// Format:
+//   line 1:        "n <node_count>"
+//   following:     "<u> <v> <weight>" one edge per line
+// Comments start with '#'.  Ports are not serialized: they are the
+// adversary's choice and are re-assigned on load.
+#ifndef RTR_GRAPH_GRAPH_IO_H
+#define RTR_GRAPH_GRAPH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace rtr {
+
+void write_edge_list(std::ostream& os, const Digraph& g);
+[[nodiscard]] std::string to_edge_list(const Digraph& g);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Digraph read_edge_list(std::istream& is);
+[[nodiscard]] Digraph from_edge_list(const std::string& text);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_GRAPH_IO_H

@@ -1,0 +1,121 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <stack>
+
+namespace rtr {
+
+namespace {
+
+// Iterative Tarjan SCC.  An explicit stack frame holds (node, next edge
+// index) so deep graphs cannot overflow the call stack.
+struct Frame {
+  NodeId node;
+  std::size_t next_edge;
+};
+
+}  // namespace
+
+std::vector<std::int32_t> strongly_connected_components(const Digraph& g) {
+  const NodeId n = g.node_count();
+  constexpr std::int32_t kUnvisited = -1;
+  std::vector<std::int32_t> index(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<std::int32_t> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<char> on_stack(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> component(static_cast<std::size_t>(n), kUnvisited);
+  std::stack<NodeId> tarjan_stack;
+  std::int32_t next_index = 0;
+  std::int32_t next_component = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    std::stack<Frame> frames;
+    frames.push(Frame{root, 0});
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    tarjan_stack.push(root);
+    on_stack[static_cast<std::size_t>(root)] = 1;
+
+    while (!frames.empty()) {
+      Frame& f = frames.top();
+      auto edges = g.out_edges(f.node);
+      if (f.next_edge < edges.size()) {
+        NodeId w = edges[f.next_edge++].to;
+        if (index[static_cast<std::size_t>(w)] == kUnvisited) {
+          index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] = next_index++;
+          tarjan_stack.push(w);
+          on_stack[static_cast<std::size_t>(w)] = 1;
+          frames.push(Frame{w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(f.node)] = std::min(
+              lowlink[static_cast<std::size_t>(f.node)], index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        NodeId v = f.node;
+        frames.pop();
+        if (!frames.empty()) {
+          NodeId parent = frames.top().node;
+          lowlink[static_cast<std::size_t>(parent)] = std::min(
+              lowlink[static_cast<std::size_t>(parent)], lowlink[static_cast<std::size_t>(v)]);
+        }
+        if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+          while (true) {
+            NodeId w = tarjan_stack.top();
+            tarjan_stack.pop();
+            on_stack[static_cast<std::size_t>(w)] = 0;
+            component[static_cast<std::size_t>(w)] = next_component;
+            if (w == v) break;
+          }
+          ++next_component;
+        }
+      }
+    }
+  }
+  return component;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.node_count() == 0) return true;
+  auto comp = strongly_connected_components(g);
+  return std::all_of(comp.begin(), comp.end(),
+                     [&](std::int32_t c) { return c == comp[0]; });
+}
+
+bool is_strongly_connected_subgraph(const Digraph& g,
+                                    const std::vector<char>& member_mask) {
+  // BFS forward and backward from the first member, restricted to members.
+  const NodeId n = g.node_count();
+  NodeId start = kNoNode;
+  NodeId member_count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (member_mask[static_cast<std::size_t>(v)]) {
+      ++member_count;
+      if (start == kNoNode) start = v;
+    }
+  }
+  if (member_count <= 1) return true;
+
+  auto reach = [&](const Digraph& graph) {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    std::stack<NodeId> todo;
+    todo.push(start);
+    seen[static_cast<std::size_t>(start)] = 1;
+    NodeId found = 1;
+    while (!todo.empty()) {
+      NodeId u = todo.top();
+      todo.pop();
+      for (const Edge& e : graph.out_edges(u)) {
+        if (!member_mask[static_cast<std::size_t>(e.to)]) continue;
+        if (seen[static_cast<std::size_t>(e.to)]) continue;
+        seen[static_cast<std::size_t>(e.to)] = 1;
+        ++found;
+        todo.push(e.to);
+      }
+    }
+    return found;
+  };
+
+  if (reach(g) != member_count) return false;
+  return reach(g.reversed()) == member_count;
+}
+
+}  // namespace rtr

@@ -1,0 +1,29 @@
+// Strongly connected components (Tarjan) and strong-connectivity checks.
+//
+// Every scheme in the paper requires a strongly connected input (Section 1.1);
+// builders validate with is_strongly_connected() and generators use
+// strongly_connected_components() in tests.
+#ifndef RTR_GRAPH_SCC_H
+#define RTR_GRAPH_SCC_H
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace rtr {
+
+/// Component index per node (components numbered in reverse topological
+/// order, as Tarjan emits them).
+[[nodiscard]] std::vector<std::int32_t> strongly_connected_components(
+    const Digraph& g);
+
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+/// True if the subgraph induced by `members` (given as a node->bool mask) is
+/// strongly connected.  Used to validate cover clusters (Section 4).
+[[nodiscard]] bool is_strongly_connected_subgraph(
+    const Digraph& g, const std::vector<char>& member_mask);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_SCC_H

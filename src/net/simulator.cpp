@@ -1,0 +1,7 @@
+#include "net/simulator.h"
+
+// simulate_roundtrip is a template (schemes are concrete types, no vtables on
+// the forwarding fast path); this translation unit exists to hold future
+// non-template helpers and to give the header a home in the build graph.
+
+namespace rtr {}  // namespace rtr

@@ -1,0 +1,138 @@
+// The packet-walk simulator (Section 1.1.1's execution model).
+//
+// A roundtrip routing scheme must provide:
+//   (1) per-node routing tables (built at preprocessing),
+//   (2) a forwarding function F(table(x), header(P)) evaluated locally,
+//       returning the outgoing port and mutating the writable header.
+//
+// The simulator injects a packet at the source carrying only the destination
+// *name* (TINN model), repeatedly applies the forwarding function, resolves
+// ports against the graph "hardware", and measures: weighted path length out
+// and back, hop counts, and the maximum header size in bits.  A hop budget
+// guards against forwarding loops (a scheme bug, reported as a failure, never
+// an infinite loop).
+//
+// Scheme concept:
+//   using Header = ...;                               // writable header
+//   Header make_packet(NodeName dest) const;          // name-only header
+//   void prepare_return(Header&) const;               // host flips to ReturnPacket
+//   Decision forward(NodeId at, Header&) const;       // local function F
+//   std::int64_t header_bits(const Header&) const;    // encoded size
+#ifndef RTR_NET_SIMULATOR_H
+#define RTR_NET_SIMULATOR_H
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "net/table_stats.h"
+#include "util/types.h"
+
+namespace rtr {
+
+/// What the forwarding function tells the router to do.
+struct Decision {
+  bool deliver = false;  // hand the packet to the host at this node
+  Port port = kNoPort;   // otherwise: forward on this port
+  static Decision deliver_here() { return Decision{true, kNoPort}; }
+  static Decision forward_on(Port p) { return Decision{false, p}; }
+};
+
+/// Outcome of one roundtrip simulation.
+struct RouteResult {
+  bool delivered_out = false;   // packet reached the destination host
+  bool delivered_back = false;  // acknowledgment reached the source host
+  Dist out_length = 0;          // weighted length of the forward route
+  Dist back_length = 0;         // weighted length of the return route
+  std::int64_t out_hops = 0;
+  std::int64_t back_hops = 0;
+  std::int64_t max_header_bits = 0;
+  std::vector<NodeId> out_path;  // filled when SimOptions::record_paths
+  std::vector<NodeId> back_path;
+
+  [[nodiscard]] bool ok() const { return delivered_out && delivered_back; }
+  [[nodiscard]] Dist roundtrip_length() const { return out_length + back_length; }
+};
+
+struct SimOptions {
+  std::int64_t max_hops_per_leg = 0;  // 0: auto (16n + 64)
+  bool record_paths = false;
+};
+
+/// Runs source -> destination -> source.  `src` / `dst` are internal ids (the
+/// injection points); the header the scheme sees carries names only.
+template <typename Scheme>
+RouteResult simulate_roundtrip(const Digraph& g, const Scheme& scheme,
+                               NodeId src, NodeId dst, NodeName dst_name,
+                               SimOptions opt = {}) {
+  RouteResult res;
+  const std::int64_t budget = opt.max_hops_per_leg > 0
+                                  ? opt.max_hops_per_leg
+                                  : 16 * static_cast<std::int64_t>(g.node_count()) + 64;
+  typename Scheme::Header header = scheme.make_packet(dst_name);
+  res.max_header_bits = scheme.header_bits(header);
+
+  auto run_leg = [&](NodeId from, NodeId expect, Dist& length,
+                     std::int64_t& hops, std::vector<NodeId>& path) {
+    NodeId at = from;
+    if (opt.record_paths) path.push_back(at);
+    for (std::int64_t step = 0; step <= budget; ++step) {
+      Decision d = scheme.forward(at, header);
+      res.max_header_bits = std::max(res.max_header_bits, scheme.header_bits(header));
+      if (d.deliver) return at == expect;
+      const Edge* e = g.edge_by_port(at, d.port);
+      if (e == nullptr) {
+        throw std::logic_error("simulate_roundtrip: scheme emitted unknown port");
+      }
+      length += e->weight;
+      ++hops;
+      at = e->to;
+      if (opt.record_paths) path.push_back(at);
+    }
+    return false;  // hop budget exhausted: forwarding loop
+  };
+
+  res.delivered_out = run_leg(src, dst, res.out_length, res.out_hops, res.out_path);
+  if (!res.delivered_out) return res;
+
+  scheme.prepare_return(header);
+  res.max_header_bits = std::max(res.max_header_bits, scheme.header_bits(header));
+  res.delivered_back =
+      run_leg(dst, src, res.back_length, res.back_hops, res.back_path);
+  return res;
+}
+
+/// Type-erased handle so the experiment harness can iterate heterogeneous
+/// schemes uniformly.
+class SchemeHandle {
+ public:
+  template <typename Scheme>
+  SchemeHandle(std::string name, const Digraph& g,
+               std::shared_ptr<const Scheme> scheme)
+      : name_(std::move(name)),
+        stats_(scheme->table_stats()),
+        run_([&g, scheme](NodeId src, NodeId dst, NodeName dst_name,
+                          SimOptions opt) {
+          return simulate_roundtrip(g, *scheme, src, dst, dst_name, opt);
+        }) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const TableStats& table_stats() const { return stats_; }
+  [[nodiscard]] RouteResult roundtrip(NodeId src, NodeId dst, NodeName dst_name,
+                                      SimOptions opt = {}) const {
+    return run_(src, dst, dst_name, opt);
+  }
+
+ private:
+  std::string name_;
+  TableStats stats_;
+  std::function<RouteResult(NodeId, NodeId, NodeName, SimOptions)> run_;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_NET_SIMULATOR_H

@@ -1,0 +1,38 @@
+#include "net/table_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace rtr {
+
+std::int64_t TableStats::max_entries() const {
+  if (entries_.empty()) return 0;
+  return *std::max_element(entries_.begin(), entries_.end());
+}
+
+std::int64_t TableStats::max_bits() const {
+  if (bits_.empty()) return 0;
+  return *std::max_element(bits_.begin(), bits_.end());
+}
+
+double TableStats::mean_entries() const {
+  if (entries_.empty()) return 0;
+  auto total = std::accumulate(entries_.begin(), entries_.end(), std::int64_t{0});
+  return static_cast<double>(total) / static_cast<double>(entries_.size());
+}
+
+double TableStats::mean_bits() const {
+  if (bits_.empty()) return 0;
+  auto total = std::accumulate(bits_.begin(), bits_.end(), std::int64_t{0});
+  return static_cast<double>(total) / static_cast<double>(bits_.size());
+}
+
+std::string TableStats::brief() const {
+  std::ostringstream os;
+  os << "max_entries=" << max_entries() << " mean_entries=" << mean_entries()
+     << " max_KiB=" << static_cast<double>(max_bits()) / 8192.0;
+  return os.str();
+}
+
+}  // namespace rtr

@@ -1,0 +1,55 @@
+// Per-node routing-table size accounting.
+//
+// Every scheme reports, for each node, the number of table entries and an
+// honest encoded size in bits (names cost ceil(log2 n) bits, ports
+// ceil(log2 port_space), tree labels their measured size, ...).  The
+// experiment harness compares these against the paper's O~(sqrt n),
+// O~(n^{1/k}) and O~(k^2 n^{2/k} log RTDiam) bounds.
+#ifndef RTR_NET_TABLE_STATS_H
+#define RTR_NET_TABLE_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rtr {
+
+class TableStats {
+ public:
+  TableStats() = default;
+  explicit TableStats(NodeId n) : entries_(static_cast<std::size_t>(n), 0),
+                                  bits_(static_cast<std::size_t>(n), 0) {}
+
+  void add(NodeId v, std::int64_t entries, std::int64_t bits) {
+    entries_[static_cast<std::size_t>(v)] += entries;
+    bits_[static_cast<std::size_t>(v)] += bits;
+  }
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(entries_.size());
+  }
+  [[nodiscard]] std::int64_t entries(NodeId v) const {
+    return entries_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::int64_t bits(NodeId v) const {
+    return bits_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] std::int64_t max_entries() const;
+  [[nodiscard]] std::int64_t max_bits() const;
+  [[nodiscard]] double mean_entries() const;
+  [[nodiscard]] double mean_bits() const;
+
+  /// "max_entries=... mean_entries=... max_KiB=..." one-liner.
+  [[nodiscard]] std::string brief() const;
+
+ private:
+  std::vector<std::int64_t> entries_;
+  std::vector<std::int64_t> bits_;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_NET_TABLE_STATS_H

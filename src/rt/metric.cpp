@@ -1,0 +1,86 @@
+#include "rt/metric.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/dijkstra.h"
+#include "graph/scc.h"
+
+namespace rtr {
+
+RoundtripMetric::RoundtripMetric(const Digraph& g)
+    : RoundtripMetric(g, all_pairs_shortest_paths(g)) {}
+
+RoundtripMetric::RoundtripMetric(const Digraph& g, DistMatrix apsp)
+    : d_(std::move(apsp)) {
+  if (d_.size() != g.node_count()) {
+    throw std::invalid_argument("RoundtripMetric: matrix size mismatch");
+  }
+  if (!is_strongly_connected(g)) {
+    throw std::invalid_argument(
+        "RoundtripMetric: graph must be strongly connected");
+  }
+}
+
+std::vector<NodeId> RoundtripMetric::init_order(
+    NodeId v, const std::vector<NodeName>& names) const {
+  std::vector<NodeId> order(static_cast<std::size_t>(node_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const Dist ra = r(v, a), rb = r(v, b);
+    if (ra != rb) return ra < rb;
+    const Dist da = d(a, v), db = d(b, v);
+    if (da != db) return da < db;
+    return names[static_cast<std::size_t>(a)] < names[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<NodeId> RoundtripMetric::neighborhood(
+    NodeId v, NodeId size, const std::vector<NodeName>& names) const {
+  auto order = init_order(v, names);
+  order.resize(static_cast<std::size_t>(
+      std::min<NodeId>(size, node_count())));
+  return order;
+}
+
+std::vector<NodeId> RoundtripMetric::ball(NodeId v, Dist radius) const {
+  std::vector<NodeId> members;
+  for (NodeId w = 0; w < node_count(); ++w) {
+    if (r(v, w) <= radius) members.push_back(w);
+  }
+  return members;
+}
+
+Dist RoundtripMetric::rt_radius_from(NodeId v) const {
+  Dist mx = 0;
+  for (NodeId u = 0; u < node_count(); ++u) mx = std::max(mx, r(v, u));
+  return mx;
+}
+
+Dist RoundtripMetric::rt_diameter() const {
+  Dist mx = 0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (NodeId u = v + 1; u < node_count(); ++u) mx = std::max(mx, r(v, u));
+  }
+  return mx;
+}
+
+std::vector<Dist> induced_roundtrip_from(const Digraph& g,
+                                         const Digraph& reversed, NodeId center,
+                                         const std::vector<char>& member_mask) {
+  OutTree out = dijkstra_out_tree_within(g, center, member_mask);
+  // In-distance toward center == out-distance from center in reversed graph.
+  OutTree in = dijkstra_out_tree_within(reversed, center, member_mask);
+  std::vector<Dist> rt(static_cast<std::size_t>(g.node_count()), kInfDist);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto idx = static_cast<std::size_t>(v);
+    if (!member_mask[idx]) continue;
+    if (out.dist[idx] >= kInfDist || in.dist[idx] >= kInfDist) continue;
+    rt[idx] = out.dist[idx] + in.dist[idx];
+  }
+  return rt;
+}
+
+}  // namespace rtr

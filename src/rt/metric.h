@@ -1,0 +1,83 @@
+// The roundtrip distance metric and the Init_v total order (Sections 1.1, 2).
+//
+//   r(u,v) = d(u,v) + d(v,u)   -- the minimum cost of a directed tour from u
+//                                 through v back to u; symmetric, and it
+//                                 satisfies the triangle inequality.
+//
+// For each node v, the paper fixes the total order Init_v over V:
+//   u comes before w  iff  r(v,u) < r(v,w),
+//                     or   r equal and d(u,v) < d(w,v),
+//                     or   both equal and name(u) < name(w).
+// (d(u,v) is the distance *toward* v; ties end at the adversarial name, which
+// keeps the order topology-independent-friendly and total.)
+//
+// Neighborhoods N_i(u) are prefixes of Init_u: the first n^{i/k} nodes
+// (Section 3.1); the stretch-6 scheme's N(u) is the k=2, i=1 case (first
+// ceil(sqrt(n)) nodes).  Init_v starts with v itself since r(v,v) = 0.
+#ifndef RTR_RT_METRIC_H
+#define RTR_RT_METRIC_H
+
+#include <vector>
+
+#include "graph/apsp.h"
+#include "graph/digraph.h"
+
+namespace rtr {
+
+/// Roundtrip metric over a strongly connected digraph, backed by an APSP
+/// matrix.  Also exposes the cover-construction vocabulary of Section 4:
+/// balls, radii, diameter.
+class RoundtripMetric {
+ public:
+  /// Computes APSP internally.  Throws if g is not strongly connected.
+  explicit RoundtripMetric(const Digraph& g);
+
+  /// Takes a precomputed APSP matrix (must match g).
+  RoundtripMetric(const Digraph& g, DistMatrix apsp);
+
+  [[nodiscard]] NodeId node_count() const { return d_.size(); }
+
+  /// One-way distance d(u,v).
+  [[nodiscard]] Dist d(NodeId u, NodeId v) const { return d_.at(u, v); }
+
+  /// Roundtrip distance r(u,v) = d(u,v) + d(v,u).
+  [[nodiscard]] Dist r(NodeId u, NodeId v) const {
+    return d_.at(u, v) + d_.at(v, u);
+  }
+
+  /// The full Init_v order: a permutation of V sorted by (r(v,u), d(u,v),
+  /// name(u)).  names[x] is the TINN name of internal node x.
+  [[nodiscard]] std::vector<NodeId> init_order(
+      NodeId v, const std::vector<NodeName>& names) const;
+
+  /// First `size` nodes of Init_v (the neighborhood ball N(v) / N_i(v)).
+  [[nodiscard]] std::vector<NodeId> neighborhood(
+      NodeId v, NodeId size, const std::vector<NodeName>& names) const;
+
+  /// Closed roundtrip ball N-hat^d(v) = { w : r(v,w) <= d } (Section 4).
+  [[nodiscard]] std::vector<NodeId> ball(NodeId v, Dist radius) const;
+
+  /// max_u r(v,u).
+  [[nodiscard]] Dist rt_radius_from(NodeId v) const;
+
+  /// RTDiam(G) = max over pairs of r(u,v).
+  [[nodiscard]] Dist rt_diameter() const;
+
+  [[nodiscard]] const DistMatrix& distances() const { return d_; }
+
+ private:
+  DistMatrix d_;
+};
+
+/// Induced roundtrip distances within a member set: r restricted to paths
+/// whose every node lies in the member mask.  Used by Section 4's clusters,
+/// whose radii are measured in the induced subgraph.  Returns the induced
+/// roundtrip distance center<->v for every member (kInfDist if not strongly
+/// connected within the mask).
+[[nodiscard]] std::vector<Dist> induced_roundtrip_from(
+    const Digraph& g, const Digraph& reversed, NodeId center,
+    const std::vector<char>& member_mask);
+
+}  // namespace rtr
+
+#endif  // RTR_RT_METRIC_H

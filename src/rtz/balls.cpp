@@ -1,0 +1,61 @@
+#include "rtz/balls.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtr {
+
+std::int64_t BallSystem::max_ball_size() const {
+  std::int64_t mx = 0;
+  for (const auto& b : ball_of) mx = std::max(mx, static_cast<std::int64_t>(b.size()));
+  return mx;
+}
+
+std::int64_t BallSystem::max_cluster_size() const {
+  std::int64_t mx = 0;
+  for (const auto& c : cluster_of) mx = std::max(mx, static_cast<std::int64_t>(c.size()));
+  return mx;
+}
+
+BallSystem build_ball_system(const RoundtripMetric& metric,
+                             std::vector<NodeId> centers) {
+  if (centers.empty()) throw std::invalid_argument("build_ball_system: no centers");
+  const NodeId n = metric.node_count();
+  BallSystem sys;
+  sys.centers = std::move(centers);
+  sys.center_index_of.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < sys.centers.size(); ++i) {
+    sys.center_index_of[static_cast<std::size_t>(sys.centers[i])] =
+        static_cast<std::int32_t>(i);
+  }
+
+  sys.r_to_centers.assign(static_cast<std::size_t>(n), kInfDist);
+  sys.nearest_center.assign(static_cast<std::size_t>(n), -1);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < sys.centers.size(); ++i) {
+      Dist rv = metric.r(v, sys.centers[i]);
+      if (rv < sys.r_to_centers[static_cast<std::size_t>(v)]) {
+        sys.r_to_centers[static_cast<std::size_t>(v)] = rv;
+        sys.nearest_center[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+
+  sys.ball_of.assign(static_cast<std::size_t>(n), {});
+  sys.cluster_of.assign(static_cast<std::size_t>(n), {});
+  for (NodeId v = 0; v < n; ++v) {
+    auto& ball = sys.ball_of[static_cast<std::size_t>(v)];
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == v || metric.r(v, w) < sys.r_to_centers[static_cast<std::size_t>(v)]) {
+        ball.push_back(w);
+      }
+    }
+    for (NodeId w : ball) {
+      sys.cluster_of[static_cast<std::size_t>(w)].push_back(v);
+    }
+  }
+  // ball_of rows are ascending by construction; cluster rows too (v loop).
+  return sys;
+}
+
+}  // namespace rtr

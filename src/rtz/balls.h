@@ -1,0 +1,44 @@
+// Thorup-Zwick-style balls over the roundtrip metric.
+//
+//   r(v, A)    = min over centers a of r(v, a)
+//   Ball(v)    = { w : r(v,w) < r(v,A) } union {v}
+//   Cluster(w) = { v : w in Ball(v) }
+//
+// Key closure property (the reason per-ball double trees are well-defined and
+// cheap; proved here, exploited by Rtz3Scheme, verified in tests):
+//
+//   If w is in Ball(v) and x lies on any shortest v->w or w->v path, then x
+//   is in Ball(v).  Proof: x lies on a directed cycle through v of length
+//   d(v,w)+d(w,v) = r(v,w), so r(v,x) <= r(v,w) < r(v,A).
+//
+// Consequently the subgraph induced by Ball(v) contains shortest v->w and
+// w->v paths for every member w, so in/out trees inside the ball realize the
+// exact global distances.
+#ifndef RTR_RTZ_BALLS_H
+#define RTR_RTZ_BALLS_H
+
+#include <vector>
+
+#include "rt/metric.h"
+
+namespace rtr {
+
+struct BallSystem {
+  std::vector<NodeId> centers;               // sorted
+  std::vector<std::int32_t> center_index_of; // per node: index in centers or -1
+  std::vector<Dist> r_to_centers;            // r(v, A)
+  std::vector<std::int32_t> nearest_center;  // index into centers
+  std::vector<std::vector<NodeId>> ball_of;     // sorted members, v included
+  std::vector<std::vector<NodeId>> cluster_of;  // sorted members, w included
+
+  [[nodiscard]] std::int64_t max_ball_size() const;
+  [[nodiscard]] std::int64_t max_cluster_size() const;
+};
+
+/// Computes balls and clusters for a given center set.
+[[nodiscard]] BallSystem build_ball_system(const RoundtripMetric& metric,
+                                           std::vector<NodeId> centers);
+
+}  // namespace rtr
+
+#endif  // RTR_RTZ_BALLS_H

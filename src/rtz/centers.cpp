@@ -1,0 +1,63 @@
+#include "rtz/centers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtr {
+
+std::vector<NodeId> sample_centers(NodeId n, NodeId size, Rng& rng) {
+  if (size < 1 || size > n) throw std::invalid_argument("sample_centers: bad size");
+  auto sample = rng.sample_without_replacement(n, size);
+  std::vector<NodeId> centers(sample.begin(), sample.end());
+  std::sort(centers.begin(), centers.end());
+  return centers;
+}
+
+std::vector<NodeId> greedy_hitting_set(
+    NodeId n, const std::vector<std::vector<NodeId>>& balls) {
+  std::vector<char> hit(balls.size(), 0);
+  std::size_t remaining = balls.size();
+  // node -> list of ball indices it appears in.
+  std::vector<std::vector<std::int32_t>> appears(static_cast<std::size_t>(n));
+  for (std::size_t b = 0; b < balls.size(); ++b) {
+    for (NodeId v : balls[b]) {
+      appears[static_cast<std::size_t>(v)].push_back(static_cast<std::int32_t>(b));
+    }
+  }
+  std::vector<NodeId> centers;
+  while (remaining > 0) {
+    NodeId best = kNoNode;
+    std::int64_t best_gain = -1;
+    for (NodeId v = 0; v < n; ++v) {
+      std::int64_t gain = 0;
+      for (std::int32_t b : appears[static_cast<std::size_t>(v)]) {
+        if (!hit[static_cast<std::size_t>(b)]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best_gain <= 0) {
+      throw std::logic_error("greedy_hitting_set: empty ball cannot be hit");
+    }
+    centers.push_back(best);
+    for (std::int32_t b : appears[static_cast<std::size_t>(best)]) {
+      if (!hit[static_cast<std::size_t>(b)]) {
+        hit[static_cast<std::size_t>(b)] = 1;
+        --remaining;
+      }
+    }
+  }
+  std::sort(centers.begin(), centers.end());
+  return centers;
+}
+
+NodeId default_center_count(NodeId n) {
+  const double nn = static_cast<double>(std::max<NodeId>(n, 2));
+  auto size = static_cast<NodeId>(std::ceil(std::sqrt(nn * (1.0 + std::log(nn)))));
+  return std::min(size, n);
+}
+
+}  // namespace rtr

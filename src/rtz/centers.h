@@ -1,0 +1,32 @@
+// Center (landmark) selection for the Lemma 2 substrate.
+//
+// The Roditty-Thorup-Zwick scheme samples a center set A and defines per-node
+// balls truncated at the nearest center.  We provide the randomized sampler
+// (with the size the analysis wants, ~ sqrt(n ln n)) plus a deterministic
+// greedy hitting-set construction used as a fallback and as a test oracle:
+// greedily pick the node that hits the most as-yet-unhit neighborhood balls
+// (the classic O(log n)-approximation, giving |A| = O(sqrt(n) log n)).
+#ifndef RTR_RTZ_CENTERS_H
+#define RTR_RTZ_CENTERS_H
+
+#include <vector>
+
+#include "rt/metric.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+/// Uniform random sample of `size` distinct nodes.
+[[nodiscard]] std::vector<NodeId> sample_centers(NodeId n, NodeId size, Rng& rng);
+
+/// Greedy hitting set for the collection of balls (each ball a sorted node
+/// list): returns centers such that every ball contains at least one center.
+[[nodiscard]] std::vector<NodeId> greedy_hitting_set(
+    NodeId n, const std::vector<std::vector<NodeId>>& balls);
+
+/// ceil(sqrt(n * (1 + ln n))), the standard sample size.
+[[nodiscard]] NodeId default_center_count(NodeId n);
+
+}  // namespace rtr
+
+#endif  // RTR_RTZ_CENTERS_H

@@ -1,0 +1,253 @@
+#include "rtz/rtz3_scheme.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rtz/centers.h"
+#include "util/bit_cost.h"
+
+namespace rtr {
+
+namespace {
+
+std::vector<char> mask_of(NodeId n, const std::vector<NodeId>& members) {
+  std::vector<char> mask(static_cast<std::size_t>(n), 0);
+  for (NodeId v : members) mask[static_cast<std::size_t>(v)] = 1;
+  return mask;
+}
+
+}  // namespace
+
+Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
+                       const NameAssignment& names, Rng& rng, Options options)
+    : graph_(g),
+      names_(names),
+      node_space_(g.node_count()),
+      port_space_(g.port_space()) {
+  const NodeId n = g.node_count();
+  const Digraph reversed = g.reversed();
+
+  // --- center selection with size verification -----------------------------
+  const double nn = static_cast<double>(std::max<NodeId>(n, 2));
+  const double budget = options.size_slack * std::sqrt(nn * (1.0 + std::log(nn)));
+  if (options.greedy_centers) {
+    // Greedy hitting set over the first-ceil(sqrt n) neighborhoods: caps
+    // every ball at sqrt(n) deterministically.
+    const auto hood = static_cast<NodeId>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    std::vector<std::vector<NodeId>> hoods;
+    hoods.reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      hoods.push_back(metric.neighborhood(v, hood, names_.names()));
+    }
+    balls_ = build_ball_system(metric, greedy_hitting_set(n, hoods));
+  } else {
+    const NodeId centers = default_center_count(n);
+    for (int attempt = 0; ; ++attempt) {
+      balls_ = build_ball_system(metric, sample_centers(n, centers, rng));
+      resamples_used_ = attempt;
+      if (static_cast<double>(balls_.max_ball_size()) <= budget &&
+          static_cast<double>(balls_.max_cluster_size()) <= budget) {
+        break;
+      }
+      if (attempt >= options.max_resample) break;  // accept; stats will show it
+    }
+  }
+  const auto center_count = static_cast<std::int32_t>(balls_.centers.size());
+
+  tables_.resize(static_cast<std::size_t>(n));
+  for (auto& t : tables_) {
+    t.center_up_port.assign(static_cast<std::size_t>(center_count), kNoPort);
+    t.center_tree_tab.assign(static_cast<std::size_t>(center_count), TreeNodeTable{});
+  }
+  addresses_.resize(static_cast<std::size_t>(n));
+
+  // --- global double trees per center --------------------------------------
+  std::vector<TreeRouter> center_routers;
+  center_routers.reserve(static_cast<std::size_t>(center_count));
+  for (std::int32_t ci = 0; ci < center_count; ++ci) {
+    const NodeId a = balls_.centers[static_cast<std::size_t>(ci)];
+    OutTree out = dijkstra_out_tree(g, a);
+    InTree in = dijkstra_in_tree(g, reversed, a);
+    TreeRouter router(out);
+    for (NodeId v = 0; v < n; ++v) {
+      auto& t = tables_[static_cast<std::size_t>(v)];
+      t.center_up_port[static_cast<std::size_t>(ci)] =
+          in.next_port[static_cast<std::size_t>(v)];
+      t.center_tree_tab[static_cast<std::size_t>(ci)] = router.table(v);
+    }
+    center_routers.push_back(std::move(router));
+  }
+
+  // --- addresses R3(v) ------------------------------------------------------
+  for (NodeId v = 0; v < n; ++v) {
+    const std::int32_t ci = balls_.nearest_center[static_cast<std::size_t>(v)];
+    addresses_[static_cast<std::size_t>(v)] = RtzAddress{
+        names_.name_of(v), ci,
+        center_routers[static_cast<std::size_t>(ci)].label(v)};
+  }
+
+  // --- per-node ball double trees ------------------------------------------
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& members = balls_.ball_of[static_cast<std::size_t>(v)];
+    const NodeName root_name = names_.name_of(v);
+    auto mask = mask_of(n, members);
+    OutTree out = dijkstra_out_tree_within(g, v, mask);
+    InTree in = dijkstra_in_tree_within(g, reversed, v, mask);
+    TreeRouter router(out);
+    auto& own = tables_[static_cast<std::size_t>(v)];
+    for (NodeId w : members) {
+      own.ball_out_label.emplace(names_.name_of(w), router.label(w));
+      auto& member = tables_[static_cast<std::size_t>(w)];
+      member.member_out_tab.emplace(root_name, router.table(w));
+      member.member_up_port.emplace(root_name,
+                                    in.next_port[static_cast<std::size_t>(w)]);
+    }
+  }
+}
+
+LegStep Rtz3Scheme::start_leg(NodeId at, const RtzAddress& target,
+                              LegHeader& leg) const {
+  leg = LegHeader{};
+  leg.target = target;
+  if (names_.name_of(at) == target.name) return LegStep{true, kNoPort};
+  const auto& t = tables_[static_cast<std::size_t>(at)];
+  if (auto it = t.ball_out_label.find(target.name); it != t.ball_out_label.end()) {
+    leg.phase = LegPhase::kBallDown;
+    leg.ball_root = names_.name_of(at);
+    leg.ball_label = it->second;
+  } else if (t.member_up_port.contains(target.name)) {
+    leg.phase = LegPhase::kBallUp;
+  } else {
+    leg.phase = LegPhase::kCenterUp;
+  }
+  return step_leg(at, leg);
+}
+
+LegStep Rtz3Scheme::step_leg(NodeId at, LegHeader& leg) const {
+  const auto& t = tables_[static_cast<std::size_t>(at)];
+  const NodeName at_name = names_.name_of(at);
+  switch (leg.phase) {
+    case LegPhase::kBallDown: {
+      auto it = t.member_out_tab.find(leg.ball_root);
+      if (it == t.member_out_tab.end()) {
+        throw std::logic_error("rtz3: ball-down step left the ball");
+      }
+      Port p = tree_next_port(it->second, leg.ball_label);
+      if (p == kNoPort) return LegStep{true, kNoPort};
+      return LegStep{false, p};
+    }
+    case LegPhase::kBallUp: {
+      if (at_name == leg.target.name) return LegStep{true, kNoPort};
+      auto it = t.member_up_port.find(leg.target.name);
+      if (it == t.member_up_port.end()) {
+        throw std::logic_error("rtz3: ball-up step left the ball");
+      }
+      return LegStep{false, it->second};
+    }
+    case LegPhase::kCenterUp: {
+      const auto ci = static_cast<std::size_t>(leg.target.center_index);
+      if (balls_.centers[ci] == at) {
+        leg.phase = LegPhase::kCenterDown;
+        return step_leg(at, leg);
+      }
+      return LegStep{false, t.center_up_port[ci]};
+    }
+    case LegPhase::kCenterDown: {
+      const auto ci = static_cast<std::size_t>(leg.target.center_index);
+      Port p = tree_next_port(t.center_tree_tab[ci], leg.target.center_label);
+      if (p == kNoPort) return LegStep{true, kNoPort};
+      return LegStep{false, p};
+    }
+  }
+  throw std::logic_error("rtz3: bad leg phase");
+}
+
+std::int64_t Rtz3Scheme::address_bits(const RtzAddress& a) const {
+  return bits_for(node_space_) +
+         bits_for(static_cast<std::int64_t>(balls_.centers.size())) +
+         tree_label_bits(a.center_label, node_space_, port_space_);
+}
+
+std::int64_t Rtz3Scheme::leg_header_bits(const LegHeader& leg) const {
+  return 2 /* phase */ + address_bits(leg.target) + bits_for(node_space_) +
+         tree_label_bits(leg.ball_label, node_space_, port_space_);
+}
+
+Rtz3Scheme::Header Rtz3Scheme::make_packet(NodeName dest) const {
+  Header h;
+  h.mode = Mode::kNew;
+  h.dest = dest;
+  // Name-dependent model: the sender is handed the destination's address
+  // along with the packet (Section 1: "the packet destined for i arrives
+  // also with a short address in its header").
+  h.dest_addr = address_of_name(dest);
+  return h;
+}
+
+Decision Rtz3Scheme::forward(NodeId at, Header& h) const {
+  switch (h.mode) {
+    case Mode::kNew: {
+      h.src = names_.name_of(at);
+      h.src_addr = own_address(at);
+      h.mode = Mode::kOutbound;
+      LegStep s = start_leg(at, h.dest_addr, h.leg);
+      if (s.arrived) return Decision::deliver_here();
+      return Decision::forward_on(s.port);
+    }
+    case Mode::kOutbound: {
+      LegStep s = step_leg(at, h.leg);
+      if (s.arrived) return Decision::deliver_here();
+      return Decision::forward_on(s.port);
+    }
+    case Mode::kReturn: {
+      h.mode = Mode::kInbound;
+      LegStep s = start_leg(at, h.src_addr, h.leg);
+      if (s.arrived) return Decision::deliver_here();
+      return Decision::forward_on(s.port);
+    }
+    case Mode::kInbound: {
+      LegStep s = step_leg(at, h.leg);
+      if (s.arrived) return Decision::deliver_here();
+      return Decision::forward_on(s.port);
+    }
+  }
+  throw std::logic_error("rtz3: bad mode");
+}
+
+std::int64_t Rtz3Scheme::header_bits(const Header& h) const {
+  return 2 /* mode */ + 2 * bits_for(node_space_) + address_bits(h.dest_addr) +
+         address_bits(h.src_addr) + leg_header_bits(h.leg);
+}
+
+TableStats Rtz3Scheme::table_stats() const {
+  const auto n = static_cast<NodeId>(tables_.size());
+  TableStats stats(n);
+  const std::int64_t id_bits = bits_for(node_space_);
+  const std::int64_t port_bits = bits_for(port_space_);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& t = tables_[static_cast<std::size_t>(v)];
+    std::int64_t entries = 0, bits = 0;
+    entries += static_cast<std::int64_t>(t.center_up_port.size());
+    bits += static_cast<std::int64_t>(t.center_up_port.size()) * port_bits;
+    entries += static_cast<std::int64_t>(t.center_tree_tab.size());
+    bits += static_cast<std::int64_t>(t.center_tree_tab.size()) * (id_bits + port_bits);
+    for (const auto& [name, label] : t.ball_out_label) {
+      (void)name;
+      ++entries;
+      bits += id_bits + tree_label_bits(label, node_space_, port_space_);
+    }
+    entries += static_cast<std::int64_t>(t.member_out_tab.size());
+    bits += static_cast<std::int64_t>(t.member_out_tab.size()) *
+            (id_bits + id_bits + port_bits);
+    entries += static_cast<std::int64_t>(t.member_up_port.size());
+    bits += static_cast<std::int64_t>(t.member_up_port.size()) * (id_bits + port_bits);
+    // Own address.
+    ++entries;
+    bits += address_bits(addresses_[static_cast<std::size_t>(v)]);
+    stats.add(v, entries, bits);
+  }
+  return stats;
+}
+
+}  // namespace rtr

@@ -1,0 +1,160 @@
+// The name-dependent stretch-3 roundtrip routing substrate (paper Lemma 2,
+// after Roditty-Thorup-Zwick [35]; see DESIGN.md section 3.1).
+//
+// Construction
+//   * Center set A (random sample of ~ sqrt(n ln n) nodes, resampled while
+//     ball/cluster sizes exceed their O~(sqrt n) budget; deterministic greedy
+//     hitting-set fallback).
+//   * Global double tree per center a: InTree(a) gives every node a next-hop
+//     port toward a; OutTree(a) carries Lemma 14 tree routing from a.
+//   * Per-node ball double tree: Ball(v) = { w : r(v,w) < r(v,A) }; by the
+//     closure property (rtz/balls.h) shortest paths between v and ball
+//     members stay inside the ball, so in/out trees within the induced ball
+//     realize exact distances.  Every ball member stores O(1) words per ball
+//     containing it.
+//
+// Address (the paper's R3(v)): v's name, its nearest center a_v, and v's
+// Lemma 14 label in OutTree(a_v) -- O(log^2 n) bits.
+//
+// Routing a leg u -> v, given R3(v):
+//   case 1: v in Ball(u)   -> descend u's own ball out-tree.    exact d(u,v)
+//   case 2: u in Ball(v)   -> climb InTree(Ball(v)) toward v.   exact d(u,v)
+//   case 3: otherwise      -> climb to a_v, descend to v:
+//             d(u,a_v) + d(a_v,v) <= d(u,v) + r(v,a_v) <= d(u,v) + r(u,v),
+//           the last step because u outside Ball(v) means r(v,u) >= r(v,A).
+//
+// Hence every leg satisfies Lemma 2's inequality p(u,v) <= d(u,v) + r(u,v),
+// and a full roundtrip has stretch <= 3.
+#ifndef RTR_RTZ_RTZ3_SCHEME_H
+#define RTR_RTZ_RTZ3_SCHEME_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/names.h"
+#include "net/simulator.h"
+#include "net/table_stats.h"
+#include "rt/metric.h"
+#include "rtz/balls.h"
+#include "treeroute/tree_router.h"
+
+namespace rtr {
+
+/// The topology-dependent address R3(v).
+struct RtzAddress {
+  NodeName name = kNoNode;
+  std::int32_t center_index = -1;  // index into the scheme's center list
+  TreeLabel center_label;          // v's label in OutTree(center)
+};
+
+/// Phase of one routing leg.
+enum class LegPhase : std::uint8_t {
+  kBallDown,    // descending the source's own ball out-tree
+  kBallUp,      // climbing the destination's ball in-tree
+  kCenterUp,    // climbing toward the destination's home center
+  kCenterDown,  // descending the center's global out-tree
+};
+
+/// Writable leg state carried in packet headers.
+struct LegHeader {
+  LegPhase phase = LegPhase::kCenterUp;
+  RtzAddress target;
+  NodeName ball_root = kNoNode;  // kBallDown: whose ball tree we are in
+  TreeLabel ball_label;          // kBallDown: target's label in that tree
+};
+
+/// One local forwarding step of a leg.
+struct LegStep {
+  bool arrived = false;
+  Port port = kNoPort;
+};
+
+class Rtz3Scheme {
+ public:
+  struct Options {
+    int max_resample = 5;
+    /// Accept a center sample when max ball/cluster <= slack * sqrt(n ln n).
+    double size_slack = 6.0;
+    /// Use the deterministic greedy hitting set instead of sampling.
+    bool greedy_centers = false;
+  };
+
+  Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
+             const NameAssignment& names, Rng& rng, Options options);
+  Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
+             const NameAssignment& names, Rng& rng)
+      : Rtz3Scheme(g, metric, names, rng, Options{}) {}
+
+  // -- substrate interface consumed by the TINN schemes ---------------------
+
+  /// R3(v) for any name (preprocessing-time lookup used to build tables).
+  [[nodiscard]] const RtzAddress& address_of_name(NodeName v) const {
+    return addresses_[static_cast<std::size_t>(names_.id_of(v))];
+  }
+  [[nodiscard]] const RtzAddress& own_address(NodeId v) const {
+    return addresses_[static_cast<std::size_t>(v)];
+  }
+
+  /// Starts a leg at node `at` toward `target`; arrived=true iff at is the
+  /// target already.  Uses only at's local tables.
+  [[nodiscard]] LegStep start_leg(NodeId at, const RtzAddress& target,
+                                  LegHeader& leg) const;
+
+  /// One forwarding step; uses only at's local tables.
+  [[nodiscard]] LegStep step_leg(NodeId at, LegHeader& leg) const;
+
+  [[nodiscard]] std::int64_t leg_header_bits(const LegHeader& leg) const;
+  [[nodiscard]] std::int64_t address_bits(const RtzAddress& a) const;
+
+  // -- standalone name-dependent roundtrip scheme ---------------------------
+
+  enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
+
+  struct Header {
+    Mode mode = Mode::kNew;
+    NodeName dest = kNoNode;
+    RtzAddress dest_addr;  // known up-front: this is the name-DEPENDENT model
+    NodeName src = kNoNode;
+    RtzAddress src_addr;
+    LegHeader leg;
+  };
+
+  [[nodiscard]] Header make_packet(NodeName dest) const;
+  void prepare_return(Header& h) const { h.mode = Mode::kReturn; }
+  [[nodiscard]] Decision forward(NodeId at, Header& h) const;
+  [[nodiscard]] std::int64_t header_bits(const Header& h) const;
+
+  [[nodiscard]] TableStats table_stats() const;
+  [[nodiscard]] const BallSystem& balls() const { return balls_; }
+  [[nodiscard]] int resamples_used() const { return resamples_used_; }
+  [[nodiscard]] std::string name() const { return "rtz3(name-dep)"; }
+
+ private:
+  struct NodeTables {
+    // Global center structures: indexed by center index.
+    std::vector<Port> center_up_port;            // next hop toward center
+    std::vector<TreeNodeTable> center_tree_tab;  // this node in OutTree(a)
+    // Own ball: labels of members in this node's ball out-tree.
+    std::unordered_map<NodeName, TreeLabel> ball_out_label;
+    // Per ball containing this node (keyed by the ball root's name).
+    std::unordered_map<NodeName, TreeNodeTable> member_out_tab;
+    std::unordered_map<NodeName, Port> member_up_port;
+  };
+
+  [[nodiscard]] NodeId id_of(NodeName v) const { return names_.id_of(v); }
+
+  const Digraph& graph_;
+  NameAssignment names_;
+  BallSystem balls_;
+  std::vector<RtzAddress> addresses_;
+  std::vector<NodeTables> tables_;
+  int resamples_used_ = 0;
+  std::int64_t node_space_ = 0;
+  std::int64_t port_space_ = 0;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_RTZ_RTZ3_SCHEME_H

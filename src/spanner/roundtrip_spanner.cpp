@@ -1,0 +1,94 @@
+#include "spanner/roundtrip_spanner.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "graph/apsp.h"
+#include "graph/dijkstra.h"
+
+namespace rtr {
+
+namespace {
+
+// Collects the parent->child arcs of an out-tree into the edge set.
+void add_out_tree_edges(const OutTree& tree,
+                        std::set<std::pair<NodeId, NodeId>>& edges) {
+  for (NodeId v = 0; v < static_cast<NodeId>(tree.dist.size()); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (tree.parent[idx] == kNoNode) continue;
+    edges.emplace(tree.parent[idx], v);
+  }
+}
+
+}  // namespace
+
+SpannerResult extract_roundtrip_spanner(const Digraph& g,
+                                        const RoundtripMetric& metric,
+                                        const CoverHierarchy& hierarchy) {
+  const NodeId n = g.node_count();
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (std::int32_t level = 0; level < hierarchy.level_count(); ++level) {
+    for (const DoubleTree& tree : hierarchy.level(level).trees) {
+      // Out-tree arcs: center -> members.  Re-derive the tree inside the
+      // member mask (DoubleTree keeps routers, not raw parent arrays, so we
+      // rebuild; costs one restricted Dijkstra per tree).
+      std::vector<char> mask(static_cast<std::size_t>(n), 0);
+      for (NodeId v : tree.members()) mask[static_cast<std::size_t>(v)] = 1;
+      OutTree out = dijkstra_out_tree_within(g, tree.center(), mask);
+      add_out_tree_edges(out, edges);
+      // In-tree arcs: members -> center (next-hop edges).
+      for (NodeId v : tree.members()) {
+        if (v == tree.center()) continue;
+        NodeId next = kNoNode;
+        Port p = tree.up_port(v);
+        const Edge* e = g.edge_by_port(v, p);
+        if (e == nullptr) {
+          throw std::logic_error("extract_roundtrip_spanner: dangling up-port");
+        }
+        next = e->to;
+        edges.emplace(v, next);
+      }
+    }
+  }
+
+  SpannerResult result;
+  result.subgraph = Digraph(n);
+  for (const auto& [u, v] : edges) {
+    // Weight from the original graph (unique edge u->v).
+    for (const Edge& e : g.out_edges(u)) {
+      if (e.to == v) {
+        result.subgraph.add_edge(u, v, e.weight);
+        break;
+      }
+    }
+  }
+  result.edges = result.subgraph.edge_count();
+  result.stretch_bound = 4.0 * (2 * hierarchy.k() - 1);
+
+  DistMatrix sub = all_pairs_shortest_paths(result.subgraph);
+  double worst = 1.0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const Dist rh = sub.at(u, v) + sub.at(v, u);
+      const Dist rg = metric.r(u, v);
+      if (rh >= kInfDist) {
+        throw std::logic_error(
+            "extract_roundtrip_spanner: subgraph not strongly connected");
+      }
+      if (rg > 0) {
+        worst = std::max(worst, static_cast<double>(rh) / static_cast<double>(rg));
+      }
+    }
+  }
+  result.measured_stretch = worst;
+  return result;
+}
+
+SpannerResult build_roundtrip_spanner(const Digraph& g,
+                                      const RoundtripMetric& metric, int k) {
+  const Digraph reversed = g.reversed();
+  CoverHierarchy hierarchy(g, reversed, metric, k);
+  return extract_roundtrip_spanner(g, metric, hierarchy);
+}
+
+}  // namespace rtr

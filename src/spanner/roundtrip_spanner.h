@@ -1,0 +1,50 @@
+// Roundtrip spanners (the object behind Lemma 5, after Cowen-Wagner [11,13]
+// and Roditty-Thorup-Zwick [35]).
+//
+// A subgraph H of G is an alpha-roundtrip spanner if r_H(u,v) <= alpha *
+// r_G(u,v) for every pair.  The paper's §1 narrative leans on the fact
+// (Cowen-Wagner) that sparse roundtrip spanners exist for digraphs even
+// though sparse one-way spanners do not.
+//
+// We extract the spanner carried by our Theorem 13 double-tree hierarchy:
+// the union of every in-tree and out-tree edge over every level.  Its
+// guarantee follows from the handshake bound: routing any pair through the
+// first common tree costs <= 4(2k-1) r(u,v) and uses tree edges only, so H
+// is a 4(2k-1)-roundtrip spanner with
+// O(n * levels * max-membership) = O~(k n^{1+1/k} log RTDiam) edges --
+// the same shape as Lemma 5's O~ bound.
+#ifndef RTR_SPANNER_ROUNDTRIP_SPANNER_H
+#define RTR_SPANNER_ROUNDTRIP_SPANNER_H
+
+#include <cstdint>
+
+#include "cover/hierarchy.h"
+#include "graph/digraph.h"
+#include "rt/metric.h"
+
+namespace rtr {
+
+struct SpannerResult {
+  Digraph subgraph{0};
+  std::int64_t edges = 0;
+  /// max over pairs of r_H(u,v) / r_G(u,v); 1.0 for H = G.
+  double measured_stretch = 0;
+  /// The guarantee the construction promises: 4(2k-1).
+  double stretch_bound = 0;
+};
+
+/// Extracts the double-tree union spanner from a hierarchy and measures its
+/// roundtrip stretch exactly (APSP on the subgraph).  The hierarchy must
+/// come from `g`.
+[[nodiscard]] SpannerResult extract_roundtrip_spanner(
+    const Digraph& g, const RoundtripMetric& metric,
+    const CoverHierarchy& hierarchy);
+
+/// Convenience: build hierarchy with parameter k and extract.
+[[nodiscard]] SpannerResult build_roundtrip_spanner(const Digraph& g,
+                                                    const RoundtripMetric& metric,
+                                                    int k);
+
+}  // namespace rtr
+
+#endif  // RTR_SPANNER_ROUNDTRIP_SPANNER_H

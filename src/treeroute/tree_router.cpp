@@ -1,0 +1,109 @@
+#include "treeroute/tree_router.h"
+
+#include <algorithm>
+#include <stack>
+#include <stdexcept>
+
+#include "util/bit_cost.h"
+
+namespace rtr {
+
+TreeRouter::TreeRouter(const OutTree& tree) : root_(tree.root) {
+  const auto n = tree.dist.size();
+  tables_.assign(n, TreeNodeTable{});
+  parent_.assign(n, kNoNode);
+  parent_port_.assign(n, kNoPort);
+  heavy_child_.assign(n, kNoNode);
+
+  // Children lists over reachable members only.
+  std::vector<std::vector<NodeId>> children(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tree.dist[v] >= kInfDist) continue;
+    members_.push_back(static_cast<NodeId>(v));
+    parent_[v] = tree.parent[v];
+    parent_port_[v] = tree.parent_port[v];
+    if (tree.parent[v] != kNoNode) {
+      children[static_cast<std::size_t>(tree.parent[v])].push_back(
+          static_cast<NodeId>(v));
+    }
+  }
+  member_count_ = static_cast<NodeId>(members_.size());
+  if (member_count_ == 0) return;
+
+  // Subtree sizes by processing members in decreasing tree depth order
+  // (distance order suffices: a child is strictly farther than its parent).
+  std::vector<NodeId> by_depth = members_;
+  std::sort(by_depth.begin(), by_depth.end(), [&](NodeId a, NodeId b) {
+    return tree.dist[static_cast<std::size_t>(a)] >
+           tree.dist[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::int64_t> subtree(n, 1);
+  for (NodeId v : by_depth) {
+    NodeId p = parent_[static_cast<std::size_t>(v)];
+    if (p != kNoNode) subtree[static_cast<std::size_t>(p)] += subtree[static_cast<std::size_t>(v)];
+  }
+
+  // Heavy child per node.
+  for (NodeId v : members_) {
+    std::int64_t best = -1;
+    for (NodeId c : children[static_cast<std::size_t>(v)]) {
+      if (subtree[static_cast<std::size_t>(c)] > best) {
+        best = subtree[static_cast<std::size_t>(c)];
+        heavy_child_[static_cast<std::size_t>(v)] = c;
+        tables_[static_cast<std::size_t>(v)].heavy_port =
+            parent_port_[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+
+  // Iterative preorder DFS assigns dfs_in.
+  std::int32_t counter = 0;
+  std::stack<NodeId> todo;
+  todo.push(root_);
+  while (!todo.empty()) {
+    NodeId v = todo.top();
+    todo.pop();
+    tables_[static_cast<std::size_t>(v)].dfs_in = counter++;
+    for (NodeId c : children[static_cast<std::size_t>(v)]) todo.push(c);
+  }
+}
+
+TreeLabel TreeRouter::label(NodeId v) const {
+  if (!contains(v)) throw std::invalid_argument("TreeRouter::label: not a member");
+  TreeLabel lab;
+  lab.dfs_in = tables_[static_cast<std::size_t>(v)].dfs_in;
+  // Walk v -> root collecting light edges, then reverse into root->v order.
+  NodeId x = v;
+  while (parent_[static_cast<std::size_t>(x)] != kNoNode) {
+    NodeId p = parent_[static_cast<std::size_t>(x)];
+    if (heavy_child_[static_cast<std::size_t>(p)] != x) {
+      lab.light_hops.emplace_back(tables_[static_cast<std::size_t>(p)].dfs_in,
+                                  parent_port_[static_cast<std::size_t>(x)]);
+    }
+    x = p;
+  }
+  std::reverse(lab.light_hops.begin(), lab.light_hops.end());
+  return lab;
+}
+
+Port tree_next_port(const TreeNodeTable& at, const TreeLabel& target) {
+  if (at.dfs_in == target.dfs_in) return kNoPort;
+  for (const auto& [tail_dfs, port] : target.light_hops) {
+    if (tail_dfs == at.dfs_in) return port;
+  }
+  if (at.heavy_port == kNoPort) {
+    throw std::logic_error("tree_next_port: node is off the root->target path");
+  }
+  return at.heavy_port;
+}
+
+std::int64_t tree_label_bits(const TreeLabel& label, std::int64_t node_space,
+                             std::int64_t port_space) {
+  const std::int64_t id_bits = bits_for(node_space);
+  const std::int64_t port_bits = bits_for(port_space);
+  return id_bits +  // dfs_in
+         static_cast<std::int64_t>(label.light_hops.size()) * (id_bits + port_bits) +
+         bits_for(node_space);  // length field
+}
+
+}  // namespace rtr

@@ -1,0 +1,94 @@
+// Fixed-port tree routing (Lemma 14, after Thorup-Zwick [39] and
+// Fraigniaud-Gavoille [18]).
+//
+// Given a shortest-path out-tree rooted at r, the scheme routes a packet from
+// r to any node v along the optimal tree path, with
+//   * O(1) words stored per tree node (its DFS number and the port of its
+//     heavy child), and
+//   * an O(log^2 n)-bit address for v.
+//
+// The construction is the classic heavy-path decomposition: every node keeps
+// the port toward its child with the largest subtree ("heavy child").  The
+// address of v lists the (node, port) pairs of the *light* edges on the
+// root->v path -- at most floor(log2 n) of them, since crossing a light edge
+// at least halves the subtree size.  Forwarding at node x: if x is the
+// target, deliver; if x appears in the address's light list, take the listed
+// port; otherwise take the heavy port.  Packets enter a tree only at its root
+// in all of our uses, so no off-path case arises (we still detect and reject
+// it defensively).
+#ifndef RTR_TREEROUTE_TREE_ROUTER_H
+#define RTR_TREEROUTE_TREE_ROUTER_H
+
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "util/types.h"
+
+namespace rtr {
+
+/// Per-node state a tree member stores for one tree: O(1) words.
+struct TreeNodeTable {
+  std::int32_t dfs_in = -1;    // this node's DFS number within the tree
+  Port heavy_port = kNoPort;   // port to the heavy child (kNoPort at leaves)
+};
+
+/// The routable address of a node within one tree: O(log^2 n) bits.
+struct TreeLabel {
+  std::int32_t dfs_in = -1;
+  /// (dfs number of the light edge's tail, port at that tail), in root->v
+  /// order.  At most floor(log2 |tree|) entries.
+  std::vector<std::pair<std::int32_t, Port>> light_hops;
+};
+
+/// Immutable routing structure for one tree.  Holds every member's
+/// TreeNodeTable and can mint labels; per-member state is O(1) words as
+/// Lemma 14 requires (labels are computed from the tree, not stored).
+class TreeRouter {
+ public:
+  /// Builds from a shortest-path out-tree; nodes unreachable in the tree
+  /// (dist == kInfDist) are not members.
+  explicit TreeRouter(const OutTree& tree);
+
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] bool contains(NodeId v) const {
+    return v >= 0 && static_cast<std::size_t>(v) < tables_.size() &&
+           tables_[static_cast<std::size_t>(v)].dfs_in >= 0;
+  }
+  [[nodiscard]] NodeId member_count() const { return member_count_; }
+
+  /// The O(1)-word table node v stores.  Requires contains(v).
+  [[nodiscard]] const TreeNodeTable& table(NodeId v) const {
+    return tables_[static_cast<std::size_t>(v)];
+  }
+
+  /// The address of v (root->v light edges).  Requires contains(v).
+  [[nodiscard]] TreeLabel label(NodeId v) const;
+
+  /// Members in no particular order.
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+
+ private:
+  NodeId root_ = kNoNode;
+  NodeId member_count_ = 0;
+  std::vector<TreeNodeTable> tables_;
+  std::vector<NodeId> parent_;      // within-tree parent (for label walks)
+  std::vector<Port> parent_port_;   // port at parent toward this node
+  std::vector<NodeId> heavy_child_;
+  std::vector<NodeId> members_;
+};
+
+/// Forwarding decision at a node holding `at` for a packet addressed
+/// `target`: kNoPort means "deliver here" (at.dfs_in == target.dfs_in).
+/// Throws std::logic_error if the node is off the root->target path (cannot
+/// happen when packets enter at the root).
+[[nodiscard]] Port tree_next_port(const TreeNodeTable& at,
+                                  const TreeLabel& target);
+
+/// Encoded size of a label in bits, given the graph's name and port spaces.
+[[nodiscard]] std::int64_t tree_label_bits(const TreeLabel& label,
+                                           std::int64_t node_space,
+                                           std::int64_t port_space);
+
+}  // namespace rtr
+
+#endif  // RTR_TREEROUTE_TREE_ROUTER_H

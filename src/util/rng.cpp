@@ -1,0 +1,28 @@
+#include "util/rng.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rtr {
+
+std::vector<std::int32_t> Rng::sample_without_replacement(std::int32_t n,
+                                                          std::int32_t k) {
+  if (k < 0 || k > n) throw std::invalid_argument("sample: need 0 <= k <= n");
+  // For small k relative to n use rejection sampling; otherwise shuffle a
+  // full permutation and truncate.
+  if (k * 3 < n) {
+    std::unordered_set<std::int32_t> seen;
+    std::vector<std::int32_t> out;
+    out.reserve(static_cast<std::size_t>(k));
+    while (static_cast<std::int32_t>(out.size()) < k) {
+      auto x = static_cast<std::int32_t>(index(n));
+      if (seen.insert(x).second) out.push_back(x);
+    }
+    return out;
+  }
+  auto perm = permutation(n);
+  perm.resize(static_cast<std::size_t>(k));
+  return perm;
+}
+
+}  // namespace rtr

@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation.
+//
+// Every randomized component in the library (graph generators, the adversary
+// choosing names and ports, the randomized block-distribution of Lemmas 1/4,
+// center sampling) takes an explicit Rng so that tests and benchmarks are
+// reproducible run-to-run.
+#ifndef RTR_UTIL_RNG_H
+#define RTR_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/types.h"
+
+namespace rtr {
+
+/// Thin wrapper over std::mt19937_64 with convenience helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::int64_t index(std::int64_t n) { return uniform(0, n - 1); }
+
+  /// Bernoulli trial with success probability p in [0,1].
+  bool chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_) < p;
+  }
+
+  /// Uniform real in [0, 1).
+  double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(index(static_cast<std::int64_t>(i)));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<std::int32_t> permutation(std::int32_t n) {
+    std::vector<std::int32_t> p(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+    shuffle(p);
+    return p;
+  }
+
+  /// Sample k distinct values from {0,...,n-1} (k <= n), in random order.
+  std::vector<std::int32_t> sample_without_replacement(std::int32_t n,
+                                                       std::int32_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_RNG_H

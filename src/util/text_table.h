@@ -1,0 +1,32 @@
+// Minimal ASCII table printer used by the benchmark harnesses to print the
+// rows the paper's Fig. 1 (and our experiment tables) report.
+#ifndef RTR_UTIL_TEXT_TABLE_H
+#define RTR_UTIL_TEXT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rtr {
+
+/// Collects rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule; every column padded to its widest cell.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for numeric cells.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_int(std::int64_t v);
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_TEXT_TABLE_H

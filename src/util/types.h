@@ -1,0 +1,38 @@
+// Fundamental value types shared by every module.
+//
+// All arithmetic types are signed (C++ Core Guidelines ES.102): distances and
+// weights are int64 so that sums of up to n * W_max values cannot overflow and
+// all comparisons in tests are exact.  Node identifiers come in two flavours
+// that must never be confused:
+//
+//  * NodeId   -- the internal topology index, 0..n-1, used by the graph and
+//                by preprocessing.  Routing *tables* may reference NodeIds
+//                only through opaque topology-dependent labels.
+//  * NodeName -- the topology-independent node name (TINN model, Section
+//                1.1.2 of the paper): an adversarial permutation of 0..n-1.
+//                Packets arrive carrying a NodeName only.
+#ifndef RTR_UTIL_TYPES_H
+#define RTR_UTIL_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace rtr {
+
+using NodeId = std::int32_t;
+using NodeName = std::int32_t;
+using Port = std::int32_t;
+using Weight = std::int64_t;
+using Dist = std::int64_t;
+
+/// Sentinel for "unreachable".  Chosen so that kInfDist + kInfDist does not
+/// overflow and any genuine distance is strictly smaller.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max() / 4;
+
+/// Sentinel for "no node" / "no port".
+inline constexpr NodeId kNoNode = -1;
+inline constexpr Port kNoPort = -1;
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_TYPES_H

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "dict/alphabet.h"
+
+namespace rtr {
+namespace {
+
+TEST(Alphabet, PerfectPowerUsesExactBase) {
+  Alphabet a(64, 3);  // 4^3
+  EXPECT_EQ(a.q(), 4);
+  EXPECT_EQ(a.k(), 3);
+}
+
+TEST(Alphabet, NonPerfectPowerRoundsUp) {
+  Alphabet a(100, 2);
+  EXPECT_EQ(a.q(), 10);
+  Alphabet b(101, 2);
+  EXPECT_EQ(b.q(), 11);
+  Alphabet c(30, 3);
+  EXPECT_EQ(c.q(), 4);  // 3^3=27 < 30 <= 4^3
+}
+
+TEST(Alphabet, DigitsMostSignificantFirst) {
+  Alphabet a(64, 3);  // q = 4
+  // 57 = 3*16 + 2*4 + 1.
+  EXPECT_EQ(a.digit(57, 0), 3);
+  EXPECT_EQ(a.digit(57, 1), 2);
+  EXPECT_EQ(a.digit(57, 2), 1);
+  EXPECT_EQ(a.digit(5, 0), 0);  // leading zero padding
+}
+
+TEST(Alphabet, PrefixValues) {
+  Alphabet a(64, 3);
+  EXPECT_EQ(a.prefix_value(57, 0), 0);
+  EXPECT_EQ(a.prefix_value(57, 1), 3);
+  EXPECT_EQ(a.prefix_value(57, 2), 14);  // 3*4+2
+  EXPECT_EQ(a.prefix_value(57, 3), 57);
+}
+
+TEST(Alphabet, LcpCountsSharedLeadingDigits) {
+  Alphabet a(64, 3);
+  EXPECT_EQ(a.lcp(57, 57), 3);
+  EXPECT_EQ(a.lcp(57, 56), 2);  // 321 vs 320
+  EXPECT_EQ(a.lcp(57, 49), 1);  // 321 vs 301
+  EXPECT_EQ(a.lcp(57, 41), 0);  // 321 vs 221
+  EXPECT_EQ(a.lcp(57, 5), 0);   // 321 vs 011
+}
+
+TEST(Alphabet, BlocksPartitionNames) {
+  Alphabet a(100, 2);  // q=10; blocks of 10 consecutive names
+  EXPECT_EQ(a.block_of(0), 0);
+  EXPECT_EQ(a.block_of(9), 0);
+  EXPECT_EQ(a.block_of(10), 1);
+  EXPECT_EQ(a.block_of(99), 9);
+  EXPECT_EQ(a.relevant_block_count(), 10);
+  auto members = a.block_members(3);
+  ASSERT_EQ(members.size(), 10u);
+  EXPECT_EQ(members.front(), 30);
+  EXPECT_EQ(members.back(), 39);
+}
+
+TEST(Alphabet, PartialLastBlock) {
+  Alphabet a(23, 2);  // q=5; blocks 0..4, last holds 20..22
+  EXPECT_EQ(a.relevant_block_count(), 5);
+  auto members = a.block_members(4);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members.front(), 20);
+  EXPECT_EQ(members.back(), 22);
+}
+
+TEST(Alphabet, BlockPrefixValues) {
+  Alphabet a(64, 3);  // blocks are 2-digit strings
+  // Block 14 = digits (3, 2).
+  EXPECT_EQ(a.block_prefix_value(14, 0), 0);
+  EXPECT_EQ(a.block_prefix_value(14, 1), 3);
+  EXPECT_EQ(a.block_prefix_value(14, 2), 14);
+}
+
+TEST(Alphabet, RealizablePrefixCounts) {
+  Alphabet a(30, 3);  // q=4, names 0..29
+  EXPECT_EQ(a.realizable_prefix_count(0), 1);
+  // Length-1 prefixes: names reach 29 = (1,3,1); prefixes 0 and 1.
+  EXPECT_EQ(a.realizable_prefix_count(1), 2);
+  // Length-2: ceil(30/4) = 8.
+  EXPECT_EQ(a.realizable_prefix_count(2), 8);
+  EXPECT_EQ(a.realizable_prefix_count(3), 30);
+}
+
+TEST(Alphabet, ComposeRespectsNameRange) {
+  Alphabet a(30, 3);  // q=4
+  EXPECT_EQ(a.compose(0, 3), 3);
+  EXPECT_EQ(a.compose(7, 1), 29);
+  EXPECT_EQ(a.compose(7, 2), kNoNode);  // 30 does not exist
+  EXPECT_EQ(a.compose(7, 4), kNoNode);  // digit out of range
+}
+
+TEST(Alphabet, RejectsBadParameters) {
+  EXPECT_THROW(Alphabet(0, 2), std::invalid_argument);
+  EXPECT_THROW(Alphabet(10, 1), std::invalid_argument);
+  EXPECT_THROW(Alphabet(10, 21), std::invalid_argument);
+}
+
+TEST(Alphabet, DigitBoundsChecked) {
+  Alphabet a(64, 3);
+  EXPECT_THROW((void)a.digit(5, 3), std::out_of_range);
+  EXPECT_THROW((void)a.digit(5, -1), std::out_of_range);
+  EXPECT_THROW((void)a.prefix_value(5, 4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rtr

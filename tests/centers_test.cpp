@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rtz/centers.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+TEST(Centers, SampleIsDistinctSorted) {
+  Rng rng(1);
+  auto centers = sample_centers(100, 20, rng);
+  EXPECT_EQ(centers.size(), 20u);
+  std::set<NodeId> s(centers.begin(), centers.end());
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(centers.begin(), centers.end()));
+}
+
+TEST(Centers, SampleRejectsBadSizes) {
+  Rng rng(2);
+  EXPECT_THROW(sample_centers(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(sample_centers(10, 11, rng), std::invalid_argument);
+}
+
+TEST(Centers, DefaultCountScalesLikeSqrtNLogN) {
+  EXPECT_GE(default_center_count(100), 10);
+  EXPECT_LE(default_center_count(100), 100);
+  // Monotone in n and sublinear.
+  EXPECT_LE(default_center_count(100), default_center_count(1000));
+  EXPECT_LT(default_center_count(10000), 1000);
+}
+
+TEST(Centers, GreedyHittingSetHitsEveryBall) {
+  Instance inst = make_instance(Family::kRandom, 80, 5, 3);
+  const auto hood = static_cast<NodeId>(
+      std::ceil(std::sqrt(static_cast<double>(inst.n()))));
+  std::vector<std::vector<NodeId>> balls;
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    balls.push_back(inst.metric->neighborhood(v, hood, inst.names.names()));
+  }
+  auto centers = greedy_hitting_set(inst.n(), balls);
+  std::set<NodeId> cs(centers.begin(), centers.end());
+  for (const auto& ball : balls) {
+    bool hit = false;
+    for (NodeId v : ball) hit = hit || cs.contains(v);
+    EXPECT_TRUE(hit);
+  }
+  // Greedy set-cover bound: |A| <= O(sqrt(n) ln n); assert generously.
+  const double n = inst.n();
+  EXPECT_LE(static_cast<double>(centers.size()),
+            3.0 * std::sqrt(n) * (1.0 + std::log(n)));
+}
+
+TEST(Centers, GreedyThrowsOnEmptyBall) {
+  std::vector<std::vector<NodeId>> balls = {{0, 1}, {}};
+  EXPECT_THROW(greedy_hitting_set(3, balls), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rtr

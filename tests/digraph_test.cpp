@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(Digraph, AddAndQueryEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 7);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.out_degree(2), 0);
+}
+
+TEST(Digraph, RejectsBadEdges) {
+  Digraph g(3);
+  EXPECT_THROW(g.add_edge(0, 0, 1), std::invalid_argument);  // self loop
+  EXPECT_THROW(g.add_edge(0, 1, 0), std::invalid_argument);  // weight < 1
+  EXPECT_THROW(g.add_edge(0, 3, 1), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 1, 1), std::out_of_range);
+}
+
+TEST(Digraph, SequentialPortsResolve) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(0, 3, 1);
+  const Edge* e = g.edge_by_port(0, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->to, 2);
+  EXPECT_EQ(g.edge_by_port(0, 99), nullptr);
+}
+
+TEST(Digraph, AdversarialPortsAreUniquePerNodeAndResolve) {
+  Rng rng(5);
+  Digraph g(50);
+  for (NodeId i = 0; i < 50; ++i) {
+    g.add_edge(i, (i + 1) % 50, 1);
+    g.add_edge(i, (i + 7) % 50, 2);
+  }
+  g.assign_adversarial_ports(rng);
+  for (NodeId u = 0; u < 50; ++u) {
+    std::set<Port> ports;
+    for (const Edge& e : g.out_edges(u)) {
+      EXPECT_GE(e.port, 0);
+      EXPECT_LT(e.port, g.port_space());
+      EXPECT_TRUE(ports.insert(e.port).second) << "duplicate port at " << u;
+      const Edge* back = g.edge_by_port(u, e.port);
+      ASSERT_NE(back, nullptr);
+      EXPECT_EQ(back->to, e.to);
+    }
+  }
+}
+
+TEST(Digraph, PortOfEdgeMatchesEdgeByPort) {
+  Rng rng(6);
+  Digraph g(10);
+  g.add_edge(3, 7, 2);
+  g.assign_adversarial_ports(rng);
+  Port p = g.port_of_edge(3, 7);
+  ASSERT_NE(p, kNoPort);
+  EXPECT_EQ(g.edge_by_port(3, p)->to, 7);
+  EXPECT_EQ(g.port_of_edge(3, 4), kNoPort);
+}
+
+TEST(Digraph, ReversedFlipsEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 7);
+  Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_FALSE(r.has_edge(0, 1));
+  EXPECT_EQ(r.edge_count(), 2);
+}
+
+TEST(Digraph, MaxWeight) {
+  Digraph g(3);
+  EXPECT_EQ(g.max_weight(), 1);  // no edges
+  g.add_edge(0, 1, 41);
+  g.add_edge(1, 2, 7);
+  EXPECT_EQ(g.max_weight(), 41);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "graph/apsp.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 0; the 0->2->3 route is cheaper.
+  Digraph g(4);
+  g.add_edge(0, 1, 10);
+  g.add_edge(1, 3, 10);
+  g.add_edge(0, 2, 3);
+  g.add_edge(2, 3, 4);
+  g.add_edge(3, 0, 1);
+  return g;
+}
+
+TEST(Dijkstra, DistancesOnDiamond) {
+  auto d = dijkstra_distances(diamond(), 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 10);
+  EXPECT_EQ(d[2], 3);
+  EXPECT_EQ(d[3], 7);
+}
+
+TEST(Dijkstra, OutTreeParentsFollowShortestPaths) {
+  OutTree t = dijkstra_out_tree(diamond(), 0);
+  EXPECT_EQ(t.parent[3], 2);  // via the cheap branch
+  EXPECT_EQ(t.parent[2], 0);
+  EXPECT_EQ(t.parent[0], kNoNode);
+  auto path = out_tree_path(t, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(Dijkstra, OutTreePortsMatchGraphEdges) {
+  Rng rng(3);
+  Digraph g = diamond();
+  g.assign_adversarial_ports(rng);
+  OutTree t = dijkstra_out_tree(g, 0);
+  for (NodeId v = 1; v < 4; ++v) {
+    const Edge* e = g.edge_by_port(t.parent[static_cast<std::size_t>(v)],
+                                   t.parent_port[static_cast<std::size_t>(v)]);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->to, v);
+  }
+}
+
+TEST(Dijkstra, InTreeNextHopsReachRootWithExactDistance) {
+  Rng rng(4);
+  Digraph g = random_strongly_connected(60, 3.0, 9, rng);
+  g.assign_adversarial_ports(rng);
+  Digraph rev = g.reversed();
+  InTree t = dijkstra_in_tree(g, rev, 7);
+  for (NodeId v = 0; v < 60; ++v) {
+    if (v == 7) {
+      EXPECT_EQ(t.next[7], kNoNode);
+      continue;
+    }
+    // Walk the next pointers; sum of weights must equal dist.
+    Dist walked = 0;
+    NodeId at = v;
+    int guard = 0;
+    while (at != 7 && guard++ < 100) {
+      const Edge* e = g.edge_by_port(at, t.next_port[static_cast<std::size_t>(at)]);
+      ASSERT_NE(e, nullptr);
+      EXPECT_EQ(e->to, t.next[static_cast<std::size_t>(at)]);
+      walked += e->weight;
+      at = e->to;
+    }
+    EXPECT_EQ(at, 7);
+    EXPECT_EQ(walked, t.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Dijkstra, RestrictedTreeIgnoresOutsiders) {
+  // Path 0 <-> 1 <-> 2, plus a shortcut 0 -> 3 -> 2 that is cheaper but
+  // goes through a non-member.
+  Digraph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 0, 5);
+  g.add_edge(1, 2, 5);
+  g.add_edge(2, 1, 5);
+  g.add_edge(0, 3, 1);
+  g.add_edge(3, 2, 1);
+  std::vector<char> mask = {1, 1, 1, 0};
+  OutTree t = dijkstra_out_tree_within(g, 0, mask);
+  EXPECT_EQ(t.dist[2], 10);  // must take the member-only route
+  EXPECT_EQ(t.dist[3], kInfDist);
+  OutTree full = dijkstra_out_tree(g, 0);
+  EXPECT_EQ(full.dist[2], 2);
+}
+
+TEST(Dijkstra, RestrictedSourceMustBeMember) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  std::vector<char> mask = {0, 1};
+  EXPECT_THROW(dijkstra_out_tree_within(g, 0, mask), std::invalid_argument);
+}
+
+TEST(Apsp, MatchesFloydWarshallOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Digraph g = random_strongly_connected(40, 3.0, 12, rng);
+    DistMatrix a = all_pairs_shortest_paths(g);
+    DistMatrix b = floyd_warshall(g);
+    for (NodeId u = 0; u < 40; ++u) {
+      for (NodeId v = 0; v < 40; ++v) {
+        EXPECT_EQ(a.at(u, v), b.at(u, v)) << "pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(Apsp, UnreachablePairsAreInfinite) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1);
+  DistMatrix m = all_pairs_shortest_paths(g);
+  EXPECT_EQ(m.at(0, 1), 1);
+  EXPECT_EQ(m.at(1, 0), kInfDist);
+  EXPECT_EQ(m.at(2, 0), kInfDist);
+  EXPECT_EQ(m.at(2, 2), 0);
+}
+
+TEST(Apsp, AsymmetryOnOneWayRing) {
+  Rng rng(5);
+  Digraph g = ring_with_chords(10, 0, 1, rng);
+  DistMatrix m = all_pairs_shortest_paths(g);
+  // Going "forward" one step costs w(0,1); going back costs the rest of the
+  // ring.  With unit weights d(0,1)=1 and d(1,0)=9.
+  EXPECT_EQ(m.at(0, 1), 1);
+  EXPECT_EQ(m.at(1, 0), 9);
+}
+
+}  // namespace
+}  // namespace rtr

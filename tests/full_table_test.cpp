@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "baseline/full_table.h"
+#include "net/simulator.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::FamilyParam;
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+class FullTableTest : public ::testing::TestWithParam<FamilyParam> {};
+
+TEST_P(FullTableTest, AchievesStretchExactlyOne) {
+  auto [family, n, seed] = GetParam();
+  Instance inst = make_instance(family, n, 6, seed);
+  FullTableScheme scheme(inst.graph, inst.names);
+  for (NodeId s = 0; s < inst.n(); ++s) {
+    for (NodeId t = 0; t < inst.n(); ++t) {
+      auto res = simulate_roundtrip(inst.graph, scheme, s, t,
+                                    inst.names.name_of(t));
+      ASSERT_TRUE(res.ok());
+      EXPECT_EQ(res.out_length, inst.metric->d(s, t));
+      EXPECT_EQ(res.back_length, inst.metric->d(t, s));
+      EXPECT_EQ(res.roundtrip_length(), inst.metric->r(s, t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FullTableTest,
+    ::testing::Values(FamilyParam{Family::kRandom, 40, 1},
+                      FamilyParam{Family::kGrid, 36, 2},
+                      FamilyParam{Family::kRing, 32, 3}),
+    [](const ::testing::TestParamInfo<FamilyParam>& info) {
+      return ::rtr::testing::family_param_name(info.param);
+    });
+
+TEST(FullTable, TablesAreLinear) {
+  Instance inst = make_instance(Family::kRandom, 50, 4, 9);
+  FullTableScheme scheme(inst.graph, inst.names);
+  TableStats stats = scheme.table_stats();
+  EXPECT_EQ(stats.max_entries(), inst.n() - 1);
+  EXPECT_EQ(stats.mean_entries(), static_cast<double>(inst.n() - 1));
+}
+
+TEST(FullTable, RejectsNonStronglyConnected) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  auto names = NameAssignment::identity(3);
+  EXPECT_THROW(FullTableScheme(g, names), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtr

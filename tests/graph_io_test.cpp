@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesEdges) {
+  Rng rng(1);
+  Digraph g = random_strongly_connected(30, 3.0, 5, rng);
+  Digraph h = from_edge_list(to_edge_list(g));
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const Edge& e : g.out_edges(u)) {
+      EXPECT_TRUE(h.has_edge(u, e.to));
+    }
+  }
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines) {
+  Digraph g = from_edge_list(
+      "# a tiny graph\n"
+      "n 3\n"
+      "\n"
+      "0 1 5  # forward\n"
+      "1 2 2\n"
+      "2 0 1\n");
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GraphIo, MissingHeaderThrows) {
+  EXPECT_THROW(from_edge_list("0 1 5\n"), std::runtime_error);
+  EXPECT_THROW(from_edge_list(""), std::runtime_error);
+}
+
+TEST(GraphIo, MalformedEdgeThrows) {
+  EXPECT_THROW(from_edge_list("n 3\n0 1\n"), std::runtime_error);
+}
+
+TEST(GraphIo, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(from_edge_list("n 2\n0 5 1\n"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rtr

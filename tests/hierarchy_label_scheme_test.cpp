@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "net/simulator.h"
+#include "rtz/hierarchy_label_scheme.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+struct HlParam {
+  Family family;
+  NodeId n;
+  int k;
+  std::uint64_t seed;
+};
+
+class HierarchyLabelTest : public ::testing::TestWithParam<HlParam> {
+ protected:
+  void Build() {
+    const auto& p = GetParam();
+    inst_ = make_instance(p.family, p.n, 4, p.seed);
+    HierarchyLabelScheme::Options opts;
+    opts.k = p.k;
+    scheme_ = std::make_unique<HierarchyLabelScheme>(inst_.graph, *inst_.metric,
+                                                     inst_.names, opts);
+  }
+  Instance inst_;
+  std::unique_ptr<HierarchyLabelScheme> scheme_;
+};
+
+TEST_P(HierarchyLabelTest, AllPairsDeliverWithinBound) {
+  Build();
+  const double bound = scheme_->stretch_bound();  // 8(2k-1)
+  for (NodeId s = 0; s < inst_.n(); ++s) {
+    for (NodeId t = 0; t < inst_.n(); ++t) {
+      if (s == t) continue;
+      auto res = simulate_roundtrip(inst_.graph, *scheme_, s, t,
+                                    inst_.names.name_of(t));
+      ASSERT_TRUE(res.ok()) << s << "->" << t;
+      EXPECT_LE(static_cast<double>(res.roundtrip_length()),
+                bound * static_cast<double>(inst_.metric->r(s, t)));
+    }
+  }
+}
+
+TEST_P(HierarchyLabelTest, LabelsCoverEveryLevel) {
+  Build();
+  for (NodeId v = 0; v < inst_.n(); ++v) {
+    const HierarchyLabel& label = scheme_->label_of(v);
+    EXPECT_EQ(static_cast<std::int32_t>(label.home_tree.size()),
+              scheme_->hierarchy().level_count());
+    EXPECT_EQ(label.home_address.size(), label.home_tree.size());
+    EXPECT_EQ(label.name, inst_.names.name_of(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierarchyLabelTest,
+    ::testing::Values(HlParam{Family::kRandom, 48, 2, 1},
+                      HlParam{Family::kRandom, 48, 3, 2},
+                      HlParam{Family::kGrid, 36, 3, 3},
+                      HlParam{Family::kRing, 40, 2, 4}),
+    [](const ::testing::TestParamInfo<HlParam>& info) {
+      return family_name(info.param.family).substr(0, 4) + "_n" +
+             std::to_string(info.param.n) + "_k" + std::to_string(info.param.k) +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+TEST(HierarchyLabel, SelfDelivery) {
+  Instance inst = make_instance(Family::kRandom, 24, 3, 9);
+  HierarchyLabelScheme scheme(inst.graph, *inst.metric, inst.names);
+  auto res = simulate_roundtrip(inst.graph, scheme, 3, 3, inst.names.name_of(3));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.roundtrip_length(), 0);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,120 @@
+// End-to-end cross-scheme checks: every scheme delivers on every family and
+// respects its own bound, with one shared instance per family; plus the
+// comparative facts the paper's Fig. 1 asserts (who uses how much space, who
+// achieves what stretch).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/full_table.h"
+#include "core/exstretch.h"
+#include "core/polystretch.h"
+#include "core/stretch6.h"
+#include "net/simulator.h"
+#include "rtz/rtz3_scheme.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::FamilyParam;
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+class IntegrationTest : public ::testing::TestWithParam<FamilyParam> {
+ protected:
+  void SetUp() override {
+    auto [family, n, seed] = GetParam();
+    inst_ = make_instance(family, n, 4, seed);
+    Rng rng(seed + 1000);
+    rtz3_ = std::make_shared<Rtz3Scheme>(inst_.graph, *inst_.metric,
+                                         inst_.names, rng);
+    stretch6_ = std::make_shared<Stretch6Scheme>(inst_.graph, *inst_.metric,
+                                                 inst_.names, rng);
+    ExStretchScheme::Options ex_opts;
+    ex_opts.k = 3;
+    ex_ = std::make_shared<ExStretchScheme>(inst_.graph, *inst_.metric,
+                                            inst_.names, rng, ex_opts);
+    PolyStretchScheme::Options poly_opts;
+    poly_opts.k = 3;
+    poly_ = std::make_shared<PolyStretchScheme>(inst_.graph, *inst_.metric,
+                                                inst_.names, poly_opts);
+    baseline_ = std::make_shared<FullTableScheme>(inst_.graph, inst_.names);
+  }
+
+  template <typename S>
+  double worst_stretch(const S& scheme) {
+    double worst = 0;
+    for (NodeId s = 0; s < inst_.n(); s += 2) {
+      for (NodeId t = 0; t < inst_.n(); t += 3) {
+        if (s == t) continue;
+        auto res = simulate_roundtrip(inst_.graph, scheme, s, t,
+                                      inst_.names.name_of(t));
+        EXPECT_TRUE(res.ok()) << scheme.name() << " failed " << s << "->" << t;
+        if (!res.ok()) return 1e9;
+        worst = std::max(worst, static_cast<double>(res.roundtrip_length()) /
+                                    static_cast<double>(inst_.metric->r(s, t)));
+      }
+    }
+    return worst;
+  }
+
+  Instance inst_;
+  std::shared_ptr<Rtz3Scheme> rtz3_;
+  std::shared_ptr<Stretch6Scheme> stretch6_;
+  std::shared_ptr<ExStretchScheme> ex_;
+  std::shared_ptr<PolyStretchScheme> poly_;
+  std::shared_ptr<FullTableScheme> baseline_;
+};
+
+TEST_P(IntegrationTest, EverySchemeMeetsItsOwnBound) {
+  EXPECT_LE(worst_stretch(*baseline_), 1.0 + 1e-9);
+  EXPECT_LE(worst_stretch(*rtz3_), 3.0 + 1e-9);
+  EXPECT_LE(worst_stretch(*stretch6_), 6.0 + 1e-9);
+  EXPECT_LE(worst_stretch(*ex_), ex_->stretch_bound() + 1e-9);
+  EXPECT_LE(worst_stretch(*poly_), poly_->stretch_bound() + 1e-9);
+}
+
+TEST_P(IntegrationTest, CompactSchemesBeatBaselineSpace) {
+  // Fig. 1's point: sublinear tables.  The compact schemes must use fewer
+  // max entries than the full table on these sizes... except the k=2-ish
+  // regimes where n is tiny; we therefore compare against 4n as the clearly
+  // non-compact threshold for stretch6/rtz3 which are O~(sqrt n).
+  const auto n = static_cast<double>(inst_.n());
+  EXPECT_LT(static_cast<double>(rtz3_->table_stats().max_entries()), 4 * n);
+  EXPECT_LT(static_cast<double>(stretch6_->table_stats().max_entries()), 4 * n);
+  EXPECT_EQ(baseline_->table_stats().max_entries(), inst_.n() - 1);
+}
+
+TEST_P(IntegrationTest, StretchSixTighterThanItsBoundOnAverage) {
+  // Mean stretch should sit well below the worst-case 6 on every family --
+  // the "shape" claim of the reproduction.
+  double total = 0;
+  int count = 0;
+  for (NodeId s = 0; s < inst_.n(); s += 2) {
+    for (NodeId t = 0; t < inst_.n(); t += 3) {
+      if (s == t) continue;
+      auto res = simulate_roundtrip(inst_.graph, *stretch6_, s, t,
+                                    inst_.names.name_of(t));
+      ASSERT_TRUE(res.ok());
+      total += static_cast<double>(res.roundtrip_length()) /
+               static_cast<double>(inst_.metric->r(s, t));
+      ++count;
+    }
+  }
+  EXPECT_LT(total / count, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, IntegrationTest,
+    ::testing::Values(FamilyParam{Family::kRandom, 48, 1},
+                      FamilyParam{Family::kGrid, 36, 2},
+                      FamilyParam{Family::kRing, 36, 3},
+                      FamilyParam{Family::kScaleFree, 48, 4},
+                      FamilyParam{Family::kBidirected, 36, 5}),
+    [](const ::testing::TestParamInfo<FamilyParam>& info) {
+      return ::rtr::testing::family_param_name(info.param);
+    });
+
+}  // namespace
+}  // namespace rtr

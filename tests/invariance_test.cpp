@@ -1,0 +1,144 @@
+// Model-level invariance properties.
+//
+// The TINN + fixed-port model makes two adversary claims the schemes must be
+// immune to: names carry no topology, and port numbers carry no global
+// structure.  A third property is metric-theoretic: scaling all weights by a
+// constant scales every route by the same constant, leaving stretch intact.
+#include <gtest/gtest.h>
+
+#include "core/exstretch.h"
+#include "core/polystretch.h"
+#include "core/stretch6.h"
+#include "net/simulator.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+
+Digraph scaled_copy(const Digraph& g, Weight factor) {
+  Digraph out(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const Edge& e : g.out_edges(u)) out.add_edge(u, e.to, e.weight * factor);
+  }
+  return out;
+}
+
+TEST(Invariance, PortRelabelingDoesNotChangeRouteLengths) {
+  // Same graph, same names, two different adversarial port assignments:
+  // route lengths must match exactly (schemes must never interpret port
+  // numbers).
+  Rng base_rng(1);
+  Digraph g1 = random_strongly_connected(60, 3.5, 5, base_rng);
+  Digraph g2 = g1;  // identical topology
+  Rng ports1(11), ports2(22);
+  g1.assign_adversarial_ports(ports1);
+  g2.assign_adversarial_ports(ports2);
+  RoundtripMetric m1(g1), m2(g2);
+  auto names = NameAssignment::identity(60);
+  Rng s1(33), s2(33);  // identical scheme randomness
+  Stretch6Scheme scheme1(g1, m1, names, s1);
+  Stretch6Scheme scheme2(g2, m2, names, s2);
+  for (NodeId s = 0; s < 60; s += 4) {
+    for (NodeId t = 0; t < 60; t += 5) {
+      auto r1 = simulate_roundtrip(g1, scheme1, s, t, names.name_of(t));
+      auto r2 = simulate_roundtrip(g2, scheme2, s, t, names.name_of(t));
+      ASSERT_TRUE(r1.ok());
+      ASSERT_TRUE(r2.ok());
+      EXPECT_EQ(r1.roundtrip_length(), r2.roundtrip_length())
+          << "port labels leaked into routing at pair " << s << "," << t;
+    }
+  }
+}
+
+TEST(Invariance, WeightScalingScalesRoutesLinearly) {
+  Rng base_rng(2);
+  Digraph g = random_strongly_connected(50, 3.5, 5, base_rng);
+  Rng ports(3);
+  g.assign_adversarial_ports(ports);
+  Digraph g10 = scaled_copy(g, 10);
+  RoundtripMetric m(g), m10(g10);
+  auto names = NameAssignment::identity(50);
+  Rng s1(44), s2(44);
+  Stretch6Scheme scheme(g, m, names, s1);
+  Stretch6Scheme scheme10(g10, m10, names, s2);
+  for (NodeId s = 0; s < 50; s += 3) {
+    for (NodeId t = 0; t < 50; t += 7) {
+      auto r1 = simulate_roundtrip(g, scheme, s, t, names.name_of(t));
+      auto r2 = simulate_roundtrip(g10, scheme10, s, t, names.name_of(t));
+      ASSERT_TRUE(r1.ok());
+      ASSERT_TRUE(r2.ok());
+      EXPECT_EQ(10 * r1.roundtrip_length(), r2.roundtrip_length());
+    }
+  }
+}
+
+TEST(Invariance, ExStretchBoundHoldsUnderEveryNaming) {
+  Rng base_rng(4);
+  Digraph g = random_strongly_connected(40, 3.5, 4, base_rng);
+  g.assign_adversarial_ports(base_rng);
+  RoundtripMetric m(g);
+  for (std::uint64_t name_seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(name_seed);
+    auto names = NameAssignment::random(40, rng);
+    ExStretchScheme scheme(g, m, names, rng);
+    const double bound = scheme.stretch_bound();
+    for (NodeId s = 0; s < 40; s += 3) {
+      for (NodeId t = 0; t < 40; t += 4) {
+        if (s == t) continue;
+        auto res = simulate_roundtrip(g, scheme, s, t, names.name_of(t));
+        ASSERT_TRUE(res.ok());
+        EXPECT_LE(static_cast<double>(res.roundtrip_length()),
+                  bound * static_cast<double>(m.r(s, t)));
+      }
+    }
+  }
+}
+
+TEST(Invariance, PolyStretchBoundHoldsUnderEveryNaming) {
+  Rng base_rng(5);
+  Digraph g = random_strongly_connected(40, 3.5, 4, base_rng);
+  g.assign_adversarial_ports(base_rng);
+  RoundtripMetric m(g);
+  for (std::uint64_t name_seed : {1u, 2u, 3u}) {
+    Rng rng(name_seed);
+    auto names = NameAssignment::random(40, rng);
+    PolyStretchScheme scheme(g, m, names);
+    const double bound = scheme.stretch_bound();
+    for (NodeId s = 0; s < 40; s += 2) {
+      for (NodeId t = 0; t < 40; t += 5) {
+        if (s == t) continue;
+        auto res = simulate_roundtrip(g, scheme, s, t, names.name_of(t));
+        ASSERT_TRUE(res.ok());
+        EXPECT_LE(static_cast<double>(res.roundtrip_length()),
+                  bound * static_cast<double>(m.r(s, t)));
+      }
+    }
+  }
+}
+
+TEST(Invariance, HeaderBitsIndependentOfPairDistance) {
+  // Headers must stay within their polylog budget whether the pair is
+  // adjacent or diametral -- no distance-proportional state may leak in.
+  Rng base_rng(6);
+  Digraph g = ring_with_chords(64, 10, 3, base_rng);
+  g.assign_adversarial_ports(base_rng);
+  RoundtripMetric m(g);
+  Rng rng(7);
+  auto names = NameAssignment::random(64, rng);
+  Stretch6Scheme scheme(g, m, names, rng);
+  std::int64_t min_bits = INT64_MAX, max_bits = 0;
+  for (NodeId t = 1; t < 64; t += 3) {
+    auto res = simulate_roundtrip(g, scheme, 0, t, names.name_of(t));
+    ASSERT_TRUE(res.ok());
+    min_bits = std::min(min_bits, res.max_header_bits);
+    max_bits = std::max(max_bits, res.max_header_bits);
+  }
+  // Variation comes from label sizes only, never from path length: allow a
+  // small constant factor.
+  EXPECT_LE(max_bits, 3 * min_bits);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "baseline/full_table.h"
+#include "core/lower_bound.h"
+#include "core/stretch6.h"
+#include "graph/generators.h"
+#include "net/simulator.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+
+TEST(LowerBound, GadgetFamilyIsDistanceSymmetric) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Digraph g = lower_bound_gadget(32, 0.4, rng);
+    RoundtripMetric m(g);
+    EXPECT_TRUE(is_distance_symmetric(m));
+    // r(u,v) = 2 d(u,v) in the bidirected regime.
+    for (NodeId u = 0; u < g.node_count(); u += 3) {
+      for (NodeId v = 0; v < g.node_count(); v += 5) {
+        EXPECT_EQ(m.r(u, v), 2 * m.d(u, v));
+      }
+    }
+  }
+}
+
+TEST(LowerBound, AsymmetricFamilyIsNot) {
+  Rng rng(4);
+  Digraph g = ring_with_chords(20, 5, 3, rng);
+  RoundtripMetric m(g);
+  EXPECT_FALSE(is_distance_symmetric(m));
+}
+
+TEST(LowerBound, FullTableBeatsTheBoundByPayingLinearSpace) {
+  // The Theorem 15 frontier: stretch < 2 is achievable -- with Omega(n)
+  // tables.  The baseline gets stretch 1 and linear tables on the gadget.
+  Rng rng(5);
+  Digraph g = lower_bound_gadget(24, 0.4, rng);
+  g.assign_adversarial_ports(rng);
+  auto names = NameAssignment::random(g.node_count(), rng);
+  RoundtripMetric m(g);
+  FullTableScheme scheme(g, names);
+  for (NodeId s = 0; s < g.node_count(); s += 2) {
+    for (NodeId t = 0; t < g.node_count(); t += 3) {
+      auto res = simulate_roundtrip(g, scheme, s, t, names.name_of(t));
+      ASSERT_TRUE(res.ok());
+      EXPECT_EQ(res.roundtrip_length(), m.r(s, t));
+    }
+  }
+  EXPECT_EQ(scheme.table_stats().max_entries(), g.node_count() - 1);
+}
+
+TEST(LowerBound, CompactSchemeStillMeetsItsUpperBoundOnGadget) {
+  // The gadget does not break the compact schemes -- they just cannot go
+  // below stretch 2 in the worst case.  Verify the stretch-6 scheme's upper
+  // bound holds here too (the lower bound speaks to any scheme's *worst*
+  // pair, not to feasibility).
+  Rng rng(6);
+  Digraph g = lower_bound_gadget(24, 0.4, rng);
+  g.assign_adversarial_ports(rng);
+  auto names = NameAssignment::random(g.node_count(), rng);
+  RoundtripMetric m(g);
+  Rng scheme_rng(7);
+  Stretch6Scheme scheme(g, m, names, scheme_rng);
+  double worst = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      auto res = simulate_roundtrip(g, scheme, s, t, names.name_of(t));
+      ASSERT_TRUE(res.ok());
+      double stretch = static_cast<double>(res.roundtrip_length()) /
+                       static_cast<double>(m.r(s, t));
+      worst = std::max(worst, stretch);
+      EXPECT_LE(stretch, 6.0);
+    }
+  }
+  EXPECT_GE(worst, 1.0);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "core/names.h"
+
+namespace rtr {
+namespace {
+
+TEST(Names, IdentityRoundTrips) {
+  auto names = NameAssignment::identity(10);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(names.name_of(v), v);
+    EXPECT_EQ(names.id_of(v), v);
+  }
+}
+
+TEST(Names, RandomIsABijection) {
+  Rng rng(1);
+  auto names = NameAssignment::random(100, rng);
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_EQ(names.id_of(names.name_of(v)), v);
+  }
+}
+
+TEST(Names, ExplicitPermutation) {
+  NameAssignment names({2, 0, 1});
+  EXPECT_EQ(names.name_of(0), 2);
+  EXPECT_EQ(names.id_of(2), 0);
+  EXPECT_EQ(names.id_of(0), 1);
+}
+
+TEST(Names, RejectsNonPermutations) {
+  EXPECT_THROW(NameAssignment({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(NameAssignment({0, 3, 1}), std::invalid_argument);
+  EXPECT_THROW(NameAssignment({-1, 0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cover/partial_cover.h"
+
+namespace rtr {
+namespace {
+
+std::vector<SeedCluster> clusters_from(
+    std::vector<std::vector<NodeId>> raw) {
+  std::vector<SeedCluster> out;
+  for (auto& members : raw) {
+    SeedCluster c;
+    c.seed = members.front();
+    std::sort(members.begin(), members.end());
+    c.members = std::move(members);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+TEST(PartialCover, DisjointClustersPassThrough) {
+  auto r = clusters_from({{0, 1}, {2, 3}, {4, 5}});
+  std::vector<char> active(r.size(), 1);
+  auto res = partial_cover(r, active, 6, 2);
+  EXPECT_EQ(res.merged.size(), 3u);
+  EXPECT_EQ(res.covered.size(), 3u);
+  EXPECT_TRUE(res.consumed.empty());
+  // Lemma 11(2): outputs pairwise disjoint.
+  std::set<NodeId> seen;
+  for (const auto& m : res.merged) {
+    for (NodeId v : m.members) EXPECT_TRUE(seen.insert(v).second);
+  }
+}
+
+TEST(PartialCover, CoveredClustersAreContained) {
+  // Lemma 11(1): every covered cluster is inside its merged output.
+  auto r = clusters_from({{0, 1, 2}, {2, 3}, {3, 4}, {7, 8}});
+  std::vector<char> active(r.size(), 1);
+  auto res = partial_cover(r, active, 9, 2);
+  for (std::size_t i = 0; i < res.merged.size(); ++i) {
+    for (std::int32_t c : res.merged[i].absorbed) {
+      for (NodeId v : r[static_cast<std::size_t>(c)].members) {
+        EXPECT_TRUE(std::binary_search(res.merged[i].members.begin(),
+                                       res.merged[i].members.end(), v));
+      }
+    }
+  }
+  // Every input cluster is either covered or consumed (this instance has a
+  // chain, so one pass handles all of it) -- and never both.
+  std::set<std::int32_t> covered(res.covered.begin(), res.covered.end());
+  std::set<std::int32_t> consumed(res.consumed.begin(), res.consumed.end());
+  for (std::int32_t c : consumed) EXPECT_FALSE(covered.contains(c));
+}
+
+TEST(PartialCover, InactiveClustersUntouched) {
+  auto r = clusters_from({{0, 1}, {1, 2}, {4, 5}});
+  std::vector<char> active = {1, 0, 1};
+  auto res = partial_cover(r, active, 6, 2);
+  // Cluster 1 is inactive: never covered, never consumed.
+  for (std::int32_t c : res.covered) EXPECT_NE(c, 1);
+  for (std::int32_t c : res.consumed) EXPECT_NE(c, 1);
+}
+
+TEST(PartialCover, CenterIsSeedOfFirstCluster) {
+  auto r = clusters_from({{5, 1}, {1, 2}});
+  std::vector<char> active(r.size(), 1);
+  auto res = partial_cover(r, active, 6, 2);
+  ASSERT_FALSE(res.merged.empty());
+  EXPECT_EQ(res.merged[0].center, 5);
+}
+
+TEST(PartialCover, ChainMergesRespectGrowthBound) {
+  // A long chain of pairwise-overlapping clusters; with k=2 the growth
+  // condition |Z| <= sqrt(|R|) |Y| stops the merge early, consuming the
+  // boundary clusters without covering them.
+  std::vector<std::vector<NodeId>> raw;
+  for (NodeId i = 0; i < 16; ++i) raw.push_back({i, static_cast<NodeId>(i + 1)});
+  auto r = clusters_from(std::move(raw));
+  std::vector<char> active(r.size(), 1);
+  auto res = partial_cover(r, active, 20, 2);
+  EXPECT_FALSE(res.merged.empty());
+  std::size_t processed = res.covered.size() + res.consumed.size();
+  EXPECT_EQ(processed, r.size());  // the chain all intersects transitively
+  EXPECT_LT(res.covered.size(), r.size());  // some were merely consumed
+}
+
+TEST(PartialCover, RejectsBadK) {
+  auto r = clusters_from({{0}});
+  std::vector<char> active = {1};
+  EXPECT_THROW(partial_cover(r, active, 1, 1), std::invalid_argument);
+}
+
+TEST(PartialCover, EmptyActiveSetYieldsNothing) {
+  auto r = clusters_from({{0, 1}});
+  std::vector<char> active = {0};
+  auto res = partial_cover(r, active, 2, 2);
+  EXPECT_TRUE(res.merged.empty());
+  EXPECT_TRUE(res.covered.empty());
+}
+
+}  // namespace
+}  // namespace rtr

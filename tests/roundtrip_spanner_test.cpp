@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/scc.h"
+#include "spanner/roundtrip_spanner.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+struct SpannerParam {
+  Family family;
+  NodeId n;
+  int k;
+  std::uint64_t seed;
+};
+
+class SpannerTest : public ::testing::TestWithParam<SpannerParam> {};
+
+TEST_P(SpannerTest, StretchWithinBoundAndSparser) {
+  const auto& p = GetParam();
+  Instance inst = make_instance(p.family, p.n, 4, p.seed);
+  SpannerResult res = build_roundtrip_spanner(inst.graph, *inst.metric, p.k);
+  EXPECT_TRUE(is_strongly_connected(res.subgraph));
+  EXPECT_LE(res.measured_stretch, res.stretch_bound);
+  EXPECT_GE(res.measured_stretch, 1.0);
+  EXPECT_LE(res.edges, inst.graph.edge_count());
+  // Sparsity shape: O~(k n^{1+1/k} log RTDiam) with a generous constant.
+  const double n = static_cast<double>(inst.n());
+  const double logd =
+      std::log2(static_cast<double>(inst.metric->rt_diameter()) + 2);
+  EXPECT_LE(static_cast<double>(res.edges),
+            4.0 * p.k * std::pow(n, 1.0 + 1.0 / p.k) * logd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpannerTest,
+    ::testing::Values(SpannerParam{Family::kRandom, 48, 2, 1},
+                      SpannerParam{Family::kRandom, 48, 3, 2},
+                      SpannerParam{Family::kGrid, 36, 2, 3},
+                      SpannerParam{Family::kRing, 40, 3, 4},
+                      SpannerParam{Family::kScaleFree, 48, 2, 5}),
+    [](const ::testing::TestParamInfo<SpannerParam>& info) {
+      return family_name(info.param.family).substr(0, 4) + "_n" +
+             std::to_string(info.param.n) + "_k" + std::to_string(info.param.k) +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+TEST(Spanner, DenseGraphGetsMuchSparser) {
+  // On a complete digraph the spanner should drop almost all edges.
+  Rng rng(9);
+  Digraph g = complete_digraph(64, 4, rng);
+  g.assign_adversarial_ports(rng);
+  RoundtripMetric metric(g);
+  SpannerResult res = build_roundtrip_spanner(g, metric, 2);
+  EXPECT_LT(res.edges, g.edge_count() / 4);
+  EXPECT_LE(res.measured_stretch, res.stretch_bound);
+}
+
+}  // namespace
+}  // namespace rtr

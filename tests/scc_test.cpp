@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/scc.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  Digraph g(5);
+  for (NodeId i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5, 1);
+  auto comp = strongly_connected_components(g);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(comp[static_cast<std::size_t>(v)], comp[0]);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, PathIsNotStronglyConnected) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(is_strongly_connected(g));
+  auto comp = strongly_connected_components(g);
+  // All four nodes in distinct components.
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(Scc, TwoCyclesWithOneWayBridge) {
+  Digraph g(6);
+  for (NodeId i = 0; i < 3; ++i) g.add_edge(i, (i + 1) % 3, 1);
+  for (NodeId i = 3; i < 6; ++i) g.add_edge(i, 3 + (i - 3 + 1) % 3, 1);
+  g.add_edge(0, 3, 1);  // bridge, one way only
+  auto comp = strongly_connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, EmptyAndSingletonGraphs) {
+  EXPECT_TRUE(is_strongly_connected(Digraph(0)));
+  EXPECT_TRUE(is_strongly_connected(Digraph(1)));
+  Digraph g2(2);
+  EXPECT_FALSE(is_strongly_connected(g2));
+}
+
+TEST(Scc, DeepGraphDoesNotOverflowStack) {
+  // 60k-node cycle: a recursive Tarjan would crash here.
+  const NodeId n = 60000;
+  Digraph g(n);
+  for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, 1);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(SccSubgraph, InducedSubgraphConnectivity) {
+  // 0 <-> 1 <-> 2 with 3 hanging off one-way.
+  Digraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 1, 1);
+  g.add_edge(0, 3, 1);
+  std::vector<char> all = {1, 1, 1, 0};
+  EXPECT_TRUE(is_strongly_connected_subgraph(g, all));
+  std::vector<char> with3 = {1, 1, 1, 1};
+  EXPECT_FALSE(is_strongly_connected_subgraph(g, with3));
+  // {0, 2} alone: the connecting node 1 is masked out.
+  std::vector<char> gap = {1, 0, 1, 0};
+  EXPECT_FALSE(is_strongly_connected_subgraph(g, gap));
+  std::vector<char> single = {0, 1, 0, 0};
+  EXPECT_TRUE(is_strongly_connected_subgraph(g, single));
+}
+
+TEST(Scc, GeneratorFamiliesAreStronglyConnected) {
+  Rng rng(17);
+  for (Family f : all_families()) {
+    for (NodeId n : {16, 100}) {
+      Digraph g = make_family(f, n, 8, rng);
+      EXPECT_TRUE(is_strongly_connected(g)) << family_name(f) << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtr

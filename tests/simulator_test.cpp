@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "net/simulator.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+// A deliberately broken scheme for failure-injection tests: forwards in a
+// two-node cycle forever, or emits an unknown port.
+struct BrokenScheme {
+  enum class Failure { kLoop, kBadPort };
+  Failure failure;
+  const Digraph* g;
+
+  struct Header {
+    NodeName dest = kNoNode;
+  };
+  Header make_packet(NodeName dest) const { return Header{dest}; }
+  void prepare_return(Header&) const {}
+  std::int64_t header_bits(const Header&) const { return 8; }
+  Decision forward(NodeId at, Header&) const {
+    if (failure == Failure::kBadPort) return Decision::forward_on(999999);
+    // Loop: always take the first out edge.
+    return Decision::forward_on(g->out_edges(at)[0].port);
+  }
+};
+
+TEST(Simulator, HopBudgetCatchesForwardingLoops) {
+  Instance inst = make_instance(Family::kRandom, 20, 3, 1);
+  BrokenScheme scheme{BrokenScheme::Failure::kLoop, &inst.graph};
+  auto res = simulate_roundtrip(inst.graph, scheme, 0, 5, inst.names.name_of(5));
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.delivered_out);
+}
+
+TEST(Simulator, UnknownPortThrows) {
+  Instance inst = make_instance(Family::kRandom, 20, 3, 2);
+  BrokenScheme scheme{BrokenScheme::Failure::kBadPort, &inst.graph};
+  EXPECT_THROW(simulate_roundtrip(inst.graph, scheme, 0, 5, inst.names.name_of(5)),
+               std::logic_error);
+}
+
+// A correct trivial scheme on a two-node graph used to probe the simulator's
+// bookkeeping precisely.
+struct TwoNodeScheme {
+  const Digraph* g;
+  struct Header {
+    NodeName dest;
+    NodeName src = kNoNode;
+    bool returning = false;
+  };
+  Header make_packet(NodeName dest) const { return Header{dest, kNoNode, false}; }
+  void prepare_return(Header& h) const { h.returning = true; }
+  std::int64_t header_bits(const Header&) const { return 17; }
+  Decision forward(NodeId at, Header& h) const {
+    if (h.src == kNoNode) h.src = at == 0 ? 0 : 1;  // identity names
+    NodeName target = h.returning ? h.src : h.dest;
+    if (at == target) return Decision::deliver_here();
+    return Decision::forward_on(g->out_edges(at)[0].port);
+  }
+};
+
+TEST(Simulator, CountsHopsAndLengthsPerLeg) {
+  Digraph g(2);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 0, 7);
+  TwoNodeScheme scheme{&g};
+  auto res = simulate_roundtrip(g, scheme, 0, 1, 1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.out_length, 5);
+  EXPECT_EQ(res.back_length, 7);
+  EXPECT_EQ(res.out_hops, 1);
+  EXPECT_EQ(res.back_hops, 1);
+  EXPECT_EQ(res.max_header_bits, 17);
+}
+
+TEST(Simulator, RecordsPathsWhenAsked) {
+  Digraph g(2);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 0, 7);
+  TwoNodeScheme scheme{&g};
+  SimOptions opt;
+  opt.record_paths = true;
+  auto res = simulate_roundtrip(g, scheme, 0, 1, 1, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.out_path, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(res.back_path, (std::vector<NodeId>{1, 0}));
+}
+
+TEST(Simulator, SchemeHandleTypeErasure) {
+  Digraph g(2);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 0, 7);
+  auto scheme = std::make_shared<TwoNodeScheme>(TwoNodeScheme{&g});
+  // TwoNodeScheme has no table_stats; wrap manually instead.
+  auto run = [&](NodeId s, NodeId t) {
+    return simulate_roundtrip(g, *scheme, s, t, static_cast<NodeName>(t));
+  };
+  auto res = run(0, 1);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.roundtrip_length(), 12);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,84 @@
+// Section 2.2's remarked variant: "the algorithm could operate by routing
+// from s to w and back to s, before routing to t and back.  This would be
+// slightly simpler to analyze and would result in the same worst-case
+// stretch.  However it can result in longer paths."
+//
+// We test exactly those three claims: correctness, the same <= 6 bound, and
+// (on aggregate) paths at least as long as the direct variant's.
+#include <gtest/gtest.h>
+
+#include "core/stretch6.h"
+#include "net/simulator.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::FamilyParam;
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+class Stretch6DetourTest : public ::testing::TestWithParam<FamilyParam> {
+ protected:
+  void Build() {
+    auto [family, n, seed] = GetParam();
+    inst_ = make_instance(family, n, 5, seed);
+    // Identical substrate randomness for a fair direct-vs-detour comparison.
+    Rng rng_a(seed + 99), rng_b(seed + 99);
+    Stretch6Scheme::Options direct_opts;
+    direct_ = std::make_unique<Stretch6Scheme>(inst_.graph, *inst_.metric,
+                                               inst_.names, rng_a, direct_opts);
+    Stretch6Scheme::Options detour_opts;
+    detour_opts.detour_via_source = true;
+    detour_ = std::make_unique<Stretch6Scheme>(inst_.graph, *inst_.metric,
+                                               inst_.names, rng_b, detour_opts);
+  }
+  Instance inst_;
+  std::unique_ptr<Stretch6Scheme> direct_;
+  std::unique_ptr<Stretch6Scheme> detour_;
+};
+
+TEST_P(Stretch6DetourTest, DetourDeliversWithinStretchSix) {
+  Build();
+  for (NodeId s = 0; s < inst_.n(); ++s) {
+    for (NodeId t = 0; t < inst_.n(); ++t) {
+      if (s == t) continue;
+      auto res = simulate_roundtrip(inst_.graph, *detour_, s, t,
+                                    inst_.names.name_of(t));
+      ASSERT_TRUE(res.ok()) << "undelivered " << s << "->" << t;
+      EXPECT_LE(res.roundtrip_length(), 6 * inst_.metric->r(s, t));
+    }
+  }
+}
+
+TEST_P(Stretch6DetourTest, DetourNeverBeatsDirectInAggregate) {
+  Build();
+  Dist direct_total = 0, detour_total = 0;
+  for (NodeId s = 0; s < inst_.n(); s += 2) {
+    for (NodeId t = 0; t < inst_.n(); t += 3) {
+      if (s == t) continue;
+      auto res_direct = simulate_roundtrip(inst_.graph, *direct_, s, t,
+                                           inst_.names.name_of(t));
+      auto res_detour = simulate_roundtrip(inst_.graph, *detour_, s, t,
+                                           inst_.names.name_of(t));
+      ASSERT_TRUE(res_direct.ok());
+      ASSERT_TRUE(res_detour.ok());
+      direct_total += res_direct.roundtrip_length();
+      detour_total += res_detour.roundtrip_length();
+    }
+  }
+  EXPECT_LE(direct_total, detour_total)
+      << "the paper predicts the detour variant yields longer paths";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Stretch6DetourTest,
+    ::testing::Values(FamilyParam{Family::kRandom, 48, 1},
+                      FamilyParam{Family::kGrid, 36, 2},
+                      FamilyParam{Family::kRing, 40, 3}),
+    [](const ::testing::TestParamInfo<FamilyParam>& info) {
+      return ::rtr::testing::family_param_name(info.param);
+    });
+
+}  // namespace
+}  // namespace rtr

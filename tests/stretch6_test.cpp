@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stretch6.h"
+#include "net/simulator.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::FamilyParam;
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+class Stretch6Test : public ::testing::TestWithParam<FamilyParam> {
+ protected:
+  void Build() {
+    auto [family, n, seed] = GetParam();
+    inst_ = make_instance(family, n, 5, seed);
+    Rng rng(seed + 77);
+    scheme_ = std::make_unique<Stretch6Scheme>(inst_.graph, *inst_.metric,
+                                               inst_.names, rng);
+  }
+  Instance inst_;
+  std::unique_ptr<Stretch6Scheme> scheme_;
+};
+
+TEST_P(Stretch6Test, AllPairsDeliverWithinStretchSix) {
+  Build();
+  for (NodeId s = 0; s < inst_.n(); ++s) {
+    for (NodeId t = 0; t < inst_.n(); ++t) {
+      if (s == t) continue;
+      auto res = simulate_roundtrip(inst_.graph, *scheme_, s, t,
+                                    inst_.names.name_of(t));
+      ASSERT_TRUE(res.ok()) << "undelivered " << s << "->" << t;
+      EXPECT_LE(res.roundtrip_length(), 6 * inst_.metric->r(s, t))
+          << "Lemma 3 stretch bound violated for " << s << "->" << t;
+    }
+  }
+}
+
+TEST_P(Stretch6Test, TablesNearSqrtN) {
+  Build();
+  TableStats stats = scheme_->table_stats();
+  const double n = static_cast<double>(inst_.n());
+  // O~(sqrt n): sqrt(n) * polylog with a generous constant.
+  const double budget = std::sqrt(n) * std::pow(std::log2(n) + 1, 2) * 10;
+  EXPECT_LE(static_cast<double>(stats.max_entries()), budget);
+}
+
+TEST_P(Stretch6Test, HeadersStayWithinLogSquared) {
+  Build();
+  const double log_n = std::log2(static_cast<double>(inst_.n())) + 1;
+  for (NodeId s = 0; s < inst_.n(); s += 3) {
+    for (NodeId t = 0; t < inst_.n(); t += 5) {
+      auto res = simulate_roundtrip(inst_.graph, *scheme_, s, t,
+                                    inst_.names.name_of(t));
+      ASSERT_TRUE(res.ok());
+      EXPECT_LE(static_cast<double>(res.max_header_bits), 100 * log_n * log_n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Stretch6Test,
+    ::testing::Values(FamilyParam{Family::kRandom, 48, 1},
+                      FamilyParam{Family::kGrid, 36, 2},
+                      FamilyParam{Family::kRing, 40, 3},
+                      FamilyParam{Family::kScaleFree, 48, 4},
+                      FamilyParam{Family::kBidirected, 40, 5},
+                      FamilyParam{Family::kRandom, 100, 6},
+                      FamilyParam{Family::kRandom, 48, 7},
+                      FamilyParam{Family::kGrid, 64, 8}),
+    [](const ::testing::TestParamInfo<FamilyParam>& info) {
+      return ::rtr::testing::family_param_name(info.param);
+    });
+
+TEST(Stretch6, SelfDeliveryImmediate) {
+  Instance inst = make_instance(Family::kRandom, 30, 4, 21);
+  Rng rng(22);
+  Stretch6Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
+  auto res = simulate_roundtrip(inst.graph, scheme, 4, 4, inst.names.name_of(4));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.roundtrip_length(), 0);
+}
+
+// Routing behaviour must be invariant under re-naming: the TINN property.
+TEST(Stretch6, DeliversUnderManyAdversarialNamings) {
+  Rng graph_rng(23);
+  Digraph g = random_strongly_connected(40, 3.5, 5, graph_rng);
+  g.assign_adversarial_ports(graph_rng);
+  RoundtripMetric metric(g);
+  for (std::uint64_t name_seed : {1u, 2u, 3u}) {
+    Rng rng(name_seed);
+    auto names = NameAssignment::random(40, rng);
+    Stretch6Scheme scheme(g, metric, names, rng);
+    for (NodeId s = 0; s < 40; s += 3) {
+      for (NodeId t = 0; t < 40; t += 4) {
+        auto res = simulate_roundtrip(g, scheme, s, t, names.name_of(t));
+        ASSERT_TRUE(res.ok());
+        EXPECT_LE(res.roundtrip_length(), 6 * metric.r(s, t));
+      }
+    }
+  }
+}
+
+TEST(Stretch6, NeighborhoodSizeIsCeilSqrtN) {
+  Instance inst = make_instance(Family::kRandom, 50, 4, 25);
+  Rng rng(26);
+  Stretch6Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
+  EXPECT_EQ(scheme.neighborhood_size(), 8);  // ceil(sqrt(50)) = 8
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,55 @@
+// Shared fixtures/helpers for the test suite.
+#ifndef RTR_TESTS_TEST_SUPPORT_H
+#define RTR_TESTS_TEST_SUPPORT_H
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/names.h"
+#include "graph/apsp.h"
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "graph/scc.h"
+#include "rt/metric.h"
+#include "util/rng.h"
+
+namespace rtr::testing {
+
+/// A generated test instance: graph + adversarial names/ports + metric.
+struct Instance {
+  Digraph graph{0};
+  NameAssignment names = NameAssignment::identity(0);
+  std::unique_ptr<RoundtripMetric> metric;
+
+  [[nodiscard]] NodeId n() const { return graph.node_count(); }
+};
+
+/// Builds a family instance with adversarial (random) ports and names.
+inline Instance make_instance(Family family, NodeId n, Weight max_weight,
+                              std::uint64_t seed) {
+  Instance inst;
+  Rng rng(seed);
+  inst.graph = make_family(family, n, max_weight, rng);
+  inst.graph.assign_adversarial_ports(rng);
+  inst.names = NameAssignment::random(inst.graph.node_count(), rng);
+  inst.metric = std::make_unique<RoundtripMetric>(inst.graph);
+  return inst;
+}
+
+/// Parameter tuple for family sweeps: (family, n, seed).
+using FamilyParam = std::tuple<Family, NodeId, std::uint64_t>;
+
+inline std::string family_param_name(const FamilyParam& p) {
+  auto [family, n, seed] = p;
+  std::string name = family_name(family);
+  for (auto& c : name) {
+    if (c == '+' || c == '-') c = '_';
+  }
+  return name + "_n" + std::to_string(n) + "_s" + std::to_string(seed);
+}
+
+}  // namespace rtr::testing
+
+#endif  // RTR_TESTS_TEST_SUPPORT_H

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "treeroute/tree_router.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+// Routes from the tree root to `target` by repeatedly applying the local
+// forwarding rule, resolving ports against the graph; returns the weighted
+// length, or -1 on any failure.
+Dist route_in_tree(const Digraph& g, const TreeRouter& router, NodeId target) {
+  TreeLabel label = router.label(target);
+  NodeId at = router.root();
+  Dist total = 0;
+  for (int guard = 0; guard < 2 * g.node_count() + 4; ++guard) {
+    Port p = tree_next_port(router.table(at), label);
+    if (p == kNoPort) return at == target ? total : -1;
+    const Edge* e = g.edge_by_port(at, p);
+    if (e == nullptr) return -1;
+    total += e->weight;
+    at = e->to;
+  }
+  return -1;
+}
+
+class TreeRouterFamilyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeRouterFamilyTest, RoutesOptimallyToEveryNode) {
+  Rng rng(GetParam());
+  Digraph g = random_strongly_connected(120, 3.0, 9, rng);
+  g.assign_adversarial_ports(rng);
+  OutTree tree = dijkstra_out_tree(g, 0);
+  TreeRouter router(tree);
+  EXPECT_EQ(router.member_count(), 120);
+  for (NodeId v = 0; v < 120; ++v) {
+    EXPECT_EQ(route_in_tree(g, router, v), tree.dist[static_cast<std::size_t>(v)])
+        << "target " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeRouterFamilyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(TreeRouter, LabelSizeLogarithmicLightHops) {
+  Rng rng(7);
+  Digraph g = random_strongly_connected(500, 3.0, 9, rng);
+  g.assign_adversarial_ports(rng);
+  TreeRouter router(dijkstra_out_tree(g, 3));
+  const double log_n = std::log2(500.0);
+  for (NodeId v = 0; v < 500; ++v) {
+    EXPECT_LE(static_cast<double>(router.label(v).light_hops.size()), log_n)
+        << "heavy-path decomposition bound violated";
+  }
+}
+
+TEST(TreeRouter, PathGraphHasNoLightHops) {
+  // A directed path: every child is the unique (hence heavy) child.
+  Digraph g(20);
+  for (NodeId i = 0; i + 1 < 20; ++i) g.add_edge(i, i + 1, 1);
+  g.add_edge(19, 0, 1);  // close the cycle for variety; tree ignores it
+  TreeRouter router(dijkstra_out_tree(g, 0));
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_TRUE(router.label(v).light_hops.empty());
+  }
+  EXPECT_EQ(route_in_tree(g, router, 19), 19);
+}
+
+TEST(TreeRouter, StarGraphLabelsUseLightEdges) {
+  // Star: all but the heaviest child are light.
+  Digraph g(10);
+  for (NodeId v = 1; v < 10; ++v) {
+    g.add_edge(0, v, 1);
+    g.add_edge(v, 0, 1);
+  }
+  TreeRouter router(dijkstra_out_tree(g, 0));
+  int light_labels = 0;
+  for (NodeId v = 1; v < 10; ++v) {
+    light_labels += router.label(v).light_hops.empty() ? 0 : 1;
+    EXPECT_EQ(route_in_tree(g, router, v), 1);
+  }
+  EXPECT_EQ(light_labels, 8);  // exactly one heavy child
+}
+
+TEST(TreeRouter, RestrictedTreeSkipsNonMembers) {
+  Rng rng(8);
+  Digraph g = random_strongly_connected(60, 3.0, 5, rng);
+  g.assign_adversarial_ports(rng);
+  std::vector<char> mask(60, 0);
+  for (NodeId v = 0; v < 30; ++v) mask[static_cast<std::size_t>(v)] = 1;
+  OutTree tree = dijkstra_out_tree_within(g, 5, mask);
+  TreeRouter router(tree);
+  EXPECT_LE(router.member_count(), 30);
+  for (NodeId v = 30; v < 60; ++v) EXPECT_FALSE(router.contains(v));
+  for (NodeId v : router.members()) {
+    EXPECT_EQ(route_in_tree(g, router, v), tree.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(TreeRouter, SingletonTree) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  std::vector<char> mask = {1, 0, 0};
+  TreeRouter router(dijkstra_out_tree_within(g, 0, mask));
+  EXPECT_EQ(router.member_count(), 1);
+  TreeLabel self = router.label(0);
+  EXPECT_EQ(tree_next_port(router.table(0), self), kNoPort);
+}
+
+TEST(TreeRouter, LabelForNonMemberThrows) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 1);
+  std::vector<char> mask = {1, 1, 0};
+  TreeRouter router(dijkstra_out_tree_within(g, 0, mask));
+  EXPECT_THROW(router.label(2), std::invalid_argument);
+}
+
+TEST(TreeRouter, OffPathLeafThrows) {
+  // Deliver at a leaf that is not the target: defensive logic_error.
+  Digraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(1, 0, 1);
+  g.add_edge(2, 0, 1);
+  TreeRouter router(dijkstra_out_tree(g, 0));
+  TreeLabel to_1 = router.label(1);
+  // Node 2 is a leaf not on the path to 1.
+  EXPECT_THROW((void)tree_next_port(router.table(2), to_1), std::logic_error);
+}
+
+TEST(TreeRouter, LabelBitsAccounting) {
+  TreeLabel label;
+  label.dfs_in = 5;
+  label.light_hops = {{1, 2}, {3, 4}};
+  // 2 * id (dfs + length) + 2 hops * (id + port).
+  EXPECT_EQ(tree_label_bits(label, 256, 1024), 8 + 8 + 2 * (8 + 10));
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/bit_cost.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/text_table.h"
+
+namespace rtr {
+namespace {
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1 << 30), b.uniform(0, 1 << 30));
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(7);
+  auto p = rng.permutation(257);
+  std::set<std::int32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 256);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  for (std::int32_t k : {1, 5, 50, 99, 100}) {
+    auto s = rng.sample_without_replacement(100, k);
+    std::set<std::int32_t> seen(s.begin(), s.end());
+    EXPECT_EQ(static_cast<std::int32_t>(seen.size()), k);
+    for (auto v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(Rng, SampleRejectsBadArgs) {
+  Rng rng(3);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+  EXPECT_THROW(rng.sample_without_replacement(5, -1), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(BitCost, KnownValues) {
+  EXPECT_EQ(bits_for(0), 1);
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(1024), 10);
+  EXPECT_EQ(bits_for(1025), 11);
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(0.5), std::logic_error);
+}
+
+TEST(Summary, PercentileAfterInterleavedAdds) {
+  Summary s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 10.0);
+  s.add(0.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  auto out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+}  // namespace
+}  // namespace rtr

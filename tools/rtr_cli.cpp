@@ -1,0 +1,168 @@
+// rtr_cli -- command-line front end for the library.
+//
+//   rtr_cli generate <family> <n> <max_weight> <seed>
+//       Emit an edge list for a synthetic strongly connected digraph.
+//   rtr_cli route <scheme> <src> <dst> [seed]  < graph.edges
+//       Build a scheme over the edge list on stdin and run one roundtrip
+//       (src/dst are internal node ids; the packet is addressed by the
+//       node's TINN name).  scheme: stretch6 | exstretch | polystretch |
+//       rtz3 | fulltable.
+//   rtr_cli stats <scheme> [seed]  < graph.edges
+//       Print per-node table statistics for the scheme.
+//
+// Exit status: 0 on success, 1 on routing failure, 2 on usage errors.
+#include <iostream>
+#include <string>
+
+#include "baseline/full_table.h"
+#include "core/exstretch.h"
+#include "core/names.h"
+#include "core/polystretch.h"
+#include "core/stretch6.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/scc.h"
+#include "net/simulator.h"
+#include "rt/metric.h"
+#include "rtz/rtz3_scheme.h"
+
+namespace {
+
+using namespace rtr;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  rtr_cli generate <random|grid|ring|scalefree|bidirected> "
+               "<n> <max_weight> <seed>\n"
+            << "  rtr_cli route <scheme> <src> <dst> [seed]  < graph.edges\n"
+            << "  rtr_cli stats <scheme> [seed]  < graph.edges\n"
+            << "  scheme: stretch6 | exstretch | polystretch | rtz3 | fulltable\n";
+  return 2;
+}
+
+Family parse_family(const std::string& s) {
+  if (s == "random") return Family::kRandom;
+  if (s == "grid") return Family::kGrid;
+  if (s == "ring") return Family::kRing;
+  if (s == "scalefree") return Family::kScaleFree;
+  if (s == "bidirected") return Family::kBidirected;
+  throw std::invalid_argument("unknown family: " + s);
+}
+
+struct LoadedGraph {
+  Digraph graph{0};
+  NameAssignment names = NameAssignment::identity(0);
+  RoundtripMetric metric;
+
+  explicit LoadedGraph(std::uint64_t seed, Digraph g_in)
+      : graph(std::move(g_in)), metric([&] {
+          if (!is_strongly_connected(graph)) {
+            throw std::runtime_error("input graph is not strongly connected");
+          }
+          Rng rng(seed);
+          graph.assign_adversarial_ports(rng);
+          names = NameAssignment::random(graph.node_count(), rng);
+          return RoundtripMetric(graph);
+        }()) {}
+};
+
+template <typename Scheme>
+int run_route(const LoadedGraph& lg, const Scheme& scheme, NodeId src,
+              NodeId dst) {
+  auto res = simulate_roundtrip(lg.graph, scheme, src, dst,
+                                lg.names.name_of(dst));
+  std::cout << "delivered:  " << (res.ok() ? "yes" : "NO") << "\n"
+            << "out:        " << res.out_length << " (" << res.out_hops
+            << " hops)\n"
+            << "back:       " << res.back_length << " (" << res.back_hops
+            << " hops)\n"
+            << "optimal r:  " << lg.metric.r(src, dst) << "\n"
+            << "stretch:    "
+            << (lg.metric.r(src, dst) > 0
+                    ? static_cast<double>(res.roundtrip_length()) /
+                          static_cast<double>(lg.metric.r(src, dst))
+                    : 1.0)
+            << "\n"
+            << "header bits: " << res.max_header_bits << "\n";
+  return res.ok() ? 0 : 1;
+}
+
+template <typename F>
+int with_scheme(const std::string& name, const LoadedGraph& lg, Rng& rng,
+                F&& f) {
+  if (name == "stretch6") {
+    return f(Stretch6Scheme(lg.graph, lg.metric, lg.names, rng));
+  }
+  if (name == "exstretch") {
+    return f(ExStretchScheme(lg.graph, lg.metric, lg.names, rng));
+  }
+  if (name == "polystretch") {
+    return f(PolyStretchScheme(lg.graph, lg.metric, lg.names));
+  }
+  if (name == "rtz3") {
+    return f(Rtz3Scheme(lg.graph, lg.metric, lg.names, rng));
+  }
+  if (name == "fulltable") {
+    return f(FullTableScheme(lg.graph, lg.names));
+  }
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+int main_inner(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "generate") {
+    if (argc != 6) return usage();
+    Rng rng(static_cast<std::uint64_t>(std::stoull(argv[5])));
+    Digraph g = make_family(parse_family(argv[2]),
+                            static_cast<NodeId>(std::stol(argv[3])),
+                            static_cast<Weight>(std::stoll(argv[4])), rng);
+    write_edge_list(std::cout, g);
+    return 0;
+  }
+
+  if (cmd == "route") {
+    if (argc < 5 || argc > 6) return usage();
+    const std::uint64_t seed =
+        argc == 6 ? std::stoull(argv[5]) : std::uint64_t{1};
+    LoadedGraph lg(seed, read_edge_list(std::cin));
+    const auto src = static_cast<NodeId>(std::stol(argv[3]));
+    const auto dst = static_cast<NodeId>(std::stol(argv[4]));
+    if (src < 0 || src >= lg.graph.node_count() || dst < 0 ||
+        dst >= lg.graph.node_count()) {
+      std::cerr << "node id out of range\n";
+      return 2;
+    }
+    Rng rng(seed + 1);
+    return with_scheme(argv[2], lg, rng, [&](const auto& scheme) {
+      return run_route(lg, scheme, src, dst);
+    });
+  }
+
+  if (cmd == "stats") {
+    if (argc < 3 || argc > 4) return usage();
+    const std::uint64_t seed =
+        argc == 4 ? std::stoull(argv[3]) : std::uint64_t{1};
+    LoadedGraph lg(seed, read_edge_list(std::cin));
+    Rng rng(seed + 1);
+    return with_scheme(argv[2], lg, rng, [&](const auto& scheme) {
+      std::cout << scheme.name() << ": " << scheme.table_stats().brief()
+                << "\n";
+      return 0;
+    });
+  }
+
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return main_inner(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
