@@ -35,7 +35,7 @@ void run() {
       Stretch6Scheme::Options opts;
       opts.detour_via_source = v.detour;
       opts.substrate.greedy_centers = v.greedy;
-      Stretch6Scheme scheme(inst.graph, *inst.metric, inst.names, rng, opts);
+      Stretch6Scheme scheme(inst.graph(), *inst.metric, inst.names, rng, opts);
       StretchReport rep = measure_stretch(inst, scheme, 4000, 7);
       table.add_row({family_name(family), fmt_int(inst.n()), v.label,
                      fmt_double(rep.mean_stretch), fmt_double(rep.p99_stretch),

@@ -48,14 +48,14 @@ void run() {
     }
 
     Rng rng(99);
-    Stretch6Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
+    Stretch6Scheme scheme(inst.graph(), *inst.metric, inst.names, rng);
     double worst_oneway = 0, worst_roundtrip = 0;
     Rng pair_rng(7);
     for (int i = 0; i < 3000; ++i) {
       auto s = static_cast<NodeId>(pair_rng.index(inst.n()));
       auto t = static_cast<NodeId>(pair_rng.index(inst.n()));
       if (s == t) continue;
-      auto res = simulate_roundtrip(inst.graph, scheme, s, t,
+      auto res = simulate_roundtrip(inst.graph(), scheme, s, t,
                                     inst.names.name_of(t));
       if (!res.ok()) continue;
       worst_oneway = std::max(

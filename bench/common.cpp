@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <iostream>
+#include <utility>
 
 namespace rtr::bench {
 
@@ -8,11 +9,30 @@ ExperimentInstance build_instance(Family family, NodeId n, Weight max_weight,
                                   std::uint64_t seed) {
   ExperimentInstance inst;
   Rng rng(seed);
-  inst.graph = make_family(family, n, max_weight, rng);
-  inst.graph.assign_adversarial_ports(rng);
-  inst.names = NameAssignment::random(inst.graph.node_count(), rng);
-  inst.metric = std::make_shared<RoundtripMetric>(inst.graph);
+  Digraph g = make_family(family, n, max_weight, rng);
+  g.assign_adversarial_ports(rng);
+  inst.names = NameAssignment::random(g.node_count(), rng);
+  inst.graph_ptr = std::make_shared<const Digraph>(std::move(g));
+  inst.metric = std::make_shared<RoundtripMetric>(*inst.graph_ptr);
   return inst;
+}
+
+std::shared_ptr<const Scheme> build_scheme(
+    const ExperimentInstance& inst, const std::string& scheme_name,
+    std::uint64_t seed, std::map<std::string, std::string> options) {
+  return SchemeRegistry::global().build(scheme_name,
+                                        inst.context(seed, std::move(options)));
+}
+
+StretchReport measure_stretch(const ExperimentInstance& inst,
+                              std::shared_ptr<const Scheme> scheme,
+                              std::int64_t pair_budget, std::uint64_t seed,
+                              int threads) {
+  QueryEngineOptions opts;
+  opts.threads = threads;
+  QueryEngine engine(inst.graph_ptr, inst.metric, inst.names,
+                     std::move(scheme), opts);
+  return engine.run_sampled(pair_budget, seed);
 }
 
 void print_banner(const std::string& experiment, const std::string& artifact,

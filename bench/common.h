@@ -1,17 +1,27 @@
-// Shared harness for the experiment binaries (DESIGN.md experiment index).
+// Shared harness for the experiment binaries (the per-bench header comments
+// name the paper artifact each one reproduces).
 //
 // Each bench builds graph instances, runs roundtrip simulations over sampled
 // (or exhaustive) pairs, and prints the rows the corresponding paper artifact
 // reports.  Binaries take no arguments and bound their own runtime.
+//
+// Two measurement paths are provided:
+//   * the duck-typed template measure_stretch (no vtable on the forwarding
+//     hot path) for perf-sensitive benches, and
+//   * the registry/engine path (build_scheme + measure_stretch over
+//     rtr::Scheme) which shards the batch across a QueryEngine worker pool.
 #ifndef RTR_BENCH_COMMON_H
 #define RTR_BENCH_COMMON_H
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/names.h"
 #include "graph/generators.h"
+#include "net/query_engine.h"
+#include "net/scheme.h"
 #include "net/simulator.h"
 #include "rt/metric.h"
 #include "util/rng.h"
@@ -20,12 +30,24 @@
 
 namespace rtr::bench {
 
+/// Aggregated stretch measurements for one (scheme, instance) cell -- the
+/// engine's report type, shared with the serving layer.
+using StretchReport = ::rtr::StretchReport;
+
 struct ExperimentInstance {
-  Digraph graph{0};
+  std::shared_ptr<const Digraph> graph_ptr;
   NameAssignment names = NameAssignment::identity(0);
   std::shared_ptr<RoundtripMetric> metric;
 
-  [[nodiscard]] NodeId n() const { return graph.node_count(); }
+  [[nodiscard]] const Digraph& graph() const { return *graph_ptr; }
+  [[nodiscard]] NodeId n() const { return graph_ptr->node_count(); }
+
+  /// The instance as a registry BuildContext (scheme randomness from `seed`).
+  [[nodiscard]] BuildContext context(
+      std::uint64_t seed, std::map<std::string, std::string> options = {}) const {
+    return BuildContext::wrap(graph_ptr, metric, names, seed,
+                              std::move(options));
+  }
 };
 
 /// Builds a family instance with adversarial ports and names.
@@ -33,19 +55,22 @@ struct ExperimentInstance {
                                                 Weight max_weight,
                                                 std::uint64_t seed);
 
-/// Aggregated stretch measurements for one (scheme, instance) cell.
-struct StretchReport {
-  std::int64_t pairs = 0;
-  std::int64_t failures = 0;
-  double mean_stretch = 0;
-  double p99_stretch = 0;
-  double max_stretch = 0;
-  std::int64_t max_header_bits = 0;
-};
+/// Builds a registered scheme over the instance by name.
+[[nodiscard]] std::shared_ptr<const Scheme> build_scheme(
+    const ExperimentInstance& inst, const std::string& scheme_name,
+    std::uint64_t seed, std::map<std::string, std::string> options = {});
 
-/// Runs `pair_budget` sampled ordered pairs (all pairs if the budget covers
-/// them) through the scheme and aggregates stretch.
-template <typename Scheme>
+/// Registry/engine measurement path: runs `pair_budget` sampled ordered pairs
+/// (all pairs if the budget covers them) through the scheme across `threads`
+/// workers (0: hardware concurrency) and aggregates stretch.
+[[nodiscard]] StretchReport measure_stretch(const ExperimentInstance& inst,
+                                            std::shared_ptr<const Scheme> scheme,
+                                            std::int64_t pair_budget,
+                                            std::uint64_t seed,
+                                            int threads = 0);
+
+/// Template fast path: same aggregation, no virtual dispatch, single thread.
+template <TemplatedScheme Scheme>
 StretchReport measure_stretch(const ExperimentInstance& inst,
                               const Scheme& scheme, std::int64_t pair_budget,
                               std::uint64_t seed) {
@@ -55,7 +80,7 @@ StretchReport measure_stretch(const ExperimentInstance& inst,
   const std::int64_t all = static_cast<std::int64_t>(n) * (n - 1);
   Rng rng(seed);
   auto run_pair = [&](NodeId s, NodeId t) {
-    auto res = simulate_roundtrip(inst.graph, scheme, s, t,
+    auto res = simulate_roundtrip(inst.graph(), scheme, s, t,
                                   inst.names.name_of(t));
     ++report.pairs;
     if (!res.ok()) {

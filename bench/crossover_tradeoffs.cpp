@@ -53,10 +53,10 @@ void run() {
     Rng rng(k);
     ExStretchScheme::Options ex_opts;
     ex_opts.k = k;
-    ExStretchScheme ex(inst.graph, *inst.metric, inst.names, rng, ex_opts);
+    ExStretchScheme ex(inst.graph(), *inst.metric, inst.names, rng, ex_opts);
     PolyStretchScheme::Options poly_opts;
     poly_opts.k = k;
-    PolyStretchScheme poly(inst.graph, *inst.metric, inst.names, poly_opts);
+    PolyStretchScheme poly(inst.graph(), *inst.metric, inst.names, poly_opts);
     StretchReport ex_rep = measure_stretch(inst, ex, 3000, k);
     StretchReport poly_rep = measure_stretch(inst, poly, 3000, k);
     measured.add_row({fmt_int(k), fmt_double(ex_rep.max_stretch),

@@ -2,19 +2,14 @@
 //
 // The paper's Fig. 1 compares table size, roundtrip capability, name
 // independence and stretch across the literature.  We regenerate the
-// comparable rows empirically: for each implemented scheme we measure max
-// table entries/bits and the realized stretch distribution on a common set
-// of instances, and print the paper's theoretical bound next to the
-// measurement.
+// comparable rows empirically: every scheme registered with the global
+// SchemeRegistry is built by name over a common set of instances and driven
+// through the QueryEngine; the paper's theoretical bound prints next to the
+// measurement.  Adding a scheme to the registry adds its row here for free.
 #include <iostream>
 
-#include "baseline/full_table.h"
 #include "common.h"
-#include "core/exstretch.h"
-#include "core/polystretch.h"
-#include "core/stretch6.h"
 #include "rtz/hierarchy_label_scheme.h"
-#include "rtz/rtz3_scheme.h"
 
 namespace rtr::bench {
 namespace {
@@ -24,15 +19,18 @@ constexpr std::int64_t kPairBudget = 4000;
 struct Row {
   std::string scheme;
   std::string bound;
-  std::string name_independent;
   TableStats stats;
   StretchReport report;
 };
 
+std::string fmt_bound(double bound) {
+  return bound == unbounded_stretch() ? "-" : fmt_double(bound, 0);
+}
+
 void run() {
   print_banner("E1", "Fig. 1",
-               "Measured stretch and table sizes per scheme (random + grid + "
-               "ring instances, n=256).\n"
+               "Measured stretch and table sizes per registered scheme "
+               "(random + grid + ring instances, n=256).\n"
                "Paper rows: [35] name-dep stretch 3 @ O~(sqrt n); this paper "
                "TINN stretch 6 @ O~(sqrt n),\n"
                "and TINN min{(2^{k/2}-1)(k+eps), 8k^2+4k-4} @ O~(n^{2/k}).");
@@ -40,58 +38,31 @@ void run() {
   for (Family family : {Family::kRandom, Family::kGrid, Family::kRing}) {
     const NodeId n = 256;
     ExperimentInstance inst = build_instance(family, n, 4, 7 + static_cast<int>(family));
-    Rng rng(1234);
     std::vector<Row> rows;
 
-    FullTableScheme baseline(inst.graph, inst.names);
-    rows.push_back(Row{"full-table (baseline)", "1", "yes",
-                       baseline.table_stats(),
-                       measure_stretch(inst, baseline, kPairBudget, 1)});
+    std::uint64_t seed = 1;
+    for (const std::string& name : SchemeRegistry::global().names()) {
+      auto scheme = build_scheme(inst, name, 1234 + seed);
+      rows.push_back(Row{name + " | " + scheme->name(),
+                         fmt_bound(scheme->stretch_bound()),
+                         scheme->table_stats(),
+                         measure_stretch(inst, scheme, kPairBudget, seed)});
+      ++seed;
+    }
 
-    Rtz3Scheme rtz3(inst.graph, *inst.metric, inst.names, rng);
-    rows.push_back(Row{"rtz3 [35]-style (name-dep)", "3", "no",
-                       rtz3.table_stats(),
-                       measure_stretch(inst, rtz3, kPairBudget, 2)});
-
+    // Section 4.4's remark scheme is labelled (not TINN-addressed), so it
+    // stays off the registry and runs on the template fast path.
     HierarchyLabelScheme::Options hl_opts;
     hl_opts.k = 3;
-    HierarchyLabelScheme hl(inst.graph, *inst.metric, inst.names, hl_opts);
+    HierarchyLabelScheme hl(inst.graph(), *inst.metric, inst.names, hl_opts);
     rows.push_back(Row{"hier-label k=3 (Sec 4.4 remark)",
-                       fmt_double(hl.stretch_bound(), 0), "no",
-                       hl.table_stats(),
+                       fmt_double(hl.stretch_bound(), 0), hl.table_stats(),
                        measure_stretch(inst, hl, kPairBudget, 6)});
 
-    Stretch6Scheme s6(inst.graph, *inst.metric, inst.names, rng);
-    rows.push_back(Row{"stretch6 (this paper, Sec 2)", "6", "yes",
-                       s6.table_stats(),
-                       measure_stretch(inst, s6, kPairBudget, 3)});
-
-    for (int k : {3, 4}) {
-      ExStretchScheme::Options opts;
-      opts.k = k;
-      ExStretchScheme ex(inst.graph, *inst.metric, inst.names, rng, opts);
-      rows.push_back(Row{"exstretch k=" + std::to_string(k) + " (Sec 3)",
-                         fmt_double(ex.stretch_bound(), 0), "yes",
-                         ex.table_stats(),
-                         measure_stretch(inst, ex, kPairBudget, 4)});
-    }
-
-    for (int k : {3}) {
-      PolyStretchScheme::Options opts;
-      opts.k = k;
-      PolyStretchScheme poly(inst.graph, *inst.metric, inst.names, opts);
-      rows.push_back(Row{"polystretch k=" + std::to_string(k) + " (Sec 4)",
-                         fmt_double(poly.stretch_bound(), 0), "yes",
-                         poly.table_stats(),
-                         measure_stretch(inst, poly, kPairBudget, 5)});
-    }
-
-    TextTable table({"scheme", "bound", "TINN", "max tbl entries",
-                     "max tbl KiB", "mean stretch", "p99", "max", "hdr bits",
-                     "fail"});
+    TextTable table({"scheme", "bound", "max tbl entries", "max tbl KiB",
+                     "mean stretch", "p99", "max", "hdr bits", "fail"});
     for (const auto& row : rows) {
-      table.add_row({row.scheme, row.bound, row.name_independent,
-                     fmt_int(row.stats.max_entries()),
+      table.add_row({row.scheme, row.bound, fmt_int(row.stats.max_entries()),
                      fmt_double(static_cast<double>(row.stats.max_bits()) / 8192.0),
                      fmt_double(row.report.mean_stretch),
                      fmt_double(row.report.p99_stretch),

@@ -24,13 +24,13 @@ void run() {
       ExperimentInstance inst =
           build_instance(family, n, 4, 200 + n + static_cast<int>(family));
       Rng rng(n);
-      Rtz3Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
+      Rtz3Scheme scheme(inst.graph(), *inst.metric, inst.names, rng);
       std::int64_t violations = 0, pairs = 0;
       Summary stretch;
       for (NodeId s = 0; s < inst.n(); ++s) {
         for (NodeId t = 0; t < inst.n(); ++t) {
           if (s == t) continue;
-          auto res = simulate_roundtrip(inst.graph, scheme, s, t,
+          auto res = simulate_roundtrip(inst.graph(), scheme, s, t,
                                         inst.names.name_of(t));
           ++pairs;
           if (!res.ok()) {

@@ -29,12 +29,12 @@ void run() {
     g.assign_adversarial_ports(rng);
     auto names = NameAssignment::random(g.node_count(), rng);
     ExperimentInstance inst;
-    inst.graph = std::move(g);
+    inst.graph_ptr = std::make_shared<const Digraph>(std::move(g));
     inst.names = names;
-    inst.metric = std::make_shared<RoundtripMetric>(inst.graph);
+    inst.metric = std::make_shared<RoundtripMetric>(inst.graph());
     const bool symmetric = is_distance_symmetric(*inst.metric);
 
-    FullTableScheme baseline(inst.graph, inst.names);
+    FullTableScheme baseline(inst.graph(), inst.names);
     StretchReport base_rep = measure_stretch(inst, baseline, 4000, n);
     table.add_row({fmt_int(inst.n()), baseline.name(),
                    fmt_int(baseline.table_stats().max_entries()),
@@ -42,14 +42,14 @@ void run() {
                    fmt_double(base_rep.mean_stretch), symmetric ? "yes" : "NO"});
 
     Rng scheme_rng(n);
-    Rtz3Scheme rtz3(inst.graph, *inst.metric, inst.names, scheme_rng);
+    Rtz3Scheme rtz3(inst.graph(), *inst.metric, inst.names, scheme_rng);
     StretchReport rtz_rep = measure_stretch(inst, rtz3, 4000, n + 1);
     table.add_row({fmt_int(inst.n()), rtz3.name(),
                    fmt_int(rtz3.table_stats().max_entries()),
                    fmt_double(rtz_rep.max_stretch),
                    fmt_double(rtz_rep.mean_stretch), symmetric ? "yes" : "NO"});
 
-    Stretch6Scheme s6(inst.graph, *inst.metric, inst.names, scheme_rng);
+    Stretch6Scheme s6(inst.graph(), *inst.metric, inst.names, scheme_rng);
     StretchReport s6_rep = measure_stretch(inst, s6, 4000, n + 2);
     table.add_row({fmt_int(inst.n()), s6.name(),
                    fmt_int(s6.table_stats().max_entries()),

@@ -23,7 +23,7 @@ void run() {
       ExperimentInstance inst = build_instance(Family::kRandom, n, 4, 800 + n + k);
       PolyStretchScheme::Options opts;
       opts.k = k;
-      PolyStretchScheme scheme(inst.graph, *inst.metric, inst.names, opts);
+      PolyStretchScheme scheme(inst.graph(), *inst.metric, inst.names, opts);
       StretchReport rep = measure_stretch(inst, scheme, 4000, n + k);
       const double logd =
           std::log2(static_cast<double>(inst.metric->rt_diameter()) + 2);

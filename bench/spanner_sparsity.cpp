@@ -26,12 +26,12 @@ void run() {
         ExperimentInstance inst =
             build_instance(family, n, 4, 1400 + n + k + static_cast<int>(family));
         SpannerResult res =
-            build_roundtrip_spanner(inst.graph, *inst.metric, k);
+            build_roundtrip_spanner(inst.graph(), *inst.metric, k);
         const double logd =
             std::log2(static_cast<double>(inst.metric->rt_diameter()) + 2);
         table.add_row(
             {family_name(family), fmt_int(inst.n()), fmt_int(k),
-             fmt_int(inst.graph.edge_count()), fmt_int(res.edges),
+             fmt_int(inst.graph().edge_count()), fmt_int(res.edges),
              fmt_double(k * std::pow(static_cast<double>(inst.n()), 1.0 + 1.0 / k) *
                         logd, 0),
              fmt_double(res.measured_stretch), fmt_double(res.stretch_bound, 0)});

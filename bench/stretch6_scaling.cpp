@@ -25,7 +25,7 @@ void run() {
       ExperimentInstance inst =
           build_instance(family, n, 4, 400 + n + static_cast<int>(family));
       Rng rng(n);
-      Stretch6Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
+      Stretch6Scheme scheme(inst.graph(), *inst.metric, inst.names, rng);
       StretchReport rep = measure_stretch(inst, scheme, 6000, n);
       const double log_n = std::log2(static_cast<double>(inst.n()));
       table.add_row(

@@ -27,7 +27,7 @@ void run() {
   const NodeId n = 192;
   for (int k : {2, 3, 4}) {
     ExperimentInstance inst = build_instance(Family::kRandom, n, 4, 600 + k);
-    const Digraph rev = inst.graph.reversed();
+    const Digraph rev = inst.graph().reversed();
     const Dist diam = inst.metric->rt_diameter();
     for (double frac : {0.1, 0.3, 0.6}) {
       const Dist d = std::max<Dist>(1, static_cast<Dist>(frac * static_cast<double>(diam)));
@@ -38,7 +38,7 @@ void run() {
       for (const auto& cluster : cover.clusters) {
         std::vector<char> mask(static_cast<std::size_t>(inst.n()), 0);
         for (NodeId v : cluster.members) mask[static_cast<std::size_t>(v)] = 1;
-        auto induced = induced_roundtrip_from(inst.graph, rev, cluster.center, mask);
+        auto induced = induced_roundtrip_from(inst.graph(), rev, cluster.center, mask);
         for (NodeId v : cluster.members) {
           worst_blowup =
               std::max(worst_blowup, static_cast<double>(

@@ -22,8 +22,8 @@ void run() {
   const NodeId n = 192;
   const int k = 3;
   ExperimentInstance inst = build_instance(Family::kRandom, n, 4, 700);
-  const Digraph rev = inst.graph.reversed();
-  CoverHierarchy hierarchy(inst.graph, rev, *inst.metric, k);
+  const Digraph rev = inst.graph().reversed();
+  CoverHierarchy hierarchy(inst.graph(), rev, *inst.metric, k);
 
   TextTable table({"level", "radius 2^i", "trees", "max RTHeight",
                    "limit (2k-1)2^i", "max membership", "limit 2kn^{1/k}"});
@@ -46,7 +46,7 @@ void run() {
   std::cout << table.render();
 
   TableStats stats = hierarchy_node_stats(hierarchy, inst.n(), inst.n(),
-                                          inst.graph.port_space());
+                                          inst.graph().port_space());
   std::cout << "\nper-node membership storage: " << stats.brief() << "\n";
 }
 

@@ -1,7 +1,7 @@
 // E6 -- Theorem 9 / Figs. 4 and 6: the exponential tradeoff.
 //
 // Sweeps k at fixed n and n at fixed k; reports realized stretch against the
-// substituted bound beta(k)(2^k - 1) (see DESIGN.md: the paper's own bound
+// substituted bound beta(k)(2^k - 1) (the paper's own bound
 // with the RTZ spanner is (2k+eps)(2^k - 1)) and table sizes against
 // O~(n^{1/k})-per-dictionary-level scaling.
 #include <cmath>
@@ -27,7 +27,7 @@ void run() {
       Rng rng(n + k);
       ExStretchScheme::Options opts;
       opts.k = k;
-      ExStretchScheme scheme(inst.graph, *inst.metric, inst.names, rng, opts);
+      ExStretchScheme scheme(inst.graph(), *inst.metric, inst.names, rng, opts);
       StretchReport rep = measure_stretch(inst, scheme, 4000, n + k);
       table.add_row({fmt_int(inst.n()), fmt_int(k), fmt_double(rep.mean_stretch),
                      fmt_double(rep.p99_stretch), fmt_double(rep.max_stretch),

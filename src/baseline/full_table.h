@@ -44,6 +44,9 @@ class FullTableScheme {
   [[nodiscard]] TableStats table_stats() const;
   [[nodiscard]] std::string name() const { return "full-table(stretch1)"; }
 
+  /// Shortest path out and back: stretch exactly 1.
+  [[nodiscard]] double stretch_bound() const { return 1.0; }
+
  private:
   NameAssignment names_;
   // next_port_[u][dest_name]: port of the first edge on a shortest u->dest path.

@@ -14,7 +14,7 @@
 // header stack; the acknowledgment pops the stack to retrace waypoints
 // (Fig. 4's second loop).  Lemma 8: r(v_i, v_{i+1}) <= 2^i r(s, t); with our
 // R2 legs costing at most beta(k) = 4(2k-1) times their pair's roundtrip
-// distance (DESIGN.md substitution for the paper's 2k+eps spanner), the
+// distance (our substitution for the paper's 2k+eps spanner), the
 // total roundtrip is <= beta(k) (2^k - 1) r(s,t).
 #ifndef RTR_CORE_EXSTRETCH_H
 #define RTR_CORE_EXSTRETCH_H

@@ -103,6 +103,9 @@ class HashedStretch6Scheme {
   [[nodiscard]] TableStats table_stats() const;
   [[nodiscard]] std::string name() const { return "stretch6(64-bit names)"; }
 
+  /// Fig. 3's state machine over hashed buckets keeps Lemma 3's bound.
+  [[nodiscard]] double stretch_bound() const { return 6.0; }
+
  private:
   struct NodeTables {
     std::unordered_map<ChosenName, RtzAddress> r3_of;  // items (1) + (3)

@@ -83,6 +83,10 @@ class Stretch6Scheme {
   [[nodiscard]] TableStats table_stats() const;
   [[nodiscard]] std::string name() const { return "stretch6(TINN)"; }
 
+  /// Lemma 3: total roundtrip <= 6 r(s,t) (the detour variant keeps the same
+  /// worst case, Section 2.2).
+  [[nodiscard]] double stretch_bound() const { return 6.0; }
+
   [[nodiscard]] const Rtz3Scheme& substrate() const { return *substrate_; }
   [[nodiscard]] const BlockAssignment& block_assignment() const {
     return assignment_;

@@ -1,6 +1,6 @@
 // The hierarchy of double-tree covers (Section 4's construction, also our
 // stand-in for the Roditty-Thorup-Zwick roundtrip spanner of Lemma 5 -- see
-// DESIGN.md "Substitutions").
+// a documented deviation from the paper).
 //
 // For every level i = 1 .. ceil(log2 RTDiam), build the Theorem 13 cover at
 // radius 2^i and a double tree per cluster.  Every node v picks a *home*

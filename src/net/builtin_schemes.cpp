@@ -1,0 +1,163 @@
+// Registration of every in-repo roundtrip routing scheme with the global
+// SchemeRegistry.  Adding a scheme (or an option variant) is one add() line.
+#include <memory>
+#include <utility>
+
+#include "baseline/full_table.h"
+#include "core/exstretch.h"
+#include "core/hashed_stretch6.h"
+#include "core/polystretch.h"
+#include "core/stretch6.h"
+#include "net/scheme.h"
+#include "net/scheme_adapter.h"
+#include "rtz/rtz3_scheme.h"
+
+namespace rtr {
+namespace {
+
+/// The 64-bit self-chosen-name variant needs a bridge: the unified interface
+/// addresses packets by TINN NodeName, while HashedStretch6Scheme's headers
+/// carry the node's self-chosen 64-bit name.  The adapter owns the chosen
+/// names it drew at build time and translates at injection only (forwarding
+/// runs on the chosen names, as the paper's reduction prescribes).
+class Hashed64Adapter final : public Scheme {
+ public:
+  explicit Hashed64Adapter(const BuildContext& ctx)
+      : names_(ctx.names), graph_(ctx.graph), metric_(ctx.metric) {
+    if (graph_ == nullptr || metric_ == nullptr || ctx.rng == nullptr) {
+      throw std::invalid_argument("hashed64: incomplete BuildContext");
+    }
+    chosen_ = ChosenNames::random(graph_->node_count(), *ctx.rng);
+    impl_ = std::make_shared<const HashedStretch6Scheme>(*graph_, *metric_,
+                                                         chosen_, *ctx.rng);
+  }
+
+  [[nodiscard]] std::string name() const override { return impl_->name(); }
+
+  [[nodiscard]] Packet make_packet(NodeName dest) const override {
+    return Packet(impl_->make_packet(chosen_.of_id(names_.id_of(dest))));
+  }
+
+  void prepare_return(Packet& p) const override {
+    impl_->prepare_return(p.as<ImplHeader>());
+  }
+
+  [[nodiscard]] Decision forward(NodeId at, Packet& p) const override {
+    return impl_->forward(at, p.as<ImplHeader>());
+  }
+
+  [[nodiscard]] std::int64_t header_bits(const Packet& p) const override {
+    return impl_->header_bits(p.as<ImplHeader>());
+  }
+
+  [[nodiscard]] TableStats table_stats() const override {
+    return impl_->table_stats();
+  }
+
+  [[nodiscard]] double stretch_bound() const override {
+    return impl_->stretch_bound();
+  }
+
+ private:
+  // Kept private so the inherited Scheme::Header (= Packet) stays the
+  // generic-facing header type.
+  using ImplHeader = HashedStretch6Scheme::Header;
+
+  NameAssignment names_;
+  // Retained: the scheme references the graph/metric without owning them.
+  std::shared_ptr<const Digraph> graph_;
+  std::shared_ptr<const RoundtripMetric> metric_;
+  ChosenNames chosen_;
+  std::shared_ptr<const HashedStretch6Scheme> impl_;
+};
+
+void check_complete(const BuildContext& ctx, const char* scheme) {
+  if (ctx.graph == nullptr || ctx.metric == nullptr || ctx.rng == nullptr) {
+    throw std::invalid_argument(std::string(scheme) +
+                                ": incomplete BuildContext");
+  }
+}
+
+/// Schemes reference the context's graph/metric without owning them; the
+/// adapter retains both so a registry-built scheme outlives its context.
+std::vector<std::shared_ptr<const void>> context_deps(const BuildContext& ctx) {
+  return {ctx.graph, ctx.metric};
+}
+
+template <TemplatedScheme S, typename... Args>
+std::shared_ptr<const Scheme> build_adapted(const BuildContext& ctx,
+                                            Args&&... args) {
+  return adapt_scheme(std::make_shared<const S>(std::forward<Args>(args)...),
+                      context_deps(ctx));
+}
+
+}  // namespace
+
+void register_builtin_schemes(SchemeRegistry& registry) {
+  registry.add("stretch6", "Section 2 stretch-6 TINN scheme (O~(sqrt n) tables)",
+               [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
+                 check_complete(ctx, "stretch6");
+                 return build_adapted<Stretch6Scheme>(
+                     ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng);
+               });
+  registry.add("stretch6-detour",
+               "Section 2.2 variant returning to the source after the "
+               "dictionary lookup",
+               [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
+                 check_complete(ctx, "stretch6-detour");
+                 Stretch6Scheme::Options opts;
+                 opts.detour_via_source = true;
+                 return build_adapted<Stretch6Scheme>(
+                     ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
+               });
+  registry.add("exstretch",
+               "Section 3 exponential stretch/space tradeoff (option k, "
+               "default 3)",
+               [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
+                 check_complete(ctx, "exstretch");
+                 ExStretchScheme::Options opts;
+                 opts.k = ctx.option_int("k", opts.k);
+                 return build_adapted<ExStretchScheme>(
+                     ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
+               });
+  registry.add("polystretch",
+               "Section 4 polynomial stretch/space tradeoff (option k, "
+               "default 3)",
+               [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
+                 check_complete(ctx, "polystretch");
+                 PolyStretchScheme::Options opts;
+                 opts.k = ctx.option_int("k", opts.k);
+                 return build_adapted<PolyStretchScheme>(
+                     ctx, *ctx.graph, *ctx.metric, ctx.names, opts);
+               });
+  registry.add("rtz3",
+               "Lemma 2 name-dependent stretch-3 substrate (option "
+               "greedy_centers)",
+               [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
+                 check_complete(ctx, "rtz3");
+                 Rtz3Scheme::Options opts;
+                 opts.greedy_centers =
+                     ctx.option_bool("greedy_centers", opts.greedy_centers);
+                 return build_adapted<Rtz3Scheme>(
+                     ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
+               });
+  registry.add("fulltable",
+               "Classical full next-hop tables, stretch 1, Theta(n log n) "
+               "bits/node",
+               [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
+                 if (ctx.graph == nullptr) {
+                   throw std::invalid_argument("fulltable: incomplete BuildContext");
+                 }
+                 return adapt_scheme(std::make_shared<const FullTableScheme>(
+                                         *ctx.graph, ctx.names),
+                                     {ctx.graph});
+               });
+  registry.add("hashed64",
+               "Section 1.1.2 reduction: self-chosen 64-bit names hashed onto "
+               "buckets",
+               [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
+                 return std::make_shared<const Hashed64Adapter>(ctx);
+               });
+}
+
+}  // namespace rtr

@@ -1,0 +1,218 @@
+#include "net/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/stats.h"
+
+namespace rtr {
+
+namespace {
+
+/// Distinct, well-mixed seed per (batch seed, worker id).
+std::uint64_t worker_seed(std::uint64_t seed, int worker) {
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<std::uint64_t>(worker) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+struct QueryEngine::WorkerTally {
+  std::int64_t pairs = 0;
+  std::int64_t failures = 0;
+  std::int64_t max_header_bits = 0;
+  Summary stretch;
+};
+
+QueryEngine::QueryEngine(std::shared_ptr<const Digraph> graph,
+                         std::shared_ptr<const RoundtripMetric> metric,
+                         NameAssignment names,
+                         std::shared_ptr<const Scheme> scheme,
+                         QueryEngineOptions options)
+    : graph_(std::move(graph)),
+      metric_(std::move(metric)),
+      names_(std::move(names)),
+      scheme_(std::move(scheme)),
+      options_(options) {
+  if (graph_ == nullptr || scheme_ == nullptr) {
+    throw std::invalid_argument("QueryEngine: null graph or scheme");
+  }
+  if (names_.node_count() != graph_->node_count()) {
+    throw std::invalid_argument("QueryEngine: names do not match the graph");
+  }
+  threads_ = options_.threads > 0
+                 ? options_.threads
+                 : std::max(1, static_cast<int>(
+                                   std::thread::hardware_concurrency()));
+}
+
+QueryEngine QueryEngine::from_registry(const SchemeRegistry& registry,
+                                       const std::string& scheme_name,
+                                       const BuildContext& ctx,
+                                       QueryEngineOptions options) {
+  auto scheme = registry.build(scheme_name, ctx);
+  return QueryEngine(ctx.graph, ctx.metric, ctx.names, std::move(scheme),
+                     options);
+}
+
+RouteResult QueryEngine::roundtrip(NodeId src, NodeId dst) const {
+  return simulate_roundtrip(*graph_, *scheme_, src, dst, names_.name_of(dst),
+                            options_.sim);
+}
+
+void QueryEngine::run_one(NodeId src, NodeId dst, WorkerTally& tally) const {
+  ++tally.pairs;
+  RouteResult res;
+  try {
+    res = simulate_roundtrip(*graph_, *scheme_, src, dst, names_.name_of(dst),
+                             options_.sim);
+  } catch (const std::exception&) {
+    // Scheme bug (unknown port, header-type mix-up): a failed query, never
+    // an exception escaping a worker thread.
+    ++tally.failures;
+    return;
+  }
+  if (!res.ok()) {
+    ++tally.failures;
+    return;
+  }
+  tally.max_header_bits = std::max(tally.max_header_bits, res.max_header_bits);
+  if (metric_ != nullptr && src != dst) {
+    const auto r = metric_->r(src, dst);
+    if (r > 0) {
+      tally.stretch.add(static_cast<double>(res.roundtrip_length()) /
+                        static_cast<double>(r));
+    }
+  }
+}
+
+void QueryEngine::run_range(const std::vector<RoundtripQuery>& queries,
+                            std::size_t begin, std::size_t end,
+                            WorkerTally& tally) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    run_one(queries[i].src, queries[i].dst, tally);
+  }
+}
+
+StretchReport QueryEngine::finalize(std::vector<WorkerTally> tallies,
+                                    double wall_seconds) const {
+  StretchReport report;
+  report.wall_seconds = wall_seconds;
+  Summary stretch;
+  for (auto& t : tallies) {
+    report.pairs += t.pairs;
+    report.failures += t.failures;
+    report.max_header_bits = std::max(report.max_header_bits, t.max_header_bits);
+    stretch.merge(t.stretch);
+  }
+  if (stretch.count() > 0) {
+    report.mean_stretch = stretch.stable_mean();
+    report.p99_stretch = stretch.percentile(0.99);
+    report.max_stretch = stretch.max();
+  }
+  return report;
+}
+
+StretchReport QueryEngine::run_batch(
+    const std::vector<RoundtripQuery>& queries) const {
+  const auto start = std::chrono::steady_clock::now();
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads_), std::max<std::size_t>(queries.size(), 1)));
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers));
+  if (workers <= 1) {
+    run_range(queries, 0, queries.size(), tallies[0]);
+    return finalize(std::move(tallies), elapsed_seconds(start));
+  }
+  // Static sharding: contiguous slices, so the aggregate is independent of
+  // the worker count and no queue synchronization touches the hot loop.
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  const std::size_t per = queries.size() / static_cast<std::size_t>(workers);
+  const std::size_t extra = queries.size() % static_cast<std::size_t>(workers);
+  std::size_t begin = 0;
+  for (int w = 0; w < workers; ++w) {
+    const std::size_t share = per + (static_cast<std::size_t>(w) < extra ? 1 : 0);
+    const std::size_t end = begin + share;
+    pool.emplace_back([this, &queries, begin, end,
+                       &tally = tallies[static_cast<std::size_t>(w)]] {
+      run_range(queries, begin, end, tally);
+    });
+    begin = end;
+  }
+  for (auto& t : pool) t.join();
+  return finalize(std::move(tallies), elapsed_seconds(start));
+}
+
+StretchReport QueryEngine::run_serial(
+    const std::vector<RoundtripQuery>& queries) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<WorkerTally> tallies(1);
+  run_range(queries, 0, queries.size(), tallies[0]);
+  return finalize(std::move(tallies), elapsed_seconds(start));
+}
+
+StretchReport QueryEngine::run_sampled(std::int64_t pair_budget,
+                                       std::uint64_t seed) const {
+  const auto n = static_cast<std::int64_t>(graph_->node_count());
+  if (n < 2 || pair_budget <= 0) return StretchReport{};
+  const std::int64_t all = n * (n - 1);
+  if (all <= pair_budget) {
+    // Exhaustive: enumerate every ordered pair once and shard the batch.
+    std::vector<RoundtripQuery> queries;
+    queries.reserve(static_cast<std::size_t>(all));
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s != t) queries.push_back({s, t});
+      }
+    }
+    return run_batch(queries);
+  }
+
+  // Sampled: each worker draws its own share of pairs from its own Rng, so
+  // sampling scales with the pool instead of serializing on one generator.
+  const auto start = std::chrono::steady_clock::now();
+  const int workers =
+      static_cast<int>(std::min<std::int64_t>(threads_, pair_budget));
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers));
+  const std::int64_t per = pair_budget / workers;
+  const std::int64_t extra = pair_budget % workers;
+  auto sample_share = [this, n, seed](int w, std::int64_t share,
+                                      WorkerTally& tally) {
+    Rng rng(worker_seed(seed, w));
+    for (std::int64_t i = 0; i < share; ++i) {
+      auto s = static_cast<NodeId>(rng.index(n));
+      auto t = static_cast<NodeId>(rng.index(n));
+      if (s == t) t = static_cast<NodeId>((t + 1) % n);
+      run_one(s, t, tally);
+    }
+  };
+  if (workers <= 1) {
+    sample_share(0, pair_budget, tallies[0]);
+    return finalize(std::move(tallies), elapsed_seconds(start));
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    const std::int64_t share = per + (w < extra ? 1 : 0);
+    pool.emplace_back([&sample_share, w, share,
+                       &tally = tallies[static_cast<std::size_t>(w)]] {
+      sample_share(w, share, tally);
+    });
+  }
+  for (auto& t : pool) t.join();
+  return finalize(std::move(tallies), elapsed_seconds(start));
+}
+
+}  // namespace rtr

@@ -1,0 +1,113 @@
+// Batched, parallel execution of roundtrip queries against one built scheme.
+//
+// The serving model the ROADMAP aims at: a scheme is preprocessed once, then
+// answers heavy streams of (src, dst) roundtrip queries.  The engine shards a
+// batch across a std::thread worker pool (scheme tables are immutable after
+// construction, so forwarding is embarrassingly parallel), gives every worker
+// its own deterministic Rng for pair sampling, and folds the per-worker
+// stretch summaries into one StretchReport.
+//
+//   * run_batch(queries)        -- explicit batch; result independent of the
+//                                  worker count (static sharding).
+//   * run_sampled(budget, seed) -- samples `budget` ordered pairs, exhaustive
+//                                  when the budget covers all n(n-1) pairs.
+//                                  Each worker samples its own share with an
+//                                  Rng derived from (seed, worker id).
+//   * roundtrip(src, dst)       -- one query, on the caller's thread.
+//
+// All members are const; one engine may be shared by many caller threads.
+#ifndef RTR_NET_QUERY_ENGINE_H
+#define RTR_NET_QUERY_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/names.h"
+#include "net/scheme.h"
+#include "net/simulator.h"
+#include "rt/metric.h"
+
+namespace rtr {
+
+/// Aggregated stretch measurements for one batch of roundtrip queries.
+struct StretchReport {
+  std::int64_t pairs = 0;
+  std::int64_t failures = 0;
+  double mean_stretch = 0;
+  double p99_stretch = 0;
+  double max_stretch = 0;
+  std::int64_t max_header_bits = 0;
+  double wall_seconds = 0;  // batch execution time (excludes preprocessing)
+};
+
+struct RoundtripQuery {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+};
+
+struct QueryEngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  int threads = 0;
+  SimOptions sim;
+};
+
+class QueryEngine {
+ public:
+  /// The metric is optional (stretch denominators); without it reports carry
+  /// delivery/failure counts and header sizes but zero stretch figures.
+  QueryEngine(std::shared_ptr<const Digraph> graph,
+              std::shared_ptr<const RoundtripMetric> metric,
+              NameAssignment names, std::shared_ptr<const Scheme> scheme,
+              QueryEngineOptions options = {});
+
+  /// Builds the named scheme from the registry over ctx and binds an engine.
+  static QueryEngine from_registry(const SchemeRegistry& registry,
+                                   const std::string& scheme_name,
+                                   const BuildContext& ctx,
+                                   QueryEngineOptions options = {});
+
+  [[nodiscard]] const Scheme& scheme() const { return *scheme_; }
+  [[nodiscard]] const std::shared_ptr<const Scheme>& scheme_ptr() const {
+    return scheme_;
+  }
+  [[nodiscard]] const Digraph& graph() const { return *graph_; }
+  [[nodiscard]] const NameAssignment& names() const { return names_; }
+  [[nodiscard]] int worker_count() const { return threads_; }
+
+  /// One roundtrip on the caller's thread.
+  [[nodiscard]] RouteResult roundtrip(NodeId src, NodeId dst) const;
+
+  /// Executes the batch across the worker pool.
+  [[nodiscard]] StretchReport run_batch(
+      const std::vector<RoundtripQuery>& queries) const;
+
+  /// Reference single-thread loop over the same batch (perf baseline).
+  [[nodiscard]] StretchReport run_serial(
+      const std::vector<RoundtripQuery>& queries) const;
+
+  /// Samples `pair_budget` ordered pairs (exhaustive if the budget covers all
+  /// of them); each worker draws its share from its own derived Rng.
+  [[nodiscard]] StretchReport run_sampled(std::int64_t pair_budget,
+                                          std::uint64_t seed) const;
+
+ private:
+  struct WorkerTally;
+
+  void run_range(const std::vector<RoundtripQuery>& queries, std::size_t begin,
+                 std::size_t end, WorkerTally& tally) const;
+  void run_one(NodeId src, NodeId dst, WorkerTally& tally) const;
+  [[nodiscard]] StretchReport finalize(std::vector<WorkerTally> tallies,
+                                       double wall_seconds) const;
+
+  std::shared_ptr<const Digraph> graph_;
+  std::shared_ptr<const RoundtripMetric> metric_;
+  NameAssignment names_;
+  std::shared_ptr<const Scheme> scheme_;
+  QueryEngineOptions options_;
+  int threads_;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_NET_QUERY_ENGINE_H

@@ -1,0 +1,144 @@
+#include "net/scheme.h"
+
+#include <limits>
+#include <sstream>
+
+#include "graph/scc.h"
+
+namespace rtr {
+
+double unbounded_stretch() { return std::numeric_limits<double>::infinity(); }
+
+// ------------------------------------------------------------ BuildContext --
+
+BuildContext BuildContext::for_graph(Digraph g, std::uint64_t seed,
+                                     std::map<std::string, std::string> options) {
+  if (!is_strongly_connected(g)) {
+    throw std::runtime_error("BuildContext::for_graph: graph is not strongly connected");
+  }
+  BuildContext ctx;
+  ctx.rng = std::make_shared<Rng>(seed);
+  g.assign_adversarial_ports(*ctx.rng);
+  ctx.names = NameAssignment::random(g.node_count(), *ctx.rng);
+  auto graph = std::make_shared<Digraph>(std::move(g));
+  ctx.metric = std::make_shared<RoundtripMetric>(*graph);
+  ctx.graph = std::move(graph);
+  ctx.options = std::move(options);
+  return ctx;
+}
+
+BuildContext BuildContext::wrap(std::shared_ptr<const Digraph> graph,
+                                std::shared_ptr<const RoundtripMetric> metric,
+                                NameAssignment names, std::uint64_t scheme_seed,
+                                std::map<std::string, std::string> options) {
+  BuildContext ctx;
+  ctx.graph = std::move(graph);
+  ctx.metric = std::move(metric);
+  ctx.names = std::move(names);
+  ctx.rng = std::make_shared<Rng>(scheme_seed);
+  ctx.options = std::move(options);
+  return ctx;
+}
+
+int BuildContext::option_int(const std::string& key, int fallback) const {
+  auto it = options.find(key);
+  return it == options.end() ? fallback : std::stoi(it->second);
+}
+
+bool BuildContext::option_bool(const std::string& key, bool fallback) const {
+  auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+double BuildContext::option_double(const std::string& key,
+                                   double fallback) const {
+  auto it = options.find(key);
+  return it == options.end() ? fallback : std::stod(it->second);
+}
+
+// ---------------------------------------------------------- SchemeRegistry --
+
+void SchemeRegistry::add(std::string name, std::string summary,
+                         Factory factory) {
+  auto [it, inserted] = entries_.emplace(
+      std::move(name), std::make_pair(std::move(summary), std::move(factory)));
+  if (!inserted) {
+    throw std::invalid_argument("SchemeRegistry::add: duplicate scheme name '" +
+                                it->first + "'");
+  }
+}
+
+bool SchemeRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::shared_ptr<const Scheme> SchemeRegistry::build(
+    const std::string& name, const BuildContext& ctx) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::ostringstream msg;
+    msg << "SchemeRegistry: unknown scheme '" << name << "' (registered:";
+    for (const auto& [known, entry] : entries_) msg << ' ' << known;
+    msg << ')';
+    throw std::invalid_argument(msg.str());
+  }
+  return it->second.second(ctx);
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+const std::string& SchemeRegistry::summary(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("SchemeRegistry::summary: unknown scheme '" +
+                                name + "'");
+  }
+  return it->second.first;
+}
+
+SchemeRegistry& SchemeRegistry::global() {
+  static SchemeRegistry* registry = [] {
+    auto* r = new SchemeRegistry();
+    register_builtin_schemes(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+// --------------------------------------------- virtual-path roundtrip walk --
+
+RouteResult simulate_roundtrip(const Digraph& g, const Scheme& scheme,
+                               NodeId src, NodeId dst, NodeName dst_name,
+                               SimOptions opt) {
+  // Explicit template-argument call: the simulator.h walk instantiated over
+  // the abstract interface (Header = Packet, virtual dispatch per hop).
+  return simulate_roundtrip<Scheme>(g, scheme, src, dst, dst_name, opt);
+}
+
+// ------------------------------------------------------------ SchemeHandle --
+
+SchemeHandle::SchemeHandle(std::shared_ptr<const Digraph> graph,
+                           NameAssignment names,
+                           std::shared_ptr<const Scheme> scheme)
+    : graph_(std::move(graph)),
+      names_(std::move(names)),
+      scheme_(std::move(scheme)),
+      stats_(scheme_->table_stats()) {
+  if (graph_ == nullptr || scheme_ == nullptr) {
+    throw std::invalid_argument("SchemeHandle: null graph or scheme");
+  }
+}
+
+RouteResult SchemeHandle::roundtrip(NodeId src, NodeId dst,
+                                    SimOptions opt) const {
+  return simulate_roundtrip(*graph_, *scheme_, src, dst, names_.name_of(dst),
+                            opt);
+}
+
+}  // namespace rtr

@@ -1,0 +1,101 @@
+// Bridges the duck-typed template scheme concept (net/simulator.h) onto the
+// abstract rtr::Scheme interface (net/scheme.h).
+//
+// Any type providing the template concept -- a concrete Header, make_packet,
+// prepare_return, forward, header_bits, table_stats, name -- can be wrapped
+// without modification; stretch_bound() is picked up when the wrapped type
+// provides it.  The wrapped instance is shared, so the same preprocessing
+// output can serve both the template fast path and the virtual path (the
+// equivalence test in tests/scheme_registry_test.cpp relies on this).
+#ifndef RTR_NET_SCHEME_ADAPTER_H
+#define RTR_NET_SCHEME_ADAPTER_H
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/scheme.h"
+
+namespace rtr {
+
+template <TemplatedScheme S>
+class TemplateSchemeAdapter final : public Scheme {
+ public:
+  /// `retained` pins anything the wrapped scheme references but does not own
+  /// (typically the BuildContext's graph and metric), so the adapter is safe
+  /// to use after its builder scope is gone.
+  explicit TemplateSchemeAdapter(
+      std::shared_ptr<const S> impl,
+      std::vector<std::shared_ptr<const void>> retained = {})
+      : impl_(std::move(impl)), retained_(std::move(retained)) {
+    if (impl_ == nullptr) {
+      throw std::invalid_argument("TemplateSchemeAdapter: null scheme");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return impl_->name(); }
+
+  [[nodiscard]] Packet make_packet(NodeName dest) const override {
+    return Packet(impl_->make_packet(dest));
+  }
+
+  void prepare_return(Packet& p) const override {
+    impl_->prepare_return(p.as<ImplHeader>());
+  }
+
+  [[nodiscard]] Decision forward(NodeId at, Packet& p) const override {
+    return impl_->forward(at, p.as<ImplHeader>());
+  }
+
+  [[nodiscard]] std::int64_t header_bits(const Packet& p) const override {
+    return impl_->header_bits(p.as<ImplHeader>());
+  }
+
+  [[nodiscard]] TableStats table_stats() const override {
+    return impl_->table_stats();
+  }
+
+  [[nodiscard]] double stretch_bound() const override {
+    if constexpr (requires(const S& s) { s.stretch_bound(); }) {
+      return impl_->stretch_bound();
+    } else {
+      return unbounded_stretch();
+    }
+  }
+
+  /// The wrapped concrete scheme (template fast path over the same tables).
+  [[nodiscard]] const S& impl() const { return *impl_; }
+  [[nodiscard]] const std::shared_ptr<const S>& impl_ptr() const {
+    return impl_;
+  }
+
+ private:
+  // Not exposed: the inherited Scheme::Header (= Packet) is what generic
+  // code must see, so unqualified template walks over an adapter dispatch
+  // virtually instead of mis-deducing the wrapped header type.
+  using ImplHeader = typename S::Header;
+
+  std::shared_ptr<const S> impl_;
+  std::vector<std::shared_ptr<const void>> retained_;
+};
+
+/// Wraps a concrete scheme into a shared abstract one; `retained` pins the
+/// graph/metric the scheme references (see the adapter constructor).
+template <TemplatedScheme S>
+[[nodiscard]] std::shared_ptr<const TemplateSchemeAdapter<S>> adapt_scheme(
+    std::shared_ptr<const S> impl,
+    std::vector<std::shared_ptr<const void>> retained = {}) {
+  return std::make_shared<const TemplateSchemeAdapter<S>>(std::move(impl),
+                                                          std::move(retained));
+}
+
+/// Builds S in place and wraps it.
+template <TemplatedScheme S, typename... Args>
+[[nodiscard]] std::shared_ptr<const TemplateSchemeAdapter<S>> make_adapted_scheme(
+    Args&&... args) {
+  return adapt_scheme(std::make_shared<const S>(std::forward<Args>(args)...));
+}
+
+}  // namespace rtr
+
+#endif  // RTR_NET_SCHEME_ADAPTER_H

@@ -18,14 +18,16 @@
 //   void prepare_return(Header&) const;               // host flips to ReturnPacket
 //   Decision forward(NodeId at, Header&) const;       // local function F
 //   std::int64_t header_bits(const Header&) const;    // encoded size
+//
+// This header keeps the duck-typed *template* fast path (no vtable on the
+// forwarding hot path, for perf-sensitive benches).  The type-erased virtual
+// path -- rtr::Scheme, SchemeRegistry, SchemeHandle and the non-template
+// simulate_roundtrip overload -- lives in net/scheme.h.
 #ifndef RTR_NET_SIMULATOR_H
 #define RTR_NET_SIMULATOR_H
 
 #include <algorithm>
-#include <functional>
-#include <memory>
 #include <stdexcept>
-#include <string>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -63,9 +65,14 @@ struct SimOptions {
   bool record_paths = false;
 };
 
+/// Satisfied by the duck-typed scheme concept (a concrete Header type);
+/// abstract rtr::Scheme arguments fall through to the net/scheme.h overload.
+template <typename S>
+concept TemplatedScheme = requires { typename S::Header; };
+
 /// Runs source -> destination -> source.  `src` / `dst` are internal ids (the
 /// injection points); the header the scheme sees carries names only.
-template <typename Scheme>
+template <TemplatedScheme Scheme>
 RouteResult simulate_roundtrip(const Digraph& g, const Scheme& scheme,
                                NodeId src, NodeId dst, NodeName dst_name,
                                SimOptions opt = {}) {
@@ -105,33 +112,6 @@ RouteResult simulate_roundtrip(const Digraph& g, const Scheme& scheme,
       run_leg(dst, src, res.back_length, res.back_hops, res.back_path);
   return res;
 }
-
-/// Type-erased handle so the experiment harness can iterate heterogeneous
-/// schemes uniformly.
-class SchemeHandle {
- public:
-  template <typename Scheme>
-  SchemeHandle(std::string name, const Digraph& g,
-               std::shared_ptr<const Scheme> scheme)
-      : name_(std::move(name)),
-        stats_(scheme->table_stats()),
-        run_([&g, scheme](NodeId src, NodeId dst, NodeName dst_name,
-                          SimOptions opt) {
-          return simulate_roundtrip(g, *scheme, src, dst, dst_name, opt);
-        }) {}
-
-  [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] const TableStats& table_stats() const { return stats_; }
-  [[nodiscard]] RouteResult roundtrip(NodeId src, NodeId dst, NodeName dst_name,
-                                      SimOptions opt = {}) const {
-    return run_(src, dst, dst_name, opt);
-  }
-
- private:
-  std::string name_;
-  TableStats stats_;
-  std::function<RouteResult(NodeId, NodeId, NodeName, SimOptions)> run_;
-};
 
 }  // namespace rtr
 

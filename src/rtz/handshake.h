@@ -6,7 +6,7 @@
 // routing a u->v->u trip inside that tree costs at most a constant (in k)
 // multiple of r(u,v).
 //
-// Our substitute (DESIGN.md "Substitutions") derives R2 from the Theorem 13
+// Our substitute (a documented deviation from the paper) derives R2 from the Theorem 13
 // hierarchy: scan levels bottom-up; the first level ell where some tree
 // contains both u and v satisfies 2^ell < 2 r(u,v) (v's home tree at level
 // ceil(log2 r(u,v)) already contains u), every tree at that level has

@@ -1,5 +1,5 @@
 // The name-dependent stretch-3 roundtrip routing substrate (paper Lemma 2,
-// after Roditty-Thorup-Zwick [35]; see DESIGN.md section 3.1).
+// after Roditty-Thorup-Zwick [35]; implementation notes below).
 //
 // Construction
 //   * Center set A (random sample of ~ sqrt(n ln n) nodes, resampled while
@@ -130,6 +130,10 @@ class Rtz3Scheme {
   [[nodiscard]] const BallSystem& balls() const { return balls_; }
   [[nodiscard]] int resamples_used() const { return resamples_used_; }
   [[nodiscard]] std::string name() const { return "rtz3(name-dep)"; }
+
+  /// Lemma 2: every leg satisfies p(u,v) <= d(u,v) + r(u,v), so a roundtrip
+  /// costs at most 3 r(s,t).
+  [[nodiscard]] double stretch_bound() const { return 3.0; }
 
  private:
   struct NodeTables {

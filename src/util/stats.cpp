@@ -14,9 +14,27 @@ void Summary::add(double x) {
   sum_ += x;
 }
 
+void Summary::merge(const Summary& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Summary::mean() const {
   if (count_ == 0) throw std::logic_error("Summary::mean on empty sample");
   return sum_ / static_cast<double>(count_);
+}
+
+double Summary::stable_mean() const {
+  if (count_ == 0) throw std::logic_error("Summary::stable_mean on empty sample");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(count_);
 }
 
 double Summary::max() const {

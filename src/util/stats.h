@@ -14,8 +14,15 @@ class Summary {
  public:
   void add(double x);
 
+  /// Folds another sample in (used to combine per-worker summaries).
+  void merge(const Summary& other);
+
   [[nodiscard]] std::int64_t count() const { return count_; }
   [[nodiscard]] double mean() const;
+  /// Mean over the *sorted* sample: equal multisets give bit-identical
+  /// results regardless of insertion/merge order (QueryEngine relies on this
+  /// for worker-count-independent aggregates).
+  [[nodiscard]] double stable_mean() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double min() const;
   /// q in [0,1]; nearest-rank percentile. Requires a non-empty sample.

@@ -1,17 +1,14 @@
-// End-to-end cross-scheme checks: every scheme delivers on every family and
-// respects its own bound, with one shared instance per family; plus the
-// comparative facts the paper's Fig. 1 asserts (who uses how much space, who
-// achieves what stretch).
+// End-to-end cross-scheme checks, driven through the unified runtime API:
+// every scheme in the global SchemeRegistry is built by name on every family
+// and run through the QueryEngine; each must deliver everywhere and respect
+// its own stretch bound.  Plus the comparative facts the paper's Fig. 1
+// asserts (who uses how much space, who achieves what stretch).
 #include <gtest/gtest.h>
 
 #include <memory>
 
-#include "baseline/full_table.h"
-#include "core/exstretch.h"
-#include "core/polystretch.h"
-#include "core/stretch6.h"
-#include "net/simulator.h"
-#include "rtz/rtz3_scheme.h"
+#include "net/query_engine.h"
+#include "net/scheme.h"
 #include "test_support.h"
 
 namespace rtr {
@@ -26,53 +23,43 @@ class IntegrationTest : public ::testing::TestWithParam<FamilyParam> {
   void SetUp() override {
     auto [family, n, seed] = GetParam();
     inst_ = make_instance(family, n, 4, seed);
-    Rng rng(seed + 1000);
-    rtz3_ = std::make_shared<Rtz3Scheme>(inst_.graph, *inst_.metric,
-                                         inst_.names, rng);
-    stretch6_ = std::make_shared<Stretch6Scheme>(inst_.graph, *inst_.metric,
-                                                 inst_.names, rng);
-    ExStretchScheme::Options ex_opts;
-    ex_opts.k = 3;
-    ex_ = std::make_shared<ExStretchScheme>(inst_.graph, *inst_.metric,
-                                            inst_.names, rng, ex_opts);
-    PolyStretchScheme::Options poly_opts;
-    poly_opts.k = 3;
-    poly_ = std::make_shared<PolyStretchScheme>(inst_.graph, *inst_.metric,
-                                                inst_.names, poly_opts);
-    baseline_ = std::make_shared<FullTableScheme>(inst_.graph, inst_.names);
+    ctx_ = inst_.context(seed + 1000);
   }
 
-  template <typename S>
-  double worst_stretch(const S& scheme) {
-    double worst = 0;
+  /// Deterministic strided pair grid (the seed suite's coverage pattern).
+  [[nodiscard]] std::vector<RoundtripQuery> pair_grid() const {
+    std::vector<RoundtripQuery> queries;
     for (NodeId s = 0; s < inst_.n(); s += 2) {
       for (NodeId t = 0; t < inst_.n(); t += 3) {
-        if (s == t) continue;
-        auto res = simulate_roundtrip(inst_.graph, scheme, s, t,
-                                      inst_.names.name_of(t));
-        EXPECT_TRUE(res.ok()) << scheme.name() << " failed " << s << "->" << t;
-        if (!res.ok()) return 1e9;
-        worst = std::max(worst, static_cast<double>(res.roundtrip_length()) /
-                                    static_cast<double>(inst_.metric->r(s, t)));
+        if (s != t) queries.push_back({s, t});
       }
     }
-    return worst;
+    return queries;
+  }
+
+  [[nodiscard]] QueryEngine engine_for(const std::string& scheme_name) const {
+    QueryEngineOptions opts;
+    opts.threads = 2;
+    return QueryEngine::from_registry(SchemeRegistry::global(), scheme_name,
+                                      ctx_, opts);
   }
 
   Instance inst_;
-  std::shared_ptr<Rtz3Scheme> rtz3_;
-  std::shared_ptr<Stretch6Scheme> stretch6_;
-  std::shared_ptr<ExStretchScheme> ex_;
-  std::shared_ptr<PolyStretchScheme> poly_;
-  std::shared_ptr<FullTableScheme> baseline_;
+  BuildContext ctx_;
 };
 
-TEST_P(IntegrationTest, EverySchemeMeetsItsOwnBound) {
-  EXPECT_LE(worst_stretch(*baseline_), 1.0 + 1e-9);
-  EXPECT_LE(worst_stretch(*rtz3_), 3.0 + 1e-9);
-  EXPECT_LE(worst_stretch(*stretch6_), 6.0 + 1e-9);
-  EXPECT_LE(worst_stretch(*ex_), ex_->stretch_bound() + 1e-9);
-  EXPECT_LE(worst_stretch(*poly_), poly_->stretch_bound() + 1e-9);
+TEST_P(IntegrationTest, EveryRegisteredSchemeMeetsItsOwnBound) {
+  const auto queries = pair_grid();
+  for (const auto& scheme_name : SchemeRegistry::global().names()) {
+    SCOPED_TRACE(scheme_name);
+    QueryEngine engine = engine_for(scheme_name);
+    StretchReport report = engine.run_batch(queries);
+    EXPECT_EQ(report.pairs, static_cast<std::int64_t>(queries.size()));
+    EXPECT_EQ(report.failures, 0) << engine.scheme().name();
+    const double bound = engine.scheme().stretch_bound();
+    ASSERT_NE(bound, unbounded_stretch()) << engine.scheme().name();
+    EXPECT_LE(report.max_stretch, bound + 1e-9) << engine.scheme().name();
+  }
 }
 
 TEST_P(IntegrationTest, CompactSchemesBeatBaselineSpace) {
@@ -81,28 +68,24 @@ TEST_P(IntegrationTest, CompactSchemesBeatBaselineSpace) {
   // regimes where n is tiny; we therefore compare against 4n as the clearly
   // non-compact threshold for stretch6/rtz3 which are O~(sqrt n).
   const auto n = static_cast<double>(inst_.n());
-  EXPECT_LT(static_cast<double>(rtz3_->table_stats().max_entries()), 4 * n);
-  EXPECT_LT(static_cast<double>(stretch6_->table_stats().max_entries()), 4 * n);
-  EXPECT_EQ(baseline_->table_stats().max_entries(), inst_.n() - 1);
+  auto max_entries = [&](const std::string& scheme_name) {
+    return static_cast<double>(SchemeRegistry::global()
+                                   .build(scheme_name, ctx_)
+                                   ->table_stats()
+                                   .max_entries());
+  };
+  EXPECT_LT(max_entries("rtz3"), 4 * n);
+  EXPECT_LT(max_entries("stretch6"), 4 * n);
+  EXPECT_EQ(max_entries("fulltable"), n - 1);
 }
 
 TEST_P(IntegrationTest, StretchSixTighterThanItsBoundOnAverage) {
   // Mean stretch should sit well below the worst-case 6 on every family --
   // the "shape" claim of the reproduction.
-  double total = 0;
-  int count = 0;
-  for (NodeId s = 0; s < inst_.n(); s += 2) {
-    for (NodeId t = 0; t < inst_.n(); t += 3) {
-      if (s == t) continue;
-      auto res = simulate_roundtrip(inst_.graph, *stretch6_, s, t,
-                                    inst_.names.name_of(t));
-      ASSERT_TRUE(res.ok());
-      total += static_cast<double>(res.roundtrip_length()) /
-               static_cast<double>(inst_.metric->r(s, t));
-      ++count;
-    }
-  }
-  EXPECT_LT(total / count, 4.0);
+  QueryEngine engine = engine_for("stretch6");
+  StretchReport report = engine.run_batch(pair_grid());
+  ASSERT_EQ(report.failures, 0);
+  EXPECT_LT(report.mean_stretch, 4.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,164 @@
+// QueryEngine behavior: batch aggregation must be exact and independent of
+// the worker count; sampling must be deterministic per (seed, thread count);
+// scheme bugs must surface as counted failures, not crashed workers; and the
+// pool must actually scale when the hardware has cores to offer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/query_engine.h"
+#include "net/scheme.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::make_instance;
+
+std::vector<RoundtripQuery> all_pairs(NodeId n) {
+  std::vector<RoundtripQuery> queries;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t) queries.push_back({s, t});
+    }
+  }
+  return queries;
+}
+
+QueryEngine make_engine(const BuildContext& ctx, const std::string& scheme,
+                        int threads) {
+  QueryEngineOptions opts;
+  opts.threads = threads;
+  return QueryEngine::from_registry(SchemeRegistry::global(), scheme, ctx,
+                                    opts);
+}
+
+void expect_same_report(const StretchReport& a, const StretchReport& b) {
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.mean_stretch, b.mean_stretch);
+  EXPECT_DOUBLE_EQ(a.p99_stretch, b.p99_stretch);
+  EXPECT_DOUBLE_EQ(a.max_stretch, b.max_stretch);
+  EXPECT_EQ(a.max_header_bits, b.max_header_bits);
+}
+
+TEST(QueryEngine, BatchAggregateIndependentOfWorkerCount) {
+  Instance inst = make_instance(Family::kRandom, 32, 4, 51);
+  const auto ctx = inst.context(9);
+  const auto queries = all_pairs(inst.n());
+  auto scheme = SchemeRegistry::global().build("stretch6", ctx);
+  StretchReport reference;
+  for (int threads : {1, 2, 3, 4}) {
+    QueryEngineOptions opts;
+    opts.threads = threads;
+    QueryEngine engine(ctx.graph, ctx.metric, ctx.names, scheme, opts);
+    StretchReport report = engine.run_batch(queries);
+    EXPECT_EQ(report.pairs, static_cast<std::int64_t>(queries.size()));
+    EXPECT_EQ(report.failures, 0);
+    if (threads == 1) {
+      reference = report;
+    } else {
+      expect_same_report(reference, report);
+    }
+  }
+}
+
+TEST(QueryEngine, BatchMatchesTheSerialReferenceLoop) {
+  Instance inst = make_instance(Family::kGrid, 36, 4, 52);
+  const auto ctx = inst.context(10);
+  QueryEngine engine = make_engine(ctx, "rtz3", 4);
+  const auto queries = all_pairs(inst.n());
+  expect_same_report(engine.run_serial(queries), engine.run_batch(queries));
+}
+
+TEST(QueryEngine, SampledBudgetCoveringAllPairsIsExhaustive) {
+  Instance inst = make_instance(Family::kRing, 24, 4, 53);
+  const auto ctx = inst.context(11);
+  QueryEngine engine = make_engine(ctx, "fulltable", 2);
+  const auto n = static_cast<std::int64_t>(inst.n());
+  StretchReport report = engine.run_sampled(n * (n - 1) + 5, 3);
+  EXPECT_EQ(report.pairs, n * (n - 1));
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);  // full tables route optimally
+}
+
+TEST(QueryEngine, SamplingIsDeterministicPerSeedAndThreadCount) {
+  Instance inst = make_instance(Family::kRandom, 40, 4, 54);
+  const auto ctx = inst.context(12);
+  QueryEngine engine = make_engine(ctx, "stretch6", 3);
+  expect_same_report(engine.run_sampled(200, 17), engine.run_sampled(200, 17));
+}
+
+TEST(QueryEngine, RoundtripRunsOneQueryOnTheCallerThread) {
+  Instance inst = make_instance(Family::kRandom, 24, 4, 55);
+  const auto ctx = inst.context(13);
+  QueryEngine engine = make_engine(ctx, "stretch6", 4);
+  auto res = engine.roundtrip(1, 7);
+  EXPECT_TRUE(res.ok());
+  EXPECT_LE(static_cast<double>(res.roundtrip_length()),
+            6.0 * static_cast<double>(inst.metric->r(1, 7)) + 1e-9);
+}
+
+/// A scheme that emits an unknown port must surface as counted failures, not
+/// as an exception escaping a worker thread.
+class BrokenPortScheme final : public Scheme {
+ public:
+  struct Header {
+    NodeName dest = kNoNode;
+  };
+  [[nodiscard]] std::string name() const override { return "broken-port"; }
+  [[nodiscard]] Packet make_packet(NodeName dest) const override {
+    return Packet(Header{dest});
+  }
+  void prepare_return(Packet&) const override {}
+  [[nodiscard]] Decision forward(NodeId, Packet&) const override {
+    return Decision::forward_on(999999);
+  }
+  [[nodiscard]] std::int64_t header_bits(const Packet&) const override {
+    return 8;
+  }
+  [[nodiscard]] TableStats table_stats() const override { return TableStats{}; }
+};
+
+TEST(QueryEngine, SchemeBugsAreCountedAsFailures) {
+  Instance inst = make_instance(Family::kRandom, 16, 3, 56);
+  const auto ctx = inst.context(14);
+  QueryEngineOptions opts;
+  opts.threads = 2;
+  QueryEngine engine(ctx.graph, ctx.metric, ctx.names,
+                     std::make_shared<const BrokenPortScheme>(), opts);
+  StretchReport report = engine.run_batch(all_pairs(inst.n()));
+  EXPECT_EQ(report.failures, report.pairs);
+}
+
+/// The acceptance-scale perf check: a 10k-pair batch on a 512-node instance
+/// across 4 workers vs the serial loop.  Meaningful only when the hardware
+/// has cores to parallelize over, so it skips on single-core runners (the
+/// aggregate-equality tests above pin down correctness there).
+TEST(QueryEngine, FourWorkersBeatTheSerialLoopOnBigBatches) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads to demonstrate speedup";
+  }
+  Instance inst = make_instance(Family::kRandom, 512, 4, 57);
+  const auto ctx = inst.context(15);
+  QueryEngine engine = make_engine(ctx, "stretch6", 4);
+  std::vector<RoundtripQuery> queries;
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    auto s = static_cast<NodeId>(rng.index(inst.n()));
+    auto t = static_cast<NodeId>(rng.index(inst.n()));
+    if (s == t) t = static_cast<NodeId>((t + 1) % inst.n());
+    queries.push_back({s, t});
+  }
+  StretchReport serial = engine.run_serial(queries);
+  StretchReport parallel = engine.run_batch(queries);
+  expect_same_report(serial, parallel);
+  EXPECT_LT(parallel.wall_seconds, serial.wall_seconds)
+      << "4 workers should beat the serial loop on a 10k-pair batch";
+}
+
+}  // namespace
+}  // namespace rtr

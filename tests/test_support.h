@@ -12,6 +12,7 @@
 #include "graph/digraph.h"
 #include "graph/generators.h"
 #include "graph/scc.h"
+#include "net/scheme.h"
 #include "rt/metric.h"
 #include "util/rng.h"
 
@@ -21,9 +22,17 @@ namespace rtr::testing {
 struct Instance {
   Digraph graph{0};
   NameAssignment names = NameAssignment::identity(0);
-  std::unique_ptr<RoundtripMetric> metric;
+  std::shared_ptr<RoundtripMetric> metric;
 
   [[nodiscard]] NodeId n() const { return graph.node_count(); }
+
+  /// The instance as a registry BuildContext (scheme randomness from
+  /// `scheme_seed`).  The graph is copied into shared ownership, so the
+  /// context and anything built from it may outlive this Instance.
+  [[nodiscard]] BuildContext context(std::uint64_t scheme_seed) const {
+    return BuildContext::wrap(std::make_shared<const Digraph>(graph), metric,
+                              names, scheme_seed);
+  }
 };
 
 /// Builds a family instance with adversarial (random) ports and names.
@@ -34,7 +43,7 @@ inline Instance make_instance(Family family, NodeId n, Weight max_weight,
   inst.graph = make_family(family, n, max_weight, rng);
   inst.graph.assign_adversarial_ports(rng);
   inst.names = NameAssignment::random(inst.graph.node_count(), rng);
-  inst.metric = std::make_unique<RoundtripMetric>(inst.graph);
+  inst.metric = std::make_shared<RoundtripMetric>(inst.graph);
   return inst;
 }
 

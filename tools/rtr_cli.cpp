@@ -1,30 +1,31 @@
 // rtr_cli -- command-line front end for the library.
 //
+//   rtr_cli list
+//       Print every scheme registered with the global SchemeRegistry.
 //   rtr_cli generate <family> <n> <max_weight> <seed>
 //       Emit an edge list for a synthetic strongly connected digraph.
 //   rtr_cli route <scheme> <src> <dst> [seed]  < graph.edges
 //       Build a scheme over the edge list on stdin and run one roundtrip
 //       (src/dst are internal node ids; the packet is addressed by the
-//       node's TINN name).  scheme: stretch6 | exstretch | polystretch |
-//       rtz3 | fulltable.
+//       node's TINN name).
 //   rtr_cli stats <scheme> [seed]  < graph.edges
 //       Print per-node table statistics for the scheme.
+//   rtr_cli bench <scheme> <family> <n> [pairs] [threads] [seed]
+//       Generate an instance, run a sampled batch through the QueryEngine,
+//       and emit a one-line JSON report.
+//
+// <scheme> is any registered name (see `rtr_cli list`), e.g. stretch6,
+// stretch6-detour, exstretch, polystretch, rtz3, fulltable, hashed64.
 //
 // Exit status: 0 on success, 1 on routing failure, 2 on usage errors.
 #include <iostream>
 #include <string>
 
-#include "baseline/full_table.h"
-#include "core/exstretch.h"
-#include "core/names.h"
-#include "core/polystretch.h"
-#include "core/stretch6.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
-#include "graph/scc.h"
-#include "net/simulator.h"
+#include "net/query_engine.h"
+#include "net/scheme.h"
 #include "rt/metric.h"
-#include "rtz/rtz3_scheme.h"
 
 namespace {
 
@@ -32,11 +33,18 @@ using namespace rtr;
 
 int usage() {
   std::cerr << "usage:\n"
+            << "  rtr_cli list\n"
             << "  rtr_cli generate <random|grid|ring|scalefree|bidirected> "
                "<n> <max_weight> <seed>\n"
             << "  rtr_cli route <scheme> <src> <dst> [seed]  < graph.edges\n"
             << "  rtr_cli stats <scheme> [seed]  < graph.edges\n"
-            << "  scheme: stretch6 | exstretch | polystretch | rtz3 | fulltable\n";
+            << "  rtr_cli bench <scheme> <family> <n> [pairs] [threads] "
+               "[seed]\n"
+            << "  scheme:";
+  for (const auto& name : SchemeRegistry::global().names()) {
+    std::cerr << ' ' << name;
+  }
+  std::cerr << "\n";
   return 2;
 }
 
@@ -49,68 +57,85 @@ Family parse_family(const std::string& s) {
   throw std::invalid_argument("unknown family: " + s);
 }
 
-struct LoadedGraph {
-  Digraph graph{0};
-  NameAssignment names = NameAssignment::identity(0);
-  RoundtripMetric metric;
+/// Instance over a generated family graph, shared-ownership pieces as the
+/// engine wants them.
+BuildContext family_context(Family family, NodeId n, Weight max_weight,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  return BuildContext::for_graph(make_family(family, n, max_weight, rng), seed);
+}
 
-  explicit LoadedGraph(std::uint64_t seed, Digraph g_in)
-      : graph(std::move(g_in)), metric([&] {
-          if (!is_strongly_connected(graph)) {
-            throw std::runtime_error("input graph is not strongly connected");
-          }
-          Rng rng(seed);
-          graph.assign_adversarial_ports(rng);
-          names = NameAssignment::random(graph.node_count(), rng);
-          return RoundtripMetric(graph);
-        }()) {}
-};
+int run_list() {
+  const auto& registry = SchemeRegistry::global();
+  for (const auto& name : registry.names()) {
+    std::cout << name << "\t" << registry.summary(name) << "\n";
+  }
+  return 0;
+}
 
-template <typename Scheme>
-int run_route(const LoadedGraph& lg, const Scheme& scheme, NodeId src,
-              NodeId dst) {
-  auto res = simulate_roundtrip(lg.graph, scheme, src, dst,
-                                lg.names.name_of(dst));
-  std::cout << "delivered:  " << (res.ok() ? "yes" : "NO") << "\n"
+int run_route(const std::string& scheme_name, NodeId src, NodeId dst,
+              std::uint64_t seed) {
+  BuildContext ctx = BuildContext::for_graph(read_edge_list(std::cin), seed);
+  if (src < 0 || src >= ctx.graph->node_count() || dst < 0 ||
+      dst >= ctx.graph->node_count()) {
+    std::cerr << "node id out of range\n";
+    return 2;
+  }
+  QueryEngine engine =
+      QueryEngine::from_registry(SchemeRegistry::global(), scheme_name, ctx);
+  auto res = engine.roundtrip(src, dst);
+  const Dist r = ctx.metric->r(src, dst);
+  std::cout << "scheme:     " << engine.scheme().name() << "\n"
+            << "delivered:  " << (res.ok() ? "yes" : "NO") << "\n"
             << "out:        " << res.out_length << " (" << res.out_hops
             << " hops)\n"
             << "back:       " << res.back_length << " (" << res.back_hops
             << " hops)\n"
-            << "optimal r:  " << lg.metric.r(src, dst) << "\n"
+            << "optimal r:  " << r << "\n"
             << "stretch:    "
-            << (lg.metric.r(src, dst) > 0
-                    ? static_cast<double>(res.roundtrip_length()) /
-                          static_cast<double>(lg.metric.r(src, dst))
-                    : 1.0)
+            << (r > 0 ? static_cast<double>(res.roundtrip_length()) /
+                            static_cast<double>(r)
+                      : 1.0)
             << "\n"
             << "header bits: " << res.max_header_bits << "\n";
   return res.ok() ? 0 : 1;
 }
 
-template <typename F>
-int with_scheme(const std::string& name, const LoadedGraph& lg, Rng& rng,
-                F&& f) {
-  if (name == "stretch6") {
-    return f(Stretch6Scheme(lg.graph, lg.metric, lg.names, rng));
-  }
-  if (name == "exstretch") {
-    return f(ExStretchScheme(lg.graph, lg.metric, lg.names, rng));
-  }
-  if (name == "polystretch") {
-    return f(PolyStretchScheme(lg.graph, lg.metric, lg.names));
-  }
-  if (name == "rtz3") {
-    return f(Rtz3Scheme(lg.graph, lg.metric, lg.names, rng));
-  }
-  if (name == "fulltable") {
-    return f(FullTableScheme(lg.graph, lg.names));
-  }
-  throw std::invalid_argument("unknown scheme: " + name);
+int run_stats(const std::string& scheme_name, std::uint64_t seed) {
+  BuildContext ctx = BuildContext::for_graph(read_edge_list(std::cin), seed);
+  auto scheme = SchemeRegistry::global().build(scheme_name, ctx);
+  std::cout << scheme->name() << ": " << scheme->table_stats().brief() << "\n";
+  return 0;
+}
+
+int run_bench(const std::string& scheme_name, const std::string& family,
+              NodeId n, std::int64_t pairs, int threads, std::uint64_t seed) {
+  BuildContext ctx = family_context(parse_family(family), n, 4, seed);
+  QueryEngineOptions opts;
+  opts.threads = threads;
+  QueryEngine engine = QueryEngine::from_registry(SchemeRegistry::global(),
+                                                  scheme_name, ctx, opts);
+  StretchReport rep = engine.run_sampled(pairs, seed + 1);
+  std::cout << "{\"scheme\":\"" << scheme_name << "\",\"family\":\"" << family
+            << "\",\"n\":" << ctx.graph->node_count() << ",\"pairs\":"
+            << rep.pairs << ",\"failures\":" << rep.failures
+            << ",\"mean_stretch\":" << rep.mean_stretch
+            << ",\"p99_stretch\":" << rep.p99_stretch
+            << ",\"max_stretch\":" << rep.max_stretch
+            << ",\"max_header_bits\":" << rep.max_header_bits
+            << ",\"threads\":" << engine.worker_count()
+            << ",\"wall_seconds\":" << rep.wall_seconds << "}\n";
+  return rep.failures == 0 ? 0 : 1;
 }
 
 int main_inner(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+
+  if (cmd == "list") {
+    if (argc != 2) return usage();
+    return run_list();
+  }
 
   if (cmd == "generate") {
     if (argc != 6) return usage();
@@ -126,31 +151,25 @@ int main_inner(int argc, char** argv) {
     if (argc < 5 || argc > 6) return usage();
     const std::uint64_t seed =
         argc == 6 ? std::stoull(argv[5]) : std::uint64_t{1};
-    LoadedGraph lg(seed, read_edge_list(std::cin));
-    const auto src = static_cast<NodeId>(std::stol(argv[3]));
-    const auto dst = static_cast<NodeId>(std::stol(argv[4]));
-    if (src < 0 || src >= lg.graph.node_count() || dst < 0 ||
-        dst >= lg.graph.node_count()) {
-      std::cerr << "node id out of range\n";
-      return 2;
-    }
-    Rng rng(seed + 1);
-    return with_scheme(argv[2], lg, rng, [&](const auto& scheme) {
-      return run_route(lg, scheme, src, dst);
-    });
+    return run_route(argv[2], static_cast<NodeId>(std::stol(argv[3])),
+                     static_cast<NodeId>(std::stol(argv[4])), seed);
   }
 
   if (cmd == "stats") {
     if (argc < 3 || argc > 4) return usage();
     const std::uint64_t seed =
         argc == 4 ? std::stoull(argv[3]) : std::uint64_t{1};
-    LoadedGraph lg(seed, read_edge_list(std::cin));
-    Rng rng(seed + 1);
-    return with_scheme(argv[2], lg, rng, [&](const auto& scheme) {
-      std::cout << scheme.name() << ": " << scheme.table_stats().brief()
-                << "\n";
-      return 0;
-    });
+    return run_stats(argv[2], seed);
+  }
+
+  if (cmd == "bench") {
+    if (argc < 5 || argc > 8) return usage();
+    const std::int64_t pairs = argc > 5 ? std::stoll(argv[5]) : 2000;
+    const int threads = argc > 6 ? std::stoi(argv[6]) : 0;
+    const std::uint64_t seed =
+        argc > 7 ? std::stoull(argv[7]) : std::uint64_t{1};
+    return run_bench(argv[2], argv[3], static_cast<NodeId>(std::stol(argv[4])),
+                     pairs, threads, seed);
   }
 
   return usage();
