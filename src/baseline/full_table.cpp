@@ -3,9 +3,38 @@
 #include <stdexcept>
 
 #include "graph/dijkstra.h"
+#include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
+
+void FullTableScheme::save(SnapshotWriter& w) const {
+  names_.save(w);
+  w.vec(next_port_, [](SnapshotWriter& ww, const std::vector<Port>& row) {
+    ww.vec_i32(row);
+  });
+  w.i64(node_space_);
+  w.i64(port_space_);
+}
+
+FullTableScheme::FullTableScheme(SnapshotReader& r)
+    : names_(NameAssignment::load(r)) {
+  next_port_ = r.vec<std::vector<Port>>(
+      [](SnapshotReader& rr) { return rr.vec_i32(); }, 8);
+  const auto n = static_cast<std::size_t>(names_.node_count());
+  if (next_port_.size() != n) {
+    throw std::invalid_argument(
+        "fulltable snapshot: table count does not match the naming");
+  }
+  for (const auto& row : next_port_) {
+    if (row.size() != n) {
+      throw std::invalid_argument(
+          "fulltable snapshot: row size does not match the naming");
+    }
+  }
+  node_space_ = r.i64();
+  port_space_ = r.i64();
+}
 
 FullTableScheme::FullTableScheme(const Digraph& g, const NameAssignment& names)
     : names_(names),

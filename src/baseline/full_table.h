@@ -24,6 +24,10 @@ class FullTableScheme {
  public:
   FullTableScheme(const Digraph& g, const NameAssignment& names);
 
+  /// Snapshot path: rehydrates the next-hop tables saved with save().
+  explicit FullTableScheme(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
+
   enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
 
   struct Header {

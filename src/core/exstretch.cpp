@@ -4,9 +4,60 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
+
+void ExStretchScheme::save(SnapshotWriter& w) const {
+  names_.save(w);
+  alphabet_.save(w);
+  hierarchy_->save(w);
+  save_block_assignment(w, assignment_);
+  w.u64(tables_.size());
+  for (const NodeTables& t : tables_) {
+    w.sorted_map(
+        t.nbr_r2, [](SnapshotWriter& ww, NodeName k) { ww.i32(k); },
+        [](SnapshotWriter& ww, const R2Label& v) { save_r2_label(ww, v); });
+    w.sorted_map(
+        t.dict, [](SnapshotWriter& ww, std::int64_t k) { ww.i64(k); },
+        [](SnapshotWriter& ww, const DictEntry& v) {
+          ww.i32(v.node);
+          save_r2_label(ww, v.r2);
+        });
+  }
+  w.i64(node_space_);
+  w.i64(port_space_);
+}
+
+ExStretchScheme::ExStretchScheme(SnapshotReader& r)
+    : names_(NameAssignment::load(r)), alphabet_(Alphabet::load(r)) {
+  hierarchy_ = std::make_shared<const CoverHierarchy>(r);
+  assignment_ = load_block_assignment(r);
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(names_.node_count())) {
+    throw std::invalid_argument(
+        "exstretch snapshot: table count does not match the naming");
+  }
+  tables_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NodeTables t;
+    t.nbr_r2 = r.map<std::unordered_map<NodeName, R2Label>>(
+        [](SnapshotReader& rr) { return rr.i32(); }, load_r2_label, 8);
+    t.dict = r.map<std::unordered_map<std::int64_t, DictEntry>>(
+        [](SnapshotReader& rr) { return rr.i64(); },
+        [](SnapshotReader& rr) {
+          DictEntry e;
+          e.node = rr.i32();
+          e.r2 = load_r2_label(rr);
+          return e;
+        },
+        8);
+    tables_.push_back(std::move(t));
+  }
+  node_space_ = r.i64();
+  port_space_ = r.i64();
+}
 
 ExStretchScheme::ExStretchScheme(const Digraph& g, const RoundtripMetric& metric,
                                  const NameAssignment& names, Rng& rng,

@@ -45,6 +45,11 @@ class ExStretchScheme {
                   const NameAssignment& names, Rng& rng)
       : ExStretchScheme(g, metric, names, rng, Options{}) {}
 
+  /// Snapshot path: rehydrates tables and the cover hierarchy saved with
+  /// save(); self-contained (forwarding never consults the graph).
+  explicit ExStretchScheme(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
+
   enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
 
   /// One pushed leg: enough to retrace it backwards (Fig. 4's pop loop).

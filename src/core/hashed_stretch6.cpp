@@ -1,10 +1,29 @@
 #include "core/hashed_stretch6.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
+
+ChosenNames ChosenNames::load(SnapshotReader& r) {
+  ChosenNames names;
+  names.of_id_ = r.vec_u64();
+  names.id_of_.reserve(names.of_id_.size());
+  for (NodeId v = 0; v < static_cast<NodeId>(names.of_id_.size()); ++v) {
+    auto [it, inserted] =
+        names.id_of_.emplace(names.of_id_[static_cast<std::size_t>(v)], v);
+    (void)it;
+    if (!inserted) {
+      throw std::invalid_argument("ChosenNames: duplicate chosen name");
+    }
+  }
+  return names;
+}
+
+void ChosenNames::save(SnapshotWriter& w) const { w.vec_u64(of_id_); }
 
 ChosenNames ChosenNames::random(NodeId n, Rng& rng) {
   ChosenNames names;
@@ -46,6 +65,16 @@ BucketHash::BucketHash(NodeId n, Rng& rng)
   if (n < 1) throw std::invalid_argument("BucketHash: n >= 1");
 }
 
+BucketHash::BucketHash(SnapshotReader& r) : n_(r.i32()), a_(r.u64()), b_(r.u64()) {
+  if (n_ < 1) throw std::invalid_argument("BucketHash: n >= 1");
+}
+
+void BucketHash::save(SnapshotWriter& w) const {
+  w.i32(n_);
+  w.u64(a_);
+  w.u64(b_);
+}
+
 NodeId BucketHash::bucket(ChosenName x) const {
   const std::uint64_t folded = x % kPrime;
   const std::uint64_t h = (mulmod_p(a_, folded) + b_) % kPrime;
@@ -85,7 +114,7 @@ HashedStretch6Scheme::HashedStretch6Scheme(const Digraph& g,
     const auto hood = hoods.prefix(u, hood_size_);
     // (1) chosen-name -> R3 for the neighborhood.
     for (NodeId v : hood) {
-      tab.r3_of.emplace(chosen_.of_id(v), substrate_->own_address(v));
+      tab.r3_names.push_back(chosen_.of_id(v));
     }
     // (2) a holder in N(u) per bucket-block.
     tab.holder_of_block.assign(static_cast<std::size_t>(blocks), 0);
@@ -106,18 +135,26 @@ HashedStretch6Scheme::HashedStretch6Scheme(const Digraph& g,
     for (BlockId b : assignment.blocks_of[static_cast<std::size_t>(u)]) {
       for (NodeName bucket : alphabet_.block_members(b)) {
         for (NodeId v : bucket_members[static_cast<std::size_t>(bucket)]) {
-          tab.r3_of.emplace(chosen_.of_id(v), substrate_->own_address(v));
+          tab.r3_names.push_back(chosen_.of_id(v));
         }
       }
     }
+    std::sort(tab.r3_names.begin(), tab.r3_names.end());
+    tab.r3_names.erase(
+        std::unique(tab.r3_names.begin(), tab.r3_names.end()),
+        tab.r3_names.end());
   }
 }
 
 const RtzAddress* HashedStretch6Scheme::lookup_r3(NodeId at,
                                                   ChosenName t) const {
   const auto& tab = tables_[static_cast<std::size_t>(at)];
-  auto it = tab.r3_of.find(t);
-  return it == tab.r3_of.end() ? nullptr : &it->second;
+  if (!std::binary_search(tab.r3_names.begin(), tab.r3_names.end(), t)) {
+    return nullptr;
+  }
+  // A stored name is by construction a real chosen name, so id_of cannot
+  // throw here.
+  return &substrate_->own_address(chosen_.id_of(t));
 }
 
 Decision HashedStretch6Scheme::forward(NodeId at, Header& h) const {
@@ -198,16 +235,57 @@ TableStats HashedStretch6Scheme::table_stats() const {
   for (NodeId v = 0; v < n; ++v) {
     const auto& tab = tables_[static_cast<std::size_t>(v)];
     std::int64_t entries = 0, bits = 0;
-    for (const auto& [name, addr] : tab.r3_of) {
-      (void)name;
+    for (ChosenName name : tab.r3_names) {
       ++entries;
-      bits += 64 + substrate_->address_bits(addr);
+      bits += 64 + substrate_->address_bits(
+                       substrate_->own_address(chosen_.id_of(name)));
     }
     entries += static_cast<std::int64_t>(tab.holder_of_block.size());
     bits += static_cast<std::int64_t>(tab.holder_of_block.size()) * (id_bits + 64);
     stats.add(v, entries, bits);
   }
   return stats;
+}
+
+// ---------------------------------------------------------------- snapshot --
+
+void HashedStretch6Scheme::save(SnapshotWriter& w) const {
+  chosen_.save(w);
+  hash_.save(w);
+  alphabet_.save(w);
+  w.i32(hood_size_);
+  substrate_->save(w);
+  w.u64(tables_.size());
+  for (const NodeTables& t : tables_) {
+    w.vec_u64(t.r3_names);
+    w.vec_u64(t.holder_of_block);
+  }
+  w.i64(node_space_);
+}
+
+HashedStretch6Scheme::HashedStretch6Scheme(SnapshotReader& r, const Digraph& g)
+    : chosen_(ChosenNames::load(r)),
+      hash_(r),
+      alphabet_(Alphabet::load(r)),
+      hood_size_(r.i32()),
+      substrate_(std::make_shared<const Rtz3Scheme>(r, g)) {
+  if (chosen_.node_count() != g.node_count()) {
+    throw std::invalid_argument(
+        "hashed64 snapshot: chosen-name count does not match the graph");
+  }
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(g.node_count())) {
+    throw std::invalid_argument(
+        "hashed64 snapshot: table count does not match the graph");
+  }
+  tables_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NodeTables t;
+    t.r3_names = r.vec_u64();
+    t.holder_of_block = r.vec_u64();
+    tables_.push_back(std::move(t));
+  }
+  node_space_ = r.i64();
 }
 
 }  // namespace rtr

@@ -42,6 +42,10 @@ class ChosenNames {
  public:
   static ChosenNames random(NodeId n, Rng& rng);
 
+  /// Snapshot path: rebuilds the reverse index from the saved names.
+  static ChosenNames load(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
+
   [[nodiscard]] NodeId node_count() const {
     return static_cast<NodeId>(of_id_.size());
   }
@@ -59,6 +63,11 @@ class ChosenNames {
 class BucketHash {
  public:
   BucketHash(NodeId n, Rng& rng);
+
+  /// Snapshot path: the hash is fully determined by (n, a, b).
+  explicit BucketHash(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
+
   [[nodiscard]] NodeId bucket(ChosenName x) const;
 
  private:
@@ -78,6 +87,11 @@ class HashedStretch6Scheme {
   HashedStretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
                        const ChosenNames& chosen, Rng& rng)
       : HashedStretch6Scheme(g, metric, chosen, rng, Options{}) {}
+
+  /// Snapshot path: rehydrates tables (and the substrate's) saved with
+  /// save(); `g` must be the snapshot's own graph and outlive the scheme.
+  HashedStretch6Scheme(SnapshotReader& r, const Digraph& g);
+  void save(SnapshotWriter& w) const;
 
   enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
 
@@ -106,10 +120,17 @@ class HashedStretch6Scheme {
   /// Fig. 3's state machine over hashed buckets keeps Lemma 3's bound.
   [[nodiscard]] double stretch_bound() const { return 6.0; }
 
+  /// The chosen-name table the scheme was built over (adapters translate
+  /// TINN destinations through it).
+  [[nodiscard]] const ChosenNames& chosen() const { return chosen_; }
+
  private:
   struct NodeTables {
-    std::unordered_map<ChosenName, RtzAddress> r3_of;  // items (1) + (3)
-    std::vector<ChosenName> holder_of_block;           // item (2)
+    // Items (1) + (3): sorted chosen names whose (name, R3) pair this node
+    // stores; lookup_r3 resolves the address payload through the substrate
+    // (one copy per node, not per dictionary entry).
+    std::vector<ChosenName> r3_names;
+    std::vector<ChosenName> holder_of_block;  // item (2)
   };
 
   [[nodiscard]] const RtzAddress* lookup_r3(NodeId at, ChosenName t) const;

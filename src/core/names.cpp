@@ -2,7 +2,15 @@
 
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
+
 namespace rtr {
+
+NameAssignment NameAssignment::load(SnapshotReader& r) {
+  return NameAssignment(r.vec_i32());
+}
+
+void NameAssignment::save(SnapshotWriter& w) const { w.vec_i32(name_of_); }
 
 NameAssignment NameAssignment::identity(NodeId n) {
   std::vector<NodeName> names(static_cast<std::size_t>(n));

@@ -15,6 +15,9 @@
 
 namespace rtr {
 
+class SnapshotWriter;  // io/snapshot_format.h
+class SnapshotReader;
+
 /// Bijection internal NodeId <-> TINN NodeName.
 class NameAssignment {
  public:
@@ -26,6 +29,10 @@ class NameAssignment {
 
   /// From an explicit permutation; throws if not a permutation of [0, n).
   explicit NameAssignment(std::vector<NodeName> name_of_id);
+
+  /// Snapshot path: the permutation as bytes (load re-validates it).
+  static NameAssignment load(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
 
   [[nodiscard]] NodeId node_count() const {
     return static_cast<NodeId>(name_of_.size());

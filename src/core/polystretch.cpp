@@ -3,9 +3,66 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
+
+void PolyStretchScheme::save(SnapshotWriter& w) const {
+  names_.save(w);
+  alphabet_.save(w);
+  hierarchy_->save(w);
+  w.u64(tables_.size());
+  for (const NodeTables& t : tables_) {
+    w.sorted_map(
+        t.per_tree, [](SnapshotWriter& ww, std::int64_t k) { ww.i64(k); },
+        [](SnapshotWriter& ww, const PerTree& per) {
+          save_tree_label(ww, per.own_label);
+          ww.sorted_map(
+              per.dict, [](SnapshotWriter& w3, std::int64_t k) { w3.i64(k); },
+              [](SnapshotWriter& w3, const DictEntry& e) {
+                w3.i32(e.node);
+                save_tree_label(w3, e.label);
+              });
+        });
+  }
+  w.i64(node_space_);
+  w.i64(port_space_);
+}
+
+PolyStretchScheme::PolyStretchScheme(SnapshotReader& r)
+    : names_(NameAssignment::load(r)), alphabet_(Alphabet::load(r)) {
+  hierarchy_ = std::make_shared<const CoverHierarchy>(r);
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(names_.node_count())) {
+    throw std::invalid_argument(
+        "polystretch snapshot: table count does not match the naming");
+  }
+  tables_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NodeTables t;
+    t.per_tree = r.map<std::unordered_map<std::int64_t, PerTree>>(
+        [](SnapshotReader& rr) { return rr.i64(); },
+        [](SnapshotReader& rr) {
+          PerTree per;
+          per.own_label = load_tree_label(rr);
+          per.dict = rr.map<std::unordered_map<std::int64_t, DictEntry>>(
+              [](SnapshotReader& r3) { return r3.i64(); },
+              [](SnapshotReader& r3) {
+                DictEntry e;
+                e.node = r3.i32();
+                e.label = load_tree_label(r3);
+                return e;
+              },
+              8);
+          return per;
+        },
+        8);
+    tables_.push_back(std::move(t));
+  }
+  node_space_ = r.i64();
+  port_space_ = r.i64();
+}
 
 PolyStretchScheme::PolyStretchScheme(const Digraph& g,
                                      const RoundtripMetric& metric,

@@ -44,6 +44,11 @@ class PolyStretchScheme {
                     const NameAssignment& names)
       : PolyStretchScheme(g, metric, names, Options{}) {}
 
+  /// Snapshot path: rehydrates tables and the cover hierarchy saved with
+  /// save(); self-contained (forwarding never consults the graph).
+  explicit PolyStretchScheme(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
+
   enum class Mode : std::uint8_t { kNew, kEnroute, kReturn };
 
   struct Header {

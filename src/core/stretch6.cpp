@@ -1,11 +1,50 @@
 #include "core/stretch6.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
+
+void Stretch6Scheme::save(SnapshotWriter& w) const {
+  names_.save(w);
+  alphabet_.save(w);
+  w.i32(hood_size_);
+  substrate_->save(w);
+  w.u8(detour_via_source_ ? 1 : 0);
+  save_block_assignment(w, assignment_);
+  w.u64(tables_.size());
+  for (const NodeTables& t : tables_) {
+    w.vec_i32(t.r3_names);
+    w.vec_i32(t.holder_of_block);
+  }
+  w.i64(node_space_);
+}
+
+Stretch6Scheme::Stretch6Scheme(SnapshotReader& r, const Digraph& g)
+    : names_(NameAssignment::load(r)),
+      alphabet_(Alphabet::load(r)),
+      hood_size_(r.i32()),
+      substrate_(std::make_shared<const Rtz3Scheme>(r, g)) {
+  detour_via_source_ = r.u8() != 0;
+  assignment_ = load_block_assignment(r);
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(g.node_count())) {
+    throw std::invalid_argument(
+        "stretch6 snapshot: table count does not match the graph");
+  }
+  tables_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NodeTables t;
+    t.r3_names = r.vec_i32();
+    t.holder_of_block = r.vec_i32();
+    tables_.push_back(std::move(t));
+  }
+  node_space_ = r.i64();
+}
 
 Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
                                const NameAssignment& names, Rng& rng,
@@ -30,7 +69,7 @@ Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
 
     // (1) R3 for every neighborhood member (includes u itself: hood[0] == u).
     for (NodeId v : hood) {
-      tab.r3_of.emplace(names_.name_of(v), substrate_->own_address(v));
+      tab.r3_names.push_back(names_.name_of(v));
     }
 
     // (2) nearest holder in N(u) per block (Lemma 1 guarantees existence).
@@ -51,16 +90,22 @@ Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
     // (3) dictionary entries of every held block.
     for (BlockId b : assignment_.blocks_of[static_cast<std::size_t>(u)]) {
       for (NodeName member : alphabet_.block_members(b)) {
-        tab.r3_of.emplace(member, substrate_->address_of_name(member));
+        tab.r3_names.push_back(member);
       }
     }
+    std::sort(tab.r3_names.begin(), tab.r3_names.end());
+    tab.r3_names.erase(
+        std::unique(tab.r3_names.begin(), tab.r3_names.end()),
+        tab.r3_names.end());
   }
 }
 
 const RtzAddress* Stretch6Scheme::lookup_r3(NodeId at, NodeName t) const {
   const auto& tab = tables_[static_cast<std::size_t>(at)];
-  auto it = tab.r3_of.find(t);
-  return it == tab.r3_of.end() ? nullptr : &it->second;
+  if (!std::binary_search(tab.r3_names.begin(), tab.r3_names.end(), t)) {
+    return nullptr;
+  }
+  return &substrate_->address_of_name(t);
 }
 
 Decision Stretch6Scheme::forward(NodeId at, Header& h) const {
@@ -169,10 +214,10 @@ TableStats Stretch6Scheme::table_stats() const {
   for (NodeId v = 0; v < n; ++v) {
     const auto& tab = tables_[static_cast<std::size_t>(v)];
     std::int64_t entries = 0, bits = 0;
-    for (const auto& [name, addr] : tab.r3_of) {
-      (void)name;
+    for (NodeName name : tab.r3_names) {
       ++entries;
-      bits += id_bits + substrate_->address_bits(addr);
+      bits += id_bits +
+              substrate_->address_bits(substrate_->address_of_name(name));
     }
     entries += static_cast<std::int64_t>(tab.holder_of_block.size());
     bits += static_cast<std::int64_t>(tab.holder_of_block.size()) *

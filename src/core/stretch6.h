@@ -23,7 +23,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/names.h"
@@ -54,6 +53,11 @@ class Stretch6Scheme {
   Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
                  const NameAssignment& names, Rng& rng)
       : Stretch6Scheme(g, metric, names, rng, Options{}) {}
+
+  /// Snapshot path: rehydrates tables (and the substrate's) saved with
+  /// save(); `g` must be the snapshot's own graph and outlive the scheme.
+  Stretch6Scheme(SnapshotReader& r, const Digraph& g);
+  void save(SnapshotWriter& w) const;
 
   enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
 
@@ -96,8 +100,12 @@ class Stretch6Scheme {
 
  private:
   struct NodeTables {
-    // (1) + (3): name -> R3 for neighborhood members and held-block entries.
-    std::unordered_map<NodeName, RtzAddress> r3_of;
+    // (1) + (3): sorted names whose (name, R3) pair this node stores --
+    // neighborhood members and held-block entries.  The address payloads
+    // live once in the substrate's per-node table (lookup_r3 resolves
+    // through it), so the dictionary costs one name per entry in memory and
+    // in snapshots; table_stats still accounts full per-entry address bits.
+    std::vector<NodeName> r3_names;
     // (2): block id -> holder name within N(u).
     std::vector<NodeName> holder_of_block;
   };

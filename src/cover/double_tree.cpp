@@ -3,14 +3,53 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
+
 namespace rtr {
 
 namespace {
 
 std::vector<char> make_mask(NodeId n, const std::vector<NodeId>& members) {
   std::vector<char> mask(static_cast<std::size_t>(n), 0);
-  for (NodeId v : members) mask[static_cast<std::size_t>(v)] = 1;
+  for (NodeId v : members) {
+    if (v < 0 || v >= n) {
+      throw std::invalid_argument("DoubleTree: member id out of range");
+    }
+    mask[static_cast<std::size_t>(v)] = 1;
+  }
   return mask;
+}
+
+void save_out_tree(SnapshotWriter& w, const OutTree& t) {
+  w.i32(t.root);
+  w.vec_i64(t.dist);
+  w.vec_i32(t.parent);
+  w.vec_i32(t.parent_port);
+}
+
+OutTree load_out_tree(SnapshotReader& r) {
+  OutTree t;
+  t.root = r.i32();
+  t.dist = r.vec_i64();
+  t.parent = r.vec_i32();
+  t.parent_port = r.vec_i32();
+  return t;
+}
+
+void save_in_tree(SnapshotWriter& w, const InTree& t) {
+  w.i32(t.root);
+  w.vec_i64(t.dist);
+  w.vec_i32(t.next);
+  w.vec_i32(t.next_port);
+}
+
+InTree load_in_tree(SnapshotReader& r) {
+  InTree t;
+  t.root = r.i32();
+  t.dist = r.vec_i64();
+  t.next = r.vec_i32();
+  t.next_port = r.vec_i32();
+  return t;
 }
 
 }  // namespace
@@ -34,6 +73,27 @@ DoubleTree::DoubleTree(const Digraph& g, const Digraph& reversed, NodeId center,
     }
     rt_height_ = std::max(rt_height_, out_tree_.dist[idx] + in_tree_.dist[idx]);
   }
+}
+
+void DoubleTree::save(SnapshotWriter& w) const {
+  w.i32(center_);
+  w.vec_i32(members_);
+  w.i64(rt_height_);
+  save_out_tree(w, out_tree_);
+  save_in_tree(w, in_tree_);
+  out_router_.save(w);
+}
+
+// The init list mirrors save()'s field order (= declaration order, which
+// C++ guarantees for member initialization).
+DoubleTree::DoubleTree(SnapshotReader& r)
+    : center_(r.i32()),
+      members_(r.vec_i32()),
+      rt_height_(r.i64()),
+      out_tree_(load_out_tree(r)),
+      in_tree_(load_in_tree(r)),
+      out_router_(r) {
+  member_mask_ = make_mask(static_cast<NodeId>(out_tree_.dist.size()), members_);
 }
 
 }  // namespace rtr

@@ -3,7 +3,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
+
 namespace rtr {
+
+Alphabet Alphabet::load(SnapshotReader& r) {
+  const NodeId n = r.i32();
+  const int k = static_cast<int>(r.i32());
+  return Alphabet(n, k);
+}
+
+void Alphabet::save(SnapshotWriter& w) const {
+  w.i32(n_);
+  w.i32(static_cast<std::int32_t>(k_));
+}
 
 Alphabet::Alphabet(NodeId n, int k) : n_(n), k_(k) {
   if (n < 1) throw std::invalid_argument("Alphabet: n >= 1");

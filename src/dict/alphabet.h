@@ -22,6 +22,9 @@
 
 namespace rtr {
 
+class SnapshotWriter;  // io/snapshot_format.h
+class SnapshotReader;
+
 using BlockId = std::int64_t;
 using PrefixValue = std::int64_t;
 
@@ -29,6 +32,10 @@ class Alphabet {
  public:
   /// Requires n >= 1 and 2 <= k <= 20; picks the smallest q with q^k >= n.
   Alphabet(NodeId n, int k);
+
+  /// Snapshot path: an alphabet is fully determined by (n, k).
+  static Alphabet load(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
 
   [[nodiscard]] NodeId n() const { return n_; }
   [[nodiscard]] int k() const { return k_; }

@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/snapshot_format.h"
+
 namespace rtr {
+
+void save_block_assignment(SnapshotWriter& w, const BlockAssignment& a) {
+  w.vec(a.blocks_of,
+        [](SnapshotWriter& ww, const std::vector<BlockId>& blocks) {
+          ww.vec_i64(blocks);
+        });
+  w.i32(static_cast<std::int32_t>(a.randomized_tries));
+  w.i64(a.greedy_repairs);
+}
+
+BlockAssignment load_block_assignment(SnapshotReader& r) {
+  BlockAssignment a;
+  a.blocks_of = r.vec<std::vector<BlockId>>(
+      [](SnapshotReader& rr) { return rr.vec_i64(); }, 8);
+  a.randomized_tries = static_cast<int>(r.i32());
+  a.greedy_repairs = r.i64();
+  return a;
+}
 
 Neighborhoods compute_neighborhoods(const RoundtripMetric& m,
                                     const NameAssignment& names) {

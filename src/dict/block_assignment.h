@@ -22,6 +22,9 @@
 
 namespace rtr {
 
+class SnapshotWriter;  // io/snapshot_format.h
+class SnapshotReader;
+
 /// Per-node neighborhood prefixes of Init_v, precomputed once and shared by
 /// the assignment and by the TINN schemes.
 struct Neighborhoods {
@@ -61,6 +64,11 @@ struct BlockAssignment {
   [[nodiscard]] bool holds(NodeId v, BlockId b) const;
   [[nodiscard]] std::int64_t max_blocks_per_node() const;
 };
+
+/// Snapshot encoding (io/snapshot_format.h) of a finished assignment,
+/// including its diagnostics so a loaded scheme reports identical stats.
+void save_block_assignment(SnapshotWriter& w, const BlockAssignment& a);
+[[nodiscard]] BlockAssignment load_block_assignment(SnapshotReader& r);
 
 /// Builds an assignment satisfying Lemma 4 for the given alphabet (levels
 /// 1..k-1, realizable prefixes).  Deterministic given the rng state.

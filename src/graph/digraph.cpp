@@ -20,6 +20,41 @@ void Digraph::add_edge(NodeId u, NodeId v, Weight w) {
   ++edge_count_;
 }
 
+void Digraph::add_edges_with_ports(NodeId u, const std::vector<Edge>& edges) {
+  if (u < 0 || u >= node_count()) {
+    throw std::out_of_range("Digraph::add_edges_with_ports: node id out of range");
+  }
+  auto& out = out_[static_cast<std::size_t>(u)];
+  std::vector<Port> ports;
+  ports.reserve(out.size() + edges.size());
+  for (const Edge& e : out) ports.push_back(e.port);
+  const std::int64_t space = port_space();
+  for (const Edge& e : edges) {
+    if (e.to < 0 || e.to >= node_count()) {
+      throw std::out_of_range("Digraph::add_edges_with_ports: node id out of range");
+    }
+    if (e.to == u) {
+      throw std::invalid_argument("Digraph::add_edges_with_ports: self loop");
+    }
+    if (e.weight < 1) {
+      throw std::invalid_argument(
+          "Digraph::add_edges_with_ports: weight must be >= 1");
+    }
+    if (e.port < 0 || e.port >= space) {
+      throw std::out_of_range("Digraph::add_edges_with_ports: port out of range");
+    }
+    ports.push_back(e.port);
+  }
+  std::sort(ports.begin(), ports.end());
+  if (std::adjacent_find(ports.begin(), ports.end()) != ports.end()) {
+    throw std::invalid_argument(
+        "Digraph::add_edges_with_ports: duplicate port at node " +
+        std::to_string(u));
+  }
+  out.insert(out.end(), edges.begin(), edges.end());
+  edge_count_ += static_cast<std::int64_t>(edges.size());
+}
+
 bool Digraph::has_edge(NodeId u, NodeId v) const {
   for (const Edge& e : out_edges(u)) {
     if (e.to == v) return true;

@@ -42,6 +42,13 @@ class Digraph {
   /// assign_adversarial_ports() afterwards to scramble them.
   void add_edge(NodeId u, NodeId v, Weight w);
 
+  /// Appends all of `edges` (to/weight/port with explicit port numbers) at
+  /// tail node u, validating ranges, weights, self-loops, and per-node port
+  /// uniqueness in O(d log d).  Used when replaying a frozen graph -- e.g. a
+  /// snapshot -- whose adversarial port choice must be reproduced exactly,
+  /// because the routing tables built against it store those port numbers.
+  void add_edges_with_ports(NodeId u, const std::vector<Edge>& edges);
+
   [[nodiscard]] std::span<const Edge> out_edges(NodeId u) const {
     return out_[static_cast<std::size_t>(u)];
   }

@@ -1,0 +1,336 @@
+#include "io/snapshot.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace rtr {
+
+namespace {
+
+constexpr char kSectionGraph[] = "graph";
+constexpr char kSectionNames[] = "names";
+constexpr char kSectionScheme[] = "scheme";
+
+/// Reads a whole file in one gulp; SnapshotIoError when it cannot be opened.
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw SnapshotIoError("snapshot: cannot open '" + path + "' for reading");
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    throw SnapshotIoError("snapshot: cannot stat '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) {
+    throw SnapshotIoError("snapshot: read error on '" + path + "'");
+  }
+  return bytes;
+}
+
+/// One named CRC'd section framed inside the file writer.
+void frame_section(SnapshotWriter& file, const std::string& name,
+                   const SnapshotWriter& payload) {
+  file.str(name);
+  file.u64(payload.size());
+  const auto& bytes = payload.bytes();
+  file.raw(bytes.data(), bytes.size());
+  file.u32(crc32(bytes.data(), bytes.size()));
+}
+
+struct ParsedSection {
+  std::string name;
+  const std::uint8_t* data = nullptr;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+struct ParsedSnapshot {
+  SnapshotInfo info;
+  std::vector<std::uint8_t> bytes;       // backing storage for the sections
+  std::vector<ParsedSection> sections;   // views into `bytes`
+
+  [[nodiscard]] const ParsedSection& section(const std::string& name) const {
+    for (const auto& s : sections) {
+      if (s.name == name) return s;
+    }
+    throw SnapshotFormatError("snapshot: missing required section '" + name +
+                              "'");
+  }
+};
+
+/// Parses framing and verifies every checksum; no scheme state is built.
+ParsedSnapshot parse_file(const std::string& path) {
+  ParsedSnapshot parsed;
+  parsed.bytes = slurp(path);
+  parsed.info.file_bytes = parsed.bytes.size();
+
+  SnapshotReader r(parsed.bytes.data(), parsed.bytes.size());
+  if (parsed.bytes.size() < kSnapshotMagicSize ||
+      std::memcmp(parsed.bytes.data(), snapshot_magic(), kSnapshotMagicSize) !=
+          0) {
+    throw SnapshotFormatError("snapshot: '" + path +
+                              "' does not start with the RTRSNAP magic");
+  }
+  r.skip(kSnapshotMagicSize);
+
+  parsed.info.version = r.u32();
+  if (parsed.info.version != kSnapshotVersion) {
+    throw SnapshotVersionError(
+        "snapshot: format version " + std::to_string(parsed.info.version) +
+        " not supported (this binary writes version " +
+        std::to_string(kSnapshotVersion) + "); rebuild and re-save");
+  }
+
+  // Header payload, CRC'd so a corrupted scheme name cannot masquerade as a
+  // legitimate mismatch.
+  const std::size_t header_begin = r.position();
+  parsed.info.scheme = r.str();
+  parsed.info.node_count = static_cast<NodeId>(r.u32());
+  parsed.info.edge_count = static_cast<std::int64_t>(r.u64());
+  const std::uint32_t section_count = r.u32();
+  const std::size_t header_end = r.position();
+  const std::uint32_t stored_header_crc = r.u32();
+  const std::uint32_t actual_header_crc =
+      crc32(parsed.bytes.data() + header_begin, header_end - header_begin);
+  if (stored_header_crc != actual_header_crc) {
+    throw SnapshotChecksumError("snapshot: header CRC mismatch in '" + path +
+                                "'");
+  }
+
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    ParsedSection s;
+    s.name = r.str();
+    s.size = r.u64();
+    if (s.size > r.remaining()) {
+      throw SnapshotTruncatedError("snapshot: section '" + s.name +
+                                   "' advertises " + std::to_string(s.size) +
+                                   " bytes but only " +
+                                   std::to_string(r.remaining()) + " remain");
+    }
+    s.data = parsed.bytes.data() + r.position();
+    r.skip(static_cast<std::size_t>(s.size));
+    s.crc = r.u32();
+    const std::uint32_t actual = crc32(s.data, static_cast<std::size_t>(s.size));
+    if (s.crc != actual) {
+      throw SnapshotChecksumError("snapshot: CRC mismatch in section '" +
+                                  s.name + "' of '" + path + "'");
+    }
+    parsed.info.sections.push_back(
+        SnapshotSectionInfo{s.name, s.size, s.crc});
+    parsed.sections.push_back(s);
+  }
+  r.expect_exhausted("file");
+  return parsed;
+}
+
+}  // namespace
+
+const std::uint8_t* snapshot_magic() {
+  static const std::uint8_t magic[kSnapshotMagicSize] = {'R', 'T', 'R', 'S',
+                                                         'N', 'A', 'P', '\0'};
+  return magic;
+}
+
+// ------------------------------------------------------- graph and names ---
+
+void save_digraph(SnapshotWriter& w, const Digraph& g) {
+  w.u32(static_cast<std::uint32_t>(g.node_count()));
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto edges = g.out_edges(u);
+    w.u32(static_cast<std::uint32_t>(edges.size()));
+    for (const Edge& e : edges) {
+      w.i32(e.to);
+      w.i64(e.weight);
+      w.i32(e.port);
+    }
+  }
+}
+
+Digraph load_digraph(SnapshotReader& r) {
+  const auto n = static_cast<NodeId>(r.u32());
+  if (n < 0) throw SnapshotFormatError("snapshot: negative node count");
+  // Every node contributes at least a u32 degree field, so a count beyond
+  // remaining/4 is corrupt; reject before Digraph(n) allocates for it.
+  if (static_cast<std::uint64_t>(n) > r.remaining() / 4) {
+    throw SnapshotTruncatedError(
+        "snapshot: node count exceeds the remaining payload");
+  }
+  Digraph g(n);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t degree = r.u32();
+    if (degree > r.remaining() / 16) {  // each edge is 16 encoded bytes
+      throw SnapshotTruncatedError(
+          "snapshot: edge count exceeds the remaining payload");
+    }
+    edges.clear();
+    edges.reserve(degree);
+    for (std::uint32_t i = 0; i < degree; ++i) {
+      Edge e;
+      e.to = r.i32();
+      e.weight = r.i64();
+      e.port = r.i32();
+      edges.push_back(e);
+    }
+    try {
+      g.add_edges_with_ports(u, edges);
+    } catch (const std::exception& e) {
+      // Structurally invalid edge data that still passed the CRC: surface
+      // it as a snapshot error, not a bare invalid_argument.
+      throw SnapshotFormatError(std::string("snapshot: bad edge: ") + e.what());
+    }
+  }
+  return g;
+}
+
+namespace {
+
+NameAssignment load_names_checked(SnapshotReader& r) {
+  try {
+    return NameAssignment::load(r);
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw SnapshotFormatError(std::string("snapshot: bad name permutation: ") +
+                              e.what());
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------------- save/load/info ---
+
+void save_snapshot(const std::string& path, const std::string& scheme_name,
+                   const SchemeHandle& handle, const SchemeRegistry& registry) {
+  const SchemeRegistry::Saver& saver = registry.saver(scheme_name);
+
+  SnapshotWriter graph_section;
+  save_digraph(graph_section, handle.graph());
+  SnapshotWriter names_section;
+  handle.names().save(names_section);
+  SnapshotWriter scheme_section;
+  saver(handle.scheme(), scheme_section);
+
+  SnapshotWriter file;
+  file.raw(snapshot_magic(), kSnapshotMagicSize);
+  file.u32(kSnapshotVersion);
+  SnapshotWriter header;
+  header.str(scheme_name);
+  header.u32(static_cast<std::uint32_t>(handle.graph().node_count()));
+  header.u64(static_cast<std::uint64_t>(handle.graph().edge_count()));
+  header.u32(3);  // section count
+  file.raw(header.bytes().data(), header.size());
+  file.u32(crc32(header.bytes().data(), header.size()));
+
+  frame_section(file, kSectionGraph, graph_section);
+  frame_section(file, kSectionNames, names_section);
+  frame_section(file, kSectionScheme, scheme_section);
+
+  // Write-then-rename so a crashed or concurrent writer never leaves a
+  // half-written file where a reader expects a snapshot.  The scratch name
+  // is unique per process *and* per call, so concurrent savers targeting
+  // the same cache path (several cold serving processes racing on a miss)
+  // each publish a complete file; last rename wins.
+  static std::atomic<std::uint64_t> save_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(save_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SnapshotIoError("snapshot: cannot open '" + tmp + "' for writing");
+    }
+    out.write(reinterpret_cast<const char*>(file.bytes().data()),
+              static_cast<std::streamsize>(file.size()));
+    if (!out) {
+      throw SnapshotIoError("snapshot: write error on '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotIoError("snapshot: cannot rename '" + tmp + "' to '" + path +
+                          "'");
+  }
+}
+
+SchemeHandle load_snapshot(const std::string& path,
+                           const std::string& expected_scheme,
+                           const SchemeRegistry& registry) {
+  ParsedSnapshot parsed = parse_file(path);
+  if (!expected_scheme.empty() && parsed.info.scheme != expected_scheme) {
+    throw SnapshotSchemeMismatchError("snapshot: '" + path + "' holds scheme '" +
+                                      parsed.info.scheme + "', expected '" +
+                                      expected_scheme + "'");
+  }
+  // A file naming a scheme this registry cannot load (unknown, or registered
+  // without hooks -- e.g. written by a newer binary) must stay inside the
+  // typed-error contract so cache users can treat it as a miss.
+  const SchemeRegistry::Loader* loader = nullptr;
+  try {
+    loader = &registry.loader(parsed.info.scheme);
+  } catch (const std::exception& e) {
+    throw SnapshotSchemeMismatchError(
+        "snapshot: '" + path + "' holds scheme '" + parsed.info.scheme +
+        "' which this registry cannot load: " + e.what());
+  }
+
+  const ParsedSection& graph_sec = parsed.section(kSectionGraph);
+  SnapshotReader graph_reader(graph_sec.data,
+                              static_cast<std::size_t>(graph_sec.size));
+  auto graph = std::make_shared<const Digraph>(load_digraph(graph_reader));
+  graph_reader.expect_exhausted("graph section");
+  if (graph->node_count() != parsed.info.node_count ||
+      graph->edge_count() != parsed.info.edge_count) {
+    throw SnapshotFormatError(
+        "snapshot: header node/edge counts disagree with the graph section");
+  }
+
+  const ParsedSection& names_sec = parsed.section(kSectionNames);
+  SnapshotReader names_reader(names_sec.data,
+                              static_cast<std::size_t>(names_sec.size));
+  NameAssignment names = load_names_checked(names_reader);
+  names_reader.expect_exhausted("names section");
+  if (names.node_count() != graph->node_count()) {
+    throw SnapshotFormatError(
+        "snapshot: names section does not match the graph's node count");
+  }
+
+  SnapshotLoadContext ctx;
+  ctx.graph = graph;
+  ctx.names = names;
+  const ParsedSection& scheme_sec = parsed.section(kSectionScheme);
+  SnapshotReader scheme_reader(scheme_sec.data,
+                               static_cast<std::size_t>(scheme_sec.size));
+  // Scheme decode failures must keep the typed-error contract even when the
+  // hook throws a plain std::exception (e.g. CRC-valid sections that are
+  // mutually inconsistent): callers rely on catching SnapshotError to treat
+  // a bad cache file as a miss.
+  std::shared_ptr<const Scheme> scheme;
+  try {
+    scheme = (*loader)(scheme_reader, ctx);
+    scheme_reader.expect_exhausted("scheme section");
+    if (scheme == nullptr) {
+      throw SnapshotFormatError("snapshot: loader returned no scheme");
+    }
+    return SchemeHandle(std::move(graph), std::move(names), std::move(scheme));
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw SnapshotFormatError(std::string("snapshot: bad scheme section: ") +
+                              e.what());
+  }
+}
+
+SnapshotInfo inspect_snapshot(const std::string& path) {
+  return parse_file(path).info;
+}
+
+}  // namespace rtr

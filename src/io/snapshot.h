@@ -1,0 +1,94 @@
+// Versioned binary scheme snapshots: build once, serve forever.
+//
+// A snapshot file freezes one built SchemeHandle -- graph, TINN naming, and
+// the scheme's routing tables -- so a serving process can skip the
+// O(n^2)-ish preprocessing entirely and go straight to answering queries
+// (the paper's preprocess-once/query-forever model made operational).
+//
+// File layout (all integers little-endian):
+//
+//   offset  field
+//   ------  ------------------------------------------------------------
+//   0       magic: the 8 bytes "RTRSNAP\0"
+//   8       format version (u32), currently kSnapshotVersion
+//   12      header payload: registry scheme name (string), node count
+//           (u32), edge count (u64), section count (u32)
+//   ...     header CRC-32 (u32) over the header payload bytes
+//   ...     sections, each:  name (string), payload length (u64),
+//           payload bytes, payload CRC-32 (u32)
+//
+// Standard sections: "graph" (topology + ports + weights), "names" (the
+// TINN permutation), "scheme" (the registered scheme's tables, encoded by
+// its snapshot hooks).  Readers locate sections by name, so future versions
+// may append sections without breaking old files; any change to an existing
+// section's encoding must bump kSnapshotVersion (loaders reject every other
+// version outright -- rebuild-and-resave is the migration path).
+//
+// Every failure mode is a typed exception (see io/snapshot_format.h): bad
+// magic, wrong version, truncation, checksum mismatch, scheme mismatch.  A
+// load either returns a fully constructed SchemeHandle or throws -- there is
+// no half-loaded state.
+#ifndef RTR_IO_SNAPSHOT_H
+#define RTR_IO_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/snapshot_format.h"
+#include "net/scheme.h"
+
+namespace rtr {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotMagicSize = 8;
+
+/// The 8 magic bytes every snapshot starts with.
+[[nodiscard]] const std::uint8_t* snapshot_magic();
+
+/// Everything `rtr_cli snapshot info` prints without loading the tables.
+struct SnapshotSectionInfo {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::string scheme;  // registry name, e.g. "stretch6"
+  NodeId node_count = 0;
+  std::int64_t edge_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::vector<SnapshotSectionInfo> sections;
+};
+
+/// Serializes a built handle under the registry name it was built as.  The
+/// registry must have snapshot hooks for that name.  Writes to a temporary
+/// sibling first and renames into place, so readers never observe a torn
+/// file.  Throws SnapshotIoError on filesystem trouble.
+void save_snapshot(const std::string& path, const std::string& scheme_name,
+                   const SchemeHandle& handle,
+                   const SchemeRegistry& registry = SchemeRegistry::global());
+
+/// Loads a snapshot into a ready-to-serve handle.  When `expected_scheme` is
+/// non-empty the file's scheme name must match it exactly
+/// (SnapshotSchemeMismatchError otherwise).  All section CRCs are verified
+/// before any scheme state is constructed.
+[[nodiscard]] SchemeHandle load_snapshot(
+    const std::string& path, const std::string& expected_scheme = "",
+    const SchemeRegistry& registry = SchemeRegistry::global());
+
+/// Validates framing and checksums and returns the header/section table
+/// without constructing the scheme (cheap: one pass over the file).
+[[nodiscard]] SnapshotInfo inspect_snapshot(const std::string& path);
+
+// -- building blocks shared with the scheme hooks ---------------------------
+
+/// Digraph <-> bytes (explicit ports and weights; the adversary's port
+/// choice is part of the frozen artifact, unlike the text edge-list format).
+void save_digraph(SnapshotWriter& w, const Digraph& g);
+[[nodiscard]] Digraph load_digraph(SnapshotReader& r);
+
+}  // namespace rtr
+
+#endif  // RTR_IO_SNAPSHOT_H

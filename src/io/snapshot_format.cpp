@@ -1,0 +1,56 @@
+#include "io/snapshot_format.h"
+
+#include <array>
+
+namespace rtr {
+
+namespace {
+
+// Slicing-by-8 CRC-32: table[0] is the classic byte-at-a-time table, and
+// table[k][b] extends a byte b by k zero bytes, so eight input bytes fold in
+// one step.  Identical output to the bitwise definition, ~an order of
+// magnitude faster on multi-megabyte snapshot sections.
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+CrcTables make_crc_tables() {
+  CrcTables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[k][i] = c;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed) {
+  static const CrcTables t = make_crc_tables();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(data[i]) |
+                                  static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                                  static_cast<std::uint32_t>(data[i + 2]) << 16 |
+                                  static_cast<std::uint32_t>(data[i + 3]) << 24);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][data[i + 4]] ^ t[2][data[i + 5]] ^
+        t[1][data[i + 6]] ^ t[0][data[i + 7]];
+  }
+  for (; i < size; ++i) {
+    c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rtr

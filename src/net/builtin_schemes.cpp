@@ -1,5 +1,7 @@
 // Registration of every in-repo roundtrip routing scheme with the global
-// SchemeRegistry.  Adding a scheme (or an option variant) is one add() line.
+// SchemeRegistry.  Adding a scheme (or an option variant) is one add() line
+// plus, when the scheme supports binary snapshots, one set_snapshot_hooks()
+// line pairing its save()/snapshot-constructor.
 #include <memory>
 #include <utility>
 
@@ -8,6 +10,7 @@
 #include "core/hashed_stretch6.h"
 #include "core/polystretch.h"
 #include "core/stretch6.h"
+#include "io/snapshot_format.h"
 #include "net/scheme.h"
 #include "net/scheme_adapter.h"
 #include "rtz/rtz3_scheme.h"
@@ -31,6 +34,18 @@ class Hashed64Adapter final : public Scheme {
     impl_ = std::make_shared<const HashedStretch6Scheme>(*graph_, *metric_,
                                                          chosen_, *ctx.rng);
   }
+
+  /// Snapshot path: the metric is build-time only, so a loaded adapter
+  /// carries none; the chosen names come out of the scheme payload (the
+  /// scheme serializes them once for both of us).
+  Hashed64Adapter(SnapshotReader& r, const SnapshotLoadContext& ctx)
+      : names_(ctx.names),
+        graph_(require_graph(ctx.graph)),
+        impl_(std::make_shared<const HashedStretch6Scheme>(r, *graph_)) {
+    chosen_ = impl_->chosen();
+  }
+
+  void save(SnapshotWriter& w) const { impl_->save(w); }
 
   [[nodiscard]] std::string name() const override { return impl_->name(); }
 
@@ -63,6 +78,14 @@ class Hashed64Adapter final : public Scheme {
   // generic-facing header type.
   using ImplHeader = HashedStretch6Scheme::Header;
 
+  static std::shared_ptr<const Digraph> require_graph(
+      std::shared_ptr<const Digraph> g) {
+    if (g == nullptr) {
+      throw std::invalid_argument("hashed64: snapshot context without graph");
+    }
+    return g;
+  }
+
   NameAssignment names_;
   // Retained: the scheme references the graph/metric without owning them.
   std::shared_ptr<const Digraph> graph_;
@@ -89,6 +112,25 @@ std::shared_ptr<const Scheme> build_adapted(const BuildContext& ctx,
                                             Args&&... args) {
   return adapt_scheme(std::make_shared<const S>(std::forward<Args>(args)...),
                       context_deps(ctx));
+}
+
+/// Snapshot saver for adapter-wrapped schemes: unwraps the adapter the
+/// factory above produced and delegates to the concrete scheme's save().
+template <TemplatedScheme S>
+void save_adapted(const Scheme& scheme, SnapshotWriter& w) {
+  const auto* adapter = dynamic_cast<const TemplateSchemeAdapter<S>*>(&scheme);
+  if (adapter == nullptr) {
+    throw std::invalid_argument(
+        "snapshot save: scheme instance does not match this registry entry");
+  }
+  adapter->impl().save(w);
+}
+
+const Digraph& require_snapshot_graph(const SnapshotLoadContext& ctx) {
+  if (ctx.graph == nullptr) {
+    throw std::invalid_argument("snapshot load: context without graph");
+  }
+  return *ctx.graph;
 }
 
 }  // namespace
@@ -158,6 +200,63 @@ void register_builtin_schemes(SchemeRegistry& registry) {
                [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
                  return std::make_shared<const Hashed64Adapter>(ctx);
                });
+
+  // --- snapshot hooks: save()/snapshot-constructor pairs per entry ----------
+  const auto stretch6_loader =
+      [](SnapshotReader& r,
+         const SnapshotLoadContext& ctx) -> std::shared_ptr<const Scheme> {
+    return adapt_scheme(
+        std::make_shared<const Stretch6Scheme>(r, require_snapshot_graph(ctx)),
+        {ctx.graph});
+  };
+  // The detour flag travels inside the payload, so both variants share one
+  // saver/loader pair.
+  registry.set_snapshot_hooks("stretch6", &save_adapted<Stretch6Scheme>,
+                              stretch6_loader);
+  registry.set_snapshot_hooks("stretch6-detour", &save_adapted<Stretch6Scheme>,
+                              stretch6_loader);
+  registry.set_snapshot_hooks(
+      "exstretch", &save_adapted<ExStretchScheme>,
+      [](SnapshotReader& r,
+         const SnapshotLoadContext&) -> std::shared_ptr<const Scheme> {
+        return adapt_scheme(std::make_shared<const ExStretchScheme>(r));
+      });
+  registry.set_snapshot_hooks(
+      "polystretch", &save_adapted<PolyStretchScheme>,
+      [](SnapshotReader& r,
+         const SnapshotLoadContext&) -> std::shared_ptr<const Scheme> {
+        return adapt_scheme(std::make_shared<const PolyStretchScheme>(r));
+      });
+  registry.set_snapshot_hooks(
+      "rtz3", &save_adapted<Rtz3Scheme>,
+      [](SnapshotReader& r,
+         const SnapshotLoadContext& ctx) -> std::shared_ptr<const Scheme> {
+        return adapt_scheme(
+            std::make_shared<const Rtz3Scheme>(r, require_snapshot_graph(ctx)),
+            {ctx.graph});
+      });
+  registry.set_snapshot_hooks(
+      "fulltable", &save_adapted<FullTableScheme>,
+      [](SnapshotReader& r,
+         const SnapshotLoadContext&) -> std::shared_ptr<const Scheme> {
+        return adapt_scheme(std::make_shared<const FullTableScheme>(r));
+      });
+  registry.set_snapshot_hooks(
+      "hashed64",
+      [](const Scheme& scheme, SnapshotWriter& w) {
+        const auto* adapter = dynamic_cast<const Hashed64Adapter*>(&scheme);
+        if (adapter == nullptr) {
+          throw std::invalid_argument(
+              "snapshot save: scheme instance does not match this registry "
+              "entry");
+        }
+        adapter->save(w);
+      },
+      [](SnapshotReader& r,
+         const SnapshotLoadContext& ctx) -> std::shared_ptr<const Scheme> {
+        require_snapshot_graph(ctx);
+        return std::make_shared<const Hashed64Adapter>(r, ctx);
+      });
 }
 
 }  // namespace rtr

@@ -11,17 +11,6 @@ namespace rtr {
 
 namespace {
 
-/// Distinct, well-mixed seed per (batch seed, worker id).
-std::uint64_t worker_seed(std::uint64_t seed, int worker) {
-  std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL *
-                               (static_cast<std::uint64_t>(worker) + 1);
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ULL;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
 double elapsed_seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
@@ -180,39 +169,21 @@ StretchReport QueryEngine::run_sampled(std::int64_t pair_budget,
     return run_batch(queries);
   }
 
-  // Sampled: each worker draws its own share of pairs from its own Rng, so
-  // sampling scales with the pool instead of serializing on one generator.
-  const auto start = std::chrono::steady_clock::now();
-  const int workers =
-      static_cast<int>(std::min<std::int64_t>(threads_, pair_budget));
-  std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers));
-  const std::int64_t per = pair_budget / workers;
-  const std::int64_t extra = pair_budget % workers;
-  auto sample_share = [this, n, seed](int w, std::int64_t share,
-                                      WorkerTally& tally) {
-    Rng rng(worker_seed(seed, w));
-    for (std::int64_t i = 0; i < share; ++i) {
-      auto s = static_cast<NodeId>(rng.index(n));
-      auto t = static_cast<NodeId>(rng.index(n));
-      if (s == t) t = static_cast<NodeId>((t + 1) % n);
-      run_one(s, t, tally);
-    }
-  };
-  if (workers <= 1) {
-    sample_share(0, pair_budget, tallies[0]);
-    return finalize(std::move(tallies), elapsed_seconds(start));
+  // Sampled: draw the whole pair list from one Rng(seed) up front, then
+  // shard it like any explicit batch.  Sampling this way is what makes the
+  // report a function of (budget, seed) alone -- the same pairs are routed
+  // no matter how many workers the pool has -- and the drawing loop is a
+  // negligible fraction of actually routing the packets.
+  std::vector<RoundtripQuery> queries;
+  queries.reserve(static_cast<std::size_t>(pair_budget));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < pair_budget; ++i) {
+    auto s = static_cast<NodeId>(rng.index(n));
+    auto t = static_cast<NodeId>(rng.index(n));
+    if (s == t) t = static_cast<NodeId>((t + 1) % n);
+    queries.push_back({s, t});
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    const std::int64_t share = per + (w < extra ? 1 : 0);
-    pool.emplace_back([&sample_share, w, share,
-                       &tally = tallies[static_cast<std::size_t>(w)]] {
-      sample_share(w, share, tally);
-    });
-  }
-  for (auto& t : pool) t.join();
-  return finalize(std::move(tallies), elapsed_seconds(start));
+  return run_batch(queries);
 }
 
 }  // namespace rtr

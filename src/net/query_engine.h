@@ -11,8 +11,11 @@
 //                                  worker count (static sharding).
 //   * run_sampled(budget, seed) -- samples `budget` ordered pairs, exhaustive
 //                                  when the budget covers all n(n-1) pairs.
-//                                  Each worker samples its own share with an
-//                                  Rng derived from (seed, worker id).
+//                                  The pair list is drawn from Rng(seed)
+//                                  before sharding, so the report is a
+//                                  function of (budget, seed) alone --
+//                                  identical for every worker count (the
+//                                  determinism regression test pins this).
 //   * roundtrip(src, dst)       -- one query, on the caller's thread.
 //
 // All members are const; one engine may be shared by many caller threads.
@@ -87,7 +90,8 @@ class QueryEngine {
       const std::vector<RoundtripQuery>& queries) const;
 
   /// Samples `pair_budget` ordered pairs (exhaustive if the budget covers all
-  /// of them); each worker draws its share from its own derived Rng.
+  /// of them).  The sample is drawn from Rng(seed) up front and sharded via
+  /// run_batch, so the report does not depend on the worker count.
   [[nodiscard]] StretchReport run_sampled(std::int64_t pair_budget,
                                           std::uint64_t seed) const;
 

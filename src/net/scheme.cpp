@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "graph/scc.h"
+#include "io/snapshot.h"
 
 namespace rtr {
 
@@ -62,28 +63,111 @@ double BuildContext::option_double(const std::string& key,
 void SchemeRegistry::add(std::string name, std::string summary,
                          Factory factory) {
   auto [it, inserted] = entries_.emplace(
-      std::move(name), std::make_pair(std::move(summary), std::move(factory)));
+      std::move(name), Entry{std::move(summary), std::move(factory), {}, {}});
   if (!inserted) {
     throw std::invalid_argument("SchemeRegistry::add: duplicate scheme name '" +
                                 it->first + "'");
   }
 }
 
+void SchemeRegistry::set_snapshot_hooks(const std::string& name, Saver saver,
+                                        Loader loader) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument(
+        "SchemeRegistry::set_snapshot_hooks: unknown scheme '" + name + "'");
+  }
+  if (saver == nullptr || loader == nullptr) {
+    throw std::invalid_argument(
+        "SchemeRegistry::set_snapshot_hooks: null hook for '" + name + "'");
+  }
+  it->second.saver = std::move(saver);
+  it->second.loader = std::move(loader);
+}
+
 bool SchemeRegistry::contains(const std::string& name) const {
   return entries_.count(name) > 0;
 }
 
-std::shared_ptr<const Scheme> SchemeRegistry::build(
-    const std::string& name, const BuildContext& ctx) const {
+bool SchemeRegistry::snapshot_supported(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.saver != nullptr;
+}
+
+const SchemeRegistry::Entry& SchemeRegistry::entry_or_throw(
+    const std::string& name, const char* what) const {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     std::ostringstream msg;
-    msg << "SchemeRegistry: unknown scheme '" << name << "' (registered:";
+    msg << "SchemeRegistry::" << what << ": unknown scheme '" << name
+        << "' (registered:";
     for (const auto& [known, entry] : entries_) msg << ' ' << known;
     msg << ')';
     throw std::invalid_argument(msg.str());
   }
-  return it->second.second(ctx);
+  return it->second;
+}
+
+std::shared_ptr<const Scheme> SchemeRegistry::build(
+    const std::string& name, const BuildContext& ctx) const {
+  return entry_or_throw(name, "build").factory(ctx);
+}
+
+const SchemeRegistry::Saver& SchemeRegistry::saver(
+    const std::string& name) const {
+  const Entry& e = entry_or_throw(name, "saver");
+  if (e.saver == nullptr) {
+    throw std::invalid_argument("SchemeRegistry: scheme '" + name +
+                                "' has no snapshot hooks");
+  }
+  return e.saver;
+}
+
+const SchemeRegistry::Loader& SchemeRegistry::loader(
+    const std::string& name) const {
+  const Entry& e = entry_or_throw(name, "loader");
+  if (e.loader == nullptr) {
+    throw std::invalid_argument("SchemeRegistry: scheme '" + name +
+                                "' has no snapshot hooks");
+  }
+  return e.loader;
+}
+
+SchemeHandle SchemeRegistry::build_or_load(
+    const std::string& name, const std::function<BuildContext()>& make_ctx,
+    const std::string& path) const {
+  // Fail fast -- before any build cost -- on unknown names AND on entries
+  // registered without snapshot hooks (neither the load nor the save leg
+  // could ever work for those).
+  const Entry& entry = entry_or_throw(name, "build_or_load");
+  if (entry.saver == nullptr) {
+    throw std::invalid_argument("SchemeRegistry::build_or_load: scheme '" +
+                                name +
+                                "' has no snapshot hooks; use build() or "
+                                "register hooks via set_snapshot_hooks()");
+  }
+  try {
+    return load_snapshot(path, name, *this);
+  } catch (const SnapshotError&) {
+    // Absent, stale, corrupt, or mismatched cache: build and re-save below.
+  }
+  BuildContext ctx = make_ctx();
+  SchemeHandle handle(ctx.graph, ctx.names, entry.factory(ctx));
+  try {
+    save_snapshot(path, name, handle, *this);
+  } catch (const SnapshotError&) {
+    // A full disk or read-only cache directory must not take down serving:
+    // the freshly built handle is usable regardless; the next process just
+    // pays the build again.
+  }
+  return handle;
+}
+
+SchemeHandle SchemeRegistry::build_or_load(const std::string& name,
+                                           const BuildContext& ctx,
+                                           const std::string& path) const {
+  return build_or_load(
+      name, [&ctx]() -> BuildContext { return ctx; }, path);
 }
 
 std::vector<std::string> SchemeRegistry::names() const {
@@ -94,12 +178,7 @@ std::vector<std::string> SchemeRegistry::names() const {
 }
 
 const std::string& SchemeRegistry::summary(const std::string& name) const {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    throw std::invalid_argument("SchemeRegistry::summary: unknown scheme '" +
-                                name + "'");
-  }
-  return it->second.first;
+  return entry_or_throw(name, "summary").summary;
 }
 
 SchemeRegistry& SchemeRegistry::global() {

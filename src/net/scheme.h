@@ -50,6 +50,9 @@
 
 namespace rtr {
 
+class SnapshotWriter;  // io/snapshot_format.h
+class SnapshotReader;
+
 /// Type-erased box for a scheme's writable packet header.
 ///
 /// Headers up to kInlineCapacity bytes live inline (no allocation on the
@@ -260,23 +263,66 @@ struct BuildContext {
                                      double fallback) const;
 };
 
+/// Pieces a snapshot loader has already materialized (the "graph" and
+/// "names" sections) by the time a scheme's loader hook runs.
+struct SnapshotLoadContext {
+  std::shared_ptr<const Digraph> graph;
+  NameAssignment names = NameAssignment::identity(0);
+};
+
+class SchemeHandle;
+
 /// Maps scheme names to factories.  The global() registry comes with every
 /// in-repo scheme pre-registered: stretch6, stretch6-detour, exstretch,
 /// polystretch, rtz3, fulltable, hashed64.
+///
+/// Each entry may additionally carry *snapshot hooks*: a saver that encodes
+/// a built scheme's tables into a SnapshotWriter and a loader that rebuilds
+/// the scheme from a SnapshotReader without touching the graph again.  All
+/// built-ins register hooks; io/snapshot.h drives them.
 class SchemeRegistry {
  public:
   using Factory =
       std::function<std::shared_ptr<const Scheme>(const BuildContext&)>;
+  /// Encodes a registry-built scheme's state; throws std::invalid_argument
+  /// if handed a scheme of a different concrete type.
+  using Saver = std::function<void(const Scheme&, SnapshotWriter&)>;
+  /// Decodes a scheme from snapshot bytes against the already-loaded graph.
+  using Loader = std::function<std::shared_ptr<const Scheme>(
+      SnapshotReader&, const SnapshotLoadContext&)>;
 
   /// Registers a factory; throws std::invalid_argument on a duplicate name.
   void add(std::string name, std::string summary, Factory factory);
 
+  /// Attaches snapshot hooks to a registered name; throws for unknown names.
+  void set_snapshot_hooks(const std::string& name, Saver saver, Loader loader);
+
   [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] bool snapshot_supported(const std::string& name) const;
 
   /// Builds the named scheme; throws std::invalid_argument for unknown names
   /// (the message lists what is registered).
   [[nodiscard]] std::shared_ptr<const Scheme> build(
       const std::string& name, const BuildContext& ctx) const;
+
+  /// The snapshot hooks of a name; throw std::invalid_argument when the name
+  /// is unknown or registered without hooks.
+  [[nodiscard]] const Saver& saver(const std::string& name) const;
+  [[nodiscard]] const Loader& loader(const std::string& name) const;
+
+  /// The serve-path entry point: if `path` holds a valid snapshot of `name`,
+  /// load it and skip construction entirely (make_ctx is never called -- no
+  /// APSP, no scheme build); otherwise build from make_ctx(), save the
+  /// snapshot to `path` for the next process, and return the built handle.
+  /// A stale or corrupt cache file is treated as a miss and overwritten.
+  [[nodiscard]] SchemeHandle build_or_load(
+      const std::string& name, const std::function<BuildContext()>& make_ctx,
+      const std::string& path) const;
+
+  /// Convenience overload for callers that already paid for a BuildContext.
+  [[nodiscard]] SchemeHandle build_or_load(const std::string& name,
+                                           const BuildContext& ctx,
+                                           const std::string& path) const;
 
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
@@ -286,7 +332,15 @@ class SchemeRegistry {
   static SchemeRegistry& global();
 
  private:
-  std::map<std::string, std::pair<std::string, Factory>> entries_;
+  struct Entry {
+    std::string summary;
+    Factory factory;
+    Saver saver;    // empty when the scheme has no snapshot support
+    Loader loader;  // empty when the scheme has no snapshot support
+  };
+  [[nodiscard]] const Entry& entry_or_throw(const std::string& name,
+                                            const char* what) const;
+  std::map<std::string, Entry> entries_;
 };
 
 /// Registers the repo's built-in schemes; called once by global(), exposed

@@ -2,9 +2,24 @@
 
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
+
+void save_r2_label(SnapshotWriter& w, const R2Label& label) {
+  save_tree_ref(w, label.tree);
+  save_tree_label(w, label.label_u);
+  save_tree_label(w, label.label_v);
+}
+
+R2Label load_r2_label(SnapshotReader& r) {
+  R2Label label;
+  label.tree = load_tree_ref(r);
+  label.label_u = load_tree_label(r);
+  label.label_v = load_tree_label(r);
+  return label;
+}
 
 DtStep dt_step(const CoverHierarchy& hierarchy, NodeId at, DtLeg& leg) {
   const DoubleTree& tree = hierarchy.tree(leg.tree);

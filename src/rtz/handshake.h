@@ -34,6 +34,10 @@ struct R2Label {
   TreeLabel label_v;  // v's address in the tree (for the forward trip)
 };
 
+/// Snapshot encoding of a handshake label.
+void save_r2_label(SnapshotWriter& w, const R2Label& label);
+[[nodiscard]] R2Label load_r2_label(SnapshotReader& r);
+
 /// A one-way trip through a double tree: climb to the root, descend to the
 /// labelled target.  Used for both directions of an R2 pair and by the
 /// Section 4 scheme's within-cluster hops.

@@ -1,8 +1,10 @@
 #include "rtz/rtz3_scheme.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
 #include "rtz/centers.h"
 #include "util/bit_cost.h"
 
@@ -14,6 +16,23 @@ std::vector<char> mask_of(NodeId n, const std::vector<NodeId>& members) {
   std::vector<char> mask(static_cast<std::size_t>(n), 0);
   for (NodeId v : members) mask[static_cast<std::size_t>(v)] = 1;
   return mask;
+}
+
+/// Binary search in a name-sorted flat table; nullptr when absent.
+template <typename V>
+const V* find_sorted(const std::vector<std::pair<NodeName, V>>& table,
+                     NodeName key) {
+  auto it = std::lower_bound(
+      table.begin(), table.end(), key,
+      [](const std::pair<NodeName, V>& p, NodeName k) { return p.first < k; });
+  return it != table.end() && it->first == key ? &it->second : nullptr;
+}
+
+template <typename V>
+void sort_by_name(std::vector<std::pair<NodeName, V>>& table) {
+  std::sort(table.begin(), table.end(),
+            [](const std::pair<NodeName, V>& a,
+               const std::pair<NodeName, V>& b) { return a.first < b.first; });
 }
 
 }  // namespace
@@ -97,12 +116,17 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
     TreeRouter router(out);
     auto& own = tables_[static_cast<std::size_t>(v)];
     for (NodeId w : members) {
-      own.ball_out_label.emplace(names_.name_of(w), router.label(w));
+      own.ball_out_label.emplace_back(names_.name_of(w), router.label(w));
       auto& member = tables_[static_cast<std::size_t>(w)];
-      member.member_out_tab.emplace(root_name, router.table(w));
-      member.member_up_port.emplace(root_name,
-                                    in.next_port[static_cast<std::size_t>(w)]);
+      member.member_out_tab.emplace_back(root_name, router.table(w));
+      member.member_up_port.emplace_back(
+          root_name, in.next_port[static_cast<std::size_t>(w)]);
     }
+  }
+  for (auto& t : tables_) {
+    sort_by_name(t.ball_out_label);
+    sort_by_name(t.member_out_tab);
+    sort_by_name(t.member_up_port);
   }
 }
 
@@ -112,11 +136,11 @@ LegStep Rtz3Scheme::start_leg(NodeId at, const RtzAddress& target,
   leg.target = target;
   if (names_.name_of(at) == target.name) return LegStep{true, kNoPort};
   const auto& t = tables_[static_cast<std::size_t>(at)];
-  if (auto it = t.ball_out_label.find(target.name); it != t.ball_out_label.end()) {
+  if (const TreeLabel* label = find_sorted(t.ball_out_label, target.name)) {
     leg.phase = LegPhase::kBallDown;
     leg.ball_root = names_.name_of(at);
-    leg.ball_label = it->second;
-  } else if (t.member_up_port.contains(target.name)) {
+    leg.ball_label = *label;
+  } else if (find_sorted(t.member_up_port, target.name) != nullptr) {
     leg.phase = LegPhase::kBallUp;
   } else {
     leg.phase = LegPhase::kCenterUp;
@@ -129,21 +153,21 @@ LegStep Rtz3Scheme::step_leg(NodeId at, LegHeader& leg) const {
   const NodeName at_name = names_.name_of(at);
   switch (leg.phase) {
     case LegPhase::kBallDown: {
-      auto it = t.member_out_tab.find(leg.ball_root);
-      if (it == t.member_out_tab.end()) {
+      const TreeNodeTable* tab = find_sorted(t.member_out_tab, leg.ball_root);
+      if (tab == nullptr) {
         throw std::logic_error("rtz3: ball-down step left the ball");
       }
-      Port p = tree_next_port(it->second, leg.ball_label);
+      Port p = tree_next_port(*tab, leg.ball_label);
       if (p == kNoPort) return LegStep{true, kNoPort};
       return LegStep{false, p};
     }
     case LegPhase::kBallUp: {
       if (at_name == leg.target.name) return LegStep{true, kNoPort};
-      auto it = t.member_up_port.find(leg.target.name);
-      if (it == t.member_up_port.end()) {
+      const Port* up = find_sorted(t.member_up_port, leg.target.name);
+      if (up == nullptr) {
         throw std::logic_error("rtz3: ball-up step left the ball");
       }
-      return LegStep{false, it->second};
+      return LegStep{false, *up};
     }
     case LegPhase::kCenterUp: {
       const auto ci = static_cast<std::size_t>(leg.target.center_index);
@@ -248,6 +272,119 @@ TableStats Rtz3Scheme::table_stats() const {
     stats.add(v, entries, bits);
   }
   return stats;
+}
+
+// ---------------------------------------------------------------- snapshot --
+
+void save_rtz_address(SnapshotWriter& w, const RtzAddress& a) {
+  w.i32(a.name);
+  w.i32(a.center_index);
+  save_tree_label(w, a.center_label);
+}
+
+RtzAddress load_rtz_address(SnapshotReader& r) {
+  RtzAddress a;
+  a.name = r.i32();
+  a.center_index = r.i32();
+  a.center_label = load_tree_label(r);
+  return a;
+}
+
+namespace {
+
+void save_ball_system(SnapshotWriter& w, const BallSystem& b) {
+  w.vec_i32(b.centers);
+  w.vec_i32(b.center_index_of);
+  w.vec_i64(b.r_to_centers);
+  w.vec_i32(b.nearest_center);
+  auto nested = [](SnapshotWriter& ww, const std::vector<NodeId>& v) {
+    ww.vec_i32(v);
+  };
+  w.vec(b.ball_of, nested);
+  w.vec(b.cluster_of, nested);
+}
+
+BallSystem load_ball_system(SnapshotReader& r) {
+  BallSystem b;
+  b.centers = r.vec_i32();
+  b.center_index_of = r.vec_i32();
+  b.r_to_centers = r.vec_i64();
+  b.nearest_center = r.vec_i32();
+  auto nested = [](SnapshotReader& rr) { return rr.vec_i32(); };
+  b.ball_of = r.vec<std::vector<NodeId>>(nested, 8);
+  b.cluster_of = r.vec<std::vector<NodeId>>(nested, 8);
+  return b;
+}
+
+}  // namespace
+
+void Rtz3Scheme::save(SnapshotWriter& w) const {
+  names_.save(w);
+  save_ball_system(w, balls_);
+  w.vec(addresses_, save_rtz_address);
+  w.u64(tables_.size());
+  for (const NodeTables& t : tables_) {
+    w.vec_i32(t.center_up_port);
+    w.vec(t.center_tree_tab, save_tree_node_table);
+    w.vec(t.ball_out_label,
+          [](SnapshotWriter& ww, const std::pair<NodeName, TreeLabel>& e) {
+            ww.i32(e.first);
+            save_tree_label(ww, e.second);
+          });
+    w.vec(t.member_out_tab,
+          [](SnapshotWriter& ww, const std::pair<NodeName, TreeNodeTable>& e) {
+            ww.i32(e.first);
+            save_tree_node_table(ww, e.second);
+          });
+    w.vec(t.member_up_port,
+          [](SnapshotWriter& ww, const std::pair<NodeName, Port>& e) {
+            ww.i32(e.first);
+            ww.i32(e.second);
+          });
+  }
+  w.i32(resamples_used_);
+  w.i64(node_space_);
+  w.i64(port_space_);
+}
+
+Rtz3Scheme::Rtz3Scheme(SnapshotReader& r, const Digraph& g)
+    : graph_(g), names_(NameAssignment::load(r)) {
+  balls_ = load_ball_system(r);
+  addresses_ = r.vec<RtzAddress>(load_rtz_address, 8);
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(g.node_count())) {
+    throw std::invalid_argument(
+        "rtz3 snapshot: table count does not match the graph");
+  }
+  tables_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NodeTables t;
+    t.center_up_port = r.vec_i32();
+    t.center_tree_tab = r.vec<TreeNodeTable>(load_tree_node_table, 8);
+    t.ball_out_label = r.vec<std::pair<NodeName, TreeLabel>>(
+        [](SnapshotReader& rr) {
+          const NodeName name = rr.i32();
+          return std::make_pair(name, load_tree_label(rr));
+        },
+        8);
+    t.member_out_tab = r.vec<std::pair<NodeName, TreeNodeTable>>(
+        [](SnapshotReader& rr) {
+          const NodeName name = rr.i32();
+          return std::make_pair(name, load_tree_node_table(rr));
+        },
+        8);
+    t.member_up_port = r.vec<std::pair<NodeName, Port>>(
+        [](SnapshotReader& rr) {
+          const NodeName name = rr.i32();
+          const Port port = rr.i32();
+          return std::make_pair(name, port);
+        },
+        8);
+    tables_.push_back(std::move(t));
+  }
+  resamples_used_ = r.i32();
+  node_space_ = r.i64();
+  port_space_ = r.i64();
 }
 
 }  // namespace rtr

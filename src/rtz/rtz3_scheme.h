@@ -30,7 +30,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/names.h"
@@ -48,6 +48,11 @@ struct RtzAddress {
   std::int32_t center_index = -1;  // index into the scheme's center list
   TreeLabel center_label;          // v's label in OutTree(center)
 };
+
+/// Snapshot encoding of R3 addresses; shared by the TINN schemes that store
+/// them in their dictionaries.
+void save_rtz_address(SnapshotWriter& w, const RtzAddress& a);
+[[nodiscard]] RtzAddress load_rtz_address(SnapshotReader& r);
 
 /// Phase of one routing leg.
 enum class LegPhase : std::uint8_t {
@@ -86,6 +91,12 @@ class Rtz3Scheme {
   Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
              const NameAssignment& names, Rng& rng)
       : Rtz3Scheme(g, metric, names, rng, Options{}) {}
+
+  /// Snapshot path: rehydrates tables saved with save() against the same
+  /// graph (the caller guarantees `g` outlives the scheme, exactly as the
+  /// build constructor does).
+  Rtz3Scheme(SnapshotReader& r, const Digraph& g);
+  void save(SnapshotWriter& w) const;
 
   // -- substrate interface consumed by the TINN schemes ---------------------
 
@@ -140,11 +151,14 @@ class Rtz3Scheme {
     // Global center structures: indexed by center index.
     std::vector<Port> center_up_port;            // next hop toward center
     std::vector<TreeNodeTable> center_tree_tab;  // this node in OutTree(a)
+    // Associative tables as flat vectors sorted by name (binary-searched):
+    // ball and cluster memberships are O~(sqrt n) small, so flat beats
+    // hashing on memory, on cache behavior, and on snapshot decode time.
     // Own ball: labels of members in this node's ball out-tree.
-    std::unordered_map<NodeName, TreeLabel> ball_out_label;
+    std::vector<std::pair<NodeName, TreeLabel>> ball_out_label;
     // Per ball containing this node (keyed by the ball root's name).
-    std::unordered_map<NodeName, TreeNodeTable> member_out_tab;
-    std::unordered_map<NodeName, Port> member_up_port;
+    std::vector<std::pair<NodeName, TreeNodeTable>> member_out_tab;
+    std::vector<std::pair<NodeName, Port>> member_up_port;
   };
 
   [[nodiscard]] NodeId id_of(NodeName v) const { return names_.id_of(v); }

@@ -4,6 +4,7 @@
 #include <stack>
 #include <stdexcept>
 
+#include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
@@ -66,6 +67,60 @@ TreeRouter::TreeRouter(const OutTree& tree) : root_(tree.root) {
     tables_[static_cast<std::size_t>(v)].dfs_in = counter++;
     for (NodeId c : children[static_cast<std::size_t>(v)]) todo.push(c);
   }
+}
+
+void save_tree_node_table(SnapshotWriter& w, const TreeNodeTable& t) {
+  w.i32(t.dfs_in);
+  w.i32(t.heavy_port);
+}
+
+TreeNodeTable load_tree_node_table(SnapshotReader& r) {
+  TreeNodeTable t;
+  t.dfs_in = r.i32();
+  t.heavy_port = r.i32();
+  return t;
+}
+
+void save_tree_label(SnapshotWriter& w, const TreeLabel& label) {
+  w.i32(label.dfs_in);
+  w.vec(label.light_hops,
+        [](SnapshotWriter& ww, const std::pair<std::int32_t, Port>& hop) {
+          ww.i32(hop.first);
+          ww.i32(hop.second);
+        });
+}
+
+TreeLabel load_tree_label(SnapshotReader& r) {
+  TreeLabel label;
+  label.dfs_in = r.i32();
+  label.light_hops = r.vec<std::pair<std::int32_t, Port>>(
+      [](SnapshotReader& rr) {
+        const std::int32_t dfs = rr.i32();
+        const Port port = rr.i32();
+        return std::make_pair(dfs, port);
+      },
+      8);
+  return label;
+}
+
+void TreeRouter::save(SnapshotWriter& w) const {
+  w.i32(root_);
+  w.i32(member_count_);
+  w.vec(tables_, save_tree_node_table);
+  w.vec_i32(parent_);
+  w.vec_i32(parent_port_);
+  w.vec_i32(heavy_child_);
+  w.vec_i32(members_);
+}
+
+TreeRouter::TreeRouter(SnapshotReader& r) {
+  root_ = r.i32();
+  member_count_ = r.i32();
+  tables_ = r.vec<TreeNodeTable>(load_tree_node_table, 8);
+  parent_ = r.vec_i32();
+  parent_port_ = r.vec_i32();
+  heavy_child_ = r.vec_i32();
+  members_ = r.vec_i32();
 }
 
 TreeLabel TreeRouter::label(NodeId v) const {

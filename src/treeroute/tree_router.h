@@ -26,6 +26,9 @@
 
 namespace rtr {
 
+class SnapshotWriter;  // io/snapshot_format.h
+class SnapshotReader;
+
 /// Per-node state a tree member stores for one tree: O(1) words.
 struct TreeNodeTable {
   std::int32_t dfs_in = -1;    // this node's DFS number within the tree
@@ -48,6 +51,10 @@ class TreeRouter {
   /// Builds from a shortest-path out-tree; nodes unreachable in the tree
   /// (dist == kInfDist) are not members.
   explicit TreeRouter(const OutTree& tree);
+
+  /// Snapshot path: rehydrates a router saved with save().
+  explicit TreeRouter(SnapshotReader& r);
+  void save(SnapshotWriter& w) const;
 
   [[nodiscard]] NodeId root() const { return root_; }
   [[nodiscard]] bool contains(NodeId v) const {
@@ -76,6 +83,13 @@ class TreeRouter {
   std::vector<NodeId> heavy_child_;
   std::vector<NodeId> members_;
 };
+
+/// Snapshot encoding of the O(1)-word table and the O(log^2 n)-bit label;
+/// shared by every scheme that persists tree-routing state.
+void save_tree_node_table(SnapshotWriter& w, const TreeNodeTable& t);
+[[nodiscard]] TreeNodeTable load_tree_node_table(SnapshotReader& r);
+void save_tree_label(SnapshotWriter& w, const TreeLabel& label);
+[[nodiscard]] TreeLabel load_tree_label(SnapshotReader& r);
 
 /// Forwarding decision at a node holding `at` for a packet addressed
 /// `target`: kNoPort means "deliver here" (at.dfs_in == target.dfs_in).

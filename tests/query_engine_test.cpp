@@ -92,6 +92,34 @@ TEST(QueryEngine, SamplingIsDeterministicPerSeedAndThreadCount) {
   expect_same_report(engine.run_sampled(200, 17), engine.run_sampled(200, 17));
 }
 
+// Regression lock on the static-sharding contract (net/query_engine.h):
+// run_sampled(budget, seed) must produce the same StretchReport -- pairs,
+// failures, and bit-identical stretch aggregates -- for every worker count,
+// in both the sampled and the exhaustive regime.
+TEST(QueryEngine, SampledReportIndependentOfWorkerCount) {
+  Instance inst = make_instance(Family::kRandom, 48, 4, 58);
+  const auto ctx = inst.context(16);
+  auto scheme = SchemeRegistry::global().build("stretch6", ctx);
+
+  const auto n = static_cast<std::int64_t>(inst.n());
+  // One budget below n(n-1) (sampled branch), one above (exhaustive branch).
+  for (std::int64_t budget : {std::int64_t{500}, n * (n - 1) + 1}) {
+    StretchReport reference;
+    for (int threads : {1, 2, 8}) {
+      QueryEngineOptions opts;
+      opts.threads = threads;
+      QueryEngine engine(ctx.graph, ctx.metric, ctx.names, scheme, opts);
+      StretchReport report = engine.run_sampled(budget, 23);
+      EXPECT_GT(report.pairs, 0);
+      if (threads == 1) {
+        reference = report;
+      } else {
+        expect_same_report(reference, report);
+      }
+    }
+  }
+}
+
 TEST(QueryEngine, RoundtripRunsOneQueryOnTheCallerThread) {
   Instance inst = make_instance(Family::kRandom, 24, 4, 55);
   const auto ctx = inst.context(13);

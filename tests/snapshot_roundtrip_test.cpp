@@ -1,0 +1,172 @@
+// Differential conformance suite for binary scheme snapshots: for every
+// registered scheme, save -> load must (a) re-save byte-identically and
+// (b) answer roundtrip queries exactly like the freshly built scheme.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "io/snapshot.h"
+#include "net/scheme.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+using ::rtr::testing::Instance;
+using ::rtr::testing::shared_instance;
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "rtr_snapshot_" + tag + ".rtrsnap";
+}
+
+class SnapshotRoundtripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SnapshotRoundtripTest, ResaveIsByteIdenticalAndAnswersMatch) {
+  const std::string scheme_name = GetParam();
+  const auto inst = shared_instance(Family::kRandom, 64, 4, 2024);
+  const BuildContext ctx = inst->context(7);
+  SchemeHandle built(ctx.graph, ctx.names,
+                     SchemeRegistry::global().build(scheme_name, ctx));
+
+  const std::string path_a = temp_path(scheme_name + "_a");
+  const std::string path_b = temp_path(scheme_name + "_b");
+  save_snapshot(path_a, scheme_name, built);
+
+  // Load and re-save: the bytes must not drift (canonical encoding -- all
+  // associative state is serialized in sorted order).
+  SchemeHandle loaded = load_snapshot(path_a, scheme_name);
+  save_snapshot(path_b, scheme_name, loaded);
+  EXPECT_EQ(read_file(path_a), read_file(path_b))
+      << scheme_name << ": save -> load -> save changed the bytes";
+
+  // The loaded handle serves the identical graph/naming.
+  ASSERT_EQ(loaded.graph().node_count(), built.graph().node_count());
+  EXPECT_EQ(loaded.names().names(), built.names().names());
+  EXPECT_EQ(loaded.name(), built.name());
+
+  // Identical table accounting (the stats are recomputed from the loaded
+  // tables, so equality means the tables themselves survived).
+  EXPECT_EQ(loaded.table_stats().max_bits(), built.table_stats().max_bits());
+  EXPECT_DOUBLE_EQ(loaded.table_stats().mean_bits(),
+                   built.table_stats().mean_bits());
+
+  // Differential query check on 500 sampled pairs: loaded vs freshly built.
+  Rng rng(99);
+  const NodeId n = built.graph().node_count();
+  for (int i = 0; i < 500; ++i) {
+    auto s = static_cast<NodeId>(rng.index(n));
+    auto t = static_cast<NodeId>(rng.index(n));
+    if (s == t) t = static_cast<NodeId>((t + 1) % n);
+    RouteResult a = built.roundtrip(s, t);
+    RouteResult b = loaded.roundtrip(s, t);
+    ASSERT_TRUE(a.ok()) << scheme_name << " built failed " << s << "->" << t;
+    ASSERT_TRUE(b.ok()) << scheme_name << " loaded failed " << s << "->" << t;
+    ASSERT_EQ(a.out_length, b.out_length) << scheme_name << " " << s << "->" << t;
+    ASSERT_EQ(a.back_length, b.back_length) << scheme_name << " " << s << "->" << t;
+    ASSERT_EQ(a.out_hops, b.out_hops) << scheme_name << " " << s << "->" << t;
+    ASSERT_EQ(a.back_hops, b.back_hops) << scheme_name << " " << s << "->" << t;
+    ASSERT_EQ(a.max_header_bits, b.max_header_bits)
+        << scheme_name << " " << s << "->" << t;
+  }
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SnapshotRoundtripTest,
+                         ::testing::ValuesIn(SchemeRegistry::global().names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SnapshotInspect, ReportsHeaderAndSections) {
+  const auto inst = shared_instance(Family::kRandom, 32, 3, 11);
+  const BuildContext ctx = inst->context(3);
+  SchemeHandle built(ctx.graph, ctx.names,
+                     SchemeRegistry::global().build("rtz3", ctx));
+  const std::string path = temp_path("inspect");
+  save_snapshot(path, "rtz3", built);
+
+  SnapshotInfo info = inspect_snapshot(path);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(info.scheme, "rtz3");
+  EXPECT_EQ(info.node_count, inst->n());
+  EXPECT_EQ(info.edge_count, inst->graph.edge_count());
+  ASSERT_EQ(info.sections.size(), 3u);
+  EXPECT_EQ(info.sections[0].name, "graph");
+  EXPECT_EQ(info.sections[1].name, "names");
+  EXPECT_EQ(info.sections[2].name, "scheme");
+  std::uint64_t section_bytes = 0;
+  for (const auto& s : info.sections) section_bytes += s.bytes;
+  EXPECT_LT(section_bytes, info.file_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(BuildOrLoad, CacheMissBuildsAndSavesCacheHitSkipsConstruction) {
+  const auto inst = shared_instance(Family::kRandom, 40, 4, 5);
+  const std::string path = temp_path("build_or_load");
+  std::remove(path.c_str());
+
+  int ctx_builds = 0;
+  auto make_ctx = [&]() {
+    ++ctx_builds;
+    return inst->context(13);
+  };
+
+  // Miss: builds, saves, returns the built handle.
+  SchemeHandle first =
+      SchemeRegistry::global().build_or_load("stretch6", make_ctx, path);
+  EXPECT_EQ(ctx_builds, 1);
+  EXPECT_EQ(inspect_snapshot(path).scheme, "stretch6");
+
+  // Hit: construction is skipped entirely -- make_ctx is never called.
+  SchemeHandle second =
+      SchemeRegistry::global().build_or_load("stretch6", make_ctx, path);
+  EXPECT_EQ(ctx_builds, 1) << "cache hit must not rebuild the context";
+
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    auto s = static_cast<NodeId>(rng.index(inst->n()));
+    auto t = static_cast<NodeId>(rng.index(inst->n()));
+    if (s == t) continue;
+    RouteResult a = first.roundtrip(s, t);
+    RouteResult b = second.roundtrip(s, t);
+    ASSERT_EQ(a.ok(), b.ok());
+    ASSERT_EQ(a.roundtrip_length(), b.roundtrip_length());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BuildOrLoad, MismatchedCachedSchemeIsRebuiltAndOverwritten) {
+  const auto inst = shared_instance(Family::kRandom, 40, 4, 5);
+  const std::string path = temp_path("wrong_scheme_cache");
+  std::remove(path.c_str());
+
+  // Seed the cache file with a *different* scheme.
+  (void)SchemeRegistry::global().build_or_load(
+      "rtz3", [&] { return inst->context(13); }, path);
+  ASSERT_EQ(inspect_snapshot(path).scheme, "rtz3");
+
+  // Asking for fulltable at the same path must rebuild, not serve rtz3.
+  SchemeHandle handle = SchemeRegistry::global().build_or_load(
+      "fulltable", [&] { return inst->context(13); }, path);
+  EXPECT_EQ(handle.name(), "full-table(stretch1)");
+  EXPECT_EQ(inspect_snapshot(path).scheme, "fulltable");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtr

@@ -2,7 +2,9 @@
 #ifndef RTR_TESTS_TEST_SUPPORT_H
 #define RTR_TESTS_TEST_SUPPORT_H
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -35,16 +37,38 @@ struct Instance {
   }
 };
 
+/// Process-lifetime memoized instance, keyed by the full generation recipe
+/// (family, n, max_weight, seed).  Many fixtures across the suite ask for
+/// the same instances; the APSP metric is the dominant cost of each, so
+/// building every distinct recipe once cuts ctest wall time.  The cached
+/// Instance is immutable; tests that mutate take a copy via make_instance.
+inline std::shared_ptr<const Instance> shared_instance(Family family, NodeId n,
+                                                       Weight max_weight,
+                                                       std::uint64_t seed) {
+  using Key = std::tuple<int, NodeId, Weight, std::uint64_t>;
+  static std::mutex mutex;
+  static auto& cache =
+      *new std::map<Key, std::shared_ptr<const Instance>>();  // leaked: process-lifetime
+  const Key key{static_cast<int>(family), n, max_weight, seed};
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  auto inst = std::make_shared<Instance>();
+  Rng rng(seed);
+  inst->graph = make_family(family, n, max_weight, rng);
+  inst->graph.assign_adversarial_ports(rng);
+  inst->names = NameAssignment::random(inst->graph.node_count(), rng);
+  inst->metric = std::make_shared<RoundtripMetric>(inst->graph);
+  return cache.emplace(key, std::move(inst)).first->second;
+}
+
 /// Builds a family instance with adversarial (random) ports and names.
+/// Served from the shared_instance cache; the returned copy is the caller's
+/// to mutate (the heavyweight metric stays shared -- it is immutable).
 inline Instance make_instance(Family family, NodeId n, Weight max_weight,
                               std::uint64_t seed) {
-  Instance inst;
-  Rng rng(seed);
-  inst.graph = make_family(family, n, max_weight, rng);
-  inst.graph.assign_adversarial_ports(rng);
-  inst.names = NameAssignment::random(inst.graph.node_count(), rng);
-  inst.metric = std::make_shared<RoundtripMetric>(inst.graph);
-  return inst;
+  return *shared_instance(family, n, max_weight, seed);
 }
 
 /// Parameter tuple for family sweeps: (family, n, seed).

@@ -13,16 +13,33 @@
 //   rtr_cli bench <scheme> <family> <n> [pairs] [threads] [seed]
 //       Generate an instance, run a sampled batch through the QueryEngine,
 //       and emit a one-line JSON report.
+//   rtr_cli snapshot save <scheme> <path> <family> <n> [seed]
+//       Build the scheme over a generated instance and freeze it (graph,
+//       names, tables) into a versioned binary snapshot at <path>.
+//   rtr_cli snapshot load <path> [src dst]
+//       Load a snapshot into a ready-to-serve handle; optionally run one
+//       roundtrip query against it.
+//   rtr_cli snapshot info <path>
+//       Validate framing and checksums; print the header and section table.
+//   rtr_cli snapshot bench <scheme> <family> <n> [pairs] [seed]
+//       Measure build-vs-load: construct the scheme (timed), save it, load
+//       it back (timed), check the loaded handle answers a sampled batch
+//       identically, and emit a one-line JSON report with the speedup.
 //
 // <scheme> is any registered name (see `rtr_cli list`), e.g. stretch6,
 // stretch6-detour, exstretch, polystretch, rtz3, fulltable, hashed64.
 //
 // Exit status: 0 on success, 1 on routing failure, 2 on usage errors.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "graph/generators.h"
 #include "graph/graph_io.h"
+#include "io/snapshot.h"
 #include "net/query_engine.h"
 #include "net/scheme.h"
 #include "rt/metric.h"
@@ -39,6 +56,11 @@ int usage() {
             << "  rtr_cli route <scheme> <src> <dst> [seed]  < graph.edges\n"
             << "  rtr_cli stats <scheme> [seed]  < graph.edges\n"
             << "  rtr_cli bench <scheme> <family> <n> [pairs] [threads] "
+               "[seed]\n"
+            << "  rtr_cli snapshot save <scheme> <path> <family> <n> [seed]\n"
+            << "  rtr_cli snapshot load <path> [src dst]\n"
+            << "  rtr_cli snapshot info <path>\n"
+            << "  rtr_cli snapshot bench <scheme> <family> <n> [pairs] "
                "[seed]\n"
             << "  scheme:";
   for (const auto& name : SchemeRegistry::global().names()) {
@@ -128,6 +150,156 @@ int run_bench(const std::string& scheme_name, const std::string& family,
   return rep.failures == 0 ? 0 : 1;
 }
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void print_snapshot_info(const SnapshotInfo& info) {
+  std::cout << "scheme:   " << info.scheme << "\n"
+            << "version:  " << info.version << "\n"
+            << "nodes:    " << info.node_count << "\n"
+            << "edges:    " << info.edge_count << "\n"
+            << "bytes:    " << info.file_bytes << "\n"
+            << "sections:\n";
+  for (const auto& s : info.sections) {
+    std::printf("  %-8s %12llu bytes  crc32 %08x\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.bytes), s.crc);
+  }
+}
+
+int run_snapshot_save(const std::string& scheme_name, const std::string& path,
+                      const std::string& family, NodeId n, std::uint64_t seed) {
+  BuildContext ctx = family_context(parse_family(family), n, 4, seed);
+  SchemeHandle handle(ctx.graph, ctx.names,
+                      SchemeRegistry::global().build(scheme_name, ctx));
+  save_snapshot(path, scheme_name, handle);
+  print_snapshot_info(inspect_snapshot(path));
+  return 0;
+}
+
+int run_snapshot_load(const std::string& path, NodeId src, NodeId dst) {
+  const auto start = std::chrono::steady_clock::now();
+  SchemeHandle handle = load_snapshot(path);
+  const double load_seconds = seconds_since(start);
+  print_snapshot_info(inspect_snapshot(path));
+  std::cout << "loaded:   " << handle.name() << " in " << load_seconds
+            << " s\n";
+  if (src == kNoNode) return 0;
+  if (src < 0 || src >= handle.graph().node_count() || dst < 0 ||
+      dst >= handle.graph().node_count()) {
+    std::cerr << "node id out of range\n";
+    return 2;
+  }
+  auto res = handle.roundtrip(src, dst);
+  std::cout << "query:    " << src << " -> " << dst << " -> " << src
+            << (res.ok() ? " delivered" : " FAILED") << ", roundtrip length "
+            << res.roundtrip_length() << " (" << res.out_hops + res.back_hops
+            << " hops)\n";
+  return res.ok() ? 0 : 1;
+}
+
+int run_snapshot_bench(const std::string& scheme_name,
+                       const std::string& family, NodeId n, std::int64_t pairs,
+                       std::uint64_t seed) {
+  // PID-suffixed so concurrent benches (e.g. parallel CI jobs on one host)
+  // never race on the same scratch file.
+  const std::string path = "/tmp/rtr_snapshot_bench_" + scheme_name + "_" +
+                           std::to_string(n) + "_" +
+                           std::to_string(::getpid()) + ".rtrsnap";
+  std::remove(path.c_str());
+
+  // Build path, timed end to end the way a cold process would pay it:
+  // graph generation is excluded (both paths need a workload), but APSP,
+  // naming, and table construction all count.
+  Rng graph_rng(seed);
+  Digraph g = make_family(parse_family(family), n, 4, graph_rng);
+  const auto build_start = std::chrono::steady_clock::now();
+  BuildContext ctx = BuildContext::for_graph(std::move(g), seed);
+  SchemeHandle built(ctx.graph, ctx.names,
+                     SchemeRegistry::global().build(scheme_name, ctx));
+  const double build_seconds = seconds_since(build_start);
+
+  const auto save_start = std::chrono::steady_clock::now();
+  save_snapshot(path, scheme_name, built);
+  const double save_seconds = seconds_since(save_start);
+
+  const auto load_start = std::chrono::steady_clock::now();
+  SchemeHandle loaded = load_snapshot(path, scheme_name);
+  const double load_seconds = seconds_since(load_start);
+
+  // Differential check: the loaded handle must answer sampled roundtrips
+  // route-for-route like the freshly built one.
+  Rng qrng(seed + 1);
+  std::int64_t failures = 0, mismatches = 0;
+  const NodeId nodes = built.graph().node_count();
+  for (std::int64_t i = 0; i < pairs; ++i) {
+    auto s = static_cast<NodeId>(qrng.index(nodes));
+    auto t = static_cast<NodeId>(qrng.index(nodes));
+    if (s == t) t = static_cast<NodeId>((t + 1) % nodes);
+    auto ra = built.roundtrip(s, t);
+    auto rb = loaded.roundtrip(s, t);
+    if (!ra.ok() || !rb.ok()) ++failures;
+    if (ra.roundtrip_length() != rb.roundtrip_length() ||
+        ra.out_hops != rb.out_hops || ra.back_hops != rb.back_hops) {
+      ++mismatches;
+    }
+  }
+
+  const SnapshotInfo info = inspect_snapshot(path);
+  const double speedup =
+      load_seconds > 0 ? build_seconds / load_seconds : build_seconds / 1e-9;
+  std::cout << "{\"scheme\":\"" << scheme_name << "\",\"family\":\"" << family
+            << "\",\"n\":" << built.graph().node_count()
+            << ",\"build_seconds\":" << build_seconds
+            << ",\"save_seconds\":" << save_seconds
+            << ",\"load_seconds\":" << load_seconds
+            << ",\"speedup\":" << speedup
+            << ",\"file_bytes\":" << info.file_bytes << ",\"pairs\":" << pairs
+            << ",\"failures\":" << failures
+            << ",\"mismatches\":" << mismatches
+            << ",\"answers_match\":" << (mismatches == 0 ? "true" : "false")
+            << "}\n";
+  std::remove(path.c_str());
+  return mismatches == 0 && failures == 0 ? 0 : 1;
+}
+
+int run_snapshot(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "save") {
+    if (argc < 7 || argc > 8) return usage();
+    const std::uint64_t seed =
+        argc == 8 ? std::stoull(argv[7]) : std::uint64_t{1};
+    return run_snapshot_save(argv[3], argv[4], argv[5],
+                             static_cast<NodeId>(std::stol(argv[6])), seed);
+  }
+  if (sub == "load") {
+    if (argc != 4 && argc != 6) return usage();
+    NodeId src = kNoNode, dst = kNoNode;
+    if (argc == 6) {
+      src = static_cast<NodeId>(std::stol(argv[4]));
+      dst = static_cast<NodeId>(std::stol(argv[5]));
+    }
+    return run_snapshot_load(argv[3], src, dst);
+  }
+  if (sub == "info") {
+    if (argc != 4) return usage();
+    print_snapshot_info(inspect_snapshot(argv[3]));
+    return 0;
+  }
+  if (sub == "bench") {
+    if (argc < 6 || argc > 8) return usage();
+    const std::int64_t pairs = argc > 6 ? std::stoll(argv[6]) : 2000;
+    const std::uint64_t seed =
+        argc > 7 ? std::stoull(argv[7]) : std::uint64_t{1};
+    return run_snapshot_bench(argv[3], argv[4],
+                              static_cast<NodeId>(std::stol(argv[5])), pairs,
+                              seed);
+  }
+  return usage();
+}
+
 int main_inner(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -160,6 +332,10 @@ int main_inner(int argc, char** argv) {
     const std::uint64_t seed =
         argc == 4 ? std::stoull(argv[3]) : std::uint64_t{1};
     return run_stats(argv[2], seed);
+  }
+
+  if (cmd == "snapshot") {
+    return run_snapshot(argc, argv);
   }
 
   if (cmd == "bench") {
