@@ -77,8 +77,6 @@ StretchReport measure_stretch(const ExperimentInstance& inst,
   StretchReport report;
   Summary stretch;
   const NodeId n = inst.n();
-  const std::int64_t all = static_cast<std::int64_t>(n) * (n - 1);
-  Rng rng(seed);
   auto run_pair = [&](NodeId s, NodeId t) {
     auto res = simulate_roundtrip(inst.graph(), scheme, s, t,
                                   inst.names.name_of(t));
@@ -91,19 +89,10 @@ StretchReport measure_stretch(const ExperimentInstance& inst,
                 static_cast<double>(inst.metric->r(s, t)));
     report.max_header_bits = std::max(report.max_header_bits, res.max_header_bits);
   };
-  if (all <= pair_budget) {
-    for (NodeId s = 0; s < n; ++s) {
-      for (NodeId t = 0; t < n; ++t) {
-        if (s != t) run_pair(s, t);
-      }
-    }
-  } else {
-    for (std::int64_t i = 0; i < pair_budget; ++i) {
-      auto s = static_cast<NodeId>(rng.index(n));
-      auto t = static_cast<NodeId>(rng.index(n));
-      if (s == t) t = static_cast<NodeId>((t + 1) % n);
-      run_pair(s, t);
-    }
+  // One sampler for every measurement path (exhaustive under the budget,
+  // rejection-sampled uniform ordered pairs above it).
+  for (const RoundtripQuery& q : QueryEngine::sample_pairs(n, pair_budget, seed)) {
+    run_pair(q.src, q.dst);
   }
   if (stretch.count() > 0) {
     report.mean_stretch = stretch.mean();

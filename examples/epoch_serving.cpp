@@ -1,0 +1,66 @@
+// Live-churn serving: the dynamic_names.cpp story without stopping the
+// world.
+//
+// dynamic_names.cpp rebuilds tables between epochs with no traffic in
+// flight.  Here the EpochManager (src/serve) keeps answering name-keyed
+// roundtrips WHILE the next epoch's tables are preprocessed on a background
+// thread: sessions address peers by their topology-independent names the
+// whole time, never observe a rebuild, and never re-resolve an address --
+// the paper's Section 6 claim as an availability property.
+#include <atomic>
+#include <iostream>
+#include <thread>
+
+#include "core/names.h"
+#include "graph/churn.h"
+#include "graph/generators.h"
+#include "serve/epoch_manager.h"
+
+int main() {
+  using namespace rtr;
+
+  const NodeId n = 150;
+  Rng name_rng(7);
+  // Names chosen once; every epoch serves this exact permutation.
+  NameAssignment names = NameAssignment::random(n, name_rng);
+
+  Rng topo_rng(100);
+  Digraph g = random_strongly_connected(n, 4.0, 6, topo_rng);
+  g.assign_adversarial_ports(topo_rng);
+
+  EpochManager mgr("stretch6", names, Digraph(g));
+
+  // A client thread that never pauses: roundtrips addressed by NAME.
+  std::atomic<bool> stop{false};
+  std::thread client([&] {
+    Rng rng(8);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto a = static_cast<NodeName>(rng.index(n));
+      auto b = static_cast<NodeName>(rng.index(n));
+      if (a != b) (void)mgr.roundtrip_by_name(a, b);
+    }
+  });
+
+  Rng churn_rng(9);
+  ChurnOptions churn;
+  churn.rehome_nodes = 3;
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    g = churn_step(g, churn, churn_rng);
+    const auto before = mgr.counters().queries;
+    mgr.rebuild_now(Digraph(g));
+    const auto during = mgr.counters().queries - before;
+    std::cout << "epoch " << mgr.epoch() << ": topology churned, rebuilt in "
+              << mgr.current()->build_seconds << " s, " << during
+              << " queries served during the rebuild\n";
+  }
+
+  stop.store(true);
+  client.join();
+
+  const auto c = mgr.counters();
+  std::cout << "\nserved " << c.queries << " name-keyed roundtrips across "
+            << mgr.epoch() + 1 << " epochs, " << c.failures
+            << " failures;\nno session ever re-resolved an address -- names "
+               "are decoupled from topology.\n";
+  return c.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,173 @@
+#include "graph/churn.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/scc.h"
+
+namespace rtr {
+
+namespace {
+
+struct ProtoEdge {
+  NodeId to = kNoNode;
+  Weight weight = 0;
+  Port port = kNoPort;  // kNoPort: a new/rewired edge with no inherited port
+};
+
+/// Per-tail adjacency under construction, with O(1) duplicate suppression
+/// (stamp array instead of a per-node hash set).
+class ProtoGraph {
+ public:
+  explicit ProtoGraph(NodeId n)
+      : adj_(static_cast<std::size_t>(n)), stamp_(static_cast<std::size_t>(n), -1) {}
+
+  void add(NodeId u, NodeId v, Weight w, Port port = kNoPort) {
+    if (u == v) return;
+    auto& row = adj_[static_cast<std::size_t>(u)];
+    // stamp_[v] == u means "u -> v already present" (stamps are only ever
+    // compared against the current tail, so one array serves all tails as
+    // long as each tail's edges are added contiguously -- which add() does
+    // not require, so probe the row when the stamp misses).
+    if (stamp_[static_cast<std::size_t>(v)] == u) return;
+    for (const ProtoEdge& e : row) {
+      if (e.to == v) return;
+    }
+    stamp_[static_cast<std::size_t>(v)] = u;
+    row.push_back(ProtoEdge{v, w, port});
+  }
+
+  [[nodiscard]] Digraph materialize(bool reassign_ports, Rng& rng) const {
+    Digraph g(static_cast<NodeId>(adj_.size()));
+    if (reassign_ports) {
+      for (NodeId u = 0; u < g.node_count(); ++u) {
+        for (const ProtoEdge& e : adj_[static_cast<std::size_t>(u)]) {
+          g.add_edge(u, e.to, e.weight);
+        }
+      }
+      g.assign_adversarial_ports(rng);
+      return g;
+    }
+    // Port-stable mode: surviving edges keep their inherited port numbers;
+    // new/rewired edges (kNoPort) draw fresh ones that stay unique per tail
+    // within the O(n) port space.
+    const std::int64_t space = g.port_space();
+    std::vector<char> used(static_cast<std::size_t>(space));
+    std::vector<Edge> row;
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      const auto& proto_row = adj_[static_cast<std::size_t>(u)];
+      std::fill(used.begin(), used.end(), 0);
+      for (const ProtoEdge& e : proto_row) {
+        if (e.port != kNoPort) used[static_cast<std::size_t>(e.port)] = 1;
+      }
+      row.clear();
+      for (const ProtoEdge& e : proto_row) {
+        Port port = e.port;
+        if (port == kNoPort) {
+          do {  // degree << space (4n), so rejection terminates fast
+            port = static_cast<Port>(rng.index(space));
+          } while (used[static_cast<std::size_t>(port)] != 0);
+          used[static_cast<std::size_t>(port)] = 1;
+        }
+        row.push_back(Edge{e.to, e.weight, port});
+      }
+      g.add_edges_with_ports(u, row);
+    }
+    return g;
+  }
+
+ private:
+  std::vector<std::vector<ProtoEdge>> adj_;
+  std::vector<NodeId> stamp_;
+};
+
+Weight draw_weight(const ChurnOptions& opt, Rng& rng) {
+  return static_cast<Weight>(1 + rng.index(std::max<Weight>(1, opt.max_weight)));
+}
+
+NodeId draw_other(NodeId n, NodeId avoid, Rng& rng) {
+  NodeId v;
+  do {
+    v = static_cast<NodeId>(rng.index(n));
+  } while (v == avoid);
+  return v;
+}
+
+Digraph mutate_once(const Digraph& g, const ChurnOptions& opt, Rng& rng) {
+  const NodeId n = g.node_count();
+  std::vector<char> rehomed(static_cast<std::size_t>(n), 0);
+  if (opt.rehome_nodes > 0) {
+    auto leavers = rng.sample_without_replacement(
+        n, std::min<NodeId>(opt.rehome_nodes, n));
+    for (NodeId v : leavers) rehomed[static_cast<std::size_t>(v)] = 1;
+  }
+
+  ProtoGraph proto(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (rehomed[static_cast<std::size_t>(u)]) continue;  // adjacency re-drawn below
+    for (const Edge& e : g.out_edges(u)) {
+      NodeId head = e.to;
+      Weight w = e.weight;
+      // An edge into a leaver is gone with it; treat it as a forced rewire
+      // so the tail keeps its degree.  A rewired circuit is a new circuit:
+      // it inherits no port.
+      Port port = e.port;
+      if (rehomed[static_cast<std::size_t>(head)] || rng.chance(opt.rewire_fraction)) {
+        head = draw_other(n, u, rng);
+        port = kNoPort;
+      }
+      if (rng.chance(opt.perturb_fraction)) w = draw_weight(opt, rng);
+      proto.add(u, head, w, port);
+    }
+  }
+
+  // Rejoining nodes: fresh out-links at their old out-degree (min 1) plus a
+  // guaranteed in-link, so a leaf rejoin is at least plausibly reachable
+  // before the connectivity check has its say.
+  for (NodeId u = 0; u < n; ++u) {
+    if (!rehomed[static_cast<std::size_t>(u)]) continue;
+    const NodeId degree = std::max<NodeId>(1, g.out_degree(u));
+    for (NodeId i = 0; i < degree; ++i) {
+      proto.add(u, draw_other(n, u, rng), draw_weight(opt, rng));
+    }
+    proto.add(draw_other(n, u, rng), u, draw_weight(opt, rng));
+  }
+
+  return proto.materialize(opt.reassign_ports, rng);
+}
+
+/// Adds the missing arcs of a random Hamiltonian cycle, which makes any
+/// digraph strongly connected.
+Digraph repair_connectivity(const Digraph& g, const ChurnOptions& opt,
+                            Rng& rng) {
+  const NodeId n = g.node_count();
+  ProtoGraph proto(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Edge& e : g.out_edges(u)) proto.add(u, e.to, e.weight, e.port);
+  }
+  const auto cycle = rng.permutation(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId u = cycle[static_cast<std::size_t>(i)];
+    const NodeId v = cycle[static_cast<std::size_t>((i + 1) % n)];
+    proto.add(u, v, draw_weight(opt, rng));  // no-op when already present
+  }
+  return proto.materialize(opt.reassign_ports, rng);
+}
+
+}  // namespace
+
+Digraph churn_step(const Digraph& g, const ChurnOptions& opt, Rng& rng) {
+  const NodeId n = g.node_count();
+  if (n < 2) {
+    throw std::invalid_argument("churn_step: need at least 2 nodes");
+  }
+  for (int attempt = 0; attempt < std::max(1, opt.max_attempts); ++attempt) {
+    Digraph next = mutate_once(g, opt, rng);
+    if (is_strongly_connected(next)) return next;
+  }
+  return repair_connectivity(mutate_once(g, opt, rng), opt, rng);
+}
+
+}  // namespace rtr

@@ -1,0 +1,58 @@
+// Topology churn for the live serving layer (the paper's Section 6 model
+// made operational).
+//
+// The TINN claim is that names survive topology change: only the *graph*
+// churns, never the name space.  churn_step() therefore maps a strongly
+// connected digraph to a new strongly connected digraph over the SAME node
+// id set -- node ids (and hence the NameAssignment keyed by them) are
+// stable by construction -- while mutating everything topology-dependent:
+//
+//   * edge re-wiring        -- an edge keeps its tail but re-points its head
+//                              (an ISP re-homing a circuit),
+//   * weight perturbation   -- link costs re-drawn (congestion, re-pricing),
+//   * node re-home          -- a node leaves (its whole adjacency, in and
+//                              out, is dropped) and immediately rejoins with
+//                              fresh random links, keeping its name,
+//   * port re-labeling      -- the adversary re-numbers every port, so no
+//                              scheme can smuggle state across epochs
+//                              through port values.
+//
+// The result is always strongly connected (schemes require it): mutation is
+// retried a bounded number of times and, as a last resort, repaired with a
+// random Hamiltonian cycle.
+#ifndef RTR_GRAPH_CHURN_H
+#define RTR_GRAPH_CHURN_H
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+struct ChurnOptions {
+  /// Probability that an edge keeps its tail but re-points to a new head.
+  double rewire_fraction = 0.10;
+  /// Probability that a surviving edge's weight is re-drawn from
+  /// [1, max_weight].
+  double perturb_fraction = 0.25;
+  /// Number of nodes that leave (dropping every incident edge) and rejoin
+  /// with fresh random links in the same step.  Their ids -- and names --
+  /// are unchanged.
+  NodeId rehome_nodes = 0;
+  /// Upper bound for re-drawn weights.
+  Weight max_weight = 4;
+  /// true: fresh adversarial port numbers for the whole new epoch (Section
+  /// 1.1.3's adversary strikes again after every change).  false:
+  /// port-stable churn -- surviving edges keep their exact port numbers and
+  /// only new/rewired edges draw fresh (per-tail unique) ones.
+  bool reassign_ports = true;
+  /// Mutation retries before the Hamiltonian-cycle connectivity repair.
+  int max_attempts = 8;
+};
+
+/// One churn epoch: a new strongly connected digraph over the same node ids.
+[[nodiscard]] Digraph churn_step(const Digraph& g, const ChurnOptions& opt,
+                                 Rng& rng);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_CHURN_H

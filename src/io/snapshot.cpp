@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <utility>
 
 namespace rtr {
@@ -331,6 +332,17 @@ SchemeHandle load_snapshot(const std::string& path,
 
 SnapshotInfo inspect_snapshot(const std::string& path) {
   return parse_file(path).info;
+}
+
+void warn_snapshot_cache_save_failed_once(const std::string& context,
+                                          const SnapshotError& error) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::cerr << "warning: " << context
+              << " could not save the snapshot cache (" << error.what()
+              << "); serving the built scheme without a cache (further save "
+                 "failures are silent)\n";
+  }
 }
 
 }  // namespace rtr

@@ -82,6 +82,13 @@ void save_snapshot(const std::string& path, const std::string& scheme_name,
 /// without constructing the scheme (cheap: one pass over the file).
 [[nodiscard]] SnapshotInfo inspect_snapshot(const std::string& path);
 
+/// Serving-path degradation notice: a cache save failed (full disk,
+/// read-only directory) but the built scheme serves regardless.  Logs to
+/// stderr once per process -- an epoch loop hitting this every rebuild must
+/// neither spam the log nor stay silent about serving cold forever.
+void warn_snapshot_cache_save_failed_once(const std::string& context,
+                                          const SnapshotError& error);
+
 // -- building blocks shared with the scheme hooks ---------------------------
 
 /// Digraph <-> bytes (explicit ports and weights; the adversary's port

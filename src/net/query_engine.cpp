@@ -21,8 +21,26 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
 struct QueryEngine::WorkerTally {
   std::int64_t pairs = 0;
   std::int64_t failures = 0;
+  std::int64_t invalid = 0;
   std::int64_t max_header_bits = 0;
   Summary stretch;
+  // Earliest failure this worker saw, keyed by the query's batch index so
+  // finalize() can pick the batch-wide first deterministically regardless of
+  // how the batch was sharded.
+  std::size_t first_error_index = SIZE_MAX;
+  std::string first_error;
+
+  /// `make_message` is only invoked when this failure is the earliest the
+  /// worker has seen, so an all-fail batch does not allocate a message
+  /// string per query.
+  template <typename MakeMessage>
+  void note_failure(std::size_t index, MakeMessage&& make_message) {
+    ++failures;
+    if (index < first_error_index) {
+      first_error_index = index;
+      first_error = make_message();
+    }
+  }
 };
 
 QueryEngine::QueryEngine(std::shared_ptr<const Digraph> graph,
@@ -57,28 +75,51 @@ QueryEngine QueryEngine::from_registry(const SchemeRegistry& registry,
 }
 
 RouteResult QueryEngine::roundtrip(NodeId src, NodeId dst) const {
+  const NodeId n = graph_->node_count();
+  if (src < 0 || src >= n || dst < 0 || dst >= n) {
+    throw std::out_of_range("QueryEngine::roundtrip: node id out of range");
+  }
   return simulate_roundtrip(*graph_, *scheme_, src, dst, names_.name_of(dst),
                             options_.sim);
 }
 
-void QueryEngine::run_one(NodeId src, NodeId dst, WorkerTally& tally) const {
+void QueryEngine::run_one(std::size_t index, NodeId src, NodeId dst,
+                          WorkerTally& tally) const {
   ++tally.pairs;
+  // Validate before touching names_/the simulator: an out-of-range id would
+  // index past the name table (UB), and src == dst is not a roundtrip.  Both
+  // are the caller's data, so they count as typed failures, never UB/throw.
+  const NodeId n = graph_->node_count();
+  if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+    ++tally.invalid;
+    tally.note_failure(index, [&] {
+      return "invalid query (" + std::to_string(src) + ", " +
+             std::to_string(dst) + "): " +
+             (src == dst ? "src == dst" : "node id out of range");
+    });
+    return;
+  }
   RouteResult res;
   try {
     res = simulate_roundtrip(*graph_, *scheme_, src, dst, names_.name_of(dst),
                              options_.sim);
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     // Scheme bug (unknown port, header-type mix-up): a failed query, never
-    // an exception escaping a worker thread.
-    ++tally.failures;
+    // an exception escaping a worker thread.  The message is kept so the
+    // batch report can surface what broke.
+    tally.note_failure(index, [&] { return std::string(e.what()); });
     return;
   }
   if (!res.ok()) {
-    ++tally.failures;
+    tally.note_failure(index, [&] {
+      return "roundtrip (" + std::to_string(src) + ", " + std::to_string(dst) +
+             ") undelivered (out " + (res.delivered_out ? "ok" : "lost") +
+             ", back " + (res.delivered_back ? "ok" : "lost") + ")";
+    });
     return;
   }
   tally.max_header_bits = std::max(tally.max_header_bits, res.max_header_bits);
-  if (metric_ != nullptr && src != dst) {
+  if (metric_ != nullptr) {
     const auto r = metric_->r(src, dst);
     if (r > 0) {
       tally.stretch.add(static_cast<double>(res.roundtrip_length()) /
@@ -91,7 +132,7 @@ void QueryEngine::run_range(const std::vector<RoundtripQuery>& queries,
                             std::size_t begin, std::size_t end,
                             WorkerTally& tally) const {
   for (std::size_t i = begin; i < end; ++i) {
-    run_one(queries[i].src, queries[i].dst, tally);
+    run_one(i, queries[i].src, queries[i].dst, tally);
   }
 }
 
@@ -100,11 +141,17 @@ StretchReport QueryEngine::finalize(std::vector<WorkerTally> tallies,
   StretchReport report;
   report.wall_seconds = wall_seconds;
   Summary stretch;
+  std::size_t first_error_index = SIZE_MAX;
   for (auto& t : tallies) {
     report.pairs += t.pairs;
     report.failures += t.failures;
+    report.invalid += t.invalid;
     report.max_header_bits = std::max(report.max_header_bits, t.max_header_bits);
     stretch.merge(t.stretch);
+    if (t.first_error_index < first_error_index) {
+      first_error_index = t.first_error_index;
+      report.first_error = std::move(t.first_error);
+    }
   }
   if (stretch.count() > 0) {
     report.mean_stretch = stretch.stable_mean();
@@ -152,38 +199,48 @@ StretchReport QueryEngine::run_serial(
   return finalize(std::move(tallies), elapsed_seconds(start));
 }
 
-StretchReport QueryEngine::run_sampled(std::int64_t pair_budget,
-                                       std::uint64_t seed) const {
-  const auto n = static_cast<std::int64_t>(graph_->node_count());
-  if (n < 2 || pair_budget <= 0) return StretchReport{};
-  const std::int64_t all = n * (n - 1);
+std::vector<RoundtripQuery> QueryEngine::sample_pairs(NodeId n,
+                                                      std::int64_t pair_budget,
+                                                      std::uint64_t seed) {
+  std::vector<RoundtripQuery> queries;
+  const auto nodes = static_cast<std::int64_t>(n);
+  if (nodes < 2 || pair_budget <= 0) return queries;
+  const std::int64_t all = nodes * (nodes - 1);
   if (all <= pair_budget) {
-    // Exhaustive: enumerate every ordered pair once and shard the batch.
-    std::vector<RoundtripQuery> queries;
+    // Exhaustive: enumerate every ordered pair once.
     queries.reserve(static_cast<std::size_t>(all));
     for (NodeId s = 0; s < n; ++s) {
       for (NodeId t = 0; t < n; ++t) {
         if (s != t) queries.push_back({s, t});
       }
     }
-    return run_batch(queries);
+    return queries;
   }
-
-  // Sampled: draw the whole pair list from one Rng(seed) up front, then
-  // shard it like any explicit batch.  Sampling this way is what makes the
-  // report a function of (budget, seed) alone -- the same pairs are routed
-  // no matter how many workers the pool has -- and the drawing loop is a
-  // negligible fraction of actually routing the packets.
-  std::vector<RoundtripQuery> queries;
+  // Rejection sampling: a draw that collides (s == t) is thrown away and the
+  // whole pair redrawn, so the sample is uniform over ordered pairs.  (The
+  // previous remap `t = (t + 1) % n` double-weighted every pair
+  // (s, s+1 mod n).)  Expected redraws per pair are 1/(n-1), negligible next
+  // to routing the packet.
   queries.reserve(static_cast<std::size_t>(pair_budget));
   Rng rng(seed);
   for (std::int64_t i = 0; i < pair_budget; ++i) {
-    auto s = static_cast<NodeId>(rng.index(n));
-    auto t = static_cast<NodeId>(rng.index(n));
-    if (s == t) t = static_cast<NodeId>((t + 1) % n);
+    NodeId s, t;
+    do {
+      s = static_cast<NodeId>(rng.index(nodes));
+      t = static_cast<NodeId>(rng.index(nodes));
+    } while (s == t);
     queries.push_back({s, t});
   }
-  return run_batch(queries);
+  return queries;
+}
+
+StretchReport QueryEngine::run_sampled(std::int64_t pair_budget,
+                                       std::uint64_t seed) const {
+  // The pair list is drawn from one Rng(seed) up front, then sharded like
+  // any explicit batch.  Sampling this way is what makes the report a
+  // function of (budget, seed) alone -- the same pairs are routed no matter
+  // how many workers the pool has.
+  return run_batch(sample_pairs(graph_->node_count(), pair_budget, seed));
 }
 
 }  // namespace rtr

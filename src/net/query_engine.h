@@ -37,11 +37,20 @@ namespace rtr {
 struct StretchReport {
   std::int64_t pairs = 0;
   std::int64_t failures = 0;
+  /// Queries rejected before simulation (src == dst, or a NodeId outside
+  /// [0, n)).  Also counted in `failures`, so failures == 0 still means
+  /// "everything routed".
+  std::int64_t invalid = 0;
   double mean_stretch = 0;
   double p99_stretch = 0;
   double max_stretch = 0;
   std::int64_t max_header_bits = 0;
   double wall_seconds = 0;  // batch execution time (excludes preprocessing)
+  /// Message of the earliest failure in the batch (lowest query index, so it
+  /// is independent of the worker count); empty when failures == 0.  This is
+  /// how scheme bugs surface in bench/CLI output instead of being an
+  /// anonymous failure count.
+  std::string first_error;
 };
 
 struct RoundtripQuery {
@@ -78,8 +87,17 @@ class QueryEngine {
   [[nodiscard]] const NameAssignment& names() const { return names_; }
   [[nodiscard]] int worker_count() const { return threads_; }
 
-  /// One roundtrip on the caller's thread.
+  /// One roundtrip on the caller's thread; throws std::out_of_range for ids
+  /// outside [0, n) (batch entry points count those as failures instead).
   [[nodiscard]] RouteResult roundtrip(NodeId src, NodeId dst) const;
+
+  /// The pair list run_sampled routes: every ordered pair once when the
+  /// budget covers all n(n-1) of them, otherwise `pair_budget` pairs drawn
+  /// from Rng(seed) by rejection sampling (a draw with s == t is redrawn
+  /// whole, so every ordered pair s != t is equally likely -- remapping the
+  /// collision to a neighbour would double-weight the pairs (s, s+1 mod n)).
+  [[nodiscard]] static std::vector<RoundtripQuery> sample_pairs(
+      NodeId n, std::int64_t pair_budget, std::uint64_t seed);
 
   /// Executes the batch across the worker pool.
   [[nodiscard]] StretchReport run_batch(
@@ -100,7 +118,8 @@ class QueryEngine {
 
   void run_range(const std::vector<RoundtripQuery>& queries, std::size_t begin,
                  std::size_t end, WorkerTally& tally) const;
-  void run_one(NodeId src, NodeId dst, WorkerTally& tally) const;
+  void run_one(std::size_t index, NodeId src, NodeId dst,
+               WorkerTally& tally) const;
   [[nodiscard]] StretchReport finalize(std::vector<WorkerTally> tallies,
                                        double wall_seconds) const;
 

@@ -155,10 +155,11 @@ SchemeHandle SchemeRegistry::build_or_load(
   SchemeHandle handle(ctx.graph, ctx.names, entry.factory(ctx));
   try {
     save_snapshot(path, name, handle, *this);
-  } catch (const SnapshotError&) {
+  } catch (const SnapshotError& e) {
     // A full disk or read-only cache directory must not take down serving:
     // the freshly built handle is usable regardless; the next process just
     // pays the build again.
+    warn_snapshot_cache_save_failed_once("SchemeRegistry::build_or_load", e);
   }
   return handle;
 }

@@ -1,0 +1,140 @@
+#include "serve/churn_harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rtr {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+ChurnRunResult run_churn_workload(Digraph initial, NameAssignment names,
+                                  const ChurnRunOptions& options) {
+  const NodeId n = initial.node_count();
+  Digraph g = std::move(initial);
+  EpochManager mgr(options.scheme, std::move(names), Digraph(g),
+                   options.manager);
+
+  // Client threads hammering name-keyed roundtrips for the whole run; the
+  // control flow below churns the topology underneath them.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hammers;
+  const int workers = std::max(1, options.hammer_threads);
+  hammers.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    hammers.emplace_back([&mgr, &stop, n, &options, w] {
+      Rng rng(options.seed + 100 + static_cast<std::uint64_t>(w));
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto a = static_cast<NodeName>(rng.index(n));
+        auto b = static_cast<NodeName>(rng.index(n));
+        if (a == b) continue;
+        (void)mgr.roundtrip_by_name(a, b);
+      }
+    });
+  }
+
+  ChurnRunResult result;
+  const std::int64_t stretch_pairs = std::min<std::int64_t>(
+      options.stretch_pairs, static_cast<std::int64_t>(n) * (n - 1));
+  std::string epoch_rows;
+  // Per-epoch stretch continuity: a deterministic sampled batch against each
+  // epoch as it becomes current.
+  auto append_epoch_row = [&](const Epoch& epoch, double rebuild_seconds,
+                              std::uint64_t served_during) {
+    StretchReport rep = epoch.engine->run_sampled(stretch_pairs,
+                                                  options.seed + 2);
+    result.stretch_failures += rep.failures;
+    if (result.first_error.empty()) result.first_error = rep.first_error;
+    if (!epoch_rows.empty()) epoch_rows += ',';
+    epoch_rows += "{\"epoch\":" + std::to_string(epoch.seq) +
+                  ",\"pairs\":" + std::to_string(rep.pairs) +
+                  ",\"failures\":" + std::to_string(rep.failures) +
+                  ",\"mean_stretch\":" + std::to_string(rep.mean_stretch) +
+                  ",\"p99_stretch\":" + std::to_string(rep.p99_stretch) +
+                  ",\"max_stretch\":" + std::to_string(rep.max_stretch) +
+                  ",\"rebuild_seconds\":" + std::to_string(rebuild_seconds) +
+                  ",\"served_during_rebuild\":" +
+                  std::to_string(served_during) + ",\"from_cache\":" +
+                  (epoch.loaded_from_cache ? "true" : "false") + "}";
+  };
+  append_epoch_row(*mgr.current(), mgr.current()->build_seconds, 0);
+
+  Rng churn_rng(options.seed + 3);
+  for (int e = 0; e < options.epochs; ++e) {
+    g = churn_step(g, options.churn, churn_rng);
+    const auto before = mgr.counters();
+    const auto start = std::chrono::steady_clock::now();
+    if (!mgr.begin_rebuild(Digraph(g))) {
+      result.last_error = "rebuild unexpectedly in flight";
+      break;
+    }
+    mgr.wait_for_rebuild();
+    const double rebuild_seconds = seconds_since(start);
+    result.last_error = mgr.last_error();
+    if (!result.last_error.empty()) break;
+    const std::uint64_t served = mgr.counters().queries - before.queries;
+    result.served_during_rebuilds += served;
+    append_epoch_row(*mgr.current(), rebuild_seconds, served);
+  }
+
+  stop.store(true);
+  for (auto& t : hammers) t.join();
+
+  const auto c = mgr.counters();
+  result.queries = c.queries;
+  result.failures = c.failures;
+  result.epochs_completed = mgr.epoch();
+  result.availability =
+      c.queries > 0
+          ? 1.0 - static_cast<double>(c.failures) / static_cast<double>(c.queries)
+          : 1.0;
+  result.json =
+      "{\"scheme\":\"" + options.scheme + "\"," + options.extra_json_fields +
+      "\"n\":" + std::to_string(n) +
+      ",\"epochs\":" + std::to_string(result.epochs_completed) +
+      ",\"query_threads\":" + std::to_string(workers) +
+      ",\"queries\":" + std::to_string(result.queries) +
+      ",\"failures\":" + std::to_string(result.failures) +
+      ",\"served_during_rebuilds\":" +
+      std::to_string(result.served_during_rebuilds) +
+      ",\"availability\":" + std::to_string(result.availability) +
+      ",\"stretch_batch_failures\":" + std::to_string(result.stretch_failures) +
+      ",\"last_error\":\"" + json_escape(result.last_error) +
+      "\",\"per_epoch\":[" + epoch_rows + "]}";
+  return result;
+}
+
+}  // namespace rtr

@@ -1,0 +1,66 @@
+// Shared driver for the live-churn serving workload.
+//
+// `rtr_cli churn` and bench/churn_serving.cpp run the same experiment --
+// hammer threads issuing name-keyed roundtrips nonstop while the control
+// thread churns the topology through background epoch rebuilds, with a
+// deterministic sampled stretch batch against each epoch as it becomes
+// current.  This harness is that experiment, once, so the two front ends
+// cannot drift; they differ only in how they pick parameters and what they
+// wrap around the JSON row.
+#ifndef RTR_SERVE_CHURN_HARNESS_H
+#define RTR_SERVE_CHURN_HARNESS_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/names.h"
+#include "graph/churn.h"
+#include "graph/digraph.h"
+#include "serve/epoch_manager.h"
+
+namespace rtr {
+
+/// Minimal JSON string escaping for messages embedded in report rows.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+struct ChurnRunOptions {
+  std::string scheme = "stretch6";
+  int epochs = 3;          ///< background rebuilds after epoch 0
+  int hammer_threads = 4;  ///< client threads querying nonstop
+  std::uint64_t seed = 1;  ///< hammer traffic + stretch batch + churn draws
+  /// Budget for the per-epoch stretch-continuity batch (clamped to n(n-1)).
+  std::int64_t stretch_pairs = 2000;
+  ChurnOptions churn;                  ///< per-step topology mutation
+  EpochManagerOptions manager;         ///< cache_dir, engine threads, ...
+  /// Extra JSON fields spliced verbatim after "scheme" (e.g.
+  /// "\"family\":\"random\","); must end with a comma when non-empty.
+  std::string extra_json_fields;
+};
+
+struct ChurnRunResult {
+  std::string json;          ///< the one-line report row
+  std::uint64_t queries = 0;
+  std::uint64_t failures = 0;           ///< hammer roundtrips not delivered
+  std::int64_t stretch_failures = 0;    ///< failures across the epoch batches
+  std::uint64_t epochs_completed = 0;   ///< rebuilds that published
+  std::uint64_t served_during_rebuilds = 0;
+  double availability = 1.0;
+  std::string first_error;  ///< earliest stretch-batch error message
+  std::string last_error;   ///< rebuild failure, "" when none
+
+  /// The acceptance bar: every rebuild published and nothing ever failed.
+  [[nodiscard]] bool ok(int expected_epochs) const {
+    return failures == 0 && stretch_failures == 0 && last_error.empty() &&
+           epochs_completed == static_cast<std::uint64_t>(expected_epochs);
+  }
+};
+
+/// Runs the workload over `initial` with the fixed `names`.  Blocks until
+/// all epochs are published (or a rebuild fails) and the hammers are joined.
+[[nodiscard]] ChurnRunResult run_churn_workload(Digraph initial,
+                                                NameAssignment names,
+                                                const ChurnRunOptions& options);
+
+}  // namespace rtr
+
+#endif  // RTR_SERVE_CHURN_HARNESS_H

@@ -1,0 +1,187 @@
+#include "serve/epoch_manager.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "io/snapshot.h"
+
+namespace rtr {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Exact topology equality, ports included.  A cached snapshot is only
+/// trustworthy for an epoch if its frozen graph is THIS epoch's graph: the
+/// tables store port numbers, and the stretch denominators come from the
+/// epoch's own metric.
+bool same_topology(const Digraph& a, const Digraph& b) {
+  if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count()) {
+    return false;
+  }
+  for (NodeId u = 0; u < a.node_count(); ++u) {
+    const auto ea = a.out_edges(u);
+    const auto eb = b.out_edges(u);
+    if (ea.size() != eb.size()) return false;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].to != eb[i].to || ea[i].weight != eb[i].weight ||
+          ea[i].port != eb[i].port) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+EpochManager::EpochManager(std::string scheme_name, NameAssignment names,
+                           Digraph initial, EpochManagerOptions options,
+                           const SchemeRegistry& registry)
+    : scheme_name_(std::move(scheme_name)),
+      names_(std::move(names)),
+      options_(std::move(options)),
+      registry_(registry) {
+  if (names_.node_count() != initial.node_count()) {
+    throw std::invalid_argument(
+        "EpochManager: names do not match the initial graph");
+  }
+  std::atomic_store_explicit(&current_, build_epoch(0, std::move(initial)),
+                             std::memory_order_release);
+}
+
+EpochManager::~EpochManager() { wait_for_rebuild(); }
+
+std::shared_ptr<const Epoch> EpochManager::build_epoch(std::uint64_t seq,
+                                                       Digraph g) {
+  const auto start = std::chrono::steady_clock::now();
+  auto graph = std::make_shared<const Digraph>(std::move(g));
+  // APSP is paid per epoch regardless of the snapshot cache: the metric is
+  // not part of the frozen artifact (stretch denominators are measurement
+  // state, not routing state).
+  auto metric = std::make_shared<const RoundtripMetric>(*graph);
+  BuildContext ctx = BuildContext::wrap(graph, metric, names_,
+                                        options_.scheme_seed + seq);
+
+  bool from_cache = false;
+  std::unique_ptr<SchemeHandle> handle;
+  if (!options_.cache_dir.empty() &&
+      registry_.snapshot_supported(scheme_name_)) {
+    const std::string path = options_.cache_dir + "/" + scheme_name_ +
+                             "_epoch" + std::to_string(seq) + ".rtrsnap";
+    SchemeHandle cached = registry_.build_or_load(scheme_name_, ctx, path);
+    // Pointer identity tells a load from a build: the build leg hands back
+    // the ctx graph itself, a load materializes its own from the file.
+    from_cache = cached.graph_ptr() != graph;
+    // Trust the cache only if it froze exactly this epoch: same fixed
+    // naming, same topology down to the adversary's port numbers.  A stale
+    // file (e.g. a reused cache_dir from a different churn sequence) is
+    // rebuilt over.
+    if (!from_cache || (cached.names().names() == names_.names() &&
+                        same_topology(cached.graph(), *graph))) {
+      handle = std::make_unique<SchemeHandle>(std::move(cached));
+    } else {
+      from_cache = false;
+      handle = std::make_unique<SchemeHandle>(
+          graph, names_, registry_.build(scheme_name_, ctx));
+      try {
+        save_snapshot(path, scheme_name_, *handle, registry_);
+      } catch (const SnapshotError& e) {
+        // Same degradation contract as build_or_load: serving wins.
+        warn_snapshot_cache_save_failed_once("EpochManager", e);
+      }
+    }
+  } else {
+    handle = std::make_unique<SchemeHandle>(graph, names_,
+                                            registry_.build(scheme_name_, ctx));
+  }
+  if (from_cache) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+
+  QueryEngineOptions qopts;
+  qopts.threads = options_.query_threads;
+  qopts.sim = options_.sim;
+  auto engine = std::make_shared<const QueryEngine>(
+      handle->graph_ptr(), metric, names_, handle->scheme_ptr(), qopts);
+  return std::make_shared<const Epoch>(seq, std::move(*handle),
+                                       std::move(metric), std::move(engine),
+                                       from_cache, seconds_since(start));
+}
+
+bool EpochManager::begin_rebuild(Digraph next) {
+  if (rebuild_in_flight_.exchange(true, std::memory_order_acq_rel)) {
+    return false;
+  }
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();  // previous, done
+  const std::uint64_t seq = current()->seq + 1;
+  rebuild_thread_ = std::thread([this, seq, g = std::move(next)]() mutable {
+    try {
+      auto epoch = build_epoch(seq, std::move(g));
+      std::atomic_store_explicit(&current_, std::move(epoch),
+                                 std::memory_order_release);
+      epochs_built_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      last_error_.clear();
+    } catch (const std::exception& e) {
+      // The current epoch keeps serving; the operator reads last_error().
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      last_error_ = e.what();
+    }
+    rebuild_in_flight_.store(false, std::memory_order_release);
+  });
+  return true;
+}
+
+void EpochManager::wait_for_rebuild() {
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+}
+
+void EpochManager::rebuild_now(Digraph next) {
+  if (!begin_rebuild(std::move(next))) {
+    throw std::logic_error("EpochManager::rebuild_now: rebuild in flight");
+  }
+  wait_for_rebuild();
+  const std::string err = last_error();
+  if (!err.empty()) {
+    throw std::runtime_error("EpochManager::rebuild_now: " + err);
+  }
+}
+
+std::string EpochManager::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+RouteResult EpochManager::roundtrip_by_name(NodeName src, NodeName dst) const {
+  // One shared_ptr copy pins the whole (graph, scheme, names) triple: the
+  // query below cannot observe a swap, and the epoch cannot be destroyed
+  // until the copy goes out of scope.
+  const std::shared_ptr<const Epoch> epoch = current();
+  const NodeId s = names_.id_of(src);  // unknown name: caller error, throws
+  const NodeId d = names_.id_of(dst);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  RouteResult res;
+  try {
+    res = epoch->engine->roundtrip(s, d);
+  } catch (const std::exception&) {
+    // A scheme bug (unknown port, header mix-up) mid-walk is a failed
+    // query, exactly as on the batch path -- never an exception escaping
+    // into a client thread, where it would take down the whole server.
+    res = RouteResult{};
+  }
+  if (!res.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  return res;
+}
+
+EpochManager::Counters EpochManager::counters() const {
+  Counters c;
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.failures = failures_.load(std::memory_order_relaxed);
+  c.epochs_built = epochs_built_.load(std::memory_order_relaxed);
+  c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace rtr

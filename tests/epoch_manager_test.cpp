@@ -1,0 +1,261 @@
+// EpochManager: continuous serving across topology churn.
+//
+// The invariants under test, in paper terms (Sections 1 and 6): the TINN
+// naming is fixed once and survives every epoch (name-keyed sessions never
+// re-resolve), topology-dependent substrate labels are free to change, and
+// a query that started on epoch k completes coherently on epoch k even if
+// epoch k+1 is published mid-flight.  The *EpochSwapHammer* tests are the
+// ThreadSanitizer targets CI runs with -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/names.h"
+#include "core/stretch6.h"
+#include "net/scheme_adapter.h"
+#include "graph/churn.h"
+#include "graph/generators.h"
+#include "rt/metric.h"
+#include "serve/epoch_manager.h"
+#include "test_support.h"
+
+namespace rtr {
+namespace {
+
+Digraph initial_graph(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g = random_strongly_connected(n, 4.0, 5, rng);
+  g.assign_adversarial_ports(rng);
+  return g;
+}
+
+NameAssignment fixed_names(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  return NameAssignment::random(n, rng);
+}
+
+TEST(EpochManager, ServesImmediatelyAfterConstruction) {
+  const NodeId n = 40;
+  EpochManager mgr("stretch6", fixed_names(n, 5), initial_graph(n, 6));
+  EXPECT_EQ(mgr.epoch(), 0u);
+  const auto& names = mgr.names();
+  auto res = mgr.roundtrip_by_name(names.name_of(1), names.name_of(7));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(mgr.counters().queries, 1u);
+  EXPECT_EQ(mgr.counters().failures, 0u);
+}
+
+// The dynamic_names.cpp invariant, promoted to an assertion: the same
+// NameAssignment across every epoch, while the substrate's topology-
+// dependent R3 labels are free to change.
+TEST(EpochManager, NamesAreStableAcrossEpochsWhileR3LabelsChurn) {
+  const NodeId n = 48;
+  const NameAssignment names = fixed_names(n, 7);
+  EpochManager mgr("stretch6", names, initial_graph(n, 8));
+
+  Rng churn_rng(9);
+  ChurnOptions churn;
+  churn.rehome_nodes = 3;
+  std::vector<RtzAddress> r3_of_node0;
+  bool any_label_changed = false;
+  for (int step = 0; step < 3; ++step) {
+    auto epoch = mgr.current();
+    // Name stability: every epoch serves the construction-time naming, as
+    // the exact same permutation.
+    EXPECT_EQ(epoch->handle.names().names(), names.names())
+        << "epoch " << epoch->seq;
+    EXPECT_EQ(mgr.names().names(), names.names());
+    // The substrate's R3 address of (the node named by) name 0 is
+    // topology-dependent state; record it per epoch.  Registry-built schemes
+    // are wrapped in the template adapter, so unwrap to reach the substrate.
+    const auto* adapter =
+        dynamic_cast<const TemplateSchemeAdapter<Stretch6Scheme>*>(
+            &epoch->handle.scheme());
+    ASSERT_NE(adapter, nullptr);
+    r3_of_node0.push_back(
+        adapter->impl().substrate().address_of_name(names.name_of(0)));
+    if (r3_of_node0.size() > 1) {
+      const auto& prev = r3_of_node0[r3_of_node0.size() - 2];
+      const auto& now = r3_of_node0.back();
+      any_label_changed |= now.center_index != prev.center_index ||
+                           now.center_label.dfs_in != prev.center_label.dfs_in;
+    }
+    if (step < 2) {
+      mgr.rebuild_now(churn_step(epoch->handle.graph(), churn, churn_rng));
+    }
+  }
+  EXPECT_EQ(mgr.epoch(), 2u);
+  // Applications never see R3 labels, so they are ALLOWED to change -- and
+  // with re-drawn ports, re-homed nodes, and fresh scheme randomness they
+  // do change for this seed set (pinned so a regression that accidentally
+  // freezes substrate state across epochs would trip it).
+  EXPECT_TRUE(any_label_changed);
+}
+
+TEST(EpochManager, InFlightRebuildDoesNotBlockQueries) {
+  // Big enough that the background APSP+build cannot finish between two
+  // consecutive statements on the control thread (the single-flight probe
+  // below would otherwise race a sub-millisecond rebuild).
+  const NodeId n = 200;
+  const NameAssignment names = fixed_names(n, 11);
+  Digraph g0 = initial_graph(n, 12);
+  EpochManager mgr("rtz3", names, g0);
+
+  Rng churn_rng(13);
+  Digraph g1 = churn_step(g0, ChurnOptions{}, churn_rng);
+  ASSERT_TRUE(mgr.begin_rebuild(Digraph(g1)));
+  // One rebuild in flight at a time; a benign graph, so even a lost race
+  // could not poison last_error.
+  EXPECT_FALSE(mgr.begin_rebuild(Digraph(g1)));
+  // Queries served while the rebuild runs; every one must succeed.
+  std::uint64_t served = 0;
+  Rng qrng(14);
+  do {
+    NodeName a = static_cast<NodeName>(qrng.index(n));
+    NodeName b = static_cast<NodeName>(qrng.index(n));
+    if (a == b) continue;
+    EXPECT_TRUE(mgr.roundtrip_by_name(a, b).ok());
+    ++served;
+  } while (mgr.rebuild_in_flight());
+  mgr.wait_for_rebuild();
+  EXPECT_EQ(mgr.last_error(), "");
+  EXPECT_EQ(mgr.epoch(), 1u);
+  EXPECT_GT(served, 0u);
+  EXPECT_EQ(mgr.counters().failures, 0u);
+}
+
+TEST(EpochManager, FailedRebuildLeavesTheCurrentEpochServing) {
+  const NodeId n = 32;
+  EpochManager mgr("stretch6", fixed_names(n, 15), initial_graph(n, 16));
+  // A disconnected next topology cannot be preprocessed (no APSP): the
+  // rebuild fails, the error is readable, epoch 0 keeps serving.
+  Digraph disconnected(n);
+  disconnected.add_edge(0, 1, 1);
+  ASSERT_TRUE(mgr.begin_rebuild(std::move(disconnected)));
+  mgr.wait_for_rebuild();
+  EXPECT_NE(mgr.last_error(), "");
+  EXPECT_EQ(mgr.epoch(), 0u);
+  const auto& names = mgr.names();
+  EXPECT_TRUE(mgr.roundtrip_by_name(names.name_of(3), names.name_of(9)).ok());
+  // And a subsequent good rebuild clears the error.
+  mgr.rebuild_now(initial_graph(n, 17));
+  EXPECT_EQ(mgr.last_error(), "");
+  EXPECT_EQ(mgr.epoch(), 1u);
+}
+
+TEST(EpochManager, WarmStartsFromTheSnapshotCacheKeyedByEpoch) {
+  const NodeId n = 40;
+  const NameAssignment names = fixed_names(n, 19);
+  const std::string cache_dir = ::testing::TempDir() + "rtr_epoch_cache";
+  (void)std::remove((cache_dir + "/stretch6_epoch0.rtrsnap").c_str());
+  (void)std::remove((cache_dir + "/stretch6_epoch1.rtrsnap").c_str());
+  ASSERT_EQ(::mkdir(cache_dir.c_str(), 0755) == 0 || errno == EEXIST, true);
+
+  EpochManagerOptions opts;
+  opts.cache_dir = cache_dir;
+  Digraph g0 = initial_graph(n, 20);
+  Rng churn_rng(21);
+  Digraph g1 = churn_step(g0, ChurnOptions{}, churn_rng);
+
+  // Cold pass: both epochs built, snapshots saved.
+  {
+    EpochManager mgr("stretch6", names, g0, opts);
+    mgr.rebuild_now(Digraph(g1));
+    EXPECT_EQ(mgr.counters().cache_hits, 0u);
+  }
+  // Warm pass over the same epoch sequence: both epochs load.
+  {
+    EpochManager mgr("stretch6", names, Digraph(g0), opts);
+    EXPECT_TRUE(mgr.current()->loaded_from_cache);
+    mgr.rebuild_now(Digraph(g1));
+    EXPECT_EQ(mgr.counters().cache_hits, 2u);
+    EXPECT_TRUE(mgr.current()->loaded_from_cache);
+    const auto res = mgr.roundtrip_by_name(names.name_of(2), names.name_of(8));
+    EXPECT_TRUE(res.ok());
+  }
+  // A DIFFERENT epoch-1 topology against the same cache key: the stale file
+  // must be detected (topology mismatch) and rebuilt over, not served.
+  {
+    EpochManager mgr("stretch6", names, Digraph(g0), opts);
+    Digraph other = churn_step(g0, ChurnOptions{}, churn_rng);
+    mgr.rebuild_now(std::move(other));
+    EXPECT_EQ(mgr.counters().cache_hits, 1u);  // epoch 0 hit, epoch 1 stale
+    EXPECT_FALSE(mgr.current()->loaded_from_cache);
+    EXPECT_EQ(mgr.counters().failures, 0u);
+  }
+}
+
+// The concurrency acceptance test (and CI's ThreadSanitizer target): four
+// query threads hammer name-keyed roundtrips nonstop while the control
+// thread swaps >= 3 epochs under them, for EVERY registered scheme.  Zero
+// failures allowed: an in-flight query must always see one coherent epoch.
+void hammer_across_epoch_swaps(const std::string& scheme_name) {
+  const NodeId n = 40;
+  const int kSwaps = 3;
+  const NameAssignment names = fixed_names(n, 23);
+  Digraph g = initial_graph(n, 24);
+  EpochManager mgr(scheme_name, names, Digraph(g));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  std::vector<std::thread> hammers;
+  for (int w = 0; w < 4; ++w) {
+    hammers.emplace_back([&, w] {
+      Rng rng(100 + static_cast<std::uint64_t>(w));
+      while (!stop.load(std::memory_order_relaxed)) {
+        NodeName a = static_cast<NodeName>(rng.index(n));
+        NodeName b = static_cast<NodeName>(rng.index(n));
+        if (a == b) continue;
+        if (mgr.roundtrip_by_name(a, b).ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  Rng churn_rng(25);
+  ChurnOptions churn;
+  churn.rehome_nodes = 2;
+  for (int swap = 0; swap < kSwaps; ++swap) {
+    g = churn_step(g, churn, churn_rng);
+    ASSERT_TRUE(mgr.begin_rebuild(Digraph(g)));
+    mgr.wait_for_rebuild();
+    ASSERT_EQ(mgr.last_error(), "") << scheme_name << " swap " << swap;
+  }
+  stop.store(true);
+  for (auto& t : hammers) t.join();
+
+  EXPECT_EQ(mgr.epoch(), static_cast<std::uint64_t>(kSwaps));
+  EXPECT_EQ(failed.load(), 0u) << scheme_name;
+  EXPECT_GT(ok.load(), 0u) << scheme_name;
+  EXPECT_EQ(mgr.counters().failures, 0u);
+}
+
+class EpochSwapHammer : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EpochSwapHammer, QueriesSurviveThreeEpochSwaps) {
+  hammer_across_epoch_swaps(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, EpochSwapHammer,
+    ::testing::ValuesIn(SchemeRegistry::global().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rtr

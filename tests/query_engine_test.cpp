@@ -4,8 +4,10 @@
 // pool must actually scale when the hardware has cores to offer.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/query_engine.h"
@@ -39,10 +41,12 @@ QueryEngine make_engine(const BuildContext& ctx, const std::string& scheme,
 void expect_same_report(const StretchReport& a, const StretchReport& b) {
   EXPECT_EQ(a.pairs, b.pairs);
   EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.invalid, b.invalid);
   EXPECT_DOUBLE_EQ(a.mean_stretch, b.mean_stretch);
   EXPECT_DOUBLE_EQ(a.p99_stretch, b.p99_stretch);
   EXPECT_DOUBLE_EQ(a.max_stretch, b.max_stretch);
   EXPECT_EQ(a.max_header_bits, b.max_header_bits);
+  EXPECT_EQ(a.first_error, b.first_error);
 }
 
 TEST(QueryEngine, BatchAggregateIndependentOfWorkerCount) {
@@ -120,6 +124,78 @@ TEST(QueryEngine, SampledReportIndependentOfWorkerCount) {
   }
 }
 
+// The previous sampler remapped a collision (s == t) to (s, (s+1) mod n),
+// which silently double-weighted those n pairs.  Rejection sampling must be
+// self-pair-free AND uniform over all ordered pairs.
+TEST(QueryEngine, SampledPairsAreSelfFreeAndUniform) {
+  // The sampled branch only runs below the exhaustive threshold
+  // (budget < n(n-1)), so aggregate many under-budget draws across seeds.
+  const NodeId n = 4;
+  const std::int64_t budget = 11;  // n(n-1) - 1: always the sampled branch
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> freq;
+  std::int64_t total = 0;
+  for (std::uint64_t seed = 0; seed < 6000; ++seed) {
+    auto pairs = QueryEngine::sample_pairs(n, budget, seed);
+    ASSERT_EQ(pairs.size(), static_cast<std::size_t>(budget));
+    for (const auto& q : pairs) {
+      ASSERT_NE(q.src, q.dst);
+      ASSERT_GE(q.src, 0);
+      ASSERT_LT(q.src, n);
+      ASSERT_GE(q.dst, 0);
+      ASSERT_LT(q.dst, n);
+      ++freq[{q.src, q.dst}];
+      ++total;
+    }
+  }
+  ASSERT_EQ(freq.size(), 12u);  // all n(n-1) ordered pairs hit
+  // Expected count per pair is total/12 = 5500; the neighbour-remap bug gave
+  // the (s, s+1 mod n) pairs double weight (ratio 2.0 between the heaviest
+  // and lightest pairs).  A uniform sampler at this volume stays well inside
+  // +-5%.
+  std::int64_t lo = total, hi = 0;
+  for (const auto& [pair, count] : freq) {
+    lo = std::min(lo, count);
+    hi = std::max(hi, count);
+  }
+  const std::int64_t expected = total / 12;
+  EXPECT_GT(lo, expected * 95 / 100);
+  EXPECT_LT(hi, expected * 105 / 100);
+}
+
+TEST(QueryEngine, SampledPairsExhaustiveWhenBudgetCoversAll) {
+  auto pairs = QueryEngine::sample_pairs(5, 100, 3);
+  EXPECT_EQ(pairs.size(), 20u);
+  EXPECT_TRUE(QueryEngine::sample_pairs(1, 100, 3).empty());
+  EXPECT_TRUE(QueryEngine::sample_pairs(5, 0, 3).empty());
+}
+
+TEST(QueryEngine, BatchCountsInvalidQueriesAsTypedFailures) {
+  Instance inst = make_instance(Family::kRandom, 16, 3, 59);
+  const auto ctx = inst.context(17);
+  QueryEngine engine = make_engine(ctx, "stretch6", 2);
+  const NodeId n = inst.n();
+  // Self pair, both ids out of range (low and high), plus two valid queries.
+  const std::vector<RoundtripQuery> queries = {
+      {3, 3}, {-1, 2}, {4, n}, {kNoNode, kNoNode}, {0, 1}, {2, 5}};
+  StretchReport report = engine.run_batch(queries);
+  EXPECT_EQ(report.pairs, 6);
+  EXPECT_EQ(report.invalid, 4);
+  EXPECT_EQ(report.failures, 4);  // invalid counts as failed, nothing crashed
+  EXPECT_NE(report.first_error.find("invalid query"), std::string::npos)
+      << report.first_error;
+  EXPECT_NE(report.first_error.find("src == dst"), std::string::npos)
+      << "first failure in batch order is the self pair: "
+      << report.first_error;
+}
+
+TEST(QueryEngine, RoundtripThrowsOnOutOfRangeIds) {
+  Instance inst = make_instance(Family::kRandom, 16, 3, 59);
+  const auto ctx = inst.context(17);
+  QueryEngine engine = make_engine(ctx, "stretch6", 1);
+  EXPECT_THROW((void)engine.roundtrip(-1, 2), std::out_of_range);
+  EXPECT_THROW((void)engine.roundtrip(0, inst.n()), std::out_of_range);
+}
+
 TEST(QueryEngine, RoundtripRunsOneQueryOnTheCallerThread) {
   Instance inst = make_instance(Family::kRandom, 24, 4, 55);
   const auto ctx = inst.context(13);
@@ -160,6 +236,32 @@ TEST(QueryEngine, SchemeBugsAreCountedAsFailures) {
                      std::make_shared<const BrokenPortScheme>(), opts);
   StretchReport report = engine.run_batch(all_pairs(inst.n()));
   EXPECT_EQ(report.failures, report.pairs);
+  // The anonymous-swallow regression: the batch report must carry WHAT
+  // broke, not just how often.
+  EXPECT_NE(report.first_error.find("unknown port"), std::string::npos)
+      << report.first_error;
+}
+
+// first_error is keyed by batch index, so it is the same message no matter
+// how the batch was sharded across workers.
+TEST(QueryEngine, FirstErrorIndependentOfWorkerCount) {
+  Instance inst = make_instance(Family::kRandom, 16, 3, 56);
+  const auto ctx = inst.context(14);
+  auto scheme = std::make_shared<const BrokenPortScheme>();
+  const auto queries = all_pairs(inst.n());
+  StretchReport reference;
+  for (int threads : {1, 2, 5}) {
+    QueryEngineOptions opts;
+    opts.threads = threads;
+    QueryEngine engine(ctx.graph, ctx.metric, ctx.names, scheme, opts);
+    StretchReport report = engine.run_batch(queries);
+    EXPECT_FALSE(report.first_error.empty());
+    if (threads == 1) {
+      reference = report;
+    } else {
+      expect_same_report(reference, report);
+    }
+  }
 }
 
 /// The acceptance-scale perf check: a 10k-pair batch on a 512-node instance

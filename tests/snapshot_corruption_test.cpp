@@ -135,6 +135,26 @@ TEST_F(SnapshotCorruptionTest, EveryTypedErrorIsASnapshotError) {
   EXPECT_THROW((void)load_snapshot(path_, "stretch6"), SnapshotError);
 }
 
+TEST_F(SnapshotCorruptionTest, BuildOrLoadDegradesWhenCacheDirIsUnwritable) {
+  // A cache path whose parent "directory" is a regular file is unwritable
+  // for every uid (ENOTDIR) -- unlike a chmod'd directory, which root would
+  // happily write into, so this keeps the test honest under sudo/CI-root.
+  const std::string blocker = ::testing::TempDir() + "rtr_not_a_dir_" +
+                              ::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name();
+  write_file(blocker, {0x00});
+  const std::string cache_path = blocker + "/cache.rtrsnap";
+  // Degrade to build-without-save: a working handle comes back, nothing
+  // throws, and no snapshot file appears.
+  SchemeHandle handle = SchemeRegistry::global().build_or_load(
+      "stretch6", [&] { return inst_->context(9); }, cache_path);
+  EXPECT_EQ(handle.graph().node_count(), inst_->n());
+  EXPECT_TRUE(handle.roundtrip(1, 5).ok());
+  EXPECT_THROW((void)load_snapshot(cache_path, "stretch6"), SnapshotIoError);
+  std::remove(blocker.c_str());
+}
+
 TEST_F(SnapshotCorruptionTest, BuildOrLoadRecoversFromACorruptCache) {
   auto bytes = pristine_;
   bytes[bytes.size() - 100] ^= 0x10;

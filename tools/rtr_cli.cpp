@@ -25,6 +25,12 @@
 //       Measure build-vs-load: construct the scheme (timed), save it, load
 //       it back (timed), check the loaded handle answers a sampled batch
 //       identically, and emit a one-line JSON report with the speedup.
+//   rtr_cli churn <scheme> <family> <n> [epochs] [threads] [seed]
+//       Live-churn serving: build an EpochManager, then churn the topology
+//       through `epochs` background rebuilds while query threads hammer
+//       name-keyed roundtrips nonstop.  Emits a one-line JSON report with
+//       availability (queries served during rebuilds, failures) and
+//       per-epoch stretch continuity.
 //
 // <scheme> is any registered name (see `rtr_cli list`), e.g. stretch6,
 // stretch6-detour, exstretch, polystretch, rtz3, fulltable, hashed64.
@@ -36,6 +42,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "graph/generators.h"
 #include "graph/graph_io.h"
@@ -43,6 +50,7 @@
 #include "net/query_engine.h"
 #include "net/scheme.h"
 #include "rt/metric.h"
+#include "serve/churn_harness.h"
 
 namespace {
 
@@ -61,6 +69,8 @@ int usage() {
             << "  rtr_cli snapshot load <path> [src dst]\n"
             << "  rtr_cli snapshot info <path>\n"
             << "  rtr_cli snapshot bench <scheme> <family> <n> [pairs] "
+               "[seed]\n"
+            << "  rtr_cli churn <scheme> <family> <n> [epochs] [threads] "
                "[seed]\n"
             << "  scheme:";
   for (const auto& name : SchemeRegistry::global().names()) {
@@ -141,6 +151,8 @@ int run_bench(const std::string& scheme_name, const std::string& family,
   std::cout << "{\"scheme\":\"" << scheme_name << "\",\"family\":\"" << family
             << "\",\"n\":" << ctx.graph->node_count() << ",\"pairs\":"
             << rep.pairs << ",\"failures\":" << rep.failures
+            << ",\"invalid\":" << rep.invalid << ",\"first_error\":\""
+            << json_escape(rep.first_error) << "\""
             << ",\"mean_stretch\":" << rep.mean_stretch
             << ",\"p99_stretch\":" << rep.p99_stretch
             << ",\"max_stretch\":" << rep.max_stretch
@@ -230,13 +242,12 @@ int run_snapshot_bench(const std::string& scheme_name,
 
   // Differential check: the loaded handle must answer sampled roundtrips
   // route-for-route like the freshly built one.
-  Rng qrng(seed + 1);
   std::int64_t failures = 0, mismatches = 0;
   const NodeId nodes = built.graph().node_count();
-  for (std::int64_t i = 0; i < pairs; ++i) {
-    auto s = static_cast<NodeId>(qrng.index(nodes));
-    auto t = static_cast<NodeId>(qrng.index(nodes));
-    if (s == t) t = static_cast<NodeId>((t + 1) % nodes);
+  const auto queries = QueryEngine::sample_pairs(nodes, pairs, seed + 1);
+  pairs = static_cast<std::int64_t>(queries.size());
+  for (const RoundtripQuery& q : queries) {
+    const auto [s, t] = q;
     auto ra = built.roundtrip(s, t);
     auto rb = loaded.roundtrip(s, t);
     if (!ra.ok() || !rb.ok()) ++failures;
@@ -262,6 +273,30 @@ int run_snapshot_bench(const std::string& scheme_name,
             << "}\n";
   std::remove(path.c_str());
   return mismatches == 0 && failures == 0 ? 0 : 1;
+}
+
+int run_churn(const std::string& scheme_name, const std::string& family,
+              NodeId n, int epochs, int hammer_threads, std::uint64_t seed) {
+  Rng graph_rng(seed);
+  Digraph g = make_family(parse_family(family), n, 4, graph_rng);
+  g.assign_adversarial_ports(graph_rng);
+  Rng name_rng(seed + 1);
+  NameAssignment names = NameAssignment::random(g.node_count(), name_rng);
+
+  ChurnRunOptions opts;
+  opts.scheme = scheme_name;
+  opts.epochs = epochs;
+  opts.hammer_threads = hammer_threads;
+  opts.seed = seed;
+  opts.churn.rehome_nodes = std::max<NodeId>(1, g.node_count() / 50);
+  opts.extra_json_fields = "\"family\":\"" + family + "\",";
+  ChurnRunResult result =
+      run_churn_workload(std::move(g), std::move(names), opts);
+  if (!result.last_error.empty()) {
+    std::cerr << "churn: " << result.last_error << "\n";
+  }
+  std::cout << result.json << "\n";
+  return result.ok(epochs) ? 0 : 1;
 }
 
 int run_snapshot(int argc, char** argv) {
@@ -336,6 +371,16 @@ int main_inner(int argc, char** argv) {
 
   if (cmd == "snapshot") {
     return run_snapshot(argc, argv);
+  }
+
+  if (cmd == "churn") {
+    if (argc < 5 || argc > 8) return usage();
+    const int epochs = argc > 5 ? std::stoi(argv[5]) : 3;
+    const int threads = argc > 6 ? std::stoi(argv[6]) : 4;
+    const std::uint64_t seed =
+        argc > 7 ? std::stoull(argv[7]) : std::uint64_t{1};
+    return run_churn(argv[2], argv[3], static_cast<NodeId>(std::stol(argv[4])),
+                     epochs, threads, seed);
   }
 
   if (cmd == "bench") {
