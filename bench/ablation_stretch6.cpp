@@ -53,5 +53,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("ablation_stretch6");
 }

@@ -57,7 +57,12 @@ void run() {
       if (s == t) continue;
       auto res = simulate_roundtrip(inst.graph(), scheme, s, t,
                                     inst.names.name_of(t));
-      if (!res.ok()) continue;
+      if (!res.ok()) {
+        // A stretch-6 roundtrip must always deliver; an undelivered pair is
+        // a scheme bug the exit code surfaces (finish() returns non-zero).
+        gate_failures(1, "stretch6 (" + family_name(family) + ")");
+        continue;
+      }
       worst_oneway = std::max(
           worst_oneway, static_cast<double>(res.out_length) /
                             static_cast<double>(inst.metric->d(s, t)));
@@ -80,5 +85,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("asymmetry_motivation");
 }

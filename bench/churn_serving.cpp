@@ -48,6 +48,28 @@ bool run_scheme(const std::string& scheme_name) {
     std::cerr << scheme_name << ": first batch error: " << result.first_error
               << "\n";
   }
+
+  // The run as a BENCH-schema cell: serving qps under churn plus the
+  // epoch-0 deterministic stretch batch.
+  bench_harness::CellResult cell;
+  cell.scheme = scheme_name;
+  cell.family = "random(churn)";
+  cell.n = kNodes;
+  cell.qps = result.wall_seconds > 0
+                 ? static_cast<double>(result.queries) / result.wall_seconds
+                 : 0;
+  cell.pairs = result.stretch_pairs;
+  cell.failures = static_cast<std::int64_t>(result.failures) +
+                  result.stretch_failures;
+  cell.mean_stretch = result.mean_stretch;
+  cell.p99_stretch = result.p99_stretch;
+  cell.max_stretch = result.max_stretch;
+  cell.first_error = result.first_error.empty() ? result.last_error
+                                                : result.first_error;
+  record_cell(std::move(cell));
+  gate_failures(static_cast<std::int64_t>(result.failures) +
+                    result.stretch_failures,
+                scheme_name + " (churn serving)");
   return result.ok(kEpochs);
 }
 
@@ -59,7 +81,8 @@ int run() {
   for (const auto& scheme_name : SchemeRegistry::global().names()) {
     all_ok = run_scheme(scheme_name) && all_ok;
   }
-  return all_ok ? 0 : 1;
+  const int finish_code = finish("churn_serving");
+  return all_ok && finish_code == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -1,9 +1,26 @@
 #include "common.h"
 
+#include <cstdlib>
 #include <iostream>
 #include <utility>
 
 namespace rtr::bench {
+
+namespace {
+
+/// Process-wide gate + recorder state (bench mains are single-threaded).
+struct SessionState {
+  std::int64_t failures = 0;
+  std::string first_context;
+  std::vector<bench_harness::CellResult> cells;
+};
+
+SessionState& session() {
+  static SessionState state;
+  return state;
+}
+
+}  // namespace
 
 ExperimentInstance build_instance(Family family, NodeId n, Weight max_weight,
                                   std::uint64_t seed) {
@@ -30,9 +47,59 @@ StretchReport measure_stretch(const ExperimentInstance& inst,
                               int threads) {
   QueryEngineOptions opts;
   opts.threads = threads;
+  const std::string context = scheme->name();
   QueryEngine engine(inst.graph_ptr, inst.metric, inst.names,
                      std::move(scheme), opts);
-  return engine.run_sampled(pair_budget, seed);
+  StretchReport report = engine.run_sampled(pair_budget, seed);
+  gate_failures(report.failures, context);
+  return report;
+}
+
+void gate_failures(std::int64_t failures, const std::string& context) {
+  if (failures <= 0) return;
+  auto& s = session();
+  if (s.failures == 0) s.first_context = context;
+  s.failures += failures;
+}
+
+void record_cell(bench_harness::CellResult cell) {
+  session().cells.push_back(std::move(cell));
+}
+
+int finish(const std::string& tool) {
+  auto& s = session();
+  const char* out = std::getenv("RTR_BENCH_JSON");
+  if (out != nullptr && *out != '\0' && !s.cells.empty()) {
+    const char* rev_env = std::getenv("RTR_BENCH_REV");
+    const std::string rev = (rev_env != nullptr && *rev_env != '\0')
+                                ? rev_env
+                                : std::string("dev");
+    bench_harness::SuiteResult result;
+    result.cells = s.cells;
+    auto doc = bench_harness::suite_to_json(
+        result, bench_harness::BenchConfig{}, rev);
+    doc.set("tool", tool);
+    // Each experiment binary hard-codes its own sweep; the default-config
+    // echo would be misleading, so replace it with a pointer to the cells.
+    benchjson::Json note{benchjson::JsonObject{}};
+    note.set("note", "sweep fixed by the tool; see cells");
+    doc.set("config", std::move(note));
+    try {
+      bench_harness::write_text_file(out, doc.dump());
+      std::cerr << tool << ": wrote " << s.cells.size() << " cells to " << out
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << tool << ": cannot write " << out << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (s.failures > 0) {
+    std::cerr << tool << ": FAILED -- " << s.failures
+              << " roundtrip queries failed (first in: " << s.first_context
+              << ")\n";
+    return 1;
+  }
+  return 0;
 }
 
 void print_banner(const std::string& experiment, const std::string& artifact,

@@ -13,11 +13,13 @@
 #ifndef RTR_BENCH_COMMON_H
 #define RTR_BENCH_COMMON_H
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_harness/bench_harness.h"
 #include "core/names.h"
 #include "graph/generators.h"
 #include "net/query_engine.h"
@@ -69,6 +71,23 @@ struct ExperimentInstance {
                                             std::uint64_t seed,
                                             int threads = 0);
 
+/// Exit-code gate: notes `failures` measured failures (with a context label
+/// for the first diagnostic).  Every measure_stretch call reports into this
+/// automatically, so a bench binary whose main returns finish() exits
+/// non-zero as soon as any query fails.
+void gate_failures(std::int64_t failures, const std::string& context);
+
+/// Records a measured cell in the shared BENCH_<rev>.json schema; written by
+/// finish() when RTR_BENCH_JSON names an output path.
+void record_cell(bench_harness::CellResult cell);
+
+/// The bench main's return value: 0 iff no gated failure was noted.  When
+/// the RTR_BENCH_JSON environment variable is set, first writes all recorded
+/// cells there as an rtr-bench/1 document ("tool" = `tool`, rev from
+/// RTR_BENCH_REV or "dev"), so the experiment binaries' numbers land in the
+/// same machine-readable schema the rtr_bench orchestrator emits.
+[[nodiscard]] int finish(const std::string& tool);
+
 /// Template fast path: same aggregation, no virtual dispatch, single thread.
 template <TemplatedScheme Scheme>
 StretchReport measure_stretch(const ExperimentInstance& inst,
@@ -77,6 +96,7 @@ StretchReport measure_stretch(const ExperimentInstance& inst,
   StretchReport report;
   Summary stretch;
   const NodeId n = inst.n();
+  const auto start = std::chrono::steady_clock::now();
   auto run_pair = [&](NodeId s, NodeId t) {
     auto res = simulate_roundtrip(inst.graph(), scheme, s, t,
                                   inst.names.name_of(t));
@@ -99,6 +119,10 @@ StretchReport measure_stretch(const ExperimentInstance& inst,
     report.p99_stretch = stretch.percentile(0.99);
     report.max_stretch = stretch.max();
   }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  gate_failures(report.failures, scheme.name());
   return report;
 }
 

@@ -70,5 +70,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("crossover_tradeoffs");
 }

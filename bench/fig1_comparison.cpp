@@ -42,11 +42,37 @@ void run() {
 
     std::uint64_t seed = 1;
     for (const std::string& name : SchemeRegistry::global().names()) {
+      const auto build_t0 = std::chrono::steady_clock::now();
       auto scheme = build_scheme(inst, name, 1234 + seed);
+      const double build_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - build_t0)
+              .count();
+      StretchReport rep = measure_stretch(inst, scheme, kPairBudget, seed);
       rows.push_back(Row{name + " | " + scheme->name(),
                          fmt_bound(scheme->stretch_bound()),
-                         scheme->table_stats(),
-                         measure_stretch(inst, scheme, kPairBudget, seed)});
+                         scheme->table_stats(), rep});
+
+      // The same numbers, machine-readable: one BENCH-schema cell per row.
+      bench_harness::CellResult cell;
+      cell.scheme = name;
+      cell.family = family_name(family);
+      cell.n = inst.n();
+      cell.build_ms = build_ms;
+      cell.qps = rep.wall_seconds > 0
+                     ? static_cast<double>(rep.pairs) / rep.wall_seconds
+                     : 0;
+      cell.pairs = rep.pairs;
+      cell.failures = rep.failures;
+      cell.invalid = rep.invalid;
+      cell.mean_stretch = rep.mean_stretch;
+      cell.p99_stretch = rep.p99_stretch;
+      cell.max_stretch = rep.max_stretch;
+      cell.max_header_bits = rep.max_header_bits;
+      cell.table_entries_max = rows.back().stats.max_entries();
+      cell.bytes_per_node = rows.back().stats.mean_bits() / 8.0;
+      cell.first_error = rep.first_error;
+      record_cell(std::move(cell));
       ++seed;
     }
 
@@ -80,5 +106,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("fig1_comparison");
 }

@@ -46,6 +46,9 @@ void run() {
                       static_cast<double>(r));
         }
       }
+      // A Lemma 2 violation (undelivered or over-bound leg) is a scheme bug;
+      // gate it so the binary exits non-zero instead of just printing.
+      gate_failures(violations, "rtz3 (" + family_name(family) + ")");
       const double log_n = std::log2(static_cast<double>(inst.n()));
       table.add_row({fmt_int(inst.n()), family_name(family), fmt_int(pairs),
                      fmt_int(violations), fmt_double(stretch.mean()),
@@ -63,5 +66,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("lemma2_rtz3");
 }

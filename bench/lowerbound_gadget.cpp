@@ -67,5 +67,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("lowerbound_gadget");
 }

@@ -47,5 +47,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("sec4_polystretch");
 }

@@ -46,5 +46,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("spanner_sparsity");
 }

@@ -25,7 +25,12 @@ void run() {
       ExperimentInstance inst =
           build_instance(family, n, 4, 400 + n + static_cast<int>(family));
       Rng rng(n);
+      const auto build_t0 = std::chrono::steady_clock::now();
       Stretch6Scheme scheme(inst.graph(), *inst.metric, inst.names, rng);
+      const double build_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - build_t0)
+              .count();
       StretchReport rep = measure_stretch(inst, scheme, 6000, n);
       const double log_n = std::log2(static_cast<double>(inst.n()));
       table.add_row(
@@ -35,6 +40,25 @@ void run() {
            fmt_double(std::sqrt(static_cast<double>(inst.n())) * log_n * log_n),
            fmt_int(rep.max_header_bits), fmt_double(log_n * log_n),
            fmt_int(rep.failures)});
+
+      bench_harness::CellResult cell;
+      cell.scheme = "stretch6";
+      cell.family = family_name(family);
+      cell.n = inst.n();
+      cell.build_ms = build_ms;
+      cell.qps = rep.wall_seconds > 0
+                     ? static_cast<double>(rep.pairs) / rep.wall_seconds
+                     : 0;
+      cell.pairs = rep.pairs;
+      cell.failures = rep.failures;
+      cell.invalid = rep.invalid;
+      cell.mean_stretch = rep.mean_stretch;
+      cell.p99_stretch = rep.p99_stretch;
+      cell.max_stretch = rep.max_stretch;
+      cell.max_header_bits = rep.max_header_bits;
+      cell.table_entries_max = scheme.table_stats().max_entries();
+      cell.bytes_per_node = scheme.table_stats().mean_bits() / 8.0;
+      record_cell(std::move(cell));
     }
   }
   std::cout << table.render();
@@ -45,5 +69,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("stretch6_scaling");
 }

@@ -74,5 +74,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("thm10_cover");
 }

@@ -55,5 +55,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("thm13_hierarchy");
 }

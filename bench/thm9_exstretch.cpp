@@ -45,5 +45,5 @@ void run() {
 
 int main() {
   rtr::bench::run();
-  return 0;
+  return rtr::bench::finish("thm9_exstretch");
 }

@@ -45,8 +45,9 @@ FullTableScheme::FullTableScheme(const Digraph& g, const NameAssignment& names)
   next_port_.assign(static_cast<std::size_t>(n),
                     std::vector<Port>(static_cast<std::size_t>(n), kNoPort));
   // One in-tree per destination: every node's next hop toward it.
+  DijkstraWorkspace ws;
   for (NodeId dest = 0; dest < n; ++dest) {
-    InTree in = dijkstra_in_tree(g, reversed, dest);
+    InTree in = dijkstra_in_tree(g, reversed, dest, ws);
     const NodeName dest_name = names_.name_of(dest);
     for (NodeId v = 0; v < n; ++v) {
       if (v == dest) continue;

@@ -1,0 +1,663 @@
+#include "bench_harness/bench_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/names.h"
+#include "graph/dijkstra.h"
+#include "io/snapshot.h"
+#include "net/scheme.h"
+#include "rt/metric.h"
+#include "util/rng.h"
+
+namespace rtr::bench_harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- timing --
+
+TimedPhase run_timed(const IterationPolicy& policy,
+                     const std::function<void()>& fn) {
+  double warm_ms = -1;
+  for (int i = 0; i < policy.warmup_reps; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    warm_ms = ms_since(t0);
+  }
+  TimedPhase out;
+  if (policy.min_rep_ms > 0 && warm_ms >= 0 && warm_ms < policy.min_rep_ms) {
+    constexpr int kMaxInner = 64;
+    out.inner_iterations = warm_ms <= policy.min_rep_ms / kMaxInner
+                               ? kMaxInner
+                               : static_cast<int>(policy.min_rep_ms / warm_ms) + 1;
+  }
+  std::vector<double> times;
+  const int min_reps = std::max(1, policy.min_reps);
+  const int max_reps = std::max(min_reps, policy.max_reps);
+  const int window = std::max(2, policy.window);
+  while (static_cast<int>(times.size()) < max_reps) {
+    const auto t0 = Clock::now();
+    for (int k = 0; k < out.inner_iterations; ++k) fn();
+    times.push_back(ms_since(t0) / out.inner_iterations);
+    if (static_cast<int>(times.size()) < min_reps) continue;
+    if (static_cast<int>(times.size()) >= window) {
+      const auto tail = times.end() - window;
+      const double lo = *std::min_element(tail, times.end());
+      const double hi = *std::max_element(tail, times.end());
+      if (lo > 0 && (hi - lo) / lo <= policy.steady_rel_spread) {
+        out.steady = true;
+        break;
+      }
+    }
+  }
+  out.reps = static_cast<int>(times.size());
+  out.best_ms = *std::min_element(times.begin(), times.end());
+  double sum = 0;
+  for (const double t : times) sum += t;
+  out.mean_ms = sum / static_cast<double>(times.size());
+  return out;
+}
+
+std::string host_cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (cpuinfo && std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos && colon + 2 <= line.size()) {
+        return line.substr(colon + 2);
+      }
+    }
+  }
+  return "unknown";
+}
+
+std::int64_t current_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return -1;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::int64_t kb = -1;
+      if (std::sscanf(line.c_str(), "VmRSS: %" SCNd64, &kb) == 1) return kb;
+      return -1;
+    }
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------------ suite --
+
+BenchConfig BenchConfig::quick() {
+  BenchConfig c;
+  c.families = {Family::kRandom, Family::kGrid, Family::kRing};
+  c.sizes = {128, 256};
+  // Each timed rep must be tens of milliseconds, not single-digit: on a
+  // noisy (shared CI) host, sub-5ms reps make best-of qps swing by 2x and
+  // trip the regression gate spuriously.  12k pairs x ~2us keeps one rep
+  // around 25-50ms while the whole quick sweep stays in CI-smoke territory.
+  c.pair_budget = 12000;
+  c.latency_sample = 500;
+  c.iterations.warmup_reps = 1;
+  c.iterations.min_reps = 3;
+  c.iterations.max_reps = 8;
+  c.iterations.min_rep_ms = 25;
+  return c;
+}
+
+BenchConfig BenchConfig::full() {
+  BenchConfig c;
+  c.families = {Family::kRandom, Family::kScaleFree, Family::kGrid,
+                Family::kRing};
+  c.sizes = {128, 256, 512, 1024, 2048, 4096};
+  c.pair_budget = 6000;
+  c.latency_sample = 2000;
+  return c;
+}
+
+namespace {
+
+std::vector<std::string> resolve_schemes(const BenchConfig& config) {
+  if (!config.schemes.empty()) return config.schemes;
+  return SchemeRegistry::global().names();
+}
+
+/// Everything shared by the cells of one (family, n) instance.
+struct Instance {
+  std::shared_ptr<const Digraph> graph;
+  std::shared_ptr<const RoundtripMetric> metric;
+  NameAssignment names = NameAssignment::identity(0);
+  double apsp_ms = 0;
+};
+
+Instance build_instance(Family family, NodeId n, Weight max_weight,
+                        std::uint64_t seed) {
+  Instance inst;
+  Rng rng(seed);
+  Digraph g = make_family(family, n, max_weight, rng);
+  g.assign_adversarial_ports(rng);
+  inst.names = NameAssignment::random(g.node_count(), rng);
+  inst.graph = std::make_shared<const Digraph>(std::move(g));
+  const auto t0 = Clock::now();
+  inst.metric = std::make_shared<RoundtripMetric>(*inst.graph);
+  inst.apsp_ms = ms_since(t0);
+  return inst;
+}
+
+double percentile_ns(std::vector<double>& ns, double q) {
+  if (ns.empty()) return 0;
+  std::sort(ns.begin(), ns.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(ns.size() - 1) + 0.5);
+  return ns[std::min(rank, ns.size() - 1)];
+}
+
+CellResult run_cell(const Instance& inst, const std::string& scheme_name,
+                    Family family, NodeId n, const BenchConfig& config) {
+  CellResult cell;
+  cell.scheme = scheme_name;
+  cell.family = family_name(family);
+  cell.n = inst.graph->node_count();
+  cell.apsp_ms = inst.apsp_ms;
+
+  BuildContext ctx = BuildContext::wrap(inst.graph, inst.metric, inst.names,
+                                        config.seed + static_cast<std::uint64_t>(n));
+
+  // --- construction phase -------------------------------------------------
+  const std::int64_t rss_before = current_rss_kb();
+  const auto build_t0 = Clock::now();
+  std::shared_ptr<const Scheme> scheme =
+      SchemeRegistry::global().build(scheme_name, ctx);
+  cell.build_ms = ms_since(build_t0);
+  const std::int64_t rss_after = current_rss_kb();
+  if (rss_before >= 0 && rss_after >= 0) {
+    cell.build_rss_delta_kb = std::max<std::int64_t>(0, rss_after - rss_before);
+  }
+
+  const TableStats stats = scheme->table_stats();
+  cell.table_entries_max = stats.max_entries();
+  cell.bytes_per_node = stats.mean_bits() / 8.0;
+
+  // --- batch query phase --------------------------------------------------
+  QueryEngineOptions opts;
+  opts.threads = config.threads;
+  QueryEngine engine(inst.graph, inst.metric, inst.names, scheme, opts);
+  const auto pairs = QueryEngine::sample_pairs(
+      cell.n, config.pair_budget, config.seed + 1);
+  StretchReport report;
+  const TimedPhase query = run_timed(config.iterations,
+                                     [&] { report = engine.run_batch(pairs); });
+  cell.query_reps = query.reps;
+  cell.query_steady = query.steady;
+  cell.pairs = report.pairs;
+  cell.failures = report.failures;
+  cell.invalid = report.invalid;
+  cell.mean_stretch = report.mean_stretch;
+  cell.p99_stretch = report.p99_stretch;
+  cell.max_stretch = report.max_stretch;
+  cell.max_header_bits = report.max_header_bits;
+  cell.first_error = report.first_error;
+  cell.qps = query.best_ms > 0
+                 ? static_cast<double>(report.pairs) / (query.best_ms / 1e3)
+                 : 0;
+
+  // --- per-query latency distribution -------------------------------------
+  const auto sample = static_cast<std::size_t>(std::min<std::int64_t>(
+      config.latency_sample, static_cast<std::int64_t>(pairs.size())));
+  std::vector<double> latencies_ns;
+  latencies_ns.reserve(sample);
+  for (std::size_t i = 0; i < sample; ++i) {
+    const auto t0 = Clock::now();
+    try {
+      (void)engine.roundtrip(pairs[i].src, pairs[i].dst);
+    } catch (const std::exception&) {
+      // Already accounted as a failure by the batch phase; latency of a
+      // throwing query is not meaningful.
+      continue;
+    }
+    latencies_ns.push_back(ms_since(t0) * 1e6);
+  }
+  cell.p50_query_ns = percentile_ns(latencies_ns, 0.50);
+  cell.p99_query_ns = percentile_ns(latencies_ns, 0.99);
+
+  // --- snapshot load phase ------------------------------------------------
+  if (config.snapshot_phase &&
+      SchemeRegistry::global().snapshot_supported(scheme_name)) {
+    namespace fs = std::filesystem;
+    const fs::path path =
+        fs::temp_directory_path() /
+        ("rtr_bench_" + scheme_name + "_" + cell.family + "_" +
+         std::to_string(cell.n) + ".rtrsnap");
+    SchemeHandle handle(inst.graph, inst.names, scheme);
+    try {
+      save_snapshot(path.string(), scheme_name, handle);
+      const auto t0 = Clock::now();
+      SchemeHandle loaded = load_snapshot(path.string(), scheme_name);
+      cell.snapshot_load_ms = ms_since(t0);
+    } catch (const std::exception&) {
+      cell.snapshot_load_ms = -1;  // phase skipped; the cell still stands
+    }
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  return cell;
+}
+
+// ------------------------------------------------- hot-path delta measures --
+
+/// Before/after for the Dijkstra arena: the seed implementation (fresh
+/// buffers + std::priority_queue per source) vs the CSR + workspace + Dial
+/// fast path all_pairs_shortest_paths runs.  Both live in this binary, so
+/// the record is re-measured on every bench run.
+HotPathDelta measure_dijkstra_delta(Family family, NodeId n, Weight max_weight,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g = make_family(family, n, max_weight, rng);
+  const NodeId nodes = g.node_count();
+
+  const auto run_reference = [&] {
+    for (NodeId s = 0; s < nodes; ++s) {
+      volatile Dist sink = dijkstra_distances_reference(g, s)[0];
+      (void)sink;
+    }
+  };
+  CsrAdjacency csr(g);
+  DijkstraWorkspace ws;
+  std::vector<Dist> row(static_cast<std::size_t>(nodes));
+  const auto run_arena = [&] {
+    for (NodeId s = 0; s < nodes; ++s) {
+      dijkstra_distances_into(csr, s, ws, row);
+      volatile Dist sink = row[0];
+      (void)sink;
+    }
+  };
+
+  IterationPolicy policy;
+  policy.warmup_reps = 1;
+  policy.min_reps = 2;
+  policy.max_reps = 3;
+  policy.min_rep_ms = 25;
+  HotPathDelta d;
+  d.name = "dijkstra-arena-dial";
+  d.metric = "apsp_ms";
+  d.family = family_name(family);
+  d.n = nodes;
+  d.before = run_timed(policy, run_reference).best_ms;
+  d.after = run_timed(policy, run_arena).best_ms;
+  d.improvement_pct =
+      d.before > 0 ? 100.0 * (d.before - d.after) / d.before : 0;
+  return d;
+}
+
+/// Before/after for the batch query path: the seed reference loop
+/// (array-of-structs, per-hop type-erased Packet walk, per-hop header
+/// re-measurement) vs run_batch's structure-of-arrays fast path.  Identical
+/// reports are asserted -- a mismatch invalidates the measurement.
+HotPathDelta measure_query_delta(const Instance& inst,
+                                 const std::string& scheme_name,
+                                 Family family, std::int64_t pair_budget,
+                                 std::uint64_t seed) {
+  BuildContext ctx = BuildContext::wrap(inst.graph, inst.metric, inst.names,
+                                        seed);
+  auto scheme = SchemeRegistry::global().build(scheme_name, ctx);
+  QueryEngineOptions opts;
+  opts.threads = 1;
+  QueryEngine engine(inst.graph, inst.metric, inst.names, scheme, opts);
+  const auto pairs = QueryEngine::sample_pairs(inst.graph->node_count(),
+                                               pair_budget, seed + 1);
+  IterationPolicy policy;
+  policy.warmup_reps = 1;
+  policy.min_reps = 2;
+  policy.max_reps = 4;
+  policy.min_rep_ms = 25;
+  StretchReport before_rep, after_rep;
+  const TimedPhase before =
+      run_timed(policy, [&] { before_rep = engine.run_serial(pairs); });
+  const TimedPhase after =
+      run_timed(policy, [&] { after_rep = engine.run_batch(pairs); });
+  if (before_rep.mean_stretch != after_rep.mean_stretch ||
+      before_rep.failures != after_rep.failures ||
+      before_rep.max_header_bits != after_rep.max_header_bits) {
+    throw std::logic_error(
+        "bench_harness: fast query path diverged from the reference walk");
+  }
+  HotPathDelta d;
+  d.name = "query-batch-fast-walk";
+  d.metric = "qps";
+  d.scheme = scheme_name;
+  d.family = family_name(family);
+  d.n = inst.graph->node_count();
+  d.before = before.best_ms > 0
+                 ? static_cast<double>(before_rep.pairs) / (before.best_ms / 1e3)
+                 : 0;
+  d.after = after.best_ms > 0
+                ? static_cast<double>(after_rep.pairs) / (after.best_ms / 1e3)
+                : 0;
+  d.improvement_pct =
+      d.before > 0 ? 100.0 * (d.after - d.before) / d.before : 0;
+  return d;
+}
+
+}  // namespace
+
+SuiteResult run_suite(const BenchConfig& config, std::ostream* progress) {
+  SuiteResult result;
+  const std::vector<std::string> schemes = resolve_schemes(config);
+  for (const Family family : config.families) {
+    for (const NodeId n : config.sizes) {
+      const Instance inst = build_instance(
+          family, n, config.max_weight,
+          config.seed + static_cast<std::uint64_t>(n) * 31 +
+              static_cast<std::uint64_t>(family));
+      for (const std::string& scheme : schemes) {
+        CellResult cell = run_cell(inst, scheme, family, n, config);
+        if (progress != nullptr) {
+          *progress << cell.scheme << " " << cell.family << " n=" << cell.n
+                    << " build_ms=" << cell.build_ms << " qps=" << cell.qps
+                    << " mean_stretch=" << cell.mean_stretch
+                    << " failures=" << cell.failures << "\n";
+        }
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  if (config.hot_path_deltas && !config.sizes.empty() &&
+      !config.families.empty()) {
+    // One delta record each, on the largest configured size (most signal).
+    const NodeId n = *std::max_element(config.sizes.begin(), config.sizes.end());
+    const Family family = config.families.front();
+    result.deltas.push_back(
+        measure_dijkstra_delta(family, n, config.max_weight, config.seed));
+    const Instance inst =
+        build_instance(family, n, config.max_weight,
+                       config.seed + static_cast<std::uint64_t>(n) * 31 +
+                           static_cast<std::uint64_t>(family));
+    for (const std::string& scheme :
+         {std::string("stretch6"), std::string("rtz3")}) {
+      if (SchemeRegistry::global().contains(scheme)) {
+        result.deltas.push_back(measure_query_delta(
+            inst, scheme, family, config.pair_budget, config.seed));
+      }
+    }
+    if (progress != nullptr) {
+      for (const auto& d : result.deltas) {
+        *progress << "delta " << d.name << (d.scheme.empty() ? "" : " " + d.scheme)
+                  << " n=" << d.n << " before=" << d.before
+                  << " after=" << d.after << " (" << d.improvement_pct
+                  << "% better)\n";
+      }
+    }
+  }
+  return result;
+}
+
+// ------------------------------------------------------------------- json --
+
+namespace {
+
+using benchjson::Json;
+using benchjson::JsonArray;
+using benchjson::JsonObject;
+
+}  // namespace
+
+Json cell_to_json(const CellResult& c) {
+  Json j{JsonObject{}};
+  j.set("scheme", c.scheme);
+  j.set("family", c.family);
+  j.set("n", static_cast<std::int64_t>(c.n));
+  j.set("apsp_ms", c.apsp_ms);
+  j.set("build_ms", c.build_ms);
+  j.set("snapshot_load_ms", c.snapshot_load_ms);
+  j.set("qps", c.qps);
+  j.set("p50_query_ns", c.p50_query_ns);
+  j.set("p99_query_ns", c.p99_query_ns);
+  j.set("query_reps", static_cast<std::int64_t>(c.query_reps));
+  j.set("query_steady", c.query_steady);
+  j.set("build_rss_delta_kb", c.build_rss_delta_kb);
+  j.set("pairs", c.pairs);
+  j.set("failures", c.failures);
+  j.set("invalid", c.invalid);
+  j.set("mean_stretch", c.mean_stretch);
+  j.set("p99_stretch", c.p99_stretch);
+  j.set("max_stretch", c.max_stretch);
+  j.set("max_header_bits", c.max_header_bits);
+  j.set("table_entries_max", c.table_entries_max);
+  j.set("bytes_per_node", c.bytes_per_node);
+  j.set("first_error", c.first_error);
+  return j;
+}
+
+CellResult cell_from_json(const Json& j) {
+  CellResult c;
+  c.scheme = j.at("scheme").as_string();
+  c.family = j.at("family").as_string();
+  c.n = static_cast<NodeId>(j.at("n").as_int());
+  c.apsp_ms = j.at("apsp_ms").as_double();
+  c.build_ms = j.at("build_ms").as_double();
+  c.snapshot_load_ms = j.at("snapshot_load_ms").as_double();
+  c.qps = j.at("qps").as_double();
+  c.p50_query_ns = j.at("p50_query_ns").as_double();
+  c.p99_query_ns = j.at("p99_query_ns").as_double();
+  c.query_reps = static_cast<int>(j.at("query_reps").as_int());
+  c.query_steady = j.at("query_steady").as_bool();
+  c.build_rss_delta_kb = j.at("build_rss_delta_kb").as_int();
+  c.pairs = j.at("pairs").as_int();
+  c.failures = j.at("failures").as_int();
+  c.invalid = j.at("invalid").as_int();
+  c.mean_stretch = j.at("mean_stretch").as_double();
+  c.p99_stretch = j.at("p99_stretch").as_double();
+  c.max_stretch = j.at("max_stretch").as_double();
+  c.max_header_bits = j.at("max_header_bits").as_int();
+  c.table_entries_max = j.at("table_entries_max").as_int();
+  c.bytes_per_node = j.at("bytes_per_node").as_double();
+  c.first_error = j.at("first_error").as_string();
+  return c;
+}
+
+namespace {
+
+Json delta_to_json(const HotPathDelta& d) {
+  Json j{JsonObject{}};
+  j.set("name", d.name);
+  j.set("metric", d.metric);
+  j.set("scheme", d.scheme);
+  j.set("family", d.family);
+  j.set("n", static_cast<std::int64_t>(d.n));
+  j.set("before", d.before);
+  j.set("after", d.after);
+  j.set("improvement_pct", d.improvement_pct);
+  return j;
+}
+
+HotPathDelta delta_from_json(const Json& j) {
+  HotPathDelta d;
+  d.name = j.at("name").as_string();
+  d.metric = j.at("metric").as_string();
+  d.scheme = j.at("scheme").as_string();
+  d.family = j.at("family").as_string();
+  d.n = static_cast<NodeId>(j.at("n").as_int());
+  d.before = j.at("before").as_double();
+  d.after = j.at("after").as_double();
+  d.improvement_pct = j.at("improvement_pct").as_double();
+  return d;
+}
+
+void check_schema(const Json& doc) {
+  if (!doc.is_object() || !doc.has("schema") ||
+      doc.at("schema").as_string() != kSchemaVersion) {
+    throw benchjson::JsonError(std::string("BENCH document is not ") +
+                               kSchemaVersion);
+  }
+}
+
+}  // namespace
+
+Json suite_to_json(const SuiteResult& result, const BenchConfig& config,
+                   const std::string& rev) {
+  Json doc{JsonObject{}};
+  doc.set("schema", kSchemaVersion);
+  doc.set("rev", rev);
+  Json cfg{JsonObject{}};
+  {
+    JsonArray fams;
+    for (const Family f : config.families) fams.push_back(family_name(f));
+    cfg.set("families", std::move(fams));
+    JsonArray sizes;
+    for (const NodeId n : config.sizes) {
+      sizes.push_back(static_cast<std::int64_t>(n));
+    }
+    cfg.set("sizes", std::move(sizes));
+    cfg.set("pair_budget", config.pair_budget);
+    cfg.set("latency_sample", config.latency_sample);
+    cfg.set("threads", static_cast<std::int64_t>(config.threads));
+    cfg.set("seed", static_cast<std::int64_t>(config.seed));
+    cfg.set("max_weight", static_cast<std::int64_t>(config.max_weight));
+  }
+  doc.set("config", std::move(cfg));
+  Json host{JsonObject{}};
+  host.set("cpu", host_cpu_model());
+  host.set("threads",
+           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  doc.set("host", std::move(host));
+  JsonArray cells;
+  for (const CellResult& c : result.cells) cells.push_back(cell_to_json(c));
+  doc.set("cells", std::move(cells));
+  JsonArray deltas;
+  for (const HotPathDelta& d : result.deltas) {
+    deltas.push_back(delta_to_json(d));
+  }
+  doc.set("hot_path_deltas", std::move(deltas));
+  return doc;
+}
+
+std::vector<CellResult> cells_from_json(const Json& doc) {
+  check_schema(doc);
+  std::vector<CellResult> out;
+  for (const Json& j : doc.at("cells").as_array()) {
+    out.push_back(cell_from_json(j));
+  }
+  return out;
+}
+
+std::vector<HotPathDelta> deltas_from_json(const Json& doc) {
+  check_schema(doc);
+  std::vector<HotPathDelta> out;
+  if (!doc.has("hot_path_deltas")) return out;
+  for (const Json& j : doc.at("hot_path_deltas").as_array()) {
+    out.push_back(delta_from_json(j));
+  }
+  return out;
+}
+
+std::string default_output_name(const std::string& rev) {
+  return "BENCH_" + rev + ".json";
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp + " for writing");
+    out << content;
+    if (!out.flush()) throw std::runtime_error("short write to " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ------------------------------------------------------------------- gate --
+
+std::vector<std::string> compare_to_baseline(const Json& baseline,
+                                             const Json& current,
+                                             const GateOptions& options,
+                                             std::vector<std::string>* notes) {
+  std::vector<std::string> violations;
+  const std::vector<CellResult> base = cells_from_json(baseline);
+  const std::vector<CellResult> cur = cells_from_json(current);
+  const auto key = [](const CellResult& c) {
+    return c.scheme + "|" + c.family + "|" + std::to_string(c.n);
+  };
+  const auto host_of = [](const Json& doc) -> std::string {
+    if (doc.has("host") && doc.at("host").has("cpu")) {
+      return doc.at("host").at("cpu").as_string();
+    }
+    return "";
+  };
+  const std::string base_host = host_of(baseline);
+  const std::string cur_host = host_of(current);
+  const bool qps_comparable =
+      base_host.empty() || cur_host.empty() || base_host == cur_host;
+  if (!qps_comparable && notes != nullptr) {
+    notes->push_back("qps gate skipped: baseline host \"" + base_host +
+                     "\" != current host \"" + cur_host +
+                     "\"; refresh BENCH_baseline.json from a run on this "
+                     "hardware to arm it");
+  }
+  for (const CellResult& b : base) {
+    const auto it = std::find_if(cur.begin(), cur.end(), [&](const CellResult& c) {
+      return key(c) == key(b);
+    });
+    if (it == cur.end()) {
+      violations.push_back("missing cell vs baseline: " + key(b));
+      continue;
+    }
+    const CellResult& c = *it;
+    if (c.failures > 0) {
+      violations.push_back(key(b) + ": " + std::to_string(c.failures) +
+                           " failed queries (" + c.first_error + ")");
+    }
+    if (qps_comparable && b.qps > 0 &&
+        c.qps < b.qps * (1.0 - options.qps_drop_tolerance)) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s: qps regressed %.0f -> %.0f (more than %.0f%%)",
+                    key(b).c_str(), b.qps, c.qps,
+                    options.qps_drop_tolerance * 100);
+      violations.emplace_back(buf);
+    }
+    if (c.mean_stretch > b.mean_stretch + options.stretch_epsilon) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf, "%s: avg stretch increased %.6f -> %.6f",
+                    key(b).c_str(), b.mean_stretch, c.mean_stretch);
+      violations.emplace_back(buf);
+    }
+  }
+  for (const HotPathDelta& d : deltas_from_json(current)) {
+    if (d.improvement_pct < options.delta_floor_pct) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "hot-path delta %s: %.1f%% improvement is below the "
+                    "%.1f%% floor",
+                    d.name.c_str(), d.improvement_pct, options.delta_floor_pct);
+      violations.emplace_back(buf);
+    }
+  }
+  return violations;
+}
+
+}  // namespace rtr::bench_harness

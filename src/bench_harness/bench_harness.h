@@ -1,0 +1,192 @@
+// Benchmark orchestration: one library that builds instances, times the
+// per-scheme phases (construction, batch query, snapshot load), accounts
+// memory and table sizes, and emits one machine-readable, schema-versioned
+// BENCH_<rev>.json -- the standing perf record the CI gate diffs against a
+// committed baseline.
+//
+// Determinism contract: everything derived from the workload -- sampled
+// pairs, stretch statistics, failure counts, table sizes, header bits -- is
+// a pure function of the BenchConfig (seeded Rngs end to end).  Timings,
+// rep counts chosen by the steady-state controller, and RSS numbers are
+// measurements and vary run to run; the determinism test pins the former
+// and ignores the latter.
+#ifndef RTR_BENCH_HARNESS_BENCH_HARNESS_H
+#define RTR_BENCH_HARNESS_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_harness/json.h"
+#include "graph/generators.h"
+#include "net/query_engine.h"
+#include "util/types.h"
+
+namespace rtr::bench_harness {
+
+/// The emitted document's schema tag; bump on breaking field changes.
+inline constexpr const char* kSchemaVersion = "rtr-bench/1";
+
+// ----------------------------------------------------------------- timing --
+
+/// Warmup + steady-state iteration control for one timed phase.
+struct IterationPolicy {
+  int warmup_reps = 1;  ///< untimed runs before measurement
+  int min_reps = 2;     ///< timed runs always taken
+  int max_reps = 5;     ///< hard cap when the phase never settles
+  /// Steady state: stop once the relative spread (max-min)/min over the
+  /// trailing `window` timed reps falls to this or below.
+  double steady_rel_spread = 0.05;
+  int window = 3;
+  /// When > 0 and the warmup shows one execution finishing faster than
+  /// this, each timed rep batches enough executions to reach it (reported
+  /// times are per execution).  Sub-5ms reps measure scheduler noise, not
+  /// the workload; this floor is what keeps the CI qps gate stable.
+  double min_rep_ms = 0;
+};
+
+/// Outcome of repeating one phase under an IterationPolicy.
+struct TimedPhase {
+  double best_ms = 0;  ///< per-execution best (batched reps divide through)
+  double mean_ms = 0;
+  int reps = 0;        ///< timed reps actually run
+  int inner_iterations = 1;  ///< executions batched into each rep
+  bool steady = false; ///< spread criterion met before the max_reps cap
+};
+
+/// Runs `fn` warmup + timed reps per the policy; best-of is the reported
+/// figure (least-noise estimator for a deterministic workload).
+TimedPhase run_timed(const IterationPolicy& policy,
+                     const std::function<void()>& fn);
+
+/// Resident set size in KiB from /proc/self/status, or -1 where unavailable.
+[[nodiscard]] std::int64_t current_rss_kb();
+
+/// CPU model string from /proc/cpuinfo ("unknown" elsewhere).  Stamped into
+/// every document so the gate knows whether absolute-throughput comparisons
+/// are meaningful (see compare_to_baseline).
+[[nodiscard]] std::string host_cpu_model();
+
+// ------------------------------------------------------------------ suite --
+
+struct BenchConfig {
+  std::vector<std::string> schemes;  ///< empty = every registered scheme
+  std::vector<Family> families = {Family::kRandom, Family::kGrid,
+                                  Family::kRing};
+  std::vector<NodeId> sizes = {128, 256};
+  std::int64_t pair_budget = 4000;    ///< sampled ordered pairs per cell
+  std::int64_t latency_sample = 1000; ///< individually-timed queries (p50/p99)
+  int threads = 1;                    ///< engine workers for the qps phase
+  std::uint64_t seed = 7;
+  Weight max_weight = 4;
+  bool snapshot_phase = true;   ///< measure snapshot save+load per cell
+  bool hot_path_deltas = true;  ///< record the in-binary before/after deltas
+  IterationPolicy iterations;
+
+  /// The CI bench-smoke configuration (also what BENCH_baseline.json pins):
+  /// all schemes x {random, grid, ring} x n in {128, 256}.
+  [[nodiscard]] static BenchConfig quick();
+  /// The full sweep: all schemes x 4 families x n in 128..4096.
+  [[nodiscard]] static BenchConfig full();
+};
+
+/// One (scheme, family, n) measurement.
+struct CellResult {
+  std::string scheme;
+  std::string family;
+  NodeId n = 0;
+
+  // Timings (not deterministic).
+  double apsp_ms = 0;            ///< metric/APSP build, shared per instance
+  double build_ms = 0;           ///< scheme construction
+  double snapshot_load_ms = -1;  ///< rebuild-from-snapshot; -1 when skipped
+  double qps = 0;                ///< batch roundtrips per second
+  double p50_query_ns = 0;
+  double p99_query_ns = 0;
+  int query_reps = 0;
+  bool query_steady = false;
+  std::int64_t build_rss_delta_kb = -1;
+
+  // Workload statistics (deterministic given the config).
+  std::int64_t pairs = 0;
+  std::int64_t failures = 0;
+  std::int64_t invalid = 0;
+  double mean_stretch = 0;
+  double p99_stretch = 0;
+  double max_stretch = 0;
+  std::int64_t max_header_bits = 0;
+  std::int64_t table_entries_max = 0;
+  double bytes_per_node = 0;  ///< mean table bits / 8 per node
+  std::string first_error;
+};
+
+/// One recorded hot-path before/after measurement: both implementations live
+/// in this binary, so the delta is re-measured (not transcribed) every run.
+struct HotPathDelta {
+  std::string name;    ///< e.g. "dijkstra-arena-dial"
+  std::string metric;  ///< e.g. "apsp_ms" (lower better) or "qps" (higher)
+  std::string scheme;  ///< "" when scheme-independent
+  std::string family;
+  NodeId n = 0;
+  double before = 0;
+  double after = 0;
+  double improvement_pct = 0;  ///< positive = after is better
+};
+
+struct SuiteResult {
+  std::vector<CellResult> cells;
+  std::vector<HotPathDelta> deltas;
+};
+
+/// Runs the sweep.  `progress` (optional) gets one line per cell.
+[[nodiscard]] SuiteResult run_suite(const BenchConfig& config,
+                                    std::ostream* progress = nullptr);
+
+// ------------------------------------------------------------------- json --
+
+/// The full document: schema tag, rev, config echo, cells, deltas.
+[[nodiscard]] benchjson::Json suite_to_json(const SuiteResult& result,
+                                            const BenchConfig& config,
+                                            const std::string& rev);
+
+/// Cells/deltas parsed back from a document (schema-checked).
+[[nodiscard]] std::vector<CellResult> cells_from_json(const benchjson::Json& doc);
+[[nodiscard]] std::vector<HotPathDelta> deltas_from_json(const benchjson::Json& doc);
+
+[[nodiscard]] benchjson::Json cell_to_json(const CellResult& cell);
+[[nodiscard]] CellResult cell_from_json(const benchjson::Json& j);
+
+/// "BENCH_<rev>.json".
+[[nodiscard]] std::string default_output_name(const std::string& rev);
+
+/// Writes atomically (temp file + rename).
+void write_text_file(const std::string& path, const std::string& content);
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+// ------------------------------------------------------------------- gate --
+
+struct GateOptions {
+  double qps_drop_tolerance = 0.25;  ///< fail when qps drops more than this
+  double stretch_epsilon = 1e-9;     ///< fail on any avg-stretch increase
+  double delta_floor_pct = 0.0;      ///< hot-path deltas must beat this
+};
+
+/// Compares `current` against `baseline` cell-by-cell (keyed by scheme,
+/// family, n).  Returns human-readable violations; empty means the gate
+/// passes.  Machine-independent checks (stretch increases, failed queries,
+/// missing cells, hot-path delta floor -- the deltas are relative, measured
+/// in-binary) always apply; the absolute-qps check is only armed when both
+/// documents carry the same host CPU fingerprint, because throughput from
+/// different hardware is not comparable (a baseline generated elsewhere
+/// would make the gate red -- or vacuous -- by construction).  Documents
+/// without a host stamp are assumed comparable.  `notes`, when non-null,
+/// receives non-failing diagnostics such as "qps gate skipped".
+[[nodiscard]] std::vector<std::string> compare_to_baseline(
+    const benchjson::Json& baseline, const benchjson::Json& current,
+    const GateOptions& options = {}, std::vector<std::string>* notes = nullptr);
+
+}  // namespace rtr::bench_harness
+
+#endif  // RTR_BENCH_HARNESS_BENCH_HARNESS_H

@@ -1,0 +1,320 @@
+#include "bench_harness/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace rtr::benchjson {
+
+namespace {
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+const Json& Json::at(const std::string& key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return v;
+  }
+  throw JsonError("Json: missing key \"" + key + "\"");
+}
+
+bool Json::has(const std::string& key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Json::set(const std::string& key, Json v) {
+  if (!is_object()) value_ = JsonObject{};
+  auto& obj = std::get<JsonObject>(value_);
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj.emplace_back(key, std::move(v));
+}
+
+namespace {
+
+void dump_value(std::string& out, const Json& v, int depth);
+
+void dump_array(std::string& out, const JsonArray& a, int depth) {
+  if (a.empty()) {
+    out += "[]";
+    return;
+  }
+  out += "[\n";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    indent(out, depth + 1);
+    dump_value(out, a[i], depth + 1);
+    if (i + 1 < a.size()) out += ',';
+    out += '\n';
+  }
+  indent(out, depth);
+  out += ']';
+}
+
+void dump_object(std::string& out, const JsonObject& o, int depth) {
+  if (o.empty()) {
+    out += "{}";
+    return;
+  }
+  out += "{\n";
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    indent(out, depth + 1);
+    dump_string(out, o[i].first);
+    out += ": ";
+    dump_value(out, o[i].second, depth + 1);
+    if (i + 1 < o.size()) out += ',';
+    out += '\n';
+  }
+  indent(out, depth);
+  out += '}';
+}
+
+void dump_value(std::string& out, const Json& v, int depth) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v.as_int());
+    out += buf;
+  } else if (v.is_double()) {
+    const double d = v.as_double();
+    if (!std::isfinite(d)) throw JsonError("Json: non-finite number");
+    char buf[40];
+    // %.17g round-trips any double; parse() reads it back bit-exactly.
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    // Keep a marker so the value re-parses as a double, not an int.
+    if (std::strpbrk(buf, ".eE") == nullptr) std::strcat(buf, ".0");
+    out += buf;
+  } else if (v.is_string()) {
+    dump_string(out, v.as_string());
+  } else if (v.is_array()) {
+    dump_array(out, v.as_array(), depth);
+  } else {
+    dump_object(out, v.as_object(), depth);
+  }
+}
+
+// ---------------------------------------------------------------- parsing --
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("Json parse error at offset " + std::to_string(pos_) +
+                    ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json(nullptr);
+    return parse_number();
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The emitter only produces \u00xx control escapes; decode the
+          // Latin-1 subset and reject the rest (not needed by the schema).
+          if (code > 0xFF) fail("unsupported \\u escape beyond U+00FF");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view tok(s_.data() + start, pos_ - start);
+    if (tok.empty()) fail("expected a value");
+    const bool integral =
+        tok.find_first_of(".eE") == std::string_view::npos;
+    if (integral) {
+      std::int64_t i = 0;
+      const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), i);
+      if (ec == std::errc() && p == tok.end()) return Json(i);
+      fail("bad integer");
+    }
+    double d = 0;
+    const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), d);
+    if (ec == std::errc() && p == tok.end()) return Json(d);
+    fail("bad number");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(out, *this, 0);
+  out += '\n';
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace rtr::benchjson

@@ -1,0 +1,111 @@
+// Minimal JSON document model for the benchmark subsystem: the BENCH_<rev>
+// schema is emitted, re-parsed (schema round-trip test), and compared against
+// a committed baseline (the CI perf gate) without external dependencies.
+//
+// Deliberately small: objects, arrays, strings, booleans, null, and numbers
+// split into int64 (counts -- exact) and double (timings/stretch -- emitted
+// with round-trip precision).  Object keys keep insertion order so emitted
+// documents are deterministic and diffs stay readable.
+#ifndef RTR_BENCH_HARNESS_JSON_H
+#define RTR_BENCH_HARNESS_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace rtr::benchjson {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object (lookups are linear; documents are small).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/// Thrown on malformed documents and type mismatches.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(double d) : value_(d) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const { return holds<bool>(); }
+  [[nodiscard]] bool is_int() const { return holds<std::int64_t>(); }
+  [[nodiscard]] bool is_double() const { return holds<double>(); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const { return holds<JsonArray>(); }
+  [[nodiscard]] bool is_object() const { return holds<JsonObject>(); }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>("bool"); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return get<std::int64_t>("int");
+  }
+  /// Any number as double (ints widen).
+  [[nodiscard]] double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+    return get<double>("number");
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return get<std::string>("string");
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    return get<JsonArray>("array");
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    return get<JsonObject>("object");
+  }
+
+  /// Object member access; throws JsonError when absent (`has` to probe).
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Appends (or overwrites) an object member, preserving insertion order.
+  void set(const std::string& key, Json v);
+
+  /// Serializes with 2-space indentation; doubles print with enough digits
+  /// to round-trip bit-exactly, integers exactly.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses a complete document; trailing non-whitespace is an error.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  [[nodiscard]] bool operator==(const Json& other) const {
+    return value_ == other.value_;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(value_);
+  }
+  template <typename T>
+  [[nodiscard]] const T& get(const char* what) const {
+    if (!holds<T>()) throw JsonError(std::string("Json: not a ") + what);
+    return std::get<T>(value_);
+  }
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace rtr::benchjson
+
+#endif  // RTR_BENCH_HARNESS_JSON_H

@@ -197,9 +197,11 @@ Decision HashedStretch6Scheme::forward(NodeId at, Header& h) const {
         if (step.arrived) return Decision::deliver_here();
         return Decision::forward_on(step.port);
       }
+      // Mid-leg step: the substrate only flips the leg phase here, so the
+      // header's encoded size is unchanged (see Rtz3Scheme::forward).
       LegStep step = substrate_->step_leg(at, h.leg);
       if (step.arrived) return forward(at, h);
-      return Decision::forward_on(step.port);
+      return Decision::forward_same_size(step.port);
     }
     case Mode::kReturn: {
       h.mode = Mode::kInbound;
@@ -216,7 +218,7 @@ Decision HashedStretch6Scheme::forward(NodeId at, Header& h) const {
         }
         return Decision::deliver_here();
       }
-      return Decision::forward_on(step.port);
+      return Decision::forward_same_size(step.port);
     }
   }
   throw std::logic_error("hashed-stretch6: bad mode");

@@ -163,8 +163,10 @@ Decision Stretch6Scheme::forward(NodeId at, Header& h) const {
         if (step.arrived) return forward(at, h);  // w == t or w == s
         return Decision::forward_on(step.port);
       }
+      // Mid-leg step: the substrate only ever flips the leg phase here, so
+      // the header's encoded size is unchanged (see Rtz3Scheme::forward).
       LegStep step = substrate_->step_leg(at, h.leg);
-      if (!step.arrived) return Decision::forward_on(step.port);
+      if (!step.arrived) return Decision::forward_same_size(step.port);
       if (h.phase == Phase::kBackToSource) {
         // Detour landed back at the source carrying R3(t): final leg.
         h.phase = Phase::kToDest;
@@ -192,7 +194,7 @@ Decision Stretch6Scheme::forward(NodeId at, Header& h) const {
         }
         return Decision::deliver_here();
       }
-      return Decision::forward_on(step.port);
+      return Decision::forward_same_size(step.port);
     }
   }
   throw std::logic_error("stretch6: bad mode");

@@ -13,11 +13,14 @@ DistMatrix::DistMatrix(NodeId n, Dist fill)
 DistMatrix all_pairs_shortest_paths(const Digraph& g) {
   const NodeId n = g.node_count();
   DistMatrix m(n, kInfDist);
+  // Arena layout for the n-Dijkstra loop: one CSR adjacency snapshot and one
+  // heap buffer shared by every run, each run distance-only (no parent
+  // arrays), results written directly into the matrix row.  After the first
+  // run the loop performs no heap allocation at all.
+  CsrAdjacency csr(g);
+  DijkstraWorkspace ws;
   for (NodeId src = 0; src < n; ++src) {
-    auto dist = dijkstra_distances(g, src);
-    for (NodeId v = 0; v < n; ++v) {
-      m.set(src, v, dist[static_cast<std::size_t>(v)]);
-    }
+    dijkstra_distances_into(csr, src, ws, m.row(src));
   }
   return m;
 }

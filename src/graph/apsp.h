@@ -7,6 +7,7 @@
 #ifndef RTR_GRAPH_APSP_H
 #define RTR_GRAPH_APSP_H
 
+#include <span>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -28,6 +29,19 @@ class DistMatrix {
   void set(NodeId u, NodeId v, Dist d) {
     data_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
           static_cast<std::size_t>(v)] = d;
+  }
+
+  /// Row u as contiguous storage (d(u, *)); lets a Dijkstra run write its
+  /// distance array straight into the matrix with no intermediate copy.
+  [[nodiscard]] std::span<Dist> row(NodeId u) {
+    return {data_.data() +
+                static_cast<std::size_t>(u) * static_cast<std::size_t>(n_),
+            static_cast<std::size_t>(n_)};
+  }
+  [[nodiscard]] std::span<const Dist> row(NodeId u) const {
+    return {data_.data() +
+                static_cast<std::size_t>(u) * static_cast<std::size_t>(n_),
+            static_cast<std::size_t>(n_)};
   }
 
  private:

@@ -9,10 +9,20 @@
 //
 // Restricted variants compute the same trees inside the subgraph induced by a
 // member mask, which Section 4's cluster double-trees require.
+//
+// Repeated-run callers (APSP is n runs, cover construction is one run per
+// cluster) pass a DijkstraWorkspace so the distance array and the binary-heap
+// buffer are allocated once and reused: after the first run the hot loop
+// performs no heap allocation at all.  The workspace-free overloads remain
+// for one-shot callers.  dijkstra_distances_reference() preserves the seed
+// implementation (std::priority_queue, fresh buffers per call) as the
+// differential oracle the arena is tested bit-identical against.
 #ifndef RTR_GRAPH_DIJKSTRA_H
 #define RTR_GRAPH_DIJKSTRA_H
 
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -37,26 +47,101 @@ struct InTree {
   std::vector<Port> next_port;  // port at v leading to next[v]
 };
 
+/// Reusable scratch for repeated Dijkstra runs.  The buffers grow to the
+/// largest graph seen and are then reused verbatim; one workspace serves any
+/// number of sequential runs (it is NOT safe to share across threads).
+struct DijkstraWorkspace {
+  std::vector<Dist> dist;                       // distance-only results
+  std::vector<std::pair<Dist, NodeId>> heap;    // binary-heap buffer
+  /// Circular bucket queue (Dial) used by the small-weight distance-only
+  /// fast path; one bucket per residual distance in [0, max_weight].
+  std::vector<std::vector<NodeId>> buckets;
+};
+
+/// Flat compressed-sparse-row snapshot of a Digraph's out-adjacency: one
+/// contiguous row per node instead of one heap block per node.  Repeated-run
+/// callers (APSP) build it once and stream it n times; row order preserves
+/// Digraph::out_edges order, so relaxation order -- and therefore every
+/// distance and tie-break -- is bit-identical to iterating the Digraph.
+class CsrAdjacency {
+ public:
+  explicit CsrAdjacency(const Digraph& g);
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(offset_.size() - 1);
+  }
+  [[nodiscard]] std::int64_t begin_of(NodeId u) const {
+    return offset_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] std::int64_t end_of(NodeId u) const {
+    return offset_[static_cast<std::size_t>(u) + 1];
+  }
+  [[nodiscard]] NodeId to(std::int64_t i) const {
+    return to_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] Weight weight(std::int64_t i) const {
+    return weight_[static_cast<std::size_t>(i)];
+  }
+  /// Largest edge weight (0 when there are no edges).
+  [[nodiscard]] Weight max_weight() const { return max_weight_; }
+
+ private:
+  std::vector<std::int64_t> offset_;  // size n+1
+  std::vector<NodeId> to_;
+  std::vector<Weight> weight_;
+  Weight max_weight_ = 0;
+};
+
 /// Distances from src to every node.
 [[nodiscard]] std::vector<Dist> dijkstra_distances(const Digraph& g, NodeId src);
 
+/// Distance-only run into ws.dist (parents are never materialized, which
+/// skips two array fills and one store per edge relaxation).
+void dijkstra_distances_into(const Digraph& g, NodeId src, DijkstraWorkspace& ws);
+
+/// Distance-only run writing into caller storage (e.g. an APSP matrix row);
+/// `out.size()` must equal g.node_count().  Only ws.heap is used.
+void dijkstra_distances_into(const Digraph& g, NodeId src, DijkstraWorkspace& ws,
+                             std::span<Dist> out);
+
+/// Distance-only run over a CSR snapshot (the APSP hot loop): contiguous
+/// adjacency streaming, no allocation after the first run.
+void dijkstra_distances_into(const CsrAdjacency& g, NodeId src,
+                             DijkstraWorkspace& ws, std::span<Dist> out);
+
+/// The seed implementation (std::priority_queue, fresh buffers per call),
+/// kept as the differential oracle for the workspace fast path.
+[[nodiscard]] std::vector<Dist> dijkstra_distances_reference(const Digraph& g,
+                                                             NodeId src);
+
 /// Out-tree of shortest paths from root over the whole graph.
 [[nodiscard]] OutTree dijkstra_out_tree(const Digraph& g, NodeId root);
+[[nodiscard]] OutTree dijkstra_out_tree(const Digraph& g, NodeId root,
+                                        DijkstraWorkspace& ws);
 
 /// In-tree of shortest paths to root over the whole graph.  `reversed` must
 /// be g.reversed(); passing it explicitly lets callers amortize the reversal.
 [[nodiscard]] InTree dijkstra_in_tree(const Digraph& g, const Digraph& reversed,
                                       NodeId root);
+[[nodiscard]] InTree dijkstra_in_tree(const Digraph& g, const Digraph& reversed,
+                                      NodeId root, DijkstraWorkspace& ws);
 
 /// Out-tree restricted to the subgraph induced by member_mask (root must be a
 /// member; non-members keep dist == kInfDist).
 [[nodiscard]] OutTree dijkstra_out_tree_within(const Digraph& g, NodeId root,
                                                const std::vector<char>& member_mask);
+[[nodiscard]] OutTree dijkstra_out_tree_within(const Digraph& g, NodeId root,
+                                               const std::vector<char>& member_mask,
+                                               DijkstraWorkspace& ws);
 
 /// In-tree restricted to the induced subgraph.
 [[nodiscard]] InTree dijkstra_in_tree_within(const Digraph& g,
                                              const Digraph& reversed, NodeId root,
                                              const std::vector<char>& member_mask);
+[[nodiscard]] InTree dijkstra_in_tree_within(const Digraph& g,
+                                             const Digraph& reversed, NodeId root,
+                                             const std::vector<char>& member_mask,
+                                             DijkstraWorkspace& ws);
 
 /// Reconstructs the root->v path of an out-tree (node sequence including both
 /// endpoints).  Returns std::nullopt if v is unreachable.

@@ -90,9 +90,20 @@ class SnapshotWriter {
   }
 
   /// Appends raw bytes verbatim (section framing).
+  // GCC 12 mis-models the inlined vector insert growing from empty and
+  // reports a spurious -Wstringop-overflow ("region of size 0"); suppress
+  // just that diagnostic here (false positive, see GCC PR 105329).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
   void raw(const std::uint8_t* data, std::size_t size) {
+    if (size == 0) return;
     bytes_.insert(bytes_.end(), data, data + size);
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   /// u64 count followed by f(writer, element) for each element.
   template <typename T, typename F>

@@ -85,12 +85,12 @@ RouteResult QueryEngine::roundtrip(NodeId src, NodeId dst) const {
 
 void QueryEngine::run_one(std::size_t index, NodeId src, NodeId dst,
                           WorkerTally& tally) const {
-  ++tally.pairs;
   // Validate before touching names_/the simulator: an out-of-range id would
   // index past the name table (UB), and src == dst is not a roundtrip.  Both
   // are the caller's data, so they count as typed failures, never UB/throw.
   const NodeId n = graph_->node_count();
   if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+    ++tally.pairs;
     ++tally.invalid;
     tally.note_failure(index, [&] {
       return "invalid query (" + std::to_string(src) + ", " +
@@ -99,10 +99,28 @@ void QueryEngine::run_one(std::size_t index, NodeId src, NodeId dst,
     });
     return;
   }
+  run_one_resolved(index, src, dst, names_.name_of(dst), /*fast_walk=*/false,
+                   tally);
+}
+
+void QueryEngine::run_one_resolved(std::size_t index, NodeId src, NodeId dst,
+                                   NodeName dst_name, bool fast_walk,
+                                   WorkerTally& tally) const {
+  ++tally.pairs;
   RouteResult res;
   try {
-    res = simulate_roundtrip(*graph_, *scheme_, src, dst, names_.name_of(dst),
-                             options_.sim);
+    if (fast_walk) {
+      // Batch fast path: one virtual dispatch for the whole walk (the
+      // adapter's concrete-header loop) and header re-measurement only on
+      // hops whose Decision reports a size change.  Reported values are
+      // identical to the reference walk; RunSerialAndBatch tests pin it.
+      SimOptions sim = options_.sim;
+      sim.trust_header_size_hints = true;
+      res = scheme_->simulate(*graph_, src, dst, dst_name, sim);
+    } else {
+      res = simulate_roundtrip(*graph_, *scheme_, src, dst, dst_name,
+                               options_.sim);
+    }
   } catch (const std::exception& e) {
     // Scheme bug (unknown port, header-type mix-up): a failed query, never
     // an exception escaping a worker thread.  The message is kept so the
@@ -161,29 +179,82 @@ StretchReport QueryEngine::finalize(std::vector<WorkerTally> tallies,
   return report;
 }
 
+// The batch transposed to structure-of-arrays form by the run_batch prepass:
+// parallel contiguous arrays the worker hot loop streams through.  `index`
+// keeps each entry's position in the caller's batch so first_error stays
+// deterministic (lowest batch index) after invalid entries are compacted out.
+struct QueryEngine::BatchPlan {
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  std::vector<NodeName> dst_name;
+  std::vector<std::size_t> index;
+
+  [[nodiscard]] std::size_t size() const { return src.size(); }
+};
+
+void QueryEngine::run_span(const BatchPlan& plan, std::size_t begin,
+                           std::size_t end, WorkerTally& tally) const {
+  tally.stretch.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    run_one_resolved(plan.index[i], plan.src[i], plan.dst[i], plan.dst_name[i],
+                     /*fast_walk=*/true, tally);
+  }
+}
+
 StretchReport QueryEngine::run_batch(
     const std::vector<RoundtripQuery>& queries) const {
   const auto start = std::chrono::steady_clock::now();
+
+  // Serial prepass: validate each query once and transpose the survivors
+  // into the SoA plan.  Invalid entries are tallied here (typed failures,
+  // keyed by their batch index) and never reach a worker.
+  const NodeId n = graph_->node_count();
+  BatchPlan plan;
+  plan.src.reserve(queries.size());
+  plan.dst.reserve(queries.size());
+  plan.dst_name.reserve(queries.size());
+  plan.index.reserve(queries.size());
+  WorkerTally prepass;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const NodeId src = queries[i].src;
+    const NodeId dst = queries[i].dst;
+    if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+      ++prepass.pairs;
+      ++prepass.invalid;
+      prepass.note_failure(i, [&] {
+        return "invalid query (" + std::to_string(src) + ", " +
+               std::to_string(dst) + "): " +
+               (src == dst ? "src == dst" : "node id out of range");
+      });
+      continue;
+    }
+    plan.src.push_back(src);
+    plan.dst.push_back(dst);
+    plan.dst_name.push_back(names_.name_of(dst));
+    plan.index.push_back(i);
+  }
+
   const int workers = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(threads_), std::max<std::size_t>(queries.size(), 1)));
-  std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers));
+      static_cast<std::size_t>(threads_), std::max<std::size_t>(plan.size(), 1)));
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers) + 1);
+  tallies.back() = std::move(prepass);
   if (workers <= 1) {
-    run_range(queries, 0, queries.size(), tallies[0]);
+    run_span(plan, 0, plan.size(), tallies[0]);
     return finalize(std::move(tallies), elapsed_seconds(start));
   }
   // Static sharding: contiguous slices, so the aggregate is independent of
   // the worker count and no queue synchronization touches the hot loop.
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
-  const std::size_t per = queries.size() / static_cast<std::size_t>(workers);
-  const std::size_t extra = queries.size() % static_cast<std::size_t>(workers);
+  const std::size_t per = plan.size() / static_cast<std::size_t>(workers);
+  const std::size_t extra = plan.size() % static_cast<std::size_t>(workers);
   std::size_t begin = 0;
   for (int w = 0; w < workers; ++w) {
     const std::size_t share = per + (static_cast<std::size_t>(w) < extra ? 1 : 0);
     const std::size_t end = begin + share;
-    pool.emplace_back([this, &queries, begin, end,
+    pool.emplace_back([this, &plan, begin, end,
                        &tally = tallies[static_cast<std::size_t>(w)]] {
-      run_range(queries, begin, end, tally);
+      run_span(plan, begin, end, tally);
     });
     begin = end;
   }

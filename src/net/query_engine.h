@@ -100,10 +100,19 @@ class QueryEngine {
       NodeId n, std::int64_t pair_budget, std::uint64_t seed);
 
   /// Executes the batch across the worker pool.
+  ///
+  /// Layout: a serial prepass validates every query once and transposes the
+  /// batch into structure-of-arrays form (src / dst / resolved destination
+  /// name in separate contiguous arrays), so the worker hot loop runs the
+  /// simulator back-to-back with no per-query validation branches, no name
+  /// lookups, and sequential operand reads.  The report is identical to the
+  /// reference loop for any worker count.
   [[nodiscard]] StretchReport run_batch(
       const std::vector<RoundtripQuery>& queries) const;
 
-  /// Reference single-thread loop over the same batch (perf baseline).
+  /// Reference single-thread loop over the same batch, in the seed's
+  /// array-of-structs layout (per-query validate + name lookup inline).
+  /// Kept as the perf baseline the SoA path is measured against.
   [[nodiscard]] StretchReport run_serial(
       const std::vector<RoundtripQuery>& queries) const;
 
@@ -115,11 +124,19 @@ class QueryEngine {
 
  private:
   struct WorkerTally;
+  struct BatchPlan;
 
   void run_range(const std::vector<RoundtripQuery>& queries, std::size_t begin,
                  std::size_t end, WorkerTally& tally) const;
   void run_one(std::size_t index, NodeId src, NodeId dst,
                WorkerTally& tally) const;
+  /// `fast_walk` selects Scheme::simulate (one dispatch per roundtrip; the
+  /// batch path) vs the per-hop Packet walk (the seed reference loop).
+  void run_one_resolved(std::size_t index, NodeId src, NodeId dst,
+                        NodeName dst_name, bool fast_walk,
+                        WorkerTally& tally) const;
+  void run_span(const BatchPlan& plan, std::size_t begin, std::size_t end,
+                WorkerTally& tally) const;
   [[nodiscard]] StretchReport finalize(std::vector<WorkerTally> tallies,
                                        double wall_seconds) const;
 

@@ -201,6 +201,11 @@ RouteResult simulate_roundtrip(const Digraph& g, const Scheme& scheme,
   return simulate_roundtrip<Scheme>(g, scheme, src, dst, dst_name, opt);
 }
 
+RouteResult Scheme::simulate(const Digraph& g, NodeId src, NodeId dst,
+                             NodeName dst_name, SimOptions opt) const {
+  return simulate_roundtrip(g, *this, src, dst, dst_name, opt);
+}
+
 // ------------------------------------------------------------ SchemeHandle --
 
 SchemeHandle::SchemeHandle(std::shared_ptr<const Digraph> graph,

@@ -170,6 +170,13 @@ class Packet {
 
   template <typename H>
   void check_type() const {
+    // Fast path: every Packet holding H points at the same inline OpsFor<H>
+    // instance, so one pointer compare decodes the box.  as<H>() runs twice
+    // per forwarding hop (forward + header_bits), which made the full RTTI
+    // comparison a measurable slice of the batch query path.  The typeid
+    // fallback stays for the (shared-library) case of duplicated Ops
+    // instances for one type.
+    if (ops_ == &OpsFor<H>::value) return;
     if (ops_ == nullptr) {
       throw std::logic_error("Packet::as on an empty packet");
     }
@@ -235,6 +242,19 @@ class Scheme {
   [[nodiscard]] virtual double stretch_bound() const {
     return unbounded_stretch();
   }
+
+  /// Runs a whole src -> dst -> src walk against `g` (the graph the tables
+  /// were built for).  The base implementation is the type-erased Packet
+  /// walk (identical to free simulate_roundtrip); TemplateSchemeAdapter
+  /// overrides it with the concrete-header template walk, which costs ONE
+  /// virtual dispatch per roundtrip instead of two (plus a Packet decode)
+  /// per forwarding hop.  Batch serving (QueryEngine::run_batch) goes
+  /// through here; results are identical on both paths by construction --
+  /// the two walks are the same template instantiated at different Header
+  /// types.
+  [[nodiscard]] virtual RouteResult simulate(const Digraph& g, NodeId src,
+                                             NodeId dst, NodeName dst_name,
+                                             SimOptions opt = {}) const;
 };
 
 /// Everything a scheme factory may consult at preprocessing time.

@@ -55,6 +55,15 @@ class TemplateSchemeAdapter final : public Scheme {
     return impl_->table_stats();
   }
 
+  [[nodiscard]] RouteResult simulate(const Digraph& g, NodeId src, NodeId dst,
+                                     NodeName dst_name,
+                                     SimOptions opt = {}) const override {
+    // The duck-typed template walk over the wrapped scheme: the header stays
+    // concrete on the stack, so the per-hop forward/header_bits calls are
+    // direct (and inlinable) instead of virtual-plus-Packet-decode.
+    return simulate_roundtrip(g, *impl_, src, dst, dst_name, opt);
+  }
+
   [[nodiscard]] double stretch_bound() const override {
     if constexpr (requires(const S& s) { s.stretch_bound(); }) {
       return impl_->stretch_bound();

@@ -40,8 +40,18 @@ namespace rtr {
 struct Decision {
   bool deliver = false;  // hand the packet to the host at this node
   Port port = kNoPort;   // otherwise: forward on this port
-  static Decision deliver_here() { return Decision{true, kNoPort}; }
-  static Decision forward_on(Port p) { return Decision{false, p}; }
+  /// False promises that this step did not change the header's *encoded
+  /// size* (content may still have changed).  With
+  /// SimOptions::trust_header_size_hints the simulator then skips the
+  /// per-hop header_bits re-measurement -- the dominant per-hop cost for
+  /// label-carrying schemes -- without altering the reported max (the
+  /// serial-vs-batch report-equality tests pin that the hint is honest).
+  /// The default (true) re-measures every hop, the seed behavior.
+  bool header_resized = true;
+  static Decision deliver_here() { return Decision{true, kNoPort, true}; }
+  static Decision forward_on(Port p) { return Decision{false, p, true}; }
+  /// Forward, promising the header's encoded size is unchanged.
+  static Decision forward_same_size(Port p) { return Decision{false, p, false}; }
 };
 
 /// Outcome of one roundtrip simulation.
@@ -63,6 +73,10 @@ struct RouteResult {
 struct SimOptions {
   std::int64_t max_hops_per_leg = 0;  // 0: auto (16n + 64)
   bool record_paths = false;
+  /// Honor Decision::header_resized == false by skipping the header_bits
+  /// re-measurement for that hop.  Off by default (measure every hop, the
+  /// seed behavior); the QueryEngine batch path turns it on.
+  bool trust_header_size_hints = false;
 };
 
 /// Satisfied by the duck-typed scheme concept (a concrete Header type);
@@ -89,7 +103,10 @@ RouteResult simulate_roundtrip(const Digraph& g, const Scheme& scheme,
     if (opt.record_paths) path.push_back(at);
     for (std::int64_t step = 0; step <= budget; ++step) {
       Decision d = scheme.forward(at, header);
-      res.max_header_bits = std::max(res.max_header_bits, scheme.header_bits(header));
+      if (d.header_resized || !opt.trust_header_size_hints) {
+        res.max_header_bits =
+            std::max(res.max_header_bits, scheme.header_bits(header));
+      }
       if (d.deliver) return at == expect;
       const Edge* e = g.edge_by_port(at, d.port);
       if (e == nullptr) {

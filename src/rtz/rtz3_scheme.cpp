@@ -82,12 +82,13 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
   addresses_.resize(static_cast<std::size_t>(n));
 
   // --- global double trees per center --------------------------------------
+  DijkstraWorkspace ws;  // shared heap buffer across every tree build below
   std::vector<TreeRouter> center_routers;
   center_routers.reserve(static_cast<std::size_t>(center_count));
   for (std::int32_t ci = 0; ci < center_count; ++ci) {
     const NodeId a = balls_.centers[static_cast<std::size_t>(ci)];
-    OutTree out = dijkstra_out_tree(g, a);
-    InTree in = dijkstra_in_tree(g, reversed, a);
+    OutTree out = dijkstra_out_tree(g, a, ws);
+    InTree in = dijkstra_in_tree(g, reversed, a, ws);
     TreeRouter router(out);
     for (NodeId v = 0; v < n; ++v) {
       auto& t = tables_[static_cast<std::size_t>(v)];
@@ -111,8 +112,8 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
     const auto& members = balls_.ball_of[static_cast<std::size_t>(v)];
     const NodeName root_name = names_.name_of(v);
     auto mask = mask_of(n, members);
-    OutTree out = dijkstra_out_tree_within(g, v, mask);
-    InTree in = dijkstra_in_tree_within(g, reversed, v, mask);
+    OutTree out = dijkstra_out_tree_within(g, v, mask, ws);
+    InTree in = dijkstra_in_tree_within(g, reversed, v, mask, ws);
     TreeRouter router(out);
     auto& own = tables_[static_cast<std::size_t>(v)];
     for (NodeId w : members) {
@@ -220,9 +221,12 @@ Decision Rtz3Scheme::forward(NodeId at, Header& h) const {
       return Decision::forward_on(s.port);
     }
     case Mode::kOutbound: {
+      // step_leg only flips the leg phase (kCenterUp -> kCenterDown); the
+      // target address and ball label -- everything leg_header_bits sums --
+      // are untouched, so the encoded size cannot change mid-leg.
       LegStep s = step_leg(at, h.leg);
       if (s.arrived) return Decision::deliver_here();
-      return Decision::forward_on(s.port);
+      return Decision::forward_same_size(s.port);
     }
     case Mode::kReturn: {
       h.mode = Mode::kInbound;
@@ -233,7 +237,7 @@ Decision Rtz3Scheme::forward(NodeId at, Header& h) const {
     case Mode::kInbound: {
       LegStep s = step_leg(at, h.leg);
       if (s.arrived) return Decision::deliver_here();
-      return Decision::forward_on(s.port);
+      return Decision::forward_same_size(s.port);
     }
   }
   throw std::logic_error("rtz3: bad mode");

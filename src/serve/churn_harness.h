@@ -45,6 +45,13 @@ struct ChurnRunResult {
   std::uint64_t epochs_completed = 0;   ///< rebuilds that published
   std::uint64_t served_during_rebuilds = 0;
   double availability = 1.0;
+  double wall_seconds = 0;             ///< whole-run serving wall time
+  /// Epoch-0 deterministic stretch batch (the BENCH-schema cell the bench
+  /// front end records).
+  std::int64_t stretch_pairs = 0;
+  double mean_stretch = 0;
+  double p99_stretch = 0;
+  double max_stretch = 0;
   std::string first_error;  ///< earliest stretch-batch error message
   std::string last_error;   ///< rebuild failure, "" when none
 

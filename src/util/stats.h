@@ -14,6 +14,9 @@ class Summary {
  public:
   void add(double x);
 
+  /// Pre-sizes the sample buffer (batch loops know their size up front).
+  void reserve(std::size_t n) { values_.reserve(n); }
+
   /// Folds another sample in (used to combine per-worker summaries).
   void merge(const Summary& other);
 

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "bench_harness/bench_harness.h"
+#include "bench_harness/json.h"
+
+namespace rtr::bench_harness {
+namespace {
+
+using benchjson::Json;
+using benchjson::JsonArray;
+using benchjson::JsonObject;
+
+BenchConfig tiny_config() {
+  BenchConfig c;
+  c.schemes = {"stretch6", "fulltable", "rtz3"};
+  c.families = {Family::kRandom, Family::kGrid};
+  c.sizes = {64};
+  c.pair_budget = 400;
+  c.latency_sample = 50;
+  c.iterations.warmup_reps = 0;
+  c.iterations.min_reps = 1;
+  c.iterations.max_reps = 1;
+  c.snapshot_phase = false;   // timing-only phase; not needed for determinism
+  c.hot_path_deltas = false;  // measured separately below
+  return c;
+}
+
+// Two runs with one config must agree on every workload-derived figure; the
+// timer fields are the only run-to-run variance the harness permits.
+TEST(BenchHarness, SuiteIsDeterministicForAFixedConfig) {
+  const BenchConfig config = tiny_config();
+  const SuiteResult a = run_suite(config);
+  const SuiteResult b = run_suite(config);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.cells.size(),
+            config.schemes.size() * config.families.size() * config.sizes.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const CellResult& x = a.cells[i];
+    const CellResult& y = b.cells[i];
+    EXPECT_EQ(x.scheme, y.scheme);
+    EXPECT_EQ(x.family, y.family);
+    EXPECT_EQ(x.n, y.n);
+    // Iteration counts of the workload: same pairs routed, bit-identical
+    // aggregates.
+    EXPECT_EQ(x.pairs, y.pairs);
+    EXPECT_EQ(x.failures, y.failures);
+    EXPECT_EQ(x.invalid, y.invalid);
+    EXPECT_EQ(x.mean_stretch, y.mean_stretch);
+    EXPECT_EQ(x.p99_stretch, y.p99_stretch);
+    EXPECT_EQ(x.max_stretch, y.max_stretch);
+    EXPECT_EQ(x.max_header_bits, y.max_header_bits);
+    EXPECT_EQ(x.table_entries_max, y.table_entries_max);
+    EXPECT_EQ(x.bytes_per_node, y.bytes_per_node);
+    EXPECT_EQ(x.first_error, y.first_error);
+    EXPECT_GT(x.pairs, 0);
+    EXPECT_EQ(x.failures, 0) << x.scheme << " " << x.family << ": "
+                             << x.first_error;
+  }
+}
+
+TEST(BenchHarness, JsonSchemaRoundTripsBitExactly) {
+  BenchConfig config = tiny_config();
+  config.schemes = {"stretch6"};
+  config.families = {Family::kRandom};
+  SuiteResult result = run_suite(config);
+  // Exercise the optional fields too.
+  result.cells[0].first_error = "no error, just \"quotes\" and\nnewlines";
+  HotPathDelta d;
+  d.name = "dijkstra-arena-dial";
+  d.metric = "apsp_ms";
+  d.family = "random";
+  d.n = 64;
+  d.before = 12.5;
+  d.after = 3.75;
+  d.improvement_pct = 70.0;
+  result.deltas.push_back(d);
+
+  const Json doc = suite_to_json(result, config, "test-rev");
+  const Json reparsed = Json::parse(doc.dump());
+  EXPECT_EQ(doc, reparsed);
+  EXPECT_EQ(reparsed.at("schema").as_string(), kSchemaVersion);
+  EXPECT_EQ(reparsed.at("rev").as_string(), "test-rev");
+
+  const std::vector<CellResult> cells = cells_from_json(reparsed);
+  ASSERT_EQ(cells.size(), result.cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& x = result.cells[i];
+    const CellResult& y = cells[i];
+    EXPECT_EQ(x.scheme, y.scheme);
+    EXPECT_EQ(x.family, y.family);
+    EXPECT_EQ(x.n, y.n);
+    // Doubles must round-trip bit-exactly (%.17g emission).
+    EXPECT_EQ(x.qps, y.qps);
+    EXPECT_EQ(x.build_ms, y.build_ms);
+    EXPECT_EQ(x.apsp_ms, y.apsp_ms);
+    EXPECT_EQ(x.snapshot_load_ms, y.snapshot_load_ms);
+    EXPECT_EQ(x.p50_query_ns, y.p50_query_ns);
+    EXPECT_EQ(x.p99_query_ns, y.p99_query_ns);
+    EXPECT_EQ(x.mean_stretch, y.mean_stretch);
+    EXPECT_EQ(x.p99_stretch, y.p99_stretch);
+    EXPECT_EQ(x.max_stretch, y.max_stretch);
+    EXPECT_EQ(x.bytes_per_node, y.bytes_per_node);
+    EXPECT_EQ(x.pairs, y.pairs);
+    EXPECT_EQ(x.failures, y.failures);
+    EXPECT_EQ(x.max_header_bits, y.max_header_bits);
+    EXPECT_EQ(x.table_entries_max, y.table_entries_max);
+    EXPECT_EQ(x.first_error, y.first_error);
+  }
+  const std::vector<HotPathDelta> deltas = deltas_from_json(reparsed);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].name, d.name);
+  EXPECT_EQ(deltas[0].before, d.before);
+  EXPECT_EQ(deltas[0].after, d.after);
+  EXPECT_EQ(deltas[0].improvement_pct, d.improvement_pct);
+}
+
+TEST(BenchHarness, SchemaVersionIsEnforcedOnParse) {
+  Json doc{JsonObject{}};
+  doc.set("schema", "rtr-bench/999");
+  doc.set("cells", JsonArray{});
+  EXPECT_THROW(cells_from_json(doc), benchjson::JsonError);
+}
+
+// ----------------------------------------------------------------- gating --
+
+Json doc_with_cell(double qps, double mean_stretch, std::int64_t failures) {
+  CellResult c;
+  c.scheme = "stretch6";
+  c.family = "random";
+  c.n = 128;
+  c.qps = qps;
+  c.mean_stretch = mean_stretch;
+  c.failures = failures;
+  c.first_error = failures > 0 ? "synthetic failure" : "";
+  Json doc{JsonObject{}};
+  doc.set("schema", kSchemaVersion);
+  doc.set("cells", JsonArray{cell_to_json(c)});
+  return doc;
+}
+
+TEST(BenchHarness, GatePassesWhenCurrentMatchesBaseline) {
+  const Json base = doc_with_cell(1000.0, 1.5, 0);
+  EXPECT_TRUE(compare_to_baseline(base, base).empty());
+}
+
+TEST(BenchHarness, GateToleratesQpsDropsWithinTolerance) {
+  const Json base = doc_with_cell(1000.0, 1.5, 0);
+  const Json ok = doc_with_cell(800.0, 1.5, 0);  // -20% < 25% tolerance
+  EXPECT_TRUE(compare_to_baseline(base, ok).empty());
+}
+
+TEST(BenchHarness, GateFailsOnQpsRegressionBeyondTolerance) {
+  const Json base = doc_with_cell(1000.0, 1.5, 0);
+  const Json bad = doc_with_cell(700.0, 1.5, 0);  // -30% > 25% tolerance
+  const auto violations = compare_to_baseline(base, bad);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("qps regressed"), std::string::npos);
+}
+
+TEST(BenchHarness, GateFailsOnAnyAvgStretchIncrease) {
+  const Json base = doc_with_cell(1000.0, 1.5, 0);
+  const Json bad = doc_with_cell(1000.0, 1.5001, 0);
+  const auto violations = compare_to_baseline(base, bad);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("stretch increased"), std::string::npos);
+}
+
+TEST(BenchHarness, GateFailsOnFailedQueriesAndMissingCells) {
+  const Json base = doc_with_cell(1000.0, 1.5, 0);
+  const auto failed = compare_to_baseline(base, doc_with_cell(1000.0, 1.5, 3));
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_NE(failed[0].find("failed queries"), std::string::npos);
+
+  Json empty{JsonObject{}};
+  empty.set("schema", kSchemaVersion);
+  empty.set("cells", JsonArray{});
+  const auto missing = compare_to_baseline(base, empty);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].find("missing cell"), std::string::npos);
+}
+
+TEST(BenchHarness, GateSkipsQpsWhenHostsDiffer) {
+  // Absolute throughput from different hardware is not comparable: the qps
+  // check must disarm (with a note), while machine-independent checks --
+  // stretch increases here -- still fire.
+  Json base = doc_with_cell(1000.0, 1.5, 0);
+  Json host_a{JsonObject{}};
+  host_a.set("cpu", "cpu-model-a");
+  base.set("host", host_a);
+  Json cur = doc_with_cell(100.0, 1.6, 0);  // -90% qps AND higher stretch
+  Json host_b{JsonObject{}};
+  host_b.set("cpu", "cpu-model-b");
+  cur.set("host", host_b);
+  std::vector<std::string> notes;
+  const auto violations = compare_to_baseline(base, cur, {}, &notes);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("stretch increased"), std::string::npos);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].find("qps gate skipped"), std::string::npos);
+
+  // Same host on both sides: the qps gate is armed again.
+  cur.set("host", host_a);
+  const auto armed = compare_to_baseline(base, cur);
+  EXPECT_EQ(armed.size(), 2u);
+}
+
+TEST(BenchHarness, GateEnforcesHotPathDeltaFloor) {
+  const Json base = doc_with_cell(1000.0, 1.5, 0);
+  Json cur = doc_with_cell(1000.0, 1.5, 0);
+  Json delta{JsonObject{}};
+  delta.set("name", "query-batch-fast-walk");
+  delta.set("metric", "qps");
+  delta.set("scheme", "stretch6");
+  delta.set("family", "random");
+  delta.set("n", static_cast<std::int64_t>(128));
+  delta.set("before", 100.0);
+  delta.set("after", 104.0);
+  delta.set("improvement_pct", 4.0);
+  cur.set("hot_path_deltas", JsonArray{delta});
+  GateOptions strict;
+  strict.delta_floor_pct = 10.0;
+  const auto violations = compare_to_baseline(base, cur, strict);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("below the"), std::string::npos);
+  EXPECT_TRUE(compare_to_baseline(base, cur).empty());  // default floor: 0
+}
+
+// ----------------------------------------------------------------- timing --
+
+TEST(BenchHarness, IterationControllerHonorsRepBounds) {
+  IterationPolicy policy;
+  policy.warmup_reps = 2;
+  policy.min_reps = 3;
+  policy.max_reps = 6;
+  policy.window = 3;
+  policy.steady_rel_spread = 1e9;  // everything is "steady": stops at window
+  std::atomic<int> calls{0};
+  const TimedPhase steady = run_timed(policy, [&] { ++calls; });
+  EXPECT_EQ(steady.reps, 3);  // window == 3 timed reps suffice
+  EXPECT_TRUE(steady.steady);
+  EXPECT_EQ(calls.load(), 2 + 3);  // warmup + timed
+
+  policy.steady_rel_spread = 0.0;  // (hi-lo)/lo == 0 is still <= 0 only when
+                                   // timings tie exactly; a busy loop won't
+  calls = 0;
+  const TimedPhase capped = run_timed(policy, [&] {
+    ++calls;
+    volatile int spin = 0;
+    for (int i = 0; i < 10000; ++i) spin += i;
+  });
+  EXPECT_LE(capped.reps, 6);
+  EXPECT_GE(capped.reps, 3);
+  EXPECT_GT(capped.best_ms, 0.0);
+  EXPECT_GE(capped.mean_ms, capped.best_ms);
+}
+
+TEST(BenchHarness, RssReadingWorksOnLinux) {
+  const std::int64_t rss = current_rss_kb();
+  // Procfs present (Linux CI): a live process has a positive RSS.
+  if (rss >= 0) EXPECT_GT(rss, 0);
+}
+
+}  // namespace
+}  // namespace rtr::bench_harness

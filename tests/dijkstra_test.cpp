@@ -104,6 +104,64 @@ TEST(Dijkstra, RestrictedSourceMustBeMember) {
   EXPECT_THROW(dijkstra_out_tree_within(g, 0, mask), std::invalid_argument);
 }
 
+// The arena fast paths (workspace reuse, CSR adjacency, Dial bucket queue)
+// must return bit-identical distances to the seed implementation, preserved
+// as dijkstra_distances_reference, on every generator family.
+TEST(Dijkstra, ArenaPathsBitIdenticalToReferenceOnAllFamilies) {
+  for (const Family family : all_families()) {
+    Rng rng(17 + static_cast<std::uint64_t>(family));
+    Digraph g = make_family(family, 72, 9, rng);
+    CsrAdjacency csr(g);
+    DijkstraWorkspace ws;  // one workspace across sources: reuse is the point
+    std::vector<Dist> row(static_cast<std::size_t>(g.node_count()));
+    for (NodeId src = 0; src < g.node_count(); src += 7) {
+      const std::vector<Dist> ref = dijkstra_distances_reference(g, src);
+      EXPECT_EQ(dijkstra_distances(g, src), ref) << family_name(family);
+      dijkstra_distances_into(g, src, ws);
+      EXPECT_EQ(ws.dist, ref) << family_name(family);
+      dijkstra_distances_into(csr, src, ws, row);
+      EXPECT_EQ(row, ref) << family_name(family) << " (csr/dial)";
+    }
+  }
+}
+
+TEST(Dijkstra, CsrPathFallsBackToHeapOnHugeWeightsBitIdentically) {
+  // Weights above the Dial threshold exercise the binary-heap branch of the
+  // CSR runner; distances must still match the reference.
+  Rng rng(5);
+  Digraph g = random_strongly_connected(60, 3.0, 100000, rng);
+  CsrAdjacency csr(g);
+  ASSERT_GT(csr.max_weight(), 64);
+  DijkstraWorkspace ws;
+  std::vector<Dist> row(static_cast<std::size_t>(g.node_count()));
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    dijkstra_distances_into(csr, src, ws, row);
+    EXPECT_EQ(row, dijkstra_distances_reference(g, src));
+  }
+}
+
+TEST(Dijkstra, WorkspaceTreesMatchTheSeedTreeShapes) {
+  // Tree runs share the workspace heap buffer but must keep the seed's exact
+  // tie-breaks (parents included), since routing tables are built from them.
+  Rng rng(11);
+  Digraph g = random_strongly_connected(80, 3.0, 7, rng);
+  g.assign_adversarial_ports(rng);
+  const Digraph rev = g.reversed();
+  DijkstraWorkspace ws;
+  for (NodeId root : {0, 13, 42}) {
+    const OutTree fresh_out = dijkstra_out_tree(g, root);
+    const OutTree ws_out = dijkstra_out_tree(g, root, ws);
+    EXPECT_EQ(ws_out.dist, fresh_out.dist);
+    EXPECT_EQ(ws_out.parent, fresh_out.parent);
+    EXPECT_EQ(ws_out.parent_port, fresh_out.parent_port);
+    const InTree fresh_in = dijkstra_in_tree(g, rev, root);
+    const InTree ws_in = dijkstra_in_tree(g, rev, root, ws);
+    EXPECT_EQ(ws_in.dist, fresh_in.dist);
+    EXPECT_EQ(ws_in.next, fresh_in.next);
+    EXPECT_EQ(ws_in.next_port, fresh_in.next_port);
+  }
+}
+
 TEST(Apsp, MatchesFloydWarshallOnRandomGraphs) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
     Rng rng(seed);

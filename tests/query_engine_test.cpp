@@ -78,6 +78,23 @@ TEST(QueryEngine, BatchMatchesTheSerialReferenceLoop) {
   expect_same_report(engine.run_serial(queries), engine.run_batch(queries));
 }
 
+// The batch fast path (SoA layout, one-dispatch adapter walk, header-size
+// hints) must agree with the seed reference loop on EVERY registered scheme
+// -- in particular max_header_bits, which pins that a forward_same_size hint
+// is never emitted on a step that actually changed the encoded size.
+TEST(QueryEngine, FastBatchWalkMatchesReferenceForEveryScheme) {
+  Instance inst = make_instance(Family::kRandom, 40, 4, 53);
+  const auto ctx = inst.context(11);
+  const auto queries = all_pairs(inst.n());
+  for (const std::string& name : SchemeRegistry::global().names()) {
+    QueryEngine engine = make_engine(ctx, name, 2);
+    const StretchReport reference = engine.run_serial(queries);
+    const StretchReport fast = engine.run_batch(queries);
+    EXPECT_EQ(reference.failures, 0) << name;
+    expect_same_report(reference, fast);
+  }
+}
+
 TEST(QueryEngine, SampledBudgetCoveringAllPairsIsExhaustive) {
   Instance inst = make_instance(Family::kRing, 24, 4, 53);
   const auto ctx = inst.context(11);

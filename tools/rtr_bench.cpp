@@ -1,0 +1,180 @@
+// rtr_bench -- the unified benchmark orchestrator.
+//
+//   rtr_bench [--quick|--full] [--out FILE] [--rev REV]
+//             [--families a,b,...] [--sizes 128,256,...]
+//             [--schemes s1,s2,...] [--pairs N] [--threads N] [--seed S]
+//             [--no-snapshot-phase] [--no-deltas]
+//       Sweeps schemes x graph families x sizes, measures the construction /
+//       batch-query / snapshot-load phases plus table and memory accounting,
+//       re-measures the recorded hot-path before/after deltas, and writes a
+//       schema-versioned BENCH_<rev>.json.
+//
+//   rtr_bench --check BASELINE CURRENT [--qps-tolerance 0.25]
+//             [--delta-floor PCT]
+//       The CI perf gate: exits non-zero when CURRENT regresses qps by more
+//       than the tolerance on any baseline cell, increases any cell's avg
+//       stretch, reports failed queries, or records a hot-path delta below
+//       the floor.
+//
+// Families: random | grid | ring | scale-free | bidirected.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_harness/bench_harness.h"
+#include "net/scheme.h"
+
+namespace {
+
+using namespace rtr;
+using namespace rtr::bench_harness;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick|--full] [--out FILE] [--rev REV]\n"
+               "          [--families f1,f2] [--sizes n1,n2] [--schemes s1,s2]\n"
+               "          [--pairs N] [--threads N] [--seed S]\n"
+               "          [--no-snapshot-phase] [--no-deltas]\n"
+               "       %s --check BASELINE CURRENT [--qps-tolerance T]\n"
+               "          [--delta-floor PCT]\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+Family family_by_name(const std::string& name) {
+  for (const Family f : all_families()) {
+    if (family_name(f) == name) return f;
+  }
+  // Accept the common aliases used in the ISSUE/README.
+  if (name == "power-law" || name == "scale_free") return Family::kScaleFree;
+  if (name == "ring+chords") return Family::kRing;
+  throw std::invalid_argument("unknown family: " + name);
+}
+
+int run_check(const std::string& baseline_path, const std::string& current_path,
+              const GateOptions& options) {
+  const auto baseline =
+      benchjson::Json::parse(read_text_file(baseline_path));
+  const auto current = benchjson::Json::parse(read_text_file(current_path));
+  std::vector<std::string> notes;
+  const std::vector<std::string> violations =
+      compare_to_baseline(baseline, current, options, &notes);
+  for (const std::string& n : notes) {
+    std::fprintf(stderr, "note: %s\n", n.c_str());
+  }
+  if (violations.empty()) {
+    std::printf("perf gate OK: %zu baseline cells checked against %s\n",
+                cells_from_json(baseline).size(), current_path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "perf gate FAILED (%zu violations):\n",
+               violations.size());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "  %s\n", v.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    BenchConfig config = BenchConfig::quick();
+    std::string out_path;
+    std::string rev = "dev";
+    std::string check_baseline, check_current;
+    GateOptions gate;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--quick") {
+        config = BenchConfig::quick();
+      } else if (arg == "--full") {
+        config = BenchConfig::full();
+      } else if (arg == "--out") {
+        out_path = next();
+      } else if (arg == "--rev") {
+        rev = next();
+      } else if (arg == "--families") {
+        config.families.clear();
+        for (const auto& f : split_csv(next())) {
+          config.families.push_back(family_by_name(f));
+        }
+      } else if (arg == "--sizes") {
+        config.sizes.clear();
+        for (const auto& s : split_csv(next())) {
+          config.sizes.push_back(static_cast<rtr::NodeId>(std::stol(s)));
+        }
+      } else if (arg == "--schemes") {
+        config.schemes = split_csv(next());
+      } else if (arg == "--pairs") {
+        config.pair_budget = std::stoll(next());
+      } else if (arg == "--threads") {
+        config.threads = std::stoi(next());
+      } else if (arg == "--seed") {
+        config.seed = std::stoull(next());
+      } else if (arg == "--no-snapshot-phase") {
+        config.snapshot_phase = false;
+      } else if (arg == "--no-deltas") {
+        config.hot_path_deltas = false;
+      } else if (arg == "--check") {
+        check_baseline = next();
+        check_current = next();
+      } else if (arg == "--qps-tolerance") {
+        gate.qps_drop_tolerance = std::stod(next());
+      } else if (arg == "--delta-floor") {
+        gate.delta_floor_pct = std::stod(next());
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(argv[0]);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    }
+
+    if (!check_baseline.empty()) {
+      return run_check(check_baseline, check_current, gate);
+    }
+
+    for (const std::string& s : config.schemes) {
+      if (!SchemeRegistry::global().contains(s)) {
+        std::fprintf(stderr, "unknown scheme: %s\n", s.c_str());
+        return 2;
+      }
+    }
+
+    const SuiteResult result = run_suite(config, &std::cerr);
+    const std::string path =
+        out_path.empty() ? default_output_name(rev) : out_path;
+    write_text_file(path, suite_to_json(result, config, rev).dump());
+    std::int64_t failures = 0;
+    for (const auto& cell : result.cells) failures += cell.failures;
+    std::printf("wrote %s (%zu cells, %zu hot-path deltas, %lld failed queries)\n",
+                path.c_str(), result.cells.size(), result.deltas.size(),
+                static_cast<long long>(failures));
+    // The orchestrator itself gates on correctness: a failed roundtrip in any
+    // cell is an error exit, so smoke jobs cannot silently pass on a broken
+    // scheme.
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rtr_bench: %s\n", e.what());
+    return 1;
+  }
+}
