@@ -27,8 +27,9 @@ constexpr std::uint64_t kSeed = 6001;
 /// One scheme's full churn run; returns whether it met the acceptance bar.
 bool run_scheme(const std::string& scheme_name) {
   Rng graph_rng(kSeed);
-  Digraph g = make_family(Family::kRandom, kNodes, 4, graph_rng);
-  g.assign_adversarial_ports(graph_rng);
+  GraphBuilder builder = make_family(Family::kRandom, kNodes, 4, graph_rng);
+  builder.assign_adversarial_ports(graph_rng);
+  Digraph g = builder.freeze();
   Rng name_rng(kSeed + 1);
   NameAssignment names = NameAssignment::random(g.node_count(), name_rng);
 

@@ -26,10 +26,10 @@ ExperimentInstance build_instance(Family family, NodeId n, Weight max_weight,
                                   std::uint64_t seed) {
   ExperimentInstance inst;
   Rng rng(seed);
-  Digraph g = make_family(family, n, max_weight, rng);
-  g.assign_adversarial_ports(rng);
-  inst.names = NameAssignment::random(g.node_count(), rng);
-  inst.graph_ptr = std::make_shared<const Digraph>(std::move(g));
+  GraphBuilder builder = make_family(family, n, max_weight, rng);
+  builder.assign_adversarial_ports(rng);
+  inst.names = NameAssignment::random(builder.node_count(), rng);
+  inst.graph_ptr = std::make_shared<const Digraph>(builder.freeze());
   inst.metric = std::make_shared<RoundtripMetric>(*inst.graph_ptr);
   return inst;
 }

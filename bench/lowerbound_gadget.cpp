@@ -25,11 +25,11 @@ void run() {
                    "mean stretch", "symmetric"});
   for (NodeId n : {64, 128}) {
     Rng rng(1000 + n);
-    Digraph g = lower_bound_gadget(n, 0.25, rng);
+    GraphBuilder g = lower_bound_gadget(n, 0.25, rng);
     g.assign_adversarial_ports(rng);
     auto names = NameAssignment::random(g.node_count(), rng);
     ExperimentInstance inst;
-    inst.graph_ptr = std::make_shared<const Digraph>(std::move(g));
+    inst.graph_ptr = std::make_shared<const Digraph>(g.freeze());
     inst.names = names;
     inst.metric = std::make_shared<RoundtripMetric>(inst.graph());
     const bool symmetric = is_distance_symmetric(*inst.metric);

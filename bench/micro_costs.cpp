@@ -24,9 +24,9 @@ namespace {
 
 Digraph bench_graph(NodeId n, std::uint64_t seed) {
   Rng rng(seed);
-  Digraph g = random_strongly_connected(n, 4.0, 8, rng);
+  GraphBuilder g = random_strongly_connected(n, 4.0, 8, rng);
   g.assign_adversarial_ports(rng);
-  return g;
+  return g.freeze();
 }
 
 void BM_Apsp(benchmark::State& state) {

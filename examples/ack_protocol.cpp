@@ -52,8 +52,9 @@ int main() {
   using namespace rtr;
 
   Rng rng(31);
-  Digraph grid = one_way_grid(14, 14, 4, rng);
-  grid.assign_adversarial_ports(rng);
+  GraphBuilder grid_builder = one_way_grid(14, 14, 4, rng);
+  grid_builder.assign_adversarial_ports(rng);
+  const Digraph grid = grid_builder.freeze();
   NameAssignment names = NameAssignment::random(grid.node_count(), rng);
   RoundtripMetric metric(grid);
 

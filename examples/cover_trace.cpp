@@ -17,8 +17,9 @@ int main() {
   using namespace rtr;
 
   Rng rng(10);
-  Digraph graph = one_way_grid(10, 10, 3, rng);
-  graph.assign_adversarial_ports(rng);
+  GraphBuilder builder = one_way_grid(10, 10, 3, rng);
+  builder.assign_adversarial_ports(rng);
+  const Digraph graph = builder.freeze();
   NameAssignment names = NameAssignment::random(graph.node_count(), rng);
   RoundtripMetric metric(graph);
 

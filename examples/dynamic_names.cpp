@@ -38,8 +38,9 @@ int main() {
   RtzAddress previous_epoch_r3{};
   for (int epoch = 0; epoch < 3; ++epoch) {
     Rng topo_rng(100 + static_cast<std::uint64_t>(epoch));
-    Digraph g = random_strongly_connected(n, 4.0, 6, topo_rng);
-    g.assign_adversarial_ports(topo_rng);
+    GraphBuilder builder = random_strongly_connected(n, 4.0, 6, topo_rng);
+    builder.assign_adversarial_ports(topo_rng);
+    Digraph g = builder.freeze();
     RoundtripMetric metric(g);
     Rng scheme_rng(200 + static_cast<std::uint64_t>(epoch));
     Stretch6Scheme scheme(g, metric, names, scheme_rng);

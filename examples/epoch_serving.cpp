@@ -25,8 +25,9 @@ int main() {
   NameAssignment names = NameAssignment::random(n, name_rng);
 
   Rng topo_rng(100);
-  Digraph g = random_strongly_connected(n, 4.0, 6, topo_rng);
-  g.assign_adversarial_ports(topo_rng);
+  GraphBuilder builder = random_strongly_connected(n, 4.0, 6, topo_rng);
+  builder.assign_adversarial_ports(topo_rng);
+  Digraph g = builder.freeze();
 
   EpochManager mgr("stretch6", names, Digraph(g));
 

@@ -22,8 +22,9 @@ int main() {
 
   // A scale-free overlay: hubs emerge, as in real unstructured overlays.
   Rng rng(77);
-  Digraph overlay = scale_free(300, 3, 10, rng);
-  overlay.assign_adversarial_ports(rng);
+  GraphBuilder overlay_builder = scale_free(300, 3, 10, rng);
+  overlay_builder.assign_adversarial_ports(rng);
+  const Digraph overlay = overlay_builder.freeze();
   NameAssignment peer_ids = NameAssignment::random(overlay.node_count(), rng);
   RoundtripMetric metric(overlay);
   Stretch6Scheme fabric(overlay, metric, peer_ids, rng);

@@ -31,8 +31,9 @@ int main() {
   using namespace rtr;
 
   Rng rng(5);
-  Digraph graph = random_strongly_connected(256, 4.0, 4, rng);
-  graph.assign_adversarial_ports(rng);
+  GraphBuilder builder = random_strongly_connected(256, 4.0, 4, rng);
+  builder.assign_adversarial_ports(rng);
+  const Digraph graph = builder.freeze();
   NameAssignment names = NameAssignment::random(graph.node_count(), rng);
   RoundtripMetric metric(graph);
 

@@ -20,10 +20,13 @@ int main() {
 
   // 1. A 100-node random strongly connected digraph with weights in [1, 8].
   Rng rng(2003);  // PODC 2003
-  Digraph graph = random_strongly_connected(100, 4.0, 8, rng);
+  GraphBuilder builder = random_strongly_connected(100, 4.0, 8, rng);
 
-  // 2. The adversary picks port numbers and node names (the TINN model).
-  graph.assign_adversarial_ports(rng);
+  // 2. The adversary picks port numbers, then the graph is frozen into its
+  //    immutable CSR form (the TINN model; tables build against the frozen
+  //    topology).
+  builder.assign_adversarial_ports(rng);
+  const Digraph graph = builder.freeze();
   NameAssignment names = NameAssignment::random(graph.node_count(), rng);
 
   // 3. Preprocess: roundtrip metric (APSP) + scheme construction.

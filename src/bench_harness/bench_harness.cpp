@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -12,10 +13,12 @@
 #include <thread>
 
 #include "core/names.h"
+#include "graph/apsp.h"
 #include "graph/dijkstra.h"
 #include "io/snapshot.h"
 #include "net/scheme.h"
 #include "rt/metric.h"
+#include "rtz/rtz3_scheme.h"
 #include "util/rng.h"
 
 namespace rtr::bench_harness {
@@ -151,10 +154,10 @@ Instance build_instance(Family family, NodeId n, Weight max_weight,
                         std::uint64_t seed) {
   Instance inst;
   Rng rng(seed);
-  Digraph g = make_family(family, n, max_weight, rng);
-  g.assign_adversarial_ports(rng);
-  inst.names = NameAssignment::random(g.node_count(), rng);
-  inst.graph = std::make_shared<const Digraph>(std::move(g));
+  GraphBuilder builder = make_family(family, n, max_weight, rng);
+  builder.assign_adversarial_ports(rng);
+  inst.names = NameAssignment::random(builder.node_count(), rng);
+  inst.graph = std::make_shared<const Digraph>(builder.freeze());
   const auto t0 = Clock::now();
   inst.metric = std::make_shared<RoundtripMetric>(*inst.graph);
   inst.apsp_ms = ms_since(t0);
@@ -262,14 +265,23 @@ CellResult run_cell(const Instance& inst, const std::string& scheme_name,
 
 // ------------------------------------------------- hot-path delta measures --
 
+IterationPolicy delta_policy() {
+  IterationPolicy policy;
+  policy.warmup_reps = 1;
+  policy.min_reps = 2;
+  policy.max_reps = 3;
+  policy.min_rep_ms = 25;
+  return policy;
+}
+
 /// Before/after for the Dijkstra arena: the seed implementation (fresh
-/// buffers + std::priority_queue per source) vs the CSR + workspace + Dial
-/// fast path all_pairs_shortest_paths runs.  Both live in this binary, so
-/// the record is re-measured on every bench run.
+/// buffers + std::priority_queue per source) vs the workspace + Dial fast
+/// path streaming the frozen graph's flat arc arrays.  Both live in this
+/// binary, so the record is re-measured on every bench run.
 HotPathDelta measure_dijkstra_delta(Family family, NodeId n, Weight max_weight,
                                     std::uint64_t seed) {
   Rng rng(seed);
-  Digraph g = make_family(family, n, max_weight, rng);
+  const Digraph g = make_family(family, n, max_weight, rng).freeze();
   const NodeId nodes = g.node_count();
 
   const auto run_reference = [&] {
@@ -278,29 +290,202 @@ HotPathDelta measure_dijkstra_delta(Family family, NodeId n, Weight max_weight,
       (void)sink;
     }
   };
-  CsrAdjacency csr(g);
   DijkstraWorkspace ws;
   std::vector<Dist> row(static_cast<std::size_t>(nodes));
   const auto run_arena = [&] {
     for (NodeId s = 0; s < nodes; ++s) {
-      dijkstra_distances_into(csr, s, ws, row);
+      dijkstra_distances_into(g, s, ws, row);
       volatile Dist sink = row[0];
       (void)sink;
     }
   };
 
-  IterationPolicy policy;
-  policy.warmup_reps = 1;
-  policy.min_reps = 2;
-  policy.max_reps = 3;
-  policy.min_rep_ms = 25;
   HotPathDelta d;
   d.name = "dijkstra-arena-dial";
   d.metric = "apsp_ms";
   d.family = family_name(family);
   d.n = nodes;
-  d.before = run_timed(policy, run_reference).best_ms;
-  d.after = run_timed(policy, run_arena).best_ms;
+  d.before = run_timed(delta_policy(), run_reference).best_ms;
+  d.after = run_timed(delta_policy(), run_arena).best_ms;
+  d.improvement_pct =
+      d.before > 0 ? 100.0 * (d.before - d.after) / d.before : 0;
+  return d;
+}
+
+/// Before/after for the full all_pairs_shortest_paths entry point: the seed
+/// APSP engine (one dijkstra_distances_reference per source, fresh buffers
+/// and std::priority_queue each) vs the production path -- the frozen-CSR
+/// arena fanned out across the resolved thread pool.  On a single-core host
+/// the arena term carries the whole delta; every extra core compounds it
+/// (rows are independent).  The two matrices are asserted bit-identical,
+/// which re-pins the pool's determinism on every bench run.
+HotPathDelta measure_apsp_delta(Family family, NodeId n, Weight max_weight,
+                                std::uint64_t seed, int threads) {
+  Rng rng(seed);
+  const Digraph g = make_family(family, n, max_weight, rng).freeze();
+  const NodeId nodes = g.node_count();
+  const int workers = resolve_apsp_threads(threads);
+
+  DistMatrix reference(nodes, kInfDist);
+  const auto run_reference = [&] {
+    for (NodeId s = 0; s < nodes; ++s) {
+      const std::vector<Dist> dist = dijkstra_distances_reference(g, s);
+      std::copy(dist.begin(), dist.end(), reference.row(s).begin());
+    }
+  };
+  DistMatrix current(0, 0);
+  const auto run_parallel = [&] { current = all_pairs_shortest_paths(g, workers); };
+
+  HotPathDelta d;
+  d.name = "apsp-parallel-sources";
+  d.metric = "apsp_ms";
+  d.family = family_name(family);
+  d.n = nodes;
+  d.before = run_timed(delta_policy(), run_reference).best_ms;
+  d.after = run_timed(delta_policy(), run_parallel).best_ms;
+  for (NodeId u = 0; u < nodes; ++u) {
+    const auto ref_row = reference.row(u);
+    const auto cur_row = current.row(u);
+    if (!std::equal(ref_row.begin(), ref_row.end(), cur_row.begin())) {
+      throw std::logic_error(
+          "bench_harness: parallel APSP diverged from the reference matrix");
+    }
+  }
+  d.improvement_pct =
+      d.before > 0 ? 100.0 * (d.before - d.after) / d.before : 0;
+  return d;
+}
+
+/// Before/after for the frozen graph's port resolution: the seed linear row
+/// scan (edge_by_port_linear, retained in-binary) vs the per-node sorted
+/// port index.  Measured on a complete digraph with adversarial ports --
+/// the degree-skewed regime where the O(d) scan actually hurts and the
+/// reason has_edge/port_of_edge moved to the same resolution tables.
+HotPathDelta measure_port_index_delta(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder = complete_digraph(n, 4, rng);
+  builder.assign_adversarial_ports(rng);
+  const Digraph g = builder.freeze();
+
+  // Probe every (node, port) pair once per rep plus one absent port per
+  // edge, in a fixed shuffled order so consecutive probes land on different
+  // nodes' rows.  The mix mirrors real resolution traffic: the forwarding
+  // walk resolves present ports, while has_edge / port_of_edge preprocessing
+  // checks mostly miss -- and a miss is the linear scan's worst case (the
+  // whole row) but still O(log d) for the index.
+  std::vector<std::pair<NodeId, Port>> probes;
+  probes.reserve(2 * static_cast<std::size_t>(g.edge_count()));
+  const auto space = static_cast<Port>(g.port_space());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const Edge& e : g.out_edges(u)) {
+      probes.emplace_back(u, e.port);
+      // Deterministic likely-miss probe; both paths agree on it either way.
+      probes.emplace_back(u, static_cast<Port>((e.port + 1) % space));
+    }
+  }
+  rng.shuffle(probes);
+
+  std::int64_t sum_linear = 0, sum_indexed = 0;
+  const auto run_linear = [&] {
+    std::int64_t acc = 0;
+    for (const auto& [u, p] : probes) {
+      const Edge* e = g.edge_by_port_linear(u, p);
+      acc += e == nullptr ? -1 : e->to;
+    }
+    sum_linear = acc;
+  };
+  const auto run_indexed = [&] {
+    std::int64_t acc = 0;
+    for (const auto& [u, p] : probes) {
+      const Edge* e = g.edge_by_port(u, p);
+      acc += e == nullptr ? -1 : e->to;
+    }
+    sum_indexed = acc;
+  };
+
+  HotPathDelta d;
+  d.name = "digraph-port-index";
+  d.metric = "lookup_ms";
+  d.family = "complete";
+  d.n = g.node_count();
+  d.before = run_timed(delta_policy(), run_linear).best_ms;
+  d.after = run_timed(delta_policy(), run_indexed).best_ms;
+  if (sum_linear != sum_indexed) {
+    throw std::logic_error(
+        "bench_harness: indexed edge_by_port diverged from the linear scan");
+  }
+  d.improvement_pct =
+      d.before > 0 ? 100.0 * (d.before - d.after) / d.before : 0;
+  return d;
+}
+
+/// Before/after for the rtz3 per-node dictionaries: the PR <= 4
+/// array-of-pairs layout vs the SoA packing (keys contiguous, payloads
+/// parallel).  Two schemes are built identically except for the layout flag
+/// and probed with the exact forwarding-time lookups (find_ball_label /
+/// find_member_up_port / find_member_table) in a node-shuffled order, so
+/// every probe binary-searches a different node's tables -- the per-hop
+/// cache-miss pattern the SoA packing targets.  Probe outcomes are summed
+/// and asserted identical across layouts.  The effect is a CACHE effect:
+/// the dictionaries of a sweep-sized instance (n = 256) fit in L2 whole, so
+/// the caller hands in an instance big enough (n ~ 4096, ~O(n sqrt n) total
+/// dictionary bytes) that cross-node probes actually miss.
+HotPathDelta measure_rtz3_dict_delta(const Instance& inst, Family family,
+                                     std::uint64_t seed) {
+  Rtz3Scheme::Options aos;
+  aos.soa_dicts = false;
+  Rtz3Scheme::Options soa;
+  soa.soa_dicts = true;
+  Rng rng_before(seed);
+  const Rtz3Scheme before(*inst.graph, *inst.metric, inst.names, rng_before,
+                          aos);
+  Rng rng_after(seed);
+  const Rtz3Scheme after(*inst.graph, *inst.metric, inst.names, rng_after,
+                         soa);
+
+  // Probe set: for every node, each of its ball members' names (dictionary
+  // hits) plus one arbitrary name per node (mostly misses).  Shuffled so
+  // consecutive probes touch different nodes' tables.
+  const NodeId n = inst.graph->node_count();
+  std::vector<std::pair<NodeId, NodeName>> probes;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId w : before.balls().ball_of[static_cast<std::size_t>(v)]) {
+      probes.emplace_back(v, inst.names.name_of(w));
+      probes.emplace_back(w, inst.names.name_of(v));
+    }
+    probes.emplace_back(v, inst.names.name_of((v + n / 2) % n));
+  }
+  Rng shuffle_rng(seed + 1);
+  shuffle_rng.shuffle(probes);
+
+  const auto run_probes = [&probes](const Rtz3Scheme& scheme) {
+    std::int64_t acc = 0;
+    for (const auto& [at, key] : probes) {
+      if (const TreeLabel* label = scheme.find_ball_label(at, key)) {
+        acc += label->dfs_in;
+      }
+      if (const Port* up = scheme.find_member_up_port(at, key)) acc += *up;
+      if (const TreeNodeTable* tab = scheme.find_member_table(at, key)) {
+        acc += tab->heavy_port;
+      }
+    }
+    return acc;
+  };
+  std::int64_t sum_before = 0, sum_after = 0;
+  HotPathDelta d;
+  d.name = "rtz3-soa-dicts";
+  d.metric = "dict_lookup_ms";
+  d.scheme = "rtz3";
+  d.family = family_name(family);
+  d.n = n;
+  d.before =
+      run_timed(delta_policy(), [&] { sum_before = run_probes(before); }).best_ms;
+  d.after =
+      run_timed(delta_policy(), [&] { sum_after = run_probes(after); }).best_ms;
+  if (sum_before != sum_after) {
+    throw std::logic_error(
+        "bench_harness: SoA rtz3 dictionaries diverged from the AoS layout");
+  }
   d.improvement_pct =
       d.before > 0 ? 100.0 * (d.before - d.after) / d.before : 0;
   return d;
@@ -360,12 +545,28 @@ HotPathDelta measure_query_delta(const Instance& inst,
 SuiteResult run_suite(const BenchConfig& config, std::ostream* progress) {
   SuiteResult result;
   const std::vector<std::string> schemes = resolve_schemes(config);
+  const NodeId delta_n =
+      config.sizes.empty()
+          ? 0
+          : *std::max_element(config.sizes.begin(), config.sizes.end());
+  const Family delta_family =
+      config.families.empty() ? Family::kRandom : config.families.front();
+  // The delta phase reuses the sweep's (front family, largest n) instance --
+  // the costliest APSP of the run -- instead of rebuilding it (same seed
+  // formula, so the reuse is exact).  Instance holds shared_ptrs, so keeping
+  // the copy alive is cheap.
+  Instance delta_inst;
+  bool have_delta_inst = false;
   for (const Family family : config.families) {
     for (const NodeId n : config.sizes) {
       const Instance inst = build_instance(
           family, n, config.max_weight,
           config.seed + static_cast<std::uint64_t>(n) * 31 +
               static_cast<std::uint64_t>(family));
+      if (family == delta_family && n == delta_n && !have_delta_inst) {
+        delta_inst = inst;
+        have_delta_inst = true;
+      }
       for (const std::string& scheme : schemes) {
         CellResult cell = run_cell(inst, scheme, family, n, config);
         if (progress != nullptr) {
@@ -378,17 +579,28 @@ SuiteResult run_suite(const BenchConfig& config, std::ostream* progress) {
       }
     }
   }
-  if (config.hot_path_deltas && !config.sizes.empty() &&
-      !config.families.empty()) {
+  if (config.hot_path_deltas && have_delta_inst) {
     // One delta record each, on the largest configured size (most signal).
-    const NodeId n = *std::max_element(config.sizes.begin(), config.sizes.end());
-    const Family family = config.families.front();
+    const NodeId n = delta_n;
+    const Family family = delta_family;
     result.deltas.push_back(
         measure_dijkstra_delta(family, n, config.max_weight, config.seed));
-    const Instance inst =
-        build_instance(family, n, config.max_weight,
-                       config.seed + static_cast<std::uint64_t>(n) * 31 +
-                           static_cast<std::uint64_t>(family));
+    result.deltas.push_back(measure_apsp_delta(family, n, config.max_weight,
+                                               config.seed, config.threads));
+    // Port resolution is degree-bound, not n-bound: measure where degree is
+    // the workload (complete digraph), independent of the sweep sizes.
+    result.deltas.push_back(measure_port_index_delta(256, config.seed));
+    const Instance& inst = delta_inst;
+    // The SoA-dictionary delta is a cache effect; measure it on an instance
+    // whose dictionaries outgrow L2 (reused from the sweep when the sweep is
+    // already that big).
+    const NodeId dict_n = std::max<NodeId>(n, 4096);
+    const Instance dict_inst =
+        dict_n == n ? inst
+                    : build_instance(family, dict_n, config.max_weight,
+                                     config.seed + static_cast<std::uint64_t>(dict_n));
+    result.deltas.push_back(
+        measure_rtz3_dict_delta(dict_inst, family, config.seed));
     for (const std::string& scheme :
          {std::string("stretch6"), std::string("rtz3")}) {
       if (SchemeRegistry::global().contains(scheme)) {
@@ -536,6 +748,11 @@ Json suite_to_json(const SuiteResult& result, const BenchConfig& config,
   host.set("cpu", host_cpu_model());
   host.set("threads",
            static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  // The resolved --threads value the run actually used (engine workers and
+  // APSP pool width), so baselines from differently-threaded runs are
+  // distinguishable even though both documents echo the same config shape.
+  host.set("threads_configured",
+           static_cast<std::int64_t>(resolve_apsp_threads(config.threads)));
   doc.set("host", std::move(host));
   JsonArray cells;
   for (const CellResult& c : result.cells) cells.push_back(cell_to_json(c));
@@ -592,6 +809,75 @@ std::string read_text_file(const std::string& path) {
 
 // ------------------------------------------------------------------- gate --
 
+std::vector<std::string> check_growth_budgets(const Json& doc,
+                                              const GrowthGateOptions& options) {
+  std::vector<std::string> violations;
+  const std::vector<CellResult> cells = cells_from_json(doc);
+  for (const std::string& scheme : options.schemes) {
+    // Group this scheme's cells by family, sorted by n.
+    std::vector<std::string> families;
+    for (const CellResult& c : cells) {
+      if (c.scheme == scheme &&
+          std::find(families.begin(), families.end(), c.family) ==
+              families.end()) {
+        families.push_back(c.family);
+      }
+    }
+    for (const std::string& family : families) {
+      std::vector<const CellResult*> series;
+      for (const CellResult& c : cells) {
+        if (c.scheme == scheme && c.family == family) series.push_back(&c);
+      }
+      std::sort(series.begin(), series.end(),
+                [](const CellResult* a, const CellResult* b) {
+                  return a->n < b->n;
+                });
+      if (series.size() < 2) continue;
+      // Gate the series ENDPOINTS, not consecutive steps: over one doubling
+      // the sqrt-budget-with-slack still admits linear growth (2x actual vs
+      // ~2.1x allowed), while over the full sweep range (n ratio 32) the
+      // separation is unambiguous -- sqrt budget ~5.7x * polylog vs 32x for
+      // a linear regression.
+      const CellResult& lo = *series.front();
+      const CellResult& hi = *series.back();
+      if (hi.n <= lo.n) continue;
+      const double size_ratio =
+          static_cast<double>(hi.n) / static_cast<double>(lo.n);
+      const double log_ratio = std::log2(static_cast<double>(hi.n)) /
+                               std::log2(static_cast<double>(lo.n));
+      const auto key = scheme + "|" + family;
+      if (lo.bytes_per_node > 0) {
+        const double allowed =
+            std::sqrt(size_ratio) * log_ratio * log_ratio * options.bytes_slack;
+        const double actual = hi.bytes_per_node / lo.bytes_per_node;
+        if (actual > allowed) {
+          char buf[200];
+          std::snprintf(buf, sizeof buf,
+                        "%s: bytes/node grew %.2fx from n=%d to n=%d "
+                        "(O~(sqrt n) budget allows %.2fx)",
+                        key.c_str(), actual, lo.n, hi.n, allowed);
+          violations.emplace_back(buf);
+        }
+      }
+      if (lo.build_ms > options.min_build_ms &&
+          hi.build_ms > options.min_build_ms) {
+        const double allowed = size_ratio * std::sqrt(size_ratio) *
+                               log_ratio * log_ratio * options.build_slack;
+        const double actual = hi.build_ms / lo.build_ms;
+        if (actual > allowed) {
+          char buf[200];
+          std::snprintf(buf, sizeof buf,
+                        "%s: build_ms grew %.2fx from n=%d to n=%d "
+                        "(O~(n sqrt n) budget allows %.2fx)",
+                        key.c_str(), actual, lo.n, hi.n, allowed);
+          violations.emplace_back(buf);
+        }
+      }
+    }
+  }
+  return violations;
+}
+
 std::vector<std::string> compare_to_baseline(const Json& baseline,
                                              const Json& current,
                                              const GateOptions& options,
@@ -602,21 +888,44 @@ std::vector<std::string> compare_to_baseline(const Json& baseline,
   const auto key = [](const CellResult& c) {
     return c.scheme + "|" + c.family + "|" + std::to_string(c.n);
   };
+  // Throughput is only comparable when BOTH the CPU model and the
+  // configured thread count match (each fingerprint is skipped when either
+  // document predates its stamp).
   const auto host_of = [](const Json& doc) -> std::string {
     if (doc.has("host") && doc.at("host").has("cpu")) {
       return doc.at("host").at("cpu").as_string();
     }
     return "";
   };
+  const auto threads_of = [](const Json& doc) -> std::int64_t {
+    if (doc.has("host") && doc.at("host").has("threads_configured")) {
+      return doc.at("host").at("threads_configured").as_int();
+    }
+    // Unstamped documents predate the stamp, when the engine default was a
+    // fixed threads=1 -- the only value they could have been measured with.
+    return 1;
+  };
   const std::string base_host = host_of(baseline);
   const std::string cur_host = host_of(current);
-  const bool qps_comparable =
+  const std::int64_t base_threads = threads_of(baseline);
+  const std::int64_t cur_threads = threads_of(current);
+  const bool hosts_match =
       base_host.empty() || cur_host.empty() || base_host == cur_host;
+  const bool threads_match = base_threads == cur_threads;
+  const bool qps_comparable = hosts_match && threads_match;
   if (!qps_comparable && notes != nullptr) {
-    notes->push_back("qps gate skipped: baseline host \"" + base_host +
-                     "\" != current host \"" + cur_host +
-                     "\"; refresh BENCH_baseline.json from a run on this "
-                     "hardware to arm it");
+    if (!hosts_match) {
+      notes->push_back("qps gate skipped: baseline host \"" + base_host +
+                       "\" != current host \"" + cur_host +
+                       "\"; refresh BENCH_baseline.json from a run on this "
+                       "hardware to arm it");
+    } else {
+      notes->push_back(
+          "qps gate skipped: baseline ran with threads_configured=" +
+          std::to_string(base_threads) + " but current ran with " +
+          std::to_string(cur_threads) +
+          "; rerun with matching --threads to arm it");
+    }
   }
   for (const CellResult& b : base) {
     const auto it = std::find_if(cur.begin(), cur.end(), [&](const CellResult& c) {

@@ -78,7 +78,11 @@ struct BenchConfig {
   std::vector<NodeId> sizes = {128, 256};
   std::int64_t pair_budget = 4000;    ///< sampled ordered pairs per cell
   std::int64_t latency_sample = 1000; ///< individually-timed queries (p50/p99)
-  int threads = 1;                    ///< engine workers for the qps phase
+  /// Engine workers for the qps phase and thread pool width for the
+  /// parallel-APSP delta; 0 = hardware concurrency.  The resolved value is
+  /// stamped into the document's host block (threads_configured) so
+  /// baselines from differently-threaded runs are never silently compared.
+  int threads = 0;
   std::uint64_t seed = 7;
   Weight max_weight = 4;
   bool snapshot_phase = true;   ///< measure snapshot save+load per cell
@@ -172,6 +176,36 @@ struct GateOptions {
   double stretch_epsilon = 1e-9;     ///< fail on any avg-stretch increase
   double delta_floor_pct = 0.0;      ///< hot-path deltas must beat this
 };
+
+/// Asymptotic-budget gate for the --full sweep (the nightly job): instead of
+/// comparing against a fixed baseline, it checks GROWTH RATES within one
+/// document.  For each gated scheme and family, the smallest size n1 and the
+/// largest size n2 of the series must satisfy
+///
+///   bytes_per_node(n2) / bytes_per_node(n1)
+///       <= sqrt(n2/n1) * (log2 n2 / log2 n1)^2 * bytes_slack
+///   build_ms(n2) / build_ms(n1)
+///       <= (n2/n1)^1.5 * (log2 n2 / log2 n1)^2 * build_slack
+///
+/// i.e. the O~(sqrt n) table budget and the O~(n sqrt n) construction budget
+/// of the sqrt-n schemes, with slack for constants and polylog wobble
+/// (endpoints rather than consecutive steps: over the full 32x size range
+/// the sqrt budget and a linear regression are unambiguously separated).
+/// Timing checks are skipped below min_build_ms (noise) and bytes checks are
+/// exact (deterministic).  Returns human-readable violations; empty = pass.
+struct GrowthGateOptions {
+  double bytes_slack = 1.45;
+  double build_slack = 1.5;    ///< on top of the budget's polylog term
+  double min_build_ms = 5.0;   ///< both cells must exceed this to gate time
+  /// Schemes with the O~(sqrt n)/node table shape.  fulltable (Theta(n)
+  /// entries per node) and the k-parameterized tradeoff schemes are not
+  /// gated here.
+  std::vector<std::string> schemes = {"stretch6", "stretch6-detour", "rtz3",
+                                      "hashed64"};
+};
+
+[[nodiscard]] std::vector<std::string> check_growth_budgets(
+    const benchjson::Json& doc, const GrowthGateOptions& options = {});
 
 /// Compares `current` against `baseline` cell-by-cell (keyed by scheme,
 /// family, n).  Returns human-readable violations; empty means the gate

@@ -1,6 +1,9 @@
 #include "graph/apsp.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "graph/dijkstra.h"
 
@@ -10,18 +13,70 @@ DistMatrix::DistMatrix(NodeId n, Dist fill)
     : n_(n),
       data_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), fill) {}
 
-DistMatrix all_pairs_shortest_paths(const Digraph& g) {
+namespace {
+
+std::atomic<int> g_default_apsp_threads{0};  // 0: hardware concurrency
+
+}  // namespace
+
+void set_default_apsp_threads(int threads) {
+  g_default_apsp_threads.store(threads <= 0 ? 0 : threads,
+                               std::memory_order_relaxed);
+}
+
+int default_apsp_threads() {
+  return g_default_apsp_threads.load(std::memory_order_relaxed);
+}
+
+int resolve_apsp_threads(int requested) {
+  if (requested >= 1) return requested;
+  const int configured = default_apsp_threads();
+  if (configured >= 1) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+DistMatrix all_pairs_shortest_paths_serial(const Digraph& g) {
   const NodeId n = g.node_count();
   DistMatrix m(n, kInfDist);
-  // Arena layout for the n-Dijkstra loop: one CSR adjacency snapshot and one
-  // heap buffer shared by every run, each run distance-only (no parent
-  // arrays), results written directly into the matrix row.  After the first
-  // run the loop performs no heap allocation at all.
-  CsrAdjacency csr(g);
+  // Arena layout for the n-Dijkstra loop: the frozen graph's own flat arc
+  // arrays are the CSR, one workspace (heap + Dial buckets) is shared by
+  // every run, each run distance-only (no parent arrays), results written
+  // directly into the matrix row.  After the first run the loop performs no
+  // heap allocation at all.
   DijkstraWorkspace ws;
   for (NodeId src = 0; src < n; ++src) {
-    dijkstra_distances_into(csr, src, ws, m.row(src));
+    dijkstra_distances_into(g, src, ws, m.row(src));
   }
+  return m;
+}
+
+DistMatrix all_pairs_shortest_paths(const Digraph& g, int threads) {
+  const int workers = std::min<int>(resolve_apsp_threads(threads),
+                                    std::max<NodeId>(1, g.node_count()));
+  if (workers <= 1) return all_pairs_shortest_paths_serial(g);
+
+  const NodeId n = g.node_count();
+  DistMatrix m(n, kInfDist);
+  // Dynamic source claiming: rows cost wildly different amounts only on
+  // degenerate graphs, but an atomic ticket is cheap enough (one RMW per
+  // source) that static striping has no advantage.  Each worker owns its
+  // DijkstraWorkspace; rows never overlap, so no synchronization beyond the
+  // ticket and the join is needed, and every row is computed by the same
+  // deterministic routine the serial loop runs.
+  std::atomic<NodeId> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back([&g, &m, &next, n] {
+      DijkstraWorkspace ws;
+      for (NodeId src = next.fetch_add(1, std::memory_order_relaxed); src < n;
+           src = next.fetch_add(1, std::memory_order_relaxed)) {
+        dijkstra_distances_into(g, src, ws, m.row(src));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
   return m;
 }
 

@@ -49,10 +49,37 @@ class DistMatrix {
   std::vector<Dist> data_;
 };
 
-/// APSP via n Dijkstra runs.  Requires strong connectivity is NOT assumed
-/// here; unreachable pairs get kInfDist (callers that need strong
-/// connectivity validate separately).
-[[nodiscard]] DistMatrix all_pairs_shortest_paths(const Digraph& g);
+/// APSP via n Dijkstra runs.  Strong connectivity is NOT assumed here;
+/// unreachable pairs get kInfDist (callers that need strong connectivity
+/// validate separately).
+///
+/// Source rows are independent, so they are fanned out across a std::thread
+/// pool: each worker owns a DijkstraWorkspace and claims sources from a
+/// shared atomic counter, writing distances straight into its matrix row.
+/// Every row is computed by the identical per-source routine regardless of
+/// which thread claims it, so the result is bit-identical to the serial
+/// path for any thread count (pinned by test, including under TSAN).
+///
+/// `threads` <= 0 resolves via default_apsp_threads(); 1 runs the serial
+/// loop inline with no thread spawned.
+[[nodiscard]] DistMatrix all_pairs_shortest_paths(const Digraph& g,
+                                                  int threads = 0);
+
+/// The single-threaded arena loop (PR 4's APSP path), retained in-binary as
+/// the before-side of the bench harness's parallel-APSP hot_path_delta and
+/// as the differential oracle for the pool.
+[[nodiscard]] DistMatrix all_pairs_shortest_paths_serial(const Digraph& g);
+
+/// Resolves a requested thread count: values >= 1 pass through; <= 0 means
+/// the process-wide default (set_default_apsp_threads), which itself falls
+/// back to std::thread::hardware_concurrency().
+[[nodiscard]] int resolve_apsp_threads(int requested);
+
+/// Process-wide APSP thread default, consumed when callers pass threads <= 0
+/// (RoundtripMetric construction, EpochManager rebuilds).  0 restores the
+/// hardware-concurrency default.  Wired to the tools' --threads flag.
+void set_default_apsp_threads(int threads);
+[[nodiscard]] int default_apsp_threads();
 
 /// APSP via Floyd-Warshall; O(n^3).  Test oracle for the Dijkstra-based path.
 [[nodiscard]] DistMatrix floyd_warshall(const Digraph& g);

@@ -39,8 +39,10 @@ class ProtoGraph {
     row.push_back(ProtoEdge{v, w, port});
   }
 
+  // Builds the epoch's GraphBuilder and freezes it: churn only ever mutates
+  // builder state; every published epoch is an immutable CSR Digraph.
   [[nodiscard]] Digraph materialize(bool reassign_ports, Rng& rng) const {
-    Digraph g(static_cast<NodeId>(adj_.size()));
+    GraphBuilder g(static_cast<NodeId>(adj_.size()));
     if (reassign_ports) {
       for (NodeId u = 0; u < g.node_count(); ++u) {
         for (const ProtoEdge& e : adj_[static_cast<std::size_t>(u)]) {
@@ -48,7 +50,7 @@ class ProtoGraph {
         }
       }
       g.assign_adversarial_ports(rng);
-      return g;
+      return g.freeze();
     }
     // Port-stable mode: surviving edges keep their inherited port numbers;
     // new/rewired edges (kNoPort) draw fresh ones that stay unique per tail
@@ -75,7 +77,7 @@ class ProtoGraph {
       }
       g.add_edges_with_ports(u, row);
     }
-    return g;
+    return g.freeze();
   }
 
  private:

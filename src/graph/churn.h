@@ -50,6 +50,8 @@ struct ChurnOptions {
 };
 
 /// One churn epoch: a new strongly connected digraph over the same node ids.
+/// Mutation happens on a GraphBuilder; the returned graph is frozen (CSR)
+/// and ready for preprocessing and serving, like every epoch's graph.
 [[nodiscard]] Digraph churn_step(const Digraph& g, const ChurnOptions& opt,
                                  Rng& rng);
 

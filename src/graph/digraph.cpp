@@ -1,79 +1,48 @@
 #include "graph/digraph.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace rtr {
 
-Digraph::Digraph(NodeId n) : out_(static_cast<std::size_t>(n)) {
+// ----------------------------------------------------------------- Digraph --
+
+Digraph::Digraph(NodeId n) {
   if (n < 0) throw std::invalid_argument("Digraph: negative node count");
-}
-
-void Digraph::add_edge(NodeId u, NodeId v, Weight w) {
-  if (u < 0 || u >= node_count() || v < 0 || v >= node_count()) {
-    throw std::out_of_range("Digraph::add_edge: node id out of range");
-  }
-  if (w < 1) throw std::invalid_argument("Digraph::add_edge: weight must be >= 1");
-  if (u == v) throw std::invalid_argument("Digraph::add_edge: self loop");
-  auto& edges = out_[static_cast<std::size_t>(u)];
-  edges.push_back(Edge{v, w, static_cast<Port>(edges.size())});
-  ++edge_count_;
-}
-
-void Digraph::add_edges_with_ports(NodeId u, const std::vector<Edge>& edges) {
-  if (u < 0 || u >= node_count()) {
-    throw std::out_of_range("Digraph::add_edges_with_ports: node id out of range");
-  }
-  auto& out = out_[static_cast<std::size_t>(u)];
-  std::vector<Port> ports;
-  ports.reserve(out.size() + edges.size());
-  for (const Edge& e : out) ports.push_back(e.port);
-  const std::int64_t space = port_space();
-  for (const Edge& e : edges) {
-    if (e.to < 0 || e.to >= node_count()) {
-      throw std::out_of_range("Digraph::add_edges_with_ports: node id out of range");
-    }
-    if (e.to == u) {
-      throw std::invalid_argument("Digraph::add_edges_with_ports: self loop");
-    }
-    if (e.weight < 1) {
-      throw std::invalid_argument(
-          "Digraph::add_edges_with_ports: weight must be >= 1");
-    }
-    if (e.port < 0 || e.port >= space) {
-      throw std::out_of_range("Digraph::add_edges_with_ports: port out of range");
-    }
-    ports.push_back(e.port);
-  }
-  std::sort(ports.begin(), ports.end());
-  if (std::adjacent_find(ports.begin(), ports.end()) != ports.end()) {
-    throw std::invalid_argument(
-        "Digraph::add_edges_with_ports: duplicate port at node " +
-        std::to_string(u));
-  }
-  out.insert(out.end(), edges.begin(), edges.end());
-  edge_count_ += static_cast<std::int64_t>(edges.size());
-}
-
-bool Digraph::has_edge(NodeId u, NodeId v) const {
-  for (const Edge& e : out_edges(u)) {
-    if (e.to == v) return true;
-  }
-  return false;
+  offset_.assign(static_cast<std::size_t>(n) + 1, 0);
 }
 
 const Edge* Digraph::edge_by_port(NodeId u, Port p) const {
+  const auto b = static_cast<std::size_t>(offset_[static_cast<std::size_t>(u)]);
+  const auto e =
+      static_cast<std::size_t>(offset_[static_cast<std::size_t>(u) + 1]);
+  const auto first = port_key_.begin() + static_cast<std::ptrdiff_t>(b);
+  const auto last = port_key_.begin() + static_cast<std::ptrdiff_t>(e);
+  const auto it = std::lower_bound(first, last, p);
+  if (it == last || *it != p) return nullptr;
+  const auto k = static_cast<std::size_t>(it - port_key_.begin());
+  return &edges_[b + static_cast<std::size_t>(port_slot_[k])];
+}
+
+const Edge* Digraph::edge_by_port_linear(NodeId u, Port p) const {
   for (const Edge& e : out_edges(u)) {
     if (e.port == p) return &e;
   }
   return nullptr;
 }
 
-Port Digraph::port_of_edge(NodeId u, NodeId v) const {
-  for (const Edge& e : out_edges(u)) {
-    if (e.to == v) return e.port;
-  }
-  return kNoPort;
+const Edge* Digraph::find_by_head(NodeId u, NodeId v) const {
+  const auto b = static_cast<std::size_t>(offset_[static_cast<std::size_t>(u)]);
+  const auto e =
+      static_cast<std::size_t>(offset_[static_cast<std::size_t>(u) + 1]);
+  const auto first = head_key_.begin() + static_cast<std::ptrdiff_t>(b);
+  const auto last = head_key_.begin() + static_cast<std::ptrdiff_t>(e);
+  const auto it = std::lower_bound(first, last, v);
+  if (it == last || *it != v) return nullptr;
+  const auto k = static_cast<std::size_t>(it - head_key_.begin());
+  return &edges_[b + static_cast<std::size_t>(head_slot_[k])];
 }
 
 std::int64_t Digraph::port_space() const {
@@ -82,36 +51,197 @@ std::int64_t Digraph::port_space() const {
   return 4 * std::max<std::int64_t>(1, node_count());
 }
 
-void Digraph::assign_adversarial_ports(Rng& rng) {
-  const std::int64_t space = port_space();
-  for (auto& edges : out_) {
-    // Draw distinct random port numbers for this node's out-edges.
-    auto degree = static_cast<std::int32_t>(edges.size());
-    if (degree == 0) continue;
-    auto labels = rng.sample_without_replacement(
-        static_cast<std::int32_t>(space), degree);
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-      edges[i].port = static_cast<Port>(labels[i]);
-    }
-  }
-}
-
 Digraph Digraph::reversed() const {
-  Digraph rev(node_count());
+  GraphBuilder rev(node_count());
   for (NodeId u = 0; u < node_count(); ++u) {
     for (const Edge& e : out_edges(u)) {
       rev.add_edge(e.to, u, e.weight);
     }
   }
-  return rev;
+  return rev.freeze();
 }
 
-Weight Digraph::max_weight() const {
-  Weight mx = 1;
-  for (NodeId u = 0; u < node_count(); ++u) {
-    for (const Edge& e : out_edges(u)) mx = std::max(mx, e.weight);
+// ------------------------------------------------------------ GraphBuilder --
+
+GraphBuilder::GraphBuilder(NodeId n)
+    : out_(static_cast<std::size_t>(n)),
+      next_port_(static_cast<std::size_t>(n), 0) {
+  if (n < 0) throw std::invalid_argument("GraphBuilder: negative node count");
+}
+
+GraphBuilder::GraphBuilder(const Digraph& g)
+    : out_(static_cast<std::size_t>(g.node_count())),
+      next_port_(static_cast<std::size_t>(g.node_count()), 0),
+      edge_count_(g.edge_count()) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto row = g.out_edges(u);
+    out_[static_cast<std::size_t>(u)].assign(row.begin(), row.end());
+    for (const Edge& e : row) {
+      next_port_[static_cast<std::size_t>(u)] =
+          std::max(next_port_[static_cast<std::size_t>(u)],
+                   static_cast<Port>(e.port + 1));
+    }
   }
-  return mx;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+  if (u < 0 || u >= node_count() || v < 0 || v >= node_count()) {
+    throw std::out_of_range("GraphBuilder::add_edge: node id out of range");
+  }
+  if (w < 1) {
+    throw std::invalid_argument("GraphBuilder::add_edge: weight must be >= 1");
+  }
+  if (u == v) throw std::invalid_argument("GraphBuilder::add_edge: self loop");
+  auto& edges = out_[static_cast<std::size_t>(u)];
+  Port port = next_port_[static_cast<std::size_t>(u)];
+  if (port < port_space()) {
+    ++next_port_[static_cast<std::size_t>(u)];
+  } else {
+    // The sequential label would leave the O(n) port namespace (possible
+    // after thawing a row whose adversarial port was near 4n-1): fall back
+    // to the smallest unused label.  Degree < n << port_space, so one
+    // always exists; O(d log d), and only on this rare path.
+    std::vector<Port> used;
+    used.reserve(edges.size());
+    for (const Edge& e : edges) used.push_back(e.port);
+    std::sort(used.begin(), used.end());
+    port = 0;
+    for (const Port taken : used) {
+      if (taken != port) break;
+      ++port;
+    }
+  }
+  edges.push_back(Edge{v, w, port});
+  ++edge_count_;
+}
+
+void GraphBuilder::add_edges_with_ports(NodeId u,
+                                        const std::vector<Edge>& edges) {
+  if (u < 0 || u >= node_count()) {
+    throw std::out_of_range(
+        "GraphBuilder::add_edges_with_ports: node id out of range");
+  }
+  auto& out = out_[static_cast<std::size_t>(u)];
+  std::vector<Port> ports;
+  ports.reserve(out.size() + edges.size());
+  for (const Edge& e : out) ports.push_back(e.port);
+  const std::int64_t space = port_space();
+  for (const Edge& e : edges) {
+    if (e.to < 0 || e.to >= node_count()) {
+      throw std::out_of_range(
+          "GraphBuilder::add_edges_with_ports: node id out of range");
+    }
+    if (e.to == u) {
+      throw std::invalid_argument(
+          "GraphBuilder::add_edges_with_ports: self loop");
+    }
+    if (e.weight < 1) {
+      throw std::invalid_argument(
+          "GraphBuilder::add_edges_with_ports: weight must be >= 1");
+    }
+    if (e.port < 0 || e.port >= space) {
+      throw std::out_of_range(
+          "GraphBuilder::add_edges_with_ports: port out of range");
+    }
+    ports.push_back(e.port);
+  }
+  std::sort(ports.begin(), ports.end());
+  if (std::adjacent_find(ports.begin(), ports.end()) != ports.end()) {
+    throw std::invalid_argument(
+        "GraphBuilder::add_edges_with_ports: duplicate port at node " +
+        std::to_string(u));
+  }
+  out.insert(out.end(), edges.begin(), edges.end());
+  edge_count_ += static_cast<std::int64_t>(edges.size());
+  for (const Edge& e : edges) {
+    next_port_[static_cast<std::size_t>(u)] =
+        std::max(next_port_[static_cast<std::size_t>(u)],
+                 static_cast<Port>(e.port + 1));
+  }
+}
+
+void GraphBuilder::assign_adversarial_ports(Rng& rng) {
+  const std::int64_t space = port_space();
+  for (std::size_t u = 0; u < out_.size(); ++u) {
+    auto& edges = out_[u];
+    // Draw distinct random port numbers for this node's out-edges.
+    auto degree = static_cast<std::int32_t>(edges.size());
+    if (degree == 0) continue;
+    auto labels = rng.sample_without_replacement(
+        static_cast<std::int32_t>(space), degree);
+    Port next = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      edges[i].port = static_cast<Port>(labels[i]);
+      next = std::max(next, static_cast<Port>(edges[i].port + 1));
+    }
+    next_port_[u] = next;
+  }
+}
+
+std::int64_t GraphBuilder::port_space() const {
+  return 4 * std::max<std::int64_t>(1, node_count());
+}
+
+Digraph GraphBuilder::freeze() const {
+  const NodeId n = node_count();
+  Digraph g;
+  g.offset_.resize(static_cast<std::size_t>(n) + 1);
+  g.edges_.reserve(static_cast<std::size_t>(edge_count_));
+  g.arc_head_.reserve(static_cast<std::size_t>(edge_count_));
+  g.arc_weight_.reserve(static_cast<std::size_t>(edge_count_));
+  g.port_key_.resize(static_cast<std::size_t>(edge_count_));
+  g.port_slot_.resize(static_cast<std::size_t>(edge_count_));
+  g.head_key_.resize(static_cast<std::size_t>(edge_count_));
+  g.head_slot_.resize(static_cast<std::size_t>(edge_count_));
+
+  std::vector<std::int32_t> order;
+  std::int64_t at = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    g.offset_[static_cast<std::size_t>(u)] = at;
+    const auto& row = out_[static_cast<std::size_t>(u)];
+    for (const Edge& e : row) {
+      g.edges_.push_back(e);
+      g.arc_head_.push_back(e.to);
+      g.arc_weight_.push_back(e.weight);
+      g.max_weight_ = std::max(g.max_weight_, e.weight);
+    }
+    // Resolution tables for this row: slots sorted by port / by head, then
+    // the sort keys split out into their own contiguous segments.
+    const auto d = static_cast<std::int32_t>(row.size());
+    order.resize(static_cast<std::size_t>(d));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&row](std::int32_t a, std::int32_t b) {
+      return row[static_cast<std::size_t>(a)].port <
+             row[static_cast<std::size_t>(b)].port;
+    });
+    for (std::int32_t k = 0; k < d; ++k) {
+      const auto seg = static_cast<std::size_t>(at) + static_cast<std::size_t>(k);
+      g.port_slot_[seg] = order[static_cast<std::size_t>(k)];
+      g.port_key_[seg] =
+          row[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])].port;
+      if (k > 0 && g.port_key_[seg] == g.port_key_[seg - 1]) {
+        throw std::invalid_argument(
+            "GraphBuilder::freeze: duplicate port at node " + std::to_string(u));
+      }
+    }
+    std::sort(order.begin(), order.end(), [&row](std::int32_t a, std::int32_t b) {
+      return row[static_cast<std::size_t>(a)].to <
+             row[static_cast<std::size_t>(b)].to;
+    });
+    for (std::int32_t k = 0; k < d; ++k) {
+      const auto seg = static_cast<std::size_t>(at) + static_cast<std::size_t>(k);
+      g.head_slot_[seg] = order[static_cast<std::size_t>(k)];
+      g.head_key_[seg] =
+          row[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])].to;
+      if (k > 0 && g.head_key_[seg] == g.head_key_[seg - 1]) {
+        throw std::invalid_argument(
+            "GraphBuilder::freeze: parallel edge at node " + std::to_string(u));
+      }
+    }
+    at += d;
+  }
+  g.offset_[static_cast<std::size_t>(n)] = at;
+  return g;
 }
 
 }  // namespace rtr

@@ -80,34 +80,7 @@ std::vector<Dist> dijkstra_distances(const Digraph& g, NodeId src) {
 void dijkstra_distances_into(const Digraph& g, NodeId src,
                              DijkstraWorkspace& ws) {
   ws.dist.resize(static_cast<std::size_t>(g.node_count()));
-  run_core<false>(g, src, nullptr, ws.dist, nullptr, nullptr, ws.heap);
-}
-
-void dijkstra_distances_into(const Digraph& g, NodeId src, DijkstraWorkspace& ws,
-                             std::span<Dist> out) {
-  if (out.size() != static_cast<std::size_t>(g.node_count())) {
-    throw std::invalid_argument(
-        "dijkstra_distances_into: output span size != node count");
-  }
-  run_core<false>(g, src, nullptr, out, nullptr, nullptr, ws.heap);
-}
-
-CsrAdjacency::CsrAdjacency(const Digraph& g) {
-  const NodeId n = g.node_count();
-  offset_.resize(static_cast<std::size_t>(n) + 1);
-  to_.reserve(static_cast<std::size_t>(g.edge_count()));
-  weight_.reserve(static_cast<std::size_t>(g.edge_count()));
-  std::int64_t at = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    offset_[static_cast<std::size_t>(u)] = at;
-    for (const Edge& e : g.out_edges(u)) {
-      to_.push_back(e.to);
-      weight_.push_back(e.weight);
-      max_weight_ = std::max(max_weight_, e.weight);
-      ++at;
-    }
-  }
-  offset_[static_cast<std::size_t>(n)] = at;
+  dijkstra_distances_into(g, src, ws, ws.dist);
 }
 
 namespace {
@@ -130,7 +103,7 @@ constexpr Weight kDialMaxWeight = 64;
 // comparisons, no log factor; stale entries are skipped by the dist check
 // like the heap path.  Shortest distances are unique, so the result is
 // bit-identical to any other Dijkstra regardless of pop order.
-void dial_run(const CsrAdjacency& g, NodeId src,
+void dial_run(const Digraph& g, NodeId src,
               std::vector<std::vector<NodeId>>& buckets, std::span<Dist> out) {
   const auto nb = static_cast<std::size_t>(g.max_weight()) + 1;
   if (buckets.size() < nb) buckets.resize(nb);
@@ -145,13 +118,13 @@ void dial_run(const CsrAdjacency& g, NodeId src,
     // so iterating by index while the vector is stable is safe.
     for (const NodeId u : bucket) {
       if (out[static_cast<std::size_t>(u)] != d) continue;  // stale entry
-      const std::int64_t end = g.end_of(u);
-      for (std::int64_t i = g.begin_of(u); i < end; ++i) {
-        const Dist nd = d + g.weight(i);
-        const auto to = static_cast<std::size_t>(g.to(i));
+      const std::int64_t end = g.arcs_end(u);
+      for (std::int64_t i = g.arcs_begin(u); i < end; ++i) {
+        const Dist nd = d + g.arc_weight(i);
+        const auto to = static_cast<std::size_t>(g.arc_head(i));
         if (nd < out[to]) {
           out[to] = nd;
-          buckets[static_cast<std::size_t>(nd) % nb].push_back(g.to(i));
+          buckets[static_cast<std::size_t>(nd) % nb].push_back(g.arc_head(i));
           ++pending;
         }
       }
@@ -162,14 +135,14 @@ void dial_run(const CsrAdjacency& g, NodeId src,
 
 }  // namespace
 
-void dijkstra_distances_into(const CsrAdjacency& g, NodeId src,
+void dijkstra_distances_into(const Digraph& g, NodeId src,
                              DijkstraWorkspace& ws, std::span<Dist> out) {
   if (out.size() != static_cast<std::size_t>(g.node_count())) {
     throw std::invalid_argument(
-        "dijkstra_distances_into(csr): output span size != node count");
+        "dijkstra_distances_into: output span size != node count");
   }
   std::fill(out.begin(), out.end(), kInfDist);
-  if (g.max_weight() >= 1 && g.max_weight() <= kDialMaxWeight) {
+  if (g.edge_count() > 0 && g.max_weight() <= kDialMaxWeight) {
     dial_run(g, src, ws.buckets, out);
     return;
   }
@@ -182,13 +155,13 @@ void dijkstra_distances_into(const CsrAdjacency& g, NodeId src,
     const auto [d, u] = heap.back();
     heap.pop_back();
     if (d != out[static_cast<std::size_t>(u)]) continue;  // stale entry
-    const std::int64_t end = g.end_of(u);
-    for (std::int64_t i = g.begin_of(u); i < end; ++i) {
-      const Dist nd = d + g.weight(i);
-      const auto to = static_cast<std::size_t>(g.to(i));
+    const std::int64_t end = g.arcs_end(u);
+    for (std::int64_t i = g.arcs_begin(u); i < end; ++i) {
+      const Dist nd = d + g.arc_weight(i);
+      const auto to = static_cast<std::size_t>(g.arc_head(i));
       if (nd < out[to]) {
         out[to] = nd;
-        heap.emplace_back(nd, g.to(i));
+        heap.emplace_back(nd, g.arc_head(i));
         std::push_heap(heap.begin(), heap.end(), std::greater<>{});
       }
     }

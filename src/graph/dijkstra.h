@@ -58,40 +58,6 @@ struct DijkstraWorkspace {
   std::vector<std::vector<NodeId>> buckets;
 };
 
-/// Flat compressed-sparse-row snapshot of a Digraph's out-adjacency: one
-/// contiguous row per node instead of one heap block per node.  Repeated-run
-/// callers (APSP) build it once and stream it n times; row order preserves
-/// Digraph::out_edges order, so relaxation order -- and therefore every
-/// distance and tie-break -- is bit-identical to iterating the Digraph.
-class CsrAdjacency {
- public:
-  explicit CsrAdjacency(const Digraph& g);
-
-  [[nodiscard]] NodeId node_count() const {
-    return static_cast<NodeId>(offset_.size() - 1);
-  }
-  [[nodiscard]] std::int64_t begin_of(NodeId u) const {
-    return offset_[static_cast<std::size_t>(u)];
-  }
-  [[nodiscard]] std::int64_t end_of(NodeId u) const {
-    return offset_[static_cast<std::size_t>(u) + 1];
-  }
-  [[nodiscard]] NodeId to(std::int64_t i) const {
-    return to_[static_cast<std::size_t>(i)];
-  }
-  [[nodiscard]] Weight weight(std::int64_t i) const {
-    return weight_[static_cast<std::size_t>(i)];
-  }
-  /// Largest edge weight (0 when there are no edges).
-  [[nodiscard]] Weight max_weight() const { return max_weight_; }
-
- private:
-  std::vector<std::int64_t> offset_;  // size n+1
-  std::vector<NodeId> to_;
-  std::vector<Weight> weight_;
-  Weight max_weight_ = 0;
-};
-
 /// Distances from src to every node.
 [[nodiscard]] std::vector<Dist> dijkstra_distances(const Digraph& g, NodeId src);
 
@@ -100,14 +66,13 @@ class CsrAdjacency {
 void dijkstra_distances_into(const Digraph& g, NodeId src, DijkstraWorkspace& ws);
 
 /// Distance-only run writing into caller storage (e.g. an APSP matrix row);
-/// `out.size()` must equal g.node_count().  Only ws.heap is used.
+/// `out.size()` must equal g.node_count().  The APSP hot loop: streams the
+/// frozen graph's flat arc arrays (structure-of-arrays heads/weights) with a
+/// Dial bucket queue for small weights and the binary heap otherwise; no
+/// allocation after the first run with a reused workspace.  The frozen
+/// Digraph IS the CSR, so there is no per-call adjacency snapshot to build.
 void dijkstra_distances_into(const Digraph& g, NodeId src, DijkstraWorkspace& ws,
                              std::span<Dist> out);
-
-/// Distance-only run over a CSR snapshot (the APSP hot loop): contiguous
-/// adjacency streaming, no allocation after the first run.
-void dijkstra_distances_into(const CsrAdjacency& g, NodeId src,
-                             DijkstraWorkspace& ws, std::span<Dist> out);
 
 /// The seed implementation (std::priority_queue, fresh buffers per call),
 /// kept as the differential oracle for the workspace fast path.

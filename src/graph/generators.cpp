@@ -27,10 +27,10 @@ class EdgeSet {
 
 }  // namespace
 
-Digraph random_strongly_connected(NodeId n, double avg_out_degree,
+GraphBuilder random_strongly_connected(NodeId n, double avg_out_degree,
                                   Weight max_weight, Rng& rng) {
   if (n < 2) throw std::invalid_argument("random_strongly_connected: n >= 2");
-  Digraph g(n);
+  GraphBuilder g(n);
   EdgeSet seen;
   // Random Hamiltonian cycle: strong connectivity certificate.
   auto order = rng.permutation(n);
@@ -53,7 +53,7 @@ Digraph random_strongly_connected(NodeId n, double avg_out_degree,
   return g;
 }
 
-Digraph one_way_grid(NodeId rows, NodeId cols, Weight max_weight, Rng& rng) {
+GraphBuilder one_way_grid(NodeId rows, NodeId cols, Weight max_weight, Rng& rng) {
   // A Manhattan Street Network (Maxemchuk) is a *torus*: every row is a full
   // one-way cycle (direction alternating by row) and every column likewise.
   // The wrap-around links are what make the alternating pattern strongly
@@ -63,7 +63,7 @@ Digraph one_way_grid(NodeId rows, NodeId cols, Weight max_weight, Rng& rng) {
   if (cols % 2 != 0) ++cols;
   rows = std::max<NodeId>(rows, 2);
   cols = std::max<NodeId>(cols, 2);
-  Digraph g(rows * cols);
+  GraphBuilder g(rows * cols);
   auto id = [&](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r) {
     const bool left_to_right = (r % 2 == 0);
@@ -90,9 +90,9 @@ Digraph one_way_grid(NodeId rows, NodeId cols, Weight max_weight, Rng& rng) {
   return g;
 }
 
-Digraph ring_with_chords(NodeId n, NodeId chords, Weight max_weight, Rng& rng) {
+GraphBuilder ring_with_chords(NodeId n, NodeId chords, Weight max_weight, Rng& rng) {
   if (n < 2) throw std::invalid_argument("ring_with_chords: n >= 2");
-  Digraph g(n);
+  GraphBuilder g(n);
   EdgeSet seen;
   for (NodeId i = 0; i < n; ++i) {
     NodeId j = (i + 1) % n;
@@ -112,9 +112,9 @@ Digraph ring_with_chords(NodeId n, NodeId chords, Weight max_weight, Rng& rng) {
   return g;
 }
 
-Digraph scale_free(NodeId n, NodeId attach, Weight max_weight, Rng& rng) {
+GraphBuilder scale_free(NodeId n, NodeId attach, Weight max_weight, Rng& rng) {
   if (n < 3) throw std::invalid_argument("scale_free: n >= 3");
-  Digraph g(n);
+  GraphBuilder g(n);
   EdgeSet seen;
   // Ring backbone keeps the graph strongly connected.
   for (NodeId i = 0; i < n; ++i) {
@@ -142,10 +142,10 @@ Digraph scale_free(NodeId n, NodeId attach, Weight max_weight, Rng& rng) {
   return g;
 }
 
-Digraph bidirected_random(NodeId n, double avg_degree, Weight max_weight,
+GraphBuilder bidirected_random(NodeId n, double avg_degree, Weight max_weight,
                           Rng& rng) {
   if (n < 2) throw std::invalid_argument("bidirected_random: n >= 2");
-  Digraph g(n);
+  GraphBuilder g(n);
   EdgeSet seen;
   auto add_bidirected = [&](NodeId u, NodeId v, Weight w) {
     if (!seen.insert(u, v)) return false;
@@ -172,11 +172,11 @@ Digraph bidirected_random(NodeId n, double avg_degree, Weight max_weight,
   return g;
 }
 
-Digraph lower_bound_gadget(NodeId n, double density, Rng& rng) {
+GraphBuilder lower_bound_gadget(NodeId n, double density, Rng& rng) {
   if (n < 4) throw std::invalid_argument("lower_bound_gadget: n >= 4");
   if (n % 2 != 0) ++n;
   const NodeId half = n / 2;
-  Digraph g(n);
+  GraphBuilder g(n);
   // Weight-2 bidirected matching i <-> i+half keeps everything connected and
   // ensures non-adjacent bipartite pairs are at distance >= 2.
   for (NodeId i = 0; i < half; ++i) {
@@ -202,9 +202,9 @@ Digraph lower_bound_gadget(NodeId n, double density, Rng& rng) {
   return g;
 }
 
-Digraph complete_digraph(NodeId n, Weight max_weight, Rng& rng) {
+GraphBuilder complete_digraph(NodeId n, Weight max_weight, Rng& rng) {
   if (n < 2) throw std::invalid_argument("complete_digraph: n >= 2");
-  Digraph g(n);
+  GraphBuilder g(n);
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = 0; v < n; ++v) {
       if (u != v) g.add_edge(u, v, rand_weight(max_weight, rng));
@@ -224,7 +224,7 @@ std::string family_name(Family f) {
   return "?";
 }
 
-Digraph make_family(Family f, NodeId n, Weight max_weight, Rng& rng) {
+GraphBuilder make_family(Family f, NodeId n, Weight max_weight, Rng& rng) {
   switch (f) {
     case Family::kRandom:
       return random_strongly_connected(n, 4.0, max_weight, rng);

@@ -18,8 +18,10 @@
 //    Gavoille-Gengler construction is a bidirected network).
 //  * complete_digraph          -- small dense sanity-check family.
 //
-// All generators return graphs that are strongly connected by construction
-// and use integer weights in [1, max_weight].
+// All generators return GraphBuilders whose graphs are strongly connected by
+// construction and use integer weights in [1, max_weight].  Callers let the
+// Section 1.1.3 adversary relabel ports on the builder, then freeze() it
+// into the immutable CSR Digraph everything downstream consumes.
 #ifndef RTR_GRAPH_GENERATORS_H
 #define RTR_GRAPH_GENERATORS_H
 
@@ -33,29 +35,29 @@ namespace rtr {
 
 /// Random digraph: random Hamiltonian cycle (guarantees strong connectivity)
 /// plus extra random arcs until average out-degree ~ avg_out_degree.
-[[nodiscard]] Digraph random_strongly_connected(NodeId n, double avg_out_degree,
+[[nodiscard]] GraphBuilder random_strongly_connected(NodeId n, double avg_out_degree,
                                                 Weight max_weight, Rng& rng);
 
 /// rows x cols one-way torus where row r cycles left-to-right iff r is even
 /// and column c cycles top-to-bottom iff c is even (a Manhattan Street
 /// Network; odd dimensions are bumped up by one to keep adjacent streets
 /// counter-directed).
-[[nodiscard]] Digraph one_way_grid(NodeId rows, NodeId cols, Weight max_weight,
+[[nodiscard]] GraphBuilder one_way_grid(NodeId rows, NodeId cols, Weight max_weight,
                                    Rng& rng);
 
 /// One-way cycle 0 -> 1 -> ... -> n-1 -> 0 plus `chords` random forward arcs.
-[[nodiscard]] Digraph ring_with_chords(NodeId n, NodeId chords, Weight max_weight,
+[[nodiscard]] GraphBuilder ring_with_chords(NodeId n, NodeId chords, Weight max_weight,
                                        Rng& rng);
 
 /// Preferential attachment: ring backbone, then each node adds `attach`
 /// out-arcs to endpoints chosen proportionally to current in-degree + 1.
-[[nodiscard]] Digraph scale_free(NodeId n, NodeId attach, Weight max_weight,
+[[nodiscard]] GraphBuilder scale_free(NodeId n, NodeId attach, Weight max_weight,
                                  Rng& rng);
 
 /// Connected random undirected multigraph skeleton (spanning tree + extra
 /// edges), each undirected edge emitted as two opposite arcs of equal weight.
 /// Guarantees d(u,v) == d(v,u) for all pairs -- the Section 5 regime.
-[[nodiscard]] Digraph bidirected_random(NodeId n, double avg_degree,
+[[nodiscard]] GraphBuilder bidirected_random(NodeId n, double avg_degree,
                                         Weight max_weight, Rng& rng);
 
 /// Dense bidirected gadget in the spirit of the Gavoille-Gengler lower-bound
@@ -63,10 +65,10 @@ namespace rtr {
 /// bidirected edges) plus a weight-2 bidirected matching that keeps the graph
 /// connected.  Distances between core vertices are 1 or >= 2 depending on the
 /// adjacency bit -- the information-theoretic payload of Theorem 15.
-[[nodiscard]] Digraph lower_bound_gadget(NodeId n, double density, Rng& rng);
+[[nodiscard]] GraphBuilder lower_bound_gadget(NodeId n, double density, Rng& rng);
 
 /// Complete digraph with random weights.
-[[nodiscard]] Digraph complete_digraph(NodeId n, Weight max_weight, Rng& rng);
+[[nodiscard]] GraphBuilder complete_digraph(NodeId n, Weight max_weight, Rng& rng);
 
 /// Named family dispatch used by parameterized tests and benches.
 enum class Family {
@@ -81,7 +83,7 @@ enum class Family {
 
 /// Builds a member of the family with roughly n nodes (grids round to the
 /// nearest even dimensions).
-[[nodiscard]] Digraph make_family(Family f, NodeId n, Weight max_weight, Rng& rng);
+[[nodiscard]] GraphBuilder make_family(Family f, NodeId n, Weight max_weight, Rng& rng);
 
 /// All families, for sweep loops.
 [[nodiscard]] const std::vector<Family>& all_families();

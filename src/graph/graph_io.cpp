@@ -20,10 +20,10 @@ std::string to_edge_list(const Digraph& g) {
   return os.str();
 }
 
-Digraph read_edge_list(std::istream& is) {
+GraphBuilder read_edge_list(std::istream& is) {
   std::string line;
   NodeId n = -1;
-  Digraph g(0);
+  GraphBuilder g(0);
   bool have_header = false;
   std::int64_t line_no = 0;
   while (std::getline(is, line)) {
@@ -38,7 +38,7 @@ Digraph read_edge_list(std::istream& is) {
         throw std::runtime_error("edge list: expected 'n <count>' header at line " +
                                  std::to_string(line_no));
       }
-      g = Digraph(n);
+      g = GraphBuilder(n);
       have_header = true;
       continue;
     }
@@ -55,7 +55,7 @@ Digraph read_edge_list(std::istream& is) {
   return g;
 }
 
-Digraph from_edge_list(const std::string& text) {
+GraphBuilder from_edge_list(const std::string& text) {
   std::istringstream is(text);
   return read_edge_list(is);
 }

@@ -5,7 +5,8 @@
 //   line 1:        "n <node_count>"
 //   following:     "<u> <v> <weight>" one edge per line
 // Comments start with '#'.  Ports are not serialized: they are the
-// adversary's choice and are re-assigned on load.
+// adversary's choice, so readers return a GraphBuilder for the caller (or
+// BuildContext::for_graph) to relabel and freeze.
 #ifndef RTR_GRAPH_GRAPH_IO_H
 #define RTR_GRAPH_GRAPH_IO_H
 
@@ -20,8 +21,8 @@ void write_edge_list(std::ostream& os, const Digraph& g);
 [[nodiscard]] std::string to_edge_list(const Digraph& g);
 
 /// Throws std::runtime_error on malformed input.
-[[nodiscard]] Digraph read_edge_list(std::istream& is);
-[[nodiscard]] Digraph from_edge_list(const std::string& text);
+[[nodiscard]] GraphBuilder read_edge_list(std::istream& is);
+[[nodiscard]] GraphBuilder from_edge_list(const std::string& text);
 
 }  // namespace rtr
 

@@ -165,7 +165,7 @@ Digraph load_digraph(SnapshotReader& r) {
     throw SnapshotTruncatedError(
         "snapshot: node count exceeds the remaining payload");
   }
-  Digraph g(n);
+  GraphBuilder builder(n);
   std::vector<Edge> edges;
   for (NodeId u = 0; u < n; ++u) {
     const std::uint32_t degree = r.u32();
@@ -183,14 +183,21 @@ Digraph load_digraph(SnapshotReader& r) {
       edges.push_back(e);
     }
     try {
-      g.add_edges_with_ports(u, edges);
+      builder.add_edges_with_ports(u, edges);
     } catch (const std::exception& e) {
       // Structurally invalid edge data that still passed the CRC: surface
       // it as a snapshot error, not a bare invalid_argument.
       throw SnapshotFormatError(std::string("snapshot: bad edge: ") + e.what());
     }
   }
-  return g;
+  try {
+    // freeze() preserves row order, so a loaded graph re-saves to the exact
+    // bytes it came from; its extra validation (parallel edges) is surfaced
+    // as a snapshot error like the per-edge checks above.
+    return builder.freeze();
+  } catch (const std::exception& e) {
+    throw SnapshotFormatError(std::string("snapshot: bad edge: ") + e.what());
+  }
 }
 
 namespace {

@@ -173,13 +173,14 @@ void register_builtin_schemes(SchemeRegistry& registry) {
                      ctx, *ctx.graph, *ctx.metric, ctx.names, opts);
                });
   registry.add("rtz3",
-               "Lemma 2 name-dependent stretch-3 substrate (option "
-               "greedy_centers)",
+               "Lemma 2 name-dependent stretch-3 substrate (options "
+               "greedy_centers, soa_dicts)",
                [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
                  check_complete(ctx, "rtz3");
                  Rtz3Scheme::Options opts;
                  opts.greedy_centers =
                      ctx.option_bool("greedy_centers", opts.greedy_centers);
+                 opts.soa_dicts = ctx.option_bool("soa_dicts", opts.soa_dicts);
                  return build_adapted<Rtz3Scheme>(
                      ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
                });

@@ -12,16 +12,17 @@ double unbounded_stretch() { return std::numeric_limits<double>::infinity(); }
 
 // ------------------------------------------------------------ BuildContext --
 
-BuildContext BuildContext::for_graph(Digraph g, std::uint64_t seed,
+BuildContext BuildContext::for_graph(GraphBuilder g, std::uint64_t seed,
                                      std::map<std::string, std::string> options) {
-  if (!is_strongly_connected(g)) {
-    throw std::runtime_error("BuildContext::for_graph: graph is not strongly connected");
-  }
   BuildContext ctx;
   ctx.rng = std::make_shared<Rng>(seed);
   g.assign_adversarial_ports(*ctx.rng);
-  ctx.names = NameAssignment::random(g.node_count(), *ctx.rng);
-  auto graph = std::make_shared<Digraph>(std::move(g));
+  Digraph frozen = g.freeze();
+  if (!is_strongly_connected(frozen)) {
+    throw std::runtime_error("BuildContext::for_graph: graph is not strongly connected");
+  }
+  ctx.names = NameAssignment::random(frozen.node_count(), *ctx.rng);
+  auto graph = std::make_shared<Digraph>(std::move(frozen));
   ctx.metric = std::make_shared<RoundtripMetric>(*graph);
   ctx.graph = std::move(graph);
   ctx.options = std::move(options);

@@ -265,10 +265,11 @@ struct BuildContext {
   std::shared_ptr<Rng> rng;  // preprocessing-time randomness
   std::map<std::string, std::string> options;  // scheme-specific knobs
 
-  /// Canonical experiment setup: assigns adversarial ports and names to `g`
-  /// with Rng(seed), computes the roundtrip metric, and leaves `rng` seeded
-  /// for the scheme build.  Throws if g is not strongly connected.
-  static BuildContext for_graph(Digraph g, std::uint64_t seed,
+  /// Canonical experiment setup: assigns adversarial ports on the builder
+  /// with Rng(seed), freezes it into the immutable CSR graph, assigns names,
+  /// computes the roundtrip metric, and leaves `rng` seeded for the scheme
+  /// build.  Throws if the graph is not strongly connected.
+  static BuildContext for_graph(GraphBuilder g, std::uint64_t seed,
                                 std::map<std::string, std::string> options = {});
 
   /// Wraps pre-built pieces (shared ownership; no mutation).

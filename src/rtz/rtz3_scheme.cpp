@@ -18,21 +18,30 @@ std::vector<char> mask_of(NodeId n, const std::vector<NodeId>& members) {
   return mask;
 }
 
-/// Binary search in a name-sorted flat table; nullptr when absent.
-template <typename V>
-const V* find_sorted(const std::vector<std::pair<NodeName, V>>& table,
-                     NodeName key) {
-  auto it = std::lower_bound(
-      table.begin(), table.end(), key,
-      [](const std::pair<NodeName, V>& p, NodeName k) { return p.first < k; });
-  return it != table.end() && it->first == key ? &it->second : nullptr;
+/// Snapshot helpers for NameDict: the on-disk encoding is the sorted
+/// (key, payload) sequence -- identical bytes for both in-memory layouts,
+/// and identical to the PR <= 4 vector-of-pairs encoding.
+template <typename V, typename SaveV>
+void save_dict(SnapshotWriter& w, const NameDict<V>& d, SaveV save_value) {
+  w.u64(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    w.i32(d.key_at(i));
+    save_value(w, d.value_at(i));
+  }
 }
 
-template <typename V>
-void sort_by_name(std::vector<std::pair<NodeName, V>>& table) {
-  std::sort(table.begin(), table.end(),
-            [](const std::pair<NodeName, V>& a,
-               const std::pair<NodeName, V>& b) { return a.first < b.first; });
+template <typename V, typename LoadV>
+NameDict<V> load_dict(SnapshotReader& r, LoadV load_value, bool soa) {
+  auto entries = r.template vec<std::pair<NodeName, V>>(
+      [&load_value](SnapshotReader& rr) {
+        const NodeName name = rr.i32();
+        return std::make_pair(name, load_value(rr));
+      },
+      8);
+  NameDict<V> d;
+  for (auto& [k, v] : entries) d.add(k, std::move(v));
+  d.finalize(soa);
+  return d;
 }
 
 }  // namespace
@@ -117,17 +126,17 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
     TreeRouter router(out);
     auto& own = tables_[static_cast<std::size_t>(v)];
     for (NodeId w : members) {
-      own.ball_out_label.emplace_back(names_.name_of(w), router.label(w));
+      own.ball_out_label.add(names_.name_of(w), router.label(w));
       auto& member = tables_[static_cast<std::size_t>(w)];
-      member.member_out_tab.emplace_back(root_name, router.table(w));
-      member.member_up_port.emplace_back(
-          root_name, in.next_port[static_cast<std::size_t>(w)]);
+      member.member_out_tab.add(root_name, router.table(w));
+      member.member_up_port.add(root_name,
+                                in.next_port[static_cast<std::size_t>(w)]);
     }
   }
   for (auto& t : tables_) {
-    sort_by_name(t.ball_out_label);
-    sort_by_name(t.member_out_tab);
-    sort_by_name(t.member_up_port);
+    t.ball_out_label.finalize(options.soa_dicts);
+    t.member_out_tab.finalize(options.soa_dicts);
+    t.member_up_port.finalize(options.soa_dicts);
   }
 }
 
@@ -136,12 +145,11 @@ LegStep Rtz3Scheme::start_leg(NodeId at, const RtzAddress& target,
   leg = LegHeader{};
   leg.target = target;
   if (names_.name_of(at) == target.name) return LegStep{true, kNoPort};
-  const auto& t = tables_[static_cast<std::size_t>(at)];
-  if (const TreeLabel* label = find_sorted(t.ball_out_label, target.name)) {
+  if (const TreeLabel* label = find_ball_label(at, target.name)) {
     leg.phase = LegPhase::kBallDown;
     leg.ball_root = names_.name_of(at);
     leg.ball_label = *label;
-  } else if (find_sorted(t.member_up_port, target.name) != nullptr) {
+  } else if (find_member_up_port(at, target.name) != nullptr) {
     leg.phase = LegPhase::kBallUp;
   } else {
     leg.phase = LegPhase::kCenterUp;
@@ -154,7 +162,7 @@ LegStep Rtz3Scheme::step_leg(NodeId at, LegHeader& leg) const {
   const NodeName at_name = names_.name_of(at);
   switch (leg.phase) {
     case LegPhase::kBallDown: {
-      const TreeNodeTable* tab = find_sorted(t.member_out_tab, leg.ball_root);
+      const TreeNodeTable* tab = find_member_table(at, leg.ball_root);
       if (tab == nullptr) {
         throw std::logic_error("rtz3: ball-down step left the ball");
       }
@@ -164,7 +172,7 @@ LegStep Rtz3Scheme::step_leg(NodeId at, LegHeader& leg) const {
     }
     case LegPhase::kBallUp: {
       if (at_name == leg.target.name) return LegStep{true, kNoPort};
-      const Port* up = find_sorted(t.member_up_port, leg.target.name);
+      const Port* up = find_member_up_port(at, leg.target.name);
       if (up == nullptr) {
         throw std::logic_error("rtz3: ball-up step left the ball");
       }
@@ -260,10 +268,10 @@ TableStats Rtz3Scheme::table_stats() const {
     bits += static_cast<std::int64_t>(t.center_up_port.size()) * port_bits;
     entries += static_cast<std::int64_t>(t.center_tree_tab.size());
     bits += static_cast<std::int64_t>(t.center_tree_tab.size()) * (id_bits + port_bits);
-    for (const auto& [name, label] : t.ball_out_label) {
-      (void)name;
+    for (std::size_t i = 0; i < t.ball_out_label.size(); ++i) {
       ++entries;
-      bits += id_bits + tree_label_bits(label, node_space_, port_space_);
+      bits += id_bits + tree_label_bits(t.ball_out_label.value_at(i),
+                                        node_space_, port_space_);
     }
     entries += static_cast<std::int64_t>(t.member_out_tab.size());
     bits += static_cast<std::int64_t>(t.member_out_tab.size()) *
@@ -330,21 +338,10 @@ void Rtz3Scheme::save(SnapshotWriter& w) const {
   for (const NodeTables& t : tables_) {
     w.vec_i32(t.center_up_port);
     w.vec(t.center_tree_tab, save_tree_node_table);
-    w.vec(t.ball_out_label,
-          [](SnapshotWriter& ww, const std::pair<NodeName, TreeLabel>& e) {
-            ww.i32(e.first);
-            save_tree_label(ww, e.second);
-          });
-    w.vec(t.member_out_tab,
-          [](SnapshotWriter& ww, const std::pair<NodeName, TreeNodeTable>& e) {
-            ww.i32(e.first);
-            save_tree_node_table(ww, e.second);
-          });
-    w.vec(t.member_up_port,
-          [](SnapshotWriter& ww, const std::pair<NodeName, Port>& e) {
-            ww.i32(e.first);
-            ww.i32(e.second);
-          });
+    save_dict(w, t.ball_out_label, save_tree_label);
+    save_dict(w, t.member_out_tab, save_tree_node_table);
+    save_dict(w, t.member_up_port,
+              [](SnapshotWriter& ww, const Port& p) { ww.i32(p); });
   }
   w.i32(resamples_used_);
   w.i64(node_space_);
@@ -365,25 +362,12 @@ Rtz3Scheme::Rtz3Scheme(SnapshotReader& r, const Digraph& g)
     NodeTables t;
     t.center_up_port = r.vec_i32();
     t.center_tree_tab = r.vec<TreeNodeTable>(load_tree_node_table, 8);
-    t.ball_out_label = r.vec<std::pair<NodeName, TreeLabel>>(
-        [](SnapshotReader& rr) {
-          const NodeName name = rr.i32();
-          return std::make_pair(name, load_tree_label(rr));
-        },
-        8);
-    t.member_out_tab = r.vec<std::pair<NodeName, TreeNodeTable>>(
-        [](SnapshotReader& rr) {
-          const NodeName name = rr.i32();
-          return std::make_pair(name, load_tree_node_table(rr));
-        },
-        8);
-    t.member_up_port = r.vec<std::pair<NodeName, Port>>(
-        [](SnapshotReader& rr) {
-          const NodeName name = rr.i32();
-          const Port port = rr.i32();
-          return std::make_pair(name, port);
-        },
-        8);
+    // Rehydrated tables use the default (SoA) layout; the on-disk encoding
+    // is layout-independent, so resaves stay byte-identical.
+    t.ball_out_label = load_dict<TreeLabel>(r, load_tree_label, true);
+    t.member_out_tab = load_dict<TreeNodeTable>(r, load_tree_node_table, true);
+    t.member_up_port = load_dict<Port>(
+        r, [](SnapshotReader& rr) -> Port { return rr.i32(); }, true);
     tables_.push_back(std::move(t));
   }
   resamples_used_ = r.i32();

@@ -28,6 +28,8 @@
 #ifndef RTR_RTZ_RTZ3_SCHEME_H
 #define RTR_RTZ_RTZ3_SCHEME_H
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -41,6 +43,79 @@
 #include "treeroute/tree_router.h"
 
 namespace rtr {
+
+/// A small per-node dictionary keyed by NodeName, with BOTH lookup layouts
+/// in the binary so the bench harness re-measures one against the other on
+/// every run (hot_path_deltas):
+///
+///   * SoA (the default): keys packed in their own contiguous sorted vector,
+///     payloads in a parallel vector.  A binary-search probe touches 4-byte
+///     keys only -- ~16 keys per cache line instead of one pair per line for
+///     fat payloads (TreeLabel is 32+ bytes) -- which is what cuts the
+///     per-hop misses the profile shows: every forwarding hop lands on a
+///     DIFFERENT node's tables, so the searched lines are almost never
+///     resident.
+///   * AoS (the reference layout, PR <= 4): one sorted vector of
+///     (key, payload) pairs, binary-searched whole.
+///
+/// Only the layout chosen at finalize() is materialized; lookup results are
+/// identical by construction (same sorted order, same lower_bound).
+template <typename V>
+class NameDict {
+ public:
+  /// Appends an entry; call finalize() once after the last add().
+  void add(NodeName key, V value) { aos_.emplace_back(key, std::move(value)); }
+
+  /// Sorts by key and packs into the requested layout.
+  void finalize(bool soa) {
+    std::sort(aos_.begin(), aos_.end(),
+              [](const std::pair<NodeName, V>& a,
+                 const std::pair<NodeName, V>& b) { return a.first < b.first; });
+    soa_ = soa;
+    if (soa_) {
+      keys_.reserve(aos_.size());
+      values_.reserve(aos_.size());
+      for (auto& [k, v] : aos_) {
+        keys_.push_back(k);
+        values_.push_back(std::move(v));
+      }
+      aos_.clear();
+      aos_.shrink_to_fit();
+    }
+  }
+
+  /// Binary search; nullptr when absent.
+  [[nodiscard]] const V* find(NodeName key) const {
+    if (soa_) {
+      const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+      if (it == keys_.end() || *it != key) return nullptr;
+      return &values_[static_cast<std::size_t>(it - keys_.begin())];
+    }
+    const auto it = std::lower_bound(
+        aos_.begin(), aos_.end(), key,
+        [](const std::pair<NodeName, V>& p, NodeName k) { return p.first < k; });
+    return it != aos_.end() && it->first == key ? &it->second : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return soa_ ? keys_.size() : aos_.size();
+  }
+  /// Entry access in sorted-key order (snapshot encode, table accounting);
+  /// identical sequence for both layouts, so snapshot bytes never depend on
+  /// the layout flag.
+  [[nodiscard]] NodeName key_at(std::size_t i) const {
+    return soa_ ? keys_[i] : aos_[i].first;
+  }
+  [[nodiscard]] const V& value_at(std::size_t i) const {
+    return soa_ ? values_[i] : aos_[i].second;
+  }
+
+ private:
+  std::vector<std::pair<NodeName, V>> aos_;  // staging + AoS layout
+  std::vector<NodeName> keys_;               // SoA layout
+  std::vector<V> values_;
+  bool soa_ = true;
+};
 
 /// The topology-dependent address R3(v).
 struct RtzAddress {
@@ -84,6 +159,10 @@ class Rtz3Scheme {
     double size_slack = 6.0;
     /// Use the deterministic greedy hitting set instead of sampling.
     bool greedy_centers = false;
+    /// Pack the per-node dictionaries structure-of-arrays (keys separate
+    /// from payloads).  false keeps the PR <= 4 array-of-pairs layout; both
+    /// live in the binary so the bench harness re-measures the delta.
+    bool soa_dicts = true;
   };
 
   Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
@@ -119,6 +198,26 @@ class Rtz3Scheme {
   [[nodiscard]] std::int64_t leg_header_bits(const LegHeader& leg) const;
   [[nodiscard]] std::int64_t address_bits(const RtzAddress& a) const;
 
+  // -- per-node dictionary probes (the per-hop hot lookups) -----------------
+  // Exposed so the bench harness can drive the exact forwarding-time lookup
+  // against both dictionary layouts; start_leg/step_leg route through these.
+
+  /// target's label in at's own ball out-tree, or nullptr (case 1 probe).
+  [[nodiscard]] const TreeLabel* find_ball_label(NodeId at,
+                                                 NodeName target) const {
+    return tables_[static_cast<std::size_t>(at)].ball_out_label.find(target);
+  }
+  /// at's up-port in root's ball in-tree, or nullptr (case 2 probe).
+  [[nodiscard]] const Port* find_member_up_port(NodeId at,
+                                                NodeName root) const {
+    return tables_[static_cast<std::size_t>(at)].member_up_port.find(root);
+  }
+  /// at's table in root's ball out-tree, or nullptr (ball descent).
+  [[nodiscard]] const TreeNodeTable* find_member_table(NodeId at,
+                                                       NodeName root) const {
+    return tables_[static_cast<std::size_t>(at)].member_out_tab.find(root);
+  }
+
   // -- standalone name-dependent roundtrip scheme ---------------------------
 
   enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
@@ -151,14 +250,15 @@ class Rtz3Scheme {
     // Global center structures: indexed by center index.
     std::vector<Port> center_up_port;            // next hop toward center
     std::vector<TreeNodeTable> center_tree_tab;  // this node in OutTree(a)
-    // Associative tables as flat vectors sorted by name (binary-searched):
+    // Associative tables as flat name-sorted dictionaries (binary-searched):
     // ball and cluster memberships are O~(sqrt n) small, so flat beats
     // hashing on memory, on cache behavior, and on snapshot decode time.
+    // The dictionaries default to the SoA layout (see NameDict).
     // Own ball: labels of members in this node's ball out-tree.
-    std::vector<std::pair<NodeName, TreeLabel>> ball_out_label;
+    NameDict<TreeLabel> ball_out_label;
     // Per ball containing this node (keyed by the ball root's name).
-    std::vector<std::pair<NodeName, TreeNodeTable>> member_out_tab;
-    std::vector<std::pair<NodeName, Port>> member_up_port;
+    NameDict<TreeNodeTable> member_out_tab;
+    NameDict<Port> member_up_port;
   };
 
   [[nodiscard]] NodeId id_of(NodeName v) const { return names_.id_of(v); }

@@ -52,16 +52,17 @@ SpannerResult extract_roundtrip_spanner(const Digraph& g,
   }
 
   SpannerResult result;
-  result.subgraph = Digraph(n);
+  GraphBuilder subgraph(n);
   for (const auto& [u, v] : edges) {
     // Weight from the original graph (unique edge u->v).
     for (const Edge& e : g.out_edges(u)) {
       if (e.to == v) {
-        result.subgraph.add_edge(u, v, e.weight);
+        subgraph.add_edge(u, v, e.weight);
         break;
       }
     }
   }
+  result.subgraph = subgraph.freeze();
   result.edges = result.subgraph.edge_count();
   result.stretch_bound = 4.0 * (2 * hierarchy.k() - 1);
 

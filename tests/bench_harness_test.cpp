@@ -206,6 +206,38 @@ TEST(BenchHarness, GateSkipsQpsWhenHostsDiffer) {
   EXPECT_EQ(armed.size(), 2u);
 }
 
+TEST(BenchHarness, GateSkipsQpsWhenThreadCountsDiffer) {
+  // Same CPU model but a different configured thread count: throughput is
+  // not comparable, so the qps check disarms with a note.
+  const auto with_host = [](Json doc, std::int64_t threads) {
+    Json host{JsonObject{}};
+    host.set("cpu", "cpu-model-a");
+    host.set("threads_configured", threads);
+    doc.set("host", host);
+    return doc;
+  };
+  const Json base = with_host(doc_with_cell(1000.0, 1.5, 0), 8);
+  const Json cur = with_host(doc_with_cell(100.0, 1.5, 0), 1);  // -90% qps
+  std::vector<std::string> notes;
+  EXPECT_TRUE(compare_to_baseline(base, cur, {}, &notes).empty());
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].find("threads_configured"), std::string::npos);
+
+  // Matching counts arm the gate.
+  EXPECT_EQ(compare_to_baseline(base, with_host(doc_with_cell(100.0, 1.5, 0), 8))
+                .size(),
+            1u);
+  // An unstamped (pre-stamp) document means the old fixed default,
+  // threads=1: armed against a stamped threads=1 run, skipped against 8.
+  Json unstamped = doc_with_cell(100.0, 1.5, 0);
+  Json cpu_only{JsonObject{}};
+  cpu_only.set("cpu", "cpu-model-a");
+  unstamped.set("host", cpu_only);
+  EXPECT_TRUE(compare_to_baseline(base, unstamped).empty());
+  const Json base1 = with_host(doc_with_cell(1000.0, 1.5, 0), 1);
+  EXPECT_EQ(compare_to_baseline(base1, unstamped).size(), 1u);
+}
+
 TEST(BenchHarness, GateEnforcesHotPathDeltaFloor) {
   const Json base = doc_with_cell(1000.0, 1.5, 0);
   Json cur = doc_with_cell(1000.0, 1.5, 0);
@@ -225,6 +257,71 @@ TEST(BenchHarness, GateEnforcesHotPathDeltaFloor) {
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_NE(violations[0].find("below the"), std::string::npos);
   EXPECT_TRUE(compare_to_baseline(base, cur).empty());  // default floor: 0
+}
+
+// Synthetic full-sweep document for the growth gate: one scheme/family
+// series across sizes with given bytes/node and build_ms columns.
+Json doc_with_series(const std::string& scheme,
+                     const std::vector<NodeId>& sizes,
+                     const std::vector<double>& bytes_per_node,
+                     const std::vector<double>& build_ms) {
+  JsonArray cells;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    CellResult c;
+    c.scheme = scheme;
+    c.family = "random";
+    c.n = sizes[i];
+    c.qps = 1000.0;
+    c.bytes_per_node = bytes_per_node[i];
+    c.build_ms = build_ms[i];
+    cells.push_back(cell_to_json(c));
+  }
+  Json doc{JsonObject{}};
+  doc.set("schema", kSchemaVersion);
+  doc.set("cells", std::move(cells));
+  return doc;
+}
+
+TEST(BenchHarness, GrowthGatePassesOnSqrtNShapedSeries) {
+  // bytes/node tracking ~sqrt(n) and build_ms tracking ~n sqrt(n) exactly.
+  const Json doc = doc_with_series("rtz3", {256, 1024, 4096},
+                                   {160.0, 320.0, 640.0},
+                                   {50.0, 400.0, 3200.0});
+  EXPECT_TRUE(check_growth_budgets(doc).empty());
+}
+
+TEST(BenchHarness, GrowthGateFailsOnLinearTableGrowth) {
+  // bytes/node quadrupling per 4x size step is Theta(n)/node: a regression
+  // for a sqrt-n scheme.
+  const Json doc = doc_with_series("stretch6", {256, 1024, 4096},
+                                   {160.0, 640.0, 2560.0},
+                                   {50.0, 400.0, 3200.0});
+  const auto violations = check_growth_budgets(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("bytes/node grew"), std::string::npos);
+}
+
+TEST(BenchHarness, GrowthGateFailsOnSuperbudgetBuildTime) {
+  // ~n^2.5 build growth (32x per 4x step) blows the n sqrt(n) budget even
+  // with the generous timing slack.
+  const Json doc = doc_with_series("rtz3", {256, 1024, 4096},
+                                   {160.0, 320.0, 640.0},
+                                   {50.0, 1600.0, 51200.0});
+  const auto violations = check_growth_budgets(doc);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("build_ms grew"), std::string::npos);
+}
+
+TEST(BenchHarness, GrowthGateIgnoresUngatedSchemesAndTinyTimings) {
+  // fulltable is Theta(n)-per-node by design: not gated.
+  const Json linear_fulltable = doc_with_series(
+      "fulltable", {256, 1024}, {1000.0, 4000.0}, {50.0, 800.0});
+  EXPECT_TRUE(check_growth_budgets(linear_fulltable).empty());
+  // Sub-threshold build_ms cells are timing noise: not gated (bytes still
+  // are, but this series' bytes are in budget).
+  const Json tiny = doc_with_series("rtz3", {256, 1024},
+                                    {160.0, 320.0}, {0.5, 4.9});
+  EXPECT_TRUE(check_growth_budgets(tiny).empty());
 }
 
 // ----------------------------------------------------------------- timing --

@@ -3,12 +3,16 @@
 // claims to change -- edges, weights, ports.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <tuple>
+#include <vector>
 
 #include "graph/churn.h"
 #include "graph/generators.h"
 #include "graph/scc.h"
+#include "io/snapshot.h"
+#include "io/snapshot_format.h"
 #include "test_support.h"
 
 namespace rtr {
@@ -25,7 +29,7 @@ std::multiset<std::tuple<NodeId, NodeId, Weight>> edge_multiset(
 
 TEST(Churn, EveryEpochIsStronglyConnectedWithTheSameNodeSet) {
   Rng rng(31);
-  Digraph g = random_strongly_connected(80, 4.0, 6, rng);
+  Digraph g = random_strongly_connected(80, 4.0, 6, rng).freeze();
   ChurnOptions opt;
   opt.rehome_nodes = 4;
   for (int epoch = 0; epoch < 6; ++epoch) {
@@ -37,14 +41,14 @@ TEST(Churn, EveryEpochIsStronglyConnectedWithTheSameNodeSet) {
 
 TEST(Churn, TopologyActuallyChanges) {
   Rng rng(32);
-  Digraph g = random_strongly_connected(60, 4.0, 6, rng);
+  Digraph g = random_strongly_connected(60, 4.0, 6, rng).freeze();
   Digraph next = churn_step(g, ChurnOptions{}, rng);
   EXPECT_NE(edge_multiset(g), edge_multiset(next));
 }
 
 TEST(Churn, ZeroedKnobsPreserveTheEdgeSetButRelabelPorts) {
   Rng rng(33);
-  Digraph g = random_strongly_connected(40, 3.0, 5, rng);
+  Digraph g = random_strongly_connected(40, 3.0, 5, rng).freeze();
   ChurnOptions opt;
   opt.rewire_fraction = 0;
   opt.perturb_fraction = 0;
@@ -66,8 +70,9 @@ TEST(Churn, ZeroedKnobsPreserveTheEdgeSetButRelabelPorts) {
 
 TEST(Churn, PortStableModePreservesSurvivingPorts) {
   Rng rng(37);
-  Digraph g = random_strongly_connected(40, 3.0, 5, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder builder = random_strongly_connected(40, 3.0, 5, rng);
+  builder.assign_adversarial_ports(rng);
+  Digraph g = builder.freeze();
   ChurnOptions opt;
   opt.rewire_fraction = 0;
   opt.perturb_fraction = 0.5;  // weight changes must not move ports
@@ -89,7 +94,7 @@ TEST(Churn, PortStableModePreservesSurvivingPorts) {
 
 TEST(Churn, RehomedNodesKeepTheirIdsButLoseTheirAdjacency) {
   Rng rng(34);
-  Digraph g = random_strongly_connected(50, 5.0, 4, rng);
+  Digraph g = random_strongly_connected(50, 5.0, 4, rng).freeze();
   ChurnOptions opt;
   opt.rewire_fraction = 0;
   opt.perturb_fraction = 0;
@@ -102,7 +107,7 @@ TEST(Churn, RehomedNodesKeepTheirIdsButLoseTheirAdjacency) {
 
 TEST(Churn, SelfLoopAndDuplicateFree) {
   Rng rng(35);
-  Digraph g = random_strongly_connected(40, 4.0, 4, rng);
+  Digraph g = random_strongly_connected(40, 4.0, 4, rng).freeze();
   ChurnOptions opt;
   opt.rewire_fraction = 0.5;
   opt.rehome_nodes = 8;
@@ -116,6 +121,71 @@ TEST(Churn, SelfLoopAndDuplicateFree) {
         EXPECT_TRUE(heads.insert(e.to).second) << "duplicate edge at " << u;
       }
     }
+  }
+}
+
+std::vector<std::uint8_t> graph_bytes(const Digraph& g) {
+  SnapshotWriter w;
+  save_digraph(w, g);
+  return w.bytes();
+}
+
+// Builder/freeze round-trips must be loss-free at the byte level: thawing a
+// frozen graph and freezing it again reproduces the identical snapshot
+// encoding (row order and ports included), and a port-stable churn epoch
+// with every mutation knob zeroed is the identity on those bytes.  This is
+// what lets EpochManager's warm-start cache validate a snapshot against the
+// epoch's exact topology across builder/freeze cycles.
+TEST(Churn, FreezeRoundTripsAreSnapshotByteIdentical) {
+  Rng rng(40);
+  GraphBuilder builder = random_strongly_connected(50, 4.0, 5, rng);
+  builder.assign_adversarial_ports(rng);
+  const Digraph g = builder.freeze();
+  const auto bytes = graph_bytes(g);
+
+  // Thaw -> freeze is the identity.
+  EXPECT_EQ(graph_bytes(GraphBuilder(g).freeze()), bytes);
+
+  // A zero-mutation, port-stable churn epoch is the identity too.
+  ChurnOptions opt;
+  opt.rewire_fraction = 0;
+  opt.perturb_fraction = 0;
+  opt.rehome_nodes = 0;
+  opt.reassign_ports = false;
+  const Digraph next = churn_step(g, opt, rng);
+  EXPECT_EQ(graph_bytes(next), bytes);
+
+  // And the snapshot loader rebuilds the same bytes from them.
+  SnapshotReader r(bytes.data(), bytes.size());
+  const Digraph loaded = load_digraph(r);
+  EXPECT_EQ(graph_bytes(loaded), bytes);
+}
+
+TEST(Churn, PortStableEpochChainStaysByteStableOnSurvivors) {
+  // Across several port-stable epochs with weight perturbation only, the
+  // edge set (and therefore every surviving port) is preserved, so the only
+  // byte differences come from re-drawn weights.
+  Rng rng(41);
+  GraphBuilder builder = random_strongly_connected(40, 3.0, 5, rng);
+  builder.assign_adversarial_ports(rng);
+  Digraph g = builder.freeze();
+  ChurnOptions opt;
+  opt.rewire_fraction = 0;
+  opt.perturb_fraction = 0.5;
+  opt.rehome_nodes = 0;
+  opt.reassign_ports = false;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const Digraph next = churn_step(g, opt, rng);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      const auto before = g.out_edges(u);
+      const auto after = next.out_edges(u);
+      ASSERT_EQ(before.size(), after.size());
+      for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(before[i].to, after[i].to);
+        EXPECT_EQ(before[i].port, after[i].port);
+      }
+    }
+    g = next;
   }
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/apsp.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
@@ -9,9 +11,9 @@
 namespace rtr {
 namespace {
 
-Digraph diamond() {
+GraphBuilder diamond_builder() {
   // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 0; the 0->2->3 route is cheaper.
-  Digraph g(4);
+  GraphBuilder g(4);
   g.add_edge(0, 1, 10);
   g.add_edge(1, 3, 10);
   g.add_edge(0, 2, 3);
@@ -19,6 +21,8 @@ Digraph diamond() {
   g.add_edge(3, 0, 1);
   return g;
 }
+
+Digraph diamond() { return diamond_builder().freeze(); }
 
 TEST(Dijkstra, DistancesOnDiamond) {
   auto d = dijkstra_distances(diamond(), 0);
@@ -40,8 +44,9 @@ TEST(Dijkstra, OutTreeParentsFollowShortestPaths) {
 
 TEST(Dijkstra, OutTreePortsMatchGraphEdges) {
   Rng rng(3);
-  Digraph g = diamond();
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = diamond_builder();
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   OutTree t = dijkstra_out_tree(g, 0);
   for (NodeId v = 1; v < 4; ++v) {
     const Edge* e = g.edge_by_port(t.parent[static_cast<std::size_t>(v)],
@@ -53,8 +58,9 @@ TEST(Dijkstra, OutTreePortsMatchGraphEdges) {
 
 TEST(Dijkstra, InTreeNextHopsReachRootWithExactDistance) {
   Rng rng(4);
-  Digraph g = random_strongly_connected(60, 3.0, 9, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = random_strongly_connected(60, 3.0, 9, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   Digraph rev = g.reversed();
   InTree t = dijkstra_in_tree(g, rev, 7);
   for (NodeId v = 0; v < 60; ++v) {
@@ -81,13 +87,14 @@ TEST(Dijkstra, InTreeNextHopsReachRootWithExactDistance) {
 TEST(Dijkstra, RestrictedTreeIgnoresOutsiders) {
   // Path 0 <-> 1 <-> 2, plus a shortcut 0 -> 3 -> 2 that is cheaper but
   // goes through a non-member.
-  Digraph g(4);
-  g.add_edge(0, 1, 5);
-  g.add_edge(1, 0, 5);
-  g.add_edge(1, 2, 5);
-  g.add_edge(2, 1, 5);
-  g.add_edge(0, 3, 1);
-  g.add_edge(3, 2, 1);
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 0, 5);
+  b.add_edge(1, 2, 5);
+  b.add_edge(2, 1, 5);
+  b.add_edge(0, 3, 1);
+  b.add_edge(3, 2, 1);
+  const Digraph g = b.freeze();
   std::vector<char> mask = {1, 1, 1, 0};
   OutTree t = dijkstra_out_tree_within(g, 0, mask);
   EXPECT_EQ(t.dist[2], 10);  // must take the member-only route
@@ -97,21 +104,22 @@ TEST(Dijkstra, RestrictedTreeIgnoresOutsiders) {
 }
 
 TEST(Dijkstra, RestrictedSourceMustBeMember) {
-  Digraph g(2);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 0, 1);
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 0, 1);
+  const Digraph g = b.freeze();
   std::vector<char> mask = {0, 1};
   EXPECT_THROW(dijkstra_out_tree_within(g, 0, mask), std::invalid_argument);
 }
 
-// The arena fast paths (workspace reuse, CSR adjacency, Dial bucket queue)
-// must return bit-identical distances to the seed implementation, preserved
-// as dijkstra_distances_reference, on every generator family.
+// The arena fast paths (workspace reuse, the frozen graph's flat-arc CSR,
+// Dial bucket queue) must return bit-identical distances to the seed
+// implementation, preserved as dijkstra_distances_reference, on every
+// generator family.
 TEST(Dijkstra, ArenaPathsBitIdenticalToReferenceOnAllFamilies) {
   for (const Family family : all_families()) {
     Rng rng(17 + static_cast<std::uint64_t>(family));
-    Digraph g = make_family(family, 72, 9, rng);
-    CsrAdjacency csr(g);
+    const Digraph g = make_family(family, 72, 9, rng).freeze();
     DijkstraWorkspace ws;  // one workspace across sources: reuse is the point
     std::vector<Dist> row(static_cast<std::size_t>(g.node_count()));
     for (NodeId src = 0; src < g.node_count(); src += 7) {
@@ -119,23 +127,22 @@ TEST(Dijkstra, ArenaPathsBitIdenticalToReferenceOnAllFamilies) {
       EXPECT_EQ(dijkstra_distances(g, src), ref) << family_name(family);
       dijkstra_distances_into(g, src, ws);
       EXPECT_EQ(ws.dist, ref) << family_name(family);
-      dijkstra_distances_into(csr, src, ws, row);
-      EXPECT_EQ(row, ref) << family_name(family) << " (csr/dial)";
+      dijkstra_distances_into(g, src, ws, row);
+      EXPECT_EQ(row, ref) << family_name(family) << " (dial)";
     }
   }
 }
 
-TEST(Dijkstra, CsrPathFallsBackToHeapOnHugeWeightsBitIdentically) {
+TEST(Dijkstra, ArenaPathFallsBackToHeapOnHugeWeightsBitIdentically) {
   // Weights above the Dial threshold exercise the binary-heap branch of the
-  // CSR runner; distances must still match the reference.
+  // flat-arc runner; distances must still match the reference.
   Rng rng(5);
-  Digraph g = random_strongly_connected(60, 3.0, 100000, rng);
-  CsrAdjacency csr(g);
-  ASSERT_GT(csr.max_weight(), 64);
+  const Digraph g = random_strongly_connected(60, 3.0, 100000, rng).freeze();
+  ASSERT_GT(g.max_weight(), 64);
   DijkstraWorkspace ws;
   std::vector<Dist> row(static_cast<std::size_t>(g.node_count()));
   for (NodeId src = 0; src < g.node_count(); ++src) {
-    dijkstra_distances_into(csr, src, ws, row);
+    dijkstra_distances_into(g, src, ws, row);
     EXPECT_EQ(row, dijkstra_distances_reference(g, src));
   }
 }
@@ -144,8 +151,9 @@ TEST(Dijkstra, WorkspaceTreesMatchTheSeedTreeShapes) {
   // Tree runs share the workspace heap buffer but must keep the seed's exact
   // tie-breaks (parents included), since routing tables are built from them.
   Rng rng(11);
-  Digraph g = random_strongly_connected(80, 3.0, 7, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = random_strongly_connected(80, 3.0, 7, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   const Digraph rev = g.reversed();
   DijkstraWorkspace ws;
   for (NodeId root : {0, 13, 42}) {
@@ -165,7 +173,7 @@ TEST(Dijkstra, WorkspaceTreesMatchTheSeedTreeShapes) {
 TEST(Apsp, MatchesFloydWarshallOnRandomGraphs) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
     Rng rng(seed);
-    Digraph g = random_strongly_connected(40, 3.0, 12, rng);
+    const Digraph g = random_strongly_connected(40, 3.0, 12, rng).freeze();
     DistMatrix a = all_pairs_shortest_paths(g);
     DistMatrix b = floyd_warshall(g);
     for (NodeId u = 0; u < 40; ++u) {
@@ -177,8 +185,9 @@ TEST(Apsp, MatchesFloydWarshallOnRandomGraphs) {
 }
 
 TEST(Apsp, UnreachablePairsAreInfinite) {
-  Digraph g(3);
-  g.add_edge(0, 1, 1);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  const Digraph g = b.freeze();
   DistMatrix m = all_pairs_shortest_paths(g);
   EXPECT_EQ(m.at(0, 1), 1);
   EXPECT_EQ(m.at(1, 0), kInfDist);
@@ -186,9 +195,51 @@ TEST(Apsp, UnreachablePairsAreInfinite) {
   EXPECT_EQ(m.at(2, 2), 0);
 }
 
+// Parallel APSP must be bit-identical to the serial arena for every thread
+// count (rows are independent; each row is computed by the same routine no
+// matter which worker claims it).  This test also runs under the TSAN CI
+// job, which checks the pool's synchronization (ticket + join) for races.
+TEST(ApspParallel, BitIdenticalToSerialForAnyThreadCount) {
+  for (const Family family : {Family::kRandom, Family::kRing}) {
+    Rng rng(23 + static_cast<std::uint64_t>(family));
+    const Digraph g = make_family(family, 96, 6, rng).freeze();
+    const DistMatrix serial = all_pairs_shortest_paths_serial(g);
+    for (const int threads : {1, 2, 3, 8}) {
+      const DistMatrix parallel = all_pairs_shortest_paths(g, threads);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (NodeId u = 0; u < g.node_count(); ++u) {
+        const auto srow = serial.row(u);
+        const auto prow = parallel.row(u);
+        ASSERT_TRUE(std::equal(srow.begin(), srow.end(), prow.begin()))
+            << family_name(family) << " threads=" << threads << " row " << u;
+      }
+    }
+  }
+}
+
+TEST(ApspParallel, MoreThreadsThanSourcesIsFine) {
+  Rng rng(29);
+  const Digraph g = ring_with_chords(5, 0, 1, rng).freeze();
+  const DistMatrix serial = all_pairs_shortest_paths_serial(g);
+  const DistMatrix wide = all_pairs_shortest_paths(g, 64);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto srow = serial.row(u);
+    const auto wrow = wide.row(u);
+    EXPECT_TRUE(std::equal(srow.begin(), srow.end(), wrow.begin()));
+  }
+}
+
+TEST(ApspParallel, DefaultThreadsAreConfigurable) {
+  set_default_apsp_threads(3);
+  EXPECT_EQ(resolve_apsp_threads(0), 3);
+  EXPECT_EQ(resolve_apsp_threads(5), 5);
+  set_default_apsp_threads(0);
+  EXPECT_GE(resolve_apsp_threads(0), 1);
+}
+
 TEST(Apsp, AsymmetryOnOneWayRing) {
   Rng rng(5);
-  Digraph g = ring_with_chords(10, 0, 1, rng);
+  const Digraph g = ring_with_chords(10, 0, 1, rng).freeze();
   DistMatrix m = all_pairs_shortest_paths(g);
   // Going "forward" one step costs w(0,1); going back costs the rest of the
   // ring.  With unit weights d(0,1)=1 and d(1,0)=9.

@@ -71,13 +71,14 @@ TEST(DoubleTree, RejectsCenterOutsideMembers) {
 TEST(DoubleTree, RejectsDisconnectedMembers) {
   // 0 <-> 1 ... and an unrelated pair; the induced subgraph on {0, 3} is not
   // strongly connected.
-  Digraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 0, 1);
-  g.add_edge(2, 3, 1);
-  g.add_edge(3, 2, 1);
-  g.add_edge(1, 2, 1);
-  g.add_edge(2, 1, 1);
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 0, 1);
+  b.add_edge(2, 3, 1);
+  b.add_edge(3, 2, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 1, 1);
+  const Digraph g = b.freeze();
   const Digraph rev = g.reversed();
   EXPECT_THROW(DoubleTree(g, rev, 0, {0, 3}), std::invalid_argument);
 }

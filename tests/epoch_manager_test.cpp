@@ -31,9 +31,9 @@ namespace {
 
 Digraph initial_graph(NodeId n, std::uint64_t seed) {
   Rng rng(seed);
-  Digraph g = random_strongly_connected(n, 4.0, 5, rng);
+  GraphBuilder g = random_strongly_connected(n, 4.0, 5, rng);
   g.assign_adversarial_ports(rng);
-  return g;
+  return g.freeze();
 }
 
 NameAssignment fixed_names(NodeId n, std::uint64_t seed) {
@@ -136,9 +136,9 @@ TEST(EpochManager, FailedRebuildLeavesTheCurrentEpochServing) {
   EpochManager mgr("stretch6", fixed_names(n, 15), initial_graph(n, 16));
   // A disconnected next topology cannot be preprocessed (no APSP): the
   // rebuild fails, the error is readable, epoch 0 keeps serving.
-  Digraph disconnected(n);
+  GraphBuilder disconnected(n);
   disconnected.add_edge(0, 1, 1);
-  ASSERT_TRUE(mgr.begin_rebuild(std::move(disconnected)));
+  ASSERT_TRUE(mgr.begin_rebuild(disconnected.freeze()));
   mgr.wait_for_rebuild();
   EXPECT_NE(mgr.last_error(), "");
   EXPECT_EQ(mgr.epoch(), 0u);

@@ -47,9 +47,10 @@ TEST(FullTable, TablesAreLinear) {
 }
 
 TEST(FullTable, RejectsNonStronglyConnected) {
-  Digraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 1);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const Digraph g = b.freeze();
   auto names = NameAssignment::identity(3);
   EXPECT_THROW(FullTableScheme(g, names), std::invalid_argument);
 }

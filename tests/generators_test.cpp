@@ -13,7 +13,7 @@ namespace {
 
 TEST(Generators, RandomHasRequestedDensity) {
   Rng rng(1);
-  Digraph g = random_strongly_connected(200, 4.0, 10, rng);
+  Digraph g = random_strongly_connected(200, 4.0, 10, rng).freeze();
   EXPECT_TRUE(is_strongly_connected(g));
   EXPECT_GE(g.edge_count(), 200);                 // at least the backbone
   EXPECT_LE(g.edge_count(), 4 * 200 + 8);         // no overshoot
@@ -22,7 +22,7 @@ TEST(Generators, RandomHasRequestedDensity) {
 
 TEST(Generators, WeightsWithinRange) {
   Rng rng(2);
-  Digraph g = random_strongly_connected(100, 3.0, 7, rng);
+  Digraph g = random_strongly_connected(100, 3.0, 7, rng).freeze();
   for (NodeId u = 0; u < 100; ++u) {
     for (const Edge& e : g.out_edges(u)) {
       EXPECT_GE(e.weight, 1);
@@ -33,7 +33,7 @@ TEST(Generators, WeightsWithinRange) {
 
 TEST(Generators, GridDimensionsRoundedToEven) {
   Rng rng(3);
-  Digraph g = one_way_grid(5, 5, 4, rng);  // becomes 6x6
+  Digraph g = one_way_grid(5, 5, 4, rng).freeze();  // becomes 6x6
   EXPECT_EQ(g.node_count(), 36);
   EXPECT_TRUE(is_strongly_connected(g));
 }
@@ -41,21 +41,21 @@ TEST(Generators, GridDimensionsRoundedToEven) {
 TEST(Generators, GridIsStronglyConnectedAcrossSizes) {
   Rng rng(4);
   for (NodeId side : {2, 4, 8, 10}) {
-    Digraph g = one_way_grid(side, side, 3, rng);
+    Digraph g = one_way_grid(side, side, 3, rng).freeze();
     EXPECT_TRUE(is_strongly_connected(g)) << side;
   }
 }
 
 TEST(Generators, RingChordCount) {
   Rng rng(5);
-  Digraph g = ring_with_chords(50, 20, 5, rng);
+  Digraph g = ring_with_chords(50, 20, 5, rng).freeze();
   EXPECT_TRUE(is_strongly_connected(g));
   EXPECT_EQ(g.edge_count(), 50 + 20);
 }
 
 TEST(Generators, ScaleFreeHasHeavyTail) {
   Rng rng(6);
-  Digraph g = scale_free(300, 3, 4, rng);
+  Digraph g = scale_free(300, 3, 4, rng).freeze();
   EXPECT_TRUE(is_strongly_connected(g));
   // In-degree spread: max should well exceed the mean under preferential
   // attachment.
@@ -71,7 +71,7 @@ TEST(Generators, ScaleFreeHasHeavyTail) {
 
 TEST(Generators, BidirectedIsDistanceSymmetric) {
   Rng rng(7);
-  Digraph g = bidirected_random(80, 3.0, 6, rng);
+  Digraph g = bidirected_random(80, 3.0, 6, rng).freeze();
   EXPECT_TRUE(is_strongly_connected(g));
   RoundtripMetric m(g);
   EXPECT_TRUE(is_distance_symmetric(m));
@@ -79,7 +79,7 @@ TEST(Generators, BidirectedIsDistanceSymmetric) {
 
 TEST(Generators, LowerBoundGadgetSymmetricAndConnected) {
   Rng rng(8);
-  Digraph g = lower_bound_gadget(40, 0.3, rng);
+  Digraph g = lower_bound_gadget(40, 0.3, rng).freeze();
   EXPECT_TRUE(is_strongly_connected(g));
   RoundtripMetric m(g);
   EXPECT_TRUE(is_distance_symmetric(m));
@@ -96,7 +96,7 @@ TEST(Generators, LowerBoundGadgetSymmetricAndConnected) {
 
 TEST(Generators, CompleteDigraphEdgeCount) {
   Rng rng(9);
-  Digraph g = complete_digraph(12, 3, rng);
+  Digraph g = complete_digraph(12, 3, rng).freeze();
   EXPECT_EQ(g.edge_count(), 12 * 11);
   EXPECT_TRUE(is_strongly_connected(g));
 }
@@ -104,7 +104,7 @@ TEST(Generators, CompleteDigraphEdgeCount) {
 TEST(Generators, MakeFamilyApproximatesRequestedSize) {
   Rng rng(10);
   for (Family f : all_families()) {
-    Digraph g = make_family(f, 144, 8, rng);
+    Digraph g = make_family(f, 144, 8, rng).freeze();
     EXPECT_GE(g.node_count(), 100) << family_name(f);
     EXPECT_LE(g.node_count(), 200) << family_name(f);
   }
@@ -112,7 +112,7 @@ TEST(Generators, MakeFamilyApproximatesRequestedSize) {
 
 TEST(Generators, RejectsDegenerateSizes) {
   Rng rng(11);
-  EXPECT_THROW(random_strongly_connected(1, 2.0, 3, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_strongly_connected(1, 2.0, 3, rng), std::invalid_argument);
   EXPECT_THROW(ring_with_chords(1, 0, 1, rng), std::invalid_argument);
   EXPECT_THROW(scale_free(2, 1, 1, rng), std::invalid_argument);
   EXPECT_THROW(complete_digraph(1, 1, rng), std::invalid_argument);

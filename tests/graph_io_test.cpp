@@ -9,8 +9,8 @@ namespace {
 
 TEST(GraphIo, RoundTripPreservesEdges) {
   Rng rng(1);
-  Digraph g = random_strongly_connected(30, 3.0, 5, rng);
-  Digraph h = from_edge_list(to_edge_list(g));
+  const Digraph g = random_strongly_connected(30, 3.0, 5, rng).freeze();
+  const Digraph h = from_edge_list(to_edge_list(g)).freeze();
   ASSERT_EQ(h.node_count(), g.node_count());
   ASSERT_EQ(h.edge_count(), g.edge_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
@@ -21,13 +21,14 @@ TEST(GraphIo, RoundTripPreservesEdges) {
 }
 
 TEST(GraphIo, ParsesCommentsAndBlankLines) {
-  Digraph g = from_edge_list(
+  const Digraph g = from_edge_list(
       "# a tiny graph\n"
       "n 3\n"
       "\n"
       "0 1 5  # forward\n"
       "1 2 2\n"
-      "2 0 1\n");
+      "2 0 1\n")
+                        .freeze();
   EXPECT_EQ(g.node_count(), 3);
   EXPECT_EQ(g.edge_count(), 3);
   EXPECT_TRUE(g.has_edge(0, 1));

@@ -18,11 +18,11 @@ namespace {
 using ::rtr::testing::Instance;
 
 Digraph scaled_copy(const Digraph& g, Weight factor) {
-  Digraph out(g.node_count());
+  GraphBuilder out(g.node_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
     for (const Edge& e : g.out_edges(u)) out.add_edge(u, e.to, e.weight * factor);
   }
-  return out;
+  return out.freeze();
 }
 
 TEST(Invariance, PortRelabelingDoesNotChangeRouteLengths) {
@@ -30,11 +30,12 @@ TEST(Invariance, PortRelabelingDoesNotChangeRouteLengths) {
   // route lengths must match exactly (schemes must never interpret port
   // numbers).
   Rng base_rng(1);
-  Digraph g1 = random_strongly_connected(60, 3.5, 5, base_rng);
-  Digraph g2 = g1;  // identical topology
+  GraphBuilder b1 = random_strongly_connected(60, 3.5, 5, base_rng);
+  GraphBuilder b2 = b1;  // identical topology
   Rng ports1(11), ports2(22);
-  g1.assign_adversarial_ports(ports1);
-  g2.assign_adversarial_ports(ports2);
+  b1.assign_adversarial_ports(ports1);
+  b2.assign_adversarial_ports(ports2);
+  const Digraph g1 = b1.freeze(), g2 = b2.freeze();
   RoundtripMetric m1(g1), m2(g2);
   auto names = NameAssignment::identity(60);
   Rng s1(33), s2(33);  // identical scheme randomness
@@ -54,9 +55,10 @@ TEST(Invariance, PortRelabelingDoesNotChangeRouteLengths) {
 
 TEST(Invariance, WeightScalingScalesRoutesLinearly) {
   Rng base_rng(2);
-  Digraph g = random_strongly_connected(50, 3.5, 5, base_rng);
+  GraphBuilder b = random_strongly_connected(50, 3.5, 5, base_rng);
   Rng ports(3);
-  g.assign_adversarial_ports(ports);
+  b.assign_adversarial_ports(ports);
+  const Digraph g = b.freeze();
   Digraph g10 = scaled_copy(g, 10);
   RoundtripMetric m(g), m10(g10);
   auto names = NameAssignment::identity(50);
@@ -76,8 +78,9 @@ TEST(Invariance, WeightScalingScalesRoutesLinearly) {
 
 TEST(Invariance, ExStretchBoundHoldsUnderEveryNaming) {
   Rng base_rng(4);
-  Digraph g = random_strongly_connected(40, 3.5, 4, base_rng);
-  g.assign_adversarial_ports(base_rng);
+  GraphBuilder b = random_strongly_connected(40, 3.5, 4, base_rng);
+  b.assign_adversarial_ports(base_rng);
+  const Digraph g = b.freeze();
   RoundtripMetric m(g);
   for (std::uint64_t name_seed : {1u, 2u, 3u, 4u}) {
     Rng rng(name_seed);
@@ -98,8 +101,9 @@ TEST(Invariance, ExStretchBoundHoldsUnderEveryNaming) {
 
 TEST(Invariance, PolyStretchBoundHoldsUnderEveryNaming) {
   Rng base_rng(5);
-  Digraph g = random_strongly_connected(40, 3.5, 4, base_rng);
-  g.assign_adversarial_ports(base_rng);
+  GraphBuilder b = random_strongly_connected(40, 3.5, 4, base_rng);
+  b.assign_adversarial_ports(base_rng);
+  const Digraph g = b.freeze();
   RoundtripMetric m(g);
   for (std::uint64_t name_seed : {1u, 2u, 3u}) {
     Rng rng(name_seed);
@@ -122,8 +126,9 @@ TEST(Invariance, HeaderBitsIndependentOfPairDistance) {
   // Headers must stay within their polylog budget whether the pair is
   // adjacent or diametral -- no distance-proportional state may leak in.
   Rng base_rng(6);
-  Digraph g = ring_with_chords(64, 10, 3, base_rng);
-  g.assign_adversarial_ports(base_rng);
+  GraphBuilder b = ring_with_chords(64, 10, 3, base_rng);
+  b.assign_adversarial_ports(base_rng);
+  const Digraph g = b.freeze();
   RoundtripMetric m(g);
   Rng rng(7);
   auto names = NameAssignment::random(64, rng);

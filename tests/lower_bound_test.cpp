@@ -15,7 +15,7 @@ using ::rtr::testing::Instance;
 TEST(LowerBound, GadgetFamilyIsDistanceSymmetric) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
     Rng rng(seed);
-    Digraph g = lower_bound_gadget(32, 0.4, rng);
+    Digraph g = lower_bound_gadget(32, 0.4, rng).freeze();
     RoundtripMetric m(g);
     EXPECT_TRUE(is_distance_symmetric(m));
     // r(u,v) = 2 d(u,v) in the bidirected regime.
@@ -29,7 +29,7 @@ TEST(LowerBound, GadgetFamilyIsDistanceSymmetric) {
 
 TEST(LowerBound, AsymmetricFamilyIsNot) {
   Rng rng(4);
-  Digraph g = ring_with_chords(20, 5, 3, rng);
+  Digraph g = ring_with_chords(20, 5, 3, rng).freeze();
   RoundtripMetric m(g);
   EXPECT_FALSE(is_distance_symmetric(m));
 }
@@ -38,8 +38,9 @@ TEST(LowerBound, FullTableBeatsTheBoundByPayingLinearSpace) {
   // The Theorem 15 frontier: stretch < 2 is achievable -- with Omega(n)
   // tables.  The baseline gets stretch 1 and linear tables on the gadget.
   Rng rng(5);
-  Digraph g = lower_bound_gadget(24, 0.4, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = lower_bound_gadget(24, 0.4, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   auto names = NameAssignment::random(g.node_count(), rng);
   RoundtripMetric m(g);
   FullTableScheme scheme(g, names);
@@ -59,8 +60,9 @@ TEST(LowerBound, CompactSchemeStillMeetsItsUpperBoundOnGadget) {
   // bound holds here too (the lower bound speaks to any scheme's *worst*
   // pair, not to feasibility).
   Rng rng(6);
-  Digraph g = lower_bound_gadget(24, 0.4, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = lower_bound_gadget(24, 0.4, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   auto names = NameAssignment::random(g.node_count(), rng);
   RoundtripMetric m(g);
   Rng scheme_rng(7);

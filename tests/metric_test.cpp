@@ -76,15 +76,16 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(Metric, RejectsNonStronglyConnectedGraphs) {
-  Digraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 1);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const Digraph g = b.freeze();
   EXPECT_THROW(RoundtripMetric{g}, std::invalid_argument);
 }
 
 TEST(Metric, NeighborhoodPrefixSizes) {
   Rng rng(9);
-  Digraph g = random_strongly_connected(50, 3.0, 5, rng);
+  Digraph g = random_strongly_connected(50, 3.0, 5, rng).freeze();
   RoundtripMetric m(g);
   auto names = NameAssignment::identity(50);
   auto hood = m.neighborhood(7, 10, names.names());
@@ -96,7 +97,7 @@ TEST(Metric, NeighborhoodPrefixSizes) {
 
 TEST(Metric, BallContainsExactlyCloseNodes) {
   Rng rng(10);
-  Digraph g = random_strongly_connected(50, 3.0, 5, rng);
+  Digraph g = random_strongly_connected(50, 3.0, 5, rng).freeze();
   RoundtripMetric m(g);
   Dist radius = m.rt_diameter() / 2;
   auto ball = m.ball(11, radius);
@@ -109,7 +110,7 @@ TEST(Metric, BallContainsExactlyCloseNodes) {
 
 TEST(Metric, DiameterAndRadiusConsistency) {
   Rng rng(11);
-  Digraph g = random_strongly_connected(40, 3.0, 6, rng);
+  Digraph g = random_strongly_connected(40, 3.0, 6, rng).freeze();
   RoundtripMetric m(g);
   Dist diam = m.rt_diameter();
   Dist max_rad = 0;
@@ -120,7 +121,7 @@ TEST(Metric, DiameterAndRadiusConsistency) {
 
 TEST(Metric, InducedRoundtripAtLeastGlobal) {
   Rng rng(12);
-  Digraph g = random_strongly_connected(40, 3.0, 6, rng);
+  Digraph g = random_strongly_connected(40, 3.0, 6, rng).freeze();
   Digraph rev = g.reversed();
   RoundtripMetric m(g);
   // Mask = a roundtrip ball; induced distances within it are defined and

@@ -53,8 +53,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Spanner, DenseGraphGetsMuchSparser) {
   // On a complete digraph the spanner should drop almost all edges.
   Rng rng(9);
-  Digraph g = complete_digraph(64, 4, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = complete_digraph(64, 4, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   RoundtripMetric metric(g);
   SpannerResult res = build_roundtrip_spanner(g, metric, 2);
   EXPECT_LT(res.edges, g.edge_count() / 4);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "io/snapshot_format.h"
 #include "net/simulator.h"
 #include "rtz/rtz3_scheme.h"
 #include "test_support.h"
@@ -113,6 +114,58 @@ TEST(Rtz3, AddressLookupMatchesOwnAddress) {
     EXPECT_EQ(by_name.name, own.name);
     EXPECT_EQ(by_name.center_index, own.center_index);
   }
+}
+
+// Both dictionary layouts (SoA default and the retained AoS reference) must
+// behave identically: same routes, same per-hop lookup results, same table
+// accounting, same snapshot bytes.  The bench harness's rtz3-soa-dicts
+// hot-path delta relies on this equivalence being airtight.
+TEST(Rtz3, SoaAndAosDictionaryLayoutsAreEquivalent) {
+  Instance inst = make_instance(Family::kRandom, 60, 4, 21);
+  Rtz3Scheme::Options aos_opts;
+  aos_opts.soa_dicts = false;
+  Rtz3Scheme::Options soa_opts;
+  soa_opts.soa_dicts = true;
+  Rng rng_aos(22);
+  Rtz3Scheme aos(inst.graph, *inst.metric, inst.names, rng_aos, aos_opts);
+  Rng rng_soa(22);
+  Rtz3Scheme soa(inst.graph, *inst.metric, inst.names, rng_soa, soa_opts);
+
+  // Per-hop lookups agree probe for probe (hits and misses).
+  for (NodeId at = 0; at < inst.n(); ++at) {
+    for (NodeId w = 0; w < inst.n(); w += 3) {
+      const NodeName key = inst.names.name_of(w);
+      const TreeLabel* la = aos.find_ball_label(at, key);
+      const TreeLabel* ls = soa.find_ball_label(at, key);
+      ASSERT_EQ(la == nullptr, ls == nullptr);
+      if (la != nullptr) EXPECT_EQ(la->dfs_in, ls->dfs_in);
+      const Port* pa = aos.find_member_up_port(at, key);
+      const Port* ps = soa.find_member_up_port(at, key);
+      ASSERT_EQ(pa == nullptr, ps == nullptr);
+      if (pa != nullptr) EXPECT_EQ(*pa, *ps);
+    }
+  }
+
+  // Routes and table accounting agree.
+  for (NodeId s = 0; s < inst.n(); s += 4) {
+    for (NodeId t = 0; t < inst.n(); t += 5) {
+      auto ra = simulate_roundtrip(inst.graph, aos, s, t, inst.names.name_of(t));
+      auto rs = simulate_roundtrip(inst.graph, soa, s, t, inst.names.name_of(t));
+      ASSERT_TRUE(ra.ok());
+      ASSERT_TRUE(rs.ok());
+      EXPECT_EQ(ra.roundtrip_length(), rs.roundtrip_length());
+      EXPECT_EQ(ra.out_hops + ra.back_hops, rs.out_hops + rs.back_hops);
+      EXPECT_EQ(ra.max_header_bits, rs.max_header_bits);
+    }
+  }
+  EXPECT_EQ(aos.table_stats().mean_bits(), soa.table_stats().mean_bits());
+  EXPECT_EQ(aos.table_stats().max_entries(), soa.table_stats().max_entries());
+
+  // The on-disk encoding is layout-independent byte for byte.
+  SnapshotWriter wa, ws;
+  aos.save(wa);
+  soa.save(ws);
+  EXPECT_EQ(wa.bytes(), ws.bytes());
 }
 
 }  // namespace

@@ -8,18 +8,20 @@ namespace rtr {
 namespace {
 
 TEST(Scc, SingleCycleIsOneComponent) {
-  Digraph g(5);
-  for (NodeId i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5, 1);
+  GraphBuilder b(5);
+  for (NodeId i = 0; i < 5; ++i) b.add_edge(i, (i + 1) % 5, 1);
+  const Digraph g = b.freeze();
   auto comp = strongly_connected_components(g);
   for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(comp[static_cast<std::size_t>(v)], comp[0]);
   EXPECT_TRUE(is_strongly_connected(g));
 }
 
 TEST(Scc, PathIsNotStronglyConnected) {
-  Digraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 2, 1);
-  g.add_edge(2, 3, 1);
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  const Digraph g = b.freeze();
   EXPECT_FALSE(is_strongly_connected(g));
   auto comp = strongly_connected_components(g);
   // All four nodes in distinct components.
@@ -29,10 +31,11 @@ TEST(Scc, PathIsNotStronglyConnected) {
 }
 
 TEST(Scc, TwoCyclesWithOneWayBridge) {
-  Digraph g(6);
-  for (NodeId i = 0; i < 3; ++i) g.add_edge(i, (i + 1) % 3, 1);
-  for (NodeId i = 3; i < 6; ++i) g.add_edge(i, 3 + (i - 3 + 1) % 3, 1);
-  g.add_edge(0, 3, 1);  // bridge, one way only
+  GraphBuilder b(6);
+  for (NodeId i = 0; i < 3; ++i) b.add_edge(i, (i + 1) % 3, 1);
+  for (NodeId i = 3; i < 6; ++i) b.add_edge(i, 3 + (i - 3 + 1) % 3, 1);
+  b.add_edge(0, 3, 1);  // bridge, one way only
+  const Digraph g = b.freeze();
   auto comp = strongly_connected_components(g);
   EXPECT_EQ(comp[0], comp[1]);
   EXPECT_EQ(comp[3], comp[4]);
@@ -50,19 +53,21 @@ TEST(Scc, EmptyAndSingletonGraphs) {
 TEST(Scc, DeepGraphDoesNotOverflowStack) {
   // 60k-node cycle: a recursive Tarjan would crash here.
   const NodeId n = 60000;
-  Digraph g(n);
-  for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, 1);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n, 1);
+  const Digraph g = b.freeze();
   EXPECT_TRUE(is_strongly_connected(g));
 }
 
 TEST(SccSubgraph, InducedSubgraphConnectivity) {
   // 0 <-> 1 <-> 2 with 3 hanging off one-way.
-  Digraph g(4);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 0, 1);
-  g.add_edge(1, 2, 1);
-  g.add_edge(2, 1, 1);
-  g.add_edge(0, 3, 1);
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 0, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 1, 1);
+  b.add_edge(0, 3, 1);
+  const Digraph g = b.freeze();
   std::vector<char> all = {1, 1, 1, 0};
   EXPECT_TRUE(is_strongly_connected_subgraph(g, all));
   std::vector<char> with3 = {1, 1, 1, 1};
@@ -78,7 +83,7 @@ TEST(Scc, GeneratorFamiliesAreStronglyConnected) {
   Rng rng(17);
   for (Family f : all_families()) {
     for (NodeId n : {16, 100}) {
-      Digraph g = make_family(f, n, 8, rng);
+      Digraph g = make_family(f, n, 8, rng).freeze();
       EXPECT_TRUE(is_strongly_connected(g)) << family_name(f) << " n=" << n;
     }
   }

@@ -65,9 +65,10 @@ struct TwoNodeScheme {
 };
 
 TEST(Simulator, CountsHopsAndLengthsPerLeg) {
-  Digraph g(2);
-  g.add_edge(0, 1, 5);
-  g.add_edge(1, 0, 7);
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 0, 7);
+  Digraph g = b.freeze();
   TwoNodeScheme scheme{&g};
   auto res = simulate_roundtrip(g, scheme, 0, 1, 1);
   ASSERT_TRUE(res.ok());
@@ -79,9 +80,10 @@ TEST(Simulator, CountsHopsAndLengthsPerLeg) {
 }
 
 TEST(Simulator, RecordsPathsWhenAsked) {
-  Digraph g(2);
-  g.add_edge(0, 1, 5);
-  g.add_edge(1, 0, 7);
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 0, 7);
+  Digraph g = b.freeze();
   TwoNodeScheme scheme{&g};
   SimOptions opt;
   opt.record_paths = true;
@@ -92,9 +94,10 @@ TEST(Simulator, RecordsPathsWhenAsked) {
 }
 
 TEST(Simulator, SchemeHandleTypeErasure) {
-  Digraph g(2);
-  g.add_edge(0, 1, 5);
-  g.add_edge(1, 0, 7);
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 0, 7);
+  Digraph g = b.freeze();
   auto scheme = std::make_shared<TwoNodeScheme>(TwoNodeScheme{&g});
   // TwoNodeScheme has no table_stats; wrap manually instead.
   auto run = [&](NodeId s, NodeId t) {

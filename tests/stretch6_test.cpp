@@ -88,8 +88,9 @@ TEST(Stretch6, SelfDeliveryImmediate) {
 // Routing behaviour must be invariant under re-naming: the TINN property.
 TEST(Stretch6, DeliversUnderManyAdversarialNamings) {
   Rng graph_rng(23);
-  Digraph g = random_strongly_connected(40, 3.5, 5, graph_rng);
-  g.assign_adversarial_ports(graph_rng);
+  GraphBuilder b = random_strongly_connected(40, 3.5, 5, graph_rng);
+  b.assign_adversarial_ports(graph_rng);
+  const Digraph g = b.freeze();
   RoundtripMetric metric(g);
   for (std::uint64_t name_seed : {1u, 2u, 3u}) {
     Rng rng(name_seed);

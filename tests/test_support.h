@@ -56,8 +56,9 @@ inline std::shared_ptr<const Instance> shared_instance(Family family, NodeId n,
 
   auto inst = std::make_shared<Instance>();
   Rng rng(seed);
-  inst->graph = make_family(family, n, max_weight, rng);
-  inst->graph.assign_adversarial_ports(rng);
+  GraphBuilder builder = make_family(family, n, max_weight, rng);
+  builder.assign_adversarial_ports(rng);
+  inst->graph = builder.freeze();
   inst->names = NameAssignment::random(inst->graph.node_count(), rng);
   inst->metric = std::make_shared<RoundtripMetric>(inst->graph);
   return cache.emplace(key, std::move(inst)).first->second;

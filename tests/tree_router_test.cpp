@@ -32,8 +32,9 @@ class TreeRouterFamilyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(TreeRouterFamilyTest, RoutesOptimallyToEveryNode) {
   Rng rng(GetParam());
-  Digraph g = random_strongly_connected(120, 3.0, 9, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = random_strongly_connected(120, 3.0, 9, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   OutTree tree = dijkstra_out_tree(g, 0);
   TreeRouter router(tree);
   EXPECT_EQ(router.member_count(), 120);
@@ -48,8 +49,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TreeRouterFamilyTest,
 
 TEST(TreeRouter, LabelSizeLogarithmicLightHops) {
   Rng rng(7);
-  Digraph g = random_strongly_connected(500, 3.0, 9, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = random_strongly_connected(500, 3.0, 9, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   TreeRouter router(dijkstra_out_tree(g, 3));
   const double log_n = std::log2(500.0);
   for (NodeId v = 0; v < 500; ++v) {
@@ -60,9 +62,10 @@ TEST(TreeRouter, LabelSizeLogarithmicLightHops) {
 
 TEST(TreeRouter, PathGraphHasNoLightHops) {
   // A directed path: every child is the unique (hence heavy) child.
-  Digraph g(20);
-  for (NodeId i = 0; i + 1 < 20; ++i) g.add_edge(i, i + 1, 1);
-  g.add_edge(19, 0, 1);  // close the cycle for variety; tree ignores it
+  GraphBuilder b(20);
+  for (NodeId i = 0; i + 1 < 20; ++i) b.add_edge(i, i + 1, 1);
+  b.add_edge(19, 0, 1);  // close the cycle for variety; tree ignores it
+  const Digraph g = b.freeze();
   TreeRouter router(dijkstra_out_tree(g, 0));
   for (NodeId v = 0; v < 20; ++v) {
     EXPECT_TRUE(router.label(v).light_hops.empty());
@@ -72,11 +75,12 @@ TEST(TreeRouter, PathGraphHasNoLightHops) {
 
 TEST(TreeRouter, StarGraphLabelsUseLightEdges) {
   // Star: all but the heaviest child are light.
-  Digraph g(10);
+  GraphBuilder b(10);
   for (NodeId v = 1; v < 10; ++v) {
-    g.add_edge(0, v, 1);
-    g.add_edge(v, 0, 1);
+    b.add_edge(0, v, 1);
+    b.add_edge(v, 0, 1);
   }
+  const Digraph g = b.freeze();
   TreeRouter router(dijkstra_out_tree(g, 0));
   int light_labels = 0;
   for (NodeId v = 1; v < 10; ++v) {
@@ -88,8 +92,9 @@ TEST(TreeRouter, StarGraphLabelsUseLightEdges) {
 
 TEST(TreeRouter, RestrictedTreeSkipsNonMembers) {
   Rng rng(8);
-  Digraph g = random_strongly_connected(60, 3.0, 5, rng);
-  g.assign_adversarial_ports(rng);
+  GraphBuilder b = random_strongly_connected(60, 3.0, 5, rng);
+  b.assign_adversarial_ports(rng);
+  const Digraph g = b.freeze();
   std::vector<char> mask(60, 0);
   for (NodeId v = 0; v < 30; ++v) mask[static_cast<std::size_t>(v)] = 1;
   OutTree tree = dijkstra_out_tree_within(g, 5, mask);
@@ -102,9 +107,10 @@ TEST(TreeRouter, RestrictedTreeSkipsNonMembers) {
 }
 
 TEST(TreeRouter, SingletonTree) {
-  Digraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 0, 1);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 0, 1);
+  const Digraph g = b.freeze();
   std::vector<char> mask = {1, 0, 0};
   TreeRouter router(dijkstra_out_tree_within(g, 0, mask));
   EXPECT_EQ(router.member_count(), 1);
@@ -113,9 +119,10 @@ TEST(TreeRouter, SingletonTree) {
 }
 
 TEST(TreeRouter, LabelForNonMemberThrows) {
-  Digraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(1, 0, 1);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 0, 1);
+  const Digraph g = b.freeze();
   std::vector<char> mask = {1, 1, 0};
   TreeRouter router(dijkstra_out_tree_within(g, 0, mask));
   EXPECT_THROW(router.label(2), std::invalid_argument);
@@ -123,11 +130,12 @@ TEST(TreeRouter, LabelForNonMemberThrows) {
 
 TEST(TreeRouter, OffPathLeafThrows) {
   // Deliver at a leaf that is not the target: defensive logic_error.
-  Digraph g(3);
-  g.add_edge(0, 1, 1);
-  g.add_edge(0, 2, 1);
-  g.add_edge(1, 0, 1);
-  g.add_edge(2, 0, 1);
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 1);
+  b.add_edge(1, 0, 1);
+  b.add_edge(2, 0, 1);
+  const Digraph g = b.freeze();
   TreeRouter router(dijkstra_out_tree(g, 0));
   TreeLabel to_1 = router.label(1);
   // Node 2 is a leaf not on the path to 1.

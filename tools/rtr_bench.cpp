@@ -16,6 +16,12 @@
 //       stretch, reports failed queries, or records a hot-path delta below
 //       the floor.
 //
+//   rtr_bench --check-growth FILE
+//       The nightly full-sweep gate: exits non-zero when a sqrt-n scheme's
+//       bytes/node or build_ms grows faster across the document's sizes than
+//       its O~(sqrt n) / O~(n sqrt n) budget allows (growth RATES, so no
+//       committed full baseline is needed and hardware drops out).
+//
 // Families: random | grid | ring | scale-free | bidirected.
 #include <cstdio>
 #include <cstring>
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "bench_harness/bench_harness.h"
+#include "graph/apsp.h"
 #include "net/scheme.h"
 
 namespace {
@@ -36,11 +43,12 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick|--full] [--out FILE] [--rev REV]\n"
                "          [--families f1,f2] [--sizes n1,n2] [--schemes s1,s2]\n"
-               "          [--pairs N] [--threads N] [--seed S]\n"
+               "          [--pairs N] [--threads N (0 = hardware)] [--seed S]\n"
                "          [--no-snapshot-phase] [--no-deltas]\n"
                "       %s --check BASELINE CURRENT [--qps-tolerance T]\n"
-               "          [--delta-floor PCT]\n",
-               argv0, argv0);
+               "          [--delta-floor PCT]\n"
+               "       %s --check-growth FILE\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -62,6 +70,22 @@ Family family_by_name(const std::string& name) {
   if (name == "power-law" || name == "scale_free") return Family::kScaleFree;
   if (name == "ring+chords") return Family::kRing;
   throw std::invalid_argument("unknown family: " + name);
+}
+
+int run_growth_check(const std::string& path) {
+  const auto doc = benchjson::Json::parse(read_text_file(path));
+  const std::vector<std::string> violations = check_growth_budgets(doc);
+  if (violations.empty()) {
+    std::printf("growth gate OK: %zu cells in %s within the O~(sqrt n) budgets\n",
+                cells_from_json(doc).size(), path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "growth gate FAILED (%zu violations):\n",
+               violations.size());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "  %s\n", v.c_str());
+  }
+  return 1;
 }
 
 int run_check(const std::string& baseline_path, const std::string& current_path,
@@ -95,7 +119,7 @@ int main(int argc, char** argv) {
     BenchConfig config = BenchConfig::quick();
     std::string out_path;
     std::string rev = "dev";
-    std::string check_baseline, check_current;
+    std::string check_baseline, check_current, check_growth;
     GateOptions gate;
 
     for (int i = 1; i < argc; ++i) {
@@ -137,6 +161,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--check") {
         check_baseline = next();
         check_current = next();
+      } else if (arg == "--check-growth") {
+        check_growth = next();
       } else if (arg == "--qps-tolerance") {
         gate.qps_drop_tolerance = std::stod(next());
       } else if (arg == "--delta-floor") {
@@ -149,6 +175,9 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!check_growth.empty()) {
+      return run_growth_check(check_growth);
+    }
     if (!check_baseline.empty()) {
       return run_check(check_baseline, check_current, gate);
     }
@@ -159,6 +188,12 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+
+    // --threads (default: hardware concurrency) drives the QueryEngine
+    // worker pool, the parallel-APSP delta, and -- via the process default
+    // -- every all_pairs_shortest_paths call the sweep makes.  The resolved
+    // value lands in the document's host block.
+    set_default_apsp_threads(config.threads);
 
     const SuiteResult result = run_suite(config, &std::cerr);
     const std::string path =

@@ -43,7 +43,9 @@
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "graph/apsp.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "io/snapshot.h"
@@ -57,7 +59,9 @@ namespace {
 using namespace rtr;
 
 int usage() {
-  std::cerr << "usage:\n"
+  std::cerr << "usage: rtr_cli [--threads N] <command> ...\n"
+            << "  (--threads: APSP worker pool width; 0/default = hardware "
+               "concurrency)\n"
             << "  rtr_cli list\n"
             << "  rtr_cli generate <random|grid|ring|scalefree|bidirected> "
                "<n> <max_weight> <seed>\n"
@@ -225,7 +229,7 @@ int run_snapshot_bench(const std::string& scheme_name,
   // graph generation is excluded (both paths need a workload), but APSP,
   // naming, and table construction all count.
   Rng graph_rng(seed);
-  Digraph g = make_family(parse_family(family), n, 4, graph_rng);
+  GraphBuilder g = make_family(parse_family(family), n, 4, graph_rng);
   const auto build_start = std::chrono::steady_clock::now();
   BuildContext ctx = BuildContext::for_graph(std::move(g), seed);
   SchemeHandle built(ctx.graph, ctx.names,
@@ -278,8 +282,9 @@ int run_snapshot_bench(const std::string& scheme_name,
 int run_churn(const std::string& scheme_name, const std::string& family,
               NodeId n, int epochs, int hammer_threads, std::uint64_t seed) {
   Rng graph_rng(seed);
-  Digraph g = make_family(parse_family(family), n, 4, graph_rng);
-  g.assign_adversarial_ports(graph_rng);
+  GraphBuilder builder = make_family(parse_family(family), n, 4, graph_rng);
+  builder.assign_adversarial_ports(graph_rng);
+  Digraph g = builder.freeze();
   Rng name_rng(seed + 1);
   NameAssignment names = NameAssignment::random(g.node_count(), name_rng);
 
@@ -347,9 +352,10 @@ int main_inner(int argc, char** argv) {
   if (cmd == "generate") {
     if (argc != 6) return usage();
     Rng rng(static_cast<std::uint64_t>(std::stoull(argv[5])));
-    Digraph g = make_family(parse_family(argv[2]),
-                            static_cast<NodeId>(std::stol(argv[3])),
-                            static_cast<Weight>(std::stoll(argv[4])), rng);
+    const Digraph g = make_family(parse_family(argv[2]),
+                                  static_cast<NodeId>(std::stol(argv[3])),
+                                  static_cast<Weight>(std::stoll(argv[4])), rng)
+                          .freeze();
     write_edge_list(std::cout, g);
     return 0;
   }
@@ -400,7 +406,18 @@ int main_inner(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
-    return main_inner(argc, argv);
+    // Global flag, valid before the subcommand: --threads N sets the
+    // process-wide APSP pool width (0 = hardware concurrency, the default).
+    std::vector<char*> args(argv, argv + argc);
+    for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+      if (std::string(args[i]) == "--threads") {
+        set_default_apsp_threads(std::stoi(args[i + 1]));
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        break;
+      }
+    }
+    return main_inner(static_cast<int>(args.size()), args.data());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
