@@ -1,0 +1,114 @@
+#include "audit/audit.h"
+
+#include <utility>
+
+#include "bench_harness/json.h"
+#include "net/scheme.h"
+
+namespace rtr {
+
+void AuditReport::check(const std::string& invariant, bool ok,
+                        std::string detail) {
+  AuditEntry e;
+  e.component = current_component();
+  e.invariant = invariant;
+  e.ok = ok;
+  e.detail = std::move(detail);
+  if (!ok) ++failed_;
+  entries_.push_back(std::move(e));
+}
+
+void AuditReport::measure(const std::string& invariant, double measured,
+                          double budget, std::string detail) {
+  AuditEntry e;
+  e.component = current_component();
+  e.invariant = invariant;
+  e.ok = measured <= budget;
+  e.has_measure = true;
+  e.measured = measured;
+  e.budget = budget;
+  e.detail = std::move(detail);
+  if (!e.ok) ++failed_;
+  entries_.push_back(std::move(e));
+}
+
+void AuditReport::push_component(std::string name) {
+  component_stack_.push_back(std::move(name));
+}
+
+void AuditReport::pop_component() { component_stack_.pop_back(); }
+
+std::string AuditReport::current_component() const {
+  std::string joined;
+  for (const std::string& c : component_stack_) {
+    if (!joined.empty()) joined += '/';
+    joined += c;
+  }
+  return joined;
+}
+
+std::string AuditReport::summary(bool verbose) const {
+  std::string out;
+  for (const AuditEntry& e : entries_) {
+    if (e.ok && !verbose) continue;
+    out += e.ok ? "  ok   " : "  FAIL ";
+    out += e.component + " :: " + e.invariant;
+    if (e.has_measure) {
+      out += " (measured " + std::to_string(e.measured) + ", budget " +
+             std::to_string(e.budget) + ")";
+    }
+    if (!e.detail.empty()) out += " -- " + e.detail;
+    out += '\n';
+  }
+  out += "audit: " + std::to_string(total_count() - failed_count()) + "/" +
+         std::to_string(total_count()) + " invariants hold";
+  if (failed_count() > 0) {
+    out += ", " + std::to_string(failed_count()) + " FAILED";
+  }
+  out += '\n';
+  return out;
+}
+
+std::string AuditReport::to_json_string() const {
+  using benchjson::Json;
+  using benchjson::JsonArray;
+  using benchjson::JsonObject;
+  Json doc{JsonObject{}};
+  doc.set("schema", "rtr-audit/1");
+  doc.set("ok", ok());
+  doc.set("checks", total_count());
+  doc.set("failures", failed_count());
+  JsonArray entries;
+  entries.reserve(entries_.size());
+  for (const AuditEntry& e : entries_) {
+    Json je{JsonObject{}};
+    je.set("component", e.component);
+    je.set("invariant", e.invariant);
+    je.set("ok", e.ok);
+    if (e.has_measure) {
+      je.set("measured", e.measured);
+      je.set("budget", e.budget);
+    }
+    if (!e.detail.empty()) je.set("detail", e.detail);
+    entries.push_back(std::move(je));
+  }
+  doc.set("entries", std::move(entries));
+  return doc.dump();
+}
+
+void audit_handle(const SchemeHandle& handle, AuditReport& report) {
+  handle.graph().audit(report);
+  {
+    auto s = report.scope("names");
+    handle.names().audit(report);
+  }
+  {
+    auto s = report.scope("handle");
+    report.check("names-match-graph",
+                 handle.names().node_count() == handle.graph().node_count(),
+                 "name permutation size vs graph node count");
+  }
+  handle.scheme().audit(report);
+}
+
+}  // namespace rtr

@@ -1,7 +1,9 @@
 #include "baseline/full_table.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "graph/dijkstra.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
@@ -87,6 +89,42 @@ Decision FullTableScheme::forward(NodeId at, Header& h) const {
 std::int64_t FullTableScheme::header_bits(const Header& h) const {
   (void)h;
   return 2 + 2 * bits_for(node_space_);
+}
+
+void FullTableScheme::audit(AuditReport& report) const {
+  auto scope = report.scope("full-table");
+  {
+    auto names_scope = report.scope("names");
+    names_.audit(report);
+  }
+  const auto n = static_cast<std::size_t>(names_.node_count());
+  report.check("tables-sized", next_port_.size() == n,
+               "one next-hop row per node");
+  if (next_port_.size() != n) return;
+
+  bool rows_ok = true;
+  std::string detail;
+  for (std::size_t u = 0; rows_ok && u < n; ++u) {
+    const auto& row = next_port_[u];
+    if (row.size() != n) {
+      rows_ok = false;
+      detail = "row of node " + std::to_string(u) +
+               " does not cover every destination name";
+      break;
+    }
+    for (std::size_t dest = 0; dest < n; ++dest) {
+      const bool self = names_.id_of(static_cast<NodeName>(dest)) ==
+                        static_cast<NodeId>(u);
+      if (self != (row[dest] == kNoPort)) {
+        rows_ok = false;
+        detail = "node " + std::to_string(u) + " has " +
+                 (self ? "a port toward itself" : "no port toward name " +
+                                                      std::to_string(dest));
+        break;
+      }
+    }
+  }
+  report.check("rows-complete", rows_ok, std::move(detail));
 }
 
 TableStats FullTableScheme::table_stats() const {

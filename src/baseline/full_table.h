@@ -51,7 +51,12 @@ class FullTableScheme {
   /// Shortest path out and back: stretch exactly 1.
   [[nodiscard]] double stretch_bound() const { return 1.0; }
 
+  /// Auditable: a full row per node (one next-hop port per destination
+  /// name), every non-diagonal entry a real port, plus the name bijection.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   NameAssignment names_;
   // next_port_[u][dest_name]: port of the first edge on a shortest u->dest path.
   std::vector<std::vector<Port>> next_port_;

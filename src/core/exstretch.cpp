@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
@@ -296,6 +298,54 @@ std::int64_t ExStretchScheme::header_bits(const Header& h) const {
 double ExStretchScheme::stretch_bound() const {
   const int k = alphabet_.k();
   return r2_beta(k) * (std::pow(2.0, k) - 1.0);
+}
+
+void ExStretchScheme::audit(AuditReport& report) const {
+  auto scope = report.scope("exstretch");
+  {
+    auto names_scope = report.scope("names");
+    names_.audit(report);
+  }
+  alphabet_.audit(report);
+  hierarchy_->audit(report);
+  assignment_.audit(report, alphabet_);
+
+  const auto n = static_cast<std::size_t>(names_.node_count());
+  report.check("tables-sized", tables_.size() == n,
+               "one table block per node");
+  if (tables_.size() != n) return;
+
+  // Dictionary shape: every key must decode to a valid (level, prefix) pair
+  // and every stored waypoint (and neighborhood peer) must be a real name.
+  const std::int64_t prefix_space = alphabet_.power(alphabet_.k());
+  bool dict_ok = true;
+  std::string dict_detail;
+  for (std::size_t v = 0; dict_ok && v < n; ++v) {
+    const NodeTables& t = tables_[v];
+    for (const auto& [name, r2] : t.nbr_r2) {
+      if (name < 0 || static_cast<std::size_t>(name) >= n) {
+        dict_ok = false;
+        dict_detail = "neighborhood R2 of node " + std::to_string(v) +
+                      " keyed by an out-of-range name";
+        break;
+      }
+    }
+    for (const auto& [key, entry] : t.dict) {
+      // Keys are pack(i, p) = i * q^k + p with waypoint level i in [0, k)
+      // and p the (i+1)-digit target prefix value.
+      const std::int64_t level = key / prefix_space;
+      const std::int64_t prefix = key % prefix_space;
+      if (key < 0 || level >= alphabet_.k() ||
+          prefix >= alphabet_.power(static_cast<int>(level) + 1) ||
+          entry.node < 0 || static_cast<std::size_t>(entry.node) >= n) {
+        dict_ok = false;
+        dict_detail = "dictionary of node " + std::to_string(v) +
+                      " has an undecodable key or out-of-range waypoint";
+        break;
+      }
+    }
+  }
+  report.check("dict-keys-decodable", dict_ok, std::move(dict_detail));
 }
 
 TableStats ExStretchScheme::table_stats() const {

@@ -92,7 +92,13 @@ class ExStretchScheme {
     return assignment_;
   }
 
+  /// Auditable: delegates to the naming, alphabet, cover hierarchy, and
+  /// block assignment, then checks every per-node dictionary key decodes to
+  /// a valid (level, prefix) pair with an in-range waypoint name.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   struct DictEntry {
     NodeName node = kNoNode;
     R2Label r2;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
@@ -46,6 +48,23 @@ NodeId ChosenNames::id_of(ChosenName x) const {
     throw std::invalid_argument("ChosenNames: unknown chosen name");
   }
   return it->second;
+}
+
+void ChosenNames::audit(AuditReport& report) const {
+  auto scope = report.scope("chosen-names");
+  bool inverse_ok = id_of_.size() == of_id_.size();
+  std::string detail = inverse_ok ? "" : "reverse index size mismatch "
+                                         "(duplicate chosen names?)";
+  for (NodeId v = 0; inverse_ok && v < node_count(); ++v) {
+    const ChosenName x = of_id_[static_cast<std::size_t>(v)];
+    const auto it = id_of_.find(x);
+    if (x == 0 || it == id_of_.end() || it->second != v) {
+      inverse_ok = false;
+      detail = "chosen name of node " + std::to_string(v) +
+               " is zero or not inverted by the reverse index";
+    }
+  }
+  report.check("chosen-names-unique", inverse_ok, std::move(detail));
 }
 
 namespace {
@@ -228,6 +247,58 @@ std::int64_t HashedStretch6Scheme::header_bits(const Header& h) const {
   return 2 /* mode */ + 1 + 3 * 64 /* three chosen names */ +
          substrate_->address_bits(h.src_addr) +
          substrate_->leg_header_bits(h.leg);
+}
+
+void HashedStretch6Scheme::audit(AuditReport& report) const {
+  auto scope = report.scope("hashed64");
+  substrate_->audit(report);
+  chosen_.audit(report);
+  alphabet_.audit(report);
+
+  const auto n = static_cast<std::size_t>(chosen_.node_count());
+  report.check("tables-sized", tables_.size() == n,
+               "one table block per node");
+  if (tables_.size() != n) return;
+
+  const std::int64_t block_count = alphabet_.relevant_block_count();
+  bool r3_ok = true;
+  bool holders_ok = true;
+  std::string r3_detail, holder_detail;
+  const auto is_known = [&](ChosenName x) {
+    try {
+      (void)chosen_.id_of(x);
+      return true;
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeTables& t = tables_[v];
+    for (std::size_t i = 0; r3_ok && i < t.r3_names.size(); ++i) {
+      if ((i > 0 && t.r3_names[i - 1] >= t.r3_names[i]) ||
+          !is_known(t.r3_names[i])) {
+        r3_ok = false;
+        r3_detail = "r3 dictionary of node " + std::to_string(v) +
+                    " unsorted or referencing an unknown chosen name";
+      }
+    }
+    if (holders_ok &&
+        t.holder_of_block.size() != static_cast<std::size_t>(block_count)) {
+      holders_ok = false;
+      holder_detail = "node " + std::to_string(v) +
+                      " does not record one holder per relevant block";
+      continue;
+    }
+    for (std::size_t b = 0; holders_ok && b < t.holder_of_block.size(); ++b) {
+      if (!is_known(t.holder_of_block[b])) {
+        holders_ok = false;
+        holder_detail = "holder of block " + std::to_string(b) + " at node " +
+                        std::to_string(v) + " is not a known chosen name";
+      }
+    }
+  }
+  report.check("r3-dicts-sorted", r3_ok, std::move(r3_detail));
+  report.check("block-holders-valid", holders_ok, std::move(holder_detail));
 }
 
 TableStats HashedStretch6Scheme::table_stats() const {

@@ -54,7 +54,12 @@ class ChosenNames {
   }
   [[nodiscard]] NodeId id_of(ChosenName x) const;
 
+  /// Auditable: chosen names non-zero and unique, with the reverse index the
+  /// exact inverse of the forward table.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   std::vector<ChosenName> of_id_;
   std::unordered_map<ChosenName, NodeId> id_of_;
 };
@@ -124,7 +129,13 @@ class HashedStretch6Scheme {
   /// TINN destinations through it).
   [[nodiscard]] const ChosenNames& chosen() const { return chosen_; }
 
+  /// Auditable: delegates to the substrate, chosen-name table, and bucket
+  /// alphabet, then checks the per-node dictionaries (sorted unique 64-bit
+  /// keys resolving to real chosen names, one holder per relevant block).
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   struct NodeTables {
     // Items (1) + (3): sorted chosen names whose (name, R3) pair this node
     // stores; lookup_r3 resolves the address payload through the substrate

@@ -1,7 +1,9 @@
 #include "core/names.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 
 namespace rtr {
@@ -36,6 +38,27 @@ NameAssignment::NameAssignment(std::vector<NodeName> name_of_id)
     }
     id_of_[static_cast<std::size_t>(name)] = id;
   }
+}
+
+void NameAssignment::audit(AuditReport& report) const {
+  const NodeId n = node_count();
+  report.check("inverse-sized", id_of_.size() == name_of_.size(),
+               "id_of/name_of size mismatch");
+  bool bijective = id_of_.size() == name_of_.size();
+  std::string detail;
+  for (NodeId id = 0; bijective && id < n; ++id) {
+    const NodeName name = name_of_[static_cast<std::size_t>(id)];
+    if (name < 0 || name >= n) {
+      bijective = false;
+      detail = "name " + std::to_string(name) + " of id " + std::to_string(id) +
+               " outside [0, " + std::to_string(n) + ")";
+    } else if (id_of_[static_cast<std::size_t>(name)] != id) {
+      bijective = false;
+      detail = "id_of[name_of[" + std::to_string(id) + "]] != " +
+               std::to_string(id) + " (not a bijection)";
+    }
+  }
+  report.check("name-bijection", bijective, std::move(detail));
 }
 
 }  // namespace rtr

@@ -17,6 +17,7 @@ namespace rtr {
 
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
+class AuditReport;  // audit/audit.h
 
 /// Bijection internal NodeId <-> TINN NodeName.
 class NameAssignment {
@@ -48,7 +49,13 @@ class NameAssignment {
   }
   [[nodiscard]] const std::vector<NodeName>& names() const { return name_of_; }
 
+  /// Auditable: name_of_/id_of_ are mutually inverse permutations of [0, n)
+  /// (the TINN bijection the constructor enforces, re-verified in case the
+  /// vectors were rebuilt by a snapshot load or mutated through a peer).
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   std::vector<NodeName> name_of_;
   std::vector<NodeId> id_of_;
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
@@ -253,6 +255,52 @@ std::int64_t PolyStretchScheme::header_bits(const Header& h) const {
          bits_for(node_space_) + 8 /* tree ref */ +
          tree_label_bits(h.src_label, node_space_, port_space_) +
          tree_label_bits(h.leg.target, node_space_, port_space_) + 1;
+}
+
+void PolyStretchScheme::audit(AuditReport& report) const {
+  auto scope = report.scope("polystretch");
+  {
+    auto names_scope = report.scope("names");
+    names_.audit(report);
+  }
+  alphabet_.audit(report);
+  hierarchy_->audit(report);
+
+  const auto n = static_cast<std::size_t>(names_.node_count());
+  report.check("tables-sized", tables_.size() == n,
+               "one table block per node");
+  if (tables_.size() != n) return;
+
+  // Per-tree storage: each referenced tree must exist in the hierarchy and
+  // contain the node; dictionary waypoints must be real names.
+  bool refs_ok = true;
+  std::string refs_detail;
+  for (std::size_t v = 0; refs_ok && v < n; ++v) {
+    for (const auto& [key, per_tree] : tables_[v].per_tree) {
+      const TreeRef ref{static_cast<std::int32_t>(key / (1 << 24)),
+                        static_cast<std::int32_t>(key % (1 << 24))};
+      if (ref.level < 0 || ref.level >= hierarchy_->level_count() ||
+          ref.tree < 0 ||
+          static_cast<std::size_t>(ref.tree) >=
+              hierarchy_->level(ref.level).trees.size() ||
+          !hierarchy_->tree(ref).contains(static_cast<NodeId>(v))) {
+        refs_ok = false;
+        refs_detail = "node " + std::to_string(v) +
+                      " stores state for a tree that does not contain it";
+        break;
+      }
+      for (const auto& [dkey, entry] : per_tree.dict) {
+        if (entry.node < 0 || static_cast<std::size_t>(entry.node) >= n) {
+          refs_ok = false;
+          refs_detail = "per-tree dictionary of node " + std::to_string(v) +
+                        " stores an out-of-range waypoint";
+          break;
+        }
+      }
+      if (!refs_ok) break;
+    }
+  }
+  report.check("per-tree-refs-valid", refs_ok, std::move(refs_detail));
 }
 
 TableStats PolyStretchScheme::table_stats() const {

@@ -86,7 +86,13 @@ class PolyStretchScheme {
   [[nodiscard]] const Alphabet& alphabet() const { return alphabet_; }
   [[nodiscard]] const CoverHierarchy& hierarchy() const { return *hierarchy_; }
 
+  /// Auditable: delegates to the naming, alphabet, and cover hierarchy, then
+  /// checks each node's per-tree storage references real trees containing
+  /// the node, with in-range waypoint names in every dictionary entry.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   struct DictEntry {
     NodeName node = kNoNode;
     TreeLabel label;  // TreeR(C_i, node)

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
@@ -207,6 +209,63 @@ std::int64_t Stretch6Scheme::header_bits(const Header& h) const {
                       substrate_->leg_header_bits(h.leg);
   if (detour_via_source_) bits += substrate_->address_bits(h.learned_dest);
   return bits;
+}
+
+void Stretch6Scheme::audit(AuditReport& report) const {
+  auto scope = report.scope("stretch6");
+  substrate_->audit(report);
+  alphabet_.audit(report);
+  assignment_.audit(report, alphabet_);
+  {
+    auto names_scope = report.scope("names");
+    names_.audit(report);
+  }
+
+  const auto n = static_cast<std::size_t>(names_.node_count());
+  report.check("tables-sized", tables_.size() == n,
+               "one table block per node");
+  report.check("neighborhood-size",
+               hood_size_ >= 1 &&
+                   static_cast<std::size_t>(hood_size_) <= std::max<std::size_t>(n, 1),
+               "N(u) must have between 1 and n members");
+  if (tables_.size() != n) return;
+
+  const std::int64_t block_count = alphabet_.relevant_block_count();
+  bool r3_ok = true;
+  bool holders_ok = true;
+  std::string r3_detail, holder_detail;
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeTables& t = tables_[v];
+    for (std::size_t i = 0; r3_ok && i < t.r3_names.size(); ++i) {
+      const NodeName name = t.r3_names[i];
+      if (name < 0 || static_cast<std::size_t>(name) >= n ||
+          (i > 0 && t.r3_names[i - 1] >= name)) {
+        r3_ok = false;
+        r3_detail = "r3 dictionary of node " + std::to_string(v) +
+                    " not sorted/unique/in-range";
+      }
+    }
+    if (holders_ok &&
+        t.holder_of_block.size() != static_cast<std::size_t>(block_count)) {
+      holders_ok = false;
+      holder_detail = "node " + std::to_string(v) +
+                      " does not record one holder per relevant block";
+      continue;
+    }
+    for (std::size_t b = 0; holders_ok && b < t.holder_of_block.size(); ++b) {
+      const NodeName holder = t.holder_of_block[b];
+      if (holder < 0 || static_cast<std::size_t>(holder) >= n ||
+          !assignment_.holds(names_.id_of(holder),
+                             static_cast<BlockId>(b))) {
+        holders_ok = false;
+        holder_detail = "recorded holder of block " + std::to_string(b) +
+                        " at node " + std::to_string(v) +
+                        " does not hold the block";
+      }
+    }
+  }
+  report.check("r3-dicts-sorted", r3_ok, std::move(r3_detail));
+  report.check("block-holders-valid", holders_ok, std::move(holder_detail));
 }
 
 TableStats Stretch6Scheme::table_stats() const {

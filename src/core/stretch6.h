@@ -98,7 +98,14 @@ class Stretch6Scheme {
   /// Neighborhood size ceil(sqrt n) actually used.
   [[nodiscard]] NodeId neighborhood_size() const { return hood_size_; }
 
+  /// Auditable: delegates to the substrate, alphabet, and block assignment,
+  /// then checks the per-node dictionaries (sorted unique r3 names, one
+  /// holder per relevant block, and every recorded holder actually holding
+  /// the block it is advertised for).
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   struct NodeTables {
     // (1) + (3): sorted names whose (name, R3) pair this node stores --
     // neighborhood members and held-block entries.  The address payloads

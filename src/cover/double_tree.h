@@ -24,6 +24,7 @@ namespace rtr {
 
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
+class AuditReport;  // audit/audit.h
 
 class DoubleTree {
  public:
@@ -65,7 +66,15 @@ class DoubleTree {
   /// Lemma 14 routing structure on OutTree.
   [[nodiscard]] const TreeRouter& out_router() const { return out_router_; }
 
+  /// Auditable: the member mask matches the member list, the center is a
+  /// member, every member is reachable both ways (finite up/down distances,
+  /// an up port everywhere but the center), the cached rt_height_ equals the
+  /// recomputed max roundtrip, and the Lemma 14 out-router is itself sound
+  /// with root == center and exactly the member set.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   NodeId center_;
   std::vector<NodeId> members_;
   std::vector<char> member_mask_;

@@ -78,6 +78,14 @@ class CoverHierarchy {
   [[nodiscard]] std::optional<TreeRef> lowest_home_containing(NodeId v,
                                                               NodeId u) const;
 
+  /// Auditable: radii double per level, every node has a home tree it is a
+  /// member of, trees_of lists exactly the trees containing each node,
+  /// level-i RTHeights stay within (2k-1) * radius (Theorem 13(2)), the
+  /// per-node tree count stays within tree_slack * 2k n^{1/k} per level
+  /// (Theorem 13(3)), and every double tree is internally sound (their deep
+  /// audits are aggregated into one entry per level to keep reports small).
+  void audit(AuditReport& report) const;
+
  private:
   int k_;
   std::vector<HierarchyLevel> levels_;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 
 namespace rtr {
@@ -40,6 +42,36 @@ Alphabet::Alphabet(NodeId n, int k) : n_(n), k_(k) {
   powers_.resize(static_cast<std::size_t>(k_) + 1);
   powers_[0] = 1;
   for (int i = 1; i <= k_; ++i) powers_[static_cast<std::size_t>(i)] = powers_[static_cast<std::size_t>(i - 1)] * q_;
+}
+
+void Alphabet::audit(AuditReport& report) const {
+  auto scope = report.scope("alphabet");
+  report.check("params-in-range", n_ >= 1 && k_ >= 2 && k_ <= 20,
+               "n=" + std::to_string(n_) + ", k=" + std::to_string(k_));
+  bool powers_ok = powers_.size() == static_cast<std::size_t>(k_) + 1 &&
+                   !powers_.empty() && powers_[0] == 1;
+  for (std::size_t i = 1; powers_ok && i < powers_.size(); ++i) {
+    powers_ok = powers_[i] == powers_[i - 1] * q_;
+  }
+  report.check("power-table-consistent", powers_ok,
+               "powers_ must cache exactly q^0 .. q^k");
+  // Minimal q with q^k >= n (modulo the degenerate-n floor of q = 2): the
+  // whole digit decomposition reads through this, so a drifted q silently
+  // re-addresses every name.
+  bool q_ok = q_ >= 2 && powers_ok &&
+              powers_[static_cast<std::size_t>(k_)] >= n_;
+  if (q_ok && q_ > 2) {
+    std::int64_t p = 1;
+    bool covers = false;
+    for (int i = 0; i < k_ && !covers; ++i) {
+      p *= q_ - 1;
+      covers = p >= n_;
+    }
+    q_ok = !covers;
+  }
+  report.check("q-minimal", q_ok,
+               "q=" + std::to_string(q_) + " must be the smallest radix with "
+               "q^k >= n");
 }
 
 int Alphabet::digit(NodeName u, int i) const {

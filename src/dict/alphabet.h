@@ -24,6 +24,7 @@ namespace rtr {
 
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
+class AuditReport;  // audit/audit.h
 
 using BlockId = std::int64_t;
 using PrefixValue = std::int64_t;
@@ -80,6 +81,11 @@ class Alphabet {
   [[nodiscard]] std::int64_t power(int i) const {
     return powers_[static_cast<std::size_t>(i)];
   }
+
+  /// Auditable: parameter ranges (n >= 1, 2 <= k <= 20), q minimal with
+  /// q^k >= n, and the cached power table exactly q^0 .. q^k.  Matters on
+  /// the snapshot path, where (n, k) arrive from untrusted bytes.
+  void audit(AuditReport& report) const;
 
  private:
   NodeId n_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 
 namespace rtr {
@@ -23,6 +25,40 @@ BlockAssignment load_block_assignment(SnapshotReader& r) {
   a.randomized_tries = static_cast<int>(r.i32());
   a.greedy_repairs = r.i64();
   return a;
+}
+
+void BlockAssignment::audit(AuditReport& report, const Alphabet& alpha) const {
+  auto scope = report.scope("blocks");
+  report.check("one-row-per-node",
+               blocks_of.size() == static_cast<std::size_t>(alpha.n()),
+               "blocks_of must have one S_v per node");
+
+  const std::int64_t block_count = alpha.relevant_block_count();
+  bool rows_ok = true;
+  std::string rows_detail;
+  for (std::size_t v = 0; rows_ok && v < blocks_of.size(); ++v) {
+    const auto& row = blocks_of[v];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] < 0 || row[i] >= block_count ||
+          (i > 0 && row[i - 1] >= row[i])) {
+        rows_ok = false;
+        rows_detail = "S_" + std::to_string(v) +
+                      " not sorted/unique/in-range at index " +
+                      std::to_string(i);
+        break;
+      }
+    }
+  }
+  report.check("rows-sorted-unique", rows_ok, std::move(rows_detail));
+
+  // Lemma 1 / Lemma 4: O(log n) blocks per node.  The builder starts at
+  // 1.25 log2 n and densifies 1.5x per retry; block_slack covers every
+  // assignment it can realize.
+  const double budget =
+      report.budgets().block_slack *
+      std::log2(std::max<double>(2.0, static_cast<double>(alpha.n())));
+  report.measure("blocks-per-node", static_cast<double>(max_blocks_per_node()),
+                 budget, "max |S_v| vs block_slack * log2 n");
 }
 
 Neighborhoods compute_neighborhoods(const RoundtripMetric& m,

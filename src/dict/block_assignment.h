@@ -24,6 +24,7 @@ namespace rtr {
 
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
+class AuditReport;  // audit/audit.h
 
 /// Per-node neighborhood prefixes of Init_v, precomputed once and shared by
 /// the assignment and by the TINN schemes.
@@ -63,6 +64,14 @@ struct BlockAssignment {
 
   [[nodiscard]] bool holds(NodeId v, BlockId b) const;
   [[nodiscard]] std::int64_t max_blocks_per_node() const;
+
+  /// Auditable: one row per node, every S_v sorted + unique with block ids
+  /// inside the alphabet's realizable range, and the Lemma 1 / Lemma 4
+  /// O(log n) bound (block_slack * log2 n blocks per node).  Coverage itself
+  /// (every realizable prefix held in every neighborhood) stays with
+  /// verify_coverage(), which needs the metric; the audit checks the shape
+  /// the serving path depends on.
+  void audit(AuditReport& report, const Alphabet& alpha) const;
 };
 
 /// Snapshot encoding (io/snapshot_format.h) of a finished assignment,

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "audit/audit.h"
+
 namespace rtr {
 
 // ----------------------------------------------------------------- Digraph --
@@ -49,6 +51,136 @@ std::int64_t Digraph::port_space() const {
   // 4n gives the adversary slack to choose sparse, misleading numbers while
   // staying within the O(n) namespace of Section 1.1.3.
   return 4 * std::max<std::int64_t>(1, node_count());
+}
+
+void Digraph::audit(AuditReport& report) const {
+  auto scope = report.scope("graph");
+  const NodeId n = node_count();
+  const auto m = static_cast<std::size_t>(edge_count());
+
+  // CSR framing: the offset index must start at 0, end at the edge count,
+  // and never decrease (every node owns one well-formed row).
+  bool rows_monotone = offset_.front() == 0 &&
+                       offset_.back() == static_cast<std::int64_t>(m);
+  std::string row_detail;
+  for (std::size_t u = 0; rows_monotone && u + 1 < offset_.size(); ++u) {
+    if (offset_[u] > offset_[u + 1]) {
+      rows_monotone = false;
+      row_detail = "offset decreases at node " + std::to_string(u);
+    }
+  }
+  report.check("csr-row-monotone", rows_monotone, std::move(row_detail));
+
+  report.check("soa-mirror-sizes",
+               arc_head_.size() == m && arc_weight_.size() == m &&
+                   port_key_.size() == m && port_slot_.size() == m &&
+                   head_key_.size() == m && head_slot_.size() == m,
+               "arc/resolution arrays must mirror the edge array");
+  if (!rows_monotone || arc_head_.size() != m || arc_weight_.size() != m ||
+      port_key_.size() != m || port_slot_.size() != m ||
+      head_key_.size() != m || head_slot_.size() != m) {
+    // The per-row walks below index through offset_ and the mirrors; with
+    // broken framing they would read out of bounds, so stop at the framing
+    // verdict (already FAIL).
+    return;
+  }
+
+  bool edges_valid = true;
+  bool soa_consistent = true;
+  bool ports_in_space = true;
+  Weight seen_max = 0;
+  std::string edge_detail, soa_detail, port_detail;
+  const std::int64_t space = port_space();
+  for (NodeId u = 0; u < n; ++u) {
+    const auto b = static_cast<std::size_t>(offset_[static_cast<std::size_t>(u)]);
+    const auto e =
+        static_cast<std::size_t>(offset_[static_cast<std::size_t>(u) + 1]);
+    for (std::size_t i = b; i < e; ++i) {
+      const Edge& edge = edges_[i];
+      if (edges_valid &&
+          (edge.to < 0 || edge.to >= n || edge.to == u || edge.weight < 1)) {
+        edges_valid = false;
+        edge_detail = "edge slot " + std::to_string(i) + " at node " +
+                      std::to_string(u) + " (to=" + std::to_string(edge.to) +
+                      ", w=" + std::to_string(edge.weight) + ")";
+      }
+      if (soa_consistent &&
+          (arc_head_[i] != edge.to || arc_weight_[i] != edge.weight)) {
+        soa_consistent = false;
+        soa_detail = "arc mirror diverges at slot " + std::to_string(i);
+      }
+      if (ports_in_space && (edge.port < 0 || edge.port >= space)) {
+        ports_in_space = false;
+        port_detail = "port " + std::to_string(edge.port) + " at node " +
+                      std::to_string(u) + " outside [0, " +
+                      std::to_string(space) + ")";
+      }
+      seen_max = std::max(seen_max, edge.weight);
+    }
+  }
+  report.check("edges-in-range", edges_valid, std::move(edge_detail));
+  report.check("soa-mirror-consistent", soa_consistent, std::move(soa_detail));
+  report.check("ports-in-namespace", ports_in_space, std::move(port_detail));
+  report.check("max-weight-cached", seen_max == max_weight_,
+               "cached " + std::to_string(max_weight_) + ", recomputed " +
+                   std::to_string(seen_max));
+
+  // Per-row resolution tables: keys strictly ascending (sorted + unique, the
+  // binary-search contract of edge_by_port/find_by_head) and the slot column
+  // a bijection onto the row's edge slots with matching keys.
+  bool port_table_ok = true;
+  bool head_table_ok = true;
+  std::string port_table_detail, head_table_detail;
+  std::vector<bool> hit;
+  const auto check_row_table =
+      [&](NodeId u, std::size_t b, std::size_t e, const auto& keys,
+          const std::vector<std::int32_t>& slots, const auto key_of, bool& ok,
+          std::string& detail) {
+        const auto d = e - b;
+        hit.assign(d, false);
+        for (std::size_t k = b; ok && k < e; ++k) {
+          if (k > b && keys[k] <= keys[k - 1]) {
+            ok = false;
+            detail = "keys not strictly ascending at node " + std::to_string(u);
+            return;
+          }
+          const std::int32_t slot = slots[k];
+          if (slot < 0 || static_cast<std::size_t>(slot) >= d ||
+              hit[static_cast<std::size_t>(slot)]) {
+            ok = false;
+            detail = "slot column not a bijection at node " + std::to_string(u);
+            return;
+          }
+          hit[static_cast<std::size_t>(slot)] = true;
+          if (keys[k] != key_of(edges_[b + static_cast<std::size_t>(slot)])) {
+            ok = false;
+            detail = "key does not match resolved edge at node " +
+                     std::to_string(u);
+            return;
+          }
+        }
+      };
+  for (NodeId u = 0; u < n && (port_table_ok || head_table_ok); ++u) {
+    const auto b = static_cast<std::size_t>(offset_[static_cast<std::size_t>(u)]);
+    const auto e =
+        static_cast<std::size_t>(offset_[static_cast<std::size_t>(u) + 1]);
+    if (port_table_ok) {
+      check_row_table(
+          u, b, e, port_key_, port_slot_,
+          [](const Edge& edge) { return edge.port; }, port_table_ok,
+          port_table_detail);
+    }
+    if (head_table_ok) {
+      check_row_table(
+          u, b, e, head_key_, head_slot_,
+          [](const Edge& edge) { return edge.to; }, head_table_ok,
+          head_table_detail);
+    }
+  }
+  report.check("port-table-bijection", port_table_ok,
+               std::move(port_table_detail));
+  report.check("head-table-bijection", head_table_ok,
+               std::move(head_table_detail));
 }
 
 Digraph Digraph::reversed() const {

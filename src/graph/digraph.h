@@ -40,6 +40,8 @@
 
 namespace rtr {
 
+class AuditReport;
+
 /// One directed edge as seen from its tail node.
 struct Edge {
   NodeId to = kNoNode;
@@ -137,8 +139,15 @@ class Digraph {
     return arc_weight_[static_cast<std::size_t>(i)];
   }
 
+  /// Auditable: CSR row monotonicity, edge-range validity, SoA mirror
+  /// consistency, and the port/head resolution tables (sorted keys, unique
+  /// per row, and a bijection onto the row's edge slots).  Records entries
+  /// under the "graph" component.
+  void audit(AuditReport& report) const;
+
  private:
   friend class GraphBuilder;
+  friend struct AuditTestPeer;
   Digraph() = default;  // freeze() fills the arrays
 
   /// Binary search in u's head-sorted resolution table.

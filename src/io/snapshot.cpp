@@ -341,6 +341,78 @@ SnapshotInfo inspect_snapshot(const std::string& path) {
   return parse_file(path).info;
 }
 
+bool SnapshotFileStatus::all_ok() const {
+  if (!framing_ok) return false;
+  for (const auto& s : sections) {
+    if (!s.crc_ok) return false;
+  }
+  return true;
+}
+
+SnapshotFileStatus probe_snapshot(const std::string& path) {
+  SnapshotFileStatus status;
+  const std::vector<std::uint8_t> bytes = slurp(path);  // IoError propagates
+  status.file_bytes = bytes.size();
+
+  // The walk mirrors parse_file but records problems instead of throwing:
+  // a damaged section must not hide the health of the sections after it.
+  try {
+    SnapshotReader r(bytes.data(), bytes.size());
+    if (bytes.size() < kSnapshotMagicSize ||
+        std::memcmp(bytes.data(), snapshot_magic(), kSnapshotMagicSize) != 0) {
+      status.framing_error = "missing RTRSNAP magic";
+      return status;
+    }
+    r.skip(kSnapshotMagicSize);
+
+    status.version = r.u32();
+    if (status.version != kSnapshotVersion) {
+      status.framing_error =
+          "unsupported format version " + std::to_string(status.version);
+      return status;
+    }
+
+    const std::size_t header_begin = r.position();
+    status.scheme = r.str();
+    status.node_count = static_cast<NodeId>(r.u32());
+    status.edge_count = static_cast<std::int64_t>(r.u64());
+    const std::uint32_t section_count = r.u32();
+    const std::size_t header_end = r.position();
+    if (r.u32() != crc32(bytes.data() + header_begin,
+                         header_end - header_begin)) {
+      status.framing_error = "header CRC mismatch";
+      return status;
+    }
+
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+      SnapshotSectionStatus s;
+      s.name = r.str();
+      s.bytes = r.u64();
+      if (s.bytes > r.remaining()) {
+        status.framing_error = "section '" + s.name + "' truncated";
+        status.sections.push_back(std::move(s));
+        return status;
+      }
+      s.payload_offset = r.position();
+      const std::uint8_t* payload = bytes.data() + r.position();
+      r.skip(static_cast<std::size_t>(s.bytes));
+      s.stored_crc = r.u32();
+      s.actual_crc = crc32(payload, static_cast<std::size_t>(s.bytes));
+      s.crc_ok = s.stored_crc == s.actual_crc;
+      status.sections.push_back(std::move(s));
+    }
+    if (r.remaining() != 0) {
+      status.framing_error = std::to_string(r.remaining()) +
+                             " trailing bytes after the last section";
+      return status;
+    }
+    status.framing_ok = true;
+  } catch (const SnapshotError& e) {
+    status.framing_error = e.what();
+  }
+  return status;
+}
+
 void warn_snapshot_cache_save_failed_once(const std::string& context,
                                           const SnapshotError& error) {
   static std::atomic<bool> warned{false};

@@ -82,6 +82,43 @@ void save_snapshot(const std::string& path, const std::string& scheme_name,
 /// without constructing the scheme (cheap: one pass over the file).
 [[nodiscard]] SnapshotInfo inspect_snapshot(const std::string& path);
 
+/// One section's health as seen by probe_snapshot: the stored CRC next to
+/// the one recomputed over the payload actually on disk.
+struct SnapshotSectionStatus {
+  std::string name;
+  std::uint64_t bytes = 0;
+  /// Byte offset of the payload within the file (0 when the framing walk
+  /// stopped before reaching it), so tooling can re-read one section.
+  std::uint64_t payload_offset = 0;
+  std::uint32_t stored_crc = 0;
+  std::uint32_t actual_crc = 0;
+  bool crc_ok = false;
+};
+
+/// Lenient per-section probe result.  Unlike inspect_snapshot, a bad
+/// checksum does not abort the walk: every section that the framing reaches
+/// is reported with its stored-vs-recomputed CRC, so tooling can say *which*
+/// section is damaged.  `framing_error` is set when the walk itself had to
+/// stop early (bad magic, wrong version, header CRC mismatch, truncation).
+struct SnapshotFileStatus {
+  bool framing_ok = false;
+  std::string framing_error;
+  std::uint32_t version = 0;
+  std::string scheme;
+  NodeId node_count = 0;
+  std::int64_t edge_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::vector<SnapshotSectionStatus> sections;
+
+  /// True iff the framing parsed and every section checksum matches.
+  [[nodiscard]] bool all_ok() const;
+};
+
+/// Probes a snapshot without throwing on corruption: only I/O failure to
+/// open or read the file raises SnapshotIoError; every structural or
+/// checksum problem lands in the returned status instead.
+[[nodiscard]] SnapshotFileStatus probe_snapshot(const std::string& path);
+
 /// Serving-path degradation notice: a cache save failed (full disk,
 /// read-only directory) but the built scheme serves regardless.  Logs to
 /// stderr once per process -- an epoch loop hitting this every rebuild must

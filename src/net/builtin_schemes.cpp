@@ -73,6 +73,8 @@ class Hashed64Adapter final : public Scheme {
     return impl_->stretch_bound();
   }
 
+  void audit(AuditReport& report) const override { impl_->audit(report); }
+
  private:
   // Kept private so the inherited Scheme::Header (= Packet) stays the
   // generic-facing header type.

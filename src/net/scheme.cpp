@@ -3,12 +3,46 @@
 #include <limits>
 #include <sstream>
 
+#include "audit/audit.h"
 #include "graph/scc.h"
 #include "io/snapshot.h"
 
 namespace rtr {
 
 double unbounded_stretch() { return std::numeric_limits<double>::infinity(); }
+
+void Scheme::audit(AuditReport& report) const {
+  auto scope = report.scope("scheme");
+  report.check("deep-audit-implemented", true,
+               name() + " has no scheme-specific deep audit (base Scheme)");
+}
+
+#ifdef RTR_AUDIT_ON_BUILD
+namespace {
+
+// Debug-build hook: every registry build (and snapshot load on the
+// build_or_load path) is audited, so the whole test suite exercises the
+// invariant catalogue for free.  A violation is a programming error, not an
+// input error, hence std::logic_error.
+void throw_if_audit_fails(const AuditReport& report, const std::string& what) {
+  if (report.ok()) return;
+  throw std::logic_error("RTR_AUDIT_ON_BUILD: " + what +
+                         " failed its invariant audit\n" + report.summary());
+}
+
+void audit_built_scheme(const BuildContext& ctx, const Scheme& scheme) {
+  AuditReport report;
+  ctx.graph->audit(report);
+  {
+    auto s = report.scope("names");
+    ctx.names.audit(report);
+  }
+  scheme.audit(report);
+  throw_if_audit_fails(report, "scheme '" + scheme.name() + "'");
+}
+
+}  // namespace
+#endif  // RTR_AUDIT_ON_BUILD
 
 // ------------------------------------------------------------ BuildContext --
 
@@ -87,7 +121,7 @@ void SchemeRegistry::set_snapshot_hooks(const std::string& name, Saver saver,
 }
 
 bool SchemeRegistry::contains(const std::string& name) const {
-  return entries_.count(name) > 0;
+  return entries_.contains(name);
 }
 
 bool SchemeRegistry::snapshot_supported(const std::string& name) const {
@@ -111,7 +145,11 @@ const SchemeRegistry::Entry& SchemeRegistry::entry_or_throw(
 
 std::shared_ptr<const Scheme> SchemeRegistry::build(
     const std::string& name, const BuildContext& ctx) const {
-  return entry_or_throw(name, "build").factory(ctx);
+  std::shared_ptr<const Scheme> scheme = entry_or_throw(name, "build").factory(ctx);
+#ifdef RTR_AUDIT_ON_BUILD
+  audit_built_scheme(ctx, *scheme);
+#endif
+  return scheme;
 }
 
 const SchemeRegistry::Saver& SchemeRegistry::saver(
@@ -148,7 +186,13 @@ SchemeHandle SchemeRegistry::build_or_load(
                                 "register hooks via set_snapshot_hooks()");
   }
   try {
-    return load_snapshot(path, name, *this);
+    SchemeHandle loaded = load_snapshot(path, name, *this);
+#ifdef RTR_AUDIT_ON_BUILD
+    AuditReport report;
+    audit_handle(loaded, report);
+    throw_if_audit_fails(report, "snapshot '" + path + "'");
+#endif
+    return loaded;
   } catch (const SnapshotError&) {
     // Absent, stale, corrupt, or mismatched cache: build and re-save below.
   }

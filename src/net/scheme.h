@@ -52,6 +52,7 @@ namespace rtr {
 
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
+class AuditReport;  // audit/audit.h
 
 /// Type-erased box for a scheme's writable packet header.
 ///
@@ -242,6 +243,13 @@ class Scheme {
   [[nodiscard]] virtual double stretch_bound() const {
     return unbounded_stretch();
   }
+
+  /// Auditable: deep-checks the scheme's own tables (dictionaries, trees,
+  /// balls) against the paper's structural invariants, recording one typed
+  /// entry per invariant.  The base implementation records a single passing
+  /// placeholder entry so a scheme without a deep audit is visible in the
+  /// report rather than silently skipped; every in-repo scheme overrides it.
+  virtual void audit(AuditReport& report) const;
 
   /// Runs a whole src -> dst -> src walk against `g` (the graph the tables
   /// were built for).  The base implementation is the type-erased Packet

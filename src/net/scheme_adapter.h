@@ -72,6 +72,14 @@ class TemplateSchemeAdapter final : public Scheme {
     }
   }
 
+  void audit(AuditReport& report) const override {
+    if constexpr (requires(const S& s, AuditReport& r) { s.audit(r); }) {
+      impl_->audit(report);
+    } else {
+      Scheme::audit(report);  // visible placeholder entry
+    }
+  }
+
   /// The wrapped concrete scheme (template fast path over the same tables).
   [[nodiscard]] const S& impl() const { return *impl_; }
   [[nodiscard]] const std::shared_ptr<const S>& impl_ptr() const {

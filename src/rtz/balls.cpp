@@ -1,7 +1,11 @@
 #include "rtz/balls.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "audit/audit.h"
 
 namespace rtr {
 
@@ -15,6 +19,118 @@ std::int64_t BallSystem::max_cluster_size() const {
   std::int64_t mx = 0;
   for (const auto& c : cluster_of) mx = std::max(mx, static_cast<std::int64_t>(c.size()));
   return mx;
+}
+
+void BallSystem::audit(AuditReport& report) const {
+  auto scope = report.scope("balls");
+  const auto n = ball_of.size();
+
+  report.check("arrays-sized",
+               center_index_of.size() == n && r_to_centers.size() == n &&
+                   nearest_center.size() == n && cluster_of.size() == n,
+               "per-node arrays must all have one row per node");
+  if (center_index_of.size() != n || r_to_centers.size() != n ||
+      nearest_center.size() != n || cluster_of.size() != n) {
+    return;  // the walks below index these arrays per node
+  }
+
+  // Center set: sorted + unique, in range, and center_index_of is its exact
+  // inverse (every non-center maps to -1).
+  bool centers_ok = !centers.empty();
+  std::string center_detail = centers.empty() ? "empty center set" : "";
+  for (std::size_t i = 0; centers_ok && i < centers.size(); ++i) {
+    const NodeId c = centers[i];
+    if (c < 0 || static_cast<std::size_t>(c) >= n ||
+        (i > 0 && centers[i - 1] >= c)) {
+      centers_ok = false;
+      center_detail = "centers not sorted/unique/in-range at index " +
+                      std::to_string(i);
+    } else if (center_index_of[static_cast<std::size_t>(c)] !=
+               static_cast<std::int32_t>(i)) {
+      centers_ok = false;
+      center_detail = "center_index_of inconsistent for center " +
+                      std::to_string(c);
+    }
+  }
+  if (centers_ok) {
+    std::size_t marked = 0;
+    for (const std::int32_t idx : center_index_of) {
+      if (idx >= 0) ++marked;
+    }
+    if (marked != centers.size()) {
+      centers_ok = false;
+      center_detail = "center_index_of marks " + std::to_string(marked) +
+                      " nodes, center set has " + std::to_string(centers.size());
+    }
+  }
+  report.check("center-index-inverse", centers_ok, std::move(center_detail));
+
+  bool nearest_ok = true;
+  std::string nearest_detail;
+  for (std::size_t v = 0; nearest_ok && v < n; ++v) {
+    const std::int32_t idx = nearest_center[v];
+    if (idx < 0 || static_cast<std::size_t>(idx) >= centers.size() ||
+        r_to_centers[v] >= kInfDist) {
+      nearest_ok = false;
+      nearest_detail = "node " + std::to_string(v) +
+                       " lacks a finite nearest center";
+    }
+  }
+  report.check("nearest-center-valid", nearest_ok, std::move(nearest_detail));
+
+  // Ball rows: sorted + unique + in range, v a member of its own ball, each
+  // center's ball the singleton {c} (r(c, A) = 0), and ball/cluster duality.
+  bool rows_ok = true;
+  bool dual_ok = true;
+  std::string rows_detail, dual_detail;
+  const auto row_sorted = [](const std::vector<NodeId>& row, std::size_t nn) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] < 0 || static_cast<std::size_t>(row[i]) >= nn ||
+          (i > 0 && row[i - 1] >= row[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (std::size_t v = 0; rows_ok && v < n; ++v) {
+    const auto& ball = ball_of[v];
+    const auto vid = static_cast<NodeId>(v);
+    if (!row_sorted(ball, n) || !row_sorted(cluster_of[v], n)) {
+      rows_ok = false;
+      rows_detail = "ball/cluster row of node " + std::to_string(v) +
+                    " not sorted/unique/in-range";
+    } else if (!std::binary_search(ball.begin(), ball.end(), vid)) {
+      rows_ok = false;
+      rows_detail = "node " + std::to_string(v) + " missing from its own ball";
+    } else if (center_index_of[v] >= 0 && ball.size() != 1) {
+      rows_ok = false;
+      rows_detail = "center " + std::to_string(v) +
+                    " has a non-singleton ball (r(c, A) must be 0)";
+    }
+    for (std::size_t i = 0; dual_ok && i < ball.size(); ++i) {
+      const auto& cluster = cluster_of[static_cast<std::size_t>(ball[i])];
+      if (!std::binary_search(cluster.begin(), cluster.end(), vid)) {
+        dual_ok = false;
+        dual_detail = std::to_string(ball[i]) + " in Ball(" +
+                      std::to_string(v) + ") but " + std::to_string(v) +
+                      " not in Cluster(" + std::to_string(ball[i]) + ")";
+      }
+    }
+  }
+  report.check("ball-rows-wellformed", rows_ok, std::move(rows_detail));
+  report.check("ball-cluster-duality", dual_ok, std::move(dual_detail));
+
+  // Lemma 2's O~(sqrt n): the builder resamples centers until its own slack
+  // holds, so a fresh system passes and an oversize row means corruption or
+  // a stale artifact.
+  const double budget =
+      report.budgets().ball_slack *
+      std::sqrt(static_cast<double>(n) *
+                std::log(std::max<double>(2.0, static_cast<double>(n))));
+  report.measure("ball-size", static_cast<double>(max_ball_size()), budget,
+                 "largest ball vs ball_slack * sqrt(n ln n)");
+  report.measure("cluster-size", static_cast<double>(max_cluster_size()),
+                 budget, "largest cluster vs ball_slack * sqrt(n ln n)");
 }
 
 BallSystem build_ball_system(const RoundtripMetric& metric,

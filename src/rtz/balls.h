@@ -23,6 +23,8 @@
 
 namespace rtr {
 
+class AuditReport;
+
 struct BallSystem {
   std::vector<NodeId> centers;               // sorted
   std::vector<std::int32_t> center_index_of; // per node: index in centers or -1
@@ -33,6 +35,14 @@ struct BallSystem {
 
   [[nodiscard]] std::int64_t max_ball_size() const;
   [[nodiscard]] std::int64_t max_cluster_size() const;
+
+  /// Auditable: array sizing, sorted/unique center set with a consistent
+  /// inverse index, finite r(v, A) with a valid nearest center, sorted ball
+  /// and cluster rows that are exact duals of each other (w in Ball(v) iff
+  /// v in Cluster(w)), centers owning the singleton ball {c}, and the
+  /// Lemma 2 O~(sqrt n) size budget (ball_slack * sqrt(n ln n)) on the
+  /// largest ball and cluster.
+  void audit(AuditReport& report) const;
 };
 
 /// Computes balls and clusters for a given center set.

@@ -1,7 +1,9 @@
 #include "rtz/hierarchy_label_scheme.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
@@ -98,6 +100,47 @@ std::int64_t HierarchyLabelScheme::header_bits(const Header& h) const {
          bits_for(hierarchy_->level_count() + 1) + bits_for(node_space_) +
          tree_label_bits(h.dest_label, node_space_, port_space_) +
          tree_label_bits(h.src_label, node_space_, port_space_) + 1;
+}
+
+void HierarchyLabelScheme::audit(AuditReport& report) const {
+  auto scope = report.scope("hier-label");
+  {
+    auto names_scope = report.scope("names");
+    names_.audit(report);
+  }
+  hierarchy_->audit(report);
+
+  const auto n = static_cast<std::size_t>(names_.node_count());
+  const auto levels = static_cast<std::size_t>(hierarchy_->level_count());
+  report.check("labels-sized", labels_.size() == n, "one label per node");
+  if (labels_.size() != n) return;
+
+  bool labels_ok = true;
+  std::string detail;
+  for (std::size_t v = 0; labels_ok && v < n; ++v) {
+    const HierarchyLabel& lab = labels_[v];
+    if (lab.name != names_.name_of(static_cast<NodeId>(v)) ||
+        lab.home_tree.size() != levels || lab.home_address.size() != levels) {
+      labels_ok = false;
+      detail = "label of node " + std::to_string(v) +
+               " misnamed or not covering every level";
+      break;
+    }
+    for (std::size_t li = 0; li < levels; ++li) {
+      const TreeRef home =
+          hierarchy_->home(static_cast<NodeId>(v),
+                           static_cast<std::int32_t>(li));
+      if (lab.home_tree[li] != home.tree ||
+          !hierarchy_->tree(home).contains(static_cast<NodeId>(v))) {
+        labels_ok = false;
+        detail = "label of node " + std::to_string(v) + " at level " +
+                 std::to_string(li) +
+                 " disagrees with the hierarchy's home assignment";
+        break;
+      }
+    }
+  }
+  report.check("labels-match-hierarchy", labels_ok, std::move(detail));
 }
 
 TableStats HierarchyLabelScheme::table_stats() const {

@@ -80,7 +80,14 @@ class HierarchyLabelScheme {
   }
   [[nodiscard]] const CoverHierarchy& hierarchy() const { return *hierarchy_; }
 
+  /// Auditable: delegates to the naming and cover hierarchy, then checks
+  /// every node's label lists one (home tree, address) pair per level, each
+  /// home tree containing the node and agreeing with the hierarchy's own
+  /// home assignment.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   int k_;
   NameAssignment names_;
   std::shared_ptr<const CoverHierarchy> hierarchy_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 #include "rtz/centers.h"
 #include "util/bit_cost.h"
@@ -284,6 +286,87 @@ TableStats Rtz3Scheme::table_stats() const {
     stats.add(v, entries, bits);
   }
   return stats;
+}
+
+void Rtz3Scheme::audit(AuditReport& report) const {
+  auto scope = report.scope("rtz3");
+  balls_.audit(report);
+
+  const auto n = static_cast<std::size_t>(graph_.node_count());
+  report.check("tables-sized",
+               addresses_.size() == n && tables_.size() == n &&
+                   names_.node_count() == graph_.node_count(),
+               "one address and one table block per node");
+  if (addresses_.size() != n || tables_.size() != n ||
+      balls_.ball_of.size() != n || balls_.cluster_of.size() != n ||
+      balls_.nearest_center.size() != n) {
+    return;  // per-node walks below depend on the sizing above
+  }
+
+  // Addresses: R3(v) must carry v's own name and its nearest center.
+  bool addr_ok = true;
+  std::string addr_detail;
+  for (std::size_t v = 0; addr_ok && v < n; ++v) {
+    const RtzAddress& a = addresses_[v];
+    if (a.name != names_.name_of(static_cast<NodeId>(v))) {
+      addr_ok = false;
+      addr_detail = "address of node " + std::to_string(v) +
+                    " carries the wrong name";
+    } else if (a.center_index < 0 ||
+               static_cast<std::size_t>(a.center_index) >=
+                   balls_.centers.size() ||
+               a.center_index != balls_.nearest_center[v]) {
+      addr_ok = false;
+      addr_detail = "address of node " + std::to_string(v) +
+                    " does not point at its nearest center";
+    }
+  }
+  report.check("addresses-consistent", addr_ok, std::move(addr_detail));
+
+  // Per-node tables: center arrays sized to the center set; every NameDict
+  // sorted with unique keys; dictionary populations matching the ball and
+  // cluster rows they were built from.  One aggregated entry per invariant
+  // (n nodes x 3 dictionaries would drown the report).
+  const auto centers = balls_.centers.size();
+  bool center_arrays_ok = true;
+  bool dicts_sorted = true;
+  bool dicts_populated = true;
+  std::string center_detail, sorted_detail, populated_detail;
+  const auto dict_sorted = [](const auto& dict) {
+    for (std::size_t i = 1; i < dict.size(); ++i) {
+      if (dict.key_at(i) <= dict.key_at(i - 1)) return false;
+    }
+    return true;
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeTables& t = tables_[v];
+    if (center_arrays_ok && (t.center_up_port.size() != centers ||
+                             t.center_tree_tab.size() != centers)) {
+      center_arrays_ok = false;
+      center_detail = "center arrays of node " + std::to_string(v) +
+                      " not sized to the center set";
+    }
+    if (dicts_sorted &&
+        !(dict_sorted(t.ball_out_label) && dict_sorted(t.member_out_tab) &&
+          dict_sorted(t.member_up_port))) {
+      dicts_sorted = false;
+      sorted_detail = "a dictionary of node " + std::to_string(v) +
+                      " has unsorted or duplicate keys";
+    }
+    if (dicts_populated &&
+        (t.ball_out_label.size() != balls_.ball_of[v].size() ||
+         t.member_out_tab.size() != balls_.cluster_of[v].size() ||
+         t.member_up_port.size() != balls_.cluster_of[v].size())) {
+      dicts_populated = false;
+      populated_detail = "dictionary population of node " + std::to_string(v) +
+                         " does not match its ball/cluster sizes";
+    }
+  }
+  report.check("center-arrays-sized", center_arrays_ok,
+               std::move(center_detail));
+  report.check("dicts-sorted-unique", dicts_sorted, std::move(sorted_detail));
+  report.check("dicts-match-balls", dicts_populated,
+               std::move(populated_detail));
 }
 
 // ---------------------------------------------------------------- snapshot --

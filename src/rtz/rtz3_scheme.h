@@ -111,6 +111,7 @@ class NameDict {
   }
 
  private:
+  friend struct AuditTestPeer;
   std::vector<std::pair<NodeName, V>> aos_;  // staging + AoS layout
   std::vector<NodeName> keys_;               // SoA layout
   std::vector<V> values_;
@@ -245,7 +246,14 @@ class Rtz3Scheme {
   /// costs at most 3 r(s,t).
   [[nodiscard]] double stretch_bound() const { return 3.0; }
 
+  /// Auditable: delegates to the ball system, then checks the address table
+  /// (name/center consistency with the balls) and every per-node dictionary
+  /// (sorted unique keys, center arrays sized to the center set, dictionary
+  /// populations matching ball/cluster sizes).
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   struct NodeTables {
     // Global center structures: indexed by center index.
     std::vector<Port> center_up_port;            // next hop toward center

@@ -1,9 +1,12 @@
 #include "treeroute/tree_router.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stack>
 #include <stdexcept>
+#include <string>
 
+#include "audit/audit.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 
@@ -66,6 +69,124 @@ TreeRouter::TreeRouter(const OutTree& tree) : root_(tree.root) {
     todo.pop();
     tables_[static_cast<std::size_t>(v)].dfs_in = counter++;
     for (NodeId c : children[static_cast<std::size_t>(v)]) todo.push(c);
+  }
+}
+
+void TreeRouter::audit(AuditReport& report) const {
+  auto scope = report.scope("tree");
+  const auto n = tables_.size();
+
+  report.check("arrays-sized",
+               parent_.size() == n && parent_port_.size() == n &&
+                   heavy_child_.size() == n &&
+                   members_.size() == static_cast<std::size_t>(member_count_),
+               "per-node arrays and the member list must agree");
+  if (parent_.size() != n || parent_port_.size() != n ||
+      heavy_child_.size() != n ||
+      members_.size() != static_cast<std::size_t>(member_count_)) {
+    return;  // the walks below index these arrays per member
+  }
+  if (member_count_ == 0) {
+    report.check("root-is-member", true, "empty tree");
+    return;
+  }
+
+  bool members_ok = contains(root_) &&
+                    parent_[static_cast<std::size_t>(root_)] == kNoNode;
+  std::string member_detail =
+      members_ok ? "" : "root missing or has a parent";
+  for (const NodeId v : members_) {
+    if (!members_ok) break;
+    if (!contains(v)) {
+      members_ok = false;
+      member_detail = "listed member " + std::to_string(v) + " has no table";
+    } else if (v != root_) {
+      const NodeId p = parent_[static_cast<std::size_t>(v)];
+      if (p == kNoNode || !contains(p)) {
+        members_ok = false;
+        member_detail = "member " + std::to_string(v) +
+                        " has a missing or non-member parent";
+      }
+    }
+  }
+  report.check("root-is-member", members_ok, std::move(member_detail));
+  if (!members_ok) return;
+
+  // Parent pointers must be acyclic and reach the root: a chain longer than
+  // the member count has necessarily revisited a node.
+  bool acyclic = true;
+  std::string cycle_detail;
+  for (const NodeId v : members_) {
+    NodeId x = v;
+    NodeId steps = 0;
+    while (x != root_ && steps <= member_count_) {
+      x = parent_[static_cast<std::size_t>(x)];
+      ++steps;
+    }
+    if (x != root_) {
+      acyclic = false;
+      cycle_detail = "parent chain of member " + std::to_string(v) +
+                     " does not reach the root (cycle)";
+      break;
+    }
+  }
+  report.check("parents-acyclic", acyclic, std::move(cycle_detail));
+
+  bool dfs_ok = true;
+  std::string dfs_detail;
+  std::vector<bool> dfs_seen(static_cast<std::size_t>(member_count_), false);
+  for (const NodeId v : members_) {
+    const std::int32_t dfs = tables_[static_cast<std::size_t>(v)].dfs_in;
+    if (dfs < 0 || dfs >= member_count_ ||
+        dfs_seen[static_cast<std::size_t>(dfs)]) {
+      dfs_ok = false;
+      dfs_detail = "dfs number of member " + std::to_string(v) +
+                   " out of range or duplicated";
+      break;
+    }
+    dfs_seen[static_cast<std::size_t>(dfs)] = true;
+  }
+  report.check("dfs-numbers-unique", dfs_ok, std::move(dfs_detail));
+
+  // Heavy links: a recorded heavy child must be a member child of its node
+  // with the matching port; a node without one must present kNoPort (the
+  // leaf condition tree_next_port uses to detect off-path packets).
+  bool heavy_ok = true;
+  std::string heavy_detail;
+  for (const NodeId v : members_) {
+    const NodeId h = heavy_child_[static_cast<std::size_t>(v)];
+    const Port hp = tables_[static_cast<std::size_t>(v)].heavy_port;
+    if (h == kNoNode) {
+      if (hp != kNoPort) {
+        heavy_ok = false;
+        heavy_detail = "member " + std::to_string(v) +
+                       " has a heavy port but no heavy child";
+        break;
+      }
+      continue;
+    }
+    if (!contains(h) || parent_[static_cast<std::size_t>(h)] != v ||
+        hp != parent_port_[static_cast<std::size_t>(h)]) {
+      heavy_ok = false;
+      heavy_detail = "heavy link of member " + std::to_string(v) +
+                     " is not a child edge with the matching port";
+      break;
+    }
+  }
+  report.check("heavy-links-consistent", heavy_ok, std::move(heavy_detail));
+
+  if (acyclic) {
+    std::int64_t max_hops = 0;
+    for (const NodeId v : members_) {
+      max_hops = std::max(
+          max_hops, static_cast<std::int64_t>(label(v).light_hops.size()));
+    }
+    const double budget =
+        report.budgets().label_slack *
+        std::floor(std::log2(std::max<double>(2.0,
+                                              static_cast<double>(member_count_))));
+    report.measure("light-hops", static_cast<double>(max_hops), budget,
+                   "longest light-hop list vs label_slack * floor(log2 |tree|)");
   }
 }
 

@@ -28,6 +28,7 @@ namespace rtr {
 
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
+class AuditReport;  // audit/audit.h
 
 /// Per-node state a tree member stores for one tree: O(1) words.
 struct TreeNodeTable {
@@ -74,7 +75,14 @@ class TreeRouter {
   /// Members in no particular order.
   [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
 
+  /// Auditable: member bookkeeping, acyclic parent pointers reaching the
+  /// root, unique DFS numbers, heavy-child/heavy-port consistency, and the
+  /// Lemma 14 bound of at most label_slack * floor(log2 |tree|) light hops
+  /// on every member's address.
+  void audit(AuditReport& report) const;
+
  private:
+  friend struct AuditTestPeer;
   NodeId root_ = kNoNode;
   NodeId member_count_ = 0;
   std::vector<TreeNodeTable> tables_;

@@ -22,6 +22,14 @@
 //       its O~(sqrt n) / O~(n sqrt n) budget allows (growth RATES, so no
 //       committed full baseline is needed and hardware drops out).
 //
+//   rtr_bench --audit [--families ...] [--sizes ...] [--schemes ...]
+//             [--rev REV] [--out FILE] [--seed S]
+//       Builds every configured scheme x family x size cell, runs the deep
+//       invariant auditor over each built artifact, and writes the combined
+//       AUDIT_<rev>.json (per-invariant pass/fail plus measured-vs-budget
+//       numbers, so CI can archive invariant headroom next to the perf
+//       documents).  Non-zero exit when any cell violates any invariant.
+//
 // Families: random | grid | ring | scale-free | bidirected.
 #include <cstdio>
 #include <cstring>
@@ -30,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.h"
 #include "bench_harness/bench_harness.h"
 #include "graph/apsp.h"
+#include "graph/generators.h"
 #include "net/scheme.h"
 
 namespace {
@@ -47,8 +57,10 @@ int usage(const char* argv0) {
                "          [--no-snapshot-phase] [--no-deltas]\n"
                "       %s --check BASELINE CURRENT [--qps-tolerance T]\n"
                "          [--delta-floor PCT]\n"
-               "       %s --check-growth FILE\n",
-               argv0, argv0, argv0);
+               "       %s --check-growth FILE\n"
+               "       %s --audit [--families ...] [--sizes ...] "
+               "[--schemes ...] [--rev REV] [--out FILE]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -88,6 +100,61 @@ int run_growth_check(const std::string& path) {
   return 1;
 }
 
+/// `--audit`: one auditor run per configured cell, all folded into one
+/// schema-versioned document next to the perf BENCH_*.json artifacts.
+int run_audit(const BenchConfig& config, const std::string& rev,
+              const std::string& out_path) {
+  using benchjson::Json;
+  using benchjson::JsonArray;
+  using benchjson::JsonObject;
+
+  std::vector<std::string> schemes = config.schemes;
+  if (schemes.empty()) schemes = SchemeRegistry::global().names();
+
+  Json doc{JsonObject{}};
+  doc.set("schema", "rtr-audit-suite/1");
+  doc.set("rev", rev);
+  JsonArray cells;
+  bool all_ok = true;
+  std::int64_t failed_cells = 0;
+  for (const Family family : config.families) {
+    for (const NodeId n : config.sizes) {
+      Rng rng(config.seed);
+      BuildContext ctx = BuildContext::for_graph(
+          make_family(family, n, 4, rng), config.seed);
+      for (const std::string& scheme_name : schemes) {
+        SchemeHandle handle(ctx.graph, ctx.names,
+                            SchemeRegistry::global().build(scheme_name, ctx));
+        AuditReport report;
+        audit_handle(handle, report);
+        std::cerr << "audit " << scheme_name << " x " << family_name(family)
+                  << " n=" << n << ": "
+                  << (report.ok() ? "ok" : "FAILED") << " ("
+                  << report.total_count() << " invariants)\n";
+        if (!report.ok()) {
+          std::cerr << report.summary(false);
+          ++failed_cells;
+          all_ok = false;
+        }
+        Json cell = Json::parse(report.to_json_string());
+        cell.set("scheme", scheme_name);
+        cell.set("family", std::string(family_name(family)));
+        cell.set("n", static_cast<std::int64_t>(n));
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  doc.set("ok", all_ok);
+  doc.set("cells", std::move(cells));
+  const std::string path =
+      out_path.empty() ? "AUDIT_" + rev + ".json" : out_path;
+  write_text_file(path, doc.dump());
+  std::printf("wrote %s (%zu cells, %lld failed)\n", path.c_str(),
+              config.families.size() * config.sizes.size() * schemes.size(),
+              static_cast<long long>(failed_cells));
+  return all_ok ? 0 : 1;
+}
+
 int run_check(const std::string& baseline_path, const std::string& current_path,
               const GateOptions& options) {
   const auto baseline =
@@ -120,6 +187,7 @@ int main(int argc, char** argv) {
     std::string out_path;
     std::string rev = "dev";
     std::string check_baseline, check_current, check_growth;
+    bool audit_mode = false;
     GateOptions gate;
 
     for (int i = 1; i < argc; ++i) {
@@ -163,6 +231,8 @@ int main(int argc, char** argv) {
         check_current = next();
       } else if (arg == "--check-growth") {
         check_growth = next();
+      } else if (arg == "--audit") {
+        audit_mode = true;
       } else if (arg == "--qps-tolerance") {
         gate.qps_drop_tolerance = std::stod(next());
       } else if (arg == "--delta-floor") {
@@ -187,6 +257,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown scheme: %s\n", s.c_str());
         return 2;
       }
+    }
+
+    if (audit_mode) {
+      set_default_apsp_threads(config.threads);
+      return run_audit(config, rev, out_path);
     }
 
     // --threads (default: hardware concurrency) drives the QueryEngine

@@ -20,7 +20,16 @@
 //       Load a snapshot into a ready-to-serve handle; optionally run one
 //       roundtrip query against it.
 //   rtr_cli snapshot info <path>
-//       Validate framing and checksums; print the header and section table.
+//       Probe framing and per-section checksums; print the header and the
+//       section table with each section's CRC status.  Non-zero exit when
+//       any section is damaged.
+//   rtr_cli audit <scheme> <family> <n> [seed]
+//       Build the scheme over a generated instance and run the deep
+//       invariant auditor over the graph, the naming, and every scheme
+//       substructure.  Non-zero exit on any violated invariant.
+//   rtr_cli audit <file.rtrsnap>
+//       Audit a snapshot file in place: framing, per-section CRCs, and
+//       cross-section referential integrity, without building the scheme.
 //   rtr_cli snapshot bench <scheme> <family> <n> [pairs] [seed]
 //       Measure build-vs-load: construct the scheme (timed), save it, load
 //       it back (timed), check the loaded handle answers a sampled batch
@@ -45,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.h"
 #include "graph/apsp.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
@@ -74,6 +84,8 @@ int usage() {
             << "  rtr_cli snapshot info <path>\n"
             << "  rtr_cli snapshot bench <scheme> <family> <n> [pairs] "
                "[seed]\n"
+            << "  rtr_cli audit <scheme> <family> <n> [seed]\n"
+            << "  rtr_cli audit <file.rtrsnap>\n"
             << "  rtr_cli churn <scheme> <family> <n> [epochs] [threads] "
                "[seed]\n"
             << "  scheme:";
@@ -182,6 +194,56 @@ void print_snapshot_info(const SnapshotInfo& info) {
     std::printf("  %-8s %12llu bytes  crc32 %08x\n", s.name.c_str(),
                 static_cast<unsigned long long>(s.bytes), s.crc);
   }
+}
+
+/// Probe-based `snapshot info`: prints the header and every section with its
+/// CRC health; returns non-zero when the file is damaged anywhere.
+int run_snapshot_info(const std::string& path) {
+  const SnapshotFileStatus status = probe_snapshot(path);
+  if (!status.framing_error.empty() && status.scheme.empty()) {
+    std::cout << "file:     " << path << "\n"
+              << "bytes:    " << status.file_bytes << "\n"
+              << "framing:  BAD (" << status.framing_error << ")\n";
+    return 1;
+  }
+  std::cout << "scheme:   " << status.scheme << "\n"
+            << "version:  " << status.version << "\n"
+            << "nodes:    " << status.node_count << "\n"
+            << "edges:    " << status.edge_count << "\n"
+            << "bytes:    " << status.file_bytes << "\n"
+            << "framing:  "
+            << (status.framing_ok ? "ok" : "BAD (" + status.framing_error + ")")
+            << "\n"
+            << "sections:\n";
+  for (const auto& s : status.sections) {
+    if (s.crc_ok) {
+      std::printf("  %-8s %12llu bytes  crc32 %08x  ok\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.bytes), s.stored_crc);
+    } else {
+      std::printf("  %-8s %12llu bytes  crc32 %08x  BAD (recomputed %08x)\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.bytes),
+                  s.stored_crc, s.actual_crc);
+    }
+  }
+  return status.all_ok() ? 0 : 1;
+}
+
+int run_audit_build(const std::string& scheme_name, const std::string& family,
+                    NodeId n, std::uint64_t seed) {
+  BuildContext ctx = family_context(parse_family(family), n, 4, seed);
+  SchemeHandle handle(ctx.graph, ctx.names,
+                      SchemeRegistry::global().build(scheme_name, ctx));
+  AuditReport report;
+  audit_handle(handle, report);
+  std::cout << handle.name() << "\n" << report.summary(true);
+  return report.ok() ? 0 : 1;
+}
+
+int run_audit_snapshot(const std::string& path) {
+  AuditReport report;
+  audit_snapshot_file(path, report);
+  std::cout << path << "\n" << report.summary(true);
+  return report.ok() ? 0 : 1;
 }
 
 int run_snapshot_save(const std::string& scheme_name, const std::string& path,
@@ -325,8 +387,7 @@ int run_snapshot(int argc, char** argv) {
   }
   if (sub == "info") {
     if (argc != 4) return usage();
-    print_snapshot_info(inspect_snapshot(argv[3]));
-    return 0;
+    return run_snapshot_info(argv[3]);
   }
   if (sub == "bench") {
     if (argc < 6 || argc > 8) return usage();
@@ -377,6 +438,16 @@ int main_inner(int argc, char** argv) {
 
   if (cmd == "snapshot") {
     return run_snapshot(argc, argv);
+  }
+
+  if (cmd == "audit") {
+    // One operand: a snapshot file.  Three or four: scheme/family/n/[seed].
+    if (argc == 3) return run_audit_snapshot(argv[2]);
+    if (argc < 5 || argc > 6) return usage();
+    const std::uint64_t seed =
+        argc == 6 ? std::stoull(argv[5]) : std::uint64_t{1};
+    return run_audit_build(argv[2], argv[3],
+                           static_cast<NodeId>(std::stol(argv[4])), seed);
   }
 
   if (cmd == "churn") {
