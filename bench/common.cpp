@@ -30,7 +30,7 @@ ExperimentInstance build_instance(Family family, NodeId n, Weight max_weight,
   builder.assign_adversarial_ports(rng);
   inst.names = NameAssignment::random(builder.node_count(), rng);
   inst.graph_ptr = std::make_shared<const Digraph>(builder.freeze());
-  inst.metric = std::make_shared<RoundtripMetric>(*inst.graph_ptr);
+  inst.metric = std::make_shared<DenseRoundtripMetric>(*inst.graph_ptr);
   return inst;
 }
 

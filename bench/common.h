@@ -39,7 +39,7 @@ using StretchReport = ::rtr::StretchReport;
 struct ExperimentInstance {
   std::shared_ptr<const Digraph> graph_ptr;
   NameAssignment names = NameAssignment::identity(0);
-  std::shared_ptr<RoundtripMetric> metric;
+  std::shared_ptr<const RoundtripMetric> metric;
 
   [[nodiscard]] const Digraph& graph() const { return *graph_ptr; }
   [[nodiscard]] NodeId n() const { return graph_ptr->node_count(); }

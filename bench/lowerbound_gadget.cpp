@@ -31,7 +31,7 @@ void run() {
     ExperimentInstance inst;
     inst.graph_ptr = std::make_shared<const Digraph>(g.freeze());
     inst.names = names;
-    inst.metric = std::make_shared<RoundtripMetric>(inst.graph());
+    inst.metric = std::make_shared<DenseRoundtripMetric>(inst.graph());
     const bool symmetric = is_distance_symmetric(*inst.metric);
 
     FullTableScheme baseline(inst.graph(), inst.names);

@@ -42,7 +42,7 @@ BENCHMARK(BM_Apsp)->Arg(64)->Arg(128)->Arg(256)->Complexity();
 void BM_SparseCoverBuild(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Digraph g = bench_graph(n, 2);
-  RoundtripMetric metric(g);
+  DenseRoundtripMetric metric(g);
   const Dist d = metric.rt_diameter() / 4;
   for (auto _ : state) {
     benchmark::DoNotOptimize(build_sparse_cover(metric, 3, d));
@@ -53,7 +53,7 @@ BENCHMARK(BM_SparseCoverBuild)->Arg(64)->Arg(128)->Arg(256);
 void BM_Rtz3Build(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Digraph g = bench_graph(n, 3);
-  RoundtripMetric metric(g);
+  DenseRoundtripMetric metric(g);
   auto names = NameAssignment::identity(n);
   for (auto _ : state) {
     Rng rng(4);
@@ -66,7 +66,7 @@ BENCHMARK(BM_Rtz3Build)->Arg(64)->Arg(128);
 void BM_Stretch6Build(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Digraph g = bench_graph(n, 5);
-  RoundtripMetric metric(g);
+  DenseRoundtripMetric metric(g);
   auto names = NameAssignment::identity(n);
   for (auto _ : state) {
     Rng rng(6);
@@ -79,7 +79,7 @@ BENCHMARK(BM_Stretch6Build)->Arg(64)->Arg(128);
 void BM_Stretch6Roundtrip(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Digraph g = bench_graph(n, 7);
-  RoundtripMetric metric(g);
+  DenseRoundtripMetric metric(g);
   auto names = NameAssignment::identity(n);
   Rng rng(8);
   Stretch6Scheme scheme(g, metric, names, rng);
@@ -96,7 +96,7 @@ BENCHMARK(BM_Stretch6Roundtrip)->Arg(128)->Arg(256);
 void BM_PolyStretchRoundtrip(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Digraph g = bench_graph(n, 9);
-  RoundtripMetric metric(g);
+  DenseRoundtripMetric metric(g);
   auto names = NameAssignment::identity(n);
   PolyStretchScheme scheme(g, metric, names);
   NodeId s = 0;

@@ -56,7 +56,7 @@ int main() {
   grid_builder.assign_adversarial_ports(rng);
   const Digraph grid = grid_builder.freeze();
   NameAssignment names = NameAssignment::random(grid.node_count(), rng);
-  RoundtripMetric metric(grid);
+  DenseRoundtripMetric metric(grid);
 
   std::cout << "DATA/ACK roundtrips on a " << grid.node_count()
             << "-node one-way grid (d(u,v) != d(v,u) almost everywhere)\n\n";

@@ -21,7 +21,7 @@ int main() {
   builder.assign_adversarial_ports(rng);
   const Digraph graph = builder.freeze();
   NameAssignment names = NameAssignment::random(graph.node_count(), rng);
-  RoundtripMetric metric(graph);
+  DenseRoundtripMetric metric(graph);
 
   PolyStretchScheme::Options opts;
   opts.k = 3;

@@ -41,7 +41,7 @@ int main() {
     GraphBuilder builder = random_strongly_connected(n, 4.0, 6, topo_rng);
     builder.assign_adversarial_ports(topo_rng);
     Digraph g = builder.freeze();
-    RoundtripMetric metric(g);
+    DenseRoundtripMetric metric(g);
     Rng scheme_rng(200 + static_cast<std::uint64_t>(epoch));
     Stretch6Scheme scheme(g, metric, names, scheme_rng);
 

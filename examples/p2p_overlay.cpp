@@ -26,7 +26,7 @@ int main() {
   overlay_builder.assign_adversarial_ports(rng);
   const Digraph overlay = overlay_builder.freeze();
   NameAssignment peer_ids = NameAssignment::random(overlay.node_count(), rng);
-  RoundtripMetric metric(overlay);
+  DenseRoundtripMetric metric(overlay);
   Stretch6Scheme fabric(overlay, metric, peer_ids, rng);
 
   Summary stretch;

@@ -35,7 +35,7 @@ int main() {
   builder.assign_adversarial_ports(rng);
   const Digraph graph = builder.freeze();
   NameAssignment names = NameAssignment::random(graph.node_count(), rng);
-  RoundtripMetric metric(graph);
+  DenseRoundtripMetric metric(graph);
 
   ExStretchScheme::Options opts;
   opts.k = 4;  // 4-digit names, as in the figure

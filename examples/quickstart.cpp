@@ -30,7 +30,7 @@ int main() {
   NameAssignment names = NameAssignment::random(graph.node_count(), rng);
 
   // 3. Preprocess: roundtrip metric (APSP) + scheme construction.
-  RoundtripMetric metric(graph);
+  DenseRoundtripMetric metric(graph);
   Stretch6Scheme scheme(graph, metric, names, rng);
 
   // 4. Route.  The packet enters the network carrying nothing but the

@@ -106,6 +106,33 @@ std::int64_t current_rss_kb() {
   return -1;
 }
 
+bool reset_peak_rss() {
+  // Writing "5" to clear_refs resets the VmHWM watermark to the current RSS
+  // (Linux >= 4.0); after that, VmHWM reads as the peak of just the phase
+  // since the reset.  Without the reset VmHWM is a process-lifetime maximum,
+  // which would make per-cell peaks monotone garbage -- so failure here must
+  // be reported, not ignored.
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (!clear_refs) return false;
+  clear_refs << "5";
+  clear_refs.flush();
+  return clear_refs.good();
+}
+
+std::int64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return -1;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::int64_t kb = -1;
+      if (std::sscanf(line.c_str(), "VmHWM: %" SCNd64, &kb) == 1) return kb;
+      return -1;
+    }
+  }
+  return -1;
+}
+
 // ------------------------------------------------------------------ suite --
 
 BenchConfig BenchConfig::quick() {
@@ -151,7 +178,9 @@ struct Instance {
 };
 
 Instance build_instance(Family family, NodeId n, Weight max_weight,
-                        std::uint64_t seed) {
+                        std::uint64_t seed,
+                        MetricMode metric_mode = MetricMode::kAuto,
+                        int threads = 0) {
   Instance inst;
   Rng rng(seed);
   GraphBuilder builder = make_family(family, n, max_weight, rng);
@@ -159,7 +188,10 @@ Instance build_instance(Family family, NodeId n, Weight max_weight,
   inst.names = NameAssignment::random(builder.node_count(), rng);
   inst.graph = std::make_shared<const Digraph>(builder.freeze());
   const auto t0 = Clock::now();
-  inst.metric = std::make_shared<RoundtripMetric>(*inst.graph);
+  // For the sparse backend this is just the constructor (SCC check + graph
+  // reversal); rows are filled lazily during scheme builds, so the apsp_ms
+  // column measures the dense matrix only where one is actually built.
+  inst.metric = make_roundtrip_metric(inst.graph, metric_mode, threads);
   inst.apsp_ms = ms_since(t0);
   return inst;
 }
@@ -180,10 +212,13 @@ CellResult run_cell(const Instance& inst, const std::string& scheme_name,
   cell.n = inst.graph->node_count();
   cell.apsp_ms = inst.apsp_ms;
 
-  BuildContext ctx = BuildContext::wrap(inst.graph, inst.metric, inst.names,
-                                        config.seed + static_cast<std::uint64_t>(n));
+  BuildContext ctx = BuildContext::wrap(
+      inst.graph, inst.metric, inst.names,
+      config.seed + static_cast<std::uint64_t>(n),
+      {{"threads", std::to_string(config.threads)}});
 
   // --- construction phase -------------------------------------------------
+  const bool peak_armed = reset_peak_rss();
   const std::int64_t rss_before = current_rss_kb();
   const auto build_t0 = Clock::now();
   std::shared_ptr<const Scheme> scheme =
@@ -193,6 +228,7 @@ CellResult run_cell(const Instance& inst, const std::string& scheme_name,
   if (rss_before >= 0 && rss_after >= 0) {
     cell.build_rss_delta_kb = std::max<std::int64_t>(0, rss_after - rss_before);
   }
+  if (peak_armed) cell.peak_rss_kb = peak_rss_kb();
 
   const TableStats stats = scheme->table_stats();
   cell.table_entries_max = stats.max_entries();
@@ -562,7 +598,8 @@ SuiteResult run_suite(const BenchConfig& config, std::ostream* progress) {
       const Instance inst = build_instance(
           family, n, config.max_weight,
           config.seed + static_cast<std::uint64_t>(n) * 31 +
-              static_cast<std::uint64_t>(family));
+              static_cast<std::uint64_t>(family),
+          config.metric_mode, config.threads);
       if (family == delta_family && n == delta_n && !have_delta_inst) {
         delta_inst = inst;
         have_delta_inst = true;
@@ -598,7 +635,8 @@ SuiteResult run_suite(const BenchConfig& config, std::ostream* progress) {
     const Instance dict_inst =
         dict_n == n ? inst
                     : build_instance(family, dict_n, config.max_weight,
-                                     config.seed + static_cast<std::uint64_t>(dict_n));
+                                     config.seed + static_cast<std::uint64_t>(dict_n),
+                                     config.metric_mode, config.threads);
     result.deltas.push_back(
         measure_rtz3_dict_delta(dict_inst, family, config.seed));
     for (const std::string& scheme :
@@ -644,6 +682,7 @@ Json cell_to_json(const CellResult& c) {
   j.set("query_reps", static_cast<std::int64_t>(c.query_reps));
   j.set("query_steady", c.query_steady);
   j.set("build_rss_delta_kb", c.build_rss_delta_kb);
+  j.set("peak_rss_kb", c.peak_rss_kb);
   j.set("pairs", c.pairs);
   j.set("failures", c.failures);
   j.set("invalid", c.invalid);
@@ -671,6 +710,9 @@ CellResult cell_from_json(const Json& j) {
   c.query_reps = static_cast<int>(j.at("query_reps").as_int());
   c.query_steady = j.at("query_steady").as_bool();
   c.build_rss_delta_kb = j.at("build_rss_delta_kb").as_int();
+  // Tolerant read: documents from before the peak-RSS column (older
+  // baselines) parse as "not measured", same as a host without clear_refs.
+  c.peak_rss_kb = j.has("peak_rss_kb") ? j.at("peak_rss_kb").as_int() : -1;
   c.pairs = j.at("pairs").as_int();
   c.failures = j.at("failures").as_int();
   c.invalid = j.at("invalid").as_int();
@@ -741,6 +783,7 @@ Json suite_to_json(const SuiteResult& result, const BenchConfig& config,
     cfg.set("latency_sample", config.latency_sample);
     cfg.set("threads", static_cast<std::int64_t>(config.threads));
     cfg.set("seed", static_cast<std::int64_t>(config.seed));
+    cfg.set("metric", std::string(metric_mode_name(config.metric_mode)));
     cfg.set("max_weight", static_cast<std::int64_t>(config.max_weight));
   }
   doc.set("config", std::move(cfg));
@@ -813,6 +856,10 @@ std::vector<std::string> check_growth_budgets(const Json& doc,
                                               const GrowthGateOptions& options) {
   std::vector<std::string> violations;
   const std::vector<CellResult> cells = cells_from_json(doc);
+  // Count (scheme, family) series the gate actually evaluated: a document
+  // that produces zero evaluations (wrong schemes, single-size sweep) must
+  // be a typed failure, or a misconfigured nightly job would green forever.
+  int gated_series = 0;
   for (const std::string& scheme : options.schemes) {
     // Group this scheme's cells by family, sorted by n.
     std::vector<std::string> families;
@@ -832,7 +879,14 @@ std::vector<std::string> check_growth_budgets(const Json& doc,
                 [](const CellResult* a, const CellResult* b) {
                   return a->n < b->n;
                 });
-      if (series.size() < 2) continue;
+      const auto key = scheme + "|" + family;
+      if (series.size() < 2) {
+        throw GrowthGateError(
+            "check_growth_budgets: " + key + " has only " +
+            std::to_string(series.size()) +
+            " size(s); a growth gate needs a multi-size sweep (pass at least "
+            "two --sizes)");
+      }
       // Gate the series ENDPOINTS, not consecutive steps: over one doubling
       // the sqrt-budget-with-slack still admits linear growth (2x actual vs
       // ~2.1x allowed), while over the full sweep range (n ratio 32) the
@@ -840,13 +894,29 @@ std::vector<std::string> check_growth_budgets(const Json& doc,
       // a linear regression.
       const CellResult& lo = *series.front();
       const CellResult& hi = *series.back();
-      if (hi.n <= lo.n) continue;
+      if (hi.n <= lo.n) {
+        throw GrowthGateError("check_growth_budgets: " + key +
+                              " endpoints are both n=" + std::to_string(lo.n) +
+                              "; duplicate sizes cannot support a growth "
+                              "ratio (pass distinct --sizes)");
+      }
       const double size_ratio =
           static_cast<double>(hi.n) / static_cast<double>(lo.n);
       const double log_ratio = std::log2(static_cast<double>(hi.n)) /
                                std::log2(static_cast<double>(lo.n));
-      const auto key = scheme + "|" + family;
-      if (lo.bytes_per_node > 0) {
+      ++gated_series;
+      if (!(lo.bytes_per_node > 0) || !std::isfinite(lo.bytes_per_node) ||
+          !std::isfinite(hi.bytes_per_node)) {
+        // bytes_per_node is deterministic and positive for every real build;
+        // zero or non-finite means a truncated/corrupt document, and dividing
+        // by it would turn the gate into NaN/inf comparisons that never fire.
+        throw GrowthGateError(
+            "check_growth_budgets: " + key + " has non-positive or " +
+            "non-finite bytes_per_node at an endpoint (lo=" +
+            std::to_string(lo.bytes_per_node) + ", hi=" +
+            std::to_string(hi.bytes_per_node) + "); document is malformed");
+      }
+      {
         const double allowed =
             std::sqrt(size_ratio) * log_ratio * log_ratio * options.bytes_slack;
         const double actual = hi.bytes_per_node / lo.bytes_per_node;
@@ -856,6 +926,26 @@ std::vector<std::string> check_growth_budgets(const Json& doc,
                         "%s: bytes/node grew %.2fx from n=%d to n=%d "
                         "(O~(sqrt n) budget allows %.2fx)",
                         key.c_str(), actual, lo.n, hi.n, allowed);
+          violations.emplace_back(buf);
+        }
+      }
+      if (lo.peak_rss_kb >= options.min_peak_rss_kb &&
+          hi.peak_rss_kb >= options.min_peak_rss_kb) {
+        // Total-memory budget: graph + metric rows + tables in O~(n sqrt n).
+        // Only armed when both endpoints cleared the floor (below it,
+        // allocator round-off dominates) and the kernel reported a peak.
+        const double allowed = size_ratio * std::sqrt(size_ratio) * log_ratio *
+                               log_ratio * options.rss_slack;
+        const double actual = static_cast<double>(hi.peak_rss_kb) /
+                              static_cast<double>(lo.peak_rss_kb);
+        if (actual > allowed) {
+          char buf[220];
+          std::snprintf(buf, sizeof buf,
+                        "%s: peak RSS grew %.2fx from n=%d (%lld KiB) to n=%d "
+                        "(%lld KiB); O~(n sqrt n) memory budget allows %.2fx",
+                        key.c_str(), actual, lo.n,
+                        static_cast<long long>(lo.peak_rss_kb), hi.n,
+                        static_cast<long long>(hi.peak_rss_kb), allowed);
           violations.emplace_back(buf);
         }
       }
@@ -874,6 +964,12 @@ std::vector<std::string> check_growth_budgets(const Json& doc,
         }
       }
     }
+  }
+  if (gated_series == 0) {
+    throw GrowthGateError(
+        "check_growth_budgets: no gated scheme/family series found in the "
+        "document; the gate would pass vacuously (check --schemes against "
+        "the gated set and sweep at least two sizes)");
   }
   return violations;
 }

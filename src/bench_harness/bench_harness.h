@@ -16,12 +16,14 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_harness/json.h"
 #include "graph/generators.h"
 #include "net/query_engine.h"
+#include "rt/metric.h"
 #include "util/types.h"
 
 namespace rtr::bench_harness {
@@ -64,6 +66,16 @@ TimedPhase run_timed(const IterationPolicy& policy,
 /// Resident set size in KiB from /proc/self/status, or -1 where unavailable.
 [[nodiscard]] std::int64_t current_rss_kb();
 
+/// Resets the kernel's peak-RSS watermark (VmHWM) to the current RSS so the
+/// next peak_rss_kb() read brackets just the phase in between.  Returns false
+/// where /proc/self/clear_refs is unavailable; callers then report -1 rather
+/// than a process-lifetime maximum.
+[[nodiscard]] bool reset_peak_rss();
+
+/// Peak resident set size in KiB (VmHWM) since the last reset_peak_rss(),
+/// or -1 where unavailable.
+[[nodiscard]] std::int64_t peak_rss_kb();
+
 /// CPU model string from /proc/cpuinfo ("unknown" elsewhere).  Stamped into
 /// every document so the gate knows whether absolute-throughput comparisons
 /// are meaningful (see compare_to_baseline).
@@ -85,6 +97,10 @@ struct BenchConfig {
   int threads = 0;
   std::uint64_t seed = 7;
   Weight max_weight = 4;
+  /// Metric backend per instance: kAuto keeps the dense APSP matrix up to
+  /// kDenseMetricAutoThreshold nodes and switches to bounded-Dijkstra sparse
+  /// rows beyond, which is what lets the full sweep pass 4096.
+  MetricMode metric_mode = MetricMode::kAuto;
   bool snapshot_phase = true;   ///< measure snapshot save+load per cell
   bool hot_path_deltas = true;  ///< record the in-binary before/after deltas
   IterationPolicy iterations;
@@ -112,6 +128,10 @@ struct CellResult {
   int query_reps = 0;
   bool query_steady = false;
   std::int64_t build_rss_delta_kb = -1;
+  /// Peak RSS (VmHWM) in KiB across this cell's build phase, watermark-reset
+  /// per cell; -1 where the kernel interface is unavailable.  This is the
+  /// column the nightly growth gate checks against the O~(n sqrt n) budget.
+  std::int64_t peak_rss_kb = -1;
 
   // Workload statistics (deterministic given the config).
   std::int64_t pairs = 0;
@@ -197,6 +217,14 @@ struct GrowthGateOptions {
   double bytes_slack = 1.45;
   double build_slack = 1.5;    ///< on top of the budget's polylog term
   double min_build_ms = 5.0;   ///< both cells must exceed this to gate time
+  /// Peak-RSS endpoint gate: peak(n2)/peak(n1) <= (n2/n1)^1.5 * polylog *
+  /// rss_slack, the O~(n sqrt n) TOTAL memory budget (metric rows + tables).
+  /// Slack 1.5 still separates O(n^2) (64x over an 8x size range) from the
+  /// budget (~37x allowed); it is NOT applied when either endpoint's
+  /// peak_rss_kb is -1 (kernel interface unavailable) or below the floor,
+  /// where allocator noise dominates.
+  double rss_slack = 1.5;
+  std::int64_t min_peak_rss_kb = 4096;
   /// Schemes with the O~(sqrt n)/node table shape.  fulltable (Theta(n)
   /// entries per node) and the k-parameterized tradeoff schemes are not
   /// gated here.
@@ -204,6 +232,19 @@ struct GrowthGateOptions {
                                       "hashed64"};
 };
 
+/// Malformed growth-gate input: a single-size sweep, duplicate-size
+/// endpoints, or a zero/non-finite baseline cell would make every ratio
+/// below NaN/inf or vacuously pass -- conditions a nightly job must fail
+/// loudly on, not skip.  Thrown by check_growth_budgets; rtr_bench turns it
+/// into a nonzero exit.
+class GrowthGateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws GrowthGateError when the document cannot support the gate at all
+/// (see above); otherwise returns budget violations as with
+/// compare_to_baseline.
 [[nodiscard]] std::vector<std::string> check_growth_budgets(
     const benchjson::Json& doc, const GrowthGateOptions& options = {});
 

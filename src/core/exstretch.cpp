@@ -6,8 +6,10 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "graph/apsp.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -71,10 +73,15 @@ ExStretchScheme::ExStretchScheme(const Digraph& g, const RoundtripMetric& metric
   const NodeId n = g.node_count();
   const int k = alphabet_.k();
   const std::int64_t q = alphabet_.q();
+  const int threads = resolve_apsp_threads(options.threads);
   const Digraph reversed = g.reversed();
-  hierarchy_ = std::make_shared<CoverHierarchy>(g, reversed, metric, k);
+  hierarchy_ = std::make_shared<CoverHierarchy>(g, reversed, metric, k, threads);
 
-  Neighborhoods hoods = compute_neighborhoods(metric, names_);
+  // Lemma 4 and item (2) only read Init_u up to the level-(k-1) neighborhood
+  // q^{k-1}, so truncated rows suffice.
+  const auto hood_rows = static_cast<NodeId>(
+      std::min<std::int64_t>(alphabet_.power(k - 1), n));
+  Neighborhoods hoods = compute_neighborhoods(metric, names_, hood_rows, threads);
   assignment_ =
       assign_blocks(alphabet_, metric, names_, hoods, rng, options.blocks);
 
@@ -115,20 +122,22 @@ ExStretchScheme::ExStretchScheme(const Digraph& g, const RoundtripMetric& metric
   }
 
   tables_.resize(static_cast<std::size_t>(n));
-  // (2): R2 for the immediate neighborhood N_1(u) (first q of Init_u).
-  for (NodeId u = 0; u < n; ++u) {
+  // Both per-node table loops write only tables_[u], so they fan out over
+  // the ticket pool; (2) and (3) fuse into one pass per node.
+  parallel_tickets(n, threads, [&] {
+    return [&](std::int64_t ticket) {
+    const auto u = static_cast<NodeId>(ticket);
+    auto& tab = tables_[static_cast<std::size_t>(u)];
+
+    // (2): R2 for the immediate neighborhood N_1(u) (first q of Init_u).
     for (NodeId v : hoods.prefix(u, static_cast<NodeId>(q))) {
       if (v == u) continue;
-      tables_[static_cast<std::size_t>(u)].nbr_r2.emplace(
-          names_.name_of(v), compute_r2(*hierarchy_, u, v));
+      tab.nbr_r2.emplace(names_.name_of(v), compute_r2(*hierarchy_, u, v));
     }
-  }
 
-  // (3a): per held block, per level i < k-1, per next digit tau: nearest
-  // holder of the extended prefix + R2 to it.
-  // (3b): i = k-1: the exact name "block + tau" + R2 to it.
-  for (NodeId u = 0; u < n; ++u) {
-    auto& tab = tables_[static_cast<std::size_t>(u)];
+    // (3a): per held block, per level i < k-1, per next digit tau: nearest
+    // holder of the extended prefix + R2 to it.
+    // (3b): i = k-1: the exact name "block + tau" + R2 to it.
     for (BlockId b : held[static_cast<std::size_t>(u)]) {
       for (int i = 0; i <= k - 1; ++i) {
         for (int tau = 0; tau < q; ++tau) {
@@ -171,7 +180,8 @@ ExStretchScheme::ExStretchScheme(const Digraph& g, const RoundtripMetric& metric
         }
       }
     }
-  }
+    };
+  });
 }
 
 Decision ExStretchScheme::advance(NodeId at, Header& h) const {

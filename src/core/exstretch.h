@@ -37,6 +37,9 @@ class ExStretchScheme {
   struct Options {
     int k = 3;  // tradeoff parameter (>= 2)
     BlockAssignmentOptions blocks;
+    /// Construction fan-out (cover trees, neighborhoods, per-node tables);
+    /// <= 0 resolves the process default.  Bit-identical for any value.
+    int threads = 0;
   };
 
   ExStretchScheme(const Digraph& g, const RoundtripMetric& metric,

@@ -5,8 +5,10 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "graph/apsp.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -115,7 +117,11 @@ HashedStretch6Scheme::HashedStretch6Scheme(const Digraph& g,
   NameAssignment internal = NameAssignment::random(n, rng);
   substrate_ = std::make_shared<Rtz3Scheme>(g, metric, internal, rng,
                                             options.substrate);
-  Neighborhoods hoods = compute_neighborhoods(metric, internal);
+  const int threads = resolve_apsp_threads(options.threads);
+  // k = 2 over the bucket space: only the first q = hood_size_ positions of
+  // Init_u are ever read, so truncated rows suffice.
+  Neighborhoods hoods =
+      compute_neighborhoods(metric, internal, hood_size_, threads);
   BlockAssignment assignment =
       assign_blocks(alphabet_, metric, internal, hoods, rng, options.blocks);
 
@@ -128,7 +134,9 @@ HashedStretch6Scheme::HashedStretch6Scheme(const Digraph& g,
 
   const std::int64_t blocks = alphabet_.relevant_block_count();
   tables_.resize(static_cast<std::size_t>(n));
-  for (NodeId u = 0; u < n; ++u) {
+  parallel_tickets(n, threads, [&] {
+    return [&](std::int64_t ticket) {
+    const auto u = static_cast<NodeId>(ticket);
     auto& tab = tables_[static_cast<std::size_t>(u)];
     const auto hood = hoods.prefix(u, hood_size_);
     // (1) chosen-name -> R3 for the neighborhood.
@@ -162,7 +170,8 @@ HashedStretch6Scheme::HashedStretch6Scheme(const Digraph& g,
     tab.r3_names.erase(
         std::unique(tab.r3_names.begin(), tab.r3_names.end()),
         tab.r3_names.end());
-  }
+    };
+  });
 }
 
 const RtzAddress* HashedStretch6Scheme::lookup_r3(NodeId at,

@@ -85,6 +85,9 @@ class HashedStretch6Scheme {
   struct Options {
     Rtz3Scheme::Options substrate;
     BlockAssignmentOptions blocks;
+    /// Construction fan-out (neighborhoods + per-node tables); <= 0 resolves
+    /// the process default.  Bit-identical output for any value.
+    int threads = 0;
   };
 
   HashedStretch6Scheme(const Digraph& g, const RoundtripMetric& metric,

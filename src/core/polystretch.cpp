@@ -5,8 +5,10 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "graph/apsp.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -77,8 +79,10 @@ PolyStretchScheme::PolyStretchScheme(const Digraph& g,
   const NodeId n = g.node_count();
   const int k = alphabet_.k();
   const std::int64_t q = alphabet_.q();
+  const int threads = resolve_apsp_threads(options.threads);
   const Digraph reversed = g.reversed();
-  hierarchy_ = std::make_shared<CoverHierarchy>(g, reversed, metric, k);
+  hierarchy_ =
+      std::make_shared<CoverHierarchy>(g, reversed, metric, k, threads);
 
   tables_.resize(static_cast<std::size_t>(n));
   for (std::int32_t level = 0; level < hierarchy_->level_count(); ++level) {
@@ -97,7 +101,12 @@ PolyStretchScheme::PolyStretchScheme(const Digraph& g,
               .push_back(v);
         }
       }
-      for (NodeId u : tree.members()) {
+      // Tree members are unique, so each ticket writes a distinct
+      // tables_[u]; the by_prefix index and the metric are only read.
+      const std::vector<NodeId>& members = tree.members();
+      parallel_tickets(static_cast<std::int64_t>(members.size()), threads, [&] {
+        return [&](std::int64_t ticket) {
+        const NodeId u = members[static_cast<std::size_t>(ticket)];
         auto& per = tables_[static_cast<std::size_t>(u)].per_tree[tree_key(ref)];
         per.own_label = tree.out_router().label(u);
         const NodeName un = names_.name_of(u);
@@ -130,7 +139,8 @@ PolyStretchScheme::PolyStretchScheme(const Digraph& g,
                              std::move(entry));
           }
         }
-      }
+        };
+      });
     }
   }
 }

@@ -36,6 +36,9 @@ class PolyStretchScheme {
  public:
   struct Options {
     int k = 3;  // tradeoff parameter (>= 2)
+    /// Construction fan-out (cover trees + per-member dictionaries); <= 0
+    /// resolves the process default.  Bit-identical for any value.
+    int threads = 0;
   };
 
   PolyStretchScheme(const Digraph& g, const RoundtripMetric& metric,

@@ -6,8 +6,10 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "graph/apsp.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -59,13 +61,19 @@ Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
       detour_via_source_(options.detour_via_source),
       node_space_(g.node_count()) {
   const NodeId n = g.node_count();
-  Neighborhoods hoods = compute_neighborhoods(metric, names_);
+  const int threads = resolve_apsp_threads(options.threads);
+  // k = 2: the block lemmas and item (2) only read the first q = hood_size_
+  // positions of Init_u, so truncated rows suffice.
+  Neighborhoods hoods =
+      compute_neighborhoods(metric, names_, hood_size_, threads);
   assignment_ =
       assign_blocks(alphabet_, metric, names_, hoods, rng, options.blocks);
 
   const std::int64_t blocks = alphabet_.relevant_block_count();
   tables_.resize(static_cast<std::size_t>(n));
-  for (NodeId u = 0; u < n; ++u) {
+  parallel_tickets(n, threads, [&] {
+    return [&](std::int64_t ticket) {
+    const auto u = static_cast<NodeId>(ticket);
     auto& tab = tables_[static_cast<std::size_t>(u)];
     const auto hood = hoods.prefix(u, hood_size_);
 
@@ -99,7 +107,8 @@ Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
     tab.r3_names.erase(
         std::unique(tab.r3_names.begin(), tab.r3_names.end()),
         tab.r3_names.end());
-  }
+    };
+  });
 }
 
 const RtzAddress* Stretch6Scheme::lookup_r3(NodeId at, NodeName t) const {

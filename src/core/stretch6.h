@@ -44,6 +44,9 @@ class Stretch6Scheme {
     /// result in longer paths").  Off by default, measured by the
     /// ablation bench.
     bool detour_via_source = false;
+    /// Construction fan-out (neighborhoods + per-node tables); <= 0 resolves
+    /// the process default.  Bit-identical output for any value.
+    int threads = 0;
   };
 
   /// Builds tables for the given graph/naming.  The substrate is built

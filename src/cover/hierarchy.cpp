@@ -6,24 +6,41 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "graph/apsp.h"
 #include "io/snapshot_format.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
 CoverHierarchy::CoverHierarchy(const Digraph& g, const Digraph& reversed,
-                               const RoundtripMetric& metric, int k)
+                               const RoundtripMetric& metric, int k,
+                               int threads)
     : k_(k) {
   if (k <= 1) throw std::invalid_argument("CoverHierarchy: k > 1");
+  const int workers = resolve_apsp_threads(threads);
   const Dist diameter = metric.rt_diameter();
   for (Dist radius = 2; ; radius *= 2) {
     SparseCoverResult cover = build_sparse_cover(metric, k, radius);
     HierarchyLevel level;
     level.radius = radius;
     level.home_of = cover.home_of;
+    // Per-cluster double trees are independent (each reads the graph, writes
+    // its own slot), so they fan out; the in-order move keeps level.trees
+    // identical to the serial build.
+    std::vector<std::optional<DoubleTree>> built(cover.clusters.size());
+    parallel_tickets(static_cast<std::int64_t>(cover.clusters.size()), workers,
+                     [&] {
+                       return [&](std::int64_t c) {
+                         auto& cluster =
+                             cover.clusters[static_cast<std::size_t>(c)];
+                         built[static_cast<std::size_t>(c)].emplace(
+                             g, reversed, cluster.center,
+                             std::move(cluster.members));
+                       };
+                     });
     level.trees.reserve(cover.clusters.size());
-    for (auto& cluster : cover.clusters) {
-      level.trees.emplace_back(g, reversed, cluster.center,
-                               std::move(cluster.members));
+    for (auto& tree : built) {
+      level.trees.push_back(std::move(*tree));
     }
     level.trees_of.assign(static_cast<std::size_t>(g.node_count()), {});
     for (std::size_t t = 0; t < level.trees.size(); ++t) {

@@ -46,9 +46,12 @@ struct HierarchyLevel {
 
 class CoverHierarchy {
  public:
-  /// Builds all levels.  k > 1; metric must come from (g's) APSP.
+  /// Builds all levels.  k > 1; metric must come from (g's) APSP.  The
+  /// per-cluster double trees of each level build in parallel over `threads`
+  /// workers (<= 0 resolves the process default); the hierarchy is a pure
+  /// function of (g, metric, k) for any thread count.
   CoverHierarchy(const Digraph& g, const Digraph& reversed,
-                 const RoundtripMetric& metric, int k);
+                 const RoundtripMetric& metric, int k, int threads = 1);
 
   /// Snapshot path: rehydrates a hierarchy saved with save().
   explicit CoverHierarchy(SnapshotReader& r);

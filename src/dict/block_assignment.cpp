@@ -5,7 +5,9 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "graph/apsp.h"
 #include "io/snapshot_format.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -62,13 +64,19 @@ void BlockAssignment::audit(AuditReport& report, const Alphabet& alpha) const {
 }
 
 Neighborhoods compute_neighborhoods(const RoundtripMetric& m,
-                                    const NameAssignment& names) {
+                                    const NameAssignment& names,
+                                    NodeId max_size, int threads) {
   Neighborhoods hoods;
   const NodeId n = m.node_count();
+  const NodeId want = (max_size <= 0) ? n : std::min<NodeId>(max_size, n);
+  m.prepare_neighborhoods(want, threads);
   hoods.order.resize(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    hoods.order[static_cast<std::size_t>(v)] = m.init_order(v, names.names());
-  }
+  parallel_tickets(n, resolve_apsp_threads(threads), [&] {
+    return [&](std::int64_t v) {
+      hoods.order[static_cast<std::size_t>(v)] =
+          m.neighborhood(static_cast<NodeId>(v), want, names.names());
+    };
+  });
   return hoods;
 }
 

@@ -29,10 +29,14 @@ class AuditReport;  // audit/audit.h
 /// Per-node neighborhood prefixes of Init_v, precomputed once and shared by
 /// the assignment and by the TINN schemes.
 struct Neighborhoods {
-  /// order[v] = Init_v (full permutation, nearest first; order[v][0] == v).
+  /// order[v] = the leading prefix of Init_v (nearest first; order[v][0] ==
+  /// v).  Rows hold the full permutation when compute_neighborhoods was
+  /// called with max_size 0, and exactly min(max_size, n) nodes otherwise --
+  /// the Lemma 4 machinery only ever reads the first q^{k-1} positions, and
+  /// truncated rows are what keep the sparse metric's memory O~(n sqrt n).
   std::vector<std::vector<NodeId>> order;
 
-  /// First m nodes of Init_v.
+  /// First m nodes of Init_v.  m must not exceed the computed row length.
   [[nodiscard]] std::vector<NodeId> prefix(NodeId v, NodeId m) const {
     auto copy = order[static_cast<std::size_t>(v)];
     copy.resize(static_cast<std::size_t>(std::min<NodeId>(
@@ -41,8 +45,16 @@ struct Neighborhoods {
   }
 };
 
+/// Builds Init prefixes for every node.  `max_size` 0 keeps the historical
+/// full permutation per row; a positive value truncates every row to
+/// min(max_size, n) entries, which is all the block lemmas need and avoids
+/// materializing n^2 ids.  `threads` fans the per-node metric queries out
+/// over the APSP thread-pool shape (<= 0 resolves the process default); the
+/// result is a pure function of (m, names, max_size) for any thread count.
 [[nodiscard]] Neighborhoods compute_neighborhoods(const RoundtripMetric& m,
-                                                  const NameAssignment& names);
+                                                  const NameAssignment& names,
+                                                  NodeId max_size = 0,
+                                                  int threads = 1);
 
 struct BlockAssignmentOptions {
   /// Initial blocks per node = ceil(log_factor * log2(max(n,2))).  Kept

@@ -71,6 +71,154 @@ void run_tree(const Digraph& g, NodeId src, const std::vector<char>* mask,
 
 }  // namespace
 
+void dijkstra_bounded(const Digraph& g, NodeId src, Dist limit,
+                      BoundedDijkstraWorkspace& ws,
+                      std::vector<BoundedReach>& out) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  if (src < 0 || static_cast<std::size_t>(src) >= n) {
+    throw std::invalid_argument("dijkstra_bounded: source out of range");
+  }
+  // Sparse reset: only slots dirtied by the previous run are re-infinitized,
+  // so back-to-back small-radius runs never pay an O(n) fill.
+  if (ws.dist.size() < n) ws.dist.assign(n, kInfDist);
+  for (const NodeId v : ws.touched) {
+    ws.dist[static_cast<std::size_t>(v)] = kInfDist;
+  }
+  ws.touched.clear();
+  ws.heap.clear();
+  ws.dist[static_cast<std::size_t>(src)] = 0;
+  ws.touched.push_back(src);
+  ws.heap.emplace_back(0, src);
+  while (!ws.heap.empty()) {
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), std::greater<>{});
+    const auto [d, u] = ws.heap.back();
+    ws.heap.pop_back();
+    if (d != ws.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    out.push_back(BoundedReach{u, d});
+    const std::int64_t end = g.arcs_end(u);
+    for (std::int64_t i = g.arcs_begin(u); i < end; ++i) {
+      const Dist nd = d + g.arc_weight(i);
+      if (nd > limit) continue;  // the frontier stops at the radius
+      const auto to = static_cast<std::size_t>(g.arc_head(i));
+      if (nd < ws.dist[to]) {
+        if (ws.dist[to] == kInfDist) ws.touched.push_back(g.arc_head(i));
+        ws.dist[to] = nd;
+        ws.heap.emplace_back(nd, g.arc_head(i));
+        std::push_heap(ws.heap.begin(), ws.heap.end(), std::greater<>{});
+      }
+    }
+  }
+}
+
+namespace {
+
+// One half of the tandem roundtrip-ball search.  `mine`/`mine_mark` are this
+// direction's state, `other`/`other_mark` the opposite direction's; `frontier`
+// of a direction is the smallest valid key in its heap (kInfDist when
+// drained).  Pops the next valid entry of `mine`, settles it, and relaxes its
+// edges iff the node can still be a ball member.
+struct RoundtripSide {
+  const Digraph* graph = nullptr;
+  BoundedDijkstraWorkspace* ws = nullptr;
+  std::vector<std::uint64_t>* mark = nullptr;
+};
+
+// Smallest valid heap key of a side, discarding stale tops (a stale top is
+// always an already-settled node: any superseded entry has a smaller live
+// twin below it, so the minimum is never superseded-stale).
+Dist roundtrip_frontier(RoundtripSide& s, std::uint64_t epoch) {
+  auto& heap = s.ws->heap;
+  while (!heap.empty()) {
+    const auto [d, u] = heap.front();
+    if ((*s.mark)[static_cast<std::size_t>(u)] != epoch &&
+        d == s.ws->dist[static_cast<std::size_t>(u)]) {
+      return d;
+    }
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
+  }
+  return kInfDist;
+}
+
+}  // namespace
+
+bool roundtrip_ball_bounded(const Digraph& g, const Digraph& reversed,
+                            NodeId src, Dist budget,
+                            RoundtripBallWorkspace& ws,
+                            std::vector<RoundtripReach>& out,
+                            std::int64_t member_cap) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  if (src < 0 || static_cast<std::size_t>(src) >= n) {
+    throw std::invalid_argument("roundtrip_ball_bounded: source out of range");
+  }
+  if (budget < 0) return true;
+  std::int64_t members = 0;
+  const std::uint64_t epoch = ++ws.epoch;
+  if (ws.fwd_mark.size() < n) ws.fwd_mark.assign(n, 0);
+  if (ws.rev_mark.size() < n) ws.rev_mark.assign(n, 0);
+  RoundtripSide sides[2] = {{&g, &ws.fwd, &ws.fwd_mark},
+                            {&reversed, &ws.rev, &ws.rev_mark}};
+  for (RoundtripSide& s : sides) {
+    if (s.ws->dist.size() < n) s.ws->dist.assign(n, kInfDist);
+    for (const NodeId v : s.ws->touched) {
+      s.ws->dist[static_cast<std::size_t>(v)] = kInfDist;
+    }
+    s.ws->touched.clear();
+    s.ws->heap.clear();
+    s.ws->dist[static_cast<std::size_t>(src)] = 0;
+    s.ws->touched.push_back(src);
+    s.ws->heap.emplace_back(0, src);
+  }
+  for (;;) {
+    const Dist kf = roundtrip_frontier(sides[0], epoch);
+    const Dist kr = roundtrip_frontier(sides[1], epoch);
+    if (kf >= kInfDist && kr >= kInfDist) break;
+    // Advance the smaller frontier (forward on ties): balanced half-radius
+    // exploration is what keeps both sides small.
+    const int side = kf <= kr ? 0 : 1;
+    RoundtripSide& s = sides[side];
+    RoundtripSide& o = sides[1 - side];
+    auto& heap = s.ws->heap;
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    const auto uz = static_cast<std::size_t>(u);
+    (*s.mark)[uz] = epoch;  // settled in this direction; dist[u] is final
+    const bool other_settled = (*o.mark)[uz] == epoch;
+    if (other_settled) {
+      const Dist sum = d + o.ws->dist[uz];
+      if (sum > budget) continue;  // proven non-member: never relax
+      // Second settle of a member: report it exactly once.
+      const Dist d_out = side == 0 ? d : o.ws->dist[uz];
+      const Dist d_in = side == 0 ? o.ws->dist[uz] : d;
+      out.push_back(RoundtripReach{u, d_out, d_in});
+      // A count-probing caller only needs to learn "more than cap members":
+      // aborting here caps an overshooting probe at O(cap) confirmations
+      // instead of walking the whole oversize ball.
+      if (member_cap >= 0 && ++members > member_cap) return false;
+    } else {
+      // Unsettled in the other direction means its distance there is at
+      // least that frontier key, so this test can only cull non-members.
+      const Dist other_lb = side == 0 ? kr : kf;
+      if (other_lb > budget - d) continue;
+    }
+    const Digraph& dg = *s.graph;
+    const std::int64_t end = dg.arcs_end(u);
+    for (std::int64_t i = dg.arcs_begin(u); i < end; ++i) {
+      const Dist nd = d + dg.arc_weight(i);
+      if (nd > budget) continue;
+      const auto to = static_cast<std::size_t>(dg.arc_head(i));
+      if (nd < s.ws->dist[to]) {
+        if (s.ws->dist[to] == kInfDist) s.ws->touched.push_back(dg.arc_head(i));
+        s.ws->dist[to] = nd;
+        s.ws->heap.emplace_back(nd, dg.arc_head(i));
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+    }
+  }
+  return true;
+}
+
 std::vector<Dist> dijkstra_distances(const Digraph& g, NodeId src) {
   DijkstraWorkspace ws;
   dijkstra_distances_into(g, src, ws);
@@ -95,6 +243,23 @@ namespace {
 // anything heavier falls back to the binary heap (same distances, different
 // queue).
 constexpr Weight kDialMaxWeight = 64;
+
+// Dial's empty-bucket scan walks every integer distance up to the max settled
+// distance, which is bounded only by (n - 1) * max_weight: on a high-diameter
+// graph (e.g. a large weighted ring) that scan balloons to ~n * max_weight
+// probes per source and dwarfs both the relaxations and the heap it replaced.
+// The weight cap alone does not catch this -- it bounds the bucket *count*,
+// not the scan *length*.  Budget the worst-case scan against the relaxation
+// work O(m + n): beyond ~8x we fall back to the binary heap (same distances,
+// different queue).  Every in-repo generator (weights <= 12, m >= n) stays
+// comfortably on the Dial path at any n.
+[[nodiscard]] bool dial_scan_within_budget(const Digraph& g) {
+  const auto scan = static_cast<std::int64_t>(g.max_weight()) *
+                    static_cast<std::int64_t>(g.node_count());
+  const std::int64_t work =
+      g.edge_count() + static_cast<std::int64_t>(g.node_count());
+  return scan <= 8 * work;
+}
 
 // Dial's algorithm: a circular bucket queue with max_weight + 1 buckets.
 // Dijkstra's settled distances are non-decreasing and every relaxation adds
@@ -142,7 +307,8 @@ void dijkstra_distances_into(const Digraph& g, NodeId src,
         "dijkstra_distances_into: output span size != node count");
   }
   std::fill(out.begin(), out.end(), kInfDist);
-  if (g.edge_count() > 0 && g.max_weight() <= kDialMaxWeight) {
+  if (g.edge_count() > 0 && g.max_weight() <= kDialMaxWeight &&
+      dial_scan_within_budget(g)) {
     dial_run(g, src, ws.buckets, out);
     return;
   }

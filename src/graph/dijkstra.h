@@ -20,6 +20,7 @@
 #ifndef RTR_GRAPH_DIJKSTRA_H
 #define RTR_GRAPH_DIJKSTRA_H
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <utility>
@@ -57,6 +58,77 @@ struct DijkstraWorkspace {
   /// fast path; one bucket per residual distance in [0, max_weight].
   std::vector<std::vector<NodeId>> buckets;
 };
+
+/// One settled node of a bounded run: the exact distance d(src, node).
+struct BoundedReach {
+  NodeId node = kNoNode;
+  Dist dist = kInfDist;
+};
+
+/// Scratch for repeated *bounded* runs.  The dist array is reset sparsely via
+/// the touched list, so a run costs O(settled + touched), not O(n) -- the
+/// whole point of stopping Dijkstra at a radius.  Not safe to share across
+/// threads.
+struct BoundedDijkstraWorkspace {
+  std::vector<Dist> dist;                     // kInfDist outside touched
+  std::vector<NodeId> touched;                // nodes whose dist slot is dirty
+  std::vector<std::pair<Dist, NodeId>> heap;  // binary-heap buffer
+};
+
+/// Bounded single-source run: appends (u, d(src,u)) to `out` for every node u
+/// with d(src, u) <= limit, in ascending settled order (ties in heap pop
+/// order).  Distances are exact global distances -- a node settled within the
+/// limit cannot have a shorter path through nodes beyond it.  The frontier
+/// stops expanding past `limit`, so the cost is proportional to the region
+/// explored, not to the graph.
+void dijkstra_bounded(const Digraph& g, NodeId src, Dist limit,
+                      BoundedDijkstraWorkspace& ws,
+                      std::vector<BoundedReach>& out);
+
+/// One member of a bounded roundtrip ball: exact d(src, node) out and
+/// d(node, src) back.
+struct RoundtripReach {
+  NodeId node = kNoNode;
+  Dist d_out = kInfDist;
+  Dist d_in = kInfDist;
+};
+
+/// Scratch for roundtrip_ball_bounded.  Settled markers are epoch-stamped so
+/// back-to-back runs never pay an O(n) clear.  Not safe to share across
+/// threads.
+struct RoundtripBallWorkspace {
+  BoundedDijkstraWorkspace fwd;
+  BoundedDijkstraWorkspace rev;
+  std::vector<std::uint64_t> fwd_mark;  // == epoch when settled forward
+  std::vector<std::uint64_t> rev_mark;  // == epoch when settled backward
+  std::uint64_t epoch = 0;
+};
+
+/// Appends every node u with d(src,u) + d(u,src) <= budget to `out`, each
+/// with its exact one-way distances, in no particular order.  `reversed`
+/// must be g.reversed().  A non-negative `member_cap` aborts the search as
+/// soon as more than cap members have been confirmed and returns false (the
+/// appended members are genuine but the set is incomplete) -- this is how a
+/// count-probing caller learns "too many" in O(cap) work instead of walking
+/// an oversize ball to the end.  Returns true when the ball is complete.
+///
+/// This is NOT two radius-`budget` bounded runs intersected: on
+/// expander-like graphs the one-directional ball of radius `budget` is
+/// close to the whole graph even when the roundtrip ball is O~(sqrt n).
+/// Instead two Dijkstras advance in tandem (smaller frontier first) and a
+/// node's out-edges are only relaxed while d_out(x) + LB(d_in(x)) <= budget,
+/// where LB is the exact distance once x is settled backward and the
+/// backward frontier key otherwise (sound: Dijkstra settles in ascending
+/// order).  Roundtrip balls are closed under shortest-path prefixes --
+/// every node on a shortest v->w or w->v path of a member w is itself a
+/// member -- so pruned nodes can never sit on a member's shortest path and
+/// member distances stay exact.  Exploration is proportional to the
+/// half-radius one-directional balls, not the full-radius ones.
+bool roundtrip_ball_bounded(const Digraph& g, const Digraph& reversed,
+                            NodeId src, Dist budget,
+                            RoundtripBallWorkspace& ws,
+                            std::vector<RoundtripReach>& out,
+                            std::int64_t member_cap = -1);
 
 /// Distances from src to every node.
 [[nodiscard]] std::vector<Dist> dijkstra_distances(const Digraph& g, NodeId src);

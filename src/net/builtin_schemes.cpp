@@ -31,8 +31,10 @@ class Hashed64Adapter final : public Scheme {
       throw std::invalid_argument("hashed64: incomplete BuildContext");
     }
     chosen_ = ChosenNames::random(graph_->node_count(), *ctx.rng);
-    impl_ = std::make_shared<const HashedStretch6Scheme>(*graph_, *metric_,
-                                                         chosen_, *ctx.rng);
+    HashedStretch6Scheme::Options opts;
+    opts.threads = ctx.option_int("threads", opts.threads);
+    impl_ = std::make_shared<const HashedStretch6Scheme>(
+        *graph_, *metric_, chosen_, *ctx.rng, opts);
   }
 
   /// Snapshot path: the metric is build-time only, so a loaded adapter
@@ -141,8 +143,10 @@ void register_builtin_schemes(SchemeRegistry& registry) {
   registry.add("stretch6", "Section 2 stretch-6 TINN scheme (O~(sqrt n) tables)",
                [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
                  check_complete(ctx, "stretch6");
+                 Stretch6Scheme::Options opts;
+                 opts.threads = ctx.option_int("threads", opts.threads);
                  return build_adapted<Stretch6Scheme>(
-                     ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng);
+                     ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
                });
   registry.add("stretch6-detour",
                "Section 2.2 variant returning to the source after the "
@@ -151,6 +155,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
                  check_complete(ctx, "stretch6-detour");
                  Stretch6Scheme::Options opts;
                  opts.detour_via_source = true;
+                 opts.threads = ctx.option_int("threads", opts.threads);
                  return build_adapted<Stretch6Scheme>(
                      ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
                });
@@ -161,6 +166,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
                  check_complete(ctx, "exstretch");
                  ExStretchScheme::Options opts;
                  opts.k = ctx.option_int("k", opts.k);
+                 opts.threads = ctx.option_int("threads", opts.threads);
                  return build_adapted<ExStretchScheme>(
                      ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
                });
@@ -171,6 +177,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
                  check_complete(ctx, "polystretch");
                  PolyStretchScheme::Options opts;
                  opts.k = ctx.option_int("k", opts.k);
+                 opts.threads = ctx.option_int("threads", opts.threads);
                  return build_adapted<PolyStretchScheme>(
                      ctx, *ctx.graph, *ctx.metric, ctx.names, opts);
                });
@@ -183,6 +190,7 @@ void register_builtin_schemes(SchemeRegistry& registry) {
                  opts.greedy_centers =
                      ctx.option_bool("greedy_centers", opts.greedy_centers);
                  opts.soa_dicts = ctx.option_bool("soa_dicts", opts.soa_dicts);
+                 opts.threads = ctx.option_int("threads", opts.threads);
                  return build_adapted<Rtz3Scheme>(
                      ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
                });

@@ -49,6 +49,7 @@ void audit_built_scheme(const BuildContext& ctx, const Scheme& scheme) {
 BuildContext BuildContext::for_graph(GraphBuilder g, std::uint64_t seed,
                                      std::map<std::string, std::string> options) {
   BuildContext ctx;
+  ctx.options = std::move(options);
   ctx.rng = std::make_shared<Rng>(seed);
   g.assign_adversarial_ports(*ctx.rng);
   Digraph frozen = g.freeze();
@@ -57,9 +58,16 @@ BuildContext BuildContext::for_graph(GraphBuilder g, std::uint64_t seed,
   }
   ctx.names = NameAssignment::random(frozen.node_count(), *ctx.rng);
   auto graph = std::make_shared<Digraph>(std::move(frozen));
-  ctx.metric = std::make_shared<RoundtripMetric>(*graph);
+  // The "metric" option picks the backend: dense APSP matrix or bounded-
+  // Dijkstra sparse rows ("auto" switches on node count); "threads" feeds
+  // the dense APSP fan-out and the schemes' parallel build loops.
+  const auto mode_it = ctx.options.find("metric");
+  const MetricMode mode = mode_it == ctx.options.end()
+                              ? MetricMode::kAuto
+                              : parse_metric_mode(mode_it->second);
+  ctx.metric =
+      make_roundtrip_metric(graph, mode, ctx.option_int("threads", 0));
   ctx.graph = std::move(graph);
-  ctx.options = std::move(options);
   return ctx;
 }
 

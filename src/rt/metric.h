@@ -14,9 +14,26 @@
 // Neighborhoods N_i(u) are prefixes of Init_u: the first n^{i/k} nodes
 // (Section 3.1); the stretch-6 scheme's N(u) is the k=2, i=1 case (first
 // ceil(sqrt(n)) nodes).  Init_v starts with v itself since r(v,v) = 0.
+//
+// Two interchangeable backends implement the metric:
+//
+//   * DenseRoundtripMetric  -- the full APSP matrix; O(1) d/r lookups, O(n^2)
+//     memory.  Right up to a few thousand nodes and for query-heavy serving.
+//   * SparseRoundtripMetric -- lazy per-node rows fed by *bounded* Dijkstra
+//     (forward on g plus forward on reversed(g), both stopped at a radius).
+//     A row covering radius R holds exactly the nodes with r(v,u) <= R, so
+//     balls and Init prefixes are served from O(|row|) state and memory grows
+//     with what the schemes actually touch -- O~(n sqrt n) for the paper's
+//     constructions -- instead of O(n^2).  Rows double their radius on demand
+//     and results are identical to the dense backend by construction
+//     (pinned by the differential suite in tests/sparse_metric_test.cpp).
 #ifndef RTR_RT_METRIC_H
 #define RTR_RT_METRIC_H
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "graph/apsp.h"
@@ -24,50 +41,216 @@
 
 namespace rtr {
 
-/// Roundtrip metric over a strongly connected digraph, backed by an APSP
-/// matrix.  Also exposes the cover-construction vocabulary of Section 4:
-/// balls, radii, diameter.
+/// Roundtrip metric over a strongly connected digraph.  Also exposes the
+/// cover-construction vocabulary of Section 4: balls, radii, diameter.
+/// Implementations must be safe to query concurrently from many threads
+/// (the QueryEngine pool and the parallel scheme builders do exactly that).
 class RoundtripMetric {
  public:
-  /// Computes APSP internally.  Throws if g is not strongly connected.
-  explicit RoundtripMetric(const Digraph& g);
+  virtual ~RoundtripMetric() = default;
 
-  /// Takes a precomputed APSP matrix (must match g).
-  RoundtripMetric(const Digraph& g, DistMatrix apsp);
-
-  [[nodiscard]] NodeId node_count() const { return d_.size(); }
+  [[nodiscard]] virtual NodeId node_count() const = 0;
 
   /// One-way distance d(u,v).
-  [[nodiscard]] Dist d(NodeId u, NodeId v) const { return d_.at(u, v); }
+  [[nodiscard]] virtual Dist d(NodeId u, NodeId v) const = 0;
 
   /// Roundtrip distance r(u,v) = d(u,v) + d(v,u).
-  [[nodiscard]] Dist r(NodeId u, NodeId v) const {
-    return d_.at(u, v) + d_.at(v, u);
-  }
+  [[nodiscard]] virtual Dist r(NodeId u, NodeId v) const = 0;
 
   /// The full Init_v order: a permutation of V sorted by (r(v,u), d(u,v),
   /// name(u)).  names[x] is the TINN name of internal node x.
-  [[nodiscard]] std::vector<NodeId> init_order(
-      NodeId v, const std::vector<NodeName>& names) const;
+  [[nodiscard]] virtual std::vector<NodeId> init_order(
+      NodeId v, const std::vector<NodeName>& names) const = 0;
 
   /// First `size` nodes of Init_v (the neighborhood ball N(v) / N_i(v)).
-  [[nodiscard]] std::vector<NodeId> neighborhood(
-      NodeId v, NodeId size, const std::vector<NodeName>& names) const;
+  [[nodiscard]] virtual std::vector<NodeId> neighborhood(
+      NodeId v, NodeId size, const std::vector<NodeName>& names) const = 0;
 
-  /// Closed roundtrip ball N-hat^d(v) = { w : r(v,w) <= d } (Section 4).
-  [[nodiscard]] std::vector<NodeId> ball(NodeId v, Dist radius) const;
+  /// Closed roundtrip ball N-hat^d(v) = { w : r(v,w) <= d } (Section 4),
+  /// ascending by node id.
+  [[nodiscard]] virtual std::vector<NodeId> ball(NodeId v, Dist radius) const = 0;
+
+  /// Index into `candidates` of the nearest candidate by roundtrip distance
+  /// from v; ties break toward the earlier list position.  -1 only when
+  /// `candidates` is empty.  Exactly the scan the Thorup-Zwick center step
+  /// performs, exposed here so the sparse backend can answer it from one row
+  /// expansion instead of |candidates| full r() calls.
+  [[nodiscard]] virtual std::int32_t nearest(
+      NodeId v, const std::vector<NodeId>& candidates) const;
+
+  /// nearest() for every node at once: nearest_idx[v] / nearest_r[v] receive
+  /// the winning candidate index and its roundtrip distance from v (-1 /
+  /// kInfDist only when `candidates` is empty).  The base implementation
+  /// loops nearest(); the sparse backend overrides it with |candidates|
+  /// global sweeps instead of n row expansions -- the one query in the
+  /// Thorup-Zwick center step whose answer genuinely needs distances to ALL
+  /// candidates, which per-node rows can only certify by growing near-full.
+  virtual void nearest_all(const std::vector<NodeId>& candidates, int threads,
+                           std::vector<std::int32_t>& nearest_idx,
+                           std::vector<Dist>& nearest_r) const;
+
+  /// Hint that `neighborhood(v, want, ...)` is about to be asked for every
+  /// node.  Answers are identical with or without the call; backends may use
+  /// it to amortize work.  The sparse backend measures the critical q-NN
+  /// radius on a deterministic pilot sample and starts each row's budget
+  /// search there, instead of walking a doubling ladder whose overshoot
+  /// probes explore near-whole-graph one-directional balls on expander-like
+  /// families.  Base implementation is a no-op.
+  virtual void prepare_neighborhoods(NodeId want, int threads) const {
+    (void)want;
+    (void)threads;
+  }
 
   /// max_u r(v,u).
-  [[nodiscard]] Dist rt_radius_from(NodeId v) const;
+  [[nodiscard]] virtual Dist rt_radius_from(NodeId v) const = 0;
 
   /// RTDiam(G) = max over pairs of r(u,v).
-  [[nodiscard]] Dist rt_diameter() const;
+  [[nodiscard]] virtual Dist rt_diameter() const = 0;
+};
+
+/// Dense backend: the full APSP matrix.
+class DenseRoundtripMetric final : public RoundtripMetric {
+ public:
+  /// Computes APSP internally.  Throws if g is not strongly connected.
+  explicit DenseRoundtripMetric(const Digraph& g);
+
+  /// Takes a precomputed APSP matrix (must match g).
+  DenseRoundtripMetric(const Digraph& g, DistMatrix apsp);
+
+  [[nodiscard]] NodeId node_count() const override { return d_.size(); }
+  [[nodiscard]] Dist d(NodeId u, NodeId v) const override { return d_.at(u, v); }
+  [[nodiscard]] Dist r(NodeId u, NodeId v) const override {
+    return d_.at(u, v) + d_.at(v, u);
+  }
+  [[nodiscard]] std::vector<NodeId> init_order(
+      NodeId v, const std::vector<NodeName>& names) const override;
+  [[nodiscard]] std::vector<NodeId> neighborhood(
+      NodeId v, NodeId size, const std::vector<NodeName>& names) const override;
+  [[nodiscard]] std::vector<NodeId> ball(NodeId v, Dist radius) const override;
+  [[nodiscard]] Dist rt_radius_from(NodeId v) const override;
+  [[nodiscard]] Dist rt_diameter() const override;
 
   [[nodiscard]] const DistMatrix& distances() const { return d_; }
 
  private:
   DistMatrix d_;
 };
+
+/// Sparse backend: lazy per-node rows fed by the bidirectional roundtrip-ball
+/// search (roundtrip_ball_bounded).  A row for v is complete up to its covered
+/// radius R -- it lists every u with r(v,u) <= R, each with exact d(v,u) and
+/// d(u,v) -- and grows by doubling R (recomputing from scratch, ~2x the final
+/// cost) whenever a query needs more.  The budget search is load-bearing for
+/// the memory bound: the row holds exactly the roundtrip-ball members, never
+/// the near-n one-directional balls that a pair of radius-R Dijkstras would
+/// certify with on expander-like graphs, so resident entries track O~(ball)
+/// and total memory stays O~(n sqrt n) for the paper's constructions.
+/// Count-driven requests (neighborhoods) narrow the probe radius by binary
+/// search, so committed rows overshoot the request by a bounded factor
+/// instead of a radius-doubling jump.  Rows are guarded by per-node mutexes,
+/// so concurrent queries are safe; answers never depend on the expansion
+/// history, so any build schedule (serial, parallel, any thread count)
+/// observes identical results.
+class SparseRoundtripMetric final : public RoundtripMetric {
+ public:
+  /// Keeps shared ownership of g and materializes its reversal once.  Throws
+  /// if g is not strongly connected.
+  explicit SparseRoundtripMetric(std::shared_ptr<const Digraph> g);
+
+  [[nodiscard]] NodeId node_count() const override {
+    return graph_->node_count();
+  }
+  [[nodiscard]] Dist d(NodeId u, NodeId v) const override;
+  [[nodiscard]] Dist r(NodeId u, NodeId v) const override;
+  [[nodiscard]] std::vector<NodeId> init_order(
+      NodeId v, const std::vector<NodeName>& names) const override;
+  [[nodiscard]] std::vector<NodeId> neighborhood(
+      NodeId v, NodeId size, const std::vector<NodeName>& names) const override;
+  [[nodiscard]] std::vector<NodeId> ball(NodeId v, Dist radius) const override;
+  [[nodiscard]] std::int32_t nearest(
+      NodeId v, const std::vector<NodeId>& candidates) const override;
+  void nearest_all(const std::vector<NodeId>& candidates, int threads,
+                   std::vector<std::int32_t>& nearest_idx,
+                   std::vector<Dist>& nearest_r) const override;
+  void prepare_neighborhoods(NodeId want, int threads) const override;
+  [[nodiscard]] Dist rt_radius_from(NodeId v) const override;
+  [[nodiscard]] Dist rt_diameter() const override;
+
+  /// Resident entry count across all cached rows (memory diagnostics).
+  [[nodiscard]] std::int64_t cached_entries() const;
+
+ private:
+  struct Entry {
+    NodeId node = kNoNode;
+    Dist r = kInfDist;
+    Dist d_out = kInfDist;  // d(v, node)
+    Dist d_in = kInfDist;   // d(node, v)
+  };
+  struct Row {
+    Dist covered = -1;  // complete for every u with r(v,u) <= covered
+    bool full = false;  // all n nodes present (covered is then RTRadius(v))
+    std::vector<Entry> entries;       // sorted by (r, d_in, node)
+    std::vector<std::int32_t> by_id;  // entry indices sorted by node id
+  };
+
+  /// Grows row v until covered >= radius (kInfDist forces a full row) with
+  /// one roundtrip-budget search; the rebuilt row holds exactly the ball
+  /// members, so resident memory tracks ball sizes, not the one-directional
+  /// balls the exploration transits.  Caller must hold locks_[v].
+  void expand_to_radius(NodeId v, Row& row, Dist radius) const;
+  /// Grows row v until it holds >= want complete entries (capped at full):
+  /// doubles the probe radius until enough members appear, then narrows by
+  /// binary search while the member count overshoots kCountSlack * want, so
+  /// the committed row stays near the request even on expander-like graphs
+  /// where ball sizes jump sharply with radius.  Caller must hold locks_[v].
+  void expand_to_count(NodeId v, Row& row, NodeId want) const;
+  /// Rebuilds row entries/by_id from the thread-local ball scratch
+  /// (roundtrip_ball_bounded output) and stamps the covered radius.
+  void rebuild_row_from_ball(Row& row, Dist covered) const;
+  [[nodiscard]] const Entry* find_entry(const Row& row, NodeId u) const;
+  /// Ensures row u contains node v's entry; expands as needed.
+  [[nodiscard]] Entry entry_for_pair(NodeId u, NodeId v) const;
+
+  /// Committed rows may overshoot a count request by at most this factor.
+  static constexpr NodeId kCountSlack = 4;
+  /// Pilot sample size for prepare_neighborhoods.
+  static constexpr NodeId kHintPilots = 16;
+
+  std::shared_ptr<const Digraph> graph_;
+  Digraph reversed_;
+  Dist seed_radius_;  // first expansion radius guess
+  /// Median committed radius of the prepare_neighborhoods pilot rows (-1
+  /// until prepared) and the count it was measured for.  Read relaxed inside
+  /// expand_to_count: any stale or torn view only changes which budgets get
+  /// probed, never what a committed row contains.
+  mutable std::atomic<Dist> hint_radius_{-1};
+  mutable std::atomic<NodeId> hint_want_{0};
+  mutable std::vector<Row> rows_;
+  mutable std::vector<std::mutex> locks_;
+};
+
+/// Which backend BuildContext / the bench harness should materialize.
+enum class MetricMode {
+  kAuto,   // dense up to kDenseMetricAutoThreshold nodes, sparse beyond
+  kDense,
+  kSparse,
+};
+
+/// Largest node count kAuto serves densely.  Below this the O(n^2) matrix is
+/// a few hundred MB at worst and its O(1) lookups win; beyond it the sparse
+/// rows keep memory O~(n sqrt n).
+inline constexpr NodeId kDenseMetricAutoThreshold = 4096;
+
+/// Parses "auto" / "dense" / "sparse"; throws std::invalid_argument otherwise.
+[[nodiscard]] MetricMode parse_metric_mode(const std::string& text);
+[[nodiscard]] const char* metric_mode_name(MetricMode mode);
+
+/// Builds the backend `mode` selects for this graph.  `threads` feeds the
+/// dense backend's APSP fan-out (<= 0 resolves via default_apsp_threads);
+/// the sparse backend expands lazily on querying threads instead.
+[[nodiscard]] std::shared_ptr<const RoundtripMetric> make_roundtrip_metric(
+    std::shared_ptr<const Digraph> graph, MetricMode mode = MetricMode::kAuto,
+    int threads = 0);
 
 /// Induced roundtrip distances within a member set: r restricted to paths
 /// whose every node lies in the member mask.  Used by Section 4's clusters,

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "graph/apsp.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -134,7 +136,7 @@ void BallSystem::audit(AuditReport& report) const {
 }
 
 BallSystem build_ball_system(const RoundtripMetric& metric,
-                             std::vector<NodeId> centers) {
+                             std::vector<NodeId> centers, int threads) {
   if (centers.empty()) throw std::invalid_argument("build_ball_system: no centers");
   const NodeId n = metric.node_count();
   BallSystem sys;
@@ -145,32 +147,41 @@ BallSystem build_ball_system(const RoundtripMetric& metric,
         static_cast<std::int32_t>(i);
   }
 
-  sys.r_to_centers.assign(static_cast<std::size_t>(n), kInfDist);
-  sys.nearest_center.assign(static_cast<std::size_t>(n), -1);
-  for (NodeId v = 0; v < n; ++v) {
-    for (std::size_t i = 0; i < sys.centers.size(); ++i) {
-      Dist rv = metric.r(v, sys.centers[i]);
-      if (rv < sys.r_to_centers[static_cast<std::size_t>(v)]) {
-        sys.r_to_centers[static_cast<std::size_t>(v)] = rv;
-        sys.nearest_center[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
-      }
-    }
-  }
-
+  // One batch query answers every node's nearest center: the sparse metric
+  // serves it with |A| global sweeps, which keeps its per-node rows at ball
+  // size instead of forcing them to cover out to the centers.
+  metric.nearest_all(sys.centers, threads, sys.nearest_center,
+                     sys.r_to_centers);
   sys.ball_of.assign(static_cast<std::size_t>(n), {});
+  const int workers = resolve_apsp_threads(threads);
+  parallel_tickets(n, workers, [&] {
+    return [&](std::int64_t ticket) {
+      const auto v = static_cast<NodeId>(ticket);
+      const auto vz = static_cast<std::size_t>(v);
+      const Dist rv = sys.r_to_centers[vz];
+      // Ball(v) = { w : r(v,w) < r(v,A) } union {v}: strict inequality, so
+      // ask the metric for the closed ball of radius r(v,A) - 1 (weights are
+      // integral).  A center has rv = 0 and the singleton ball {v}.
+      auto& ball = sys.ball_of[vz];
+      if (rv <= 0) {
+        ball.push_back(v);
+      } else {
+        ball = metric.ball(v, rv - 1);
+        if (!std::binary_search(ball.begin(), ball.end(), v)) {
+          ball.insert(std::upper_bound(ball.begin(), ball.end(), v), v);
+        }
+      }
+    };
+  });
+
   sys.cluster_of.assign(static_cast<std::size_t>(n), {});
   for (NodeId v = 0; v < n; ++v) {
-    auto& ball = sys.ball_of[static_cast<std::size_t>(v)];
-    for (NodeId w = 0; w < n; ++w) {
-      if (w == v || metric.r(v, w) < sys.r_to_centers[static_cast<std::size_t>(v)]) {
-        ball.push_back(w);
-      }
-    }
-    for (NodeId w : ball) {
+    for (NodeId w : sys.ball_of[static_cast<std::size_t>(v)]) {
       sys.cluster_of[static_cast<std::size_t>(w)].push_back(v);
     }
   }
-  // ball_of rows are ascending by construction; cluster rows too (v loop).
+  // ball_of rows are ascending (metric.ball contract); cluster rows too
+  // (the serial v loop appends in ascending v order).
   return sys;
 }
 

@@ -5,10 +5,13 @@
 #include <stdexcept>
 #include <string>
 
+
 #include "audit/audit.h"
+#include "graph/apsp.h"
 #include "io/snapshot_format.h"
 #include "rtz/centers.h"
 #include "util/bit_cost.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -55,6 +58,7 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
       node_space_(g.node_count()),
       port_space_(g.port_space()) {
   const NodeId n = g.node_count();
+  const int workers = resolve_apsp_threads(options.threads);
   const Digraph reversed = g.reversed();
 
   // --- center selection with size verification -----------------------------
@@ -65,16 +69,19 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
     // every ball at sqrt(n) deterministically.
     const auto hood = static_cast<NodeId>(
         std::ceil(std::sqrt(static_cast<double>(n))));
-    std::vector<std::vector<NodeId>> hoods;
-    hoods.reserve(static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v) {
-      hoods.push_back(metric.neighborhood(v, hood, names_.names()));
-    }
-    balls_ = build_ball_system(metric, greedy_hitting_set(n, hoods));
+    std::vector<std::vector<NodeId>> hoods(static_cast<std::size_t>(n));
+    parallel_tickets(n, workers, [&] {
+      return [&](std::int64_t v) {
+        hoods[static_cast<std::size_t>(v)] =
+            metric.neighborhood(static_cast<NodeId>(v), hood, names_.names());
+      };
+    });
+    balls_ = build_ball_system(metric, greedy_hitting_set(n, hoods), workers);
   } else {
     const NodeId centers = default_center_count(n);
     for (int attempt = 0; ; ++attempt) {
-      balls_ = build_ball_system(metric, sample_centers(n, centers, rng));
+      balls_ =
+          build_ball_system(metric, sample_centers(n, centers, rng), workers);
       resamples_used_ = attempt;
       if (static_cast<double>(balls_.max_ball_size()) <= budget &&
           static_cast<double>(balls_.max_cluster_size()) <= budget) {
@@ -92,54 +99,96 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
   }
   addresses_.resize(static_cast<std::size_t>(n));
 
-  // --- global double trees per center --------------------------------------
-  DijkstraWorkspace ws;  // shared heap buffer across every tree build below
-  std::vector<TreeRouter> center_routers;
-  center_routers.reserve(static_cast<std::size_t>(center_count));
-  for (std::int32_t ci = 0; ci < center_count; ++ci) {
-    const NodeId a = balls_.centers[static_cast<std::size_t>(ci)];
-    OutTree out = dijkstra_out_tree(g, a, ws);
-    InTree in = dijkstra_in_tree(g, reversed, a, ws);
-    TreeRouter router(out);
-    for (NodeId v = 0; v < n; ++v) {
-      auto& t = tables_[static_cast<std::size_t>(v)];
-      t.center_up_port[static_cast<std::size_t>(ci)] =
-          in.next_port[static_cast<std::size_t>(v)];
-      t.center_tree_tab[static_cast<std::size_t>(ci)] = router.table(v);
-    }
-    center_routers.push_back(std::move(router));
-  }
-
-  // --- addresses R3(v) ------------------------------------------------------
-  for (NodeId v = 0; v < n; ++v) {
-    const std::int32_t ci = balls_.nearest_center[static_cast<std::size_t>(v)];
-    addresses_[static_cast<std::size_t>(v)] = RtzAddress{
-        names_.name_of(v), ci,
-        center_routers[static_cast<std::size_t>(ci)].label(v)};
-  }
+  // --- global double trees per center, and addresses R3(v) -----------------
+  // Center ci writes only element ci of every node's pre-sized center
+  // arrays, so the fan-out is race-free without locks; each worker owns its
+  // Dijkstra workspace.  Addresses ride along: node v's address label comes
+  // from exactly its nearest center's tree, so ticket ci owns addresses_[v]
+  // for its own cluster and the router can die with the ticket instead of
+  // all center_count full-graph routers staying resident until a serial
+  // address pass (at n = 16384 that retention alone was hundreds of MB).
+  parallel_tickets(center_count, workers, [&] {
+    return [&, ws = DijkstraWorkspace{}](std::int64_t ci) mutable {
+      const NodeId a = balls_.centers[static_cast<std::size_t>(ci)];
+      OutTree out = dijkstra_out_tree(g, a, ws);
+      InTree in = dijkstra_in_tree(g, reversed, a, ws);
+      TreeRouter router(out);
+      for (NodeId v = 0; v < n; ++v) {
+        auto& t = tables_[static_cast<std::size_t>(v)];
+        t.center_up_port[static_cast<std::size_t>(ci)] =
+            in.next_port[static_cast<std::size_t>(v)];
+        t.center_tree_tab[static_cast<std::size_t>(ci)] = router.table(v);
+        if (balls_.nearest_center[static_cast<std::size_t>(v)] ==
+            static_cast<std::int32_t>(ci)) {
+          addresses_[static_cast<std::size_t>(v)] =
+              RtzAddress{names_.name_of(v), static_cast<std::int32_t>(ci),
+                         router.label(v)};
+        }
+      }
+    };
+  });
 
   // --- per-node ball double trees ------------------------------------------
-  for (NodeId v = 0; v < n; ++v) {
-    const auto& members = balls_.ball_of[static_cast<std::size_t>(v)];
-    const NodeName root_name = names_.name_of(v);
-    auto mask = mask_of(n, members);
-    OutTree out = dijkstra_out_tree_within(g, v, mask, ws);
-    InTree in = dijkstra_in_tree_within(g, reversed, v, mask, ws);
-    TreeRouter router(out);
-    auto& own = tables_[static_cast<std::size_t>(v)];
-    for (NodeId w : members) {
-      own.ball_out_label.add(names_.name_of(w), router.label(w));
-      auto& member = tables_[static_cast<std::size_t>(w)];
-      member.member_out_tab.add(root_name, router.table(w));
-      member.member_up_port.add(root_name,
-                                in.next_port[static_cast<std::size_t>(w)]);
+  // A ball tree rooted at v scatters one entry into every member w's
+  // dictionaries, so the v loop cannot fan out directly.  Instead, chunks of
+  // roots compute their products (labels, tables, up-ports, parallel to the
+  // ball row) concurrently; a serial in-v-order scatter then replays exactly
+  // the serial build's add() sequence.  Chunking bounds the staging memory
+  // to O(chunk * max_ball) instead of O(n * max_ball).
+  struct BallProduct {
+    std::vector<TreeLabel> labels;        // per member: label in v's out-tree
+    std::vector<TreeNodeTable> tabs;      // per member: table in v's out-tree
+    std::vector<Port> up_ports;           // per member: up-port in v's in-tree
+  };
+  const NodeId chunk_size = std::max<NodeId>(64, 16 * workers);
+  std::vector<BallProduct> products(static_cast<std::size_t>(
+      std::min<NodeId>(n, chunk_size)));
+  for (NodeId lo = 0; lo < n; lo += chunk_size) {
+    const NodeId hi = std::min<NodeId>(n, lo + chunk_size);
+    parallel_tickets(hi - lo, workers, [&] {
+      return [&, ws = DijkstraWorkspace{}](std::int64_t ticket) mutable {
+        const NodeId v = lo + static_cast<NodeId>(ticket);
+        const auto& members = balls_.ball_of[static_cast<std::size_t>(v)];
+        auto mask = mask_of(n, members);
+        OutTree out = dijkstra_out_tree_within(g, v, mask, ws);
+        InTree in = dijkstra_in_tree_within(g, reversed, v, mask, ws);
+        TreeRouter router(out);
+        BallProduct& prod = products[static_cast<std::size_t>(ticket)];
+        prod.labels.clear();
+        prod.tabs.clear();
+        prod.up_ports.clear();
+        prod.labels.reserve(members.size());
+        prod.tabs.reserve(members.size());
+        prod.up_ports.reserve(members.size());
+        for (NodeId w : members) {
+          prod.labels.push_back(router.label(w));
+          prod.tabs.push_back(router.table(w));
+          prod.up_ports.push_back(in.next_port[static_cast<std::size_t>(w)]);
+        }
+      };
+    });
+    for (NodeId v = lo; v < hi; ++v) {
+      const auto& members = balls_.ball_of[static_cast<std::size_t>(v)];
+      const BallProduct& prod = products[static_cast<std::size_t>(v - lo)];
+      const NodeName root_name = names_.name_of(v);
+      auto& own = tables_[static_cast<std::size_t>(v)];
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const NodeId w = members[i];
+        own.ball_out_label.add(names_.name_of(w), prod.labels[i]);
+        auto& member = tables_[static_cast<std::size_t>(w)];
+        member.member_out_tab.add(root_name, prod.tabs[i]);
+        member.member_up_port.add(root_name, prod.up_ports[i]);
+      }
     }
   }
-  for (auto& t : tables_) {
-    t.ball_out_label.finalize(options.soa_dicts);
-    t.member_out_tab.finalize(options.soa_dicts);
-    t.member_up_port.finalize(options.soa_dicts);
-  }
+  parallel_tickets(n, workers, [&] {
+    return [&](std::int64_t v) {
+      auto& t = tables_[static_cast<std::size_t>(v)];
+      t.ball_out_label.finalize(options.soa_dicts);
+      t.member_out_tab.finalize(options.soa_dicts);
+      t.member_up_port.finalize(options.soa_dicts);
+    };
+  });
 }
 
 LegStep Rtz3Scheme::start_leg(NodeId at, const RtzAddress& target,

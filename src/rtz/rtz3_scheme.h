@@ -164,6 +164,9 @@ class Rtz3Scheme {
     /// from payloads).  false keeps the PR <= 4 array-of-pairs layout; both
     /// live in the binary so the bench harness re-measures the delta.
     bool soa_dicts = true;
+    /// Construction fan-out (balls, center trees, ball trees, finalize);
+    /// <= 0 resolves the process default.  Bit-identical for any value.
+    int threads = 0;
   };
 
   Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,

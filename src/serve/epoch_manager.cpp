@@ -62,7 +62,8 @@ std::shared_ptr<const Epoch> EpochManager::build_epoch(std::uint64_t seq,
   // APSP is paid per epoch regardless of the snapshot cache: the metric is
   // not part of the frozen artifact (stretch denominators are measurement
   // state, not routing state).
-  auto metric = std::make_shared<const RoundtripMetric>(*graph);
+  std::shared_ptr<const RoundtripMetric> metric =
+      make_roundtrip_metric(graph, options_.metric_mode);
   BuildContext ctx = BuildContext::wrap(graph, metric, names_,
                                         options_.scheme_seed + seq);
 

@@ -77,6 +77,9 @@ struct EpochManagerOptions {
   /// Scheme randomness: epoch k builds with Rng(scheme_seed + k).
   std::uint64_t scheme_seed = 1;
   SimOptions sim;
+  /// Metric backend per epoch: kAuto switches from the dense APSP matrix to
+  /// bounded-Dijkstra sparse rows past kDenseMetricAutoThreshold nodes.
+  MetricMode metric_mode = MetricMode::kAuto;
 };
 
 class EpochManager {

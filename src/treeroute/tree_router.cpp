@@ -203,24 +203,29 @@ TreeNodeTable load_tree_node_table(SnapshotReader& r) {
 }
 
 void save_tree_label(SnapshotWriter& w, const TreeLabel& label) {
+  // Same wire layout as SnapshotWriter::vec (u64 count + elements): the
+  // small-buffer LightHops is a storage change only, snapshots are unchanged.
   w.i32(label.dfs_in);
-  w.vec(label.light_hops,
-        [](SnapshotWriter& ww, const std::pair<std::int32_t, Port>& hop) {
-          ww.i32(hop.first);
-          ww.i32(hop.second);
-        });
+  w.u64(label.light_hops.size());
+  for (const auto& [tail_dfs, port] : label.light_hops) {
+    w.i32(tail_dfs);
+    w.i32(port);
+  }
 }
 
 TreeLabel load_tree_label(SnapshotReader& r) {
   TreeLabel label;
   label.dfs_in = r.i32();
-  label.light_hops = r.vec<std::pair<std::int32_t, Port>>(
+  // Route through SnapshotReader::vec so the implausible-count guard stays
+  // in force, then repack into the small-buffer representation.
+  const auto hops = r.vec<std::pair<std::int32_t, Port>>(
       [](SnapshotReader& rr) {
         const std::int32_t dfs = rr.i32();
         const Port port = rr.i32();
         return std::make_pair(dfs, port);
       },
       8);
+  for (const auto& hop : hops) label.light_hops.push_back(hop);
   return label;
 }
 

@@ -19,6 +19,11 @@
 #ifndef RTR_TREEROUTE_TREE_ROUTER_H
 #define RTR_TREEROUTE_TREE_ROUTER_H
 
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "graph/dijkstra.h"
@@ -36,12 +41,91 @@ struct TreeNodeTable {
   Port heavy_port = kNoPort;   // port to the heavy child (kNoPort at leaves)
 };
 
+/// Small-buffer sequence for a label's light edges.  Lemma 14 bounds the
+/// count by floor(log2 |tree|), so labels of trees up to 2^8 members fit
+/// entirely inline (no heap allocation per label -- the dominant case: ball
+/// trees hold O~(sqrt n) members); deeper labels spill to a heap vector and
+/// stay contiguous, so pointer iteration and std::reverse keep working.
+class LightHops {
+ public:
+  using value_type = std::pair<std::int32_t, Port>;
+  using iterator = value_type*;
+  using const_iterator = const value_type*;
+  static constexpr std::size_t kInlineCapacity = 8;
+
+  LightHops() = default;
+  LightHops(std::initializer_list<value_type> hops) {
+    for (const value_type& hop : hops) push_back(hop);
+  }
+  LightHops(const LightHops&) = default;
+  LightHops& operator=(const LightHops&) = default;
+  LightHops(LightHops&& other) noexcept
+      : inline_(other.inline_),
+        spill_(std::move(other.spill_)),
+        size_(other.size_) {
+    other.size_ = 0;
+  }
+  LightHops& operator=(LightHops&& other) noexcept {
+    if (this != &other) {
+      inline_ = other.inline_;
+      spill_ = std::move(other.spill_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+  }
+
+  void emplace_back(std::int32_t dfs, Port port) {
+    if (spill_.empty() && size_ < kInlineCapacity) {
+      inline_[size_++] = value_type(dfs, port);
+      return;
+    }
+    if (spill_.empty()) {
+      // First spill: move the inline prefix so the sequence stays contiguous.
+      spill_.reserve(2 * kInlineCapacity);
+      spill_.assign(inline_.begin(), inline_.begin() + size_);
+    }
+    spill_.emplace_back(dfs, port);
+    ++size_;
+  }
+  void push_back(const value_type& hop) { emplace_back(hop.first, hop.second); }
+
+  [[nodiscard]] iterator begin() {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  [[nodiscard]] iterator end() { return begin() + size_; }
+  [[nodiscard]] const_iterator begin() const {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  [[nodiscard]] const_iterator end() const { return begin() + size_; }
+
+  [[nodiscard]] const value_type& operator[](std::size_t i) const {
+    return begin()[i];
+  }
+
+  [[nodiscard]] bool operator==(const LightHops& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  std::array<value_type, kInlineCapacity> inline_{};
+  std::vector<value_type> spill_;
+  std::size_t size_ = 0;
+};
+
 /// The routable address of a node within one tree: O(log^2 n) bits.
 struct TreeLabel {
   std::int32_t dfs_in = -1;
   /// (dfs number of the light edge's tail, port at that tail), in root->v
   /// order.  At most floor(log2 |tree|) entries.
-  std::vector<std::pair<std::int32_t, Port>> light_hops;
+  LightHops light_hops;
 };
 
 /// Immutable routing structure for one tree.  Holds every member's

@@ -1,0 +1,74 @@
+// Deterministic ticket-based parallel-for, the thread-pool shape shared by
+// APSP (graph/apsp.cpp) and the scheme builders.
+//
+// The contract that keeps parallel builds bit-identical to serial ones:
+//   * work items are claimed from a shared atomic ticket counter, but every
+//     item is processed by the identical per-item routine regardless of which
+//     thread claims it,
+//   * each thread owns its scratch (the make_worker factory runs once per
+//     thread, so workspaces are never shared),
+//   * items write only to their own pre-sized output slots -- no worker
+//     appends to shared containers.
+// Under those rules the output is a pure function of the item index, so any
+// thread count (including 1) produces the same bytes.
+//
+// Exceptions thrown by a worker are captured and rethrown on the calling
+// thread after every worker has joined (first one wins), so a failing item
+// behaves like it would in the serial loop.
+#ifndef RTR_UTIL_PARALLEL_H
+#define RTR_UTIL_PARALLEL_H
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rtr {
+
+/// Runs `make_worker()(i)` for every i in [0, count).  `make_worker` is
+/// invoked once per thread and must return a callable taking the item index;
+/// per-thread scratch lives in the returned callable.  `threads` must be
+/// >= 1 (resolve via resolve_apsp_threads first); 1 runs inline with no
+/// thread spawned.
+template <typename MakeWorker>
+void parallel_tickets(std::int64_t count, int threads,
+                      MakeWorker&& make_worker) {
+  if (count <= 0) return;
+  if (threads > count) threads = static_cast<int>(count);
+  if (threads <= 1) {
+    auto worker = make_worker();
+    for (std::int64_t i = 0; i < count; ++i) worker(i);
+    return;
+  }
+  std::atomic<std::int64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      try {
+        auto worker = make_worker();
+        for (std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+          worker(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        // Swallow the rest of this worker's tickets: with an exception in
+        // flight the build is failing anyway, and racing on after an error
+        // only delays the rethrow below.
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace rtr
+
+#endif  // RTR_UTIL_PARALLEL_H

@@ -313,15 +313,42 @@ TEST(BenchHarness, GrowthGateFailsOnSuperbudgetBuildTime) {
 }
 
 TEST(BenchHarness, GrowthGateIgnoresUngatedSchemesAndTinyTimings) {
-  // fulltable is Theta(n)-per-node by design: not gated.
+  // fulltable is Theta(n)-per-node by design: not gated.  Alongside a gated
+  // in-budget series its linear growth must not trip the gate.
   const Json linear_fulltable = doc_with_series(
       "fulltable", {256, 1024}, {1000.0, 4000.0}, {50.0, 800.0});
-  EXPECT_TRUE(check_growth_budgets(linear_fulltable).empty());
+  const Json in_budget = doc_with_series("rtz3", {256, 1024},
+                                         {160.0, 320.0}, {50.0, 400.0});
+  JsonArray mixed_cells = in_budget.at("cells").as_array();
+  for (const Json& cell : linear_fulltable.at("cells").as_array()) {
+    mixed_cells.push_back(cell);
+  }
+  Json mixed{JsonObject{}};
+  mixed.set("schema", kSchemaVersion);
+  mixed.set("cells", std::move(mixed_cells));
+  EXPECT_TRUE(check_growth_budgets(mixed).empty());
   // Sub-threshold build_ms cells are timing noise: not gated (bytes still
   // are, but this series' bytes are in budget).
   const Json tiny = doc_with_series("rtz3", {256, 1024},
                                     {160.0, 320.0}, {0.5, 4.9});
   EXPECT_TRUE(check_growth_budgets(tiny).empty());
+}
+
+TEST(BenchHarness, GrowthGateRefusesVacuousAndDegenerateSweeps) {
+  // Only ungated schemes in the document: the gate would pass without
+  // checking anything, so it raises the typed error instead of a pass.
+  const Json ungated_only = doc_with_series(
+      "fulltable", {256, 1024}, {1000.0, 4000.0}, {50.0, 800.0});
+  EXPECT_THROW(check_growth_budgets(ungated_only), GrowthGateError);
+  // A single-size sweep has no growth to measure: typed error, not a pass.
+  const Json single_size =
+      doc_with_series("rtz3", {1024}, {320.0}, {400.0});
+  EXPECT_THROW(check_growth_budgets(single_size), GrowthGateError);
+  // A zero-valued baseline cell would make every ratio infinite (or mask a
+  // broken measurement): typed error naming the cell.
+  const Json zero_base = doc_with_series("rtz3", {256, 1024},
+                                         {0.0, 320.0}, {50.0, 400.0});
+  EXPECT_THROW(check_growth_budgets(zero_base), GrowthGateError);
 }
 
 // ----------------------------------------------------------------- timing --

@@ -147,6 +147,132 @@ TEST(Dijkstra, ArenaPathFallsBackToHeapOnHugeWeightsBitIdentically) {
   }
 }
 
+TEST(Dijkstra, BoundedRunMatchesFullRunWithinLimit) {
+  // The bounded runner must report exactly the nodes within the limit, with
+  // exact global distances, and stay correct across reused workspaces.
+  for (const Family family : all_families()) {
+    Rng rng(23 + static_cast<std::uint64_t>(family));
+    const Digraph g = make_family(family, 72, 9, rng).freeze();
+    BoundedDijkstraWorkspace ws;  // reused across sources and limits
+    std::vector<BoundedReach> reach;
+    for (NodeId src = 0; src < g.node_count(); src += 5) {
+      const std::vector<Dist> full = dijkstra_distances_reference(g, src);
+      Dist max_finite = 0;
+      for (const Dist d : full) {
+        if (d != kInfDist) max_finite = std::max(max_finite, d);
+      }
+      for (const Dist limit : {Dist{0}, Dist{3}, max_finite / 2, max_finite}) {
+        reach.clear();  // the runner appends by contract
+        dijkstra_bounded(g, src, limit, ws, reach);
+        std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+        for (const BoundedReach& r : reach) {
+          EXPECT_EQ(r.dist, full[static_cast<std::size_t>(r.node)])
+              << family_name(family) << " src=" << src << " limit=" << limit;
+          EXPECT_LE(r.dist, limit);
+          seen[static_cast<std::size_t>(r.node)] = 1;
+        }
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          const bool within =
+              full[static_cast<std::size_t>(v)] != kInfDist &&
+              full[static_cast<std::size_t>(v)] <= limit;
+          EXPECT_EQ(static_cast<bool>(seen[static_cast<std::size_t>(v)]),
+                    within)
+              << family_name(family) << " src=" << src << " limit=" << limit
+              << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Dijkstra, RoundtripBallBoundedMatchesReferenceBalls) {
+  // The tandem pruned search must report exactly { u : r(src,u) <= budget },
+  // each exactly once with exact one-way distances, across families, budgets,
+  // and a reused (epoch-stamped) workspace.
+  for (const Family family : all_families()) {
+    Rng rng(41 + static_cast<std::uint64_t>(family));
+    const Digraph g = make_family(family, 72, 9, rng).freeze();
+    const Digraph rev = g.reversed();
+    RoundtripBallWorkspace ws;  // reused across sources and budgets
+    std::vector<RoundtripReach> ball;
+    for (NodeId src = 0; src < g.node_count(); src += 7) {
+      const std::vector<Dist> fwd = dijkstra_distances_reference(g, src);
+      const std::vector<Dist> bwd = dijkstra_distances_reference(rev, src);
+      Dist max_rt = 0;
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        const auto vz = static_cast<std::size_t>(v);
+        if (fwd[vz] != kInfDist && bwd[vz] != kInfDist) {
+          max_rt = std::max(max_rt, fwd[vz] + bwd[vz]);
+        }
+      }
+      for (const Dist budget :
+           {Dist{-1}, Dist{0}, Dist{5}, max_rt / 4, max_rt / 2, max_rt}) {
+        ball.clear();  // the runner appends by contract
+        roundtrip_ball_bounded(g, rev, src, budget, ws, ball);
+        std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+        for (const RoundtripReach& m : ball) {
+          const auto mz = static_cast<std::size_t>(m.node);
+          EXPECT_EQ(seen[mz], 0) << "duplicate member " << m.node;
+          seen[mz] = 1;
+          EXPECT_EQ(m.d_out, fwd[mz])
+              << family_name(family) << " src=" << src << " budget=" << budget;
+          EXPECT_EQ(m.d_in, bwd[mz])
+              << family_name(family) << " src=" << src << " budget=" << budget;
+          EXPECT_LE(m.d_out + m.d_in, budget);
+        }
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          const auto vz = static_cast<std::size_t>(v);
+          const bool member = fwd[vz] != kInfDist && bwd[vz] != kInfDist &&
+                              fwd[vz] + bwd[vz] <= budget;
+          EXPECT_EQ(static_cast<bool>(seen[vz]), member)
+              << family_name(family) << " src=" << src << " budget=" << budget
+              << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Dijkstra, DialBudgetFallsBackOnWideWeightHighDiameterGraphs) {
+  // Regression: a large weighted ring passes the Dial weight cap (weights
+  // <= 64) but its empty-bucket scan is ~n * max_weight probes -- the
+  // explicit scan budget must route it to the binary heap.  Distances stay
+  // bit-identical either way; the budget check itself is pinned below.
+  constexpr NodeId n = 20000;
+  GraphBuilder b(n);
+  Rng rng(7);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto w = static_cast<Weight>(1 + rng.index(64));
+    b.add_edge(v, (v + 1) % n, w);
+    b.add_edge((v + 1) % n, v, w);
+  }
+  const Digraph g = b.freeze();
+  ASSERT_LE(g.max_weight(), 64);
+  // scan ~ max_weight * n greatly exceeds 8 * (m + n): heap path.
+  ASSERT_GT(static_cast<std::int64_t>(g.max_weight()) * n,
+            8 * (g.edge_count() + static_cast<std::int64_t>(n)));
+  DijkstraWorkspace ws;
+  std::vector<Dist> row(static_cast<std::size_t>(n));
+  for (const NodeId src : {NodeId{0}, NodeId{n / 2}, NodeId{n - 1}}) {
+    dijkstra_distances_into(g, src, ws, row);
+    EXPECT_EQ(row, dijkstra_distances_reference(g, src)) << "src=" << src;
+  }
+  // A dense-enough graph with the same weight range stays within budget
+  // (Dial path) and must agree with the reference too.
+  Rng rng2(9);
+  const Digraph dense = random_strongly_connected(256, 16.0, 12, rng2).freeze();
+  ASSERT_LE(static_cast<std::int64_t>(dense.max_weight()) *
+                static_cast<std::int64_t>(dense.node_count()),
+            8 * (dense.edge_count() +
+                 static_cast<std::int64_t>(dense.node_count())));
+  std::vector<Dist> dense_row(static_cast<std::size_t>(dense.node_count()));
+  for (NodeId src = 0; src < dense.node_count(); src += 50) {
+    dijkstra_distances_into(dense, src, ws, dense_row);
+    EXPECT_EQ(dense_row, dijkstra_distances_reference(dense, src))
+        << "dense src=" << src;
+  }
+}
+
 TEST(Dijkstra, WorkspaceTreesMatchTheSeedTreeShapes) {
   // Tree runs share the workspace heap buffer but must keep the seed's exact
   // tie-breaks (parents included), since routing tables are built from them.

@@ -73,7 +73,7 @@ TEST(Generators, BidirectedIsDistanceSymmetric) {
   Rng rng(7);
   Digraph g = bidirected_random(80, 3.0, 6, rng).freeze();
   EXPECT_TRUE(is_strongly_connected(g));
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   EXPECT_TRUE(is_distance_symmetric(m));
 }
 
@@ -81,7 +81,7 @@ TEST(Generators, LowerBoundGadgetSymmetricAndConnected) {
   Rng rng(8);
   Digraph g = lower_bound_gadget(40, 0.3, rng).freeze();
   EXPECT_TRUE(is_strongly_connected(g));
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   EXPECT_TRUE(is_distance_symmetric(m));
   // Matched pairs are at distance <= 2; some bipartite pair should be at
   // distance exactly 1 (a present adjacency bit) at density 0.3.

@@ -36,7 +36,7 @@ TEST(Invariance, PortRelabelingDoesNotChangeRouteLengths) {
   b1.assign_adversarial_ports(ports1);
   b2.assign_adversarial_ports(ports2);
   const Digraph g1 = b1.freeze(), g2 = b2.freeze();
-  RoundtripMetric m1(g1), m2(g2);
+  DenseRoundtripMetric m1(g1), m2(g2);
   auto names = NameAssignment::identity(60);
   Rng s1(33), s2(33);  // identical scheme randomness
   Stretch6Scheme scheme1(g1, m1, names, s1);
@@ -60,7 +60,7 @@ TEST(Invariance, WeightScalingScalesRoutesLinearly) {
   b.assign_adversarial_ports(ports);
   const Digraph g = b.freeze();
   Digraph g10 = scaled_copy(g, 10);
-  RoundtripMetric m(g), m10(g10);
+  DenseRoundtripMetric m(g), m10(g10);
   auto names = NameAssignment::identity(50);
   Rng s1(44), s2(44);
   Stretch6Scheme scheme(g, m, names, s1);
@@ -81,7 +81,7 @@ TEST(Invariance, ExStretchBoundHoldsUnderEveryNaming) {
   GraphBuilder b = random_strongly_connected(40, 3.5, 4, base_rng);
   b.assign_adversarial_ports(base_rng);
   const Digraph g = b.freeze();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   for (std::uint64_t name_seed : {1u, 2u, 3u, 4u}) {
     Rng rng(name_seed);
     auto names = NameAssignment::random(40, rng);
@@ -104,7 +104,7 @@ TEST(Invariance, PolyStretchBoundHoldsUnderEveryNaming) {
   GraphBuilder b = random_strongly_connected(40, 3.5, 4, base_rng);
   b.assign_adversarial_ports(base_rng);
   const Digraph g = b.freeze();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   for (std::uint64_t name_seed : {1u, 2u, 3u}) {
     Rng rng(name_seed);
     auto names = NameAssignment::random(40, rng);
@@ -129,7 +129,7 @@ TEST(Invariance, HeaderBitsIndependentOfPairDistance) {
   GraphBuilder b = ring_with_chords(64, 10, 3, base_rng);
   b.assign_adversarial_ports(base_rng);
   const Digraph g = b.freeze();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   Rng rng(7);
   auto names = NameAssignment::random(64, rng);
   Stretch6Scheme scheme(g, m, names, rng);

@@ -16,7 +16,7 @@ TEST(LowerBound, GadgetFamilyIsDistanceSymmetric) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
     Rng rng(seed);
     Digraph g = lower_bound_gadget(32, 0.4, rng).freeze();
-    RoundtripMetric m(g);
+    DenseRoundtripMetric m(g);
     EXPECT_TRUE(is_distance_symmetric(m));
     // r(u,v) = 2 d(u,v) in the bidirected regime.
     for (NodeId u = 0; u < g.node_count(); u += 3) {
@@ -30,7 +30,7 @@ TEST(LowerBound, GadgetFamilyIsDistanceSymmetric) {
 TEST(LowerBound, AsymmetricFamilyIsNot) {
   Rng rng(4);
   Digraph g = ring_with_chords(20, 5, 3, rng).freeze();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   EXPECT_FALSE(is_distance_symmetric(m));
 }
 
@@ -42,7 +42,7 @@ TEST(LowerBound, FullTableBeatsTheBoundByPayingLinearSpace) {
   b.assign_adversarial_ports(rng);
   const Digraph g = b.freeze();
   auto names = NameAssignment::random(g.node_count(), rng);
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   FullTableScheme scheme(g, names);
   for (NodeId s = 0; s < g.node_count(); s += 2) {
     for (NodeId t = 0; t < g.node_count(); t += 3) {
@@ -64,7 +64,7 @@ TEST(LowerBound, CompactSchemeStillMeetsItsUpperBoundOnGadget) {
   b.assign_adversarial_ports(rng);
   const Digraph g = b.freeze();
   auto names = NameAssignment::random(g.node_count(), rng);
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   Rng scheme_rng(7);
   Stretch6Scheme scheme(g, m, names, scheme_rng);
   double worst = 0;

@@ -80,13 +80,13 @@ TEST(Metric, RejectsNonStronglyConnectedGraphs) {
   b.add_edge(0, 1, 1);
   b.add_edge(1, 2, 1);
   const Digraph g = b.freeze();
-  EXPECT_THROW(RoundtripMetric{g}, std::invalid_argument);
+  EXPECT_THROW(DenseRoundtripMetric{g}, std::invalid_argument);
 }
 
 TEST(Metric, NeighborhoodPrefixSizes) {
   Rng rng(9);
   Digraph g = random_strongly_connected(50, 3.0, 5, rng).freeze();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   auto names = NameAssignment::identity(50);
   auto hood = m.neighborhood(7, 10, names.names());
   EXPECT_EQ(hood.size(), 10u);
@@ -98,7 +98,7 @@ TEST(Metric, NeighborhoodPrefixSizes) {
 TEST(Metric, BallContainsExactlyCloseNodes) {
   Rng rng(10);
   Digraph g = random_strongly_connected(50, 3.0, 5, rng).freeze();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   Dist radius = m.rt_diameter() / 2;
   auto ball = m.ball(11, radius);
   std::vector<char> in_ball(50, 0);
@@ -111,7 +111,7 @@ TEST(Metric, BallContainsExactlyCloseNodes) {
 TEST(Metric, DiameterAndRadiusConsistency) {
   Rng rng(11);
   Digraph g = random_strongly_connected(40, 3.0, 6, rng).freeze();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   Dist diam = m.rt_diameter();
   Dist max_rad = 0;
   for (NodeId v = 0; v < 40; ++v) max_rad = std::max(max_rad, m.rt_radius_from(v));
@@ -123,7 +123,7 @@ TEST(Metric, InducedRoundtripAtLeastGlobal) {
   Rng rng(12);
   Digraph g = random_strongly_connected(40, 3.0, 6, rng).freeze();
   Digraph rev = g.reversed();
-  RoundtripMetric m(g);
+  DenseRoundtripMetric m(g);
   // Mask = a roundtrip ball; induced distances within it are defined and
   // at least the global ones.
   auto members = m.ball(5, m.rt_diameter());

@@ -56,7 +56,7 @@ TEST(Spanner, DenseGraphGetsMuchSparser) {
   GraphBuilder b = complete_digraph(64, 4, rng);
   b.assign_adversarial_ports(rng);
   const Digraph g = b.freeze();
-  RoundtripMetric metric(g);
+  DenseRoundtripMetric metric(g);
   SpannerResult res = build_roundtrip_spanner(g, metric, 2);
   EXPECT_LT(res.edges, g.edge_count() / 4);
   EXPECT_LE(res.measured_stretch, res.stretch_bound);

@@ -91,7 +91,7 @@ TEST(Stretch6, DeliversUnderManyAdversarialNamings) {
   GraphBuilder b = random_strongly_connected(40, 3.5, 5, graph_rng);
   b.assign_adversarial_ports(graph_rng);
   const Digraph g = b.freeze();
-  RoundtripMetric metric(g);
+  DenseRoundtripMetric metric(g);
   for (std::uint64_t name_seed : {1u, 2u, 3u}) {
     Rng rng(name_seed);
     auto names = NameAssignment::random(40, rng);

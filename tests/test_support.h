@@ -24,7 +24,7 @@ namespace rtr::testing {
 struct Instance {
   Digraph graph{0};
   NameAssignment names = NameAssignment::identity(0);
-  std::shared_ptr<RoundtripMetric> metric;
+  std::shared_ptr<const RoundtripMetric> metric;
 
   [[nodiscard]] NodeId n() const { return graph.node_count(); }
 
@@ -60,7 +60,7 @@ inline std::shared_ptr<const Instance> shared_instance(Family family, NodeId n,
   builder.assign_adversarial_ports(rng);
   inst->graph = builder.freeze();
   inst->names = NameAssignment::random(inst->graph.node_count(), rng);
-  inst->metric = std::make_shared<RoundtripMetric>(inst->graph);
+  inst->metric = std::make_shared<DenseRoundtripMetric>(inst->graph);
   return cache.emplace(key, std::move(inst)).first->second;
 }
 

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
+#include "io/snapshot_format.h"
 #include "treeroute/tree_router.h"
 #include "util/rng.h"
 
@@ -148,6 +151,112 @@ TEST(TreeRouter, LabelBitsAccounting) {
   label.light_hops = {{1, 2}, {3, 4}};
   // 2 * id (dfs + length) + 2 hops * (id + port).
   EXPECT_EQ(tree_label_bits(label, 256, 1024), 8 + 8 + 2 * (8 + 10));
+}
+
+// ------------------------------------------------- LightHops small buffer --
+
+TEST(LightHops, SequenceSemanticsAcrossTheSpillBoundary) {
+  LightHops hops;
+  EXPECT_TRUE(hops.empty());
+  // Fill well past the inline capacity; the sequence must stay contiguous
+  // and ordered through the spill.
+  const std::size_t count = 3 * LightHops::kInlineCapacity + 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    hops.emplace_back(static_cast<std::int32_t>(i),
+                      static_cast<Port>(100 + i));
+  }
+  ASSERT_EQ(hops.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hops[i].first, static_cast<std::int32_t>(i));
+    EXPECT_EQ(hops[i].second, static_cast<Port>(100 + i));
+  }
+  // std::reverse over the pointer iterators (the label builder relies on it).
+  std::reverse(hops.begin(), hops.end());
+  EXPECT_EQ(hops[0].first, static_cast<std::int32_t>(count - 1));
+  EXPECT_EQ(hops[count - 1].first, 0);
+  // Copy and move preserve contents; equality is element-wise.
+  LightHops copy = hops;
+  EXPECT_EQ(copy, hops);
+  LightHops moved = std::move(copy);
+  EXPECT_EQ(moved, hops);
+  // clear() returns to the inline representation and is reusable.
+  hops.clear();
+  EXPECT_TRUE(hops.empty());
+  hops.emplace_back(7, 8);
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0], std::make_pair(std::int32_t{7}, Port{8}));
+}
+
+TEST(LightHops, SnapshotWireFormatIsPinned) {
+  // The small-buffer change is storage-only: the on-disk encoding must stay
+  // i32 dfs, u64 count, then (i32 tail_dfs, i32 port) per hop, all LE.
+  TreeLabel label;
+  label.dfs_in = 5;
+  label.light_hops = {{1, 2}, {3, 4}};
+  SnapshotWriter w;
+  save_tree_label(w, label);
+  const std::vector<std::uint8_t> expected = {
+      5, 0, 0, 0,              // dfs_in
+      2, 0, 0, 0, 0, 0, 0, 0,  // hop count (u64)
+      1, 0, 0, 0, 2, 0, 0, 0,  // hop (1, 2)
+      3, 0, 0, 0, 4, 0, 0, 0,  // hop (3, 4)
+  };
+  EXPECT_EQ(w.bytes(), expected);
+  SnapshotReader r(w.bytes().data(), w.bytes().size());
+  const TreeLabel back = load_tree_label(r);
+  EXPECT_EQ(back.dfs_in, label.dfs_in);
+  EXPECT_EQ(back.light_hops, label.light_hops);
+}
+
+TEST(LightHops, DeepTreeLabelsSpillAndStillRouteAndRoundtrip) {
+  // A complete binary tree of depth 12: every internal node has one heavy
+  // and one light child, so the leaf reached by always taking light edges
+  // carries 11 light hops -- past the inline capacity.  Routes, label bits,
+  // and snapshot bytes must be unaffected by the spill.
+  constexpr NodeId n = (1 << 12) - 1;
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId c : {2 * v + 1, 2 * v + 2}) {
+      if (c < n) {
+        b.add_edge(v, c, 1);
+        b.add_edge(c, v, 1);
+      }
+    }
+  }
+  const Digraph g = b.freeze();
+  OutTree tree = dijkstra_out_tree(g, 0);
+  TreeRouter router(tree);
+
+  std::size_t max_hops = 0;
+  NodeId deepest = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const TreeLabel label = router.label(v);
+    if (label.light_hops.size() > max_hops) {
+      max_hops = label.light_hops.size();
+      deepest = v;
+    }
+  }
+  ASSERT_GT(max_hops, LightHops::kInlineCapacity)
+      << "test graph too shallow to exercise the spill path";
+
+  // Routing to spilled-label targets walks the same tree paths.
+  for (const NodeId target : {deepest, static_cast<NodeId>(n - 1)}) {
+    EXPECT_EQ(route_in_tree(g, router, target),
+              tree.dist[static_cast<std::size_t>(target)]);
+  }
+
+  // Save -> load -> save is byte-identical with spilled labels in play.
+  const TreeLabel deep_label = router.label(deepest);
+  SnapshotWriter wa;
+  save_tree_label(wa, deep_label);
+  SnapshotReader r(wa.bytes().data(), wa.bytes().size());
+  const TreeLabel loaded = load_tree_label(r);
+  EXPECT_EQ(loaded.light_hops, deep_label.light_hops);
+  SnapshotWriter wb;
+  save_tree_label(wb, loaded);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+  EXPECT_EQ(tree_label_bits(loaded, n, 4 * n),
+            tree_label_bits(deep_label, n, 4 * n));
 }
 
 }  // namespace

@@ -54,6 +54,7 @@ int usage(const char* argv0) {
                "usage: %s [--quick|--full] [--out FILE] [--rev REV]\n"
                "          [--families f1,f2] [--sizes n1,n2] [--schemes s1,s2]\n"
                "          [--pairs N] [--threads N (0 = hardware)] [--seed S]\n"
+               "          [--metric auto|dense|sparse]\n"
                "          [--no-snapshot-phase] [--no-deltas]\n"
                "       %s --check BASELINE CURRENT [--qps-tolerance T]\n"
                "          [--delta-floor PCT]\n"
@@ -86,7 +87,16 @@ Family family_by_name(const std::string& name) {
 
 int run_growth_check(const std::string& path) {
   const auto doc = benchjson::Json::parse(read_text_file(path));
-  const std::vector<std::string> violations = check_growth_budgets(doc);
+  std::vector<std::string> violations;
+  try {
+    violations = check_growth_budgets(doc);
+  } catch (const GrowthGateError& e) {
+    // Malformed input (single-size sweep, zero-valued baseline cell):
+    // distinct exit code so CI can tell "budget exceeded" (1) from "the gate
+    // never ran" (2).
+    std::fprintf(stderr, "growth gate INVALID: %s\n", e.what());
+    return 2;
+  }
   if (violations.empty()) {
     std::printf("growth gate OK: %zu cells in %s within the O~(sqrt n) budgets\n",
                 cells_from_json(doc).size(), path.c_str());
@@ -222,6 +232,8 @@ int main(int argc, char** argv) {
         config.threads = std::stoi(next());
       } else if (arg == "--seed") {
         config.seed = std::stoull(next());
+      } else if (arg == "--metric") {
+        config.metric_mode = rtr::parse_metric_mode(next());
       } else if (arg == "--no-snapshot-phase") {
         config.snapshot_phase = false;
       } else if (arg == "--no-deltas") {
