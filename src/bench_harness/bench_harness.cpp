@@ -290,8 +290,12 @@ CellResult run_cell(const Instance& inst, const std::string& scheme_name,
       const auto t0 = Clock::now();
       SchemeHandle loaded = load_snapshot(path.string(), scheme_name);
       cell.snapshot_load_ms = ms_since(t0);
+      const auto t1 = Clock::now();
+      SchemeHandle mapped = map_snapshot(path.string(), scheme_name);
+      cell.snapshot_map_ms = ms_since(t1);
     } catch (const std::exception&) {
-      cell.snapshot_load_ms = -1;  // phase skipped; the cell still stands
+      // Phase skipped; the cell still stands.  Whichever of the two columns
+      // was not reached keeps its -1 sentinel, which the gates never compare.
     }
     std::error_code ec;
     fs::remove(path, ec);
@@ -455,37 +459,69 @@ HotPathDelta measure_port_index_delta(NodeId n, std::uint64_t seed) {
   return d;
 }
 
-/// Before/after for the rtz3 per-node dictionaries: the PR <= 4
-/// array-of-pairs layout vs the SoA packing (keys contiguous, payloads
-/// parallel).  Two schemes are built identically except for the layout flag
-/// and probed with the exact forwarding-time lookups (find_ball_label /
+/// Before/after for the rtz3 per-node dictionaries: the retained reference
+/// layout (per-node array-of-pairs NameDicts, entries ~100 bytes wide) vs
+/// the flat CSR arrays the scheme now serves every probe from (keys packed
+/// 4 bytes apart inside one global array).  The mirrors are populated FROM
+/// the built scheme through the same probe API, so both sides answer from
+/// identical contents and the summed probe outcomes are asserted equal.
+/// Probes are the exact forwarding-time lookups (find_ball_label /
 /// find_member_up_port / find_member_table) in a node-shuffled order, so
-/// every probe binary-searches a different node's tables -- the per-hop
-/// cache-miss pattern the SoA packing targets.  Probe outcomes are summed
-/// and asserted identical across layouts.  The effect is a CACHE effect:
+/// every probe binary-searches a different node's row -- the per-hop
+/// cache-miss pattern the packing targets.  The effect is a CACHE effect:
 /// the dictionaries of a sweep-sized instance (n = 256) fit in L2 whole, so
 /// the caller hands in an instance big enough (n ~ 4096, ~O(n sqrt n) total
 /// dictionary bytes) that cross-node probes actually miss.
 HotPathDelta measure_rtz3_dict_delta(const Instance& inst, Family family,
                                      std::uint64_t seed) {
-  Rtz3Scheme::Options aos;
-  aos.soa_dicts = false;
-  Rtz3Scheme::Options soa;
-  soa.soa_dicts = true;
-  Rng rng_before(seed);
-  const Rtz3Scheme before(*inst.graph, *inst.metric, inst.names, rng_before,
-                          aos);
-  Rng rng_after(seed);
-  const Rtz3Scheme after(*inst.graph, *inst.metric, inst.names, rng_after,
-                         soa);
+  Rng rng(seed);
+  const Rtz3Scheme scheme(*inst.graph, *inst.metric, inst.names, rng,
+                          Rtz3Scheme::Options{});
+  const BallSystem& balls = scheme.balls();
+  const NodeId n = inst.graph->node_count();
+
+  // Reference dictionaries with the same contents: ball rows give the label
+  // keys; cluster rows give the membership keys (v stores state for root r
+  // iff v is in r's ball, i.e. r is in v's cluster).
+  struct Mirror {
+    NameDict<TreeLabel> ball;
+    NameDict<TreeNodeTable> tab;
+    NameDict<Port> up;
+  };
+  std::vector<Mirror> mirrors(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    Mirror& m = mirrors[static_cast<std::size_t>(v)];
+    for (const NodeId w : balls.ball(v)) {
+      const NodeName key = inst.names.name_of(w);
+      const auto label = scheme.find_ball_label(v, key);
+      if (!label.has_value()) {
+        throw std::logic_error(
+            "bench_harness: ball member missing from the label dictionary");
+      }
+      m.ball.add(key, *label);
+    }
+    for (const NodeId root : balls.cluster(v)) {
+      const NodeName key = inst.names.name_of(root);
+      const TreeNodeTable* tab = scheme.find_member_table(v, key);
+      const Port* up = scheme.find_member_up_port(v, key);
+      if (tab == nullptr || up == nullptr) {
+        throw std::logic_error(
+            "bench_harness: cluster root missing from the member dictionaries");
+      }
+      m.tab.add(key, *tab);
+      m.up.add(key, *up);
+    }
+    m.ball.finalize();
+    m.tab.finalize();
+    m.up.finalize();
+  }
 
   // Probe set: for every node, each of its ball members' names (dictionary
   // hits) plus one arbitrary name per node (mostly misses).  Shuffled so
   // consecutive probes touch different nodes' tables.
-  const NodeId n = inst.graph->node_count();
   std::vector<std::pair<NodeId, NodeName>> probes;
   for (NodeId v = 0; v < n; ++v) {
-    for (const NodeId w : before.balls().ball_of[static_cast<std::size_t>(v)]) {
+    for (const NodeId w : balls.ball(v)) {
       probes.emplace_back(v, inst.names.name_of(w));
       probes.emplace_back(w, inst.names.name_of(v));
     }
@@ -494,10 +530,21 @@ HotPathDelta measure_rtz3_dict_delta(const Instance& inst, Family family,
   Rng shuffle_rng(seed + 1);
   shuffle_rng.shuffle(probes);
 
-  const auto run_probes = [&probes](const Rtz3Scheme& scheme) {
+  std::int64_t sum_before = 0, sum_after = 0;
+  const auto run_reference = [&] {
     std::int64_t acc = 0;
     for (const auto& [at, key] : probes) {
-      if (const TreeLabel* label = scheme.find_ball_label(at, key)) {
+      const Mirror& m = mirrors[static_cast<std::size_t>(at)];
+      if (const TreeLabel* label = m.ball.find(key)) acc += label->dfs_in;
+      if (const Port* up = m.up.find(key)) acc += *up;
+      if (const TreeNodeTable* tab = m.tab.find(key)) acc += tab->heavy_port;
+    }
+    sum_before = acc;
+  };
+  const auto run_flat = [&] {
+    std::int64_t acc = 0;
+    for (const auto& [at, key] : probes) {
+      if (const auto label = scheme.find_ball_label(at, key)) {
         acc += label->dfs_in;
       }
       if (const Port* up = scheme.find_member_up_port(at, key)) acc += *up;
@@ -505,23 +552,94 @@ HotPathDelta measure_rtz3_dict_delta(const Instance& inst, Family family,
         acc += tab->heavy_port;
       }
     }
-    return acc;
+    sum_after = acc;
   };
-  std::int64_t sum_before = 0, sum_after = 0;
   HotPathDelta d;
-  d.name = "rtz3-soa-dicts";
+  d.name = "rtz3-flat-dicts";
   d.metric = "dict_lookup_ms";
   d.scheme = "rtz3";
   d.family = family_name(family);
   d.n = n;
-  d.before =
-      run_timed(delta_policy(), [&] { sum_before = run_probes(before); }).best_ms;
-  d.after =
-      run_timed(delta_policy(), [&] { sum_after = run_probes(after); }).best_ms;
+  d.before = run_timed(delta_policy(), run_reference).best_ms;
+  d.after = run_timed(delta_policy(), run_flat).best_ms;
   if (sum_before != sum_after) {
     throw std::logic_error(
-        "bench_harness: SoA rtz3 dictionaries diverged from the AoS layout");
+        "bench_harness: flat rtz3 dictionaries diverged from the reference "
+        "layout");
   }
+  d.improvement_pct =
+      d.before > 0 ? 100.0 * (d.before - d.after) / d.before : 0;
+  return d;
+}
+
+/// Before/after for snapshot warm-start: the v1 streamed deserialization
+/// (decode every table into owning buffers, full payload CRC) vs the v2
+/// arena mmap load-in-place (open + header/directory check + offset fixup;
+/// tables are served straight off the mapping).  Both files freeze the SAME
+/// built stretch6 scheme, and both loaded handles are asserted to answer an
+/// identical query sample, so the delta measures the load path alone.  The
+/// gap is the tentpole claim -- O(tables) decode vs O(ms) at any n -- so the
+/// caller hands in the big (n >= 4096) instance where the decode cost shows.
+HotPathDelta measure_snapshot_map_delta(const Instance& inst, Family family,
+                                        std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  BuildContext ctx =
+      BuildContext::wrap(inst.graph, inst.metric, inst.names, seed);
+  auto scheme = SchemeRegistry::global().build("stretch6", ctx);
+  SchemeHandle built(inst.graph, inst.names, scheme);
+  const fs::path dir = fs::temp_directory_path();
+  const std::string v1_path = (dir / "rtr_bench_mapdelta_v1.rtrsnap").string();
+  const std::string v2_path = (dir / "rtr_bench_mapdelta_v2.rtrsnap").string();
+  save_snapshot(v1_path, "stretch6", built, SchemeRegistry::global(),
+                kSnapshotVersionV1);
+  save_snapshot(v2_path, "stretch6", built, SchemeRegistry::global(),
+                kSnapshotVersionV2);
+
+  const auto run_v1_load = [&] {
+    SchemeHandle loaded = load_snapshot(v1_path, "stretch6");
+    volatile NodeId sink = loaded.graph().node_count();
+    (void)sink;
+  };
+  const auto run_v2_map = [&] {
+    SchemeHandle mapped = map_snapshot(v2_path, "stretch6");
+    volatile NodeId sink = mapped.graph().node_count();
+    (void)sink;
+  };
+
+  HotPathDelta d;
+  d.name = "snapshot-arena-map";
+  d.metric = "snapshot_load_ms";
+  d.scheme = "stretch6";
+  d.family = family_name(family);
+  d.n = inst.graph->node_count();
+  d.before = run_timed(delta_policy(), run_v1_load).best_ms;
+  d.after = run_timed(delta_policy(), run_v2_map).best_ms;
+
+  // Route-for-route equivalence of the two load paths on a query sample; a
+  // divergence invalidates the measurement (and the format).
+  {
+    SchemeHandle v1_handle = load_snapshot(v1_path, "stretch6");
+    SchemeHandle v2_handle = map_snapshot(v2_path, "stretch6");
+    QueryEngineOptions opts;
+    opts.threads = 1;
+    const auto pairs =
+        QueryEngine::sample_pairs(inst.graph->node_count(), 512, seed + 1);
+    QueryEngine v1_engine(v1_handle.graph_ptr(), inst.metric, v1_handle.names(),
+                          v1_handle.scheme_ptr(), opts);
+    QueryEngine v2_engine(v2_handle.graph_ptr(), inst.metric, v2_handle.names(),
+                          v2_handle.scheme_ptr(), opts);
+    const StretchReport v1_rep = v1_engine.run_batch(pairs);
+    const StretchReport v2_rep = v2_engine.run_batch(pairs);
+    if (v1_rep.mean_stretch != v2_rep.mean_stretch ||
+        v1_rep.failures != v2_rep.failures ||
+        v1_rep.max_header_bits != v2_rep.max_header_bits) {
+      throw std::logic_error(
+          "bench_harness: mapped v2 snapshot diverged from the v1 load");
+    }
+  }
+  std::error_code ec;
+  fs::remove(v1_path, ec);
+  fs::remove(v2_path, ec);
   d.improvement_pct =
       d.before > 0 ? 100.0 * (d.before - d.after) / d.before : 0;
   return d;
@@ -628,7 +746,7 @@ SuiteResult run_suite(const BenchConfig& config, std::ostream* progress) {
     // the workload (complete digraph), independent of the sweep sizes.
     result.deltas.push_back(measure_port_index_delta(256, config.seed));
     const Instance& inst = delta_inst;
-    // The SoA-dictionary delta is a cache effect; measure it on an instance
+    // The flat-dictionary delta is a cache effect; measure it on an instance
     // whose dictionaries outgrow L2 (reused from the sweep when the sweep is
     // already that big).
     const NodeId dict_n = std::max<NodeId>(n, 4096);
@@ -639,6 +757,10 @@ SuiteResult run_suite(const BenchConfig& config, std::ostream* progress) {
                                      config.metric_mode, config.threads);
     result.deltas.push_back(
         measure_rtz3_dict_delta(dict_inst, family, config.seed));
+    // The map delta needs the same big-instance treatment: v1 decode cost is
+    // O(tables), so small n would understate (or noise out) the gap.
+    result.deltas.push_back(
+        measure_snapshot_map_delta(dict_inst, family, config.seed));
     for (const std::string& scheme :
          {std::string("stretch6"), std::string("rtz3")}) {
       if (SchemeRegistry::global().contains(scheme)) {
@@ -676,6 +798,7 @@ Json cell_to_json(const CellResult& c) {
   j.set("apsp_ms", c.apsp_ms);
   j.set("build_ms", c.build_ms);
   j.set("snapshot_load_ms", c.snapshot_load_ms);
+  j.set("snapshot_map_ms", c.snapshot_map_ms);
   j.set("qps", c.qps);
   j.set("p50_query_ns", c.p50_query_ns);
   j.set("p99_query_ns", c.p99_query_ns);
@@ -704,6 +827,10 @@ CellResult cell_from_json(const Json& j) {
   c.apsp_ms = j.at("apsp_ms").as_double();
   c.build_ms = j.at("build_ms").as_double();
   c.snapshot_load_ms = j.at("snapshot_load_ms").as_double();
+  // Tolerant read: documents from before the mmap column parse as "phase
+  // not measured", exactly like peak_rss_kb below.
+  c.snapshot_map_ms =
+      j.has("snapshot_map_ms") ? j.at("snapshot_map_ms").as_double() : -1;
   c.qps = j.at("qps").as_double();
   c.p50_query_ns = j.at("p50_query_ns").as_double();
   c.p99_query_ns = j.at("p99_query_ns").as_double();
@@ -963,6 +1090,26 @@ std::vector<std::string> check_growth_budgets(const Json& doc,
           violations.emplace_back(buf);
         }
       }
+      // Owned snapshot deserialization decodes the same O~(n sqrt n) table
+      // bytes, so it shares the build budget.  A negative value at either
+      // endpoint is the "phase skipped" sentinel (scheme without snapshot
+      // hooks, failed save, old document) -- explicitly skipped, never fed
+      // into a ratio; the min_build_ms floor then drops sub-noise times.
+      if (lo.snapshot_load_ms >= 0 && hi.snapshot_load_ms >= 0 &&
+          lo.snapshot_load_ms > options.min_build_ms &&
+          hi.snapshot_load_ms > options.min_build_ms) {
+        const double allowed = size_ratio * std::sqrt(size_ratio) *
+                               log_ratio * log_ratio * options.build_slack;
+        const double actual = hi.snapshot_load_ms / lo.snapshot_load_ms;
+        if (actual > allowed) {
+          char buf[200];
+          std::snprintf(buf, sizeof buf,
+                        "%s: snapshot_load_ms grew %.2fx from n=%d to n=%d "
+                        "(O~(n sqrt n) budget allows %.2fx)",
+                        key.c_str(), actual, lo.n, hi.n, allowed);
+          violations.emplace_back(buf);
+        }
+      }
     }
   }
   if (gated_series == 0) {
@@ -1051,6 +1198,31 @@ std::vector<std::string> compare_to_baseline(const Json& baseline,
                     key(b).c_str(), b.mean_stretch, c.mean_stretch);
       violations.emplace_back(buf);
     }
+    // Snapshot-phase regressions.  A -1 on EITHER side means "phase skipped
+    // or not measured" (an old baseline, a scheme without snapshot hooks, a
+    // failed save) -- a sentinel, not a time -- so it is never compared;
+    // likewise sub-floor times, where single-shot measurement noise
+    // dominates.  Timing comparability follows the qps rule (same host CPU
+    // and thread count).
+    const auto check_phase = [&](const char* label, double base_ms,
+                                 double cur_ms) {
+      if (!qps_comparable) return;
+      if (base_ms < 0 || cur_ms < 0) return;  // sentinel: skip, never compare
+      if (base_ms <= options.min_snapshot_phase_ms ||
+          cur_ms <= options.min_snapshot_phase_ms) {
+        return;
+      }
+      if (cur_ms > base_ms * (1.0 + options.snapshot_regression_tolerance)) {
+        char buf[180];
+        std::snprintf(buf, sizeof buf,
+                      "%s: %s regressed %.2fms -> %.2fms (more than %.0f%%)",
+                      key(b).c_str(), label, base_ms, cur_ms,
+                      options.snapshot_regression_tolerance * 100);
+        violations.emplace_back(buf);
+      }
+    };
+    check_phase("snapshot_load_ms", b.snapshot_load_ms, c.snapshot_load_ms);
+    check_phase("snapshot_map_ms", b.snapshot_map_ms, c.snapshot_map_ms);
   }
   for (const HotPathDelta& d : deltas_from_json(current)) {
     if (d.improvement_pct < options.delta_floor_pct) {

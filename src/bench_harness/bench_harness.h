@@ -122,6 +122,11 @@ struct CellResult {
   double apsp_ms = 0;            ///< metric/APSP build, shared per instance
   double build_ms = 0;           ///< scheme construction
   double snapshot_load_ms = -1;  ///< rebuild-from-snapshot; -1 when skipped
+  /// Zero-copy mmap of the same v2 snapshot (open + header/directory check +
+  /// view fixup); -1 when the phase is skipped or mapping failed.  The
+  /// -1 sentinels are NEVER compared by the gates -- see compare_to_baseline
+  /// and check_growth_budgets, which skip negative phase values explicitly.
+  double snapshot_map_ms = -1;
   double qps = 0;                ///< batch roundtrips per second
   double p50_query_ns = 0;
   double p99_query_ns = 0;
@@ -195,6 +200,13 @@ struct GateOptions {
   double qps_drop_tolerance = 0.25;  ///< fail when qps drops more than this
   double stretch_epsilon = 1e-9;     ///< fail on any avg-stretch increase
   double delta_floor_pct = 0.0;      ///< hot-path deltas must beat this
+  /// Snapshot-phase (load/map) regression tolerance: the current cell may be
+  /// up to (1 + this) x the baseline's time.  Generous because each phase is
+  /// a single-shot measurement, not a steady-state best-of.
+  double snapshot_regression_tolerance = 1.0;
+  /// Both sides of a snapshot-phase comparison must exceed this (and be
+  /// non-negative: -1 means "phase skipped" and is never compared).
+  double min_snapshot_phase_ms = 5.0;
 };
 
 /// Asymptotic-budget gate for the --full sweep (the nightly job): instead of

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "io/arena.h"
 #include "io/snapshot_format.h"
 
 namespace rtr {
@@ -12,7 +13,33 @@ NameAssignment NameAssignment::load(SnapshotReader& r) {
   return NameAssignment(r.vec_i32());
 }
 
-void NameAssignment::save(SnapshotWriter& w) const { w.vec_i32(name_of_); }
+void NameAssignment::save(SnapshotWriter& w) const {
+  w.vec_i32(name_of_.to_vector());
+}
+
+void NameAssignment::save_arena(ArenaWriter& w) const {
+  w.add("names/name_of", name_of_);
+  w.add("names/id_of", id_of_);
+}
+
+NameAssignment NameAssignment::from_arena(const ArenaView& a) {
+  const std::uint64_t n = a.header().node_count;
+  NameAssignment names;
+  names.name_of_ = a.vec<NodeName>("names/name_of", n);
+  names.id_of_ = a.vec<NodeId>("names/id_of", n);
+  // One linear pass replaces the constructor's inverse rebuild: both arrays
+  // must be mutually inverse permutations of [0, n).
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    const NodeName name = names.name_of_[static_cast<std::size_t>(id)];
+    if (name < 0 || name >= static_cast<NodeName>(n) ||
+        names.id_of_[static_cast<std::size_t>(name)] != id) {
+      throw SnapshotArenaError(
+          "arena: names sections are not mutually inverse permutations");
+    }
+  }
+  names.arena_ = a.storage();
+  return names;
+}
 
 NameAssignment NameAssignment::identity(NodeId n) {
   std::vector<NodeName> names(static_cast<std::size_t>(n));
@@ -27,17 +54,18 @@ NameAssignment NameAssignment::random(NodeId n, Rng& rng) {
 NameAssignment::NameAssignment(std::vector<NodeName> name_of_id)
     : name_of_(std::move(name_of_id)) {
   const auto n = static_cast<NodeId>(name_of_.size());
-  id_of_.assign(static_cast<std::size_t>(n), kNoNode);
+  std::vector<NodeId> id_of(static_cast<std::size_t>(n), kNoNode);
   for (NodeId id = 0; id < n; ++id) {
     NodeName name = name_of_[static_cast<std::size_t>(id)];
     if (name < 0 || name >= n) {
       throw std::invalid_argument("NameAssignment: name out of range");
     }
-    if (id_of_[static_cast<std::size_t>(name)] != kNoNode) {
+    if (id_of[static_cast<std::size_t>(name)] != kNoNode) {
       throw std::invalid_argument("NameAssignment: duplicate name");
     }
-    id_of_[static_cast<std::size_t>(name)] = id;
+    id_of[static_cast<std::size_t>(name)] = id;
   }
+  id_of_ = std::move(id_of);
 }
 
 void NameAssignment::audit(AuditReport& report) const {

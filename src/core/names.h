@@ -7,9 +7,11 @@
 #ifndef RTR_CORE_NAMES_H
 #define RTR_CORE_NAMES_H
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "util/flat_vec.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -18,6 +20,9 @@ namespace rtr {
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
 class AuditReport;  // audit/audit.h
+class ArenaStorage;  // io/arena.h
+class ArenaView;
+class ArenaWriter;
 
 /// Bijection internal NodeId <-> TINN NodeName.
 class NameAssignment {
@@ -35,6 +40,12 @@ class NameAssignment {
   static NameAssignment load(SnapshotReader& r);
   void save(SnapshotWriter& w) const;
 
+  /// Arena (v2) path: both permutation arrays as "names/..." sections, so a
+  /// mapped load views them in place (a cheap linear inverse check replaces
+  /// the constructor's rebuild).
+  void save_arena(ArenaWriter& w) const;
+  [[nodiscard]] static NameAssignment from_arena(const ArenaView& a);
+
   [[nodiscard]] NodeId node_count() const {
     return static_cast<NodeId>(name_of_.size());
   }
@@ -47,7 +58,7 @@ class NameAssignment {
     }
     return id_of_[static_cast<std::size_t>(name)];
   }
-  [[nodiscard]] const std::vector<NodeName>& names() const { return name_of_; }
+  [[nodiscard]] const FlatVec<NodeName>& names() const { return name_of_; }
 
   /// Auditable: name_of_/id_of_ are mutually inverse permutations of [0, n)
   /// (the TINN bijection the constructor enforces, re-verified in case the
@@ -56,8 +67,11 @@ class NameAssignment {
 
  private:
   friend struct AuditTestPeer;
-  std::vector<NodeName> name_of_;
-  std::vector<NodeId> id_of_;
+  NameAssignment() = default;  // from_arena fills the views
+  FlatVec<NodeName> name_of_;
+  FlatVec<NodeId> id_of_;
+  // Non-null iff the FlatVecs view a mapped/owned arena region.
+  std::shared_ptr<const ArenaStorage> arena_;
 };
 
 }  // namespace rtr

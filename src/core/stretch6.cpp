@@ -7,6 +7,7 @@
 
 #include "audit/audit.h"
 #include "graph/apsp.h"
+#include "io/arena.h"
 #include "io/snapshot_format.h"
 #include "util/bit_cost.h"
 #include "util/parallel.h"
@@ -20,12 +21,36 @@ void Stretch6Scheme::save(SnapshotWriter& w) const {
   substrate_->save(w);
   w.u8(detour_via_source_ ? 1 : 0);
   save_block_assignment(w, assignment_);
-  w.u64(tables_.size());
-  for (const NodeTables& t : tables_) {
-    w.vec_i32(t.r3_names);
-    w.vec_i32(t.holder_of_block);
+  const auto n = static_cast<std::size_t>(names_.node_count());
+  w.u64(n);
+  // Replays the exact historical per-node stream from the flat arrays.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto lo = static_cast<std::size_t>(r3_off_[v]);
+    const auto hi = static_cast<std::size_t>(r3_off_[v + 1]);
+    w.vec_i32(std::vector<NodeName>(r3_names_.data() + lo,
+                                    r3_names_.data() + hi));
+    const NodeName* row =
+        holder_of_.data() + v * static_cast<std::size_t>(block_count_);
+    w.vec_i32(std::vector<NodeName>(
+        row, row + static_cast<std::size_t>(block_count_)));
   }
   w.i64(node_space_);
+}
+
+void Stretch6Scheme::adopt_r3_rows(
+    const std::vector<std::vector<NodeName>>& rows) {
+  std::vector<std::int64_t> off(rows.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    total += rows[v].size();
+    off[v + 1] = static_cast<std::int64_t>(total);
+  }
+  std::vector<NodeName> flat;
+  flat.reserve(total);
+  for (const auto& row : rows) flat.insert(flat.end(), row.begin(), row.end());
+  r3_off_ = std::move(off);
+  r3_names_ = std::move(flat);
+  arena_.reset();
 }
 
 Stretch6Scheme::Stretch6Scheme(SnapshotReader& r, const Digraph& g)
@@ -40,14 +65,81 @@ Stretch6Scheme::Stretch6Scheme(SnapshotReader& r, const Digraph& g)
     throw std::invalid_argument(
         "stretch6 snapshot: table count does not match the graph");
   }
-  tables_.reserve(static_cast<std::size_t>(n));
+  block_count_ = alphabet_.relevant_block_count();
+  std::vector<std::vector<NodeName>> r3_rows(static_cast<std::size_t>(n));
+  std::vector<NodeName> holders;
+  holders.reserve(static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(block_count_));
   for (std::uint64_t i = 0; i < n; ++i) {
-    NodeTables t;
-    t.r3_names = r.vec_i32();
-    t.holder_of_block = r.vec_i32();
-    tables_.push_back(std::move(t));
+    r3_rows[static_cast<std::size_t>(i)] = r.vec_i32();
+    const std::vector<NodeName> holder_row = r.vec_i32();
+    if (holder_row.size() != static_cast<std::size_t>(block_count_)) {
+      throw std::invalid_argument(
+          "stretch6 snapshot: holder rows not sized to the relevant blocks");
+    }
+    holders.insert(holders.end(), holder_row.begin(), holder_row.end());
   }
+  adopt_r3_rows(r3_rows);
+  holder_of_ = std::move(holders);
   node_space_ = r.i64();
+}
+
+void Stretch6Scheme::save_arena(ArenaWriter& w,
+                                const std::string& prefix) const {
+  substrate_->save_arena(w, prefix + "s/");
+  w.add(prefix + "r3_off", r3_off_);
+  w.add(prefix + "r3_names", r3_names_);
+  w.add(prefix + "holders", holder_of_);
+  // The name assignment is NOT embedded: the arena's top-level names
+  // sections are the same assignment, and the loader receives them.
+  SnapshotWriter meta;
+  alphabet_.save(meta);
+  meta.i32(hood_size_);
+  meta.u8(detour_via_source_ ? 1 : 0);
+  save_block_assignment(meta, assignment_);
+  meta.i64(node_space_);
+  const auto& meta_bytes = meta.bytes();
+  w.add_bytes(prefix + "meta", meta_bytes.data(), meta_bytes.size());
+}
+
+Stretch6Scheme::Stretch6Scheme(SnapshotReader& meta, const ArenaView& a,
+                               const std::string& prefix, const Digraph& g,
+                               const NameAssignment& names)
+    : names_(names),
+      alphabet_(Alphabet::load(meta)),
+      hood_size_(meta.i32()),
+      substrate_(std::make_shared<const Rtz3Scheme>(
+          Rtz3Scheme::from_arena(a, prefix + "s/", g, names))) {
+  detour_via_source_ = meta.u8() != 0;
+  assignment_ = load_block_assignment(meta);
+  node_space_ = meta.i64();
+  meta.expect_exhausted("stretch6 arena meta");
+
+  const auto n = static_cast<std::size_t>(g.node_count());
+  if (static_cast<std::size_t>(names_.node_count()) != n) {
+    throw SnapshotArenaError(
+        "stretch6 arena: name table does not match the graph");
+  }
+  block_count_ = alphabet_.relevant_block_count();
+  r3_off_ = a.vec<std::int64_t>(prefix + "r3_off", n + 1);
+  r3_names_ = a.vec<NodeName>(prefix + "r3_names");
+  holder_of_ = a.vec<NodeName>(
+      prefix + "holders", n * static_cast<std::size_t>(block_count_));
+  if (r3_off_.front() != 0 ||
+      r3_off_.back() != static_cast<std::int64_t>(r3_names_.size()) ||
+      !std::is_sorted(r3_off_.begin(), r3_off_.end())) {
+    throw SnapshotArenaError(
+        "stretch6 arena: r3 dictionary offsets are not a well-formed CSR");
+  }
+  arena_ = a.storage();
+}
+
+Stretch6Scheme Stretch6Scheme::from_arena(const ArenaView& a,
+                                          const std::string& prefix,
+                                          const Digraph& g,
+                                          const NameAssignment& names) {
+  SnapshotReader meta = a.reader(prefix + "meta");
+  return Stretch6Scheme(meta, a, prefix, g, names);
 }
 
 Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
@@ -70,28 +162,35 @@ Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
       assign_blocks(alphabet_, metric, names_, hoods, rng, options.blocks);
 
   const std::int64_t blocks = alphabet_.relevant_block_count();
-  tables_.resize(static_cast<std::size_t>(n));
+  block_count_ = blocks;
+  // Per-ticket writes are disjoint: node u owns its r3 row and its fixed
+  //-width holder row at u * blocks, so the fan-out is race-free.
+  std::vector<std::vector<NodeName>> r3_rows(static_cast<std::size_t>(n));
+  std::vector<NodeName> holders(static_cast<std::size_t>(n) *
+                                    static_cast<std::size_t>(blocks),
+                                kNoNode);
   parallel_tickets(n, threads, [&] {
     return [&](std::int64_t ticket) {
     const auto u = static_cast<NodeId>(ticket);
-    auto& tab = tables_[static_cast<std::size_t>(u)];
+    auto& row = r3_rows[static_cast<std::size_t>(u)];
+    NodeName* holder_row = holders.data() + static_cast<std::size_t>(u) *
+                                                static_cast<std::size_t>(blocks);
     const auto hood = hoods.prefix(u, hood_size_);
 
     // (1) R3 for every neighborhood member (includes u itself: hood[0] == u).
     for (NodeId v : hood) {
-      tab.r3_names.push_back(names_.name_of(v));
+      row.push_back(names_.name_of(v));
     }
 
     // (2) nearest holder in N(u) per block (Lemma 1 guarantees existence).
-    tab.holder_of_block.assign(static_cast<std::size_t>(blocks), kNoNode);
     for (BlockId b = 0; b < blocks; ++b) {
       for (NodeId v : hood) {
         if (assignment_.holds(v, b)) {
-          tab.holder_of_block[static_cast<std::size_t>(b)] = names_.name_of(v);
+          holder_row[static_cast<std::size_t>(b)] = names_.name_of(v);
           break;
         }
       }
-      if (tab.holder_of_block[static_cast<std::size_t>(b)] == kNoNode) {
+      if (holder_row[static_cast<std::size_t>(b)] == kNoNode) {
         throw std::logic_error(
             "Stretch6Scheme: Lemma 1 coverage violated (no holder in N(u))");
       }
@@ -100,23 +199,15 @@ Stretch6Scheme::Stretch6Scheme(const Digraph& g, const RoundtripMetric& metric,
     // (3) dictionary entries of every held block.
     for (BlockId b : assignment_.blocks_of[static_cast<std::size_t>(u)]) {
       for (NodeName member : alphabet_.block_members(b)) {
-        tab.r3_names.push_back(member);
+        row.push_back(member);
       }
     }
-    std::sort(tab.r3_names.begin(), tab.r3_names.end());
-    tab.r3_names.erase(
-        std::unique(tab.r3_names.begin(), tab.r3_names.end()),
-        tab.r3_names.end());
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
     };
   });
-}
-
-const RtzAddress* Stretch6Scheme::lookup_r3(NodeId at, NodeName t) const {
-  const auto& tab = tables_[static_cast<std::size_t>(at)];
-  if (!std::binary_search(tab.r3_names.begin(), tab.r3_names.end(), t)) {
-    return nullptr;
-  }
-  return &substrate_->address_of_name(t);
+  adopt_r3_rows(r3_rows);
+  holder_of_ = std::move(holders);
 }
 
 Decision Stretch6Scheme::forward(NodeId at, Header& h) const {
@@ -138,8 +229,10 @@ Decision Stretch6Scheme::forward(NodeId at, Header& h) const {
         // Remote dictionary lookup: route to the neighborhood's holder of
         // t's block (its own R3 is in table item (1)).
         const BlockId block = alphabet_.block_of(h.dest);
-        const NodeName w = tables_[static_cast<std::size_t>(at)]
-                               .holder_of_block[static_cast<std::size_t>(block)];
+        const NodeName w =
+            holder_of_[static_cast<std::size_t>(at) *
+                           static_cast<std::size_t>(block_count_) +
+                       static_cast<std::size_t>(block)];
         h.dict_node = w;
         h.phase = Phase::kToDict;
         const RtzAddress* w_addr = lookup_r3(at, w);
@@ -231,38 +324,53 @@ void Stretch6Scheme::audit(AuditReport& report) const {
   }
 
   const auto n = static_cast<std::size_t>(names_.node_count());
-  report.check("tables-sized", tables_.size() == n,
-               "one table block per node");
+  const std::int64_t block_count = alphabet_.relevant_block_count();
+  report.check("tables-sized",
+               r3_off_.size() == n + 1 &&
+                   block_count_ == block_count &&
+                   holder_of_.size() ==
+                       n * static_cast<std::size_t>(block_count),
+               "CSR offsets per node and one holder row per node");
   report.check("neighborhood-size",
                hood_size_ >= 1 &&
                    static_cast<std::size_t>(hood_size_) <= std::max<std::size_t>(n, 1),
                "N(u) must have between 1 and n members");
-  if (tables_.size() != n) return;
+  if (r3_off_.size() != n + 1 ||
+      holder_of_.size() != n * static_cast<std::size_t>(block_count)) {
+    return;
+  }
+  report.check("r3-offsets-wellformed",
+               r3_off_.front() == 0 &&
+                   r3_off_.back() ==
+                       static_cast<std::int64_t>(r3_names_.size()) &&
+                   std::is_sorted(r3_off_.begin(), r3_off_.end()),
+               "r3 CSR offsets monotone and framing the key array");
+  if (r3_off_.front() != 0 ||
+      r3_off_.back() != static_cast<std::int64_t>(r3_names_.size()) ||
+      !std::is_sorted(r3_off_.begin(), r3_off_.end())) {
+    return;
+  }
 
-  const std::int64_t block_count = alphabet_.relevant_block_count();
   bool r3_ok = true;
   bool holders_ok = true;
   std::string r3_detail, holder_detail;
   for (std::size_t v = 0; v < n; ++v) {
-    const NodeTables& t = tables_[v];
-    for (std::size_t i = 0; r3_ok && i < t.r3_names.size(); ++i) {
-      const NodeName name = t.r3_names[i];
+    const auto lo = static_cast<std::size_t>(r3_off_[v]);
+    const auto hi = static_cast<std::size_t>(r3_off_[v + 1]);
+    for (std::size_t i = lo; r3_ok && i < hi; ++i) {
+      const NodeName name = r3_names_[i];
       if (name < 0 || static_cast<std::size_t>(name) >= n ||
-          (i > 0 && t.r3_names[i - 1] >= name)) {
+          (i > lo && r3_names_[i - 1] >= name)) {
         r3_ok = false;
         r3_detail = "r3 dictionary of node " + std::to_string(v) +
                     " not sorted/unique/in-range";
       }
     }
-    if (holders_ok &&
-        t.holder_of_block.size() != static_cast<std::size_t>(block_count)) {
-      holders_ok = false;
-      holder_detail = "node " + std::to_string(v) +
-                      " does not record one holder per relevant block";
-      continue;
-    }
-    for (std::size_t b = 0; holders_ok && b < t.holder_of_block.size(); ++b) {
-      const NodeName holder = t.holder_of_block[b];
+    const NodeName* holder_row =
+        holder_of_.data() + v * static_cast<std::size_t>(block_count);
+    for (std::size_t b = 0;
+         holders_ok && b < static_cast<std::size_t>(block_count); ++b) {
+      const NodeName holder = holder_row[b];
       if (holder < 0 || static_cast<std::size_t>(holder) >= n ||
           !assignment_.holds(names_.id_of(holder),
                              static_cast<BlockId>(b))) {
@@ -278,20 +386,21 @@ void Stretch6Scheme::audit(AuditReport& report) const {
 }
 
 TableStats Stretch6Scheme::table_stats() const {
-  const auto n = static_cast<NodeId>(tables_.size());
+  const auto n = names_.node_count();
   TableStats stats = substrate_->table_stats();  // item (4): Tab3(u)
   const std::int64_t id_bits = bits_for(node_space_);
   for (NodeId v = 0; v < n; ++v) {
-    const auto& tab = tables_[static_cast<std::size_t>(v)];
+    const auto vz = static_cast<std::size_t>(v);
+    const auto lo = static_cast<std::size_t>(r3_off_[vz]);
+    const auto hi = static_cast<std::size_t>(r3_off_[vz + 1]);
     std::int64_t entries = 0, bits = 0;
-    for (NodeName name : tab.r3_names) {
+    for (std::size_t i = lo; i < hi; ++i) {
       ++entries;
-      bits += id_bits +
-              substrate_->address_bits(substrate_->address_of_name(name));
+      bits += id_bits + substrate_->address_bits(
+                            substrate_->address_of_name(r3_names_[i]));
     }
-    entries += static_cast<std::int64_t>(tab.holder_of_block.size());
-    bits += static_cast<std::int64_t>(tab.holder_of_block.size()) *
-            (id_bits + id_bits);
+    entries += block_count_;
+    bits += block_count_ * (id_bits + id_bits);
     stats.add(v, entries, bits);
   }
   return stats;

@@ -30,6 +30,7 @@
 #include "dict/block_assignment.h"
 #include "net/simulator.h"
 #include "rtz/rtz3_scheme.h"
+#include "util/flat_vec.h"
 
 namespace rtr {
 
@@ -61,6 +62,18 @@ class Stretch6Scheme {
   /// save(); `g` must be the snapshot's own graph and outlive the scheme.
   Stretch6Scheme(SnapshotReader& r, const Digraph& g);
   void save(SnapshotWriter& w) const;
+
+  /// Appends every table (and the substrate's, under `prefix` + "s/") as
+  /// typed arena sections under `prefix`.
+  void save_arena(ArenaWriter& w, const std::string& prefix) const;
+
+  /// Rebuilds a scheme whose tables are zero-copy views into an arena.  `g`
+  /// and `names` are the snapshot's own graph/name sections; the caller
+  /// keeps `g` alive (exactly as the build constructor does).
+  [[nodiscard]] static Stretch6Scheme from_arena(const ArenaView& a,
+                                                 const std::string& prefix,
+                                                 const Digraph& g,
+                                                 const NameAssignment& names);
 
   enum class Mode : std::uint8_t { kNew, kOutbound, kReturn, kInbound };
 
@@ -109,19 +122,26 @@ class Stretch6Scheme {
 
  private:
   friend struct AuditTestPeer;
-  struct NodeTables {
-    // (1) + (3): sorted names whose (name, R3) pair this node stores --
-    // neighborhood members and held-block entries.  The address payloads
-    // live once in the substrate's per-node table (lookup_r3 resolves
-    // through it), so the dictionary costs one name per entry in memory and
-    // in snapshots; table_stats still accounts full per-entry address bits.
-    std::vector<NodeName> r3_names;
-    // (2): block id -> holder name within N(u).
-    std::vector<NodeName> holder_of_block;
-  };
+
+  /// Arena-load path: the static from_arena opens the meta stream, then this
+  /// constructor decodes it interleaved with the flat sections.
+  Stretch6Scheme(SnapshotReader& meta, const ArenaView& a,
+                 const std::string& prefix, const Digraph& g,
+                 const NameAssignment& names);
+
+  /// Flattens per-node sorted r3 rows into the CSR arrays (identical output
+  /// for the build path and the v1 decode).
+  void adopt_r3_rows(const std::vector<std::vector<NodeName>>& rows);
 
   /// Local lookup of R3(t) in (1)/(3); nullptr if absent.
-  [[nodiscard]] const RtzAddress* lookup_r3(NodeId at, NodeName t) const;
+  [[nodiscard]] const RtzAddress* lookup_r3(NodeId at, NodeName t) const {
+    const auto vz = static_cast<std::size_t>(at);
+    const NodeName* base = r3_names_.data();
+    const NodeName* first = base + r3_off_[vz];
+    const NodeName* last = base + r3_off_[vz + 1];
+    if (!std::binary_search(first, last, t)) return nullptr;
+    return &substrate_->address_of_name(t);
+  }
 
   NameAssignment names_;
   Alphabet alphabet_;
@@ -129,7 +149,19 @@ class Stretch6Scheme {
   std::shared_ptr<const Rtz3Scheme> substrate_;
   bool detour_via_source_ = false;
   BlockAssignment assignment_;
-  std::vector<NodeTables> tables_;
+  // (1) + (3): sorted names whose (name, R3) pair node v stores --
+  // neighborhood members and held-block entries -- in CSR form: row v is
+  // r3_names_[r3_off_[v] .. r3_off_[v+1]).  The address payloads live once
+  // in the substrate's per-node table (lookup_r3 resolves through it), so
+  // the dictionary costs one name per entry in memory and in snapshots;
+  // table_stats still accounts full per-entry address bits.
+  FlatVec<std::int64_t> r3_off_;  // n + 1
+  FlatVec<NodeName> r3_names_;
+  // (2): block id -> holder name within N(u), row-major n x block_count_.
+  FlatVec<NodeName> holder_of_;
+  std::int64_t block_count_ = 0;
+  /// Keepalive when the arrays are views into a mapped arena.
+  std::shared_ptr<const ArenaStorage> arena_;
   std::int64_t node_space_ = 0;
 };
 

@@ -73,7 +73,7 @@ class ProtoGraph {
           } while (used[static_cast<std::size_t>(port)] != 0);
           used[static_cast<std::size_t>(port)] = 1;
         }
-        row.push_back(Edge{e.to, e.weight, port});
+        row.push_back(Edge{e.to, port, e.weight});
       }
       g.add_edges_with_ports(u, row);
     }

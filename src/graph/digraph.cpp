@@ -6,6 +6,7 @@
 #include <string>
 
 #include "audit/audit.h"
+#include "io/arena.h"
 
 namespace rtr {
 
@@ -13,7 +14,7 @@ namespace rtr {
 
 Digraph::Digraph(NodeId n) {
   if (n < 0) throw std::invalid_argument("Digraph: negative node count");
-  offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  offset_ = std::vector<std::int64_t>(static_cast<std::size_t>(n) + 1, 0);
 }
 
 const Edge* Digraph::edge_by_port(NodeId u, Port p) const {
@@ -134,7 +135,7 @@ void Digraph::audit(AuditReport& report) const {
   std::vector<bool> hit;
   const auto check_row_table =
       [&](NodeId u, std::size_t b, std::size_t e, const auto& keys,
-          const std::vector<std::int32_t>& slots, const auto key_of, bool& ok,
+          const FlatVec<std::int32_t>& slots, const auto key_of, bool& ok,
           std::string& detail) {
         const auto d = e - b;
         hit.assign(d, false);
@@ -181,6 +182,44 @@ void Digraph::audit(AuditReport& report) const {
                std::move(port_table_detail));
   report.check("head-table-bijection", head_table_ok,
                std::move(head_table_detail));
+}
+
+void Digraph::save_arena(ArenaWriter& w) const {
+  w.add("graph/offset", offset_);
+  w.add("graph/edges", edges_);
+  w.add("graph/arc_head", arc_head_);
+  w.add("graph/arc_weight", arc_weight_);
+  w.add("graph/port_key", port_key_);
+  w.add("graph/port_slot", port_slot_);
+  w.add("graph/head_key", head_key_);
+  w.add("graph/head_slot", head_slot_);
+  SnapshotWriter meta;
+  meta.i64(max_weight_);
+  w.add_bytes("graph/meta", meta.bytes().data(), meta.size());
+}
+
+Digraph Digraph::from_arena(const ArenaView& a) {
+  const std::uint64_t n = a.header().node_count;
+  const std::uint64_t m = a.header().edge_count;
+  Digraph g;
+  g.offset_ = a.vec<std::int64_t>("graph/offset", n + 1);
+  g.edges_ = a.vec<Edge>("graph/edges", m);
+  g.arc_head_ = a.vec<NodeId>("graph/arc_head", m);
+  g.arc_weight_ = a.vec<Weight>("graph/arc_weight", m);
+  g.port_key_ = a.vec<Port>("graph/port_key", m);
+  g.port_slot_ = a.vec<std::int32_t>("graph/port_slot", m);
+  g.head_key_ = a.vec<NodeId>("graph/head_key", m);
+  g.head_slot_ = a.vec<std::int32_t>("graph/head_slot", m);
+  SnapshotReader meta = a.reader("graph/meta");
+  g.max_weight_ = meta.i64();
+  meta.expect_exhausted("graph/meta");
+  if (g.offset_.front() != 0 ||
+      g.offset_.back() != static_cast<std::int64_t>(m)) {
+    throw SnapshotArenaError(
+        "arena: graph/offset endpoints disagree with the header edge count");
+  }
+  g.arena_ = a.storage();
+  return g;
 }
 
 Digraph Digraph::reversed() const {
@@ -243,7 +282,7 @@ void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
       ++port;
     }
   }
-  edges.push_back(Edge{v, w, port});
+  edges.push_back(Edge{v, port, w});
   ++edge_count_;
 }
 
@@ -316,26 +355,31 @@ std::int64_t GraphBuilder::port_space() const {
 
 Digraph GraphBuilder::freeze() const {
   const NodeId n = node_count();
-  Digraph g;
-  g.offset_.resize(static_cast<std::size_t>(n) + 1);
-  g.edges_.reserve(static_cast<std::size_t>(edge_count_));
-  g.arc_head_.reserve(static_cast<std::size_t>(edge_count_));
-  g.arc_weight_.reserve(static_cast<std::size_t>(edge_count_));
-  g.port_key_.resize(static_cast<std::size_t>(edge_count_));
-  g.port_slot_.resize(static_cast<std::size_t>(edge_count_));
-  g.head_key_.resize(static_cast<std::size_t>(edge_count_));
-  g.head_slot_.resize(static_cast<std::size_t>(edge_count_));
+  // Build into plain vectors, then freeze them into the Digraph's FlatVec
+  // members (owning mode) at the end.
+  std::vector<std::int64_t> offset(static_cast<std::size_t>(n) + 1);
+  std::vector<Edge> edges;
+  std::vector<NodeId> arc_head;
+  std::vector<Weight> arc_weight;
+  edges.reserve(static_cast<std::size_t>(edge_count_));
+  arc_head.reserve(static_cast<std::size_t>(edge_count_));
+  arc_weight.reserve(static_cast<std::size_t>(edge_count_));
+  std::vector<Port> port_key(static_cast<std::size_t>(edge_count_));
+  std::vector<std::int32_t> port_slot(static_cast<std::size_t>(edge_count_));
+  std::vector<NodeId> head_key(static_cast<std::size_t>(edge_count_));
+  std::vector<std::int32_t> head_slot(static_cast<std::size_t>(edge_count_));
+  Weight max_weight = 0;
 
   std::vector<std::int32_t> order;
   std::int64_t at = 0;
   for (NodeId u = 0; u < n; ++u) {
-    g.offset_[static_cast<std::size_t>(u)] = at;
+    offset[static_cast<std::size_t>(u)] = at;
     const auto& row = out_[static_cast<std::size_t>(u)];
     for (const Edge& e : row) {
-      g.edges_.push_back(e);
-      g.arc_head_.push_back(e.to);
-      g.arc_weight_.push_back(e.weight);
-      g.max_weight_ = std::max(g.max_weight_, e.weight);
+      edges.push_back(e);
+      arc_head.push_back(e.to);
+      arc_weight.push_back(e.weight);
+      max_weight = std::max(max_weight, e.weight);
     }
     // Resolution tables for this row: slots sorted by port / by head, then
     // the sort keys split out into their own contiguous segments.
@@ -348,10 +392,10 @@ Digraph GraphBuilder::freeze() const {
     });
     for (std::int32_t k = 0; k < d; ++k) {
       const auto seg = static_cast<std::size_t>(at) + static_cast<std::size_t>(k);
-      g.port_slot_[seg] = order[static_cast<std::size_t>(k)];
-      g.port_key_[seg] =
+      port_slot[seg] = order[static_cast<std::size_t>(k)];
+      port_key[seg] =
           row[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])].port;
-      if (k > 0 && g.port_key_[seg] == g.port_key_[seg - 1]) {
+      if (k > 0 && port_key[seg] == port_key[seg - 1]) {
         throw std::invalid_argument(
             "GraphBuilder::freeze: duplicate port at node " + std::to_string(u));
       }
@@ -362,17 +406,28 @@ Digraph GraphBuilder::freeze() const {
     });
     for (std::int32_t k = 0; k < d; ++k) {
       const auto seg = static_cast<std::size_t>(at) + static_cast<std::size_t>(k);
-      g.head_slot_[seg] = order[static_cast<std::size_t>(k)];
-      g.head_key_[seg] =
+      head_slot[seg] = order[static_cast<std::size_t>(k)];
+      head_key[seg] =
           row[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])].to;
-      if (k > 0 && g.head_key_[seg] == g.head_key_[seg - 1]) {
+      if (k > 0 && head_key[seg] == head_key[seg - 1]) {
         throw std::invalid_argument(
             "GraphBuilder::freeze: parallel edge at node " + std::to_string(u));
       }
     }
     at += d;
   }
-  g.offset_[static_cast<std::size_t>(n)] = at;
+  offset[static_cast<std::size_t>(n)] = at;
+
+  Digraph g;
+  g.offset_ = std::move(offset);
+  g.edges_ = std::move(edges);
+  g.arc_head_ = std::move(arc_head);
+  g.arc_weight_ = std::move(arc_weight);
+  g.port_key_ = std::move(port_key);
+  g.port_slot_ = std::move(port_slot);
+  g.head_key_ = std::move(head_key);
+  g.head_slot_ = std::move(head_slot);
+  g.max_weight_ = max_weight;
   return g;
 }
 

@@ -32,22 +32,34 @@
 #define RTR_GRAPH_DIGRAPH_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "util/flat_vec.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace rtr {
 
 class AuditReport;
+class ArenaStorage;
+class ArenaView;
+class ArenaWriter;
 
-/// One directed edge as seen from its tail node.
+/// One directed edge as seen from its tail node.  Field order packs the two
+/// 32-bit members ahead of the 64-bit weight so the struct is padding-free:
+/// snapshot arenas write Edge arrays verbatim, and padding bytes would be
+/// nondeterministic garbage in an otherwise byte-reproducible file.
 struct Edge {
   NodeId to = kNoNode;
-  Weight weight = 0;
   Port port = kNoPort;
+  Weight weight = 0;
 };
+static_assert(sizeof(Edge) == 16 && alignof(Edge) == 8,
+              "Edge must stay padding-free: it is arena-mapped verbatim");
+static_assert(std::is_trivially_copyable_v<Edge>);
 
 class GraphBuilder;
 
@@ -145,6 +157,15 @@ class Digraph {
   /// under the "graph" component.
   void audit(AuditReport& report) const;
 
+  /// Writes every frozen array into "graph/..." arena sections (v2 snapshot
+  /// payload; no re-encoding, the arrays ARE the format).
+  void save_arena(ArenaWriter& w) const;
+
+  /// Reconstructs a Digraph as zero-copy views over an arena's "graph/..."
+  /// sections, holding the arena's storage alive.  Counts are cross-checked
+  /// against the arena header; throws SnapshotArenaError on disagreement.
+  [[nodiscard]] static Digraph from_arena(const ArenaView& a);
+
  private:
   friend class GraphBuilder;
   friend struct AuditTestPeer;
@@ -153,17 +174,20 @@ class Digraph {
   /// Binary search in u's head-sorted resolution table.
   [[nodiscard]] const Edge* find_by_head(NodeId u, NodeId v) const;
 
-  std::vector<std::int64_t> offset_;  // size n+1; row bounds in edges_
-  std::vector<Edge> edges_;           // CSR rows, builder insertion order
-  std::vector<NodeId> arc_head_;      // SoA mirror of edges_[i].to
-  std::vector<Weight> arc_weight_;    // SoA mirror of edges_[i].weight
+  FlatVec<std::int64_t> offset_;  // size n+1; row bounds in edges_
+  FlatVec<Edge> edges_;           // CSR rows, builder insertion order
+  FlatVec<NodeId> arc_head_;      // SoA mirror of edges_[i].to
+  FlatVec<Weight> arc_weight_;    // SoA mirror of edges_[i].weight
   // Per-node resolution tables, segmented exactly like edges_ (offset_):
   // sort keys contiguous and separate from the row slots they resolve to.
-  std::vector<Port> port_key_;           // u's ports, ascending
-  std::vector<std::int32_t> port_slot_;  // row slot of port_key_[k]
-  std::vector<NodeId> head_key_;         // u's heads, ascending
-  std::vector<std::int32_t> head_slot_;  // row slot of head_key_[k]
+  FlatVec<Port> port_key_;           // u's ports, ascending
+  FlatVec<std::int32_t> port_slot_;  // row slot of port_key_[k]
+  FlatVec<NodeId> head_key_;         // u's heads, ascending
+  FlatVec<std::int32_t> head_slot_;  // row slot of head_key_[k]
   Weight max_weight_ = 0;
+  // Non-null iff the FlatVecs are views into a mapped/owned arena region;
+  // keeps the bytes alive for the lifetime of every view.
+  std::shared_ptr<const ArenaStorage> arena_;
 };
 
 /// The mutable construction-time graph: one growable edge row per node.

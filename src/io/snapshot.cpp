@@ -68,10 +68,24 @@ struct ParsedSnapshot {
   }
 };
 
-/// Parses framing and verifies every checksum; no scheme state is built.
-ParsedSnapshot parse_file(const std::string& path) {
+/// Reads the version field after checking the magic; works on both formats
+/// (they share the first 12 bytes of framing).
+std::uint32_t peek_version(const std::vector<std::uint8_t>& bytes,
+                           const std::string& path) {
+  if (bytes.size() < kSnapshotMagicSize + 4 ||
+      std::memcmp(bytes.data(), snapshot_magic(), kSnapshotMagicSize) != 0) {
+    throw SnapshotFormatError("snapshot: '" + path +
+                              "' does not start with the RTRSNAP magic");
+  }
+  SnapshotReader r(bytes.data() + kSnapshotMagicSize, 4);
+  return r.u32();
+}
+
+/// Parses v1 framing and verifies every checksum; no scheme state is built.
+ParsedSnapshot parse_file(std::vector<std::uint8_t> file_bytes,
+                          const std::string& path) {
   ParsedSnapshot parsed;
-  parsed.bytes = slurp(path);
+  parsed.bytes = std::move(file_bytes);
   parsed.info.file_bytes = parsed.bytes.size();
 
   SnapshotReader r(parsed.bytes.data(), parsed.bytes.size());
@@ -84,11 +98,12 @@ ParsedSnapshot parse_file(const std::string& path) {
   r.skip(kSnapshotMagicSize);
 
   parsed.info.version = r.u32();
-  if (parsed.info.version != kSnapshotVersion) {
+  if (parsed.info.version != kSnapshotVersionV1) {
     throw SnapshotVersionError(
         "snapshot: format version " + std::to_string(parsed.info.version) +
-        " not supported (this binary writes version " +
-        std::to_string(kSnapshotVersion) + "); rebuild and re-save");
+        " not supported (this binary reads versions " +
+        std::to_string(kSnapshotVersionV1) + " and " +
+        std::to_string(kSnapshotVersionV2) + "); rebuild and re-save");
   }
 
   // Header payload, CRC'd so a corrupted scheme name cannot masquerade as a
@@ -134,12 +149,6 @@ ParsedSnapshot parse_file(const std::string& path) {
 }
 
 }  // namespace
-
-const std::uint8_t* snapshot_magic() {
-  static const std::uint8_t magic[kSnapshotMagicSize] = {'R', 'T', 'R', 'S',
-                                                         'N', 'A', 'P', '\0'};
-  return magic;
-}
 
 // ------------------------------------------------------- graph and names ---
 
@@ -217,37 +226,15 @@ NameAssignment load_names_checked(SnapshotReader& r) {
 
 // -------------------------------------------------------- save/load/info ---
 
-void save_snapshot(const std::string& path, const std::string& scheme_name,
-                   const SchemeHandle& handle, const SchemeRegistry& registry) {
-  const SchemeRegistry::Saver& saver = registry.saver(scheme_name);
+namespace {
 
-  SnapshotWriter graph_section;
-  save_digraph(graph_section, handle.graph());
-  SnapshotWriter names_section;
-  handle.names().save(names_section);
-  SnapshotWriter scheme_section;
-  saver(handle.scheme(), scheme_section);
-
-  SnapshotWriter file;
-  file.raw(snapshot_magic(), kSnapshotMagicSize);
-  file.u32(kSnapshotVersion);
-  SnapshotWriter header;
-  header.str(scheme_name);
-  header.u32(static_cast<std::uint32_t>(handle.graph().node_count()));
-  header.u64(static_cast<std::uint64_t>(handle.graph().edge_count()));
-  header.u32(3);  // section count
-  file.raw(header.bytes().data(), header.size());
-  file.u32(crc32(header.bytes().data(), header.size()));
-
-  frame_section(file, kSectionGraph, graph_section);
-  frame_section(file, kSectionNames, names_section);
-  frame_section(file, kSectionScheme, scheme_section);
-
-  // Write-then-rename so a crashed or concurrent writer never leaves a
-  // half-written file where a reader expects a snapshot.  The scratch name
-  // is unique per process *and* per call, so concurrent savers targeting
-  // the same cache path (several cold serving processes racing on a miss)
-  // each publish a complete file; last rename wins.
+/// Write-then-rename so a crashed or concurrent writer never leaves a
+/// half-written file where a reader expects a snapshot.  The scratch name
+/// is unique per process *and* per call, so concurrent savers targeting
+/// the same cache path (several cold serving processes racing on a miss)
+/// each publish a complete file; last rename wins.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
   static std::atomic<std::uint64_t> save_counter{0};
   const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
                           std::to_string(save_counter.fetch_add(1));
@@ -256,8 +243,8 @@ void save_snapshot(const std::string& path, const std::string& scheme_name,
     if (!out) {
       throw SnapshotIoError("snapshot: cannot open '" + tmp + "' for writing");
     }
-    out.write(reinterpret_cast<const char*>(file.bytes().data()),
-              static_cast<std::streamsize>(file.size()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
     if (!out) {
       throw SnapshotIoError("snapshot: write error on '" + tmp + "'");
     }
@@ -269,10 +256,146 @@ void save_snapshot(const std::string& path, const std::string& scheme_name,
   }
 }
 
+/// The complete v1 file image (streamed sections).
+std::vector<std::uint8_t> build_v1_image(const std::string& scheme_name,
+                                         const SchemeHandle& handle,
+                                         const SchemeRegistry& registry) {
+  const SchemeRegistry::Saver& saver = registry.saver(scheme_name);
+
+  SnapshotWriter graph_section;
+  save_digraph(graph_section, handle.graph());
+  SnapshotWriter names_section;
+  handle.names().save(names_section);
+  SnapshotWriter scheme_section;
+  saver(handle.scheme(), scheme_section);
+
+  SnapshotWriter file;
+  file.raw(snapshot_magic(), kSnapshotMagicSize);
+  file.u32(kSnapshotVersionV1);
+  SnapshotWriter header;
+  header.str(scheme_name);
+  header.u32(static_cast<std::uint32_t>(handle.graph().node_count()));
+  header.u64(static_cast<std::uint64_t>(handle.graph().edge_count()));
+  header.u32(3);  // section count
+  file.raw(header.bytes().data(), header.size());
+  file.u32(crc32(header.bytes().data(), header.size()));
+
+  frame_section(file, kSectionGraph, graph_section);
+  frame_section(file, kSectionNames, names_section);
+  frame_section(file, kSectionScheme, scheme_section);
+  return file.bytes();
+}
+
+/// The complete v2 file image: graph + names as flat sections, the scheme
+/// through its arena hooks when registered, its v1 byte encoding in a
+/// "scheme/blob" section otherwise.
+std::vector<std::uint8_t> build_v2_image(const std::string& scheme_name,
+                                         const SchemeHandle& handle,
+                                         const SchemeRegistry& registry) {
+  ArenaWriter w;
+  handle.graph().save_arena(w);
+  handle.names().save_arena(w);
+  if (registry.arena_supported(scheme_name)) {
+    registry.arena_saver(scheme_name)(handle.scheme(), w);
+  } else {
+    SnapshotWriter blob;
+    registry.saver(scheme_name)(handle.scheme(), blob);
+    w.add_bytes("scheme/blob", blob.bytes().data(), blob.size());
+  }
+  return w.finalize(scheme_name, handle.graph().node_count(),
+                    handle.graph().edge_count());
+}
+
+/// Constructs a ready-to-serve handle over a validated arena view.  Shared
+/// by the owned (load_snapshot) and mapped (map_snapshot*) paths; `where`
+/// names the source for error messages.
+SchemeHandle handle_from_arena(const ArenaView& view, const std::string& where,
+                               const std::string& expected_scheme,
+                               const SchemeRegistry& registry) {
+  const std::string scheme_name = view.scheme();
+  if (!expected_scheme.empty() && scheme_name != expected_scheme) {
+    throw SnapshotSchemeMismatchError("snapshot: '" + where +
+                                      "' holds scheme '" + scheme_name +
+                                      "', expected '" + expected_scheme + "'");
+  }
+  const bool blob = view.has("scheme/blob");
+  // A file naming a scheme this registry cannot load (unknown, or registered
+  // without the needed hooks -- e.g. written by a newer binary) must stay
+  // inside the typed-error contract so cache users can treat it as a miss.
+  const SchemeRegistry::Loader* v1_loader = nullptr;
+  const SchemeRegistry::ArenaLoader* arena_loader = nullptr;
+  try {
+    if (blob) {
+      v1_loader = &registry.loader(scheme_name);
+    } else {
+      arena_loader = &registry.arena_loader(scheme_name);
+    }
+  } catch (const std::exception& e) {
+    throw SnapshotSchemeMismatchError(
+        "snapshot: '" + where + "' holds scheme '" + scheme_name +
+        "' which this registry cannot load: " + e.what());
+  }
+
+  auto graph = std::make_shared<const Digraph>(Digraph::from_arena(view));
+  NameAssignment names = NameAssignment::from_arena(view);
+  SnapshotLoadContext ctx;
+  ctx.graph = graph;
+  ctx.names = names;
+  std::shared_ptr<const Scheme> scheme;
+  try {
+    if (blob) {
+      SnapshotReader r = view.reader("scheme/blob");
+      scheme = (*v1_loader)(r, ctx);
+      r.expect_exhausted("scheme/blob section");
+    } else {
+      scheme = (*arena_loader)(view, ctx);
+    }
+    if (scheme == nullptr) {
+      throw SnapshotFormatError("snapshot: loader returned no scheme");
+    }
+    return SchemeHandle(std::move(graph), std::move(names), std::move(scheme));
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw SnapshotFormatError(std::string("snapshot: bad scheme section: ") +
+                              e.what());
+  }
+}
+
+}  // namespace
+
+void save_snapshot(const std::string& path, const std::string& scheme_name,
+                   const SchemeHandle& handle, const SchemeRegistry& registry,
+                   std::uint32_t version) {
+  std::vector<std::uint8_t> image;
+  switch (version) {
+    case kSnapshotVersionV1:
+      image = build_v1_image(scheme_name, handle, registry);
+      break;
+    case kSnapshotVersionV2:
+      image = build_v2_image(scheme_name, handle, registry);
+      break;
+    default:
+      throw SnapshotVersionError("snapshot: this binary writes versions " +
+                                 std::to_string(kSnapshotVersionV1) + " and " +
+                                 std::to_string(kSnapshotVersionV2) + ", not " +
+                                 std::to_string(version));
+  }
+  write_file_atomic(path, image);
+}
+
 SchemeHandle load_snapshot(const std::string& path,
                            const std::string& expected_scheme,
                            const SchemeRegistry& registry) {
-  ParsedSnapshot parsed = parse_file(path);
+  std::vector<std::uint8_t> bytes = slurp(path);
+  if (peek_version(bytes, path) == kSnapshotVersionV2) {
+    // Owned v2 load: same arena parse as the mapped path, plus full section
+    // CRC verification (this path has already paid for reading every byte).
+    ArenaView view(make_owned_arena(std::move(bytes)));
+    view.verify_section_crcs();
+    return handle_from_arena(view, path, expected_scheme, registry);
+  }
+  ParsedSnapshot parsed = parse_file(std::move(bytes), path);
   if (!expected_scheme.empty() && parsed.info.scheme != expected_scheme) {
     throw SnapshotSchemeMismatchError("snapshot: '" + path + "' holds scheme '" +
                                       parsed.info.scheme + "', expected '" +
@@ -337,8 +460,55 @@ SchemeHandle load_snapshot(const std::string& path,
   }
 }
 
+SchemeHandle map_snapshot(const std::string& path,
+                          const std::string& expected_scheme,
+                          const SchemeRegistry& registry) {
+  ArenaView view(map_arena_file(path));
+  return handle_from_arena(view, path, expected_scheme, registry);
+}
+
+SchemeHandle map_snapshot_shm(const std::string& shm_name,
+                              const std::string& expected_scheme,
+                              const SchemeRegistry& registry) {
+  ArenaView view(map_arena_shm(shm_name));
+  return handle_from_arena(view, "shm:" + shm_name, expected_scheme, registry);
+}
+
+std::string publish_snapshot_shm(const std::string& path,
+                                 const std::string& shm_name) {
+  // Validate end to end before publishing: a shared-memory object is read by
+  // many processes on their fast (no-payload-CRC) path, so the publisher
+  // carries the full verification.
+  std::vector<std::uint8_t> bytes = slurp(path);
+  if (peek_version(bytes, path) != kSnapshotVersionV2) {
+    throw SnapshotVersionError(
+        "snapshot: only v2 (arena) snapshots can be published to shared "
+        "memory; repack '" + path + "' with `rtr_cli snapshot pack`");
+  }
+  ArenaView view(make_owned_arena(std::move(bytes)));
+  view.verify_section_crcs();
+  publish_arena_shm(shm_name, view.storage()->data(), view.storage()->size());
+  return view.scheme();
+}
+
 SnapshotInfo inspect_snapshot(const std::string& path) {
-  return parse_file(path).info;
+  std::vector<std::uint8_t> bytes = slurp(path);
+  if (peek_version(bytes, path) == kSnapshotVersionV2) {
+    ArenaView view(make_owned_arena(std::move(bytes)));
+    view.verify_section_crcs();
+    SnapshotInfo info;
+    info.version = kSnapshotVersionV2;
+    info.scheme = view.scheme();
+    info.node_count = static_cast<NodeId>(view.header().node_count);
+    info.edge_count = static_cast<std::int64_t>(view.header().edge_count);
+    info.file_bytes = view.file_bytes();
+    for (const ArenaDirEntry& e : view.entries()) {
+      info.sections.push_back(
+          SnapshotSectionInfo{e.name_str(), e.byte_size(), e.crc});
+    }
+    return info;
+  }
+  return parse_file(std::move(bytes), path).info;
 }
 
 bool SnapshotFileStatus::all_ok() const {
@@ -351,14 +521,14 @@ bool SnapshotFileStatus::all_ok() const {
 
 SnapshotFileStatus probe_snapshot(const std::string& path) {
   SnapshotFileStatus status;
-  const std::vector<std::uint8_t> bytes = slurp(path);  // IoError propagates
+  std::vector<std::uint8_t> bytes = slurp(path);  // IoError propagates
   status.file_bytes = bytes.size();
 
   // The walk mirrors parse_file but records problems instead of throwing:
   // a damaged section must not hide the health of the sections after it.
   try {
     SnapshotReader r(bytes.data(), bytes.size());
-    if (bytes.size() < kSnapshotMagicSize ||
+    if (bytes.size() < kSnapshotMagicSize + 4 ||
         std::memcmp(bytes.data(), snapshot_magic(), kSnapshotMagicSize) != 0) {
       status.framing_error = "missing RTRSNAP magic";
       return status;
@@ -366,7 +536,33 @@ SnapshotFileStatus probe_snapshot(const std::string& path) {
     r.skip(kSnapshotMagicSize);
 
     status.version = r.u32();
-    if (status.version != kSnapshotVersion) {
+    if (status.version == kSnapshotVersionV2) {
+      // Arena probe: the framing either validates as a whole (ArenaView's
+      // constructor) or pinpoints its failure; with valid framing every
+      // section is then reported with stored-vs-recomputed CRC.
+      try {
+        ArenaView view(make_owned_arena(std::move(bytes)));
+        status.scheme = view.scheme();
+        status.node_count = static_cast<NodeId>(view.header().node_count);
+        status.edge_count = static_cast<std::int64_t>(view.header().edge_count);
+        for (const ArenaDirEntry& e : view.entries()) {
+          SnapshotSectionStatus s;
+          s.name = e.name_str();
+          s.bytes = e.byte_size();
+          s.payload_offset = e.offset;
+          s.stored_crc = e.crc;
+          s.actual_crc = crc32(view.storage()->data() + e.offset,
+                               static_cast<std::size_t>(e.byte_size()));
+          s.crc_ok = s.stored_crc == s.actual_crc;
+          status.sections.push_back(std::move(s));
+        }
+        status.framing_ok = true;
+      } catch (const SnapshotError& e) {
+        status.framing_error = e.what();
+      }
+      return status;
+    }
+    if (status.version != kSnapshotVersionV1) {
       status.framing_error =
           "unsupported format version " + std::to_string(status.version);
       return status;

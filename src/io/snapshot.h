@@ -5,29 +5,31 @@
 // O(n^2)-ish preprocessing entirely and go straight to answering queries
 // (the paper's preprocess-once/query-forever model made operational).
 //
-// File layout (all integers little-endian):
+// Two on-disk versions share the "RTRSNAP\0" magic and the u32 version field
+// at offset 8:
 //
-//   offset  field
-//   ------  ------------------------------------------------------------
-//   0       magic: the 8 bytes "RTRSNAP\0"
-//   8       format version (u32), currently kSnapshotVersion
-//   12      header payload: registry scheme name (string), node count
-//           (u32), edge count (u64), section count (u32)
-//   ...     header CRC-32 (u32) over the header payload bytes
-//   ...     sections, each:  name (string), payload length (u64),
-//           payload bytes, payload CRC-32 (u32)
+//   * v1 -- the streamed encoding: a CRC'd header (scheme name, node/edge
+//     counts) followed by named CRC'd sections ("graph", "names", "scheme"),
+//     each a little-endian byte stream decoded element by element.  Loading
+//     replays the graph through GraphBuilder and re-derives every index --
+//     O(n log n)-ish work and a full copy of everything.
+//   * v2 -- the relocatable arena (io/arena.h): the payload IS the in-memory
+//     layout, one pointer-free 8-aligned region of typed flat arrays plus a
+//     directory.  Loading in place = open + mmap + header/CRC check + offset
+//     fixup into FlatVec views, O(ms) at any n.  The same bytes also load
+//     into an owned buffer (with full section-CRC verification) and publish
+//     into POSIX shared memory for multi-process serving.
 //
-// Standard sections: "graph" (topology + ports + weights), "names" (the
-// TINN permutation), "scheme" (the registered scheme's tables, encoded by
-// its snapshot hooks).  Readers locate sections by name, so future versions
-// may append sections without breaking old files; any change to an existing
-// section's encoding must bump kSnapshotVersion (loaders reject every other
-// version outright -- rebuild-and-resave is the migration path).
+// Compatibility policy: save_snapshot writes v2 by default; v1 remains fully
+// readable (load_snapshot dispatches on the version field) and writable on
+// request (pass kSnapshotVersionV1).  Schemes without arena hooks get v2
+// files whose tables ride in one "scheme/blob" section holding their v1 byte
+// encoding -- every registered scheme round-trips through v2.
 //
 // Every failure mode is a typed exception (see io/snapshot_format.h): bad
-// magic, wrong version, truncation, checksum mismatch, scheme mismatch.  A
-// load either returns a fully constructed SchemeHandle or throws -- there is
-// no half-loaded state.
+// magic, wrong version, truncation, checksum mismatch, scheme mismatch,
+// structurally invalid arena.  A load either returns a fully constructed
+// SchemeHandle or throws -- there is no half-loaded state.
 #ifndef RTR_IO_SNAPSHOT_H
 #define RTR_IO_SNAPSHOT_H
 
@@ -35,16 +37,17 @@
 #include <string>
 #include <vector>
 
+#include "io/arena.h"
 #include "io/snapshot_format.h"
 #include "net/scheme.h"
 
 namespace rtr {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
-inline constexpr std::size_t kSnapshotMagicSize = 8;
-
-/// The 8 magic bytes every snapshot starts with.
-[[nodiscard]] const std::uint8_t* snapshot_magic();
+inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
+inline constexpr std::uint32_t kSnapshotVersionV2 = kArenaFormatVersion;
+/// The version save_snapshot writes when the caller does not choose one.
+inline constexpr std::uint32_t kSnapshotVersion = kSnapshotVersionV2;
+inline constexpr std::size_t kSnapshotMagicSize = kArenaMagicSize;
 
 /// Everything `rtr_cli snapshot info` prints without loading the tables.
 struct SnapshotSectionInfo {
@@ -65,18 +68,45 @@ struct SnapshotInfo {
 /// Serializes a built handle under the registry name it was built as.  The
 /// registry must have snapshot hooks for that name.  Writes to a temporary
 /// sibling first and renames into place, so readers never observe a torn
-/// file.  Throws SnapshotIoError on filesystem trouble.
+/// file.  Throws SnapshotIoError on filesystem trouble and
+/// SnapshotVersionError for a version this binary does not write.
 void save_snapshot(const std::string& path, const std::string& scheme_name,
                    const SchemeHandle& handle,
-                   const SchemeRegistry& registry = SchemeRegistry::global());
+                   const SchemeRegistry& registry = SchemeRegistry::global(),
+                   std::uint32_t version = kSnapshotVersion);
 
-/// Loads a snapshot into a ready-to-serve handle.  When `expected_scheme` is
-/// non-empty the file's scheme name must match it exactly
-/// (SnapshotSchemeMismatchError otherwise).  All section CRCs are verified
-/// before any scheme state is constructed.
+/// Loads a snapshot into a ready-to-serve handle, dispatching on the file's
+/// version (v1 streamed or v2 arena; the v2 payload is copied into an owned
+/// buffer here -- use map_snapshot for load-in-place).  When
+/// `expected_scheme` is non-empty the file's scheme name must match it
+/// exactly (SnapshotSchemeMismatchError otherwise).  All section CRCs are
+/// verified before any scheme state is constructed.
 [[nodiscard]] SchemeHandle load_snapshot(
     const std::string& path, const std::string& expected_scheme = "",
     const SchemeRegistry& registry = SchemeRegistry::global());
+
+/// Zero-copy fast path: mmap(2)s a v2 snapshot and serves straight off the
+/// mapping (FlatVec views into the file; the handle keeps the mapping alive).
+/// Verifies framing (magic, version, layout tag, header + directory CRCs,
+/// section bounds) but NOT the per-section payload CRCs -- that is what
+/// keeps it O(ms) at any n; run `rtr_cli snapshot map-info` or the auditor
+/// for end-to-end checks.  Throws SnapshotVersionError for v1 files.
+[[nodiscard]] SchemeHandle map_snapshot(
+    const std::string& path, const std::string& expected_scheme = "",
+    const SchemeRegistry& registry = SchemeRegistry::global());
+
+/// Attaches a v2 snapshot published in a POSIX shared-memory object
+/// (MAP_SHARED read-only): every serving process references one physical
+/// copy.  Same verification contract as map_snapshot.
+[[nodiscard]] SchemeHandle map_snapshot_shm(
+    const std::string& shm_name, const std::string& expected_scheme = "",
+    const SchemeRegistry& registry = SchemeRegistry::global());
+
+/// Publishes a v2 snapshot file into a POSIX shared-memory object after
+/// fully validating it (framing + every section CRC).  Readers attach with
+/// map_snapshot_shm.  Returns the snapshot's scheme name.
+std::string publish_snapshot_shm(const std::string& path,
+                                 const std::string& shm_name);
 
 /// Validates framing and checksums and returns the header/section table
 /// without constructing the scheme (cheap: one pass over the file).

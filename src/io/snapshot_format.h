@@ -227,6 +227,15 @@ class SnapshotReader {
     return m;
   }
 
+  /// Bounds-checked bulk copy out of the stream: the single place raw bytes
+  /// leave a payload.  Checks BEFORE copying, so a truncated file or a
+  /// short-mapped arena region can never be read past its end.
+  void read_exact(void* dst, std::size_t n) {
+    need(n);
+    if (n != 0) std::memcpy(dst, data_ + pos_, n);  // rtr-lint: checked-copy
+    pos_ += n;
+  }
+
   /// Advances past `n` bytes without decoding them.
   void skip(std::size_t n) {
     need(n);
@@ -254,10 +263,7 @@ class SnapshotReader {
     check_count(count, sizeof(T));
     std::vector<T> out(static_cast<std::size_t>(count));
     if constexpr (std::endian::native == std::endian::little) {
-      need(static_cast<std::size_t>(count) * sizeof(T));
-      std::memcpy(out.data(), data_ + pos_,
-                  static_cast<std::size_t>(count) * sizeof(T));
-      pos_ += static_cast<std::size_t>(count) * sizeof(T);
+      read_exact(out.data(), static_cast<std::size_t>(count) * sizeof(T));
     } else {
       for (auto& x : out) x = static_cast<T>(read_le<std::make_unsigned_t<T>>());
     }

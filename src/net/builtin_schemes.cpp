@@ -10,6 +10,7 @@
 #include "core/hashed_stretch6.h"
 #include "core/polystretch.h"
 #include "core/stretch6.h"
+#include "io/arena.h"
 #include "io/snapshot_format.h"
 #include "net/scheme.h"
 #include "net/scheme_adapter.h"
@@ -182,14 +183,13 @@ void register_builtin_schemes(SchemeRegistry& registry) {
                      ctx, *ctx.graph, *ctx.metric, ctx.names, opts);
                });
   registry.add("rtz3",
-               "Lemma 2 name-dependent stretch-3 substrate (options "
-               "greedy_centers, soa_dicts)",
+               "Lemma 2 name-dependent stretch-3 substrate (option "
+               "greedy_centers)",
                [](const BuildContext& ctx) -> std::shared_ptr<const Scheme> {
                  check_complete(ctx, "rtz3");
                  Rtz3Scheme::Options opts;
                  opts.greedy_centers =
                      ctx.option_bool("greedy_centers", opts.greedy_centers);
-                 opts.soa_dicts = ctx.option_bool("soa_dicts", opts.soa_dicts);
                  opts.threads = ctx.option_int("threads", opts.threads);
                  return build_adapted<Rtz3Scheme>(
                      ctx, *ctx.graph, *ctx.metric, ctx.names, *ctx.rng, opts);
@@ -246,6 +246,52 @@ void register_builtin_schemes(SchemeRegistry& registry) {
             std::make_shared<const Rtz3Scheme>(r, require_snapshot_graph(ctx)),
             {ctx.graph});
       });
+  // --- v2 arena hooks: flat-table schemes map snapshots in place ------------
+  // Scheme-owned sections live under the "scheme/" prefix (the substrate a
+  // TINN scheme embeds nests one level deeper, e.g. "scheme/s/").
+  registry.set_arena_hooks(
+      "rtz3",
+      [](const Scheme& scheme, ArenaWriter& w) {
+        const auto* adapter =
+            dynamic_cast<const TemplateSchemeAdapter<Rtz3Scheme>*>(&scheme);
+        if (adapter == nullptr) {
+          throw std::invalid_argument(
+              "snapshot save: scheme instance does not match this registry "
+              "entry");
+        }
+        adapter->impl().save_arena(w, "scheme/");
+      },
+      [](const ArenaView& a,
+         const SnapshotLoadContext& ctx) -> std::shared_ptr<const Scheme> {
+        return adapt_scheme(
+            std::make_shared<const Rtz3Scheme>(Rtz3Scheme::from_arena(
+                a, "scheme/", require_snapshot_graph(ctx), ctx.names)),
+            {ctx.graph});
+      });
+  // As with the v1 hooks, the detour flag travels inside the scheme meta, so
+  // both stretch6 variants share one arena saver/loader pair.
+  const auto stretch6_arena_saver = [](const Scheme& scheme, ArenaWriter& w) {
+    const auto* adapter =
+        dynamic_cast<const TemplateSchemeAdapter<Stretch6Scheme>*>(&scheme);
+    if (adapter == nullptr) {
+      throw std::invalid_argument(
+          "snapshot save: scheme instance does not match this registry entry");
+    }
+    adapter->impl().save_arena(w, "scheme/");
+  };
+  const auto stretch6_arena_loader =
+      [](const ArenaView& a,
+         const SnapshotLoadContext& ctx) -> std::shared_ptr<const Scheme> {
+    return adapt_scheme(
+        std::make_shared<const Stretch6Scheme>(Stretch6Scheme::from_arena(
+            a, "scheme/", require_snapshot_graph(ctx), ctx.names)),
+        {ctx.graph});
+  };
+  registry.set_arena_hooks("stretch6", stretch6_arena_saver,
+                           stretch6_arena_loader);
+  registry.set_arena_hooks("stretch6-detour", stretch6_arena_saver,
+                           stretch6_arena_loader);
+
   registry.set_snapshot_hooks(
       "fulltable", &save_adapted<FullTableScheme>,
       [](SnapshotReader& r,

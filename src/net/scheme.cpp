@@ -106,7 +106,8 @@ double BuildContext::option_double(const std::string& key,
 void SchemeRegistry::add(std::string name, std::string summary,
                          Factory factory) {
   auto [it, inserted] = entries_.emplace(
-      std::move(name), Entry{std::move(summary), std::move(factory), {}, {}});
+      std::move(name),
+      Entry{std::move(summary), std::move(factory), {}, {}, {}, {}});
   if (!inserted) {
     throw std::invalid_argument("SchemeRegistry::add: duplicate scheme name '" +
                                 it->first + "'");
@@ -128,6 +129,21 @@ void SchemeRegistry::set_snapshot_hooks(const std::string& name, Saver saver,
   it->second.loader = std::move(loader);
 }
 
+void SchemeRegistry::set_arena_hooks(const std::string& name, ArenaSaver saver,
+                                     ArenaLoader loader) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument(
+        "SchemeRegistry::set_arena_hooks: unknown scheme '" + name + "'");
+  }
+  if (saver == nullptr || loader == nullptr) {
+    throw std::invalid_argument(
+        "SchemeRegistry::set_arena_hooks: null hook for '" + name + "'");
+  }
+  it->second.arena_saver = std::move(saver);
+  it->second.arena_loader = std::move(loader);
+}
+
 bool SchemeRegistry::contains(const std::string& name) const {
   return entries_.contains(name);
 }
@@ -135,6 +151,11 @@ bool SchemeRegistry::contains(const std::string& name) const {
 bool SchemeRegistry::snapshot_supported(const std::string& name) const {
   auto it = entries_.find(name);
   return it != entries_.end() && it->second.saver != nullptr;
+}
+
+bool SchemeRegistry::arena_supported(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.arena_saver != nullptr;
 }
 
 const SchemeRegistry::Entry& SchemeRegistry::entry_or_throw(
@@ -180,9 +201,29 @@ const SchemeRegistry::Loader& SchemeRegistry::loader(
   return e.loader;
 }
 
+const SchemeRegistry::ArenaSaver& SchemeRegistry::arena_saver(
+    const std::string& name) const {
+  const Entry& e = entry_or_throw(name, "arena_saver");
+  if (e.arena_saver == nullptr) {
+    throw std::invalid_argument("SchemeRegistry: scheme '" + name +
+                                "' has no arena hooks");
+  }
+  return e.arena_saver;
+}
+
+const SchemeRegistry::ArenaLoader& SchemeRegistry::arena_loader(
+    const std::string& name) const {
+  const Entry& e = entry_or_throw(name, "arena_loader");
+  if (e.arena_loader == nullptr) {
+    throw std::invalid_argument("SchemeRegistry: scheme '" + name +
+                                "' has no arena hooks");
+  }
+  return e.arena_loader;
+}
+
 SchemeHandle SchemeRegistry::build_or_load(
     const std::string& name, const std::function<BuildContext()>& make_ctx,
-    const std::string& path) const {
+    const std::string& path, SnapshotLoadMode mode) const {
   // Fail fast -- before any build cost -- on unknown names AND on entries
   // registered without snapshot hooks (neither the load nor the save leg
   // could ever work for those).
@@ -192,6 +233,20 @@ SchemeHandle SchemeRegistry::build_or_load(
                                 name +
                                 "' has no snapshot hooks; use build() or "
                                 "register hooks via set_snapshot_hooks()");
+  }
+  if (mode == SnapshotLoadMode::kMapped) {
+    try {
+      SchemeHandle mapped = map_snapshot(path, name, *this);
+#ifdef RTR_AUDIT_ON_BUILD
+      AuditReport report;
+      audit_handle(mapped, report);
+      throw_if_audit_fails(report, "mapped snapshot '" + path + "'");
+#endif
+      return mapped;
+    } catch (const SnapshotError&) {
+      // v1 cache file or unusable mapping: the owned path below still
+      // applies (and, failing that too, the rebuild leg).
+    }
   }
   try {
     SchemeHandle loaded = load_snapshot(path, name, *this);
@@ -219,9 +274,10 @@ SchemeHandle SchemeRegistry::build_or_load(
 
 SchemeHandle SchemeRegistry::build_or_load(const std::string& name,
                                            const BuildContext& ctx,
-                                           const std::string& path) const {
+                                           const std::string& path,
+                                           SnapshotLoadMode mode) const {
   return build_or_load(
-      name, [&ctx]() -> BuildContext { return ctx; }, path);
+      name, [&ctx]() -> BuildContext { return ctx; }, path, mode);
 }
 
 std::vector<std::string> SchemeRegistry::names() const {
@@ -267,10 +323,15 @@ SchemeHandle::SchemeHandle(std::shared_ptr<const Digraph> graph,
     : graph_(std::move(graph)),
       names_(std::move(names)),
       scheme_(std::move(scheme)),
-      stats_(scheme_->table_stats()) {
+      stats_(std::make_shared<LazyStats>()) {
   if (graph_ == nullptr || scheme_ == nullptr) {
     throw std::invalid_argument("SchemeHandle: null graph or scheme");
   }
+}
+
+const TableStats& SchemeHandle::table_stats() const {
+  std::call_once(stats_->once, [this] { stats_->stats = scheme_->table_stats(); });
+  return stats_->stats;
 }
 
 RouteResult SchemeHandle::roundtrip(NodeId src, NodeId dst,

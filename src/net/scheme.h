@@ -31,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <string>
@@ -52,7 +53,9 @@ namespace rtr {
 
 class SnapshotWriter;  // io/snapshot_format.h
 class SnapshotReader;
-class AuditReport;  // audit/audit.h
+class AuditReport;   // audit/audit.h
+class ArenaWriter;   // io/arena.h
+class ArenaView;
 
 /// Type-erased box for a scheme's writable packet header.
 ///
@@ -319,6 +322,11 @@ class SchemeRegistry {
   /// Decodes a scheme from snapshot bytes against the already-loaded graph.
   using Loader = std::function<std::shared_ptr<const Scheme>(
       SnapshotReader&, const SnapshotLoadContext&)>;
+  /// Writes a built scheme's tables as flat arena sections (v2 snapshots).
+  using ArenaSaver = std::function<void(const Scheme&, ArenaWriter&)>;
+  /// Reconstructs a scheme as zero-copy views over a v2 arena.
+  using ArenaLoader = std::function<std::shared_ptr<const Scheme>(
+      const ArenaView&, const SnapshotLoadContext&)>;
 
   /// Registers a factory; throws std::invalid_argument on a duplicate name.
   void add(std::string name, std::string summary, Factory factory);
@@ -326,8 +334,16 @@ class SchemeRegistry {
   /// Attaches snapshot hooks to a registered name; throws for unknown names.
   void set_snapshot_hooks(const std::string& name, Saver saver, Loader loader);
 
+  /// Attaches v2 arena hooks.  Optional: schemes without them still get v2
+  /// snapshots via the generic blob fallback (their v1 byte encoding nested
+  /// in one arena section), they just load by decoding instead of mapping.
+  void set_arena_hooks(const std::string& name, ArenaSaver saver,
+                       ArenaLoader loader);
+
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] bool snapshot_supported(const std::string& name) const;
+  /// True when the scheme maps v2 arenas in place (no blob fallback).
+  [[nodiscard]] bool arena_supported(const std::string& name) const;
 
   /// Builds the named scheme; throws std::invalid_argument for unknown names
   /// (the message lists what is registered).
@@ -338,6 +354,16 @@ class SchemeRegistry {
   /// is unknown or registered without hooks.
   [[nodiscard]] const Saver& saver(const std::string& name) const;
   [[nodiscard]] const Loader& loader(const std::string& name) const;
+  [[nodiscard]] const ArenaSaver& arena_saver(const std::string& name) const;
+  [[nodiscard]] const ArenaLoader& arena_loader(const std::string& name) const;
+
+  /// How build_or_load materializes a cache hit.  kOwned decodes into
+  /// owning buffers with full section-CRC verification (the historical
+  /// behavior, works for every snapshot version).  kMapped first tries to
+  /// mmap(2) a v2 arena in place -- the O(ms)-at-any-n warm start the epoch
+  /// server uses; payload CRCs are NOT verified on this path -- and falls
+  /// back to kOwned for v1 files or when the mapping fails.
+  enum class SnapshotLoadMode { kOwned, kMapped };
 
   /// The serve-path entry point: if `path` holds a valid snapshot of `name`,
   /// load it and skip construction entirely (make_ctx is never called -- no
@@ -346,12 +372,14 @@ class SchemeRegistry {
   /// A stale or corrupt cache file is treated as a miss and overwritten.
   [[nodiscard]] SchemeHandle build_or_load(
       const std::string& name, const std::function<BuildContext()>& make_ctx,
-      const std::string& path) const;
+      const std::string& path,
+      SnapshotLoadMode mode = SnapshotLoadMode::kOwned) const;
 
   /// Convenience overload for callers that already paid for a BuildContext.
-  [[nodiscard]] SchemeHandle build_or_load(const std::string& name,
-                                           const BuildContext& ctx,
-                                           const std::string& path) const;
+  [[nodiscard]] SchemeHandle build_or_load(
+      const std::string& name, const BuildContext& ctx,
+      const std::string& path,
+      SnapshotLoadMode mode = SnapshotLoadMode::kOwned) const;
 
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
@@ -366,6 +394,8 @@ class SchemeRegistry {
     Factory factory;
     Saver saver;    // empty when the scheme has no snapshot support
     Loader loader;  // empty when the scheme has no snapshot support
+    ArenaSaver arena_saver;    // empty -> v2 uses the blob fallback
+    ArenaLoader arena_loader;  // empty -> v2 uses the blob fallback
   };
   [[nodiscard]] const Entry& entry_or_throw(const std::string& name,
                                             const char* what) const;
@@ -395,7 +425,10 @@ class SchemeHandle {
                std::shared_ptr<const Scheme> scheme);
 
   [[nodiscard]] std::string name() const { return scheme_->name(); }
-  [[nodiscard]] const TableStats& table_stats() const { return stats_; }
+  /// Computed on first call and cached (shared across handle copies): the
+  /// stats walk is O(n * tables), which would otherwise dominate a mapped
+  /// O(ms) snapshot load if paid eagerly at construction.
+  [[nodiscard]] const TableStats& table_stats() const;
   [[nodiscard]] const Scheme& scheme() const { return *scheme_; }
   [[nodiscard]] const std::shared_ptr<const Scheme>& scheme_ptr() const {
     return scheme_;
@@ -412,10 +445,15 @@ class SchemeHandle {
                                       SimOptions opt = {}) const;
 
  private:
+  struct LazyStats {
+    std::once_flag once;
+    TableStats stats;
+  };
+
   std::shared_ptr<const Digraph> graph_;
   NameAssignment names_;
   std::shared_ptr<const Scheme> scheme_;
-  TableStats stats_;
+  std::shared_ptr<LazyStats> stats_;
 };
 
 }  // namespace rtr

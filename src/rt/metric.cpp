@@ -61,7 +61,7 @@ DenseRoundtripMetric::DenseRoundtripMetric(const Digraph& g, DistMatrix apsp)
 }
 
 std::vector<NodeId> DenseRoundtripMetric::init_order(
-    NodeId v, const std::vector<NodeName>& names) const {
+    NodeId v, std::span<const NodeName> names) const {
   std::vector<NodeId> order(static_cast<std::size_t>(node_count()));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
@@ -75,7 +75,7 @@ std::vector<NodeId> DenseRoundtripMetric::init_order(
 }
 
 std::vector<NodeId> DenseRoundtripMetric::neighborhood(
-    NodeId v, NodeId size, const std::vector<NodeName>& names) const {
+    NodeId v, NodeId size, std::span<const NodeName> names) const {
   auto order = init_order(v, names);
   order.resize(static_cast<std::size_t>(
       std::min<NodeId>(size, node_count())));
@@ -306,12 +306,12 @@ Dist SparseRoundtripMetric::r(NodeId u, NodeId v) const {
 }
 
 std::vector<NodeId> SparseRoundtripMetric::init_order(
-    NodeId v, const std::vector<NodeName>& names) const {
+    NodeId v, std::span<const NodeName> names) const {
   return neighborhood(v, node_count(), names);
 }
 
 std::vector<NodeId> SparseRoundtripMetric::neighborhood(
-    NodeId v, NodeId size, const std::vector<NodeName>& names) const {
+    NodeId v, NodeId size, std::span<const NodeName> names) const {
   const std::lock_guard<std::mutex> lock(locks_[static_cast<std::size_t>(v)]);
   Row& row = rows_[static_cast<std::size_t>(v)];
   expand_to_count(v, row, size);

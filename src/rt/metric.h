@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <span>
 #include <vector>
 
 #include "graph/apsp.h"
@@ -60,11 +61,11 @@ class RoundtripMetric {
   /// The full Init_v order: a permutation of V sorted by (r(v,u), d(u,v),
   /// name(u)).  names[x] is the TINN name of internal node x.
   [[nodiscard]] virtual std::vector<NodeId> init_order(
-      NodeId v, const std::vector<NodeName>& names) const = 0;
+      NodeId v, std::span<const NodeName> names) const = 0;
 
   /// First `size` nodes of Init_v (the neighborhood ball N(v) / N_i(v)).
   [[nodiscard]] virtual std::vector<NodeId> neighborhood(
-      NodeId v, NodeId size, const std::vector<NodeName>& names) const = 0;
+      NodeId v, NodeId size, std::span<const NodeName> names) const = 0;
 
   /// Closed roundtrip ball N-hat^d(v) = { w : r(v,w) <= d } (Section 4),
   /// ascending by node id.
@@ -123,9 +124,9 @@ class DenseRoundtripMetric final : public RoundtripMetric {
     return d_.at(u, v) + d_.at(v, u);
   }
   [[nodiscard]] std::vector<NodeId> init_order(
-      NodeId v, const std::vector<NodeName>& names) const override;
+      NodeId v, std::span<const NodeName> names) const override;
   [[nodiscard]] std::vector<NodeId> neighborhood(
-      NodeId v, NodeId size, const std::vector<NodeName>& names) const override;
+      NodeId v, NodeId size, std::span<const NodeName> names) const override;
   [[nodiscard]] std::vector<NodeId> ball(NodeId v, Dist radius) const override;
   [[nodiscard]] Dist rt_radius_from(NodeId v) const override;
   [[nodiscard]] Dist rt_diameter() const override;
@@ -163,9 +164,9 @@ class SparseRoundtripMetric final : public RoundtripMetric {
   [[nodiscard]] Dist d(NodeId u, NodeId v) const override;
   [[nodiscard]] Dist r(NodeId u, NodeId v) const override;
   [[nodiscard]] std::vector<NodeId> init_order(
-      NodeId v, const std::vector<NodeName>& names) const override;
+      NodeId v, std::span<const NodeName> names) const override;
   [[nodiscard]] std::vector<NodeId> neighborhood(
-      NodeId v, NodeId size, const std::vector<NodeName>& names) const override;
+      NodeId v, NodeId size, std::span<const NodeName> names) const override;
   [[nodiscard]] std::vector<NodeId> ball(NodeId v, Dist radius) const override;
   [[nodiscard]] std::int32_t nearest(
       NodeId v, const std::vector<NodeId>& candidates) const override;

@@ -7,34 +7,136 @@
 
 #include "audit/audit.h"
 #include "graph/apsp.h"
+#include "io/arena.h"
 #include "util/parallel.h"
 
 namespace rtr {
 
-std::int64_t BallSystem::max_ball_size() const {
+namespace {
+
+std::int64_t max_row_size(const FlatVec<std::int64_t>& off) {
   std::int64_t mx = 0;
-  for (const auto& b : ball_of) mx = std::max(mx, static_cast<std::int64_t>(b.size()));
+  for (std::size_t v = 0; v + 1 < off.size(); ++v) {
+    mx = std::max(mx, off[v + 1] - off[v]);
+  }
   return mx;
 }
 
+void flatten_rows(const std::vector<std::vector<NodeId>>& rows,
+                  std::vector<std::int64_t>& off, std::vector<NodeId>& members) {
+  off.assign(rows.size() + 1, 0);
+  std::int64_t total = 0;
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    total += static_cast<std::int64_t>(rows[v].size());
+    off[v + 1] = total;
+  }
+  members.clear();
+  members.reserve(static_cast<std::size_t>(total));
+  for (const auto& row : rows) {
+    members.insert(members.end(), row.begin(), row.end());
+  }
+}
+
+/// A CRC-valid arena can still carry inconsistent offsets; every indexed
+/// access below assumes this shape, so check it once up front.
+void check_csr(const FlatVec<std::int64_t>& off, std::size_t member_count,
+               const char* what) {
+  if (off.empty() || off.front() != 0 ||
+      off.back() != static_cast<std::int64_t>(member_count)) {
+    throw SnapshotArenaError(std::string("arena: ") + what +
+                             " CSR offsets do not frame the members array");
+  }
+  for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+    if (off[i] > off[i + 1]) {
+      throw SnapshotArenaError(std::string("arena: ") + what +
+                               " CSR offsets decrease at row " +
+                               std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t BallSystem::max_ball_size() const { return max_row_size(ball_off); }
+
 std::int64_t BallSystem::max_cluster_size() const {
-  std::int64_t mx = 0;
-  for (const auto& c : cluster_of) mx = std::max(mx, static_cast<std::int64_t>(c.size()));
-  return mx;
+  return max_row_size(cluster_off);
+}
+
+void BallSystem::adopt_rows(const std::vector<std::vector<NodeId>>& ball_rows,
+                            const std::vector<std::vector<NodeId>>& cluster_rows) {
+  std::vector<std::int64_t> off;
+  std::vector<NodeId> members;
+  flatten_rows(ball_rows, off, members);
+  ball_off = std::move(off);
+  ball_members = std::move(members);
+  flatten_rows(cluster_rows, off, members);
+  cluster_off = std::move(off);
+  cluster_members = std::move(members);
+}
+
+void BallSystem::save_arena(ArenaWriter& w, const std::string& prefix) const {
+  w.add(prefix + "centers", centers);
+  w.add(prefix + "center_index", center_index_of);
+  w.add(prefix + "r_to_centers", r_to_centers);
+  w.add(prefix + "nearest", nearest_center);
+  w.add(prefix + "ball_off", ball_off);
+  w.add(prefix + "ball_members", ball_members);
+  w.add(prefix + "cluster_off", cluster_off);
+  w.add(prefix + "cluster_members", cluster_members);
+}
+
+BallSystem BallSystem::from_arena(const ArenaView& a,
+                                  const std::string& prefix) {
+  const auto n = static_cast<std::uint64_t>(a.header().node_count);
+  BallSystem b;
+  b.centers = a.vec<NodeId>(prefix + "centers");
+  b.center_index_of = a.vec<std::int32_t>(prefix + "center_index", n);
+  b.r_to_centers = a.vec<Dist>(prefix + "r_to_centers", n);
+  b.nearest_center = a.vec<std::int32_t>(prefix + "nearest", n);
+  b.ball_off = a.vec<std::int64_t>(prefix + "ball_off", n + 1);
+  b.ball_members = a.vec<NodeId>(prefix + "ball_members");
+  b.cluster_off = a.vec<std::int64_t>(prefix + "cluster_off", n + 1);
+  b.cluster_members = a.vec<NodeId>(prefix + "cluster_members");
+  check_csr(b.ball_off, b.ball_members.size(), "ball");
+  check_csr(b.cluster_off, b.cluster_members.size(), "cluster");
+  b.arena = a.storage();
+  return b;
 }
 
 void BallSystem::audit(AuditReport& report) const {
   auto scope = report.scope("balls");
-  const auto n = ball_of.size();
+  const auto n = static_cast<std::size_t>(node_count());
 
   report.check("arrays-sized",
                center_index_of.size() == n && r_to_centers.size() == n &&
-                   nearest_center.size() == n && cluster_of.size() == n,
+                   nearest_center.size() == n && ball_off.size() == n + 1 &&
+                   cluster_off.size() == n + 1,
                "per-node arrays must all have one row per node");
   if (center_index_of.size() != n || r_to_centers.size() != n ||
-      nearest_center.size() != n || cluster_of.size() != n) {
+      nearest_center.size() != n || ball_off.size() != n + 1 ||
+      cluster_off.size() != n + 1) {
     return;  // the walks below index these arrays per node
   }
+
+  // CSR shape: offsets monotone from 0 to the members array size; the row
+  // walks below assume it.
+  const auto csr_ok = [](const FlatVec<std::int64_t>& off,
+                         std::size_t members) {
+    if (off.front() != 0 || off.back() != static_cast<std::int64_t>(members)) {
+      return false;
+    }
+    for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+      if (off[i] > off[i + 1]) return false;
+    }
+    return true;
+  };
+  const bool offsets_ok = csr_ok(ball_off, ball_members.size()) &&
+                          csr_ok(cluster_off, cluster_members.size());
+  report.check("csr-offsets-wellformed", offsets_ok,
+               "ball/cluster offsets must rise monotonically from 0 to the "
+               "members array size");
+  if (!offsets_ok) return;
 
   // Center set: sorted + unique, in range, and center_index_of is its exact
   // inverse (every non-center maps to -1).
@@ -85,7 +187,7 @@ void BallSystem::audit(AuditReport& report) const {
   bool rows_ok = true;
   bool dual_ok = true;
   std::string rows_detail, dual_detail;
-  const auto row_sorted = [](const std::vector<NodeId>& row, std::size_t nn) {
+  const auto row_sorted = [](std::span<const NodeId> row, std::size_t nn) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (row[i] < 0 || static_cast<std::size_t>(row[i]) >= nn ||
           (i > 0 && row[i - 1] >= row[i])) {
@@ -95,27 +197,27 @@ void BallSystem::audit(AuditReport& report) const {
     return true;
   };
   for (std::size_t v = 0; rows_ok && v < n; ++v) {
-    const auto& ball = ball_of[v];
     const auto vid = static_cast<NodeId>(v);
-    if (!row_sorted(ball, n) || !row_sorted(cluster_of[v], n)) {
+    const auto ball_row = ball(vid);
+    if (!row_sorted(ball_row, n) || !row_sorted(cluster(vid), n)) {
       rows_ok = false;
       rows_detail = "ball/cluster row of node " + std::to_string(v) +
                     " not sorted/unique/in-range";
-    } else if (!std::binary_search(ball.begin(), ball.end(), vid)) {
+    } else if (!std::binary_search(ball_row.begin(), ball_row.end(), vid)) {
       rows_ok = false;
       rows_detail = "node " + std::to_string(v) + " missing from its own ball";
-    } else if (center_index_of[v] >= 0 && ball.size() != 1) {
+    } else if (center_index_of[v] >= 0 && ball_row.size() != 1) {
       rows_ok = false;
       rows_detail = "center " + std::to_string(v) +
                     " has a non-singleton ball (r(c, A) must be 0)";
     }
-    for (std::size_t i = 0; dual_ok && i < ball.size(); ++i) {
-      const auto& cluster = cluster_of[static_cast<std::size_t>(ball[i])];
-      if (!std::binary_search(cluster.begin(), cluster.end(), vid)) {
+    for (std::size_t i = 0; dual_ok && i < ball_row.size(); ++i) {
+      const auto cluster_row = cluster(ball_row[i]);
+      if (!std::binary_search(cluster_row.begin(), cluster_row.end(), vid)) {
         dual_ok = false;
-        dual_detail = std::to_string(ball[i]) + " in Ball(" +
+        dual_detail = std::to_string(ball_row[i]) + " in Ball(" +
                       std::to_string(v) + ") but " + std::to_string(v) +
-                      " not in Cluster(" + std::to_string(ball[i]) + ")";
+                      " not in Cluster(" + std::to_string(ball_row[i]) + ")";
       }
     }
   }
@@ -140,29 +242,30 @@ BallSystem build_ball_system(const RoundtripMetric& metric,
   if (centers.empty()) throw std::invalid_argument("build_ball_system: no centers");
   const NodeId n = metric.node_count();
   BallSystem sys;
-  sys.centers = std::move(centers);
-  sys.center_index_of.assign(static_cast<std::size_t>(n), -1);
-  for (std::size_t i = 0; i < sys.centers.size(); ++i) {
-    sys.center_index_of[static_cast<std::size_t>(sys.centers[i])] =
+  std::vector<std::int32_t> center_index_of(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    center_index_of[static_cast<std::size_t>(centers[i])] =
         static_cast<std::int32_t>(i);
   }
 
   // One batch query answers every node's nearest center: the sparse metric
   // serves it with |A| global sweeps, which keeps its per-node rows at ball
   // size instead of forcing them to cover out to the centers.
-  metric.nearest_all(sys.centers, threads, sys.nearest_center,
-                     sys.r_to_centers);
-  sys.ball_of.assign(static_cast<std::size_t>(n), {});
+  std::vector<std::int32_t> nearest;
+  std::vector<Dist> r_to_centers;
+  metric.nearest_all(centers, threads, nearest, r_to_centers);
+
+  std::vector<std::vector<NodeId>> ball_rows(static_cast<std::size_t>(n));
   const int workers = resolve_apsp_threads(threads);
   parallel_tickets(n, workers, [&] {
     return [&](std::int64_t ticket) {
       const auto v = static_cast<NodeId>(ticket);
       const auto vz = static_cast<std::size_t>(v);
-      const Dist rv = sys.r_to_centers[vz];
+      const Dist rv = r_to_centers[vz];
       // Ball(v) = { w : r(v,w) < r(v,A) } union {v}: strict inequality, so
       // ask the metric for the closed ball of radius r(v,A) - 1 (weights are
       // integral).  A center has rv = 0 and the singleton ball {v}.
-      auto& ball = sys.ball_of[vz];
+      auto& ball = ball_rows[vz];
       if (rv <= 0) {
         ball.push_back(v);
       } else {
@@ -174,14 +277,19 @@ BallSystem build_ball_system(const RoundtripMetric& metric,
     };
   });
 
-  sys.cluster_of.assign(static_cast<std::size_t>(n), {});
+  std::vector<std::vector<NodeId>> cluster_rows(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
-    for (NodeId w : sys.ball_of[static_cast<std::size_t>(v)]) {
-      sys.cluster_of[static_cast<std::size_t>(w)].push_back(v);
+    for (NodeId w : ball_rows[static_cast<std::size_t>(v)]) {
+      cluster_rows[static_cast<std::size_t>(w)].push_back(v);
     }
   }
-  // ball_of rows are ascending (metric.ball contract); cluster rows too
-  // (the serial v loop appends in ascending v order).
+  // ball rows are ascending (metric.ball contract); cluster rows too (the
+  // serial v loop appends in ascending v order).
+  sys.centers = std::move(centers);
+  sys.center_index_of = std::move(center_index_of);
+  sys.r_to_centers = std::move(r_to_centers);
+  sys.nearest_center = std::move(nearest);
+  sys.adopt_rows(ball_rows, cluster_rows);
   return sys;
 }
 

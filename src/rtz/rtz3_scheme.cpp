@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <string>
 
-
 #include "audit/audit.h"
 #include "graph/apsp.h"
+#include "io/arena.h"
 #include "io/snapshot_format.h"
 #include "rtz/centers.h"
 #include "util/bit_cost.h"
@@ -17,26 +18,16 @@ namespace rtr {
 
 namespace {
 
-std::vector<char> mask_of(NodeId n, const std::vector<NodeId>& members) {
+std::vector<char> mask_of(NodeId n, std::span<const NodeId> members) {
   std::vector<char> mask(static_cast<std::size_t>(n), 0);
   for (NodeId v : members) mask[static_cast<std::size_t>(v)] = 1;
   return mask;
 }
 
-/// Snapshot helpers for NameDict: the on-disk encoding is the sorted
-/// (key, payload) sequence -- identical bytes for both in-memory layouts,
-/// and identical to the PR <= 4 vector-of-pairs encoding.
-template <typename V, typename SaveV>
-void save_dict(SnapshotWriter& w, const NameDict<V>& d, SaveV save_value) {
-  w.u64(d.size());
-  for (std::size_t i = 0; i < d.size(); ++i) {
-    w.i32(d.key_at(i));
-    save_value(w, d.value_at(i));
-  }
-}
-
+/// v1 staging decode for NameDict: the on-disk encoding is the sorted
+/// (key, payload) sequence, identical to the PR <= 4 vector-of-pairs bytes.
 template <typename V, typename LoadV>
-NameDict<V> load_dict(SnapshotReader& r, LoadV load_value, bool soa) {
+NameDict<V> load_dict(SnapshotReader& r, LoadV load_value) {
   auto entries = r.template vec<std::pair<NodeName, V>>(
       [&load_value](SnapshotReader& rr) {
         const NodeName name = rr.i32();
@@ -45,8 +36,25 @@ NameDict<V> load_dict(SnapshotReader& r, LoadV load_value, bool soa) {
       8);
   NameDict<V> d;
   for (auto& [k, v] : entries) d.add(k, std::move(v));
-  d.finalize(soa);
+  d.finalize();
   return d;
+}
+
+/// A CRC-valid arena can still carry inconsistent offsets; every probe
+/// assumes this shape, so check it once at load.
+void check_dict_csr(const FlatVec<std::int64_t>& off, std::size_t entries,
+                    const char* what) {
+  if (off.empty() || off.front() != 0 ||
+      off.back() != static_cast<std::int64_t>(entries)) {
+    throw SnapshotArenaError(std::string("arena: rtz3 ") + what +
+                             " offsets do not frame the entry arrays");
+  }
+  for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+    if (off[i] > off[i + 1]) {
+      throw SnapshotArenaError(std::string("arena: rtz3 ") + what +
+                               " offsets decrease at row " + std::to_string(i));
+    }
+  }
 }
 
 }  // namespace
@@ -90,34 +98,32 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
       if (attempt >= options.max_resample) break;  // accept; stats will show it
     }
   }
-  const auto center_count = static_cast<std::int32_t>(balls_.centers.size());
+  center_count_ = static_cast<std::int64_t>(balls_.centers.size());
+  const auto cc = static_cast<std::size_t>(center_count_);
 
-  tables_.resize(static_cast<std::size_t>(n));
-  for (auto& t : tables_) {
-    t.center_up_port.assign(static_cast<std::size_t>(center_count), kNoPort);
-    t.center_tree_tab.assign(static_cast<std::size_t>(center_count), TreeNodeTable{});
-  }
+  std::vector<Port> ctr_up(static_cast<std::size_t>(n) * cc, kNoPort);
+  std::vector<TreeNodeTable> ctr_tab(static_cast<std::size_t>(n) * cc);
   addresses_.resize(static_cast<std::size_t>(n));
 
   // --- global double trees per center, and addresses R3(v) -----------------
-  // Center ci writes only element ci of every node's pre-sized center
+  // Center ci writes only column ci of the row-major n x center_count
   // arrays, so the fan-out is race-free without locks; each worker owns its
   // Dijkstra workspace.  Addresses ride along: node v's address label comes
   // from exactly its nearest center's tree, so ticket ci owns addresses_[v]
   // for its own cluster and the router can die with the ticket instead of
   // all center_count full-graph routers staying resident until a serial
   // address pass (at n = 16384 that retention alone was hundreds of MB).
-  parallel_tickets(center_count, workers, [&] {
+  parallel_tickets(center_count_, workers, [&] {
     return [&, ws = DijkstraWorkspace{}](std::int64_t ci) mutable {
       const NodeId a = balls_.centers[static_cast<std::size_t>(ci)];
       OutTree out = dijkstra_out_tree(g, a, ws);
       InTree in = dijkstra_in_tree(g, reversed, a, ws);
       TreeRouter router(out);
       for (NodeId v = 0; v < n; ++v) {
-        auto& t = tables_[static_cast<std::size_t>(v)];
-        t.center_up_port[static_cast<std::size_t>(ci)] =
-            in.next_port[static_cast<std::size_t>(v)];
-        t.center_tree_tab[static_cast<std::size_t>(ci)] = router.table(v);
+        const std::size_t slot =
+            static_cast<std::size_t>(v) * cc + static_cast<std::size_t>(ci);
+        ctr_up[slot] = in.next_port[static_cast<std::size_t>(v)];
+        ctr_tab[slot] = router.table(v);
         if (balls_.nearest_center[static_cast<std::size_t>(v)] ==
             static_cast<std::int32_t>(ci)) {
           addresses_[static_cast<std::size_t>(v)] =
@@ -127,6 +133,8 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
       }
     };
   });
+  center_up_port_ = std::move(ctr_up);
+  center_tree_tab_ = std::move(ctr_tab);
 
   // --- per-node ball double trees ------------------------------------------
   // A ball tree rooted at v scatters one entry into every member w's
@@ -135,6 +143,7 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
   // ball row) concurrently; a serial in-v-order scatter then replays exactly
   // the serial build's add() sequence.  Chunking bounds the staging memory
   // to O(chunk * max_ball) instead of O(n * max_ball).
+  std::vector<NodeTables> tables(static_cast<std::size_t>(n));
   struct BallProduct {
     std::vector<TreeLabel> labels;        // per member: label in v's out-tree
     std::vector<TreeNodeTable> tabs;      // per member: table in v's out-tree
@@ -148,7 +157,7 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
     parallel_tickets(hi - lo, workers, [&] {
       return [&, ws = DijkstraWorkspace{}](std::int64_t ticket) mutable {
         const NodeId v = lo + static_cast<NodeId>(ticket);
-        const auto& members = balls_.ball_of[static_cast<std::size_t>(v)];
+        const auto members = balls_.ball(v);
         auto mask = mask_of(n, members);
         OutTree out = dijkstra_out_tree_within(g, v, mask, ws);
         InTree in = dijkstra_in_tree_within(g, reversed, v, mask, ws);
@@ -168,14 +177,14 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
       };
     });
     for (NodeId v = lo; v < hi; ++v) {
-      const auto& members = balls_.ball_of[static_cast<std::size_t>(v)];
+      const auto members = balls_.ball(v);
       const BallProduct& prod = products[static_cast<std::size_t>(v - lo)];
       const NodeName root_name = names_.name_of(v);
-      auto& own = tables_[static_cast<std::size_t>(v)];
+      auto& own = tables[static_cast<std::size_t>(v)];
       for (std::size_t i = 0; i < members.size(); ++i) {
         const NodeId w = members[i];
         own.ball_out_label.add(names_.name_of(w), prod.labels[i]);
-        auto& member = tables_[static_cast<std::size_t>(w)];
+        auto& member = tables[static_cast<std::size_t>(w)];
         member.member_out_tab.add(root_name, prod.tabs[i]);
         member.member_up_port.add(root_name, prod.up_ports[i]);
       }
@@ -183,12 +192,94 @@ Rtz3Scheme::Rtz3Scheme(const Digraph& g, const RoundtripMetric& metric,
   }
   parallel_tickets(n, workers, [&] {
     return [&](std::int64_t v) {
-      auto& t = tables_[static_cast<std::size_t>(v)];
-      t.ball_out_label.finalize(options.soa_dicts);
-      t.member_out_tab.finalize(options.soa_dicts);
-      t.member_up_port.finalize(options.soa_dicts);
+      auto& t = tables[static_cast<std::size_t>(v)];
+      t.ball_out_label.finalize();
+      t.member_out_tab.finalize();
+      t.member_up_port.finalize();
     };
   });
+  adopt_tables(std::move(tables));
+}
+
+void Rtz3Scheme::adopt_tables(std::vector<NodeTables>&& tables) {
+  const std::size_t n = tables.size();
+  std::vector<std::int64_t> ball_off(n + 1, 0), mem_off(n + 1, 0);
+  std::int64_t ball_total = 0, mem_total = 0, hop_total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeTables& t = tables[v];
+    if (t.member_out_tab.size() != t.member_up_port.size()) {
+      throw std::invalid_argument(
+          "rtz3: member dictionaries of one node disagree in size");
+    }
+    ball_total += static_cast<std::int64_t>(t.ball_out_label.size());
+    mem_total += static_cast<std::int64_t>(t.member_out_tab.size());
+    ball_off[v + 1] = ball_total;
+    mem_off[v + 1] = mem_total;
+    for (std::size_t i = 0; i < t.ball_out_label.size(); ++i) {
+      hop_total += static_cast<std::int64_t>(
+          t.ball_out_label.value_at(i).light_hops.size());
+    }
+  }
+
+  std::vector<NodeName> ball_key;
+  std::vector<std::int32_t> ball_dfs;
+  std::vector<std::int64_t> hop_off;
+  std::vector<LightHop> hops;
+  ball_key.reserve(static_cast<std::size_t>(ball_total));
+  ball_dfs.reserve(static_cast<std::size_t>(ball_total));
+  hop_off.reserve(static_cast<std::size_t>(ball_total) + 1);
+  hops.reserve(static_cast<std::size_t>(hop_total));
+  hop_off.push_back(0);
+  std::vector<NodeName> mem_key;
+  std::vector<TreeNodeTable> mem_tab;
+  std::vector<Port> mem_up;
+  mem_key.reserve(static_cast<std::size_t>(mem_total));
+  mem_tab.reserve(static_cast<std::size_t>(mem_total));
+  mem_up.reserve(static_cast<std::size_t>(mem_total));
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeTables& t = tables[v];
+    for (std::size_t i = 0; i < t.ball_out_label.size(); ++i) {
+      ball_key.push_back(t.ball_out_label.key_at(i));
+      const TreeLabel& lab = t.ball_out_label.value_at(i);
+      ball_dfs.push_back(lab.dfs_in);
+      for (const auto& [dfs, port] : lab.light_hops) {
+        hops.push_back(LightHop{dfs, port});
+      }
+      hop_off.push_back(static_cast<std::int64_t>(hops.size()));
+    }
+    for (std::size_t i = 0; i < t.member_out_tab.size(); ++i) {
+      if (t.member_out_tab.key_at(i) != t.member_up_port.key_at(i)) {
+        throw std::invalid_argument(
+            "rtz3: member dictionaries of one node disagree in keys");
+      }
+      mem_key.push_back(t.member_out_tab.key_at(i));
+      mem_tab.push_back(t.member_out_tab.value_at(i));
+      mem_up.push_back(t.member_up_port.value_at(i));
+    }
+  }
+
+  ball_off_ = std::move(ball_off);
+  ball_key_ = std::move(ball_key);
+  ball_dfs_ = std::move(ball_dfs);
+  ball_hop_off_ = std::move(hop_off);
+  ball_hops_ = std::move(hops);
+  member_off_ = std::move(mem_off);
+  member_key_ = std::move(mem_key);
+  member_tab_ = std::move(mem_tab);
+  member_up_ = std::move(mem_up);
+  arena_.reset();
+}
+
+TreeLabel Rtz3Scheme::label_at(std::size_t entry) const {
+  TreeLabel label;
+  label.dfs_in = ball_dfs_[entry];
+  const auto lo = static_cast<std::size_t>(ball_hop_off_[entry]);
+  const auto hi = static_cast<std::size_t>(ball_hop_off_[entry + 1]);
+  for (std::size_t i = lo; i < hi; ++i) {
+    label.light_hops.emplace_back(ball_hops_[i].dfs, ball_hops_[i].port);
+  }
+  return label;
 }
 
 LegStep Rtz3Scheme::start_leg(NodeId at, const RtzAddress& target,
@@ -196,10 +287,10 @@ LegStep Rtz3Scheme::start_leg(NodeId at, const RtzAddress& target,
   leg = LegHeader{};
   leg.target = target;
   if (names_.name_of(at) == target.name) return LegStep{true, kNoPort};
-  if (const TreeLabel* label = find_ball_label(at, target.name)) {
+  if (auto label = find_ball_label(at, target.name)) {
     leg.phase = LegPhase::kBallDown;
     leg.ball_root = names_.name_of(at);
-    leg.ball_label = *label;
+    leg.ball_label = std::move(*label);
   } else if (find_member_up_port(at, target.name) != nullptr) {
     leg.phase = LegPhase::kBallUp;
   } else {
@@ -209,7 +300,8 @@ LegStep Rtz3Scheme::start_leg(NodeId at, const RtzAddress& target,
 }
 
 LegStep Rtz3Scheme::step_leg(NodeId at, LegHeader& leg) const {
-  const auto& t = tables_[static_cast<std::size_t>(at)];
+  const auto vz = static_cast<std::size_t>(at);
+  const auto cc = static_cast<std::size_t>(center_count_);
   const NodeName at_name = names_.name_of(at);
   switch (leg.phase) {
     case LegPhase::kBallDown: {
@@ -235,11 +327,12 @@ LegStep Rtz3Scheme::step_leg(NodeId at, LegHeader& leg) const {
         leg.phase = LegPhase::kCenterDown;
         return step_leg(at, leg);
       }
-      return LegStep{false, t.center_up_port[ci]};
+      return LegStep{false, center_up_port_[vz * cc + ci]};
     }
     case LegPhase::kCenterDown: {
       const auto ci = static_cast<std::size_t>(leg.target.center_index);
-      Port p = tree_next_port(t.center_tree_tab[ci], leg.target.center_label);
+      Port p = tree_next_port(center_tree_tab_[vz * cc + ci],
+                              leg.target.center_label);
       if (p == kNoPort) return LegStep{true, kNoPort};
       return LegStep{false, p};
     }
@@ -308,30 +401,30 @@ std::int64_t Rtz3Scheme::header_bits(const Header& h) const {
 }
 
 TableStats Rtz3Scheme::table_stats() const {
-  const auto n = static_cast<NodeId>(tables_.size());
+  const auto n = static_cast<NodeId>(addresses_.size());
   TableStats stats(n);
   const std::int64_t id_bits = bits_for(node_space_);
   const std::int64_t port_bits = bits_for(port_space_);
   for (NodeId v = 0; v < n; ++v) {
-    const auto& t = tables_[static_cast<std::size_t>(v)];
+    const auto vz = static_cast<std::size_t>(v);
     std::int64_t entries = 0, bits = 0;
-    entries += static_cast<std::int64_t>(t.center_up_port.size());
-    bits += static_cast<std::int64_t>(t.center_up_port.size()) * port_bits;
-    entries += static_cast<std::int64_t>(t.center_tree_tab.size());
-    bits += static_cast<std::int64_t>(t.center_tree_tab.size()) * (id_bits + port_bits);
-    for (std::size_t i = 0; i < t.ball_out_label.size(); ++i) {
+    entries += center_count_;
+    bits += center_count_ * port_bits;
+    entries += center_count_;
+    bits += center_count_ * (id_bits + port_bits);
+    for (auto e = static_cast<std::size_t>(ball_off_[vz]);
+         e < static_cast<std::size_t>(ball_off_[vz + 1]); ++e) {
       ++entries;
-      bits += id_bits + tree_label_bits(t.ball_out_label.value_at(i),
-                                        node_space_, port_space_);
+      bits += id_bits + tree_label_bits(label_at(e), node_space_, port_space_);
     }
-    entries += static_cast<std::int64_t>(t.member_out_tab.size());
-    bits += static_cast<std::int64_t>(t.member_out_tab.size()) *
-            (id_bits + id_bits + port_bits);
-    entries += static_cast<std::int64_t>(t.member_up_port.size());
-    bits += static_cast<std::int64_t>(t.member_up_port.size()) * (id_bits + port_bits);
+    const std::int64_t members = member_off_[vz + 1] - member_off_[vz];
+    entries += members;  // member_out_tab
+    bits += members * (id_bits + id_bits + port_bits);
+    entries += members;  // member_up_port
+    bits += members * (id_bits + port_bits);
     // Own address.
     ++entries;
-    bits += address_bits(addresses_[static_cast<std::size_t>(v)]);
+    bits += address_bits(addresses_[vz]);
     stats.add(v, entries, bits);
   }
   return stats;
@@ -343,14 +436,44 @@ void Rtz3Scheme::audit(AuditReport& report) const {
 
   const auto n = static_cast<std::size_t>(graph_.node_count());
   report.check("tables-sized",
-               addresses_.size() == n && tables_.size() == n &&
+               addresses_.size() == n && ball_off_.size() == n + 1 &&
+                   member_off_.size() == n + 1 &&
+                   ball_dfs_.size() == ball_key_.size() &&
+                   ball_hop_off_.size() == ball_key_.size() + 1 &&
+                   member_tab_.size() == member_key_.size() &&
+                   member_up_.size() == member_key_.size() &&
                    names_.node_count() == graph_.node_count(),
-               "one address and one table block per node");
-  if (addresses_.size() != n || tables_.size() != n ||
-      balls_.ball_of.size() != n || balls_.cluster_of.size() != n ||
+               "one address and one table row per node, parallel payload "
+               "arrays sized to their key arrays");
+  if (addresses_.size() != n || ball_off_.size() != n + 1 ||
+      member_off_.size() != n + 1 ||
+      ball_dfs_.size() != ball_key_.size() ||
+      ball_hop_off_.size() != ball_key_.size() + 1 ||
+      member_tab_.size() != member_key_.size() ||
+      member_up_.size() != member_key_.size() ||
+      static_cast<std::size_t>(balls_.node_count()) != n ||
       balls_.nearest_center.size() != n) {
     return;  // per-node walks below depend on the sizing above
   }
+
+  // CSR shape of the dictionary offsets: the row walks below assume it.
+  const auto csr_ok = [](const FlatVec<std::int64_t>& off,
+                         std::size_t entries) {
+    if (off.front() != 0 || off.back() != static_cast<std::int64_t>(entries)) {
+      return false;
+    }
+    for (std::size_t i = 0; i + 1 < off.size(); ++i) {
+      if (off[i] > off[i + 1]) return false;
+    }
+    return true;
+  };
+  const bool offsets_ok = csr_ok(ball_off_, ball_key_.size()) &&
+                          csr_ok(member_off_, member_key_.size()) &&
+                          csr_ok(ball_hop_off_, ball_hops_.size());
+  report.check("dict-offsets-wellformed", offsets_ok,
+               "dictionary CSR offsets must rise monotonically from 0 to "
+               "their entry array sizes");
+  if (!offsets_ok) return;
 
   // Addresses: R3(v) must carry v's own name and its nearest center.
   bool addr_ok = true;
@@ -372,47 +495,51 @@ void Rtz3Scheme::audit(AuditReport& report) const {
   }
   report.check("addresses-consistent", addr_ok, std::move(addr_detail));
 
-  // Per-node tables: center arrays sized to the center set; every NameDict
-  // sorted with unique keys; dictionary populations matching the ball and
+  // Center arrays: one row-major n x center_count block each.
+  const auto expected =
+      n * static_cast<std::size_t>(balls_.centers.size());
+  report.check("center-arrays-sized",
+               static_cast<std::size_t>(center_count_) ==
+                       balls_.centers.size() &&
+                   center_up_port_.size() == expected &&
+                   center_tree_tab_.size() == expected,
+               "center arrays must be row-major n x center_count");
+
+  // Dictionary rows: sorted unique keys; populations matching the ball and
   // cluster rows they were built from.  One aggregated entry per invariant
-  // (n nodes x 3 dictionaries would drown the report).
-  const auto centers = balls_.centers.size();
-  bool center_arrays_ok = true;
+  // (n nodes x 2 key arrays would drown the report).
   bool dicts_sorted = true;
   bool dicts_populated = true;
-  std::string center_detail, sorted_detail, populated_detail;
-  const auto dict_sorted = [](const auto& dict) {
-    for (std::size_t i = 1; i < dict.size(); ++i) {
-      if (dict.key_at(i) <= dict.key_at(i - 1)) return false;
+  std::string sorted_detail, populated_detail;
+  const auto row_sorted = [](const FlatVec<NodeName>& keys, std::int64_t lo,
+                             std::int64_t hi) {
+    for (std::int64_t i = lo + 1; i < hi; ++i) {
+      if (keys[static_cast<std::size_t>(i - 1)] >=
+          keys[static_cast<std::size_t>(i)]) {
+        return false;
+      }
     }
     return true;
   };
   for (std::size_t v = 0; v < n; ++v) {
-    const NodeTables& t = tables_[v];
-    if (center_arrays_ok && (t.center_up_port.size() != centers ||
-                             t.center_tree_tab.size() != centers)) {
-      center_arrays_ok = false;
-      center_detail = "center arrays of node " + std::to_string(v) +
-                      " not sized to the center set";
-    }
+    const auto vid = static_cast<NodeId>(v);
     if (dicts_sorted &&
-        !(dict_sorted(t.ball_out_label) && dict_sorted(t.member_out_tab) &&
-          dict_sorted(t.member_up_port))) {
+        !(row_sorted(ball_key_, ball_off_[v], ball_off_[v + 1]) &&
+          row_sorted(member_key_, member_off_[v], member_off_[v + 1]))) {
       dicts_sorted = false;
-      sorted_detail = "a dictionary of node " + std::to_string(v) +
+      sorted_detail = "a dictionary row of node " + std::to_string(v) +
                       " has unsorted or duplicate keys";
     }
     if (dicts_populated &&
-        (t.ball_out_label.size() != balls_.ball_of[v].size() ||
-         t.member_out_tab.size() != balls_.cluster_of[v].size() ||
-         t.member_up_port.size() != balls_.cluster_of[v].size())) {
+        (ball_off_[v + 1] - ball_off_[v] !=
+             static_cast<std::int64_t>(balls_.ball(vid).size()) ||
+         member_off_[v + 1] - member_off_[v] !=
+             static_cast<std::int64_t>(balls_.cluster(vid).size()))) {
       dicts_populated = false;
       populated_detail = "dictionary population of node " + std::to_string(v) +
                          " does not match its ball/cluster sizes";
     }
   }
-  report.check("center-arrays-sized", center_arrays_ok,
-               std::move(center_detail));
   report.check("dicts-sorted-unique", dicts_sorted, std::move(sorted_detail));
   report.check("dicts-match-balls", dicts_populated,
                std::move(populated_detail));
@@ -436,16 +563,24 @@ RtzAddress load_rtz_address(SnapshotReader& r) {
 
 namespace {
 
+/// v1 stream encoding of the ball system: replayed from the CSR arrays with
+/// per-row temporaries so the bytes stay identical to the historical
+/// vector-of-rows encoding (cold path -- only v1 saves pay the copies).
 void save_ball_system(SnapshotWriter& w, const BallSystem& b) {
-  w.vec_i32(b.centers);
-  w.vec_i32(b.center_index_of);
-  w.vec_i64(b.r_to_centers);
-  w.vec_i32(b.nearest_center);
-  auto nested = [](SnapshotWriter& ww, const std::vector<NodeId>& v) {
-    ww.vec_i32(v);
+  w.vec_i32(b.centers.to_vector());
+  w.vec_i32(b.center_index_of.to_vector());
+  w.vec_i64(b.r_to_centers.to_vector());
+  w.vec_i32(b.nearest_center.to_vector());
+  const auto n = static_cast<std::size_t>(b.node_count());
+  const auto save_rows = [&w, n](const auto& row_of) {
+    w.u64(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto row = row_of(static_cast<NodeId>(v));
+      w.vec_i32(std::vector<NodeId>(row.begin(), row.end()));
+    }
   };
-  w.vec(b.ball_of, nested);
-  w.vec(b.cluster_of, nested);
+  save_rows([&b](NodeId v) { return b.ball(v); });
+  save_rows([&b](NodeId v) { return b.cluster(v); });
 }
 
 BallSystem load_ball_system(SnapshotReader& r) {
@@ -455,8 +590,13 @@ BallSystem load_ball_system(SnapshotReader& r) {
   b.r_to_centers = r.vec_i64();
   b.nearest_center = r.vec_i32();
   auto nested = [](SnapshotReader& rr) { return rr.vec_i32(); };
-  b.ball_of = r.vec<std::vector<NodeId>>(nested, 8);
-  b.cluster_of = r.vec<std::vector<NodeId>>(nested, 8);
+  const auto ball_rows = r.vec<std::vector<NodeId>>(nested, 8);
+  const auto cluster_rows = r.vec<std::vector<NodeId>>(nested, 8);
+  if (cluster_rows.size() != ball_rows.size()) {
+    throw std::invalid_argument(
+        "rtz3 snapshot: ball and cluster row counts disagree");
+  }
+  b.adopt_rows(ball_rows, cluster_rows);
   return b;
 }
 
@@ -466,14 +606,37 @@ void Rtz3Scheme::save(SnapshotWriter& w) const {
   names_.save(w);
   save_ball_system(w, balls_);
   w.vec(addresses_, save_rtz_address);
-  w.u64(tables_.size());
-  for (const NodeTables& t : tables_) {
-    w.vec_i32(t.center_up_port);
-    w.vec(t.center_tree_tab, save_tree_node_table);
-    save_dict(w, t.ball_out_label, save_tree_label);
-    save_dict(w, t.member_out_tab, save_tree_node_table);
-    save_dict(w, t.member_up_port,
-              [](SnapshotWriter& ww, const Port& p) { ww.i32(p); });
+  const std::size_t n = addresses_.size();
+  const auto cc = static_cast<std::size_t>(center_count_);
+  w.u64(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Per-node rows replayed from the flat arrays, byte-identical to the
+    // historical per-node vector/dict encodings.
+    w.u64(cc);
+    for (std::size_t ci = 0; ci < cc; ++ci) w.i32(center_up_port_[v * cc + ci]);
+    w.u64(cc);
+    for (std::size_t ci = 0; ci < cc; ++ci) {
+      save_tree_node_table(w, center_tree_tab_[v * cc + ci]);
+    }
+    const auto blo = static_cast<std::size_t>(ball_off_[v]);
+    const auto bhi = static_cast<std::size_t>(ball_off_[v + 1]);
+    w.u64(bhi - blo);
+    for (std::size_t e = blo; e < bhi; ++e) {
+      w.i32(ball_key_[e]);
+      save_tree_label(w, label_at(e));
+    }
+    const auto mlo = static_cast<std::size_t>(member_off_[v]);
+    const auto mhi = static_cast<std::size_t>(member_off_[v + 1]);
+    w.u64(mhi - mlo);
+    for (std::size_t e = mlo; e < mhi; ++e) {
+      w.i32(member_key_[e]);
+      save_tree_node_table(w, member_tab_[e]);
+    }
+    w.u64(mhi - mlo);
+    for (std::size_t e = mlo; e < mhi; ++e) {
+      w.i32(member_key_[e]);
+      w.i32(member_up_[e]);
+    }
   }
   w.i32(resamples_used_);
   w.i64(node_space_);
@@ -489,22 +652,141 @@ Rtz3Scheme::Rtz3Scheme(SnapshotReader& r, const Digraph& g)
     throw std::invalid_argument(
         "rtz3 snapshot: table count does not match the graph");
   }
-  tables_.reserve(static_cast<std::size_t>(n));
+  center_count_ = static_cast<std::int64_t>(balls_.centers.size());
+  const auto cc = static_cast<std::size_t>(center_count_);
+  std::vector<Port> ctr_up;
+  std::vector<TreeNodeTable> ctr_tab;
+  ctr_up.reserve(static_cast<std::size_t>(n) * cc);
+  ctr_tab.reserve(static_cast<std::size_t>(n) * cc);
+  std::vector<NodeTables> tables;
+  tables.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
+    const auto up_row = r.vec_i32();
+    const auto tab_row = r.vec<TreeNodeTable>(load_tree_node_table, 8);
+    if (up_row.size() != cc || tab_row.size() != cc) {
+      throw std::invalid_argument(
+          "rtz3 snapshot: center arrays not sized to the center set");
+    }
+    ctr_up.insert(ctr_up.end(), up_row.begin(), up_row.end());
+    ctr_tab.insert(ctr_tab.end(), tab_row.begin(), tab_row.end());
     NodeTables t;
-    t.center_up_port = r.vec_i32();
-    t.center_tree_tab = r.vec<TreeNodeTable>(load_tree_node_table, 8);
-    // Rehydrated tables use the default (SoA) layout; the on-disk encoding
-    // is layout-independent, so resaves stay byte-identical.
-    t.ball_out_label = load_dict<TreeLabel>(r, load_tree_label, true);
-    t.member_out_tab = load_dict<TreeNodeTable>(r, load_tree_node_table, true);
+    t.ball_out_label = load_dict<TreeLabel>(r, load_tree_label);
+    t.member_out_tab = load_dict<TreeNodeTable>(r, load_tree_node_table);
     t.member_up_port = load_dict<Port>(
-        r, [](SnapshotReader& rr) -> Port { return rr.i32(); }, true);
-    tables_.push_back(std::move(t));
+        r, [](SnapshotReader& rr) -> Port { return rr.i32(); });
+    tables.push_back(std::move(t));
   }
+  center_up_port_ = std::move(ctr_up);
+  center_tree_tab_ = std::move(ctr_tab);
+  adopt_tables(std::move(tables));
   resamples_used_ = r.i32();
   node_space_ = r.i64();
   port_space_ = r.i64();
+}
+
+// ------------------------------------------------------------------- arena --
+
+void Rtz3Scheme::save_arena(ArenaWriter& w, const std::string& prefix) const {
+  balls_.save_arena(w, prefix + "balls/");
+  w.add(prefix + "ctr_up", center_up_port_);
+  w.add(prefix + "ctr_tab", center_tree_tab_);
+  w.add(prefix + "ball_off", ball_off_);
+  w.add(prefix + "ball_key", ball_key_);
+  w.add(prefix + "ball_dfs", ball_dfs_);
+  w.add(prefix + "ball_hop_off", ball_hop_off_);
+  w.add(prefix + "ball_hops", ball_hops_);
+  w.add(prefix + "mem_off", member_off_);
+  w.add(prefix + "mem_key", member_key_);
+  w.add(prefix + "mem_tab", member_tab_);
+  w.add(prefix + "mem_up", member_up_);
+
+  // Addresses, CSR-packed like the ball labels (the name field is implied:
+  // entry v carries names.name_of(v)).
+  const std::size_t n = addresses_.size();
+  std::vector<std::int32_t> actr(n), adfs(n);
+  std::vector<std::int64_t> ahop_off;
+  std::vector<LightHop> ahops;
+  ahop_off.reserve(n + 1);
+  ahop_off.push_back(0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const RtzAddress& a = addresses_[v];
+    actr[v] = a.center_index;
+    adfs[v] = a.center_label.dfs_in;
+    for (const auto& [dfs, port] : a.center_label.light_hops) {
+      ahops.push_back(LightHop{dfs, port});
+    }
+    ahop_off.push_back(static_cast<std::int64_t>(ahops.size()));
+  }
+  w.add(prefix + "addr_center", actr);
+  w.add(prefix + "addr_dfs", adfs);
+  w.add(prefix + "addr_hop_off", ahop_off);
+  w.add(prefix + "addr_hops", ahops);
+
+  SnapshotWriter meta;
+  meta.i32(resamples_used_);
+  meta.i64(node_space_);
+  meta.i64(port_space_);
+  const auto& meta_bytes = meta.bytes();
+  w.add_bytes(prefix + "meta", meta_bytes.data(), meta_bytes.size());
+}
+
+Rtz3Scheme Rtz3Scheme::from_arena(const ArenaView& a, const std::string& prefix,
+                                  const Digraph& g,
+                                  const NameAssignment& names) {
+  Rtz3Scheme s(g, names);
+  s.balls_ = BallSystem::from_arena(a, prefix + "balls/");
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  if (static_cast<std::uint64_t>(s.balls_.node_count()) != n) {
+    throw SnapshotArenaError(
+        "arena: rtz3 ball system does not match the graph");
+  }
+  s.center_count_ = static_cast<std::int64_t>(s.balls_.centers.size());
+  const std::uint64_t cells = n * static_cast<std::uint64_t>(s.center_count_);
+  s.center_up_port_ = a.vec<Port>(prefix + "ctr_up", cells);
+  s.center_tree_tab_ = a.vec<TreeNodeTable>(prefix + "ctr_tab", cells);
+  s.ball_off_ = a.vec<std::int64_t>(prefix + "ball_off", n + 1);
+  s.ball_key_ = a.vec<NodeName>(prefix + "ball_key");
+  s.ball_dfs_ =
+      a.vec<std::int32_t>(prefix + "ball_dfs", s.ball_key_.size());
+  s.ball_hop_off_ =
+      a.vec<std::int64_t>(prefix + "ball_hop_off", s.ball_key_.size() + 1);
+  s.ball_hops_ = a.vec<LightHop>(prefix + "ball_hops");
+  s.member_off_ = a.vec<std::int64_t>(prefix + "mem_off", n + 1);
+  s.member_key_ = a.vec<NodeName>(prefix + "mem_key");
+  s.member_tab_ =
+      a.vec<TreeNodeTable>(prefix + "mem_tab", s.member_key_.size());
+  s.member_up_ = a.vec<Port>(prefix + "mem_up", s.member_key_.size());
+  check_dict_csr(s.ball_off_, s.ball_key_.size(), "ball dictionary");
+  check_dict_csr(s.member_off_, s.member_key_.size(), "member dictionary");
+  check_dict_csr(s.ball_hop_off_, s.ball_hops_.size(), "label hop");
+
+  // Rebuild the O(n) address list (small: one label per node, hops inline
+  // for the dominant <= 8 case).
+  const auto actr = a.vec<std::int32_t>(prefix + "addr_center", n);
+  const auto adfs = a.vec<std::int32_t>(prefix + "addr_dfs", n);
+  const auto ahop_off = a.vec<std::int64_t>(prefix + "addr_hop_off", n + 1);
+  const auto ahops = a.vec<LightHop>(prefix + "addr_hops");
+  check_dict_csr(ahop_off, ahops.size(), "address hop");
+  s.addresses_.resize(static_cast<std::size_t>(n));
+  for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+    RtzAddress& addr = s.addresses_[v];
+    addr.name = names.name_of(static_cast<NodeId>(v));
+    addr.center_index = actr[v];
+    addr.center_label.dfs_in = adfs[v];
+    for (auto i = static_cast<std::size_t>(ahop_off[v]);
+         i < static_cast<std::size_t>(ahop_off[v + 1]); ++i) {
+      addr.center_label.light_hops.emplace_back(ahops[i].dfs, ahops[i].port);
+    }
+  }
+
+  SnapshotReader meta = a.reader(prefix + "meta");
+  s.resamples_used_ = meta.i32();
+  s.node_space_ = meta.i64();
+  s.port_space_ = meta.i64();
+  meta.expect_exhausted("rtz3 arena meta");
+
+  s.arena_ = a.storage();
+  return s;
 }
 
 }  // namespace rtr

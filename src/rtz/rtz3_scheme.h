@@ -25,12 +25,22 @@
 //
 // Hence every leg satisfies Lemma 2's inequality p(u,v) <= d(u,v) + r(u,v),
 // and a full roundtrip has stretch <= 3.
+//
+// Storage: every per-node table lives in flat, relocatable CSR arrays behind
+// FlatVec (keys packed per node inside one global sorted-key array, POD
+// payloads parallel to it, labels split into per-entry DFS numbers plus hop
+// ranges over one LightHop array).  A scheme therefore either owns its
+// arrays or views them inside a mapped snapshot arena (io/arena.h) with zero
+// copying; hot probes binary-search 4-byte key rows -- ~16 keys per cache
+// line -- exactly like the former SoA dictionary layout.
 #ifndef RTR_RTZ_RTZ3_SCHEME_H
 #define RTR_RTZ_RTZ3_SCHEME_H
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,81 +51,56 @@
 #include "rt/metric.h"
 #include "rtz/balls.h"
 #include "treeroute/tree_router.h"
+#include "util/flat_vec.h"
 
 namespace rtr {
 
-/// A small per-node dictionary keyed by NodeName, with BOTH lookup layouts
-/// in the binary so the bench harness re-measures one against the other on
-/// every run (hot_path_deltas):
-///
-///   * SoA (the default): keys packed in their own contiguous sorted vector,
-///     payloads in a parallel vector.  A binary-search probe touches 4-byte
-///     keys only -- ~16 keys per cache line instead of one pair per line for
-///     fat payloads (TreeLabel is 32+ bytes) -- which is what cuts the
-///     per-hop misses the profile shows: every forwarding hop lands on a
-///     DIFFERENT node's tables, so the searched lines are almost never
-///     resident.
-///   * AoS (the reference layout, PR <= 4): one sorted vector of
-///     (key, payload) pairs, binary-searched whole.
-///
-/// Only the layout chosen at finalize() is materialized; lookup results are
-/// identical by construction (same sorted order, same lower_bound).
+class ArenaStorage;  // io/arena.h
+class ArenaView;
+class ArenaWriter;
+
+/// A small per-node dictionary keyed by NodeName: one sorted vector of
+/// (key, payload) pairs, binary-searched.  The scheme itself serves hot
+/// probes from flat CSR arrays (see the header comment); NameDict remains as
+/// (a) the staging structure construction and the v1 streamed decode scatter
+/// into before flattening, and (b) the reference array-of-pairs layout the
+/// bench harness mirrors a built scheme's tables into, so the flat-vs-AoS
+/// hot-path delta is re-measured against identical probe outcomes on every
+/// run.
 template <typename V>
 class NameDict {
  public:
   /// Appends an entry; call finalize() once after the last add().
-  void add(NodeName key, V value) { aos_.emplace_back(key, std::move(value)); }
+  void add(NodeName key, V value) {
+    entries_.emplace_back(key, std::move(value));
+  }
 
-  /// Sorts by key and packs into the requested layout.
-  void finalize(bool soa) {
-    std::sort(aos_.begin(), aos_.end(),
+  /// Sorts by key.
+  void finalize() {
+    std::sort(entries_.begin(), entries_.end(),
               [](const std::pair<NodeName, V>& a,
                  const std::pair<NodeName, V>& b) { return a.first < b.first; });
-    soa_ = soa;
-    if (soa_) {
-      keys_.reserve(aos_.size());
-      values_.reserve(aos_.size());
-      for (auto& [k, v] : aos_) {
-        keys_.push_back(k);
-        values_.push_back(std::move(v));
-      }
-      aos_.clear();
-      aos_.shrink_to_fit();
-    }
   }
 
   /// Binary search; nullptr when absent.
   [[nodiscard]] const V* find(NodeName key) const {
-    if (soa_) {
-      const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
-      if (it == keys_.end() || *it != key) return nullptr;
-      return &values_[static_cast<std::size_t>(it - keys_.begin())];
-    }
     const auto it = std::lower_bound(
-        aos_.begin(), aos_.end(), key,
+        entries_.begin(), entries_.end(), key,
         [](const std::pair<NodeName, V>& p, NodeName k) { return p.first < k; });
-    return it != aos_.end() && it->first == key ? &it->second : nullptr;
+    return it != entries_.end() && it->first == key ? &it->second : nullptr;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    return soa_ ? keys_.size() : aos_.size();
-  }
-  /// Entry access in sorted-key order (snapshot encode, table accounting);
-  /// identical sequence for both layouts, so snapshot bytes never depend on
-  /// the layout flag.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Entry access in sorted-key order (snapshot encode, flattening).
   [[nodiscard]] NodeName key_at(std::size_t i) const {
-    return soa_ ? keys_[i] : aos_[i].first;
+    return entries_[i].first;
   }
   [[nodiscard]] const V& value_at(std::size_t i) const {
-    return soa_ ? values_[i] : aos_[i].second;
+    return entries_[i].second;
   }
 
  private:
-  friend struct AuditTestPeer;
-  std::vector<std::pair<NodeName, V>> aos_;  // staging + AoS layout
-  std::vector<NodeName> keys_;               // SoA layout
-  std::vector<V> values_;
-  bool soa_ = true;
+  std::vector<std::pair<NodeName, V>> entries_;
 };
 
 /// The topology-dependent address R3(v).
@@ -160,10 +145,6 @@ class Rtz3Scheme {
     double size_slack = 6.0;
     /// Use the deterministic greedy hitting set instead of sampling.
     bool greedy_centers = false;
-    /// Pack the per-node dictionaries structure-of-arrays (keys separate
-    /// from payloads).  false keeps the PR <= 4 array-of-pairs layout; both
-    /// live in the binary so the bench harness re-measures the delta.
-    bool soa_dicts = true;
     /// Construction fan-out (balls, center trees, ball trees, finalize);
     /// <= 0 resolves the process default.  Bit-identical for any value.
     int threads = 0;
@@ -180,6 +161,19 @@ class Rtz3Scheme {
   /// build constructor does).
   Rtz3Scheme(SnapshotReader& r, const Digraph& g);
   void save(SnapshotWriter& w) const;
+
+  /// Appends every table as typed arena sections under `prefix` (e.g.
+  /// "scheme/" standalone, "scheme/s/" as the stretch6 substrate).
+  void save_arena(ArenaWriter& w, const std::string& prefix) const;
+
+  /// Rebuilds a scheme whose tables are zero-copy views into an arena.  `g`
+  /// and `names` are the snapshot's own graph/name sections; the caller
+  /// keeps `g` alive (exactly as the build constructor requires).  Only the
+  /// O(n) address list is materialized.
+  [[nodiscard]] static Rtz3Scheme from_arena(const ArenaView& a,
+                                             const std::string& prefix,
+                                             const Digraph& g,
+                                             const NameAssignment& names);
 
   // -- substrate interface consumed by the TINN schemes ---------------------
 
@@ -204,22 +198,32 @@ class Rtz3Scheme {
 
   // -- per-node dictionary probes (the per-hop hot lookups) -----------------
   // Exposed so the bench harness can drive the exact forwarding-time lookup
-  // against both dictionary layouts; start_leg/step_leg route through these.
+  // against the flat tables; start_leg/step_leg route through these.
 
-  /// target's label in at's own ball out-tree, or nullptr (case 1 probe).
-  [[nodiscard]] const TreeLabel* find_ball_label(NodeId at,
-                                                 NodeName target) const {
-    return tables_[static_cast<std::size_t>(at)].ball_out_label.find(target);
+  /// target's label in at's own ball out-tree, or nullopt (case 1 probe).
+  /// The label is assembled from the flat CSR hop range; with <= 8 light
+  /// hops (the dominant case, Lemma 14) no allocation happens.
+  [[nodiscard]] std::optional<TreeLabel> find_ball_label(
+      NodeId at, NodeName target) const {
+    const auto vz = static_cast<std::size_t>(at);
+    const NodeName* base = ball_key_.data();
+    const NodeName* first = base + ball_off_[vz];
+    const NodeName* last = base + ball_off_[vz + 1];
+    const NodeName* it = std::lower_bound(first, last, target);
+    if (it == last || *it != target) return std::nullopt;
+    return label_at(static_cast<std::size_t>(it - base));
   }
   /// at's up-port in root's ball in-tree, or nullptr (case 2 probe).
   [[nodiscard]] const Port* find_member_up_port(NodeId at,
                                                 NodeName root) const {
-    return tables_[static_cast<std::size_t>(at)].member_up_port.find(root);
+    const std::size_t e = member_entry(at, root);
+    return e == kNoEntry ? nullptr : &member_up_[e];
   }
   /// at's table in root's ball out-tree, or nullptr (ball descent).
   [[nodiscard]] const TreeNodeTable* find_member_table(NodeId at,
                                                        NodeName root) const {
-    return tables_[static_cast<std::size_t>(at)].member_out_tab.find(root);
+    const std::size_t e = member_entry(at, root);
+    return e == kNoEntry ? nullptr : &member_tab_[e];
   }
 
   // -- standalone name-dependent roundtrip scheme ---------------------------
@@ -250,21 +254,18 @@ class Rtz3Scheme {
   [[nodiscard]] double stretch_bound() const { return 3.0; }
 
   /// Auditable: delegates to the ball system, then checks the address table
-  /// (name/center consistency with the balls) and every per-node dictionary
-  /// (sorted unique keys, center arrays sized to the center set, dictionary
-  /// populations matching ball/cluster sizes).
+  /// (name/center consistency with the balls) and the flat per-node tables
+  /// (CSR offsets framing the key arrays, sorted unique keys per row, center
+  /// arrays sized to the center set, row populations matching ball/cluster
+  /// sizes).
   void audit(AuditReport& report) const;
 
  private:
   friend struct AuditTestPeer;
+
+  /// Staging shape used while building and while decoding a v1 stream; the
+  /// dictionaries are flattened into the CSR arrays by adopt_tables().
   struct NodeTables {
-    // Global center structures: indexed by center index.
-    std::vector<Port> center_up_port;            // next hop toward center
-    std::vector<TreeNodeTable> center_tree_tab;  // this node in OutTree(a)
-    // Associative tables as flat name-sorted dictionaries (binary-searched):
-    // ball and cluster memberships are O~(sqrt n) small, so flat beats
-    // hashing on memory, on cache behavior, and on snapshot decode time.
-    // The dictionaries default to the SoA layout (see NameDict).
     // Own ball: labels of members in this node's ball out-tree.
     NameDict<TreeLabel> ball_out_label;
     // Per ball containing this node (keyed by the ball root's name).
@@ -272,13 +273,55 @@ class Rtz3Scheme {
     NameDict<Port> member_up_port;
   };
 
+  /// Arena-load path: binds the references, everything else follows.
+  Rtz3Scheme(const Digraph& g, const NameAssignment& names)
+      : graph_(g), names_(names) {}
+
+  /// Flattens finalized staging dictionaries into the CSR arrays (identical
+  /// output for the build path and the v1 decode: both scatter in sorted-key
+  /// order).
+  void adopt_tables(std::vector<NodeTables>&& tables);
+
+  [[nodiscard]] TreeLabel label_at(std::size_t entry) const;
+
+  static constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t member_entry(NodeId at, NodeName root) const {
+    const auto vz = static_cast<std::size_t>(at);
+    const NodeName* base = member_key_.data();
+    const NodeName* first = base + member_off_[vz];
+    const NodeName* last = base + member_off_[vz + 1];
+    const NodeName* it = std::lower_bound(first, last, root);
+    if (it == last || *it != root) return kNoEntry;
+    return static_cast<std::size_t>(it - base);
+  }
+
   [[nodiscard]] NodeId id_of(NodeName v) const { return names_.id_of(v); }
 
   const Digraph& graph_;
   NameAssignment names_;
   BallSystem balls_;
   std::vector<RtzAddress> addresses_;
-  std::vector<NodeTables> tables_;
+  std::int64_t center_count_ = 0;
+  // Global center structures, row-major n x center_count.
+  FlatVec<Port> center_up_port_;            // next hop toward each center
+  FlatVec<TreeNodeTable> center_tree_tab_;  // this node in each OutTree(a)
+  // Own-ball label dictionary, CSR over nodes: row v's sorted member names
+  // are ball_key_[ball_off_[v] .. ball_off_[v+1]); entry e's label is
+  // (ball_dfs_[e], ball_hops_[ball_hop_off_[e] .. ball_hop_off_[e+1])).
+  FlatVec<std::int64_t> ball_off_;   // n + 1
+  FlatVec<NodeName> ball_key_;
+  FlatVec<std::int32_t> ball_dfs_;   // parallel to ball_key_
+  FlatVec<std::int64_t> ball_hop_off_;  // ball_key_.size() + 1
+  FlatVec<LightHop> ball_hops_;
+  // Membership dictionaries, CSR over nodes: row v's sorted ball-root names
+  // are member_key_[member_off_[v] .. member_off_[v+1]); POD payloads are
+  // parallel (entry e: out-tree table member_tab_[e], up-port member_up_[e]).
+  FlatVec<std::int64_t> member_off_;  // n + 1
+  FlatVec<NodeName> member_key_;
+  FlatVec<TreeNodeTable> member_tab_;
+  FlatVec<Port> member_up_;
+  /// Keepalive when the arrays are views into a mapped arena.
+  std::shared_ptr<const ArenaStorage> arena_;
   int resamples_used_ = 0;
   std::int64_t node_space_ = 0;
   std::int64_t port_space_ = 0;

@@ -53,7 +53,15 @@ EpochManager::EpochManager(std::string scheme_name, NameAssignment names,
                              std::memory_order_release);
 }
 
-EpochManager::~EpochManager() { wait_for_rebuild(); }
+EpochManager::~EpochManager() {
+  wait_for_rebuild();
+  // Published shm objects outlive attached mappings (POSIX keeps the pages
+  // until the last unmap), so unlinking here never yanks an epoch out from
+  // under a sibling process -- it only removes the names.
+  for (const std::string& name : shm_published_) {
+    unlink_arena_shm(name);
+  }
+}
 
 std::shared_ptr<const Epoch> EpochManager::build_epoch(std::uint64_t seq,
                                                        Digraph g) {
@@ -73,7 +81,10 @@ std::shared_ptr<const Epoch> EpochManager::build_epoch(std::uint64_t seq,
       registry_.snapshot_supported(scheme_name_)) {
     const std::string path = options_.cache_dir + "/" + scheme_name_ +
                              "_epoch" + std::to_string(seq) + ".rtrsnap";
-    SchemeHandle cached = registry_.build_or_load(scheme_name_, ctx, path);
+    const auto mode = options_.mapped_snapshots
+                          ? SchemeRegistry::SnapshotLoadMode::kMapped
+                          : SchemeRegistry::SnapshotLoadMode::kOwned;
+    SchemeHandle cached = registry_.build_or_load(scheme_name_, ctx, path, mode);
     // Pointer identity tells a load from a build: the build leg hands back
     // the ctx graph itself, a load materializes its own from the file.
     from_cache = cached.graph_ptr() != graph;
@@ -95,6 +106,7 @@ std::shared_ptr<const Epoch> EpochManager::build_epoch(std::uint64_t seq,
         warn_snapshot_cache_save_failed_once("EpochManager", e);
       }
     }
+    if (!options_.shm_prefix.empty()) publish_epoch_shm(seq, path);
   } else {
     handle = std::make_unique<SchemeHandle>(graph, names_,
                                             registry_.build(scheme_name_, ctx));
@@ -109,6 +121,23 @@ std::shared_ptr<const Epoch> EpochManager::build_epoch(std::uint64_t seq,
   return std::make_shared<const Epoch>(seq, std::move(*handle),
                                        std::move(metric), std::move(engine),
                                        from_cache, seconds_since(start));
+}
+
+void EpochManager::publish_epoch_shm(std::uint64_t seq,
+                                     const std::string& path) {
+  const std::string shm_name = shm_name_for(seq);
+  try {
+    publish_snapshot_shm(path, shm_name);
+  } catch (const std::exception&) {
+    // No shm on this host, a v1 cache file, or a failed save upstream:
+    // sibling processes fall back to the snapshot file.  Serving wins.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shm_mutex_);
+    shm_published_.push_back(shm_name);
+  }
+  shm_published_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool EpochManager::begin_rebuild(Digraph next) {
@@ -182,6 +211,7 @@ EpochManager::Counters EpochManager::counters() const {
   c.failures = failures_.load(std::memory_order_relaxed);
   c.epochs_built = epochs_built_.load(std::memory_order_relaxed);
   c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  c.shm_published = shm_published_count_.load(std::memory_order_relaxed);
   return c;
 }
 

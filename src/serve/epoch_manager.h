@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/names.h"
 #include "graph/digraph.h"
@@ -80,6 +81,19 @@ struct EpochManagerOptions {
   /// Metric backend per epoch: kAuto switches from the dense APSP matrix to
   /// bounded-Dijkstra sparse rows past kDenseMetricAutoThreshold nodes.
   MetricMode metric_mode = MetricMode::kAuto;
+  /// Warm-start epochs by mmap'ing cached v2 arena snapshots in place
+  /// (O(ms) at any n, payload CRCs unverified) instead of decoding them
+  /// into owning buffers.  v1 or damaged cache files silently fall back to
+  /// the owned load, then to a rebuild.  Requires cache_dir.
+  bool mapped_snapshots = false;
+  /// When non-empty (and the snapshot cache is enabled), every epoch's
+  /// snapshot is also published to POSIX shared memory as
+  /// "<shm_prefix>_epoch<seq>", so sibling processes on this host can
+  /// attach zero-copy read-only serving views via map_snapshot_shm()
+  /// without touching the filesystem.  Publish failures degrade to
+  /// file-only distribution; published objects are unlinked when the
+  /// manager is destroyed.
+  std::string shm_prefix;
 };
 
 class EpochManager {
@@ -145,12 +159,24 @@ class EpochManager {
     std::uint64_t failures = 0;      ///< of those, not delivered
     std::uint64_t epochs_built = 0;  ///< successful rebuilds (excl. epoch 0)
     std::uint64_t cache_hits = 0;    ///< epochs warm-started from snapshots
+    std::uint64_t shm_published = 0;  ///< epochs posted to shared memory
   };
   [[nodiscard]] Counters counters() const;
+
+  /// Shared-memory object name epoch `seq` is (or would be) published
+  /// under: "<shm_prefix>_epoch<seq>".  Sibling processes pass this to
+  /// map_snapshot_shm().
+  [[nodiscard]] std::string shm_name_for(std::uint64_t seq) const {
+    return options_.shm_prefix + "_epoch" + std::to_string(seq);
+  }
 
  private:
   [[nodiscard]] std::shared_ptr<const Epoch> build_epoch(std::uint64_t seq,
                                                          Digraph g);
+
+  /// Best-effort shm publication of the epoch's snapshot file; records the
+  /// object name for unlinking at destruction.  Never throws.
+  void publish_epoch_shm(std::uint64_t seq, const std::string& path);
 
   std::string scheme_name_;
   NameAssignment names_;
@@ -164,10 +190,14 @@ class EpochManager {
   mutable std::mutex error_mutex_;
   std::string last_error_;
 
+  std::mutex shm_mutex_;
+  std::vector<std::string> shm_published_;  ///< unlinked at destruction
+
   mutable std::atomic<std::uint64_t> queries_{0};
   mutable std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> epochs_built_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> shm_published_count_{0};
 };
 
 }  // namespace rtr

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstddef>
 #include <initializer_list>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,19 @@ struct TreeNodeTable {
   std::int32_t dfs_in = -1;    // this node's DFS number within the tree
   Port heavy_port = kNoPort;   // port to the heavy child (kNoPort at leaves)
 };
+static_assert(sizeof(TreeNodeTable) == 8);
+static_assert(std::is_trivially_copyable_v<TreeNodeTable>);
+
+/// One light edge of a tree label in arena-storable form: labels that live
+/// inside a relocatable snapshot arena are CSR-packed as (per-entry dfs,
+/// hop ranges) over one flat LightHop array instead of per-label small
+/// buffers.
+struct LightHop {
+  std::int32_t dfs = -1;   // DFS number of the light edge's tail
+  Port port = kNoPort;     // port at that tail
+};
+static_assert(sizeof(LightHop) == 8);
+static_assert(std::is_trivially_copyable_v<LightHop>);
 
 /// Small-buffer sequence for a label's light edges.  Lemma 14 bounds the
 /// count by floor(log2 |tree|), so labels of trees up to 2^8 members fit

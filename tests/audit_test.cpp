@@ -27,21 +27,18 @@ namespace rtr {
 /// injected directly into a built artifact, so each test proves the auditor
 /// catches exactly the damage class it claims to.
 struct AuditTestPeer {
-  static std::vector<std::int64_t>& offsets(Digraph& g) { return g.offset_; }
-  static std::vector<Edge>& edges(Digraph& g) { return g.edges_; }
-  static std::vector<std::int32_t>& port_slots(Digraph& g) {
+  // Frozen structures store FlatVecs; corruption is injected by materializing
+  // the array, damaging it, and assigning the damaged copy back.
+  static FlatVec<std::int64_t>& offsets(Digraph& g) { return g.offset_; }
+  static FlatVec<Edge>& edges(Digraph& g) { return g.edges_; }
+  static FlatVec<std::int32_t>& port_slots(Digraph& g) {
     return g.port_slot_;
   }
-  static std::vector<NodeName>& names(NameAssignment& a) { return a.name_of_; }
+  static FlatVec<NodeName>& names(NameAssignment& a) { return a.name_of_; }
   static std::vector<NodeId>& parents(TreeRouter& t) { return t.parent_; }
   static BallSystem& balls(Rtz3Scheme& s) { return s.balls_; }
-  template <typename V>
-  static std::vector<NodeName>& soa_keys(NameDict<V>& d) {
-    return d.keys_;
-  }
-  static Rtz3Scheme::NodeTables& tables(Rtz3Scheme& s, NodeId v) {
-    return s.tables_[static_cast<std::size_t>(v)];
-  }
+  static FlatVec<std::int64_t>& ball_off(Rtz3Scheme& s) { return s.ball_off_; }
+  static FlatVec<NodeName>& ball_keys(Rtz3Scheme& s) { return s.ball_key_; }
 };
 
 namespace {
@@ -54,6 +51,20 @@ const AuditEntry* find_entry(const AuditReport& report,
                              const std::string& invariant) {
   for (const AuditEntry& e : report.entries()) {
     if (e.component == component && e.invariant == invariant) return &e;
+  }
+  return nullptr;
+}
+
+/// First entry whose component starts with the given prefix (v2 arena
+/// section names are scheme-dependent, e.g. "snapshot/scheme/blob").
+const AuditEntry* find_prefix_entry(const AuditReport& report,
+                                    const std::string& component_prefix,
+                                    const std::string& invariant) {
+  for (const AuditEntry& e : report.entries()) {
+    if (e.invariant == invariant &&
+        e.component.rfind(component_prefix, 0) == 0) {
+      return &e;
+    }
   }
   return nullptr;
 }
@@ -108,7 +119,9 @@ TEST(AuditCorruption, BrokenCsrRowFires) {
   Instance inst = make_instance(Family::kRandom, 100, 4, 11);
   auto& offsets = AuditTestPeer::offsets(inst.graph);
   ASSERT_GE(offsets.size(), 3u);
-  offsets[1] = offsets[2] + 1;  // row 1 now ends before it begins
+  auto damaged = offsets.to_vector();
+  damaged[1] = damaged[2] + 1;  // row 1 now ends before it begins
+  offsets = std::move(damaged);
   AuditReport report;
   inst.graph.audit(report);
   expect_fired(report, "graph", "csr-row-monotone");
@@ -116,7 +129,9 @@ TEST(AuditCorruption, BrokenCsrRowFires) {
 
 TEST(AuditCorruption, DanglingEdgeHeadFires) {
   Instance inst = make_instance(Family::kRandom, 100, 4, 11);
-  AuditTestPeer::edges(inst.graph)[0].to = inst.n() + 5;
+  auto damaged = AuditTestPeer::edges(inst.graph).to_vector();
+  damaged[0].to = inst.n() + 5;
+  AuditTestPeer::edges(inst.graph) = std::move(damaged);
   AuditReport report;
   inst.graph.audit(report);
   expect_fired(report, "graph", "edges-in-range");
@@ -128,7 +143,9 @@ TEST(AuditCorruption, DanglingPortResolutionFires) {
   // longer resolves to the edge carrying that port.
   auto& slots = AuditTestPeer::port_slots(inst.graph);
   ASSERT_GE(slots.size(), 2u);
-  std::swap(slots[0], slots[1]);
+  auto damaged = slots.to_vector();
+  std::swap(damaged[0], damaged[1]);
+  slots = std::move(damaged);
   AuditReport report;
   inst.graph.audit(report);
   expect_fired(report, "graph", "port-table-bijection");
@@ -137,7 +154,9 @@ TEST(AuditCorruption, DanglingPortResolutionFires) {
 TEST(AuditCorruption, BrokenNameBijectionFires) {
   Instance inst = make_instance(Family::kRandom, 100, 4, 11);
   auto& name_of = AuditTestPeer::names(inst.names);
-  std::swap(name_of[0], name_of[1]);  // id_of_ left stale
+  auto damaged = name_of.to_vector();
+  std::swap(damaged[0], damaged[1]);  // id_of_ left stale
+  name_of = std::move(damaged);
   AuditReport report;
   {
     auto scope = report.scope("names");
@@ -150,17 +169,22 @@ TEST(AuditCorruption, UnsortedDictionaryFires) {
   const Instance inst = make_instance(Family::kRandom, 120, 4, 17);
   Rng rng(5);
   Rtz3Scheme scheme(inst.graph, *inst.metric, inst.names, rng);
-  // Find a node whose own-ball dictionary has two keys and unsort them.
+  // Find a node whose own-ball key row has two keys and unsort that row
+  // inside the flat key array.
+  const auto& off = AuditTestPeer::ball_off(scheme);
+  auto keys = AuditTestPeer::ball_keys(scheme).to_vector();
   bool corrupted = false;
   for (NodeId v = 0; v < inst.n() && !corrupted; ++v) {
-    auto& keys = AuditTestPeer::soa_keys(
-        AuditTestPeer::tables(scheme, v).ball_out_label);
-    if (keys.size() >= 2) {
-      std::swap(keys.front(), keys.back());
+    const auto b = static_cast<std::size_t>(off[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(off[static_cast<std::size_t>(v) + 1]);
+    if (e - b >= 2) {
+      std::swap(keys[b], keys[e - 1]);
       corrupted = true;
     }
   }
   ASSERT_TRUE(corrupted) << "no node with a 2+ entry ball dictionary";
+  AuditTestPeer::ball_keys(scheme) = std::move(keys);
   AuditReport report;
   scheme.audit(report);
   expect_fired(report, "rtz3", "dicts-sorted-unique");
@@ -200,7 +224,18 @@ TEST(AuditCorruption, OversizeBallFires) {
   for (NodeId v = 0; v < inst.n(); ++v) {
     everyone[static_cast<std::size_t>(v)] = v;
   }
-  balls.ball_of[static_cast<std::size_t>(victim)] = everyone;
+  // Materialize the CSR rows, swell the victim's ball, and repack.
+  std::vector<std::vector<NodeId>> ball_rows(static_cast<std::size_t>(inst.n()));
+  std::vector<std::vector<NodeId>> cluster_rows(
+      static_cast<std::size_t>(inst.n()));
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    const auto b = balls.ball(v);
+    ball_rows[static_cast<std::size_t>(v)].assign(b.begin(), b.end());
+    const auto c = balls.cluster(v);
+    cluster_rows[static_cast<std::size_t>(v)].assign(c.begin(), c.end());
+  }
+  ball_rows[static_cast<std::size_t>(victim)] = everyone;
+  balls.adopt_rows(ball_rows, cluster_rows);
   AuditReport report;
   {
     auto scope = report.scope("rtz3");
@@ -257,27 +292,29 @@ TEST_F(AuditSnapshotTest, CleanSnapshotPasses) {
   AuditReport report;
   audit_snapshot_file(path_, report);
   EXPECT_TRUE(report.ok()) << report.summary(false);
-  EXPECT_NE(find_entry(report, "snapshot/graph", "crc"), nullptr);
-  EXPECT_NE(find_entry(report, "snapshot/scheme", "crc"), nullptr);
+  EXPECT_NE(find_entry(report, "snapshot/graph/offset", "crc"), nullptr);
+  EXPECT_NE(find_prefix_entry(report, "snapshot/scheme/", "crc"), nullptr);
 }
 
 TEST_F(AuditSnapshotTest, BadSectionCrcFires) {
-  // Probe the intact file for the scheme section's payload range, then
+  // Probe the intact file for a scheme-owned section's payload range, then
   // damage one byte inside it.
   const SnapshotFileStatus status = probe_snapshot(path_);
   ASSERT_TRUE(status.all_ok());
-  const auto it = std::find_if(
-      status.sections.begin(), status.sections.end(),
-      [](const SnapshotSectionStatus& s) { return s.name == "scheme"; });
+  const auto it = std::find_if(status.sections.begin(), status.sections.end(),
+                               [](const SnapshotSectionStatus& s) {
+                                 return s.name.rfind("scheme/", 0) == 0 &&
+                                        s.bytes > 0;
+                               });
   ASSERT_NE(it, status.sections.end());
   flip_byte(static_cast<std::size_t>(it->payload_offset + it->bytes / 2));
 
   AuditReport report;
   audit_snapshot_file(path_, report);
-  expect_fired(report, "snapshot/scheme", "crc");
+  expect_fired(report, "snapshot/" + it->name, "crc");
   // The untouched sections still audit clean.
-  EXPECT_TRUE(find_entry(report, "snapshot/graph", "crc")->ok);
-  EXPECT_TRUE(find_entry(report, "snapshot/names", "crc")->ok);
+  EXPECT_TRUE(find_entry(report, "snapshot/graph/offset", "crc")->ok);
+  EXPECT_TRUE(find_entry(report, "snapshot/names/name_of", "crc")->ok);
 
   // The load path agrees: a damaged section is a checksum error.
   EXPECT_THROW(load_snapshot(path_), SnapshotChecksumError);

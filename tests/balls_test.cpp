@@ -28,7 +28,7 @@ class BallSystemTest : public ::testing::Test {
 TEST_F(BallSystemTest, BallDefinitionExact) {
   Build(Family::kRandom, 60, 1);
   for (NodeId v = 0; v < inst_.n(); ++v) {
-    const auto& ball = sys_.ball_of[static_cast<std::size_t>(v)];
+    const auto ball = sys_.ball(v);
     std::vector<char> in_ball(static_cast<std::size_t>(inst_.n()), 0);
     for (NodeId w : ball) in_ball[static_cast<std::size_t>(w)] = 1;
     for (NodeId w = 0; w < inst_.n(); ++w) {
@@ -57,8 +57,8 @@ TEST_F(BallSystemTest, ClustersAreInverseBalls) {
   Build(Family::kRing, 40, 3);
   for (NodeId w = 0; w < inst_.n(); ++w) {
     for (NodeId v = 0; v < inst_.n(); ++v) {
-      const auto& ball = sys_.ball_of[static_cast<std::size_t>(v)];
-      const auto& cluster = sys_.cluster_of[static_cast<std::size_t>(w)];
+      const auto ball = sys_.ball(v);
+      const auto cluster = sys_.cluster(w);
       const bool in_ball = std::binary_search(ball.begin(), ball.end(), w);
       const bool in_cluster = std::binary_search(cluster.begin(), cluster.end(), v);
       EXPECT_EQ(in_ball, in_cluster);
@@ -70,8 +70,9 @@ TEST_F(BallSystemTest, CentersHaveSingletonBalls) {
   Build(Family::kRandom, 50, 4);
   for (NodeId a : sys_.centers) {
     EXPECT_EQ(sys_.r_to_centers[static_cast<std::size_t>(a)], 0);
-    EXPECT_EQ(sys_.ball_of[static_cast<std::size_t>(a)],
-              std::vector<NodeId>{a});
+    const auto ball = sys_.ball(a);
+    ASSERT_EQ(ball.size(), 1u);
+    EXPECT_EQ(ball[0], a);
   }
 }
 
@@ -82,7 +83,7 @@ TEST_F(BallSystemTest, BallClosureRealizesExactDistances) {
   Build(Family::kScaleFree, 60, 5);
   const Digraph rev = inst_.graph.reversed();
   for (NodeId v = 0; v < inst_.n(); v += 3) {
-    const auto& ball = sys_.ball_of[static_cast<std::size_t>(v)];
+    const auto ball = sys_.ball(v);
     std::vector<char> mask(static_cast<std::size_t>(inst_.n()), 0);
     for (NodeId w : ball) mask[static_cast<std::size_t>(w)] = 1;
     OutTree out = dijkstra_out_tree_within(inst_.graph, v, mask);

@@ -238,6 +238,80 @@ TEST(BenchHarness, GateSkipsQpsWhenThreadCountsDiffer) {
   EXPECT_EQ(compare_to_baseline(base1, unstamped).size(), 1u);
 }
 
+Json doc_with_snapshot_cell(double load_ms, double map_ms) {
+  CellResult c;
+  c.scheme = "stretch6";
+  c.family = "random";
+  c.n = 128;
+  c.qps = 1000.0;
+  c.mean_stretch = 1.5;
+  c.snapshot_load_ms = load_ms;
+  c.snapshot_map_ms = map_ms;
+  Json doc{JsonObject{}};
+  doc.set("schema", kSchemaVersion);
+  doc.set("cells", JsonArray{cell_to_json(c)});
+  return doc;
+}
+
+// Satellite of the arena PR: -1 is the "snapshot phase skipped" sentinel
+// (no hooks, failed save, old baseline), not a time.  The gate must never
+// feed it into a comparison -- on EITHER side -- else a skipped phase reads
+// as an infinite speedup or an infinite regression.
+TEST(BenchHarness, GateSkipsSnapshotSentinelsInsteadOfComparingThem) {
+  // Sentinel baseline vs huge current time: comparing would scream
+  // "regression"; skipping is correct.
+  EXPECT_TRUE(compare_to_baseline(doc_with_snapshot_cell(-1, -1),
+                                  doc_with_snapshot_cell(500.0, 500.0))
+                  .empty());
+  // Real baseline vs sentinel current: comparing would report a 100x
+  // "speedup" (or, with the regression sign, fire spuriously); skip.
+  EXPECT_TRUE(compare_to_baseline(doc_with_snapshot_cell(500.0, 500.0),
+                                  doc_with_snapshot_cell(-1, -1))
+                  .empty());
+  // Both below the noise floor: single-shot sub-5ms times are scheduler
+  // noise, not a regression signal.
+  EXPECT_TRUE(compare_to_baseline(doc_with_snapshot_cell(2.0, 2.0),
+                                  doc_with_snapshot_cell(4.5, 4.5))
+                  .empty());
+}
+
+TEST(BenchHarness, GateFailsOnRealSnapshotRegressions) {
+  // Both sides real and above the floor, current more than (1 + tolerance)x
+  // the baseline: that IS a regression, proving the sentinel skip above is
+  // a guard and not a dead gate.
+  const auto violations =
+      compare_to_baseline(doc_with_snapshot_cell(100.0, 50.0),
+                          doc_with_snapshot_cell(250.0, 40.0));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("snapshot_load_ms regressed"),
+            std::string::npos);
+  const auto map_violations =
+      compare_to_baseline(doc_with_snapshot_cell(100.0, 50.0),
+                          doc_with_snapshot_cell(90.0, 150.0));
+  ASSERT_EQ(map_violations.size(), 1u);
+  EXPECT_NE(map_violations[0].find("snapshot_map_ms regressed"),
+            std::string::npos);
+}
+
+TEST(BenchHarness, SnapshotMapColumnTolerantReadDefaultsToSentinel) {
+  // Documents from before the mmap column must parse as "not measured"
+  // (-1), not throw -- same contract as peak_rss_kb.
+  CellResult c;
+  c.scheme = "stretch6";
+  c.family = "random";
+  c.n = 128;
+  c.snapshot_map_ms = 123.0;
+  std::string dumped = cell_to_json(c).dump();
+  const auto pos = dumped.find("\"snapshot_map_ms\"");
+  ASSERT_NE(pos, std::string::npos) << dumped;
+  const auto comma = dumped.find(',', pos);  // not the last field: has one
+  ASSERT_NE(comma, std::string::npos) << dumped;
+  dumped.erase(pos, comma - pos + 1);
+  const CellResult reparsed = cell_from_json(Json::parse(dumped));
+  EXPECT_EQ(reparsed.snapshot_map_ms, -1);
+  EXPECT_EQ(reparsed.scheme, "stretch6");
+}
+
 TEST(BenchHarness, GateEnforcesHotPathDeltaFloor) {
   const Json base = doc_with_cell(1000.0, 1.5, 0);
   Json cur = doc_with_cell(1000.0, 1.5, 0);
@@ -332,6 +406,32 @@ TEST(BenchHarness, GrowthGateIgnoresUngatedSchemesAndTinyTimings) {
   const Json tiny = doc_with_series("rtz3", {256, 1024},
                                     {160.0, 320.0}, {0.5, 4.9});
   EXPECT_TRUE(check_growth_budgets(tiny).empty());
+}
+
+TEST(BenchHarness, GrowthGateSkipsSnapshotSentinelsButGatesRealSeries) {
+  const auto with_snapshot_times = [](Json doc, double lo_ms, double hi_ms) {
+    JsonArray cells = doc.at("cells").as_array();
+    CellResult lo = cell_from_json(cells[0]);
+    CellResult hi = cell_from_json(cells[1]);
+    lo.snapshot_load_ms = lo_ms;
+    hi.snapshot_load_ms = hi_ms;
+    doc.set("cells", JsonArray{cell_to_json(lo), cell_to_json(hi)});
+    return doc;
+  };
+  const Json in_budget = doc_with_series("rtz3", {256, 1024},
+                                         {160.0, 320.0}, {50.0, 400.0});
+  // A -1 endpoint is "phase skipped", not a time: no ratio, no violation,
+  // regardless of which end carries it.
+  EXPECT_TRUE(
+      check_growth_budgets(with_snapshot_times(in_budget, -1, 900.0)).empty());
+  EXPECT_TRUE(
+      check_growth_budgets(with_snapshot_times(in_budget, 50.0, -1)).empty());
+  // Both endpoints real and way past the O~(n sqrt n) budget (8x size ratio
+  // allows ~n^1.5 * polylog * slack; 100x blows it): the gate fires.
+  const auto violations =
+      check_growth_budgets(with_snapshot_times(in_budget, 50.0, 5000.0));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("snapshot_load_ms grew"), std::string::npos);
 }
 
 TEST(BenchHarness, GrowthGateRefusesVacuousAndDegenerateSweeps) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
@@ -19,6 +20,7 @@
 
 #include "core/names.h"
 #include "core/stretch6.h"
+#include "io/snapshot.h"
 #include "net/scheme_adapter.h"
 #include "graph/churn.h"
 #include "graph/generators.h"
@@ -190,6 +192,76 @@ TEST(EpochManager, WarmStartsFromTheSnapshotCacheKeyedByEpoch) {
     EXPECT_FALSE(mgr.current()->loaded_from_cache);
     EXPECT_EQ(mgr.counters().failures, 0u);
   }
+}
+
+// The tentpole warm-start path: mapped_snapshots mmaps the v2 cache file in
+// place instead of decoding an owning copy, and must serve the exact same
+// routes.  Behavior (hits, stale detection) is otherwise identical to the
+// owned path by construction -- same build_or_load, different load mode.
+TEST(EpochManager, MappedWarmStartServesIdenticallyToOwned) {
+  const NodeId n = 40;
+  const NameAssignment names = fixed_names(n, 31);
+  const std::string cache_dir = ::testing::TempDir() + "rtr_epoch_map_cache";
+  (void)std::remove((cache_dir + "/stretch6_epoch0.rtrsnap").c_str());
+  ASSERT_EQ(::mkdir(cache_dir.c_str(), 0755) == 0 || errno == EEXIST, true);
+
+  EpochManagerOptions opts;
+  opts.cache_dir = cache_dir;
+  Digraph g0 = initial_graph(n, 32);
+  // Cold pass writes the v2 snapshot.
+  {
+    EpochManager mgr("stretch6", names, Digraph(g0), opts);
+    EXPECT_FALSE(mgr.current()->loaded_from_cache);
+  }
+  // Owned and mapped warm starts answer identically.
+  EpochManagerOptions mapped_opts = opts;
+  mapped_opts.mapped_snapshots = true;
+  EpochManager owned("stretch6", names, Digraph(g0), opts);
+  EpochManager mapped("stretch6", names, Digraph(g0), mapped_opts);
+  EXPECT_TRUE(owned.current()->loaded_from_cache);
+  EXPECT_TRUE(mapped.current()->loaded_from_cache);
+  for (NodeId s = 0; s < 10; ++s) {
+    for (NodeId t = 10; t < 20; ++t) {
+      const auto a = owned.roundtrip_by_name(names.name_of(s), names.name_of(t));
+      const auto b = mapped.roundtrip_by_name(names.name_of(s), names.name_of(t));
+      ASSERT_EQ(a.ok(), b.ok());
+      ASSERT_EQ(a.roundtrip_length(), b.roundtrip_length());
+      ASSERT_EQ(a.out_hops, b.out_hops);
+    }
+  }
+  EXPECT_EQ(mapped.counters().failures, 0u);
+}
+
+// shm_prefix: each cached epoch is also published to a POSIX shared-memory
+// object a sibling process can attach with map_snapshot_shm; the manager
+// unlinks its objects at destruction.
+TEST(EpochManager, ShmPrefixPublishesEpochsForSiblingProcesses) {
+  const NodeId n = 40;
+  const NameAssignment names = fixed_names(n, 37);
+  const std::string cache_dir = ::testing::TempDir() + "rtr_epoch_shm_cache";
+  (void)std::remove((cache_dir + "/stretch6_epoch0.rtrsnap").c_str());
+  ASSERT_EQ(::mkdir(cache_dir.c_str(), 0755) == 0 || errno == EEXIST, true);
+
+  EpochManagerOptions opts;
+  opts.cache_dir = cache_dir;
+  opts.shm_prefix = "rtr_test_epoch_" + std::to_string(::getpid());
+  std::string shm_name;
+  {
+    EpochManager mgr("stretch6", names, initial_graph(n, 38), opts);
+    if (mgr.counters().shm_published == 0) {
+      GTEST_SKIP() << "POSIX shm unavailable in this environment";
+    }
+    shm_name = mgr.shm_name_for(0);
+    // A sibling process would attach exactly like this: zero-copy, and the
+    // answers match the manager's own serving path.
+    SchemeHandle attached = map_snapshot_shm(shm_name, "stretch6");
+    const auto via_mgr = mgr.roundtrip_by_name(names.name_of(3), names.name_of(9));
+    const auto via_shm = attached.roundtrip(3, 9);
+    EXPECT_EQ(via_mgr.ok(), via_shm.ok());
+    EXPECT_EQ(via_mgr.roundtrip_length(), via_shm.roundtrip_length());
+  }
+  // Destruction unlinks: a fresh attach by name must now fail.
+  EXPECT_THROW((void)map_snapshot_shm(shm_name, "stretch6"), SnapshotError);
 }
 
 // The concurrency acceptance test (and CI's ThreadSanitizer target): four

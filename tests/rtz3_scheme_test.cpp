@@ -116,56 +116,71 @@ TEST(Rtz3, AddressLookupMatchesOwnAddress) {
   }
 }
 
-// Both dictionary layouts (SoA default and the retained AoS reference) must
-// behave identically: same routes, same per-hop lookup results, same table
-// accounting, same snapshot bytes.  The bench harness's rtz3-soa-dicts
-// hot-path delta relies on this equivalence being airtight.
-TEST(Rtz3, SoaAndAosDictionaryLayoutsAreEquivalent) {
+// The flat CSR tables must behave identically whether they were flattened
+// from the build path or from a v1 streamed decode: same routes, same
+// per-hop lookup results, same table accounting, same snapshot bytes.  The
+// bench harness's rtz3-flat-dicts hot-path delta relies on this equivalence
+// being airtight.
+TEST(Rtz3, V1RoundTripPreservesTablesProbeForProbe) {
   Instance inst = make_instance(Family::kRandom, 60, 4, 21);
-  Rtz3Scheme::Options aos_opts;
-  aos_opts.soa_dicts = false;
-  Rtz3Scheme::Options soa_opts;
-  soa_opts.soa_dicts = true;
-  Rng rng_aos(22);
-  Rtz3Scheme aos(inst.graph, *inst.metric, inst.names, rng_aos, aos_opts);
-  Rng rng_soa(22);
-  Rtz3Scheme soa(inst.graph, *inst.metric, inst.names, rng_soa, soa_opts);
+  Rng rng(22);
+  const Rtz3Scheme built(inst.graph, *inst.metric, inst.names, rng);
+
+  SnapshotWriter w;
+  built.save(w);
+  SnapshotReader r(w.bytes().data(), w.bytes().size());
+  const Rtz3Scheme loaded(r, inst.graph);
+  r.expect_exhausted("rtz3 v1 stream");
 
   // Per-hop lookups agree probe for probe (hits and misses).
   for (NodeId at = 0; at < inst.n(); ++at) {
-    for (NodeId w = 0; w < inst.n(); w += 3) {
-      const NodeName key = inst.names.name_of(w);
-      const TreeLabel* la = aos.find_ball_label(at, key);
-      const TreeLabel* ls = soa.find_ball_label(at, key);
-      ASSERT_EQ(la == nullptr, ls == nullptr);
-      if (la != nullptr) EXPECT_EQ(la->dfs_in, ls->dfs_in);
-      const Port* pa = aos.find_member_up_port(at, key);
-      const Port* ps = soa.find_member_up_port(at, key);
-      ASSERT_EQ(pa == nullptr, ps == nullptr);
-      if (pa != nullptr) EXPECT_EQ(*pa, *ps);
+    for (NodeId v = 0; v < inst.n(); v += 3) {
+      const NodeName key = inst.names.name_of(v);
+      const auto lb = built.find_ball_label(at, key);
+      const auto ll = loaded.find_ball_label(at, key);
+      ASSERT_EQ(lb.has_value(), ll.has_value());
+      if (lb.has_value()) {
+        EXPECT_EQ(lb->dfs_in, ll->dfs_in);
+        EXPECT_EQ(lb->light_hops, ll->light_hops);
+      }
+      const Port* pb = built.find_member_up_port(at, key);
+      const Port* pl = loaded.find_member_up_port(at, key);
+      ASSERT_EQ(pb == nullptr, pl == nullptr);
+      if (pb != nullptr) {
+        EXPECT_EQ(*pb, *pl);
+      }
+      const TreeNodeTable* tb = built.find_member_table(at, key);
+      const TreeNodeTable* tl = loaded.find_member_table(at, key);
+      ASSERT_EQ(tb == nullptr, tl == nullptr);
+      if (tb != nullptr) {
+        EXPECT_EQ(tb->dfs_in, tl->dfs_in);
+        EXPECT_EQ(tb->heavy_port, tl->heavy_port);
+      }
     }
   }
 
   // Routes and table accounting agree.
   for (NodeId s = 0; s < inst.n(); s += 4) {
     for (NodeId t = 0; t < inst.n(); t += 5) {
-      auto ra = simulate_roundtrip(inst.graph, aos, s, t, inst.names.name_of(t));
-      auto rs = simulate_roundtrip(inst.graph, soa, s, t, inst.names.name_of(t));
-      ASSERT_TRUE(ra.ok());
-      ASSERT_TRUE(rs.ok());
-      EXPECT_EQ(ra.roundtrip_length(), rs.roundtrip_length());
-      EXPECT_EQ(ra.out_hops + ra.back_hops, rs.out_hops + rs.back_hops);
-      EXPECT_EQ(ra.max_header_bits, rs.max_header_bits);
+      auto rb = simulate_roundtrip(inst.graph, built, s, t,
+                                   inst.names.name_of(t));
+      auto rl = simulate_roundtrip(inst.graph, loaded, s, t,
+                                   inst.names.name_of(t));
+      ASSERT_TRUE(rb.ok());
+      ASSERT_TRUE(rl.ok());
+      EXPECT_EQ(rb.roundtrip_length(), rl.roundtrip_length());
+      EXPECT_EQ(rb.out_hops + rb.back_hops, rl.out_hops + rl.back_hops);
+      EXPECT_EQ(rb.max_header_bits, rl.max_header_bits);
     }
   }
-  EXPECT_EQ(aos.table_stats().mean_bits(), soa.table_stats().mean_bits());
-  EXPECT_EQ(aos.table_stats().max_entries(), soa.table_stats().max_entries());
+  EXPECT_EQ(built.table_stats().mean_bits(), loaded.table_stats().mean_bits());
+  EXPECT_EQ(built.table_stats().max_entries(),
+            loaded.table_stats().max_entries());
 
-  // The on-disk encoding is layout-independent byte for byte.
-  SnapshotWriter wa, ws;
-  aos.save(wa);
-  soa.save(ws);
-  EXPECT_EQ(wa.bytes(), ws.bytes());
+  // Re-saving the loaded scheme reproduces the stream byte for byte.
+  SnapshotWriter w2;
+  loaded.save(w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
 }
 
 }  // namespace

@@ -82,6 +82,69 @@ TEST_P(SnapshotRoundtripTest, ResaveIsByteIdenticalAndAnswersMatch) {
   std::remove(path_b.c_str());
 }
 
+TEST_P(SnapshotRoundtripTest, V1ToV2RepackAndMappedLoadAnswerIdentically) {
+  const std::string scheme_name = GetParam();
+  const auto inst = shared_instance(Family::kRandom, 64, 4, 2024);
+  const BuildContext ctx = inst->context(7);
+  SchemeHandle built(ctx.graph, ctx.names,
+                     SchemeRegistry::global().build(scheme_name, ctx));
+
+  const std::string v1_path = temp_path(scheme_name + "_v1");
+  const std::string v2_from_v1 = temp_path(scheme_name + "_v2a");
+  const std::string v2_from_built = temp_path(scheme_name + "_v2b");
+
+  // v1 stays writable and loadable (back-compat leg of the migration).
+  save_snapshot(v1_path, scheme_name, built, SchemeRegistry::global(),
+                kSnapshotVersionV1);
+  ASSERT_EQ(inspect_snapshot(v1_path).version, kSnapshotVersionV1);
+  SchemeHandle v1_loaded = load_snapshot(v1_path, scheme_name);
+
+  // Repacking the v1-loaded handle as v2 must produce the SAME arena bytes
+  // as saving the freshly built scheme: the v1 decode loses nothing.
+  save_snapshot(v2_from_v1, scheme_name, v1_loaded, SchemeRegistry::global(),
+                kSnapshotVersionV2);
+  save_snapshot(v2_from_built, scheme_name, built, SchemeRegistry::global(),
+                kSnapshotVersionV2);
+  EXPECT_EQ(read_file(v2_from_v1), read_file(v2_from_built))
+      << scheme_name << ": v1 -> v2 repack drifted from a direct v2 save";
+
+  // All three load paths -- v1 decode, owned v2, zero-copy mapped v2 --
+  // answer route-for-route and stat-for-stat like the built scheme.
+  SchemeHandle v2_owned = load_snapshot(v2_from_v1, scheme_name);
+  SchemeHandle v2_mapped = map_snapshot(v2_from_v1, scheme_name);
+  for (const SchemeHandle* h : {&v1_loaded, &v2_owned, &v2_mapped}) {
+    EXPECT_EQ(h->names().names(), built.names().names());
+    EXPECT_EQ(h->table_stats().max_bits(), built.table_stats().max_bits());
+    EXPECT_DOUBLE_EQ(h->table_stats().mean_bits(),
+                     built.table_stats().mean_bits());
+  }
+  Rng rng(99);
+  const NodeId n = built.graph().node_count();
+  for (int i = 0; i < 300; ++i) {
+    auto s = static_cast<NodeId>(rng.index(n));
+    auto t = static_cast<NodeId>(rng.index(n));
+    if (s == t) t = static_cast<NodeId>((t + 1) % n);
+    const RouteResult a = built.roundtrip(s, t);
+    for (const SchemeHandle* h : {&v1_loaded, &v2_owned, &v2_mapped}) {
+      const RouteResult b = h->roundtrip(s, t);
+      ASSERT_EQ(a.ok(), b.ok()) << scheme_name << " " << s << "->" << t;
+      ASSERT_EQ(a.out_length, b.out_length)
+          << scheme_name << " " << s << "->" << t;
+      ASSERT_EQ(a.back_length, b.back_length)
+          << scheme_name << " " << s << "->" << t;
+      ASSERT_EQ(a.out_hops, b.out_hops) << scheme_name << " " << s << "->" << t;
+      ASSERT_EQ(a.back_hops, b.back_hops)
+          << scheme_name << " " << s << "->" << t;
+      ASSERT_EQ(a.max_header_bits, b.max_header_bits)
+          << scheme_name << " " << s << "->" << t;
+    }
+  }
+
+  std::remove(v1_path.c_str());
+  std::remove(v2_from_v1.c_str());
+  std::remove(v2_from_built.c_str());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSchemes, SnapshotRoundtripTest,
                          ::testing::ValuesIn(SchemeRegistry::global().names()),
                          [](const auto& info) {
@@ -105,13 +168,36 @@ TEST(SnapshotInspect, ReportsHeaderAndSections) {
   EXPECT_EQ(info.scheme, "rtz3");
   EXPECT_EQ(info.node_count, inst->n());
   EXPECT_EQ(info.edge_count, inst->graph.edge_count());
-  ASSERT_EQ(info.sections.size(), 3u);
-  EXPECT_EQ(info.sections[0].name, "graph");
-  EXPECT_EQ(info.sections[1].name, "names");
-  EXPECT_EQ(info.sections[2].name, "scheme");
+  // v2 arena sections: the graph CSR arrays, the name permutation, and at
+  // least one scheme-owned section.
+  auto has_section = [&](const std::string& name) {
+    for (const auto& s : info.sections) {
+      if (s.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_section("graph/offset"));
+  EXPECT_TRUE(has_section("graph/edges"));
+  EXPECT_TRUE(has_section("names/name_of"));
+  bool has_scheme = false;
+  for (const auto& s : info.sections) {
+    if (s.name.rfind("scheme/", 0) == 0) has_scheme = true;
+  }
+  EXPECT_TRUE(has_scheme);
   std::uint64_t section_bytes = 0;
   for (const auto& s : info.sections) section_bytes += s.bytes;
   EXPECT_LT(section_bytes, info.file_bytes);
+
+  // The v1 encoding remains writable and inspectable on request.
+  save_snapshot(path, "rtz3", built, SchemeRegistry::global(),
+                kSnapshotVersionV1);
+  SnapshotInfo v1 = inspect_snapshot(path);
+  EXPECT_EQ(v1.version, kSnapshotVersionV1);
+  EXPECT_EQ(v1.scheme, "rtz3");
+  ASSERT_EQ(v1.sections.size(), 3u);
+  EXPECT_EQ(v1.sections[0].name, "graph");
+  EXPECT_EQ(v1.sections[1].name, "names");
+  EXPECT_EQ(v1.sections[2].name, "scheme");
   std::remove(path.c_str());
 }
 
@@ -147,6 +233,49 @@ TEST(BuildOrLoad, CacheMissBuildsAndSavesCacheHitSkipsConstruction) {
     ASSERT_EQ(a.ok(), b.ok());
     ASSERT_EQ(a.roundtrip_length(), b.roundtrip_length());
   }
+  std::remove(path.c_str());
+}
+
+TEST(BuildOrLoad, MappedModeHitsV2CachesAndFallsBackForV1) {
+  const auto inst = shared_instance(Family::kRandom, 40, 4, 5);
+  const std::string path = temp_path("mapped_build_or_load");
+  std::remove(path.c_str());
+  constexpr auto kMapped = SchemeRegistry::SnapshotLoadMode::kMapped;
+
+  int ctx_builds = 0;
+  auto make_ctx = [&]() {
+    ++ctx_builds;
+    return inst->context(13);
+  };
+
+  // Miss: builds and saves v2, exactly like owned mode.
+  SchemeHandle first = SchemeRegistry::global().build_or_load(
+      "stretch6", make_ctx, path, kMapped);
+  EXPECT_EQ(ctx_builds, 1);
+
+  // Hit: the v2 cache serves zero-copy; construction is skipped.
+  SchemeHandle second = SchemeRegistry::global().build_or_load(
+      "stretch6", make_ctx, path, kMapped);
+  EXPECT_EQ(ctx_builds, 1) << "mapped cache hit must not rebuild";
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    auto s = static_cast<NodeId>(rng.index(inst->n()));
+    auto t = static_cast<NodeId>(rng.index(inst->n()));
+    if (s == t) continue;
+    const RouteResult a = first.roundtrip(s, t);
+    const RouteResult b = second.roundtrip(s, t);
+    ASSERT_EQ(a.ok(), b.ok());
+    ASSERT_EQ(a.roundtrip_length(), b.roundtrip_length());
+  }
+
+  // A v1 cache file cannot be mapped: mapped mode falls back to the owned
+  // decode -- still a hit, never a rebuild.
+  save_snapshot(path, "stretch6", first, SchemeRegistry::global(),
+                kSnapshotVersionV1);
+  SchemeHandle third = SchemeRegistry::global().build_or_load(
+      "stretch6", make_ctx, path, kMapped);
+  EXPECT_EQ(ctx_builds, 1) << "v1 fallback must use the owned load, not build";
+  EXPECT_EQ(third.graph().node_count(), inst->n());
   std::remove(path.c_str());
 }
 
