@@ -50,7 +50,10 @@ StretchReport measure_stretch(const ExperimentInstance& inst,
   const std::string context = scheme->name();
   QueryEngine engine(inst.graph_ptr, inst.metric, inst.names,
                      std::move(scheme), opts);
-  StretchReport report = engine.run_sampled(pair_budget, seed);
+  BatchOptions batch;
+  batch.pair_budget = pair_budget;
+  batch.seed = seed;
+  StretchReport report = engine.run_sampled(batch);
   gate_failures(report.failures, context);
   return report;
 }
@@ -81,7 +84,7 @@ int finish(const std::string& tool) {
     doc.set("tool", tool);
     // Each experiment binary hard-codes its own sweep; the default-config
     // echo would be misleading, so replace it with a pointer to the cells.
-    benchjson::Json note{benchjson::JsonObject{}};
+    Json note{JsonObject{}};
     note.set("note", "sweep fixed by the tool; see cells");
     doc.set("config", std::move(note));
     try {

@@ -31,14 +31,22 @@ int main() {
 
   EpochManager mgr("stretch6", names, Digraph(g));
 
-  // A client thread that never pauses: roundtrips addressed by NAME.
+  // A client thread that never pauses: roundtrips addressed by NAME.  Every
+  // answer is a typed ServingResult -- when something fails, the client sees
+  // *why* (invalid_name vs unreachable vs scheme_failure), not just a count.
   std::atomic<bool> stop{false};
   std::thread client([&] {
     Rng rng(8);
     while (!stop.load(std::memory_order_relaxed)) {
       auto a = static_cast<NodeName>(rng.index(n));
       auto b = static_cast<NodeName>(rng.index(n));
-      if (a != b) (void)mgr.roundtrip_by_name(a, b);
+      if (a == b) continue;
+      const ServingResult res = mgr.roundtrip_by_name(a, b);
+      if (!res.ok()) {
+        std::cerr << "query (" << a << ", " << b << ") failed in epoch "
+                  << res.epoch << ": " << serving_error_name(res.error) << " -- "
+                  << res.message << "\n";
+      }
     }
   });
 

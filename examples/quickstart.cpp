@@ -58,7 +58,10 @@ int main() {
   engine_opts.threads = 4;
   QueryEngine engine = QueryEngine::from_registry(
       SchemeRegistry::global(), "stretch6", ctx, engine_opts);
-  StretchReport report = engine.run_sampled(/*pair_budget=*/2000, /*seed=*/1);
+  rtr::BatchOptions batch;
+  batch.pair_budget = 2000;
+  batch.seed = 1;
+  StretchReport report = engine.run_sampled(batch);
   std::cout << "engine batch (" << engine.worker_count() << " workers): "
             << report.pairs << " pairs, " << report.failures << " failures, "
             << "mean stretch " << report.mean_stretch << ", max "

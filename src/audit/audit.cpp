@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "bench_harness/json.h"
+#include "util/json.h"
 #include "net/scheme.h"
 
 namespace rtr {
@@ -70,9 +70,6 @@ std::string AuditReport::summary(bool verbose) const {
 }
 
 std::string AuditReport::to_json_string() const {
-  using benchjson::Json;
-  using benchjson::JsonArray;
-  using benchjson::JsonObject;
   Json doc{JsonObject{}};
   doc.set("schema", "rtr-audit/1");
   doc.set("ok", ok());

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_harness/json.h"
+#include "util/json.h"
 #include "graph/generators.h"
 #include "net/query_engine.h"
 #include "rt/metric.h"
@@ -103,6 +103,13 @@ struct BenchConfig {
   MetricMode metric_mode = MetricMode::kAuto;
   bool snapshot_phase = true;   ///< measure snapshot save+load per cell
   bool hot_path_deltas = true;  ///< record the in-binary before/after deltas
+  /// Measure the network serving path end to end: RouteServer (the
+  /// rtr_routed core) over an EpochManager, driven by the loadgen across
+  /// loopback TCP while one epoch swap publishes mid-run.  Emits one cell
+  /// with family "net_serving" whose `failures` column is the availability
+  /// gate (must be 0).  Off by default so unit-scale configs stay socket-
+  /// free; quick() and full() turn it on.
+  bool net_serving = false;
   IterationPolicy iterations;
 
   /// The CI bench-smoke configuration (also what BENCH_baseline.json pins):
@@ -176,16 +183,16 @@ struct SuiteResult {
 // ------------------------------------------------------------------- json --
 
 /// The full document: schema tag, rev, config echo, cells, deltas.
-[[nodiscard]] benchjson::Json suite_to_json(const SuiteResult& result,
+[[nodiscard]] Json suite_to_json(const SuiteResult& result,
                                             const BenchConfig& config,
                                             const std::string& rev);
 
 /// Cells/deltas parsed back from a document (schema-checked).
-[[nodiscard]] std::vector<CellResult> cells_from_json(const benchjson::Json& doc);
-[[nodiscard]] std::vector<HotPathDelta> deltas_from_json(const benchjson::Json& doc);
+[[nodiscard]] std::vector<CellResult> cells_from_json(const Json& doc);
+[[nodiscard]] std::vector<HotPathDelta> deltas_from_json(const Json& doc);
 
-[[nodiscard]] benchjson::Json cell_to_json(const CellResult& cell);
-[[nodiscard]] CellResult cell_from_json(const benchjson::Json& j);
+[[nodiscard]] Json cell_to_json(const CellResult& cell);
+[[nodiscard]] CellResult cell_from_json(const Json& j);
 
 /// "BENCH_<rev>.json".
 [[nodiscard]] std::string default_output_name(const std::string& rev);
@@ -258,7 +265,7 @@ class GrowthGateError : public std::runtime_error {
 /// (see above); otherwise returns budget violations as with
 /// compare_to_baseline.
 [[nodiscard]] std::vector<std::string> check_growth_budgets(
-    const benchjson::Json& doc, const GrowthGateOptions& options = {});
+    const Json& doc, const GrowthGateOptions& options = {});
 
 /// Compares `current` against `baseline` cell-by-cell (keyed by scheme,
 /// family, n).  Returns human-readable violations; empty means the gate
@@ -271,7 +278,7 @@ class GrowthGateError : public std::runtime_error {
 /// without a host stamp are assumed comparable.  `notes`, when non-null,
 /// receives non-failing diagnostics such as "qps gate skipped".
 [[nodiscard]] std::vector<std::string> compare_to_baseline(
-    const benchjson::Json& baseline, const benchjson::Json& current,
+    const Json& baseline, const Json& current,
     const GateOptions& options = {}, std::vector<std::string>* notes = nullptr);
 
 }  // namespace rtr::bench_harness

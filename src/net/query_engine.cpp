@@ -201,8 +201,77 @@ void QueryEngine::run_span(const BatchPlan& plan, std::size_t begin,
   }
 }
 
-StretchReport QueryEngine::run_batch(
-    const std::vector<RoundtripQuery>& queries) const {
+int QueryEngine::effective_workers(int cap, std::size_t work) const {
+  const int width = cap > 0 ? cap : threads_;
+  return static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(width, 1)),
+      std::max<std::size_t>(work, 1)));
+}
+
+ServingResult QueryEngine::serve(NodeId src, NodeId dst) const {
+  const NodeId n = graph_->node_count();
+  if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst) {
+    return ServingResult::failure(
+        ServingError::kInvalidQuery,
+        "invalid query (" + std::to_string(src) + ", " + std::to_string(dst) +
+            "): " + (src == dst ? "src == dst" : "node id out of range"));
+  }
+  RouteResult res;
+  try {
+    // Same fast path as the batch workers: one virtual dispatch per walk.
+    SimOptions sim = options_.sim;
+    sim.trust_header_size_hints = true;
+    res = scheme_->simulate(*graph_, src, dst, names_.name_of(dst), sim);
+  } catch (const std::exception& e) {
+    // A scheme that throws mid-walk is broken, not an unreachable pair; the
+    // distinction is exactly what ServingError exists to carry.
+    return ServingResult::failure(ServingError::kSchemeFailure, e.what());
+  }
+  if (!res.ok()) {
+    return ServingResult::failure(
+        ServingError::kUnreachable,
+        "roundtrip (" + std::to_string(src) + ", " + std::to_string(dst) +
+            ") undelivered (out " + (res.delivered_out ? "ok" : "lost") +
+            ", back " + (res.delivered_back ? "ok" : "lost") + ")");
+  }
+  return ServingResult::success(std::move(res), /*epoch_seq=*/0);
+}
+
+std::vector<ServingResult> QueryEngine::serve_batch(
+    const std::vector<RoundtripQuery>& queries,
+    const BatchOptions& options) const {
+  std::vector<ServingResult> results(queries.size());
+  const int workers = effective_workers(options.threads, queries.size());
+  // results[i] is written by exactly one worker (contiguous disjoint slices),
+  // so no synchronization is needed beyond the joins.
+  const auto run = [this, &queries, &results](std::size_t begin,
+                                              std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = serve(queries[i].src, queries[i].dst);
+    }
+  };
+  if (workers <= 1 || queries.size() <= 1) {
+    run(0, queries.size());
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  const std::size_t per = queries.size() / static_cast<std::size_t>(workers);
+  const std::size_t extra = queries.size() % static_cast<std::size_t>(workers);
+  std::size_t begin = 0;
+  for (int w = 0; w < workers; ++w) {
+    const std::size_t share =
+        per + (static_cast<std::size_t>(w) < extra ? 1 : 0);
+    const std::size_t end = begin + share;
+    pool.emplace_back([&run, begin, end] { run(begin, end); });
+    begin = end;
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+StretchReport QueryEngine::run_batch(const std::vector<RoundtripQuery>& queries,
+                                     const BatchOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
 
   // Serial prepass: validate each query once and transpose the survivors
@@ -234,8 +303,7 @@ StretchReport QueryEngine::run_batch(
     plan.index.push_back(i);
   }
 
-  const int workers = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(threads_), std::max<std::size_t>(plan.size(), 1)));
+  const int workers = effective_workers(options.threads, plan.size());
   std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers) + 1);
   tallies.back() = std::move(prepass);
   if (workers <= 1) {
@@ -305,13 +373,14 @@ std::vector<RoundtripQuery> QueryEngine::sample_pairs(NodeId n,
   return queries;
 }
 
-StretchReport QueryEngine::run_sampled(std::int64_t pair_budget,
-                                       std::uint64_t seed) const {
+StretchReport QueryEngine::run_sampled(const BatchOptions& options) const {
   // The pair list is drawn from one Rng(seed) up front, then sharded like
   // any explicit batch.  Sampling this way is what makes the report a
   // function of (budget, seed) alone -- the same pairs are routed no matter
   // how many workers the pool has.
-  return run_batch(sample_pairs(graph_->node_count(), pair_budget, seed));
+  return run_batch(
+      sample_pairs(graph_->node_count(), options.pair_budget, options.seed),
+      options);
 }
 
 }  // namespace rtr

@@ -7,16 +7,25 @@
 // its own deterministic Rng for pair sampling, and folds the per-worker
 // stretch summaries into one StretchReport.
 //
-//   * run_batch(queries)        -- explicit batch; result independent of the
+// Every batch entry point takes one BatchOptions knob bag (pair budget,
+// sampling seed, per-call worker cap):
+//
+//   * run_batch(queries, opts)  -- explicit batch; result independent of the
 //                                  worker count (static sharding).
-//   * run_sampled(budget, seed) -- samples `budget` ordered pairs, exhaustive
-//                                  when the budget covers all n(n-1) pairs.
-//                                  The pair list is drawn from Rng(seed)
-//                                  before sharding, so the report is a
-//                                  function of (budget, seed) alone --
-//                                  identical for every worker count (the
-//                                  determinism regression test pins this).
-//   * roundtrip(src, dst)       -- one query, on the caller's thread.
+//   * run_sampled(opts)         -- samples `opts.pair_budget` ordered pairs,
+//                                  exhaustive when the budget covers all
+//                                  n(n-1) pairs.  The pair list is drawn from
+//                                  Rng(opts.seed) before sharding, so the
+//                                  report is a function of (budget, seed)
+//                                  alone -- identical for every worker count
+//                                  (the determinism regression test pins it).
+//   * serve(src, dst)           -- one query, typed ServingResult, never
+//                                  throws; the serving stack's entry point.
+//   * serve_batch(queries, opts)-- per-query ServingResults (the rtr_routed
+//                                  request-coalescing path), sharded like
+//                                  run_batch.
+//   * roundtrip(src, dst)       -- one query, on the caller's thread; throws
+//                                  on bad ids (measurement/debug use).
 //
 // All members are const; one engine may be shared by many caller threads.
 #ifndef RTR_NET_QUERY_ENGINE_H
@@ -28,6 +37,7 @@
 
 #include "core/names.h"
 #include "net/scheme.h"
+#include "net/serving.h"
 #include "net/simulator.h"
 #include "rt/metric.h"
 
@@ -62,6 +72,20 @@ struct QueryEngineOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
   int threads = 0;
   SimOptions sim;
+};
+
+/// The one knob bag every batch entry point shares (and the server's
+/// coalescing path reuses).  Replaces the former loose (budget, seed)
+/// parameter overloads.
+struct BatchOptions {
+  /// Pairs run_sampled draws; ignored by run_batch/serve_batch (the caller's
+  /// batch is the pair list there).
+  std::int64_t pair_budget = 0;
+  /// Sampling seed for run_sampled's pair list.
+  std::uint64_t seed = 0;
+  /// Per-call worker cap; 0 uses the engine's configured width.  The report
+  /// never depends on this (static sharding), only the wall time does.
+  int threads = 0;
 };
 
 class QueryEngine {
@@ -99,6 +123,20 @@ class QueryEngine {
   [[nodiscard]] static std::vector<RoundtripQuery> sample_pairs(
       NodeId n, std::int64_t pair_budget, std::uint64_t seed);
 
+  /// One roundtrip as a typed ServingResult; never throws.  Out-of-range ids
+  /// and src == dst come back kInvalidQuery, a scheme exception
+  /// kSchemeFailure (message = e.what()), an undelivered leg kUnreachable.
+  /// `epoch` is left 0 -- the serving layer that pinned an epoch fills it in.
+  [[nodiscard]] ServingResult serve(NodeId src, NodeId dst) const;
+
+  /// serve() over a batch, sharded across the worker pool like run_batch
+  /// (contiguous slices into a preallocated result vector; disjoint writes,
+  /// no locks).  results[i] always answers queries[i].  This is the server's
+  /// request-coalescing path.
+  [[nodiscard]] std::vector<ServingResult> serve_batch(
+      const std::vector<RoundtripQuery>& queries,
+      const BatchOptions& options = {}) const;
+
   /// Executes the batch across the worker pool.
   ///
   /// Layout: a serial prepass validates every query once and transposes the
@@ -108,7 +146,8 @@ class QueryEngine {
   /// lookups, and sequential operand reads.  The report is identical to the
   /// reference loop for any worker count.
   [[nodiscard]] StretchReport run_batch(
-      const std::vector<RoundtripQuery>& queries) const;
+      const std::vector<RoundtripQuery>& queries,
+      const BatchOptions& options = {}) const;
 
   /// Reference single-thread loop over the same batch, in the seed's
   /// array-of-structs layout (per-query validate + name lookup inline).
@@ -116,11 +155,20 @@ class QueryEngine {
   [[nodiscard]] StretchReport run_serial(
       const std::vector<RoundtripQuery>& queries) const;
 
-  /// Samples `pair_budget` ordered pairs (exhaustive if the budget covers all
-  /// of them).  The sample is drawn from Rng(seed) up front and sharded via
-  /// run_batch, so the report does not depend on the worker count.
+  /// Samples `options.pair_budget` ordered pairs (exhaustive if the budget
+  /// covers all of them).  The sample is drawn from Rng(options.seed) up
+  /// front and sharded via run_batch, so the report does not depend on the
+  /// worker count.
+  [[nodiscard]] StretchReport run_sampled(const BatchOptions& options) const;
+
+  [[deprecated("pass BatchOptions instead of loose (pair_budget, seed)")]]
   [[nodiscard]] StretchReport run_sampled(std::int64_t pair_budget,
-                                          std::uint64_t seed) const;
+                                          std::uint64_t seed) const {
+    BatchOptions options;
+    options.pair_budget = pair_budget;
+    options.seed = seed;
+    return run_sampled(options);
+  }
 
  private:
   struct WorkerTally;
@@ -139,6 +187,8 @@ class QueryEngine {
                 WorkerTally& tally) const;
   [[nodiscard]] StretchReport finalize(std::vector<WorkerTally> tallies,
                                        double wall_seconds) const;
+  /// Worker count for a batch of `work` items under a per-call cap.
+  [[nodiscard]] int effective_workers(int cap, std::size_t work) const;
 
   std::shared_ptr<const Digraph> graph_;
   std::shared_ptr<const RoundtripMetric> metric_;

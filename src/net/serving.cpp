@@ -1,0 +1,23 @@
+#include "net/serving.h"
+
+namespace rtr {
+
+const char* serving_error_name(ServingError e) {
+  switch (e) {
+    case ServingError::kNone:
+      return "none";
+    case ServingError::kInvalidName:
+      return "invalid_name";
+    case ServingError::kInvalidQuery:
+      return "invalid_query";
+    case ServingError::kUnreachable:
+      return "unreachable";
+    case ServingError::kSchemeFailure:
+      return "scheme_failure";
+    case ServingError::kEpochUnavailable:
+      return "epoch_unavailable";
+  }
+  return "unknown";
+}
+
+}  // namespace rtr

@@ -1,0 +1,64 @@
+// The single error taxonomy of the serving stack.
+//
+// Every layer that answers a roundtrip query -- QueryEngine::serve,
+// EpochManager::roundtrip_by_name, and the rtr_routed wire protocol -- speaks
+// ServingResult: a typed error code plus the RouteResult and the epoch that
+// answered.  Callers branch on *why* a query failed (invalid name vs
+// unreachable vs scheme bug vs no epoch yet) instead of inferring it from a
+// swallowed exception or a default-constructed RouteResult.
+#ifndef RTR_NET_SERVING_H
+#define RTR_NET_SERVING_H
+
+#include <cstdint>
+#include <string>
+
+#include "net/simulator.h"
+
+namespace rtr {
+
+enum class ServingError : std::uint8_t {
+  kNone = 0,          ///< Delivered out and back; `route` is meaningful.
+  kInvalidName = 1,   ///< src/dst is not a name this epoch's assignment knows.
+  kInvalidQuery = 2,  ///< Structurally bad query (src == dst, id range).
+  kUnreachable = 3,   ///< Simulation ran but a leg was not delivered.
+  kSchemeFailure = 4, ///< The scheme threw while routing (a bug, not a miss).
+  kEpochUnavailable = 5,  ///< No epoch is ready (or unknown scheme requested).
+};
+
+/// Wire-stable lowercase token for each code; `docs/protocol.md` freezes
+/// these under rtr-wire/1 -- append-only, never renumber or rename.
+[[nodiscard]] const char* serving_error_name(ServingError e);
+
+struct ServingResult {
+  ServingError error = ServingError::kEpochUnavailable;
+  /// Valid iff `ok()`; default-constructed (undelivered) otherwise.
+  RouteResult route;
+  /// Sequence number of the epoch that answered (0 when none was pinned).
+  std::uint64_t epoch = 0;
+  /// Human-readable detail for failures; empty on success.
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return error == ServingError::kNone; }
+
+  [[nodiscard]] static ServingResult success(RouteResult r,
+                                             std::uint64_t epoch_seq) {
+    ServingResult s;
+    s.error = ServingError::kNone;
+    s.route = std::move(r);
+    s.epoch = epoch_seq;
+    return s;
+  }
+  [[nodiscard]] static ServingResult failure(ServingError e,
+                                             std::string message,
+                                             std::uint64_t epoch_seq = 0) {
+    ServingResult s;
+    s.error = e;
+    s.epoch = epoch_seq;
+    s.message = std::move(message);
+    return s;
+  }
+};
+
+}  // namespace rtr
+
+#endif  // RTR_NET_SERVING_H

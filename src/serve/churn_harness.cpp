@@ -75,8 +75,10 @@ ChurnRunResult run_churn_workload(Digraph initial, NameAssignment names,
   // epoch as it becomes current.
   auto append_epoch_row = [&](const Epoch& epoch, double rebuild_seconds,
                               std::uint64_t served_during) {
-    StretchReport rep = epoch.engine->run_sampled(stretch_pairs,
-                                                  options.seed + 2);
+    BatchOptions stretch_opts;
+    stretch_opts.pair_budget = stretch_pairs;
+    stretch_opts.seed = options.seed + 2;
+    StretchReport rep = epoch.engine->run_sampled(stretch_opts);
     result.stretch_failures += rep.failures;
     if (result.first_error.empty()) result.first_error = rep.first_error;
     if (result.stretch_pairs == 0) {

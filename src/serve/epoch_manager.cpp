@@ -184,23 +184,26 @@ std::string EpochManager::last_error() const {
   return last_error_;
 }
 
-RouteResult EpochManager::roundtrip_by_name(NodeName src, NodeName dst) const {
+ServingResult EpochManager::roundtrip_by_name(NodeName src,
+                                              NodeName dst) const {
   // One shared_ptr copy pins the whole (graph, scheme, names) triple: the
   // query below cannot observe a swap, and the epoch cannot be destroyed
   // until the copy goes out of scope.
   const std::shared_ptr<const Epoch> epoch = current();
-  const NodeId s = names_.id_of(src);  // unknown name: caller error, throws
-  const NodeId d = names_.id_of(dst);
   queries_.fetch_add(1, std::memory_order_relaxed);
-  RouteResult res;
-  try {
-    res = epoch->engine->roundtrip(s, d);
-  } catch (const std::exception&) {
-    // A scheme bug (unknown port, header mix-up) mid-walk is a failed
-    // query, exactly as on the batch path -- never an exception escaping
-    // into a client thread, where it would take down the whole server.
-    res = RouteResult{};
+  const NodeName n = names_.node_count();
+  if (src < 0 || src >= n || dst < 0 || dst >= n) {
+    // Unknown name: the caller's data, reported typed -- never a throw into
+    // a client thread (the old path threw out_of_range here) and never a
+    // swallowed count the caller cannot interpret.
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return ServingResult::failure(
+        ServingError::kInvalidName,
+        "unknown name " + std::to_string(src < 0 || src >= n ? src : dst),
+        epoch->seq);
   }
+  ServingResult res = epoch->engine->serve(names_.id_of(src), names_.id_of(dst));
+  res.epoch = epoch->seq;
   if (!res.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
   return res;
 }

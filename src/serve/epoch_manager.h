@@ -149,10 +149,12 @@ class EpochManager {
   [[nodiscard]] std::string last_error() const;
 
   /// One roundtrip keyed by TINN names -- the session-facing API.  Pins the
-  /// current epoch for the whole query.  Throws std::out_of_range for an
-  /// unknown name; routing failures come back in the RouteResult.
-  [[nodiscard]] RouteResult roundtrip_by_name(NodeName src,
-                                              NodeName dst) const;
+  /// current epoch for the whole query and never throws: unknown names come
+  /// back kInvalidName, everything else carries the QueryEngine's typed code,
+  /// and `result.epoch` records which epoch answered.  Failures of any kind
+  /// still increment the failure counter.
+  [[nodiscard]] ServingResult roundtrip_by_name(NodeName src,
+                                                NodeName dst) const;
 
   struct Counters {
     std::uint64_t queries = 0;       ///< roundtrip_by_name calls served

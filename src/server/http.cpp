@@ -1,0 +1,189 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rtr {
+
+namespace {
+
+[[nodiscard]] int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+[[nodiscard]] bool iequals(const std::string& a, const char* b) {
+  std::size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+/// Splits "k1=v1&k2=v2" into decoded pairs; a key without '=' gets "".
+void parse_query_string(const std::string& raw, HttpRequest& out) {
+  std::size_t pos = 0;
+  while (pos <= raw.size()) {
+    std::size_t amp = raw.find('&', pos);
+    if (amp == std::string::npos) amp = raw.size();
+    const std::string piece = raw.substr(pos, amp - pos);
+    if (!piece.empty()) {
+      const std::size_t eq = piece.find('=');
+      if (eq == std::string::npos) {
+        out.query.emplace_back(percent_decode(piece), "");
+      } else {
+        out.query.emplace_back(percent_decode(piece.substr(0, eq)),
+                               percent_decode(piece.substr(eq + 1)));
+      }
+    }
+    if (amp == raw.size()) break;
+    pos = amp + 1;
+  }
+}
+
+}  // namespace
+
+std::string percent_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+HttpParseStatus parse_http_request(std::string& buffer, HttpRequest& out,
+                                   const HttpLimits& limits) {
+  // Bound the request line before looking for the full head, so a client
+  // streaming an endless URI is rejected at the limit, not buffered forever.
+  const std::size_t line_end = buffer.find("\r\n");
+  if (line_end == std::string::npos) {
+    return buffer.size() > limits.max_request_line
+               ? HttpParseStatus::kUriTooLong
+               : HttpParseStatus::kNeedMore;
+  }
+  if (line_end > limits.max_request_line) return HttpParseStatus::kUriTooLong;
+
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return buffer.size() > limits.max_head_bytes
+               ? HttpParseStatus::kHeadersTooLarge
+               : HttpParseStatus::kNeedMore;
+  }
+  if (head_end + 4 > limits.max_head_bytes) {
+    return HttpParseStatus::kHeadersTooLarge;
+  }
+
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  const std::string line = buffer.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0) {
+    return HttpParseStatus::kBadRequest;
+  }
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (target.empty() || target[0] != '/') return HttpParseStatus::kBadRequest;
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return HttpParseStatus::kBadRequest;
+  }
+
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  const std::size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request.path = percent_decode(target);
+  } else {
+    request.path = percent_decode(target.substr(0, qmark));
+    parse_query_string(target.substr(qmark + 1), request);
+  }
+
+  // Headers: only Connection matters to us; everything else is skipped.
+  request.keep_alive = version == "HTTP/1.1";
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    std::size_t eol = buffer.find("\r\n", pos);
+    if (eol == std::string::npos || eol > head_end) eol = head_end;
+    const std::size_t colon = buffer.find(':', pos);
+    if (colon == std::string::npos || colon >= eol) {
+      return HttpParseStatus::kBadRequest;
+    }
+    std::string key = buffer.substr(pos, colon - pos);
+    std::size_t vbegin = colon + 1;
+    while (vbegin < eol && buffer[vbegin] == ' ') ++vbegin;
+    std::string value = buffer.substr(vbegin, eol - vbegin);
+    if (iequals(key, "connection")) {
+      if (iequals(value, "close")) request.keep_alive = false;
+      if (iequals(value, "keep-alive")) request.keep_alive = true;
+    }
+    pos = eol + 2;
+  }
+
+  buffer.erase(0, head_end + 4);
+  out = std::move(request);
+  return HttpParseStatus::kOk;
+}
+
+const std::string* find_query_param(const HttpRequest& request,
+                                    const std::string& name) {
+  for (const auto& [key, value] : request.query) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 414:
+      return "URI Too Long";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string make_http_response(int status, const std::string& body,
+                               bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += http_status_reason(status);
+  out += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace rtr

@@ -1,0 +1,70 @@
+// Minimal HTTP/1.1 request parsing and response formatting for rtr_routed.
+//
+// Scope is exactly what the serving front end needs: GET requests with a
+// query string, keep-alive / pipelining (the parser consumes one request head
+// from the front of a growing buffer, leaving any pipelined followers in
+// place), percent-decoding, and hard limits that map to 414 / 431 instead of
+// unbounded buffering.  No body handling -- every endpoint is a GET.
+#ifndef RTR_SERVER_HTTP_H
+#define RTR_SERVER_HTTP_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rtr {
+
+struct HttpLimits {
+  /// Longest accepted request line (method + URI + version); 414 beyond.
+  std::size_t max_request_line = 4096;
+  /// Longest accepted request head (request line + all headers); 431 beyond.
+  std::size_t max_head_bytes = 8192;
+};
+
+struct HttpRequest {
+  std::string method;
+  /// Percent-decoded path, query string stripped ("/route").
+  std::string path;
+  /// Percent-decoded query parameters in order of appearance.
+  std::vector<std::pair<std::string, std::string>> query;
+  /// False for HTTP/1.0 without "Connection: keep-alive" or any request
+  /// carrying "Connection: close".
+  bool keep_alive = true;
+};
+
+enum class HttpParseStatus {
+  kNeedMore,        ///< Incomplete head; read more bytes and retry.
+  kOk,              ///< One request parsed and consumed from the buffer.
+  kBadRequest,      ///< Malformed request line/headers (400, close).
+  kUriTooLong,      ///< Request line exceeds the limit (414, close).
+  kHeadersTooLarge, ///< Head exceeds the limit (431, close).
+};
+
+/// Parses one request head from the front of `buffer`.  On kOk the head
+/// (through its terminating CRLFCRLF) is erased from `buffer`, so pipelined
+/// requests are handled by calling this again.  On any error status the
+/// buffer is left untouched and the connection should be answered and closed.
+[[nodiscard]] HttpParseStatus parse_http_request(std::string& buffer,
+                                                 HttpRequest& out,
+                                                 const HttpLimits& limits = {});
+
+/// %XX-decoding ('+' is NOT treated as space; our tokens never contain it).
+/// Malformed escapes are passed through verbatim.
+[[nodiscard]] std::string percent_decode(const std::string& s);
+
+/// First value of query parameter `name`, or nullptr when absent.
+[[nodiscard]] const std::string* find_query_param(const HttpRequest& request,
+                                                  const std::string& name);
+
+[[nodiscard]] const char* http_status_reason(int status);
+
+/// Formats a complete response: status line, Content-Type:
+/// application/json, Content-Length, Connection header, then `body`.
+[[nodiscard]] std::string make_http_response(int status,
+                                             const std::string& body,
+                                             bool keep_alive);
+
+}  // namespace rtr
+
+#endif  // RTR_SERVER_HTTP_H

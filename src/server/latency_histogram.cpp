@@ -1,0 +1,77 @@
+#include "server/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rtr {
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(static_cast<std::size_t>(kBuckets) * kSubBuckets, 0) {}
+
+int LatencyHistogram::index_of(std::int64_t v) {
+  // Bucket 0 holds [0, 64) exactly; bucket b >= 1 holds values whose top bit
+  // is kSubBucketBits + b - 1, split into 64 equal sub-buckets, i.e. the
+  // value right-shifted by (b - 1) lands in [64, 128).
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int width = std::bit_width(static_cast<std::uint64_t>(v));
+  const int shift = width - kSubBucketBits - 1;
+  const int bucket = shift + 1;
+  const auto sub = static_cast<int>((static_cast<std::uint64_t>(v) >> shift) -
+                                    kSubBuckets);
+  return bucket * kSubBuckets + sub;
+}
+
+std::int64_t LatencyHistogram::value_of(int index) {
+  const int bucket = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (bucket == 0) return sub;
+  const int shift = bucket - 1;
+  // Midpoint of the sub-bucket's value range.
+  const auto base = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(kSubBuckets + sub) << shift);
+  return base + ((std::int64_t{1} << shift) >> 1);
+}
+
+void LatencyHistogram::record(std::int64_t value_ns) {
+  const std::int64_t v = std::max<std::int64_t>(value_ns, 0);
+  ++counts_[static_cast<std::size_t>(index_of(v))];
+  if (count_ == 0 || v < min_) min_ = v;
+  max_ = std::max(max_, v);
+  sum_ += v;
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+std::int64_t LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p >= 1.0) return max_;
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(std::max(p, 0.0) * static_cast<double>(count_)));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target && counts_[i] > 0) {
+      return std::min(value_of(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::mean() const {
+  if (count_ == 0) return 0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+}  // namespace rtr

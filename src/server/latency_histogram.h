@@ -1,0 +1,52 @@
+// HDR-style latency histogram: log2 major buckets with 64 linear sub-buckets
+// each, so every recorded value lands in a bucket within ~1.6% of its true
+// value while the whole structure stays a flat ~30 KB array -- O(1) record,
+// no allocation after construction, mergeable across loadgen connections.
+#ifndef RTR_SERVER_LATENCY_HISTOGRAM_H
+#define RTR_SERVER_LATENCY_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rtr {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one value (nanoseconds by convention); negatives clamp to 0.
+  void record(std::int64_t value_ns);
+
+  /// Folds `other` into this histogram (per-connection recording, one merge
+  /// at the end -- no synchronization on the record path).
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+
+  /// Value at quantile p in [0, 1] (bucket-midpoint representative, exact at
+  /// p = 1 which returns the true max).  0 when empty.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
+  /// Mean of the recorded values (exact sum, not bucketized).
+  [[nodiscard]] double mean() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 64
+  static constexpr int kBuckets = 58;  // covers the full int64 range
+
+  [[nodiscard]] static int index_of(std::int64_t v);
+  [[nodiscard]] static std::int64_t value_of(int index);
+
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace rtr
+
+#endif  // RTR_SERVER_LATENCY_HISTOGRAM_H

@@ -1,0 +1,320 @@
+#include "server/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+[[nodiscard]] int connect_once(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+[[nodiscard]] int connect_with_retries(const LoadgenOptions& options) {
+  for (int attempt = 0; attempt <= options.connect_retries; ++attempt) {
+    const int fd = connect_once(options.host, options.port);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  throw std::runtime_error("loadgen: cannot connect to " + options.host + ":" +
+                           std::to_string(options.port));
+}
+
+[[nodiscard]] bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Appends whatever the socket has; false on EOF or a hard error.
+[[nodiscard]] bool recv_some(int fd, std::string& buffer) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+/// Reads one complete HTTP response off the front of `buffer` (receiving as
+/// needed), leaving any pipelined follower bytes in place.
+[[nodiscard]] bool read_http_response(int fd, std::string& buffer, int& status,
+                                      std::string& body) {
+  std::size_t head_end = std::string::npos;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (!recv_some(fd, buffer)) return false;
+  }
+  // Status line: HTTP/1.1 NNN reason
+  const std::size_t sp = buffer.find(' ');
+  if (sp == std::string::npos || sp + 4 > head_end) return false;
+  status = 0;
+  for (std::size_t i = sp + 1; i < sp + 4 && i < buffer.size(); ++i) {
+    if (buffer[i] < '0' || buffer[i] > '9') return false;
+    status = status * 10 + (buffer[i] - '0');
+  }
+  // Content-Length (the server always sends it).
+  std::size_t content_length = 0;
+  {
+    const std::string head = buffer.substr(0, head_end);
+    const char* kField = "Content-Length:";
+    std::size_t at = head.find(kField);
+    if (at == std::string::npos) return false;
+    at += std::char_traits<char>::length(kField);
+    while (at < head.size() && head[at] == ' ') ++at;
+    while (at < head.size() && head[at] >= '0' && head[at] <= '9') {
+      content_length = content_length * 10 +
+                       static_cast<std::size_t>(head[at] - '0');
+      ++at;
+    }
+  }
+  const std::size_t total = head_end + 4 + content_length;
+  while (buffer.size() < total) {
+    if (!recv_some(fd, buffer)) return false;
+  }
+  body = buffer.substr(head_end + 4, content_length);
+  buffer.erase(0, total);
+  return true;
+}
+
+/// One GET /healthz round-trip to discover the served name space.
+[[nodiscard]] NodeName discover_name_count(const LoadgenOptions& options) {
+  const int fd = connect_with_retries(options);
+  NodeName nodes = 0;
+  std::string buffer;
+  std::string body;
+  int status = 0;
+  if (send_all(fd, "GET /healthz HTTP/1.1\r\nHost: rtr\r\n\r\n") &&
+      read_http_response(fd, buffer, status, body) && status == 200) {
+    try {
+      nodes = static_cast<NodeName>(Json::parse(body).at("nodes").as_int());
+    } catch (const JsonError&) {
+      nodes = 0;
+    }
+  }
+  ::close(fd);
+  if (nodes <= 1) {
+    throw std::runtime_error("loadgen: /healthz did not report a usable node "
+                             "count; pass name_count explicitly");
+  }
+  return nodes;
+}
+
+struct WorkerOutcome {
+  std::int64_t requests = 0;
+  std::int64_t ok = 0;
+  std::int64_t transport_errors = 0;
+  LatencyHistogram latency;
+};
+
+/// One keep-alive connection driving requests until its share is done or the
+/// deadline passes.
+void run_worker(const LoadgenOptions& options, NodeName names, int index,
+                std::int64_t request_share, Clock::time_point start,
+                WorkerOutcome& outcome) {
+  int fd = -1;
+  try {
+    fd = connect_with_retries(options);
+  } catch (const std::runtime_error&) {
+    ++outcome.transport_errors;
+    return;
+  }
+  if (options.binary &&
+      !send_all(fd, std::string(kWirePreamble, kWirePreambleBytes))) {
+    ++outcome.transport_errors;
+    ::close(fd);
+    return;
+  }
+
+  Rng rng(options.seed + static_cast<std::uint64_t>(index));
+  std::string buffer;
+  std::string body;
+  const bool open_loop = options.target_qps > 0;
+  const double per_conn_qps =
+      open_loop ? options.target_qps / std::max(options.connections, 1) : 0;
+  const auto interval =
+      open_loop ? std::chrono::nanoseconds(static_cast<std::int64_t>(
+                      1e9 / std::max(per_conn_qps, 1e-9)))
+                : std::chrono::nanoseconds(0);
+  const auto deadline =
+      start + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                  options.duration_s * 1e9));
+
+  std::int64_t sent = 0;
+  while (true) {
+    if (request_share > 0) {
+      if (sent >= request_share) break;
+    } else if (Clock::now() >= deadline) {
+      break;
+    }
+
+    // Open loop: launch on schedule, charge latency from the SCHEDULED time.
+    Clock::time_point reference = Clock::now();
+    if (open_loop) {
+      const Clock::time_point scheduled = start + interval * sent;
+      std::this_thread::sleep_until(scheduled);
+      reference = scheduled;
+    }
+
+    const auto n = static_cast<std::int64_t>(names);
+    NodeName src;
+    NodeName dst;
+    do {
+      src = static_cast<NodeName>(rng.index(n));
+      dst = static_cast<NodeName>(rng.index(n));
+    } while (src == dst);
+
+    bool ok = false;
+    if (options.binary) {
+      WireRequest request{src, dst};
+      WireResponse response;
+      if (!send_all(fd, encode_wire_request(request))) {
+        ++outcome.transport_errors;
+        break;
+      }
+      WireParseStatus status = WireParseStatus::kNeedMore;
+      while ((status = parse_wire_response(buffer, response)) ==
+             WireParseStatus::kNeedMore) {
+        if (!recv_some(fd, buffer)) break;
+      }
+      if (status != WireParseStatus::kOk) {
+        ++outcome.transport_errors;
+        break;
+      }
+      ok = response.ok();
+    } else {
+      std::string request = "GET /route?src=";
+      request += std::to_string(src);
+      request += "&dst=";
+      request += std::to_string(dst);
+      request += " HTTP/1.1\r\nHost: rtr\r\n\r\n";
+      int status = 0;
+      if (!send_all(fd, request) ||
+          !read_http_response(fd, buffer, status, body)) {
+        ++outcome.transport_errors;
+        break;
+      }
+      ok = status == 200 && body.find("\"ok\": true") != std::string::npos;
+    }
+
+    const auto latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                Clock::now() - reference)
+                                .count();
+    outcome.latency.record(latency_ns);
+    ++outcome.requests;
+    if (ok) ++outcome.ok;
+    ++sent;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+LoadgenResult run_loadgen(const LoadgenOptions& options) {
+  const NodeName names =
+      options.name_count > 1 ? options.name_count : discover_name_count(options);
+  const int connections = std::max(options.connections, 1);
+
+  std::vector<WorkerOutcome> outcomes(static_cast<std::size_t>(connections));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(connections));
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    // Closed-loop bench mode splits the fixed request count; the remainder
+    // goes to the first connections so every request is accounted for.
+    std::int64_t share = 0;
+    if (options.requests > 0) {
+      share = options.requests / connections +
+              (c < options.requests % connections ? 1 : 0);
+    }
+    workers.emplace_back([&options, names, c, share, start, &outcomes] {
+      run_worker(options, names, c, share, start,
+                 outcomes[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  LoadgenResult result;
+  result.wall_seconds = elapsed_seconds(start);
+  for (const auto& o : outcomes) {
+    result.requests += o.requests;
+    result.ok += o.ok;
+    result.transport_errors += o.transport_errors;
+    result.latency.merge(o.latency);
+  }
+  result.failures = (result.requests - result.ok) + result.transport_errors;
+  result.qps = result.wall_seconds > 0
+                   ? static_cast<double>(result.requests) / result.wall_seconds
+                   : 0;
+  result.availability =
+      result.requests > 0
+          ? static_cast<double>(result.ok) / static_cast<double>(result.requests)
+          : 0;
+  return result;
+}
+
+Json LoadgenResult::to_json() const {
+  Json doc{JsonObject{}};
+  doc.set("schema", "rtr-loadgen/1");
+  doc.set("requests", requests);
+  doc.set("ok", ok);
+  doc.set("failures", failures);
+  doc.set("transport_errors", transport_errors);
+  doc.set("wall_seconds", wall_seconds);
+  doc.set("qps", qps);
+  doc.set("availability", availability);
+  Json lat{JsonObject{}};
+  lat.set("p50_ns", latency.percentile(0.50));
+  lat.set("p90_ns", latency.percentile(0.90));
+  lat.set("p99_ns", latency.percentile(0.99));
+  lat.set("max_ns", latency.max());
+  lat.set("mean_ns", latency.mean());
+  doc.set("latency", std::move(lat));
+  return doc;
+}
+
+}  // namespace rtr

@@ -1,0 +1,68 @@
+// The client side of the serving stack: drives rtr_routed over TCP with
+// configurable concurrency in closed-loop (each connection fires its next
+// request the moment the previous answer lands) or open-loop mode (requests
+// are launched on a fixed schedule and latency is measured from the
+// SCHEDULED send time, so server-side queueing is charged to the server --
+// the coordinated-omission correction).  Speaks both protocols; per-
+// connection latency histograms merge into one qps/p50/p99 summary emitted
+// in the rtr-bench JSON style.
+#ifndef RTR_SERVER_LOADGEN_H
+#define RTR_SERVER_LOADGEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "server/latency_histogram.h"
+#include "util/json.h"
+#include "util/types.h"
+
+namespace rtr {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Concurrent keep-alive connections, one client thread each.
+  int connections = 4;
+  /// Closed-loop: total requests split across connections (deterministic
+  /// work, the bench mode).  0 switches to running until `duration_s`.
+  std::int64_t requests = 0;
+  /// Wall-clock budget when `requests` is 0.
+  double duration_s = 2.0;
+  /// Open-loop target rate across all connections; 0 = closed loop.
+  double target_qps = 0;
+  /// rtr-wire/1 binary framing instead of HTTP.
+  bool binary = false;
+  /// Query pair randomness (connection c draws from Rng(seed + c)).
+  std::uint64_t seed = 1;
+  /// Node-name space to draw from; 0 = discover via GET /healthz.
+  NodeName name_count = 0;
+  /// Connect attempts (100 ms apart) before giving up -- lets the loadgen
+  /// start before the server finishes binding.
+  int connect_retries = 50;
+};
+
+struct LoadgenResult {
+  std::int64_t requests = 0;  ///< answers received and parsed
+  std::int64_t ok = 0;        ///< of those, ok == true / error == 0
+  /// Failed queries plus transport/protocol errors; the CI smoke gate
+  /// requires 0.
+  std::int64_t failures = 0;
+  std::int64_t transport_errors = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+  /// ok / requests (0 when no requests completed).
+  double availability = 0;
+  LatencyHistogram latency;
+
+  /// rtr-loadgen/1 summary document (qps, p50/p90/p99/max latency,
+  /// availability, error counts).
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Runs the workload; throws std::runtime_error when the server cannot be
+/// reached at all (individual request failures are counted, not thrown).
+[[nodiscard]] LoadgenResult run_loadgen(const LoadgenOptions& options);
+
+}  // namespace rtr
+
+#endif  // RTR_SERVER_LOADGEN_H

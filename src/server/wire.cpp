@@ -1,0 +1,98 @@
+#include "server/wire.h"
+
+namespace rtr {
+
+void append_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void append_u64le(std::string& out, std::uint64_t v) {
+  append_u32le(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  append_u32le(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t read_u32le(const std::string& buffer, std::size_t offset) {
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer[offset + i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+std::uint64_t read_u64le(const std::string& buffer, std::size_t offset) {
+  return static_cast<std::uint64_t>(read_u32le(buffer, offset)) |
+         (static_cast<std::uint64_t>(read_u32le(buffer, offset + 4)) << 32);
+}
+
+std::string encode_wire_request(const WireRequest& request) {
+  std::string out;
+  out.reserve(4 + kWireRequestPayloadBytes);
+  append_u32le(out, kWireRequestPayloadBytes);
+  append_u32le(out, static_cast<std::uint32_t>(request.src));
+  append_u32le(out, static_cast<std::uint32_t>(request.dst));
+  return out;
+}
+
+std::string encode_wire_response(const ServingResult& result) {
+  std::string out;
+  out.reserve(4 + kWireResponsePayloadBytes);
+  append_u32le(out, kWireResponsePayloadBytes);
+  append_u32le(out, static_cast<std::uint32_t>(result.error));
+  append_u64le(out, result.epoch);
+  const RouteResult& r = result.route;
+  append_u64le(out, static_cast<std::uint64_t>(
+                        result.ok() ? r.roundtrip_length() : 0));
+  append_u32le(out, static_cast<std::uint32_t>(r.out_hops));
+  append_u32le(out, static_cast<std::uint32_t>(r.back_hops));
+  append_u64le(out, static_cast<std::uint64_t>(r.max_header_bits));
+  return out;
+}
+
+namespace {
+
+/// Shared framing walk: a frame is u32le payload length + exactly that many
+/// payload bytes; `expected` pins the only legal length for the frame type.
+WireParseStatus parse_frame(std::string& buffer, std::uint32_t expected,
+                            std::size_t& payload_offset) {
+  if (buffer.size() < 4) return WireParseStatus::kNeedMore;
+  const std::uint32_t len = read_u32le(buffer, 0);
+  if (len != expected) return WireParseStatus::kMalformed;
+  if (buffer.size() < 4 + static_cast<std::size_t>(len)) {
+    return WireParseStatus::kNeedMore;
+  }
+  payload_offset = 4;
+  return WireParseStatus::kOk;
+}
+
+}  // namespace
+
+WireParseStatus parse_wire_request(std::string& buffer, WireRequest& out) {
+  std::size_t at = 0;
+  const WireParseStatus status =
+      parse_frame(buffer, kWireRequestPayloadBytes, at);
+  if (status != WireParseStatus::kOk) return status;
+  out.src = static_cast<NodeName>(read_u32le(buffer, at));
+  out.dst = static_cast<NodeName>(read_u32le(buffer, at + 4));
+  buffer.erase(0, 4 + kWireRequestPayloadBytes);
+  return WireParseStatus::kOk;
+}
+
+WireParseStatus parse_wire_response(std::string& buffer, WireResponse& out) {
+  std::size_t at = 0;
+  const WireParseStatus status =
+      parse_frame(buffer, kWireResponsePayloadBytes, at);
+  if (status != WireParseStatus::kOk) return status;
+  out.error = read_u32le(buffer, at);
+  out.epoch = read_u64le(buffer, at + 4);
+  out.roundtrip_length = static_cast<std::int64_t>(read_u64le(buffer, at + 12));
+  out.out_hops = static_cast<std::int32_t>(read_u32le(buffer, at + 20));
+  out.back_hops = static_cast<std::int32_t>(read_u32le(buffer, at + 24));
+  out.max_header_bits = static_cast<std::int64_t>(read_u64le(buffer, at + 28));
+  buffer.erase(0, 4 + kWireResponsePayloadBytes);
+  return WireParseStatus::kOk;
+}
+
+}  // namespace rtr

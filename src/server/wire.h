@@ -1,0 +1,78 @@
+// rtr-wire/1: the length-prefixed binary protocol rtr_routed speaks next to
+// HTTP (docs/protocol.md is the normative spec; this header must match it).
+//
+// A binary session starts with the 8-byte preamble "RTRWIRE1" (so the server
+// can sniff the protocol from the first byte -- no HTTP method starts with
+// 'R'), then carries framed request/response pairs:
+//
+//   request  = u32le len (== 8)  | i32le src_name | i32le dst_name
+//   response = u32le len (== 36) | u32le error    | u64le epoch
+//            | i64le roundtrip_length | i32le out_hops | i32le back_hops
+//            | i64le max_header_bits
+//
+// `error` is the ServingError enumerator value; serving_error_name() gives
+// the token HTTP responses carry for the same code.  All integers are
+// little-endian, assembled byte-by-byte (no memcpy, no aliasing).
+#ifndef RTR_SERVER_WIRE_H
+#define RTR_SERVER_WIRE_H
+
+#include <cstdint>
+#include <string>
+
+#include "net/serving.h"
+#include "util/types.h"
+
+namespace rtr {
+
+inline constexpr char kWirePreamble[] = "RTRWIRE1";  // 8 bytes + NUL
+inline constexpr std::size_t kWirePreambleBytes = 8;
+inline constexpr std::uint32_t kWireRequestPayloadBytes = 8;
+inline constexpr std::uint32_t kWireResponsePayloadBytes = 36;
+
+struct WireRequest {
+  NodeName src = 0;
+  NodeName dst = 0;
+};
+
+struct WireResponse {
+  std::uint32_t error = 0;  ///< ServingError enumerator value
+  std::uint64_t epoch = 0;
+  std::int64_t roundtrip_length = 0;
+  std::int32_t out_hops = 0;
+  std::int32_t back_hops = 0;
+  std::int64_t max_header_bits = 0;
+
+  [[nodiscard]] bool ok() const { return error == 0; }
+};
+
+void append_u32le(std::string& out, std::uint32_t v);
+void append_u64le(std::string& out, std::uint64_t v);
+[[nodiscard]] std::uint32_t read_u32le(const std::string& buffer,
+                                       std::size_t offset);
+[[nodiscard]] std::uint64_t read_u64le(const std::string& buffer,
+                                       std::size_t offset);
+
+/// One framed request (preamble NOT included; it is per-session).
+[[nodiscard]] std::string encode_wire_request(const WireRequest& request);
+
+/// One framed response carrying the ServingResult's typed code and route.
+[[nodiscard]] std::string encode_wire_response(const ServingResult& result);
+
+enum class WireParseStatus {
+  kNeedMore,   ///< Incomplete frame; read more bytes and retry.
+  kOk,         ///< One frame parsed and consumed from the buffer.
+  kMalformed,  ///< Bad length; the only recovery is closing the connection.
+};
+
+/// Parses one request frame from the front of `buffer`, consuming it on kOk
+/// (pipelined frames stay in the buffer for the next call).
+[[nodiscard]] WireParseStatus parse_wire_request(std::string& buffer,
+                                                 WireRequest& out);
+
+/// Parses one response frame (the loadgen/test side of the connection).
+[[nodiscard]] WireParseStatus parse_wire_response(std::string& buffer,
+                                                  WireResponse& out);
+
+}  // namespace rtr
+
+#endif  // RTR_SERVER_WIRE_H

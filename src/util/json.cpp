@@ -1,4 +1,4 @@
-#include "bench_harness/json.h"
+#include "util/json.h"
 
 #include <cctype>
 #include <charconv>
@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
-namespace rtr::benchjson {
+namespace rtr {
 
 namespace {
 
@@ -317,4 +317,4 @@ Json Json::parse(const std::string& text) {
   return Parser(text).parse_document();
 }
 
-}  // namespace rtr::benchjson
+}  // namespace rtr

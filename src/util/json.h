@@ -1,13 +1,15 @@
-// Minimal JSON document model for the benchmark subsystem: the BENCH_<rev>
-// schema is emitted, re-parsed (schema round-trip test), and compared against
-// a committed baseline (the CI perf gate) without external dependencies.
+// Minimal JSON document model shared by the benchmark subsystem and the
+// network serving layer: BENCH_<rev> documents are emitted, re-parsed (schema
+// round-trip test), and compared against a committed baseline (the CI perf
+// gate), and rtr_routed answers every HTTP response from the same model --
+// one emitter, no external dependencies.
 //
 // Deliberately small: objects, arrays, strings, booleans, null, and numbers
 // split into int64 (counts -- exact) and double (timings/stretch -- emitted
 // with round-trip precision).  Object keys keep insertion order so emitted
 // documents are deterministic and diffs stay readable.
-#ifndef RTR_BENCH_HARNESS_JSON_H
-#define RTR_BENCH_HARNESS_JSON_H
+#ifndef RTR_UTIL_JSON_H
+#define RTR_UTIL_JSON_H
 
 #include <cstdint>
 #include <memory>
@@ -17,7 +19,7 @@
 #include <variant>
 #include <vector>
 
-namespace rtr::benchjson {
+namespace rtr {
 
 class Json;
 
@@ -106,6 +108,6 @@ class Json {
       value_;
 };
 
-}  // namespace rtr::benchjson
+}  // namespace rtr
 
-#endif  // RTR_BENCH_HARNESS_JSON_H
+#endif  // RTR_UTIL_JSON_H

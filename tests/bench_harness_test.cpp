@@ -3,14 +3,11 @@
 #include <atomic>
 
 #include "bench_harness/bench_harness.h"
-#include "bench_harness/json.h"
+#include "util/json.h"
 
 namespace rtr::bench_harness {
 namespace {
 
-using benchjson::Json;
-using benchjson::JsonArray;
-using benchjson::JsonObject;
 
 BenchConfig tiny_config() {
   BenchConfig c;
@@ -120,7 +117,7 @@ TEST(BenchHarness, SchemaVersionIsEnforcedOnParse) {
   Json doc{JsonObject{}};
   doc.set("schema", "rtr-bench/999");
   doc.set("cells", JsonArray{});
-  EXPECT_THROW(cells_from_json(doc), benchjson::JsonError);
+  EXPECT_THROW(cells_from_json(doc), JsonError);
 }
 
 // ----------------------------------------------------------------- gating --

@@ -225,8 +225,8 @@ TEST(EpochManager, MappedWarmStartServesIdenticallyToOwned) {
       const auto a = owned.roundtrip_by_name(names.name_of(s), names.name_of(t));
       const auto b = mapped.roundtrip_by_name(names.name_of(s), names.name_of(t));
       ASSERT_EQ(a.ok(), b.ok());
-      ASSERT_EQ(a.roundtrip_length(), b.roundtrip_length());
-      ASSERT_EQ(a.out_hops, b.out_hops);
+      ASSERT_EQ(a.route.roundtrip_length(), b.route.roundtrip_length());
+      ASSERT_EQ(a.route.out_hops, b.route.out_hops);
     }
   }
   EXPECT_EQ(mapped.counters().failures, 0u);
@@ -258,7 +258,7 @@ TEST(EpochManager, ShmPrefixPublishesEpochsForSiblingProcesses) {
     const auto via_mgr = mgr.roundtrip_by_name(names.name_of(3), names.name_of(9));
     const auto via_shm = attached.roundtrip(3, 9);
     EXPECT_EQ(via_mgr.ok(), via_shm.ok());
-    EXPECT_EQ(via_mgr.roundtrip_length(), via_shm.roundtrip_length());
+    EXPECT_EQ(via_mgr.route.roundtrip_length(), via_shm.roundtrip_length());
   }
   // Destruction unlinks: a fresh attach by name must now fail.
   EXPECT_THROW((void)map_snapshot_shm(shm_name, "stretch6"), SnapshotError);

@@ -1,0 +1,268 @@
+// Protocol-layer unit tests: the HTTP/1.1 request parser and the rtr-wire/1
+// binary framing, exercised directly on byte buffers (no sockets).  The
+// golden bytes here must stay in lockstep with docs/protocol.md.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/serving.h"
+#include "server/http.h"
+#include "server/wire.h"
+
+namespace rtr {
+namespace {
+
+// ------------------------------------------------------------------ HTTP ---
+
+TEST(HttpParser, GoldenRouteRequest) {
+  std::string buffer =
+      "GET /route?src=3&dst=17 HTTP/1.1\r\nHost: rtr\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(parse_http_request(buffer, request), HttpParseStatus::kOk);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/route");
+  ASSERT_EQ(request.query.size(), 2u);
+  EXPECT_EQ(request.query[0].first, "src");
+  EXPECT_EQ(request.query[0].second, "3");
+  EXPECT_EQ(request.query[1].first, "dst");
+  EXPECT_EQ(request.query[1].second, "17");
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_TRUE(buffer.empty()) << "head must be consumed on kOk";
+}
+
+TEST(HttpParser, NeedMoreOnPartialHead) {
+  std::string buffer = "GET /healthz HTTP/1.1\r\nHost: rtr\r\n";
+  HttpRequest request;
+  EXPECT_EQ(parse_http_request(buffer, request), HttpParseStatus::kNeedMore);
+  EXPECT_EQ(buffer, "GET /healthz HTTP/1.1\r\nHost: rtr\r\n")
+      << "buffer untouched until a full head arrives";
+  buffer += "\r\n";
+  EXPECT_EQ(parse_http_request(buffer, request), HttpParseStatus::kOk);
+  EXPECT_EQ(request.path, "/healthz");
+}
+
+TEST(HttpParser, PipelinedRequestsParseOneAtATime) {
+  std::string buffer =
+      "GET /route?src=1&dst=2 HTTP/1.1\r\n\r\n"
+      "GET /stats HTTP/1.1\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(parse_http_request(buffer, request), HttpParseStatus::kOk);
+  EXPECT_EQ(request.path, "/route");
+  ASSERT_EQ(parse_http_request(buffer, request), HttpParseStatus::kOk);
+  EXPECT_EQ(request.path, "/stats");
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_EQ(parse_http_request(buffer, request), HttpParseStatus::kOk);
+  EXPECT_EQ(request.path, "/healthz");
+  EXPECT_FALSE(request.keep_alive) << "Connection: close must be honored";
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(HttpParser, ConnectionHeaderIsCaseInsensitive) {
+  std::string buffer = "GET / HTTP/1.1\r\nCONNECTION:  Close\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(parse_http_request(buffer, request), HttpParseStatus::kOk);
+  EXPECT_FALSE(request.keep_alive);
+}
+
+TEST(HttpParser, Http10DefaultsToCloseUnlessKeepAlive) {
+  std::string closing = "GET / HTTP/1.0\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(parse_http_request(closing, request), HttpParseStatus::kOk);
+  EXPECT_FALSE(request.keep_alive);
+
+  std::string keeping = "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+  ASSERT_EQ(parse_http_request(keeping, request), HttpParseStatus::kOk);
+  EXPECT_TRUE(request.keep_alive);
+}
+
+TEST(HttpParser, PercentDecodingAppliesToPathAndQuery) {
+  std::string buffer = "GET /rou%74e?s%72c=4&dst=%35 HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(parse_http_request(buffer, request), HttpParseStatus::kOk);
+  EXPECT_EQ(request.path, "/route");
+  ASSERT_EQ(request.query.size(), 2u);
+  EXPECT_EQ(request.query[0].first, "src");
+  EXPECT_EQ(request.query[0].second, "4");
+  EXPECT_EQ(request.query[1].second, "5");
+}
+
+TEST(HttpParser, RejectsMalformedRequestLines) {
+  for (const char* bad : {
+           "\r\n\r\n",                       // empty request line
+           "GET\r\n\r\n",                    // no URI
+           "GET /route\r\n\r\n",             // no version
+           "GET route HTTP/1.1\r\n\r\n",     // URI without leading slash
+           "GET /route HTTP/2.0\r\n\r\n",    // unsupported version
+       }) {
+    std::string buffer = bad;
+    HttpRequest request;
+    EXPECT_EQ(parse_http_request(buffer, request),
+              HttpParseStatus::kBadRequest)
+        << "input: " << bad;
+  }
+}
+
+TEST(HttpParser, OversizedRequestLineIs414) {
+  HttpLimits limits;
+  limits.max_request_line = 64;
+  std::string buffer =
+      "GET /route?src=1&dst=" + std::string(100, '9') + " HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  EXPECT_EQ(parse_http_request(buffer, request, limits),
+            HttpParseStatus::kUriTooLong);
+}
+
+TEST(HttpParser, OversizedHeadIs431) {
+  HttpLimits limits;
+  limits.max_head_bytes = 128;
+  std::string buffer = "GET / HTTP/1.1\r\nX-Pad: " +
+                       std::string(200, 'x') + "\r\n\r\n";
+  HttpRequest request;
+  EXPECT_EQ(parse_http_request(buffer, request, limits),
+            HttpParseStatus::kHeadersTooLarge);
+}
+
+TEST(HttpParser, LimitsApplyEvenBeforeHeadCompletes) {
+  // An attacker streaming an endless request line must be cut off without
+  // waiting for CRLFCRLF that never comes.
+  HttpLimits limits;
+  limits.max_request_line = 64;
+  std::string buffer = "GET /" + std::string(200, 'a');  // no CRLF yet
+  HttpRequest request;
+  EXPECT_EQ(parse_http_request(buffer, request, limits),
+            HttpParseStatus::kUriTooLong);
+}
+
+TEST(HttpResponse, GoldenFormatting) {
+  const std::string response = make_http_response(200, "{}", true);
+  EXPECT_EQ(response,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 2\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+            "{}");
+  EXPECT_NE(make_http_response(404, "{}", false).find("Connection: close"),
+            std::string::npos);
+}
+
+TEST(HttpResponse, StatusReasonsCoverTheServedCodes) {
+  EXPECT_STREQ(http_status_reason(200), "OK");
+  EXPECT_STREQ(http_status_reason(400), "Bad Request");
+  EXPECT_STREQ(http_status_reason(404), "Not Found");
+  EXPECT_STREQ(http_status_reason(405), "Method Not Allowed");
+  EXPECT_STREQ(http_status_reason(414), "URI Too Long");
+  EXPECT_STREQ(http_status_reason(431), "Request Header Fields Too Large");
+  EXPECT_STREQ(http_status_reason(500), "Internal Server Error");
+  EXPECT_STREQ(http_status_reason(503), "Service Unavailable");
+}
+
+TEST(PercentDecode, MalformedEscapesPassThrough) {
+  EXPECT_EQ(percent_decode("%4"), "%4");
+  EXPECT_EQ(percent_decode("%zz"), "%zz");
+  EXPECT_EQ(percent_decode("a%20b"), "a b");
+}
+
+// ------------------------------------------------------------------ wire ---
+
+TEST(Wire, GoldenRequestFrame) {
+  const std::string frame = encode_wire_request(WireRequest{3, 258});
+  // u32le len=8 | i32le src=3 | i32le dst=258 (0x102).
+  const unsigned char expect[] = {8, 0, 0, 0, 3, 0, 0, 0, 2, 1, 0, 0};
+  ASSERT_EQ(frame.size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(frame[i]), expect[i]) << "byte " << i;
+  }
+}
+
+TEST(Wire, RequestRoundTrip) {
+  std::string buffer = encode_wire_request(WireRequest{-5, 1 << 30});
+  WireRequest out;
+  ASSERT_EQ(parse_wire_request(buffer, out), WireParseStatus::kOk);
+  EXPECT_EQ(out.src, -5);
+  EXPECT_EQ(out.dst, 1 << 30);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Wire, ResponseRoundTripCarriesTheServingResult) {
+  RouteResult route;
+  route.delivered_out = true;
+  route.delivered_back = true;
+  route.out_length = 41;
+  route.back_length = 59;
+  route.out_hops = 3;
+  route.back_hops = 4;
+  route.max_header_bits = 777;
+  ServingResult served = ServingResult::success(route, 12);
+
+  std::string buffer = encode_wire_response(served);
+  ASSERT_EQ(buffer.size(), 4 + kWireResponsePayloadBytes);
+  WireResponse out;
+  ASSERT_EQ(parse_wire_response(buffer, out), WireParseStatus::kOk);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.epoch, 12u);
+  EXPECT_EQ(out.roundtrip_length, 100);
+  EXPECT_EQ(out.out_hops, 3);
+  EXPECT_EQ(out.back_hops, 4);
+  EXPECT_EQ(out.max_header_bits, 777);
+}
+
+TEST(Wire, ErrorResponseCarriesTheTypedCode) {
+  std::string buffer = encode_wire_response(
+      ServingResult::failure(ServingError::kInvalidName, "unknown name 9"));
+  WireResponse out;
+  ASSERT_EQ(parse_wire_response(buffer, out), WireParseStatus::kOk);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.error,
+            static_cast<std::uint32_t>(ServingError::kInvalidName));
+}
+
+TEST(Wire, TruncatedFramesAskForMoreWithoutConsuming) {
+  const std::string full = encode_wire_request(WireRequest{1, 2});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::string buffer = full.substr(0, cut);
+    WireRequest out;
+    EXPECT_EQ(parse_wire_request(buffer, out), WireParseStatus::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(buffer.size(), cut) << "truncated frame must not be consumed";
+  }
+}
+
+TEST(Wire, BadLengthIsMalformed) {
+  std::string buffer;
+  append_u32le(buffer, 12);  // request frames are exactly 8 payload bytes
+  buffer.append(12, '\0');
+  WireRequest out;
+  EXPECT_EQ(parse_wire_request(buffer, out), WireParseStatus::kMalformed);
+
+  std::string response;
+  append_u32le(response, kWireResponsePayloadBytes - 1);
+  response.append(kWireResponsePayloadBytes - 1, '\0');
+  WireResponse rout;
+  EXPECT_EQ(parse_wire_response(response, rout), WireParseStatus::kMalformed);
+}
+
+TEST(Wire, PipelinedFramesParseInOrder)
+{
+  std::string buffer = encode_wire_request(WireRequest{1, 2});
+  buffer += encode_wire_request(WireRequest{3, 4});
+  WireRequest out;
+  ASSERT_EQ(parse_wire_request(buffer, out), WireParseStatus::kOk);
+  EXPECT_EQ(out.src, 1);
+  ASSERT_EQ(parse_wire_request(buffer, out), WireParseStatus::kOk);
+  EXPECT_EQ(out.src, 3);
+  EXPECT_EQ(out.dst, 4);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Wire, LittleEndianHelpersRoundTrip) {
+  std::string buffer;
+  append_u32le(buffer, 0xDEADBEEFu);
+  append_u64le(buffer, 0x0123456789ABCDEFull);
+  EXPECT_EQ(read_u32le(buffer, 0), 0xDEADBEEFu);
+  EXPECT_EQ(read_u64le(buffer, 4), 0x0123456789ABCDEFull);
+}
+
+}  // namespace
+}  // namespace rtr

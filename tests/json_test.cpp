@@ -1,0 +1,120 @@
+// Round-trip tests for the shared JSON model (src/util/json.h) now that it
+// backs both the bench artifacts and the rtr_routed wire responses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/json.h"
+
+namespace rtr {
+namespace {
+
+TEST(JsonTest, ScalarRoundTrip) {
+  Json doc{JsonObject{}};
+  doc.set("null", Json{nullptr});
+  doc.set("true", true);
+  doc.set("false", false);
+  doc.set("int", static_cast<std::int64_t>(-1234567890123LL));
+  doc.set("double", 3.25);
+  doc.set("string", std::string("hello \"world\"\n"));
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_TRUE(back.at("null").is_null());
+  EXPECT_EQ(back.at("true").as_bool(), true);
+  EXPECT_EQ(back.at("false").as_bool(), false);
+  EXPECT_EQ(back.at("int").as_int(), -1234567890123LL);
+  EXPECT_EQ(back.at("double").as_double(), 3.25);
+  EXPECT_EQ(back.at("string").as_string(), "hello \"world\"\n");
+  EXPECT_EQ(back, doc);
+}
+
+TEST(JsonTest, Int64ExtremesSurviveRoundTrip) {
+  Json doc{JsonObject{}};
+  doc.set("min", std::numeric_limits<std::int64_t>::min());
+  doc.set("max", std::numeric_limits<std::int64_t>::max());
+  const Json back = Json::parse(doc.dump());
+  EXPECT_TRUE(back.at("min").is_int());
+  EXPECT_TRUE(back.at("max").is_int());
+  EXPECT_EQ(back.at("min").as_int(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(back.at("max").as_int(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(JsonTest, DoublesKeepTypeMarker) {
+  // Integral-valued doubles must re-parse as doubles, not int64 -- the bench
+  // gate compares qps cells numerically and relies on this.
+  Json doc{JsonObject{}};
+  doc.set("qps", 125000.0);
+  const std::string text = doc.dump();
+  const Json back = Json::parse(text);
+  EXPECT_TRUE(back.at("qps").is_double());
+  EXPECT_EQ(back.at("qps").as_double(), 125000.0);
+}
+
+TEST(JsonTest, NestedContainersRoundTrip) {
+  JsonArray arr;
+  arr.emplace_back(static_cast<std::int64_t>(1));
+  arr.emplace_back("two");
+  Json inner{JsonObject{}};
+  inner.set("k", true);
+  arr.emplace_back(std::move(inner));
+
+  Json doc{JsonObject{}};
+  doc.set("list", Json{std::move(arr)});
+  doc.set("empty_list", Json{JsonArray{}});
+  doc.set("empty_obj", Json{JsonObject{}});
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back, doc);
+  EXPECT_EQ(back.at("list").as_array().size(), 3u);
+  EXPECT_EQ(back.at("list").as_array()[2].at("k").as_bool(), true);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json doc{JsonObject{}};
+  doc.set("zeta", 1);
+  doc.set("alpha", 2);
+  doc.set("mid", 3);
+  const std::string text = doc.dump();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mid"));
+  EXPECT_EQ(Json::parse(text), doc);
+}
+
+TEST(JsonTest, EscapesControlAndUnicode) {
+  Json doc{JsonObject{}};
+  doc.set("ctl", std::string("\x01\x02 tab\t"));
+  const std::string text = doc.dump();
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  EXPECT_NE(text.find("\\t"), std::string::npos);
+  EXPECT_EQ(Json::parse(text).at("ctl").as_string(), "\x01\x02 tab\t");
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+}
+
+TEST(JsonTest, SetReplacesExistingKey) {
+  Json doc{JsonObject{}};
+  doc.set("k", 1);
+  doc.set("k", 2);
+  EXPECT_EQ(doc.as_object().size(), 1u);
+  EXPECT_EQ(doc.at("k").as_int(), 2);
+}
+
+TEST(JsonTest, AtThrowsOnMissingKeyAndHasReports) {
+  Json doc{JsonObject{}};
+  doc.set("present", 1);
+  EXPECT_TRUE(doc.has("present"));
+  EXPECT_FALSE(doc.has("absent"));
+  EXPECT_THROW(static_cast<void>(doc.at("absent")), JsonError);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -100,7 +100,8 @@ TEST(QueryEngine, SampledBudgetCoveringAllPairsIsExhaustive) {
   const auto ctx = inst.context(11);
   QueryEngine engine = make_engine(ctx, "fulltable", 2);
   const auto n = static_cast<std::int64_t>(inst.n());
-  StretchReport report = engine.run_sampled(n * (n - 1) + 5, 3);
+  StretchReport report = engine.run_sampled(
+      {.pair_budget = n * (n - 1) + 5, .seed = 3});
   EXPECT_EQ(report.pairs, n * (n - 1));
   EXPECT_EQ(report.failures, 0);
   EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);  // full tables route optimally
@@ -110,11 +111,12 @@ TEST(QueryEngine, SamplingIsDeterministicPerSeedAndThreadCount) {
   Instance inst = make_instance(Family::kRandom, 40, 4, 54);
   const auto ctx = inst.context(12);
   QueryEngine engine = make_engine(ctx, "stretch6", 3);
-  expect_same_report(engine.run_sampled(200, 17), engine.run_sampled(200, 17));
+  expect_same_report(engine.run_sampled({.pair_budget = 200, .seed = 17}),
+                     engine.run_sampled({.pair_budget = 200, .seed = 17}));
 }
 
 // Regression lock on the static-sharding contract (net/query_engine.h):
-// run_sampled(budget, seed) must produce the same StretchReport -- pairs,
+// run_sampled with the same BatchOptions must produce the same StretchReport -- pairs,
 // failures, and bit-identical stretch aggregates -- for every worker count,
 // in both the sampled and the exhaustive regime.
 TEST(QueryEngine, SampledReportIndependentOfWorkerCount) {
@@ -130,7 +132,7 @@ TEST(QueryEngine, SampledReportIndependentOfWorkerCount) {
       QueryEngineOptions opts;
       opts.threads = threads;
       QueryEngine engine(ctx.graph, ctx.metric, ctx.names, scheme, opts);
-      StretchReport report = engine.run_sampled(budget, 23);
+      StretchReport report = engine.run_sampled({.pair_budget = budget, .seed = 23});
       EXPECT_GT(report.pairs, 0);
       if (threads == 1) {
         reference = report;

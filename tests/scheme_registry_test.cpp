@@ -76,7 +76,8 @@ TEST_P(RegistryFamilyTest, EverySchemeBuildsRoutesAndMeetsItsBound) {
     SCOPED_TRACE(scheme_name);
     QueryEngine engine = QueryEngine::from_registry(SchemeRegistry::global(),
                                                     scheme_name, ctx, opts);
-    StretchReport report = engine.run_sampled(80, seed + 7);
+    StretchReport report = engine.run_sampled(
+        {.pair_budget = 80, .seed = static_cast<std::uint64_t>(seed) + 7});
     EXPECT_EQ(report.pairs, 80);
     EXPECT_EQ(report.failures, 0) << engine.scheme().name();
     const double bound = engine.scheme().stretch_bound();

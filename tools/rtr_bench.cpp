@@ -3,11 +3,13 @@
 //   rtr_bench [--quick|--full] [--out FILE] [--rev REV]
 //             [--families a,b,...] [--sizes 128,256,...]
 //             [--schemes s1,s2,...] [--pairs N] [--threads N] [--seed S]
-//             [--no-snapshot-phase] [--no-deltas]
+//             [--no-snapshot-phase] [--no-deltas] [--no-net-serving]
 //       Sweeps schemes x graph families x sizes, measures the construction /
 //       batch-query / snapshot-load phases plus table and memory accounting,
-//       re-measures the recorded hot-path before/after deltas, and writes a
-//       schema-versioned BENCH_<rev>.json.
+//       runs the end-to-end net_serving cell (RouteServer + loadgen over
+//       loopback TCP across a live epoch swap), re-measures the recorded
+//       hot-path before/after deltas, and writes a schema-versioned
+//       BENCH_<rev>.json.
 //
 //   rtr_bench --check BASELINE CURRENT [--qps-tolerance 0.25]
 //             [--delta-floor PCT]
@@ -55,7 +57,8 @@ int usage(const char* argv0) {
                "          [--families f1,f2] [--sizes n1,n2] [--schemes s1,s2]\n"
                "          [--pairs N] [--threads N (0 = hardware)] [--seed S]\n"
                "          [--metric auto|dense|sparse]\n"
-               "          [--no-snapshot-phase] [--no-deltas]\n"
+               "          [--no-snapshot-phase] [--no-deltas] "
+               "[--no-net-serving]\n"
                "       %s --check BASELINE CURRENT [--qps-tolerance T]\n"
                "          [--delta-floor PCT]\n"
                "       %s --check-growth FILE\n"
@@ -86,7 +89,7 @@ Family family_by_name(const std::string& name) {
 }
 
 int run_growth_check(const std::string& path) {
-  const auto doc = benchjson::Json::parse(read_text_file(path));
+  const auto doc = Json::parse(read_text_file(path));
   std::vector<std::string> violations;
   try {
     violations = check_growth_budgets(doc);
@@ -114,9 +117,6 @@ int run_growth_check(const std::string& path) {
 /// schema-versioned document next to the perf BENCH_*.json artifacts.
 int run_audit(const BenchConfig& config, const std::string& rev,
               const std::string& out_path) {
-  using benchjson::Json;
-  using benchjson::JsonArray;
-  using benchjson::JsonObject;
 
   std::vector<std::string> schemes = config.schemes;
   if (schemes.empty()) schemes = SchemeRegistry::global().names();
@@ -168,8 +168,8 @@ int run_audit(const BenchConfig& config, const std::string& rev,
 int run_check(const std::string& baseline_path, const std::string& current_path,
               const GateOptions& options) {
   const auto baseline =
-      benchjson::Json::parse(read_text_file(baseline_path));
-  const auto current = benchjson::Json::parse(read_text_file(current_path));
+      Json::parse(read_text_file(baseline_path));
+  const auto current = Json::parse(read_text_file(current_path));
   std::vector<std::string> notes;
   const std::vector<std::string> violations =
       compare_to_baseline(baseline, current, options, &notes);
@@ -238,6 +238,8 @@ int main(int argc, char** argv) {
         config.snapshot_phase = false;
       } else if (arg == "--no-deltas") {
         config.hot_path_deltas = false;
+      } else if (arg == "--no-net-serving") {
+        config.net_serving = false;
       } else if (arg == "--check") {
         check_baseline = next();
         check_current = next();

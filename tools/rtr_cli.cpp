@@ -141,10 +141,16 @@ int run_route(const std::string& scheme_name, NodeId src, NodeId dst,
   }
   QueryEngine engine =
       QueryEngine::from_registry(SchemeRegistry::global(), scheme_name, ctx);
-  auto res = engine.roundtrip(src, dst);
+  const ServingResult served = engine.serve(src, dst);
+  if (!served.ok()) {
+    std::cerr << "route failed (" << serving_error_name(served.error)
+              << "): " << served.message << "\n";
+    return 1;
+  }
+  const RouteResult& res = served.route;
   const Dist r = ctx.metric->r(src, dst);
   std::cout << "scheme:     " << engine.scheme().name() << "\n"
-            << "delivered:  " << (res.ok() ? "yes" : "NO") << "\n"
+            << "delivered:  yes\n"
             << "out:        " << res.out_length << " (" << res.out_hops
             << " hops)\n"
             << "back:       " << res.back_length << " (" << res.back_hops
@@ -156,7 +162,7 @@ int run_route(const std::string& scheme_name, NodeId src, NodeId dst,
                       : 1.0)
             << "\n"
             << "header bits: " << res.max_header_bits << "\n";
-  return res.ok() ? 0 : 1;
+  return 0;
 }
 
 int run_stats(const std::string& scheme_name, std::uint64_t seed) {
@@ -173,7 +179,10 @@ int run_bench(const std::string& scheme_name, const std::string& family,
   opts.threads = threads;
   QueryEngine engine = QueryEngine::from_registry(SchemeRegistry::global(),
                                                   scheme_name, ctx, opts);
-  StretchReport rep = engine.run_sampled(pairs, seed + 1);
+  BatchOptions batch;
+  batch.pair_budget = pairs;
+  batch.seed = seed + 1;
+  StretchReport rep = engine.run_sampled(batch);
   std::cout << "{\"scheme\":\"" << scheme_name << "\",\"family\":\"" << family
             << "\",\"n\":" << ctx.graph->node_count() << ",\"pairs\":"
             << rep.pairs << ",\"failures\":" << rep.failures

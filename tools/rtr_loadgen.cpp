@@ -1,0 +1,86 @@
+// rtr_loadgen -- drives rtr_routed over TCP and reports qps/p50/p99.
+//
+//   rtr_loadgen --port P [--host H] [--connections C]
+//               [--requests N | --duration-s X] [--qps TARGET]
+//               [--binary] [--seed S] [--names N] [--connect-retries R]
+//
+// Closed loop by default (each connection fires its next request as soon as
+// the previous answer lands); --qps switches to open loop, where requests
+// launch on a fixed schedule and latency is charged from the scheduled send
+// time.  --binary speaks rtr-wire/1 instead of HTTP.  The node-name space is
+// discovered via GET /healthz unless --names is given (required for
+// --binary against a server whose /healthz is unreachable).
+//
+// Prints the rtr-loadgen/1 JSON summary to stdout.  Exit status 0 iff at
+// least one request completed AND there were zero failures -- the CI smoke
+// gate runs exactly this.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "server/loadgen.h"
+
+namespace {
+
+using namespace rtr;
+
+bool parse_args(int argc, char** argv, LoadgenOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error(flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      options.host = next();
+    } else if (flag == "--port") {
+      options.port = static_cast<int>(std::stol(next()));
+    } else if (flag == "--connections") {
+      options.connections = static_cast<int>(std::stol(next()));
+    } else if (flag == "--requests") {
+      options.requests = std::stoll(next());
+    } else if (flag == "--duration-s") {
+      options.duration_s = std::stod(next());
+    } else if (flag == "--qps") {
+      options.target_qps = std::stod(next());
+    } else if (flag == "--binary") {
+      options.binary = true;
+    } else if (flag == "--seed") {
+      options.seed = static_cast<std::uint64_t>(std::stoull(next()));
+    } else if (flag == "--names") {
+      options.name_count = static_cast<NodeName>(std::stol(next()));
+    } else if (flag == "--connect-retries") {
+      options.connect_retries = static_cast<int>(std::stol(next()));
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      throw std::runtime_error("unknown flag: " + flag);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    LoadgenOptions options;
+    if (!parse_args(argc, argv, options)) {
+      std::cout << "usage: rtr_loadgen --port P [--host H] [--connections C]\n"
+                   "  [--requests N | --duration-s X] [--qps TARGET]\n"
+                   "  [--binary] [--seed S] [--names N] "
+                   "[--connect-retries R]\n";
+      return 0;
+    }
+    if (options.port <= 0) {
+      std::cerr << "rtr_loadgen: --port is required\n";
+      return 2;
+    }
+    const LoadgenResult result = run_loadgen(options);
+    std::cout << result.to_json().dump();
+    return result.requests > 0 && result.failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rtr_loadgen: " << e.what() << "\n";
+    return 2;
+  }
+}
