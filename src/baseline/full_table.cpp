@@ -1,11 +1,13 @@
 #include "baseline/full_table.h"
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "audit/audit.h"
 #include "graph/dijkstra.h"
 #include "io/snapshot_format.h"
+#include "rt/repair_oracle.h"
 #include "util/bit_cost.h"
 
 namespace rtr {
@@ -60,6 +62,55 @@ FullTableScheme::FullTableScheme(const Digraph& g, const NameAssignment& names)
           in.next_port[static_cast<std::size_t>(v)];
     }
   }
+}
+
+std::shared_ptr<const FullTableScheme> FullTableScheme::repair(
+    const FullTableScheme& old_scheme, const Digraph& old_graph,
+    const Digraph& new_graph, const NameAssignment& names,
+    const ChurnDelta& delta) {
+  const NodeId n = new_graph.node_count();
+  if (old_graph.node_count() != n || names.node_count() != n ||
+      old_scheme.names_.node_count() != n ||
+      old_scheme.next_port_.size() != static_cast<std::size_t>(n)) {
+    return nullptr;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (names.name_of(v) != old_scheme.names_.name_of(v)) return nullptr;
+  }
+
+  const std::vector<char> dirty =
+      dirty_in_tree_destinations(old_graph, new_graph, delta);
+
+  std::shared_ptr<FullTableScheme> s(new FullTableScheme());
+  s->names_ = names;
+  s->node_space_ = n;
+  s->port_space_ = new_graph.port_space();
+  s->next_port_.assign(static_cast<std::size_t>(n),
+                       std::vector<Port>(static_cast<std::size_t>(n), kNoPort));
+  const Digraph reversed = new_graph.reversed();
+  DijkstraWorkspace ws;
+  for (NodeId dest = 0; dest < n; ++dest) {
+    const auto dn = static_cast<std::size_t>(names.name_of(dest));
+    if (dirty[static_cast<std::size_t>(dest)] == 0) {
+      // Every changed edge is strictly slack toward dest on its own sides:
+      // the in-tree -- hence this next-hop column -- is provably unchanged.
+      for (NodeId v = 0; v < n; ++v) {
+        s->next_port_[static_cast<std::size_t>(v)][dn] =
+            old_scheme.next_port_[static_cast<std::size_t>(v)][dn];
+      }
+      continue;
+    }
+    InTree in = dijkstra_in_tree(new_graph, reversed, dest, ws);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == dest) continue;
+      if (in.next_port[static_cast<std::size_t>(v)] == kNoPort) {
+        return nullptr;  // churn broke strong connectivity; rebuild decides
+      }
+      s->next_port_[static_cast<std::size_t>(v)][dn] =
+          in.next_port[static_cast<std::size_t>(v)];
+    }
+  }
+  return s;
 }
 
 Decision FullTableScheme::forward(NodeId at, Header& h) const {

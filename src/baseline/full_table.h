@@ -11,6 +11,7 @@
 #define RTR_BASELINE_FULL_TABLE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,9 +21,23 @@
 
 namespace rtr {
 
+struct ChurnDelta;  // graph/churn_delta.h
+
 class FullTableScheme {
  public:
   FullTableScheme(const Digraph& g, const NameAssignment& names);
+
+  /// Incremental repair (ROADMAP: incremental epoch repair under churn):
+  /// produces the scheme the build constructor would produce on `new_graph`,
+  /// but recomputes an in-tree only for destinations some changed edge is
+  /// tight toward (rt/repair_oracle.h); every other destination's next-hop
+  /// column is copied from `old_scheme` verbatim.  Returns nullptr when the
+  /// node count or naming changed, or the new graph is not strongly
+  /// connected; callers fall back to a full build.
+  [[nodiscard]] static std::shared_ptr<const FullTableScheme> repair(
+      const FullTableScheme& old_scheme, const Digraph& old_graph,
+      const Digraph& new_graph, const NameAssignment& names,
+      const ChurnDelta& delta);
 
   /// Snapshot path: rehydrates the next-hop tables saved with save().
   explicit FullTableScheme(SnapshotReader& r);
@@ -57,6 +72,8 @@ class FullTableScheme {
 
  private:
   friend struct AuditTestPeer;
+  /// Repair path: members are filled in by repair() after construction.
+  FullTableScheme() : names_(NameAssignment::identity(0)) {}
   NameAssignment names_;
   // next_port_[u][dest_name]: port of the first edge on a shortest u->dest path.
   std::vector<std::vector<Port>> next_port_;

@@ -894,6 +894,8 @@ Json cell_to_json(const CellResult& c) {
   j.set("build_ms", c.build_ms);
   j.set("snapshot_load_ms", c.snapshot_load_ms);
   j.set("snapshot_map_ms", c.snapshot_map_ms);
+  j.set("repair_ms", c.repair_ms);
+  j.set("full_rebuild_ms", c.full_rebuild_ms);
   j.set("qps", c.qps);
   j.set("p50_query_ns", c.p50_query_ns);
   j.set("p99_query_ns", c.p99_query_ns);
@@ -926,6 +928,9 @@ CellResult cell_from_json(const Json& j) {
   // not measured", exactly like peak_rss_kb below.
   c.snapshot_map_ms =
       j.has("snapshot_map_ms") ? j.at("snapshot_map_ms").as_double() : -1;
+  c.repair_ms = j.has("repair_ms") ? j.at("repair_ms").as_double() : -1;
+  c.full_rebuild_ms =
+      j.has("full_rebuild_ms") ? j.at("full_rebuild_ms").as_double() : -1;
   c.qps = j.at("qps").as_double();
   c.p50_query_ns = j.at("p50_query_ns").as_double();
   c.p99_query_ns = j.at("p99_query_ns").as_double();
@@ -1338,6 +1343,10 @@ std::vector<std::string> compare_to_baseline(const Json& baseline,
     };
     check_phase("snapshot_load_ms", b.snapshot_load_ms, c.snapshot_load_ms);
     check_phase("snapshot_map_ms", b.snapshot_map_ms, c.snapshot_map_ms);
+    // Rebuild-latency rows from the churn_serving bench: the incremental
+    // repair must not regress, and neither may the full rebuild it replaces.
+    check_phase("repair_ms", b.repair_ms, c.repair_ms);
+    check_phase("full_rebuild_ms", b.full_rebuild_ms, c.full_rebuild_ms);
   }
   for (const HotPathDelta& d : deltas_from_json(current)) {
     if (d.improvement_pct < options.delta_floor_pct) {

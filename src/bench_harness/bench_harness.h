@@ -134,6 +134,12 @@ struct CellResult {
   /// -1 sentinels are NEVER compared by the gates -- see compare_to_baseline
   /// and check_growth_budgets, which skip negative phase values explicitly.
   double snapshot_map_ms = -1;
+  /// Incremental epoch repair of a small (~1%) port-stable churn delta, and
+  /// the pinned-seed full rebuild the same delta would otherwise cost.  -1
+  /// when the cell did not run the repair phase (same sentinel rule as the
+  /// snapshot phases: negative values are never compared by the gates).
+  double repair_ms = -1;
+  double full_rebuild_ms = -1;
   double qps = 0;                ///< batch roundtrips per second
   double p50_query_ns = 0;
   double p99_query_ns = 0;

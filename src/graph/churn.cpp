@@ -1,10 +1,14 @@
 #include "graph/churn.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "graph/dijkstra.h"
 #include "graph/scc.h"
 
 namespace rtr {
@@ -170,6 +174,142 @@ Digraph churn_step(const Digraph& g, const ChurnOptions& opt, Rng& rng) {
     if (is_strongly_connected(next)) return next;
   }
   return repair_connectivity(mutate_once(g, opt, rng), opt, rng);
+}
+
+Digraph slack_jitter_step(const Digraph& g, double fraction, Rng& rng) {
+  const NodeId n = g.node_count();
+  if (n < 2) {
+    throw std::invalid_argument("slack_jitter_step: need at least 2 nodes");
+  }
+  std::vector<std::vector<Edge>> rows(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    const auto span = g.out_edges(u);
+    rows[static_cast<std::size_t>(u)].assign(span.begin(), span.end());
+  }
+
+  // Every strictly slack edge is a candidate: a tail->head detour shorter
+  // than the edge itself (d(u, e.to) <= weight - 1, found by a search
+  // bounded at weight - 1, so the direct edge is pruned and never counts
+  // as its own detour).
+  struct Slot {
+    NodeId tail;
+    std::int32_t index;  // position within the tail's adjacency row
+  };
+  std::vector<Slot> candidates;
+  BoundedDijkstraWorkspace ws;
+  std::vector<BoundedReach> reach;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& row = rows[static_cast<std::size_t>(u)];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].weight < 2) continue;  // no detour can beat a unit edge
+      reach.clear();
+      dijkstra_bounded(g, u, row[i].weight - 1, ws, reach);
+      for (const BoundedReach& r : reach) {
+        if (r.node == row[i].to) {
+          candidates.push_back(Slot{u, static_cast<std::int32_t>(i)});
+          break;
+        }
+      }
+    }
+  }
+
+  // Jitter an exact quota of them (all, when slack edges are scarce).
+  struct Jittered {
+    Slot slot;
+    Weight old_weight;
+  };
+  std::vector<Jittered> jittered;
+  const auto quota = static_cast<std::int32_t>(std::min<std::int64_t>(
+      static_cast<std::int64_t>(candidates.size()),
+      std::llround(fraction * static_cast<double>(g.edge_count()))));
+  for (std::int32_t pick : rng.sample_without_replacement(
+           static_cast<std::int32_t>(candidates.size()), quota)) {
+    const Slot& s = candidates[static_cast<std::size_t>(pick)];
+    Edge& e = rows[static_cast<std::size_t>(s.tail)]
+                  [static_cast<std::size_t>(s.index)];
+    jittered.push_back(Jittered{s, e.weight});
+    e.weight = static_cast<Weight>(e.weight + 1 + rng.index(2));
+  }
+
+  const auto freeze_rows = [&] {
+    GraphBuilder out(n);
+    for (NodeId u = 0; u < n; ++u) {
+      out.add_edges_with_ports(u, rows[static_cast<std::size_t>(u)]);
+    }
+    return out.freeze();
+  };
+
+  // Detours were certified against g, but a detour path may itself cross
+  // another jittered edge and no longer undercut the old weight.  Re-verify
+  // every pick against the fully jittered graph and revert the failures:
+  // reverting only lowers weights, so the survivors' detours -- already
+  // shorter than their bound under the heavier weights -- stay valid, and
+  // one pass suffices.
+  Digraph next = freeze_rows();
+  bool reverted = false;
+  for (const Jittered& j : jittered) {
+    const Edge& e = rows[static_cast<std::size_t>(j.slot.tail)]
+                        [static_cast<std::size_t>(j.slot.index)];
+    reach.clear();
+    dijkstra_bounded(next, j.slot.tail, j.old_weight - 1, ws, reach);
+    bool still_slack = false;
+    for (const BoundedReach& r : reach) {
+      if (r.node == e.to) {
+        still_slack = true;
+        break;
+      }
+    }
+    if (!still_slack) {
+      rows[static_cast<std::size_t>(j.slot.tail)]
+          [static_cast<std::size_t>(j.slot.index)].weight = j.old_weight;
+      reverted = true;
+    }
+  }
+  return reverted ? freeze_rows() : next;
+}
+
+Digraph add_shadowed_links(const Digraph& g, double fraction, Rng& rng) {
+  const NodeId n = g.node_count();
+  if (n < 2) {
+    throw std::invalid_argument("add_shadowed_links: need at least 2 nodes");
+  }
+  const auto nn = static_cast<std::size_t>(n);
+  std::unordered_set<std::uint64_t> present;
+  GraphBuilder out(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Edge& e : g.out_edges(u)) {
+      present.insert(static_cast<std::uint64_t>(u) * nn +
+                     static_cast<std::uint64_t>(e.to));
+      out.add_edge(u, e.to, e.weight);
+    }
+  }
+  const auto want = static_cast<std::int64_t>(std::llround(
+      fraction * static_cast<double>(g.edge_count())));
+  DijkstraWorkspace ws;
+  std::vector<Dist> dist(nn);
+  std::int64_t added = 0;
+  // A few random targets per SSSP source amortize the distance computation;
+  // collisions with existing pairs just retry on a later source.
+  while (added < want) {
+    const auto u = static_cast<NodeId>(rng.index(n));
+    dijkstra_distances_into(g, u, ws, dist);
+    for (int t = 0; t < 8 && added < want; ++t) {
+      const auto v = static_cast<NodeId>(rng.index(n));
+      if (v == u || dist[static_cast<std::size_t>(v)] >= kInfDist) continue;
+      if (!present
+               .insert(static_cast<std::uint64_t>(u) * nn +
+                       static_cast<std::uint64_t>(v))
+               .second) {
+        continue;
+      }
+      const auto w = static_cast<Weight>(dist[static_cast<std::size_t>(v)] +
+                                         1 + rng.index(3));
+      out.add_edge(u, v, w);
+      ++added;
+    }
+  }
+  out.assign_adversarial_ports(rng);
+  return out.freeze();
 }
 
 }  // namespace rtr

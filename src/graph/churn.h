@@ -55,6 +55,33 @@ struct ChurnOptions {
 [[nodiscard]] Digraph churn_step(const Digraph& g, const ChurnOptions& opt,
                                  Rng& rng);
 
+/// Non-disruptive churn: weight increases confined to strictly slack edges
+/// (links degrading without causing any reroute -- congestion jitter, the
+/// regime OSRM-style re-customization targets).  Roughly `fraction` of the
+/// edges are candidates; a candidate is jittered only when a strictly
+/// shorter tail->head detour exists (d(tail, head) < weight, checked with a
+/// bounded search), which proves the edge lies on no shortest path, so
+/// increasing its weight changes no distance in the graph.  The returned
+/// graph keeps the input's CSR structure and port numbers bit-for-bit; only
+/// the weight array differs.  Connectivity is untouched.  This is the churn
+/// script under which incremental repair should be O(affected region):
+/// every full-graph shortest-path structure provably survives, and only
+/// substructures that see both endpoints locally can change.
+[[nodiscard]] Digraph slack_jitter_step(const Digraph& g, double fraction,
+                                        Rng& rng);
+
+/// Adds ~`fraction * edge_count` redundant shadowed links: extra edges
+/// priced strictly above an existing shortest path between their endpoints
+/// (backup circuits more expensive than the primary route), with fresh
+/// adversarial ports for the whole graph.  A sparse random digraph with
+/// near-uniform weights has almost no strictly slack edges, so
+/// slack_jitter_step finds nothing to re-price; seeding the instance with
+/// shadowed links gives it a realistic population.  Distances are unchanged
+/// (every new edge is undercut by construction) and strong connectivity is
+/// preserved (edges are only added).
+[[nodiscard]] Digraph add_shadowed_links(const Digraph& g, double fraction,
+                                         Rng& rng);
+
 }  // namespace rtr
 
 #endif  // RTR_GRAPH_CHURN_H

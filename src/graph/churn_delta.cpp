@@ -1,0 +1,86 @@
+#include "graph/churn_delta.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtr {
+
+Weight EdgeChange::min_weight() const {
+  if (old_weight == 0) return new_weight;
+  if (new_weight == 0) return old_weight;
+  return std::min(old_weight, new_weight);
+}
+
+bool ChurnDelta::weight_only() const {
+  if (!added.empty() || !removed.empty()) return false;
+  for (const EdgeChange& e : modified) {
+    if (e.old_port != e.new_port) return false;
+  }
+  return true;
+}
+
+double ChurnDelta::fraction() const {
+  const auto denom =
+      std::max<std::int64_t>({old_edge_count, new_edge_count, 1});
+  return static_cast<double>(change_count()) / static_cast<double>(denom);
+}
+
+ChurnDelta diff_graphs(const Digraph& old_graph, const Digraph& new_graph) {
+  const NodeId n = old_graph.node_count();
+  if (n != new_graph.node_count()) {
+    throw std::invalid_argument(
+        "diff_graphs: node counts differ (churn preserves node ids)");
+  }
+  ChurnDelta delta;
+  delta.old_edge_count = old_graph.edge_count();
+  delta.new_edge_count = new_graph.edge_count();
+
+  std::vector<char> touched(static_cast<std::size_t>(n), 0);
+  auto touch = [&touched](NodeId u, NodeId v) {
+    touched[static_cast<std::size_t>(u)] = 1;
+    touched[static_cast<std::size_t>(v)] = 1;
+  };
+  const auto by_head = [](const Edge& x, const Edge& y) { return x.to < y.to; };
+
+  std::vector<Edge> old_row;
+  std::vector<Edge> new_row;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto old_span = old_graph.out_edges(u);
+    const auto new_span = new_graph.out_edges(u);
+    old_row.assign(old_span.begin(), old_span.end());
+    new_row.assign(new_span.begin(), new_span.end());
+    std::sort(old_row.begin(), old_row.end(), by_head);
+    std::sort(new_row.begin(), new_row.end(), by_head);
+
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < old_row.size() || j < new_row.size()) {
+      if (j == new_row.size() ||
+          (i < old_row.size() && old_row[i].to < new_row[j].to)) {
+        const Edge& e = old_row[i++];
+        delta.removed.push_back(
+            {u, e.to, e.weight, 0, e.port, kNoPort});
+        touch(u, e.to);
+      } else if (i == old_row.size() || new_row[j].to < old_row[i].to) {
+        const Edge& e = new_row[j++];
+        delta.added.push_back({u, e.to, 0, e.weight, kNoPort, e.port});
+        touch(u, e.to);
+      } else {
+        const Edge& a = old_row[i++];
+        const Edge& b = new_row[j++];
+        if (a.weight != b.weight || a.port != b.port) {
+          delta.modified.push_back(
+              {u, a.to, a.weight, b.weight, a.port, b.port});
+          touch(u, a.to);
+        }
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (touched[static_cast<std::size_t>(v)] != 0) delta.touched.push_back(v);
+  }
+  return delta;
+}
+
+}  // namespace rtr

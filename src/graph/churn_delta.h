@@ -1,0 +1,84 @@
+// The edge-level difference between two epochs' graphs -- the input to the
+// incremental repair path (ROADMAP: "Incremental epoch repair under churn").
+//
+// A ChurnDelta makes the churn explicit as data: which edges appeared,
+// disappeared, or changed weight/port between the old and the new frozen
+// graph, plus the set W of every node incident to any such edge.  The
+// repair oracles (rt/repair_oracle.h) turn W into per-substructure dirty
+// bits -- a ball, in-tree, or dictionary row whose radius never reaches a
+// changed edge is provably unaffected and can be spliced from the old
+// epoch verbatim.
+//
+// diff_graphs() identifies edges by (tail, head): an edge present in both
+// graphs with a different weight or port is "modified" (a port-only change
+// still matters -- routing tables store ports, so a relabeled tight edge
+// invalidates every table that forwards over it).  The comparison walks the
+// per-node head-sorted resolution tables, so it costs O(m log degree)
+// regardless of how the new graph was produced.
+#ifndef RTR_GRAPH_CHURN_DELTA_H
+#define RTR_GRAPH_CHURN_DELTA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace rtr {
+
+/// One changed edge, keyed by (tail, head).  For an added edge the old_
+/// fields are unset; for a removed edge the new_ fields are unset.
+struct EdgeChange {
+  NodeId tail = kNoNode;
+  NodeId head = kNoNode;
+  Weight old_weight = 0;  ///< 0 when the edge is new
+  Weight new_weight = 0;  ///< 0 when the edge was removed
+  Port old_port = kNoPort;
+  Port new_port = kNoPort;
+
+  /// The weight a soundness check must assume the edge can carry: the
+  /// smaller of the two sides (a removed edge only existed at old_weight, an
+  /// added edge only at new_weight, a modified edge at either).  An edge is
+  /// harmless for a shortest-path structure iff it is strictly slack even at
+  /// this weight.
+  [[nodiscard]] Weight min_weight() const;
+};
+
+/// The full edge diff between two graphs over the same node id set.
+struct ChurnDelta {
+  std::vector<EdgeChange> added;
+  std::vector<EdgeChange> removed;
+  std::vector<EdgeChange> modified;
+  /// Every node incident (as tail or head) to a changed edge, sorted
+  /// ascending, deduplicated.  The repair oracles run one bounded search
+  /// per element, so |touched| bounds the oracle cost.
+  std::vector<NodeId> touched;
+
+  [[nodiscard]] bool empty() const {
+    return added.empty() && removed.empty() && modified.empty();
+  }
+  /// True when the delta is pure weight re-pricing: no edge appeared,
+  /// disappeared, or changed port -- the two graphs share their exact CSR
+  /// structure and differ only in the weight array.  This is the shape the
+  /// slack fast path (rt/repair_oracle.h: delta_is_strictly_slack) can
+  /// certify as globally distance-preserving.
+  [[nodiscard]] bool weight_only() const;
+  [[nodiscard]] std::int64_t change_count() const {
+    return static_cast<std::int64_t>(added.size() + removed.size() +
+                                     modified.size());
+  }
+  /// Changed edges as a fraction of max(old_edges, new_edges, 1) -- the
+  /// repair-vs-rebuild policy knob compares against this.
+  [[nodiscard]] double fraction() const;
+
+  std::int64_t old_edge_count = 0;
+  std::int64_t new_edge_count = 0;
+};
+
+/// Computes the (tail, head)-keyed edge diff.  Throws std::invalid_argument
+/// when the node counts differ (churn never adds or removes node ids).
+[[nodiscard]] ChurnDelta diff_graphs(const Digraph& old_graph,
+                                     const Digraph& new_graph);
+
+}  // namespace rtr
+
+#endif  // RTR_GRAPH_CHURN_DELTA_H

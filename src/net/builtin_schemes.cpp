@@ -298,6 +298,45 @@ void register_builtin_schemes(SchemeRegistry& registry) {
          const SnapshotLoadContext&) -> std::shared_ptr<const Scheme> {
         return adapt_scheme(std::make_shared<const FullTableScheme>(r));
       });
+  // --- incremental repair hooks (ROADMAP: epoch repair under churn) ---------
+  // Only schemes with a certified-equivalence repair path register one;
+  // everything else silently falls back to a full rebuild.  Each hook
+  // unwraps the adapter exactly like the snapshot savers and rewraps the
+  // repaired implementation with the new context's retained deps.
+  registry.set_repair_hook(
+      "rtz3",
+      [](const Scheme& old_scheme, const Digraph& old_graph,
+         const BuildContext& ctx,
+         const ChurnDelta& delta) -> std::shared_ptr<const Scheme> {
+        const auto* adapter =
+            dynamic_cast<const TemplateSchemeAdapter<Rtz3Scheme>*>(&old_scheme);
+        if (adapter == nullptr) return nullptr;
+        check_complete(ctx, "rtz3");
+        Rtz3Scheme::Options opts;
+        opts.greedy_centers =
+            ctx.option_bool("greedy_centers", opts.greedy_centers);
+        opts.threads = ctx.option_int("threads", opts.threads);
+        auto repaired =
+            Rtz3Scheme::repair(adapter->impl(), old_graph, *ctx.graph,
+                               *ctx.metric, ctx.names, *ctx.rng, delta, opts);
+        if (repaired == nullptr) return nullptr;
+        return adapt_scheme(std::move(repaired), context_deps(ctx));
+      });
+  registry.set_repair_hook(
+      "fulltable",
+      [](const Scheme& old_scheme, const Digraph& old_graph,
+         const BuildContext& ctx,
+         const ChurnDelta& delta) -> std::shared_ptr<const Scheme> {
+        const auto* adapter =
+            dynamic_cast<const TemplateSchemeAdapter<FullTableScheme>*>(
+                &old_scheme);
+        if (adapter == nullptr || ctx.graph == nullptr) return nullptr;
+        auto repaired = FullTableScheme::repair(adapter->impl(), old_graph,
+                                                *ctx.graph, ctx.names, delta);
+        if (repaired == nullptr) return nullptr;
+        return adapt_scheme(std::move(repaired), {ctx.graph});
+      });
+
   registry.set_snapshot_hooks(
       "hashed64",
       [](const Scheme& scheme, SnapshotWriter& w) {

@@ -161,15 +161,6 @@ class QueryEngine {
   /// worker count.
   [[nodiscard]] StretchReport run_sampled(const BatchOptions& options) const;
 
-  [[deprecated("pass BatchOptions instead of loose (pair_budget, seed)")]]
-  [[nodiscard]] StretchReport run_sampled(std::int64_t pair_budget,
-                                          std::uint64_t seed) const {
-    BatchOptions options;
-    options.pair_budget = pair_budget;
-    options.seed = seed;
-    return run_sampled(options);
-  }
-
  private:
   struct WorkerTally;
   struct BatchPlan;

@@ -107,7 +107,7 @@ void SchemeRegistry::add(std::string name, std::string summary,
                          Factory factory) {
   auto [it, inserted] = entries_.emplace(
       std::move(name),
-      Entry{std::move(summary), std::move(factory), {}, {}, {}, {}});
+      Entry{std::move(summary), std::move(factory), {}, {}, {}, {}, {}});
   if (!inserted) {
     throw std::invalid_argument("SchemeRegistry::add: duplicate scheme name '" +
                                 it->first + "'");
@@ -144,6 +144,20 @@ void SchemeRegistry::set_arena_hooks(const std::string& name, ArenaSaver saver,
   it->second.arena_loader = std::move(loader);
 }
 
+void SchemeRegistry::set_repair_hook(const std::string& name,
+                                     Repairer repairer) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument(
+        "SchemeRegistry::set_repair_hook: unknown scheme '" + name + "'");
+  }
+  if (repairer == nullptr) {
+    throw std::invalid_argument(
+        "SchemeRegistry::set_repair_hook: null hook for '" + name + "'");
+  }
+  it->second.repairer = std::move(repairer);
+}
+
 bool SchemeRegistry::contains(const std::string& name) const {
   return entries_.contains(name);
 }
@@ -156,6 +170,11 @@ bool SchemeRegistry::snapshot_supported(const std::string& name) const {
 bool SchemeRegistry::arena_supported(const std::string& name) const {
   auto it = entries_.find(name);
   return it != entries_.end() && it->second.arena_saver != nullptr;
+}
+
+bool SchemeRegistry::repair_supported(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.repairer != nullptr;
 }
 
 const SchemeRegistry::Entry& SchemeRegistry::entry_or_throw(
@@ -177,6 +196,20 @@ std::shared_ptr<const Scheme> SchemeRegistry::build(
   std::shared_ptr<const Scheme> scheme = entry_or_throw(name, "build").factory(ctx);
 #ifdef RTR_AUDIT_ON_BUILD
   audit_built_scheme(ctx, *scheme);
+#endif
+  return scheme;
+}
+
+std::shared_ptr<const Scheme> SchemeRegistry::repair(
+    const std::string& name, const Scheme& old_scheme,
+    const Digraph& old_graph, const BuildContext& ctx,
+    const ChurnDelta& delta) const {
+  const Entry& e = entry_or_throw(name, "repair");
+  if (e.repairer == nullptr) return nullptr;
+  std::shared_ptr<const Scheme> scheme =
+      e.repairer(old_scheme, old_graph, ctx, delta);
+#ifdef RTR_AUDIT_ON_BUILD
+  if (scheme != nullptr) audit_built_scheme(ctx, *scheme);
 #endif
   return scheme;
 }

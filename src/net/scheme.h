@@ -56,6 +56,7 @@ class SnapshotReader;
 class AuditReport;   // audit/audit.h
 class ArenaWriter;   // io/arena.h
 class ArenaView;
+struct ChurnDelta;   // graph/churn_delta.h
 
 /// Type-erased box for a scheme's writable packet header.
 ///
@@ -327,6 +328,15 @@ class SchemeRegistry {
   /// Reconstructs a scheme as zero-copy views over a v2 arena.
   using ArenaLoader = std::function<std::shared_ptr<const Scheme>(
       const ArenaView&, const SnapshotLoadContext&)>;
+  /// Incrementally repairs a scheme built for `old_graph` onto ctx's graph
+  /// (the post-churn epoch), recomputing only churn-affected substructures.
+  /// The contract is strict: the result must be indistinguishable from
+  /// build(name, ctx) -- identical routes, stats, and snapshot bytes.  A
+  /// hook returns nullptr to decline (delta too invasive, equivalence not
+  /// certifiable); the caller then falls back to a full build.
+  using Repairer = std::function<std::shared_ptr<const Scheme>(
+      const Scheme& old_scheme, const Digraph& old_graph,
+      const BuildContext& ctx, const ChurnDelta& delta)>;
 
   /// Registers a factory; throws std::invalid_argument on a duplicate name.
   void add(std::string name, std::string summary, Factory factory);
@@ -340,15 +350,30 @@ class SchemeRegistry {
   void set_arena_hooks(const std::string& name, ArenaSaver saver,
                        ArenaLoader loader);
 
+  /// Attaches the incremental repair hook; throws for unknown names.
+  void set_repair_hook(const std::string& name, Repairer repairer);
+
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] bool snapshot_supported(const std::string& name) const;
   /// True when the scheme maps v2 arenas in place (no blob fallback).
   [[nodiscard]] bool arena_supported(const std::string& name) const;
+  /// True when the scheme registered an incremental repair hook.
+  [[nodiscard]] bool repair_supported(const std::string& name) const;
 
   /// Builds the named scheme; throws std::invalid_argument for unknown names
   /// (the message lists what is registered).
   [[nodiscard]] std::shared_ptr<const Scheme> build(
       const std::string& name, const BuildContext& ctx) const;
+
+  /// Attempts incremental repair of `old_scheme` (built for `old_graph`)
+  /// onto ctx's graph; throws for unknown names.  Returns nullptr when the
+  /// scheme has no repair hook or the hook declines -- the caller falls back
+  /// to build().  A successful repair passes the same RTR_AUDIT_ON_BUILD
+  /// deep audit a registry build does.
+  [[nodiscard]] std::shared_ptr<const Scheme> repair(
+      const std::string& name, const Scheme& old_scheme,
+      const Digraph& old_graph, const BuildContext& ctx,
+      const ChurnDelta& delta) const;
 
   /// The snapshot hooks of a name; throw std::invalid_argument when the name
   /// is unknown or registered without hooks.
@@ -396,6 +421,7 @@ class SchemeRegistry {
     Loader loader;  // empty when the scheme has no snapshot support
     ArenaSaver arena_saver;    // empty -> v2 uses the blob fallback
     ArenaLoader arena_loader;  // empty -> v2 uses the blob fallback
+    Repairer repairer;         // empty -> epochs always rebuild from scratch
   };
   [[nodiscard]] const Entry& entry_or_throw(const std::string& name,
                                             const char* what) const;

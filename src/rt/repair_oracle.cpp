@@ -1,0 +1,197 @@
+#include "rt/repair_oracle.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "graph/dijkstra.h"
+
+namespace rtr {
+
+namespace {
+
+/// Bounded multi-source Dijkstra: dist[v] = min over sources w of d(w, v),
+/// exact up to `budget` (entries beyond it stay kInfDist).  Seeding every
+/// source at distance 0 makes one search cover the whole set -- the heap
+/// just starts with |sources| zero keys instead of one.
+[[nodiscard]] std::vector<Dist> multi_source_distances(
+    const Digraph& g, const std::vector<NodeId>& sources, Dist budget) {
+  std::vector<Dist> dist(static_cast<std::size_t>(g.node_count()), kInfDist);
+  using Entry = std::pair<Dist, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (NodeId w : sources) {
+    dist[static_cast<std::size_t>(w)] = 0;
+    heap.emplace(0, w);
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const Edge& e : g.out_edges(u)) {
+      const Dist nd = d + e.weight;
+      if (nd > budget) continue;
+      auto& slot = dist[static_cast<std::size_t>(e.to)];
+      if (nd < slot) {
+        slot = nd;
+        heap.emplace(nd, e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Folds a sound lower bound on min(r_g(v, w)) over touched endpoints w into
+/// rt_min.  `from[v]` = min_w d(w, v) and `to[v]` = min_w d(v, w) come from
+/// one multi-source search each on g and g.reversed(); their sum lower-bounds
+/// the true minimum roundtrip (the directional minima may pick different
+/// endpoints), which is exactly the conservative direction the dirty() test
+/// needs.  Two searches total, regardless of how many endpoints churned.
+void fold_roundtrip_minima(const Digraph& g, const ChurnDelta& delta,
+                           Dist budget, std::vector<Dist>& rt_min) {
+  const std::vector<Dist> from =
+      multi_source_distances(g, delta.touched, budget);
+  const std::vector<Dist> to =
+      multi_source_distances(g.reversed(), delta.touched, budget);
+  for (std::size_t v = 0; v < rt_min.size(); ++v) {
+    if (from[v] >= kInfDist || to[v] >= kInfDist) continue;
+    const Dist rt = std::min<Dist>(from[v] + to[v], kInfDist);
+    rt_min[v] = std::min(rt_min[v], rt);
+  }
+}
+
+}  // namespace
+
+BallRepairOracle build_ball_repair_oracle(const Digraph& old_graph,
+                                          const Digraph& new_graph,
+                                          const ChurnDelta& delta,
+                                          Dist budget) {
+  BallRepairOracle oracle;
+  oracle.budget = budget;
+  oracle.rt_min.assign(static_cast<std::size_t>(old_graph.node_count()),
+                       kInfDist);
+  fold_roundtrip_minima(old_graph, delta, budget, oracle.rt_min);
+  fold_roundtrip_minima(new_graph, delta, budget, oracle.rt_min);
+  return oracle;
+}
+
+bool delta_is_strictly_slack(const Digraph& new_graph,
+                             const ChurnDelta& delta) {
+  if (!delta.weight_only()) return false;
+  BoundedDijkstraWorkspace ws;
+  std::vector<BoundedReach> reach;
+  for (const EdgeChange& e : delta.modified) {
+    const Weight limit = e.min_weight();
+    if (limit < 2) return false;  // nothing can undercut a unit edge
+    reach.clear();
+    dijkstra_bounded(new_graph, e.tail, limit - 1, ws, reach);
+    bool detour = false;
+    for (const BoundedReach& r : reach) {
+      if (r.node == e.head) {
+        detour = true;
+        break;
+      }
+    }
+    if (!detour) return false;
+  }
+  return true;
+}
+
+bool masked_detour_shorter(const Digraph& g, std::span<const NodeId> members,
+                           NodeId tail, NodeId head, Weight limit) {
+  if (limit < 2) return false;
+  const Dist budget = static_cast<Dist>(limit) - 1;
+  // Masks are tiny (O~(sqrt n) members), so a local (dist, node) heap over
+  // member-indexed slots beats touching any n-sized array.
+  const auto member_index = [&](NodeId v) -> std::int64_t {
+    const auto it = std::lower_bound(members.begin(), members.end(), v);
+    if (it == members.end() || *it != v) return -1;
+    return it - members.begin();
+  };
+  const std::int64_t src = member_index(tail);
+  const std::int64_t dst = member_index(head);
+  if (src < 0 || dst < 0) return false;
+  std::vector<Dist> dist(members.size(), kInfDist);
+  using Entry = std::pair<Dist, std::int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0;
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    const auto [d, ui] = heap.top();
+    heap.pop();
+    if (d != dist[static_cast<std::size_t>(ui)]) continue;
+    const NodeId u = members[static_cast<std::size_t>(ui)];
+    for (const Edge& e : g.out_edges(u)) {
+      // Skip the edge under test itself: a detour must be a different path.
+      if (u == tail && e.to == head) continue;
+      const Dist nd = d + e.weight;
+      if (nd > budget) continue;
+      const std::int64_t vi = member_index(e.to);
+      if (vi < 0) continue;
+      if (e.to == head) return true;  // reached within budget < limit
+      auto& slot = dist[static_cast<std::size_t>(vi)];
+      if (nd < slot) {
+        slot = nd;
+        heap.emplace(nd, vi);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<char> dirty_in_tree_destinations(const Digraph& old_graph,
+                                             const Digraph& new_graph,
+                                             const ChurnDelta& delta) {
+  const NodeId n = old_graph.node_count();
+  std::vector<char> dirty(static_cast<std::size_t>(n), 0);
+
+  // Forward distance rows d(w, .) for every touched endpoint, one SSSP per
+  // endpoint per graph; row_of maps an endpoint to its row index.
+  std::vector<std::int32_t> row_of(static_cast<std::size_t>(n), -1);
+  for (std::size_t k = 0; k < delta.touched.size(); ++k) {
+    row_of[static_cast<std::size_t>(delta.touched[k])] =
+        static_cast<std::int32_t>(k);
+  }
+  const std::size_t rows = delta.touched.size();
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<Dist> d_old(rows * nn, kInfDist);
+  std::vector<Dist> d_new(rows * nn, kInfDist);
+  DijkstraWorkspace ws;
+  for (std::size_t k = 0; k < rows; ++k) {
+    const NodeId w = delta.touched[k];
+    dijkstra_distances_into(old_graph, w, ws,
+                            {d_old.data() + k * nn, nn});
+    dijkstra_distances_into(new_graph, w, ws,
+                            {d_new.data() + k * nn, nn});
+  }
+  const auto row = [&](const std::vector<Dist>& d, NodeId w) {
+    return d.data() +
+           static_cast<std::size_t>(row_of[static_cast<std::size_t>(w)]) * nn;
+  };
+
+  // An edge marks dest dirty unless strictly slack: w + d(head, dest) >
+  // d(tail, dest).  Infinite distances cannot happen on strongly connected
+  // epochs, but guard anyway (an unreachable head is trivially slack).
+  const auto mark_unless_slack = [&](const EdgeChange& e, Weight w,
+                                     const std::vector<Dist>& d) {
+    const Dist* from_head = row(d, e.head);
+    const Dist* from_tail = row(d, e.tail);
+    for (NodeId dest = 0; dest < n; ++dest) {
+      const auto di = static_cast<std::size_t>(dest);
+      if (from_head[di] >= kInfDist) continue;
+      if (w + from_head[di] <= from_tail[di]) dirty[di] = 1;
+    }
+  };
+  for (const EdgeChange& e : delta.removed) {
+    mark_unless_slack(e, e.old_weight, d_old);
+  }
+  for (const EdgeChange& e : delta.added) {
+    mark_unless_slack(e, e.new_weight, d_new);
+  }
+  for (const EdgeChange& e : delta.modified) {
+    mark_unless_slack(e, e.old_weight, d_old);
+    mark_unless_slack(e, e.new_weight, d_new);
+  }
+  return dirty;
+}
+
+}  // namespace rtr

@@ -1,0 +1,111 @@
+// Dirtiness oracles for incremental epoch repair: given the edge diff
+// between two epochs (graph/churn_delta.h), decide which radius-bounded
+// substructures of the OLD scheme provably survive into the NEW graph.
+//
+// Both oracles rest on the same two facts:
+//
+//   1. Roundtrip balls are closed under shortest-path prefixes (rtz/balls.h):
+//      every node on a shortest tour realizing a member's distance is itself
+//      a member.  So if every changed-edge endpoint lies roundtrip-strictly
+//      beyond a ball's radius in BOTH the old and the new metric, no old
+//      member's tour and no would-be new member's tour can traverse a
+//      changed edge -- the member set, its distances, and the masked
+//      shortest-path trees inside it are bitwise unaffected.
+//
+//   2. A strictly slack edge -- min-side weight w with
+//      w + d(head, dest) > d(tail, dest) in a metric -- is on no shortest
+//      path to dest in that metric, and (because Dijkstra only replaces a
+//      tentative distance on STRICT improvement, and the frozen CSR
+//      preserves surviving edges' relaxation order across churn) its
+//      presence or absence cannot perturb the computed in-tree, parents,
+//      or ports.  If every changed edge is strictly slack toward dest on
+//      its own side(s), the old in-tree to dest is the new in-tree.
+//
+// Cost: the ball oracle runs TWO budget-bounded multi-source Dijkstras per
+// graph (forward and reversed, seeded with the whole touched set W at
+// distance 0) -- a constant number of searches regardless of |W|, each
+// pruned at the largest ball radius.  The in-tree oracle stays exact and
+// costs one full SSSP per touched endpoint per graph.
+#ifndef RTR_RT_REPAIR_ORACLE_H
+#define RTR_RT_REPAIR_ORACLE_H
+
+#include <span>
+#include <vector>
+
+#include "graph/churn_delta.h"
+#include "graph/digraph.h"
+#include "util/types.h"
+
+namespace rtr {
+
+/// Per-node LOWER BOUND on the minimum roundtrip distance to the churned
+/// region, complete up to `budget`.  For each graph the bound decomposes
+/// the roundtrip per direction: rt_min[v] <= min over touched endpoints w
+/// of min(r_old(v, w), r_new(v, w)), with equality whenever one endpoint
+/// realizes both directional minima (the common local case).  A lower
+/// bound keeps the oracle SOUND -- rt_min[v] > radius still proves every
+/// touched endpoint roundtrip-strictly outside the ball -- it can only
+/// classify extra nodes dirty, costing recompute, never correctness.
+/// Entries whose bound exceeds budget hold kInfDist.
+struct BallRepairOracle {
+  std::vector<Dist> rt_min;
+  Dist budget = 0;
+
+  /// True when the radius-`radius` roundtrip ball of v (radius <= budget)
+  /// might see a changed edge -- conservatively, when any changed endpoint
+  /// is within roundtrip distance `radius` of v in either metric.
+  [[nodiscard]] bool dirty(NodeId v, Dist radius) const {
+    return rt_min[static_cast<std::size_t>(v)] <= radius;
+  }
+};
+
+/// Runs the two budget-bounded multi-source Dijkstras (forward + reversed,
+/// all touched endpoints as sources) on both graphs.  `budget` must be at
+/// least the largest ball radius the caller will query (queries beyond it
+/// would be unsound).
+[[nodiscard]] BallRepairOracle build_ball_repair_oracle(
+    const Digraph& old_graph, const Digraph& new_graph,
+    const ChurnDelta& delta, Dist budget);
+
+/// Certifies a weight-only delta as globally distance-preserving: true when
+/// every modified edge has a strictly shorter tail->head detour in the new
+/// graph at BOTH its weights (d_new(tail, head) < min(old_w, new_w), found
+/// by a search bounded at min - 1 so the edge never counts as its own
+/// detour).  That proves each changed edge lies on no shortest path in
+/// either metric, hence d_old == d_new everywhere and -- by the
+/// strict-improvement Dijkstra argument, since the CSR is unchanged for a
+/// weight-only delta -- every full-graph shortest-path tree, port, and DFS
+/// numbering is bitwise identical across the two epochs.  Only masked
+/// (ball-restricted) structures that contain BOTH endpoints can still
+/// differ: the mask may exclude the detour.  Cost: one tiny bounded search
+/// per changed edge -- O(affected region), independent of n.  Requires
+/// delta.weight_only(); returns false otherwise.
+[[nodiscard]] bool delta_is_strictly_slack(const Digraph& new_graph,
+                                           const ChurnDelta& delta);
+
+/// The masked counterpart of the detour test: true when a tail->head path
+/// strictly shorter than `limit` exists inside the subgraph induced by
+/// `members` (sorted ascending).  When it does, the edge is strictly slack
+/// for every shortest-path tree rooted inside the mask, in both directions
+/// -- d_mask(v,tail) + w > d_mask(v,head) and w + d_mask(head,v) >
+/// d_mask(tail,v) follow from d_mask(tail,head) < limit <= w -- so a
+/// weight-only change to it leaves the masked double trees bitwise
+/// unchanged.  Cost: a Dijkstra over |members| nodes bounded at limit - 1.
+[[nodiscard]] bool masked_detour_shorter(const Digraph& g,
+                                         std::span<const NodeId> members,
+                                         NodeId tail, NodeId head,
+                                         Weight limit);
+
+/// Per-destination dirtiness for full shortest-path in-trees: dirty[dest]
+/// is false only when every changed edge is strictly slack toward dest on
+/// its own side(s) (removed edges in the old metric, added edges in the
+/// new, modified edges in both), which proves d_old(., dest) ==
+/// d_new(., dest) and the in-trees identical including next-hop ports.
+/// Costs one full SSSP per touched endpoint per graph.
+[[nodiscard]] std::vector<char> dirty_in_tree_destinations(
+    const Digraph& old_graph, const Digraph& new_graph,
+    const ChurnDelta& delta);
+
+}  // namespace rtr
+
+#endif  // RTR_RT_REPAIR_ORACLE_H

@@ -58,6 +58,7 @@ namespace rtr {
 class ArenaStorage;  // io/arena.h
 class ArenaView;
 class ArenaWriter;
+struct ChurnDelta;   // graph/churn_delta.h
 
 /// A small per-node dictionary keyed by NodeName: one sorted vector of
 /// (key, payload) pairs, binary-searched.  The scheme itself serves hot
@@ -174,6 +175,28 @@ class Rtz3Scheme {
                                              const std::string& prefix,
                                              const Digraph& g,
                                              const NameAssignment& names);
+
+  /// Incremental repair (ROADMAP: incremental epoch repair under churn):
+  /// produces the scheme a from-scratch build against `new_graph` -- with
+  /// the same names, options, and a fresh build rng -- would produce, but
+  /// recomputes only the balls whose radius the churn can reach (certified
+  /// by the rt/repair_oracle.h dirtiness oracle) and splices every other
+  /// ball row, label, table, and up-port verbatim from `old_scheme`.  The
+  /// global center phase is always recomputed (2|A| SSSPs, cheap next to the
+  /// per-node ball work).  The caller must keep `new_graph` alive for the
+  /// scheme's lifetime, exactly as with the build constructor.
+  ///
+  /// Returns nullptr whenever bitwise equivalence with the from-scratch
+  /// build cannot be certified cheaply: greedy centers, a resampled old
+  /// center set, a center draw that no longer matches the old one, changed
+  /// node count or names, or spliced ball/cluster sizes exceeding the
+  /// Lemma 2 budget (a rebuild would resample).  Callers fall back to a
+  /// full build; nullptr is a policy outcome, not an error.
+  [[nodiscard]] static std::shared_ptr<const Rtz3Scheme> repair(
+      const Rtz3Scheme& old_scheme, const Digraph& old_graph,
+      const Digraph& new_graph, const RoundtripMetric& new_metric,
+      const NameAssignment& names, Rng& rng, const ChurnDelta& delta,
+      Options options);
 
   // -- substrate interface consumed by the TINN schemes ---------------------
 

@@ -128,6 +128,10 @@ ChurnRunResult run_churn_workload(Digraph initial, NameAssignment names,
   result.queries = c.queries;
   result.failures = c.failures;
   result.epochs_completed = mgr.epoch();
+  result.repairs = c.repairs;
+  result.repair_fallbacks = c.repair_fallbacks;
+  result.last_rebuild_ms = c.last_rebuild_ms;
+  result.last_repair_ms = c.last_repair_ms;
   result.availability =
       c.queries > 0
           ? 1.0 - static_cast<double>(c.failures) / static_cast<double>(c.queries)
@@ -143,6 +147,10 @@ ChurnRunResult run_churn_workload(Digraph initial, NameAssignment names,
       std::to_string(result.served_during_rebuilds) +
       ",\"availability\":" + std::to_string(result.availability) +
       ",\"stretch_batch_failures\":" + std::to_string(result.stretch_failures) +
+      ",\"repairs\":" + std::to_string(result.repairs) +
+      ",\"repair_fallbacks\":" + std::to_string(result.repair_fallbacks) +
+      ",\"last_rebuild_ms\":" + std::to_string(result.last_rebuild_ms) +
+      ",\"last_repair_ms\":" + std::to_string(result.last_repair_ms) +
       ",\"last_error\":\"" + json_escape(result.last_error) +
       "\",\"per_epoch\":[" + epoch_rows + "]}";
   return result;

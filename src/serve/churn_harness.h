@@ -54,6 +54,14 @@ struct ChurnRunResult {
   double max_stretch = 0;
   std::string first_error;  ///< earliest stretch-batch error message
   std::string last_error;   ///< rebuild failure, "" when none
+  /// Incremental-repair accounting (all zero unless the manager options
+  /// enabled repair): epochs published via SchemeRegistry::repair(),
+  /// non-empty deltas that fell back to a full build, and the wall ms of
+  /// the most recent full/background preprocess and successful repair.
+  std::uint64_t repairs = 0;
+  std::uint64_t repair_fallbacks = 0;
+  double last_rebuild_ms = 0;
+  double last_repair_ms = 0;
 
   /// The acceptance bar: every rebuild published and nothing ever failed.
   [[nodiscard]] bool ok(int expected_epochs) const {

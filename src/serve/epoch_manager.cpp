@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "graph/churn_delta.h"
 #include "io/snapshot.h"
 
 namespace rtr {
@@ -49,8 +50,10 @@ EpochManager::EpochManager(std::string scheme_name, NameAssignment names,
     throw std::invalid_argument(
         "EpochManager: names do not match the initial graph");
   }
-  std::atomic_store_explicit(&current_, build_epoch(0, std::move(initial)),
-                             std::memory_order_release);
+  std::atomic_store_explicit(
+      &current_,
+      build_epoch(0, std::make_shared<const Digraph>(std::move(initial))),
+      std::memory_order_release);
 }
 
 EpochManager::~EpochManager() {
@@ -63,17 +66,20 @@ EpochManager::~EpochManager() {
   }
 }
 
-std::shared_ptr<const Epoch> EpochManager::build_epoch(std::uint64_t seq,
-                                                       Digraph g) {
+std::shared_ptr<const Epoch> EpochManager::build_epoch(
+    std::uint64_t seq, std::shared_ptr<const Digraph> graph) {
   const auto start = std::chrono::steady_clock::now();
-  auto graph = std::make_shared<const Digraph>(std::move(g));
   // APSP is paid per epoch regardless of the snapshot cache: the metric is
   // not part of the frozen artifact (stretch denominators are measurement
   // state, not routing state).
   std::shared_ptr<const RoundtripMetric> metric =
       make_roundtrip_metric(graph, options_.metric_mode);
-  BuildContext ctx = BuildContext::wrap(graph, metric, names_,
-                                        options_.scheme_seed + seq);
+  // Under repair the seed is pinned so every epoch draws the same centers;
+  // without it epochs stay independently randomized as before.
+  const std::uint64_t seed = options_.enable_repair
+                                 ? options_.scheme_seed
+                                 : options_.scheme_seed + seq;
+  BuildContext ctx = BuildContext::wrap(graph, metric, names_, seed);
 
   bool from_cache = false;
   std::unique_ptr<SchemeHandle> handle;
@@ -140,18 +146,97 @@ void EpochManager::publish_epoch_shm(std::uint64_t seq,
   shm_published_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::shared_ptr<const Epoch> EpochManager::repair_epoch(
+    std::uint64_t seq, const Epoch& base,
+    std::shared_ptr<const Digraph> graph, const ChurnDelta& delta,
+    std::chrono::steady_clock::time_point start) {
+  // The repair path's headline saving over a full build: a lazy sparse
+  // metric instead of the dense APSP.  Both backends return identical
+  // r(u, v) values (pinned by tests), so the served stretch figures and the
+  // repaired scheme's bytes cannot depend on this choice.
+  std::shared_ptr<const RoundtripMetric> metric =
+      make_roundtrip_metric(graph, MetricMode::kSparse);
+  BuildContext ctx =
+      BuildContext::wrap(graph, metric, names_, options_.scheme_seed);
+  std::shared_ptr<const Scheme> scheme;
+  try {
+    scheme = registry_.repair(scheme_name_, base.handle.scheme(),
+                              base.handle.graph(), ctx, delta);
+  } catch (const std::exception&) {
+    // A failed repair (including a failed RTR_AUDIT_ON_BUILD audit) is a
+    // fallback, never an outage: the counters expose it, the full build
+    // supplies the epoch.
+    scheme = nullptr;
+  }
+  if (scheme == nullptr) return nullptr;
+  // Repaired epochs deliberately skip the snapshot cache and shm: they are
+  // transient, and recovery after a crash replays from the last full build.
+  SchemeHandle handle(graph, names_, scheme);
+  QueryEngineOptions qopts;
+  qopts.threads = options_.query_threads;
+  qopts.sim = options_.sim;
+  auto engine = std::make_shared<const QueryEngine>(graph, metric, names_,
+                                                    scheme, qopts);
+  return std::make_shared<const Epoch>(seq, std::move(handle),
+                                       std::move(metric), std::move(engine),
+                                       false, seconds_since(start));
+}
+
 bool EpochManager::begin_rebuild(Digraph next) {
   if (rebuild_in_flight_.exchange(true, std::memory_order_acq_rel)) {
     return false;
   }
   if (rebuild_thread_.joinable()) rebuild_thread_.join();  // previous, done
-  const std::uint64_t seq = current()->seq + 1;
-  rebuild_thread_ = std::thread([this, seq, g = std::move(next)]() mutable {
+  const std::shared_ptr<const Epoch> base = current();
+  const std::uint64_t seq = base->seq + 1;
+  rebuild_thread_ = std::thread([this, seq, base,
+                                 g = std::move(next)]() mutable {
+    const auto start = std::chrono::steady_clock::now();
     try {
-      auto epoch = build_epoch(seq, std::move(g));
-      std::atomic_store_explicit(&current_, std::move(epoch),
-                                 std::memory_order_release);
-      epochs_built_.fetch_add(1, std::memory_order_relaxed);
+      std::shared_ptr<const Epoch> epoch;
+      bool noop = false;
+      bool repaired = false;
+      if (options_.enable_repair) {
+        bool have_delta = false;
+        ChurnDelta delta;
+        try {
+          delta = diff_graphs(base->handle.graph(), g);
+          have_delta = true;
+        } catch (const std::exception&) {
+          have_delta = false;  // node count changed: always a full build
+        }
+        if (have_delta && delta.empty()) {
+          // Identical topology: publishing a new epoch would only churn
+          // caches and sessions.  Keep serving the same epoch object.
+          noop = true;
+        } else if (have_delta) {
+          if (delta.fraction() <= options_.repair_max_fraction) {
+            auto graph = std::make_shared<const Digraph>(std::move(g));
+            epoch = repair_epoch(seq, *base, graph, delta, start);
+            if (epoch != nullptr) {
+              repaired = true;
+            } else {
+              repair_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+              epoch = build_epoch(seq, std::move(graph));
+            }
+          } else {
+            repair_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (!noop) {
+        if (epoch == nullptr) {
+          epoch =
+              build_epoch(seq, std::make_shared<const Digraph>(std::move(g)));
+        }
+        std::atomic_store_explicit(&current_, std::move(epoch),
+                                   std::memory_order_release);
+        epochs_built_.fetch_add(1, std::memory_order_relaxed);
+        if (repaired) repairs_.fetch_add(1, std::memory_order_relaxed);
+        const double ms = seconds_since(start) * 1000.0;
+        last_rebuild_ms_.store(ms, std::memory_order_relaxed);
+        if (repaired) last_repair_ms_.store(ms, std::memory_order_relaxed);
+      }
       std::lock_guard<std::mutex> lock(error_mutex_);
       last_error_.clear();
     } catch (const std::exception& e) {
@@ -215,6 +300,10 @@ EpochManager::Counters EpochManager::counters() const {
   c.epochs_built = epochs_built_.load(std::memory_order_relaxed);
   c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   c.shm_published = shm_published_count_.load(std::memory_order_relaxed);
+  c.repairs = repairs_.load(std::memory_order_relaxed);
+  c.repair_fallbacks = repair_fallbacks_.load(std::memory_order_relaxed);
+  c.last_rebuild_ms = last_rebuild_ms_.load(std::memory_order_relaxed);
+  c.last_repair_ms = last_repair_ms_.load(std::memory_order_relaxed);
   return c;
 }
 

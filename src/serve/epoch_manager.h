@@ -29,6 +29,7 @@
 #define RTR_SERVE_EPOCH_MANAGER_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,8 @@
 #include "rt/metric.h"
 
 namespace rtr {
+
+struct ChurnDelta;  // graph/churn_delta.h
 
 /// One served epoch: an immutable, internally consistent snapshot of the
 /// world.  Everything a query touches hangs off this object, so holding the
@@ -75,7 +78,10 @@ struct EpochManagerOptions {
   std::string cache_dir;
   /// QueryEngine pool width per epoch; 0 = hardware concurrency.
   int query_threads = 0;
-  /// Scheme randomness: epoch k builds with Rng(scheme_seed + k).
+  /// Scheme randomness: epoch k builds with Rng(scheme_seed + k) -- except
+  /// under enable_repair, where every epoch builds with Rng(scheme_seed) so
+  /// the center draw is reproducible across epochs (the precondition for
+  /// the incremental repair splice).
   std::uint64_t scheme_seed = 1;
   SimOptions sim;
   /// Metric backend per epoch: kAuto switches from the dense APSP matrix to
@@ -94,6 +100,22 @@ struct EpochManagerOptions {
   /// file-only distribution; published objects are unlinked when the
   /// manager is destroyed.
   std::string shm_prefix;
+  /// Incremental epoch repair (ROADMAP: O(affected region) rebuilds under
+  /// churn).  When true, begin_rebuild diffs the incoming topology against
+  /// the current epoch's graph: an empty delta is a no-op (the current
+  /// epoch keeps serving, seq unchanged); a delta changing at most
+  /// repair_max_fraction of the edges is routed through
+  /// SchemeRegistry::repair() -- O(affected region) instead of a full
+  /// preprocess, with automatic fallback to a full build when the scheme
+  /// declines; anything larger rebuilds from scratch.  Repair preserves the
+  /// rebuild contract exactly (identical routes, stats, and snapshot
+  /// bytes), which is why it also PINS the scheme seed (see scheme_seed).
+  /// Repaired epochs skip the snapshot cache and shm publication: they are
+  /// transient by design, and a crash recovers from the last full build.
+  bool enable_repair = false;
+  /// Deltas changing more than this fraction of max(old, new) edges always
+  /// rebuild from scratch (repair cost approaches a rebuild long before 1).
+  double repair_max_fraction = 0.05;
 };
 
 class EpochManager {
@@ -162,6 +184,17 @@ class EpochManager {
     std::uint64_t epochs_built = 0;  ///< successful rebuilds (excl. epoch 0)
     std::uint64_t cache_hits = 0;    ///< epochs warm-started from snapshots
     std::uint64_t shm_published = 0;  ///< epochs posted to shared memory
+    std::uint64_t repairs = 0;  ///< epochs published via incremental repair
+    /// Non-empty deltas that went through a full build despite repair being
+    /// enabled: over repair_max_fraction, declined by the scheme's hook, or
+    /// a failed repair attempt.
+    std::uint64_t repair_fallbacks = 0;
+    /// Wall ms of the most recent background epoch preprocess (repair or
+    /// full build; 0 until the first rebuild completes).
+    double last_rebuild_ms = 0.0;
+    /// Wall ms of the most recent successful incremental repair (0 until
+    /// one completes).
+    double last_repair_ms = 0.0;
   };
   [[nodiscard]] Counters counters() const;
 
@@ -173,8 +206,17 @@ class EpochManager {
   }
 
  private:
-  [[nodiscard]] std::shared_ptr<const Epoch> build_epoch(std::uint64_t seq,
-                                                         Digraph g);
+  [[nodiscard]] std::shared_ptr<const Epoch> build_epoch(
+      std::uint64_t seq, std::shared_ptr<const Digraph> graph);
+
+  /// Attempts an incremental repair of `base` onto `graph`; nullptr means
+  /// the scheme declined or failed and the caller falls back to a full
+  /// build.  `start` anchors the epoch's build_seconds so the published
+  /// timing covers the whole background preprocess, diff included.
+  [[nodiscard]] std::shared_ptr<const Epoch> repair_epoch(
+      std::uint64_t seq, const Epoch& base,
+      std::shared_ptr<const Digraph> graph, const ChurnDelta& delta,
+      std::chrono::steady_clock::time_point start);
 
   /// Best-effort shm publication of the epoch's snapshot file; records the
   /// object name for unlinking at destruction.  Never throws.
@@ -200,6 +242,10 @@ class EpochManager {
   std::atomic<std::uint64_t> epochs_built_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> shm_published_count_{0};
+  std::atomic<std::uint64_t> repairs_{0};
+  std::atomic<std::uint64_t> repair_fallbacks_{0};
+  std::atomic<double> last_rebuild_ms_{0.0};
+  std::atomic<double> last_repair_ms_{0.0};
 };
 
 }  // namespace rtr

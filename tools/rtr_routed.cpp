@@ -5,7 +5,7 @@
 //              [--metric auto|dense|sparse] [--threads T]
 //              [--bind ADDR] [--port P] [--port-file PATH]
 //              [--duration-s X] [--churn-interval-s X] [--churn-epochs K]
-//              [--acceptors A]
+//              [--repair] [--churn-fraction F] [--acceptors A]
 //       Builds the scheme over a generated strongly-connected instance,
 //       stands up an EpochManager, and serves GET /route, /healthz, /stats
 //       (HTTP/1.1 keep-alive) plus the rtr-wire/1 binary framing on one TCP
@@ -13,6 +13,12 @@
 //       bound port for scripts.  With --churn-interval-s the topology churns
 //       and the epoch swaps live under load every interval, up to
 //       --churn-epochs swaps -- queries keep answering throughout.
+//       --repair switches the churn to port-stable and routes small deltas
+//       through incremental epoch repair (O(affected region) instead of a
+//       full preprocess); /stats reports repairs / repair_fallbacks /
+//       last_repair_ms either way.  --churn-fraction caps the per-epoch
+//       edge churn rate (default ~30%; keep it under the 5% repair
+//       threshold for --repair to actually repair).
 //
 //   rtr_routed --snapshot FILE [--mapped] [--scheme NAME] ...
 //       Serves a prebuilt .rtrsnap dataset instead of building: the OSRM
@@ -57,6 +63,8 @@ struct Args {
   double duration_s = 0;  // 0 = run until signal
   double churn_interval_s = 0;
   int churn_epochs = 0;
+  bool repair = false;  // incremental epoch repair for small churn deltas
+  double churn_fraction = -1;  // <0: the ChurnOptions defaults (~30%/epoch)
   int acceptors = 1;
   std::string snapshot;
   bool mapped = false;
@@ -104,6 +112,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.churn_interval_s = std::stod(next());
     } else if (flag == "--churn-epochs") {
       args.churn_epochs = static_cast<int>(std::stol(next()));
+    } else if (flag == "--repair") {
+      args.repair = true;
+    } else if (flag == "--churn-fraction") {
+      args.churn_fraction = std::stod(next());
     } else if (flag == "--acceptors") {
       args.acceptors = static_cast<int>(std::stol(next()));
     } else if (flag == "--snapshot") {
@@ -149,6 +161,20 @@ int serve(const Args& args, const ServingSource& source,
 
   Rng churn_rng(args.seed + 1000);
   ChurnOptions churn;
+  // Incremental repair only pays off when the adversary is not renumbering
+  // every port each epoch (a global relabel touches every edge, so the
+  // delta always exceeds the repair threshold); --repair therefore churns
+  // port-stable and lets the EpochManager route small deltas through
+  // SchemeRegistry::repair().
+  churn.reassign_ports = !args.repair;
+  if (args.churn_fraction >= 0) {
+    // Split the requested per-epoch edge-churn rate between rewires and
+    // weight perturbations; a rate under the EpochManager's
+    // repair_max_fraction keeps --repair on the repair path instead of
+    // falling back (the ChurnOptions defaults churn ~30% of edges).
+    churn.rewire_fraction = args.churn_fraction / 2;
+    churn.perturb_fraction = args.churn_fraction / 2;
+  }
   int swaps = 0;
   double next_churn_at = args.churn_interval_s;
   while (g_stop == 0 &&
@@ -161,10 +187,13 @@ int serve(const Args& args, const ServingSource& source,
         (args.churn_epochs <= 0 || swaps < args.churn_epochs) &&
         elapsed() >= next_churn_at) {
       *topology = churn_step(*topology, churn, churn_rng);
+      const std::uint64_t repairs_before = manager->counters().repairs;
       manager->rebuild_now(Digraph(*topology));
       ++swaps;
       next_churn_at += args.churn_interval_s;
-      std::cout << "epoch " << manager->epoch() << " published (rebuild "
+      const bool repaired = manager->counters().repairs > repairs_before;
+      std::cout << "epoch " << manager->epoch() << " published ("
+                << (repaired ? "repair " : "rebuild ")
                 << manager->current()->build_seconds << " s)" << std::endl;
     }
   }
@@ -187,7 +216,7 @@ int main(int argc, char** argv) {
              "  [--max-weight W] [--seed S] [--metric auto|dense|sparse]\n"
              "  [--threads T] [--bind ADDR] [--port P] [--port-file PATH]\n"
              "  [--duration-s X] [--churn-interval-s X] [--churn-epochs K]\n"
-             "  [--acceptors A] [--snapshot FILE [--mapped]]\n";
+             "  [--repair] [--acceptors A] [--snapshot FILE [--mapped]]\n";
       return 0;
     }
 
@@ -222,6 +251,7 @@ int main(int argc, char** argv) {
     manager_options.query_threads = args.threads;
     manager_options.scheme_seed = args.seed;
     manager_options.metric_mode = parse_metric_mode(args.metric);
+    manager_options.enable_repair = args.repair;
     EpochManager manager(args.scheme, std::move(names), Digraph(graph),
                          manager_options);
     ManagerServingSource source(manager);
